@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks for the message-passing fabric: ping-pong
+//! latency, aggregated-message bandwidth, and collective costs — the runtime
+//! floor under every communication schedule.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lbm_comm::{CostModel, Universe};
+
+/// Run `iters` ping-pongs of `len` doubles on a 2-rank universe and return
+/// the elapsed time measured on rank 0.
+fn ping_pong(iters: u64, len: usize) -> Duration {
+    let outs = Universe::run(2, CostModel::free(), move |comm| {
+        let peer = 1 - comm.rank();
+        let payload = vec![1.0f64; len];
+        let t0 = Instant::now();
+        for k in 0..iters {
+            if comm.rank() == 0 {
+                comm.send(peer, k, payload.clone()).unwrap();
+                let _ = comm.recv(peer, k).unwrap();
+            } else {
+                let got = comm.recv(peer, k).unwrap();
+                comm.send(peer, k, got).unwrap();
+            }
+        }
+        t0.elapsed()
+    });
+    outs[0]
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric/pingpong");
+    for len in [1usize, 1024, 65536] {
+        g.throughput(Throughput::Bytes((len * 8 * 2) as u64));
+        g.bench_function(BenchmarkId::from_parameter(format!("{}B", len * 8)), |b| {
+            b.iter_custom(|iters| ping_pong(iters.max(1), len))
+        });
+    }
+    g.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric/barrier");
+    for ranks in [2usize, 4, 8] {
+        g.bench_function(BenchmarkId::from_parameter(format!("{ranks}ranks")), |b| {
+            b.iter_custom(|iters| {
+                let outs = Universe::run(ranks, CostModel::free(), move |comm| {
+                    let t0 = Instant::now();
+                    for _ in 0..iters.max(1) {
+                        comm.barrier();
+                    }
+                    t0.elapsed()
+                });
+                outs[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric/allreduce");
+    for ranks in [2usize, 8] {
+        g.bench_function(BenchmarkId::from_parameter(format!("{ranks}ranks")), |b| {
+            b.iter_custom(|iters| {
+                let outs = Universe::run(ranks, CostModel::free(), move |comm| {
+                    let vals = [comm.rank() as f64, 1.0, 2.0, 3.0];
+                    let t0 = Instant::now();
+                    for _ in 0..iters.max(1) {
+                        std::hint::black_box(comm.allreduce_sum(&vals));
+                    }
+                    t0.elapsed()
+                });
+                outs[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pingpong, bench_barrier, bench_allreduce
+}
+criterion_main!(benches);

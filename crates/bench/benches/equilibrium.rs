@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks for the equilibrium computation: the cost of
+//! the third-order Hermite term (paper Eq. 3 vs Eq. 2) and of the
+//! reciprocal-form rewrite (the DH rung's arithmetic).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lbm_core::equilibrium::{feq, feq_i_consts, EqConsts, EqOrder};
+use lbm_core::lattice::{Lattice, LatticeKind};
+
+fn bench_feq(c: &mut Criterion) {
+    let states: Vec<(f64, [f64; 3])> = (0..256)
+        .map(|i| {
+            let t = i as f64 / 256.0;
+            (1.0 + 0.1 * t, [0.05 * t, -0.03 * t, 0.02 * t])
+        })
+        .collect();
+
+    for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+        let lat = Lattice::new(kind);
+        let konst = EqConsts::new(&lat);
+        let mut out = vec![0.0; lat.q()];
+        let mut g = c.benchmark_group(format!("feq/{}", kind.name()));
+        g.throughput(Throughput::Elements(states.len() as u64));
+
+        let orders: &[EqOrder] = if kind == LatticeKind::D3Q39 {
+            &[EqOrder::Second, EqOrder::Third]
+        } else {
+            &[EqOrder::Second]
+        };
+        for &order in orders {
+            g.bench_function(BenchmarkId::new("division_form", order.label()), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &(rho, u) in &states {
+                        feq(&lat, order, rho, u, &mut out);
+                        acc += out[0];
+                    }
+                    std::hint::black_box(acc)
+                })
+            });
+            let third = order == EqOrder::Third;
+            g.bench_function(BenchmarkId::new("reciprocal_form", order.label()), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &(rho, u) in &states {
+                        for i in 0..lat.q() {
+                            acc += feq_i_consts(&konst, third, i, rho, u);
+                        }
+                    }
+                    std::hint::black_box(acc)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_feq
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks for halo pack/unpack: the per-exchange software
+//! cost that deep halos amortise (paper §V-A), as a function of ghost depth
+//! and velocity model.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lbm_core::field::DistField;
+use lbm_core::index::Dim3;
+use lbm_core::lattice::{Lattice, LatticeKind};
+use lbm_sim::halo::{pack_border, packed_len, unpack_halo, Side};
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+        let lat = Lattice::new(kind);
+        let k = lat.reach();
+        let dims = Dim3::new(32, 24, 24);
+        let mut g = c.benchmark_group(format!("halo/{}", kind.name()));
+        for depth in 1..=4usize {
+            let h = depth * k;
+            let mut f = DistField::new(lat.q(), dims, h).unwrap();
+            for (i, v) in f.as_mut_slice().iter_mut().enumerate() {
+                *v = i as f64;
+            }
+            let mut buf = Vec::new();
+            g.throughput(Throughput::Bytes((packed_len(&f, h) * 8) as u64));
+            g.bench_function(BenchmarkId::new("pack", format!("GC{depth}")), |b| {
+                b.iter(|| {
+                    pack_border(&f, Side::Left, h, &mut buf);
+                    std::hint::black_box(buf.len())
+                })
+            });
+            pack_border(&f, Side::Right, h, &mut buf);
+            let data = buf.clone();
+            g.bench_function(BenchmarkId::new("unpack", format!("GC{depth}")), |b| {
+                b.iter(|| {
+                    unpack_halo(&mut f, Side::Right, h, &data);
+                    std::hint::black_box(f.slab(0)[0])
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pack_unpack
+}
+criterion_main!(benches);

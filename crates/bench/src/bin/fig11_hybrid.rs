@@ -1,0 +1,120 @@
+//! Regenerates **Fig. 11** — impact of hybrid rank × thread execution on
+//! both velocity models.
+//!
+//! * `bgp` mode (Fig. 11a): a fixed rank count with 1–4 threads per rank,
+//!   plus "virtual node" mode (4× the ranks, 1 thread) — the paper's
+//!   1T/2T/3T/4T/VN axis. For each configuration the minimum runtime over
+//!   ghost depths 1–3 is reported, exactly as the paper plots "the time of
+//!   the minimal ghost cell implementation".
+//! * `bgq` mode (Fig. 11b): a tasks–threads grid.
+//!
+//! Shape expectations: threading helps both models; for D3Q39 the hybrid
+//! configuration beats max-rank flat mode because halving the domain count
+//! halves the (k = 3)-deep ghost footprint (§VI-B).
+//!
+//! ```sh
+//! cargo run --release -p lbm-bench --bin fig11_hybrid -- [bgp|bgq]
+//! ```
+
+use std::time::Duration;
+
+use lbm_bench::{f, Table};
+use lbm_comm::CostModel;
+use lbm_core::index::Dim3;
+use lbm_core::kernels::OptLevel;
+use lbm_core::lattice::LatticeKind;
+use lbm_sim::hybrid::{bgp_sweep, bgq_sweep, HybridConfig};
+use lbm_sim::{run_distributed, CommStrategy, SimConfig};
+
+fn best_over_depths(kind: LatticeKind, global: Dim3, hc: HybridConfig, steps: usize) -> Option<(f64, usize)> {
+    let cost = CostModel::torus_ramp(Duration::from_micros(200), 1.5e9, hc.ranks, 2.0);
+    let mut best: Option<(f64, usize)> = None;
+    for depth in 1..=3usize {
+        let cfg = SimConfig::new(kind, global)
+            .with_ranks(hc.ranks)
+            .with_threads(hc.threads)
+            .with_steps(steps)
+            .with_warmup(3)
+            .with_ghost_depth(depth)
+            .with_level(OptLevel::Simd)
+            .with_strategy(CommStrategy::OverlapGhostCollide)
+            .with_cost(cost.clone())
+            .with_jitter(0.05);
+        // Best of two runs per point (perf-measurement practice).
+        for _ in 0..2 {
+            if let Ok(rep) = run_distributed(&cfg) {
+                let cand = (rep.wall_secs, depth);
+                best = Some(match best {
+                    Some(b) if b.0 <= cand.0 => b,
+                    _ => cand,
+                });
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "bgp".into());
+    let steps = 24usize;
+
+    if mode == "bgq" {
+        // Fig. 11b: tasks-threads grid.
+        let max_cpus = lbm_bench::host_threads().min(16);
+        let global = Dim3::new(96, 40, 40);
+        println!("== Fig. 11b: tasks-threads grid (bounded by {max_cpus} CPUs) ==\n");
+        let mut t = Table::new(vec!["tasks-threads", "D3Q19 time(ms)", "D3Q39 time(ms)"]);
+        for hc in bgq_sweep(max_cpus, 8) {
+            let a = best_over_depths(LatticeKind::D3Q19, global, hc, steps);
+            let b = best_over_depths(LatticeKind::D3Q39, global, hc, steps);
+            t.row(vec![
+                hc.label(),
+                a.map_or("-".into(), |(s, d)| format!("{} (GC{d})", f(s * 1e3, 1))),
+                b.map_or("-".into(), |(s, d)| format!("{} (GC{d})", f(s * 1e3, 1))),
+            ]);
+        }
+        t.print();
+        println!("\npaper: the optimal pairing on BG/Q was 4 tasks × 16 threads for *both*");
+        println!("models — high threading minimises ghost-cell overhead per node.");
+        return;
+    }
+
+    // Fig. 11a: 1T..4T vs virtual-node mode.
+    let base_ranks = 4usize;
+    let global = Dim3::new(96, 40, 40);
+    println!("== Fig. 11a: threading impact, {base_ranks} base ranks (VN = {}×1) ==\n", base_ranks * 4);
+    let mut t = Table::new(vec!["config", "ranks×threads", "D3Q19 time(ms)", "D3Q39 time(ms)"]);
+    let mut q39_times: Vec<(String, f64)> = Vec::new();
+    for (label, hc) in bgp_sweep(base_ranks) {
+        let a = best_over_depths(LatticeKind::D3Q19, global, hc, steps);
+        let b = best_over_depths(LatticeKind::D3Q39, global, hc, steps);
+        if let Some((s, _)) = b {
+            q39_times.push((label.clone(), s));
+        }
+        t.row(vec![
+            label,
+            format!("{}×{}", hc.ranks, hc.threads),
+            a.map_or("(halo too wide)".into(), |(s, d)| format!("{} (GC{d})", f(s * 1e3, 1))),
+            b.map_or("(halo too wide)".into(), |(s, d)| format!("{} (GC{d})", f(s * 1e3, 1))),
+        ]);
+    }
+    t.print();
+
+    if let (Some(t4), Some(vn)) = (
+        q39_times.iter().find(|(l, _)| l == "4T").map(|(_, s)| *s),
+        q39_times.iter().find(|(l, _)| l == "VN").map(|(_, s)| *s),
+    ) {
+        println!(
+            "\nD3Q39 hybrid 4T vs flat VN: {:.1} ms vs {:.1} ms — {}",
+            t4 * 1e3,
+            vn * 1e3,
+            if t4 < vn {
+                "hybrid wins, as the paper found (ghost-footprint reduction)"
+            } else {
+                "VN wins on this host (see EXPERIMENTS.md commentary)"
+            }
+        );
+    }
+    println!("\npaper: D3Q19 ≈ tie between 4T and VN; D3Q39's 4T (with 2 ghost cells)");
+    println!("outperformed VN because fewer subdomains mean fewer k=3-deep ghost planes.");
+}

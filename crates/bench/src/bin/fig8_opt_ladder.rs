@@ -1,0 +1,102 @@
+//! Regenerates **Fig. 8** — MFlup/s achieved at each optimization rung for
+//! both velocity models, against the machine-model peak.
+//!
+//! The paper ran 128 Blue Gene nodes; here the ladder runs on host ranks
+//! (default 8 × 1 thread) and is normalised against the *measured* host
+//! roofline, applying the paper's exact methodology (Table II model → % of
+//! predicted peak). Shape expectations: monotone non-decreasing ladder,
+//! D3Q39 ≈ half the MFlup/s of D3Q19 (B ratio 936/456), biggest single-node
+//! jumps at DH/CF, final rungs approaching the bandwidth roofline.
+//!
+//! ```sh
+//! cargo run --release -p lbm-bench --bin fig8_opt_ladder [ranks]
+//! ```
+
+use lbm_bench::{f, paper, Table};
+use lbm_comm::CostModel;
+use lbm_core::index::Dim3;
+use lbm_core::kernels::OptLevel;
+use lbm_core::lattice::{Lattice, LatticeKind};
+use lbm_machine::{attainable, measure, KernelTraffic};
+use lbm_sim::{run_distributed, SimConfig};
+
+fn main() {
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    println!("== Fig. 8: optimization ladder (host analogue of 8a/8b) ==\n");
+    println!("measuring host roofline with {ranks} active cores…");
+    let host = measure::measure_host(ranks);
+    println!(
+        "  host({} cores): {:.1} GB/s, {:.1} GFlop/s\n",
+        ranks, host.mem_bw_gbs, host.peak_gflops
+    );
+
+    for (kind, global, steps) in [
+        (LatticeKind::D3Q19, Dim3::new(96, 56, 56), 14usize),
+        (LatticeKind::D3Q39, Dim3::new(64, 40, 40), 10),
+    ] {
+        let lat = Lattice::new(kind);
+        let traffic = KernelTraffic::lbm(lat.q(), lat.flops_per_cell());
+        let bound = attainable(&host, &traffic);
+        println!(
+            "{}  (box {}×{}×{}, {} ranks, {} steps; host model peak {} MFlup/s):",
+            lat.name(),
+            global.nx,
+            global.ny,
+            global.nz,
+            ranks,
+            steps,
+            f(bound.mflups(), 1)
+        );
+        let mut t = Table::new(vec![
+            "rung", "kernel", "schedule", "MFlup/s", "vs Orig", "% of model peak",
+        ]);
+        let mut orig = None;
+        let mut last = 0.0;
+        for level in OptLevel::ALL {
+            let cfg = SimConfig::new(kind, global)
+                .with_ranks(ranks)
+                .with_steps(steps)
+                .with_warmup(2)
+                .with_level(level)
+                .with_cost(CostModel::free());
+            // Best of three runs per rung (perf-measurement practice).
+            let rep = (0..3)
+                .map(|_| run_distributed(&cfg).expect("run"))
+                .max_by(|a, b| a.mflups.total_cmp(&b.mflups))
+                .unwrap();
+            let base = *orig.get_or_insert(rep.mflups);
+            last = rep.mflups;
+            t.row(vec![
+                level.name().to_string(),
+                format!("{:?}", level.kernel_class()),
+                rep.strategy.clone(),
+                f(rep.mflups, 1),
+                format!("{:.2}x", rep.mflups / base),
+                format!("{:.1}%", 100.0 * rep.mflups / bound.mflups()),
+            ]);
+        }
+        t.print();
+        let improvement = last / orig.unwrap();
+        println!(
+            "  ladder improvement Orig→SIMD: {:.1}x   (paper: {}x on BG/P, {}x on BG/Q)",
+            improvement,
+            paper::LADDER_IMPROVEMENT[0].1,
+            paper::LADDER_IMPROVEMENT[1].1
+        );
+        println!(
+            "  final fraction of model peak: {:.0}%   (paper: 92%/83% BG/P, 85%/79% BG/Q)\n",
+            100.0 * last / bound.mflups()
+        );
+    }
+
+    println!("notes:");
+    println!("  * the per-cell traffic accounting is the paper's B = 3·Q·8; a two-array");
+    println!("    stream+collide implementation actually moves more like 5·Q·8 per step,");
+    println!("    so the achievable fraction of P(Bm) on cached hardware is lower than the");
+    println!("    Blue Gene numbers — the *shape* (monotone ladder, ~2x D3Q19:D3Q39 gap,");
+    println!("    bandwidth-bound plateau) is the reproduced result. See EXPERIMENTS.md.");
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Table I** — parameters of the two discrete velocity models
+//! (shells, weights, neighbour order, distance) — directly from the lattice
+//! definitions, and checks them against the printed values (including the
+//! 1/432 correction of the paper's misprinted (2,2,0) weight).
+
+use lbm_bench::Table;
+use lbm_core::lattice::{Lattice, LatticeKind};
+
+fn shell_table(kind: LatticeKind) -> Table {
+    let lat = Lattice::new(kind);
+    let mut t = Table::new(vec![
+        "c_s^2",
+        "xi_i (repr.)",
+        "w_i",
+        "count",
+        "neighbor order",
+        "distance",
+    ]);
+    for s in lat.shells() {
+        t.row(vec![
+            format!("{:.4}", lat.cs2()),
+            format!("({},{},{})", s.representative[0], s.representative[1], s.representative[2]),
+            format!("{:.6e}", s.weight),
+            format!("{}", s.multiplicity),
+            format!("{}", s.neighbor_order),
+            format!("{:.4}", s.distance),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    println!("== Table I: parameters of the discrete velocity models ==\n");
+    for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+        let lat = Lattice::new(kind);
+        println!(
+            "{} lattice  (Q = {}, streaming reach k = {}, quadrature degree {}):",
+            lat.name(),
+            lat.q(),
+            lat.reach(),
+            lbm_core::lattice::hermite::quadrature_degree(&lat, 9),
+        );
+        shell_table(kind).print();
+        let wsum: f64 = lat.weights().iter().sum();
+        println!("   Σ w_i = {wsum:.15}\n");
+    }
+    println!("notes:");
+    println!("  * rest velocity stored last (\"the 19th and 39th values are the lattice point itself\")");
+    println!("  * (2,2,0) weight is 1/432 = {:.6e}; the paper's Table I misprints it as 1/142", 1.0 / 432.0);
+    println!("  * D3Q39 reaches distance 3 ⇒ fundamental ghost unit k = 3 (the paper's prose says 2;");
+    println!("    its own (3,0,0) shell requires 3 — see DESIGN.md)");
+}

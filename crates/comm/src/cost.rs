@@ -1,0 +1,130 @@
+//! Injectable link-cost model — the Blue Gene torus substitute.
+//!
+//! A real 3-D torus gives every message a latency floor and a bandwidth
+//! ceiling, and placement/contention make some ranks' links effectively
+//! slower than others (the paper's Fig. 9 shows a node spending 4.8 s in
+//! communication while another spends 40 s in `MPI_Waitall`). The model here
+//! delays each message's *completion* (not its posting — sends stay
+//! nonblocking) by
+//!
+//! `delay = skew(src) · (α + payload_bytes / β)`
+//!
+//! with `skew` a deterministic per-rank ramp. Delays are wall-clock-realised
+//! at the receiver when it waits, so overlap behaves like a real NIC: a
+//! message posted early is "in flight" during the sender's subsequent
+//! computation, and a receiver that waits late enough pays nothing.
+
+use std::time::Duration;
+
+/// Link cost parameters (per message, applied at completion time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency floor α.
+    pub alpha: Duration,
+    /// Link bandwidth β in bytes/second (`f64::INFINITY` for latency-only).
+    pub beta_bytes_per_sec: f64,
+    /// Per-rank multiplier applied to the whole delay; `skew[src]`.
+    /// Empty means uniform 1.0.
+    pub skew: Vec<f64>,
+}
+
+impl CostModel {
+    /// No injected cost: pure thread/channel speed.
+    pub fn free() -> Self {
+        Self {
+            alpha: Duration::ZERO,
+            beta_bytes_per_sec: f64::INFINITY,
+            skew: Vec::new(),
+        }
+    }
+
+    /// Uniform α–β model without skew.
+    pub fn uniform(alpha: Duration, beta_bytes_per_sec: f64) -> Self {
+        Self {
+            alpha,
+            beta_bytes_per_sec,
+            skew: Vec::new(),
+        }
+    }
+
+    /// α–β model with a linear skew ramp: rank `r` of `n` pays
+    /// `1 + (ramp − 1) · r/(n−1)` times the base delay — rank 0 is the
+    /// fastest link, the last rank's link is `ramp`× slower. This is the
+    /// deterministic stand-in for torus placement imbalance.
+    pub fn torus_ramp(alpha: Duration, beta_bytes_per_sec: f64, ranks: usize, ramp: f64) -> Self {
+        let skew = if ranks <= 1 {
+            vec![1.0; ranks]
+        } else {
+            (0..ranks)
+                .map(|r| 1.0 + (ramp - 1.0) * r as f64 / (ranks - 1) as f64)
+                .collect()
+        };
+        Self {
+            alpha,
+            beta_bytes_per_sec,
+            skew,
+        }
+    }
+
+    /// True when the model injects nothing.
+    pub fn is_free(&self) -> bool {
+        self.alpha.is_zero() && self.beta_bytes_per_sec.is_infinite() && self.skew.is_empty()
+    }
+
+    /// Completion delay for a `bytes`-byte message sent by `src`.
+    pub fn delay(&self, src: usize, bytes: usize) -> Duration {
+        let base = self.alpha.as_secs_f64()
+            + if self.beta_bytes_per_sec.is_finite() {
+                bytes as f64 / self.beta_bytes_per_sec
+            } else {
+                0.0
+            };
+        let skew = self.skew.get(src).copied().unwrap_or(1.0);
+        Duration::from_secs_f64(base * skew)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_has_zero_delay() {
+        let m = CostModel::free();
+        assert!(m.is_free());
+        assert_eq!(m.delay(0, 1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn uniform_model_charges_alpha_plus_size() {
+        let m = CostModel::uniform(Duration::from_micros(100), 1e9);
+        // 1 MB at 1 GB/s = 1 ms, plus 100 µs.
+        let d = m.delay(3, 1_000_000);
+        assert!((d.as_secs_f64() - 0.0011).abs() < 1e-9, "{d:?}");
+    }
+
+    #[test]
+    fn ramp_spans_one_to_ramp() {
+        let m = CostModel::torus_ramp(Duration::from_millis(1), f64::INFINITY, 5, 8.0);
+        assert_eq!(m.skew.len(), 5);
+        assert!((m.skew[0] - 1.0).abs() < 1e-12);
+        assert!((m.skew[4] - 8.0).abs() < 1e-12);
+        assert!(m.delay(4, 0) > m.delay(0, 0));
+        // Monotone in rank.
+        for r in 1..5 {
+            assert!(m.delay(r, 0) >= m.delay(r - 1, 0));
+        }
+    }
+
+    #[test]
+    fn single_rank_ramp_does_not_divide_by_zero() {
+        let m = CostModel::torus_ramp(Duration::from_millis(1), 1e9, 1, 4.0);
+        assert_eq!(m.skew, vec![1.0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the communication runtime.
+
+use std::fmt;
+
+/// Errors surfaced by the communication runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// Rank index out of range.
+    BadRank {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A peer disconnected (its thread ended) while a receive was pending.
+    Disconnected {
+        /// The peer whose channel closed.
+        from: usize,
+    },
+    /// Invalid configuration (zero ranks, non-finite bandwidth, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::BadRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            CommError::Disconnected { from } => {
+                write!(f, "peer rank {from} disconnected with receive pending")
+            }
+            CommError::BadConfig(m) => write!(f, "bad comm config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Result alias.
+pub type CommResult<T> = Result<T, CommError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CommError::BadRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("rank 9"));
+        assert!(CommError::Disconnected { from: 2 }.to_string().contains("rank 2"));
+        assert!(CommError::BadConfig("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,40 @@
+//! # lbm-comm
+//!
+//! A thread-backed message-passing runtime standing in for MPI in the
+//! IPDPS'13 LBM reproduction (see DESIGN.md §1 for the substitution
+//! rationale).
+//!
+//! Each **rank** is an OS thread launched by [`Universe::run`]. Ranks share
+//! nothing except the [`fabric`]: typed, tagged point-to-point messages with
+//! *nonblocking* post/complete semantics ([`Comm::isend`] / [`Comm::irecv`] /
+//! [`Comm::wait`] / [`Comm::waitall`]) plus barrier / allreduce / gather
+//! collectives — the exact call surface the paper's C code uses
+//! (`MPI_Irecv`, `MPI_Isend`, `MPI_Waitall`, §V-E).
+//!
+//! Two features make it a usable experimental substitute for a Blue Gene
+//! torus rather than a toy:
+//!
+//! * **Link-cost injection** ([`cost::CostModel`]): message completion can be
+//!   delayed by `α + bytes/β`, with a deterministic per-rank skew emulating
+//!   torus placement/contention imbalance — the mechanism behind the paper's
+//!   Fig. 9 min/median/max communication-time analysis and the latency the
+//!   deep-halo rung (Fig. 10) trades computation against.
+//! * **Per-rank communication timers** ([`timing::CommTimers`]): every
+//!   blocked nanosecond in `wait`/`waitall`/`barrier` is attributed, like the
+//!   paper's per-node communication-time measurements.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod comm;
+pub mod cost;
+pub mod error;
+pub mod fabric;
+pub mod timing;
+pub mod universe;
+
+pub use comm::{Comm, RecvRequest, SendRequest};
+pub use cost::CostModel;
+pub use error::{CommError, CommResult};
+pub use timing::{CommStats, CommTimers};
+pub use universe::Universe;

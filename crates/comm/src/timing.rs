@@ -1,0 +1,109 @@
+//! Per-rank communication timers and cross-rank summaries.
+//!
+//! The paper's Fig. 9 plots, per optimization level, the time spent in
+//! communication by the nodes with the minimum, median and maximum such time
+//! — that is exactly what [`CommTimers`] (per rank) plus [`CommStats`]
+//! (cross-rank reduction) produce.
+
+use std::time::Duration;
+
+/// Communication-time accounting for one rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommTimers {
+    /// Time blocked in `wait`/`waitall` for receives (includes simulated
+    /// link delay) — the `MPI_Waitall` time of the paper.
+    pub wait: Duration,
+    /// Time blocked in barriers.
+    pub barrier: Duration,
+    /// Time blocked in collectives (allreduce/gather).
+    pub collective: Duration,
+    /// Point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Payload doubles sent.
+    pub doubles_sent: u64,
+}
+
+impl CommTimers {
+    /// Total blocked time (the paper's "time in communication").
+    pub fn total(&self) -> Duration {
+        self.wait + self.barrier + self.collective
+    }
+
+    /// Payload bytes sent (8 bytes per double).
+    pub fn bytes_sent(&self) -> u64 {
+        self.doubles_sent * 8
+    }
+}
+
+/// Min/median/max of per-rank communication times (paper Fig. 9 axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommStats {
+    /// Smallest per-rank total.
+    pub min: Duration,
+    /// Median per-rank total.
+    pub median: Duration,
+    /// Largest per-rank total.
+    pub max: Duration,
+}
+
+impl CommStats {
+    /// Reduce a set of per-rank timers.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_timers(timers: &[CommTimers]) -> Self {
+        assert!(!timers.is_empty(), "no timers to summarise");
+        let mut totals: Vec<Duration> = timers.iter().map(|t| t.total()).collect();
+        totals.sort_unstable();
+        Self {
+            min: totals[0],
+            median: totals[totals.len() / 2],
+            max: totals[totals.len() - 1],
+        }
+    }
+
+    /// Max−min spread: the imbalance the GC-C optimization collapses.
+    pub fn spread(&self) -> Duration {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> CommTimers {
+        CommTimers {
+            wait: Duration::from_millis(ms),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let timers = CommTimers {
+            wait: Duration::from_millis(5),
+            barrier: Duration::from_millis(2),
+            collective: Duration::from_millis(1),
+            messages_sent: 3,
+            doubles_sent: 100,
+        };
+        assert_eq!(timers.total(), Duration::from_millis(8));
+        assert_eq!(timers.bytes_sent(), 800);
+    }
+
+    #[test]
+    fn stats_pick_min_median_max() {
+        let s = CommStats::from_timers(&[t(30), t(10), t(20), t(40), t(50)]);
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.median, Duration::from_millis(30));
+        assert_eq!(s.max, Duration::from_millis(50));
+        assert_eq!(s.spread(), Duration::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "no timers")]
+    fn stats_reject_empty() {
+        let _ = CommStats::from_timers(&[]);
+    }
+}

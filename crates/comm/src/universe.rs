@@ -1,0 +1,140 @@
+//! Launching a set of ranks.
+
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::cost::CostModel;
+use crate::fabric::Fabric;
+
+/// Launches `ranks` OS threads, each running the given closure with its own
+/// [`Comm`] endpoint — the `mpirun` of this runtime.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `ranks` ranks over a fabric with the given cost model and
+    /// return the per-rank results in rank order.
+    ///
+    /// # Panics
+    /// Propagates any rank's panic after all threads have been joined.
+    pub fn run<T, F>(ranks: usize, cost: CostModel, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(ranks > 0, "need at least one rank");
+        let fabric: Arc<Fabric> = Fabric::new(ranks, cost);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ranks)
+                .map(|rank| {
+                    let fabric = fabric.clone();
+                    let f = &f;
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .spawn_scoped(scope, move || {
+                            let mut comm = Comm::new(fabric, rank);
+                            f(&mut comm)
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(v) => v,
+                    Err(e) => std::panic::resume_unwind(Box::new((rank, e))),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let out = Universe::run(6, CostModel::free(), |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn ring_pass_around() {
+        // Each rank sends its id right and receives from the left; after
+        // `size` hops every rank has its own id back.
+        let n = 5;
+        let out = Universe::run(n, CostModel::free(), |comm| {
+            let mut token = vec![comm.rank() as f64];
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            for hop in 0..comm.size() {
+                comm.send(right, hop as u64, token).unwrap();
+                token = comm.recv(left, hop as u64).unwrap();
+            }
+            token[0] as usize
+        });
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn barrier_actually_synchronises() {
+        let counter = AtomicUsize::new(0);
+        Universe::run(4, CostModel::free(), |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all 4 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn allreduce_across_universe() {
+        let out = Universe::run(4, CostModel::free(), |comm| {
+            let s = comm.allreduce_sum(&[comm.rank() as f64, 1.0]);
+            let mx = comm.allreduce_max(&[comm.rank() as f64]);
+            let mn = comm.allreduce_min(&[comm.rank() as f64]);
+            (s, mx, mn)
+        });
+        for (s, mx, mn) in out {
+            assert_eq!(s, vec![6.0, 4.0]);
+            assert_eq!(mx, vec![3.0]);
+            assert_eq!(mn, vec![0.0]);
+        }
+    }
+
+    #[test]
+    fn skewed_cost_spreads_wait_times() {
+        // With a steep skew ramp, the last rank's sends arrive late, so its
+        // right neighbour (rank 0) waits visibly longer than rank 1 does.
+        let n = 4;
+        let cost = CostModel::torus_ramp(Duration::from_millis(10), f64::INFINITY, n, 6.0);
+        let waits = Universe::run(n, cost, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(right, 0, vec![0.0]).unwrap();
+            let _ = comm.recv(left, 0).unwrap();
+            comm.timers().wait
+        });
+        // Rank 0 receives from rank n-1 (slowest link), rank 1 from rank 0
+        // (fastest link).
+        assert!(
+            waits[0] > waits[1],
+            "expected skewed waits, got {waits:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        let _ = Universe::run(2, CostModel::free(), |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+            comm.rank()
+        });
+    }
+}

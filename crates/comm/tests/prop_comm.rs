@@ -1,0 +1,157 @@
+//! Property tests for the message-passing runtime: delivery, ordering and
+//! collective semantics must hold for arbitrary rank counts, tag patterns
+//! and payloads.
+
+use proptest::prelude::*;
+
+use lbm_comm::{CostModel, Universe};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Every payload sent around a ring arrives intact, any size/pattern.
+    #[test]
+    fn ring_delivery_preserves_payloads(
+        ranks in 2usize..6,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let out = Universe::run(ranks, CostModel::free(), |comm| {
+            let mut state = seed ^ (comm.rank() as u64) | 1;
+            let payload: Vec<f64> = (0..len).map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64
+            }).collect();
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(right, 5, payload.clone()).unwrap();
+            let got = comm.recv(left, 5).unwrap();
+            // Reconstruct what the left neighbour must have sent.
+            let mut lstate = seed ^ (left as u64) | 1;
+            let expect: Vec<f64> = (0..len).map(|_| {
+                lstate ^= lstate << 13;
+                lstate ^= lstate >> 7;
+                lstate ^= lstate << 17;
+                (lstate % 1000) as f64
+            }).collect();
+            got == expect && payload.len() == len
+        });
+        prop_assert!(out.into_iter().all(|ok| ok));
+    }
+
+    /// FIFO per (src, dst, tag) regardless of how many messages pile up.
+    #[test]
+    fn per_tag_fifo_holds(
+        count in 1usize..30,
+        tag in any::<u64>(),
+    ) {
+        let ok = Universe::run(2, CostModel::free(), |comm| {
+            if comm.rank() == 0 {
+                for k in 0..count {
+                    comm.send(1, tag, vec![k as f64]).unwrap();
+                }
+                true
+            } else {
+                (0..count).all(|k| comm.recv(0, tag).unwrap() == vec![k as f64])
+            }
+        });
+        prop_assert!(ok[1]);
+    }
+
+    /// Interleaved tags never cross-match: each tag stream is independently
+    /// FIFO even when the receiver waits in a different global order.
+    #[test]
+    fn interleaved_tags_do_not_cross(
+        per_tag in 1usize..8,
+        ntags in 2usize..5,
+    ) {
+        let ok = Universe::run(2, CostModel::free(), |comm| {
+            if comm.rank() == 0 {
+                // Interleave: m0t0, m0t1, ..., m1t0, m1t1, ...
+                for m in 0..per_tag {
+                    for t in 0..ntags {
+                        comm.send(1, t as u64, vec![(t * 1000 + m) as f64]).unwrap();
+                    }
+                }
+                true
+            } else {
+                // Drain tags in reverse order; each must still be FIFO.
+                (0..ntags).rev().all(|t| {
+                    (0..per_tag).all(|m| {
+                        comm.recv(0, t as u64).unwrap() == vec![(t * 1000 + m) as f64]
+                    })
+                })
+            }
+        });
+        prop_assert!(ok[1]);
+    }
+
+    /// allreduce results agree on every rank and equal the serial reduction.
+    #[test]
+    fn allreduce_matches_serial(
+        ranks in 1usize..6,
+        vals_seed in any::<u64>(),
+        len in 1usize..8,
+    ) {
+        let per_rank: Vec<Vec<f64>> = (0..ranks).map(|r| {
+            let mut s = vals_seed ^ r as u64 | 1;
+            (0..len).map(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                ((s % 2000) as f64) - 1000.0
+            }).collect()
+        }).collect();
+        let expect_sum: Vec<f64> = (0..len)
+            .map(|i| per_rank.iter().map(|v| v[i]).sum())
+            .collect();
+        let expect_max: Vec<f64> = (0..len)
+            .map(|i| per_rank.iter().map(|v| v[i]).fold(f64::NEG_INFINITY, f64::max))
+            .collect();
+        let pr = &per_rank;
+        let out = Universe::run(ranks, CostModel::free(), move |comm| {
+            let mine = &pr[comm.rank()];
+            (comm.allreduce_sum(mine), comm.allreduce_max(mine))
+        });
+        for (s, m) in out {
+            for i in 0..len {
+                prop_assert!((s[i] - expect_sum[i]).abs() < 1e-9, "sum[{}]", i);
+                prop_assert_eq!(m[i], expect_max[i], "max[{}]", i);
+            }
+        }
+    }
+
+    /// gather_all returns every rank's data in rank order on every rank.
+    #[test]
+    fn gather_is_rank_ordered(ranks in 1usize..6) {
+        let out = Universe::run(ranks, CostModel::free(), |comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.gather_all(mine)
+        });
+        for all in out {
+            for (r, v) in all.iter().enumerate() {
+                prop_assert_eq!(v.len(), r + 1);
+                prop_assert!(v.iter().all(|&x| x == r as f64));
+            }
+        }
+    }
+
+    /// Message and byte counters are exact.
+    #[test]
+    fn send_counters_are_exact(msgs in 0usize..20, len in 0usize..50) {
+        let out = Universe::run(2, CostModel::free(), |comm| {
+            if comm.rank() == 0 {
+                for k in 0..msgs {
+                    comm.send(1, k as u64, vec![0.0; len]).unwrap();
+                }
+                (comm.timers().messages_sent, comm.timers().doubles_sent)
+            } else {
+                for k in 0..msgs {
+                    let _ = comm.recv(0, k as u64).unwrap();
+                }
+                (0, 0)
+            }
+        });
+        prop_assert_eq!(out[0], (msgs as u64, (msgs * len) as u64));
+    }
+}

@@ -1,0 +1,201 @@
+//! 64-byte aligned `f64` buffers.
+//!
+//! The paper's SIMD rung (double-hummer on BG/P, QPX on BG/Q) requires 16- and
+//! 32-byte aligned loads; AVX2 prefers 32 and a cache line is 64, so the slabs
+//! backing [`crate::field::DistField`] are allocated on 64-byte boundaries.
+//! Alignment also keeps every velocity slab starting on a fresh cache line,
+//! which matters for the stream kernel's slab-at-a-time copies.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+
+/// Cache-line alignment used for all numeric slabs (bytes).
+pub const ALIGN: usize = 64;
+
+/// A fixed-length, zero-initialised, 64-byte aligned `f64` buffer.
+///
+/// Unlike `Vec<f64>` this cannot grow; the length is fixed at allocation
+/// time, matching the lifetime of a simulation field. Dereferences to
+/// `[f64]`, so all slice APIs apply.
+///
+/// ```
+/// use lbm_core::align::AlignedBuf;
+/// let mut b = AlignedBuf::new(1024);
+/// assert_eq!(b.len(), 1024);
+/// assert_eq!(b.as_ptr() as usize % 64, 0);
+/// b[3] = 2.5;
+/// assert_eq!(b.iter().sum::<f64>(), 2.5);
+/// ```
+pub struct AlignedBuf {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: AlignedBuf owns its allocation exclusively, like Box<[f64]>.
+unsafe impl Send for AlignedBuf {}
+// SAFETY: &AlignedBuf only allows shared reads of plain floats.
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocate a zeroed buffer of `len` doubles on a 64-byte boundary.
+    ///
+    /// `len == 0` is allowed and performs no allocation.
+    ///
+    /// # Panics
+    /// Panics (via `handle_alloc_error`) if the allocator fails.
+    pub fn new(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: std::ptr::NonNull::<f64>::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0) and valid alignment.
+        let raw = unsafe { alloc_zeroed(layout) };
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self {
+            ptr: raw.cast::<f64>(),
+            len,
+        }
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<f64>(), ALIGN)
+            .expect("aligned layout overflow")
+    }
+
+    /// Number of doubles in the buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set every element to `v`.
+    pub fn fill_with_value(&mut self, v: f64) {
+        self.as_mut_slice().fill(v);
+    }
+
+    /// Shared slice view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        // SAFETY: ptr/len describe a live, initialised allocation.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mutable slice view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        // SAFETY: ptr/len describe a live allocation owned uniquely by self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated in `new` with the identical layout.
+            unsafe { dealloc(self.ptr.cast::<u8>(), Self::layout(self.len)) }
+        }
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        let mut out = Self::new(self.len);
+        out.as_mut_slice().copy_from_slice(self.as_slice());
+        out
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf(len={}, align={})", self.len, ALIGN)
+    }
+}
+
+impl PartialEq for AlignedBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_aligned_and_zeroed() {
+        for len in [1usize, 7, 64, 1023, 4096] {
+            let b = AlignedBuf::new(len);
+            assert_eq!(b.as_ptr() as usize % ALIGN, 0, "len={len}");
+            assert_eq!(b.len(), len);
+            assert!(b.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn zero_length_buffer_is_fine() {
+        let b = AlignedBuf::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.as_slice(), &[] as &[f64]);
+        let c = b.clone();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clone_copies_contents_to_new_allocation() {
+        let mut a = AlignedBuf::new(128);
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn fill_with_value_sets_everything() {
+        let mut a = AlignedBuf::new(100);
+        a.fill_with_value(3.25);
+        assert!(a.iter().all(|&x| x == 3.25));
+    }
+
+    #[test]
+    fn deref_mut_allows_slice_ops() {
+        let mut a = AlignedBuf::new(10);
+        a[9] = 1.0;
+        a.swap(0, 9);
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[9], 0.0);
+    }
+
+    #[test]
+    fn send_sync_bounds_hold() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AlignedBuf>();
+    }
+}

@@ -1,0 +1,99 @@
+//! Analytic reference solutions used for physics validation.
+
+/// Force-driven plane Poiseuille profile between no-slip walls at `y = 0`
+/// and `y = h` (continuous coordinates): `u(y) = g/(2ν) · y (h − y)`.
+pub fn poiseuille(g: f64, nu: f64, h: f64, y: f64) -> f64 {
+    g / (2.0 * nu) * y * (h - y)
+}
+
+/// Peak (centreline) Poiseuille velocity `g h² / (8ν)`.
+pub fn poiseuille_peak(g: f64, nu: f64, h: f64) -> f64 {
+    g * h * h / (8.0 * nu)
+}
+
+/// Poiseuille profile with first-order Maxwell slip `u_s = λ (du/dy)|wall`
+/// (accommodation 1): `u(y) = g/(2ν) [ y(h−y) + λ h ]`.
+///
+/// The slip term `g h λ / (2ν)` is what a kinetic (diffuse) wall adds at
+/// finite Knudsen number — the quantity the microchannel example measures.
+pub fn poiseuille_slip(g: f64, nu: f64, h: f64, lambda: f64, y: f64) -> f64 {
+    g / (2.0 * nu) * (y * (h - y) + lambda * h)
+}
+
+/// Plane Couette profile: wall at `y=0` fixed, wall at `y=h` moving with
+/// `u_w`: `u(y) = u_w · y/h`.
+pub fn couette(u_w: f64, h: f64, y: f64) -> f64 {
+    u_w * y / h
+}
+
+/// Amplitude decay factor of a Taylor–Green / shear-wave mode with
+/// wavenumbers `kx, ky` after time `t`: `exp(−ν (kx² + ky²) t)`.
+pub fn viscous_decay(nu: f64, kx: f64, ky: f64, t: f64) -> f64 {
+    (-nu * (kx * kx + ky * ky) * t).exp()
+}
+
+/// Effective viscosity inferred from the measured amplitude ratio of a mode
+/// with wavenumbers `kx, ky` over `t` steps: inverse of [`viscous_decay`].
+pub fn viscosity_from_decay(amplitude_ratio: f64, kx: f64, ky: f64, t: f64) -> f64 {
+    -amplitude_ratio.ln() / ((kx * kx + ky * ky) * t)
+}
+
+/// Womersley number `α = R √(ω/ν)` for pulsatile pipe flow (the regime
+/// parameter of the aorta example).
+pub fn womersley(radius: f64, omega: f64, nu: f64) -> f64 {
+    radius * (omega / nu).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poiseuille_is_symmetric_parabola() {
+        let (g, nu, h) = (1e-5, 0.1, 20.0);
+        assert!(poiseuille(g, nu, h, 0.0).abs() < 1e-18);
+        assert!(poiseuille(g, nu, h, h).abs() < 1e-18);
+        let quarter = poiseuille(g, nu, h, h / 4.0);
+        let mirror = poiseuille(g, nu, h, 3.0 * h / 4.0);
+        assert!((quarter - mirror).abs() < 1e-18);
+        let peak = poiseuille(g, nu, h, h / 2.0);
+        assert!((peak - poiseuille_peak(g, nu, h)).abs() < 1e-18);
+        assert!(peak > quarter);
+    }
+
+    #[test]
+    fn slip_profile_exceeds_no_slip_everywhere() {
+        let (g, nu, h, lam) = (1e-5, 0.05, 16.0, 1.5);
+        for i in 0..=16 {
+            let y = i as f64;
+            assert!(poiseuille_slip(g, nu, h, lam, y) > poiseuille(g, nu, h, y) - 1e-18);
+        }
+        // At the wall the slip velocity is g·h·λ/(2ν).
+        let ws = poiseuille_slip(g, nu, h, lam, 0.0);
+        assert!((ws - g * h * lam / (2.0 * nu)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn couette_is_linear() {
+        assert_eq!(couette(0.1, 10.0, 0.0), 0.0);
+        assert_eq!(couette(0.1, 10.0, 10.0), 0.1);
+        assert!((couette(0.1, 10.0, 5.0) - 0.05).abs() < 1e-18);
+    }
+
+    #[test]
+    fn decay_round_trip() {
+        let nu = 0.031;
+        let (kx, ky) = (0.3, 0.2);
+        let t = 175.0;
+        let ratio = viscous_decay(nu, kx, ky, t);
+        let back = viscosity_from_decay(ratio, kx, ky, t);
+        assert!((back - nu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn womersley_scales() {
+        let a = womersley(10.0, 0.01, 0.1);
+        let b = womersley(20.0, 0.01, 0.1);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

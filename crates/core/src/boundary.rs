@@ -1,0 +1,269 @@
+//! Wall boundary conditions.
+//!
+//! The paper's performance study is deliberately all-periodic (§IV); walls
+//! exist here for the *physics* examples that motivate the models:
+//! channel/microchannel flows bounded in y. Walls are realised as `k` solid
+//! layers at each y extreme of the box (k = lattice reach, so even D3Q39's
+//! (3,0,0) particles land inside solid). After each stream step the solid
+//! layers transform the populations that just arrived:
+//!
+//! * [`WallKind::BounceBack`] — full-way bounce-back: every population is
+//!   reversed and re-enters the fluid on a later step (no-slip, wall sits
+//!   half-way into the first solid layer up to the usual O(ν) correction).
+//! * [`WallKind::Moving`] — bounce-back plus the `2 w_i ρ_w (c_i·u_w)/c_s²`
+//!   momentum correction (Couette / lid-driven flows).
+//! * [`WallKind::Diffuse`] — full Maxwell diffuse reflection: arriving mass
+//!   is re-emitted as a wall-equilibrium distribution. This is the kinetic
+//!   boundary condition appropriate for finite-Knudsen microchannels, where
+//!   bounce-back's no-slip is wrong and slip emerges naturally.
+
+use crate::equilibrium::{feq_i, EqOrder};
+use crate::field::DistField;
+use crate::kernels::{KernelCtx, MAX_Q};
+
+/// What a wall does to populations that stream into it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WallKind {
+    /// Full-way bounce-back (no-slip).
+    BounceBack,
+    /// Bounce-back from a wall moving with the given velocity at density
+    /// `rho` (tangential motion only for physical sense).
+    Moving {
+        /// Wall velocity.
+        u: [f64; 3],
+        /// Wall-adjacent fluid density used in the momentum correction.
+        rho: f64,
+    },
+    /// Maxwell diffuse reflection: re-emit all arriving mass as equilibrium
+    /// at the wall velocity (full accommodation).
+    Diffuse {
+        /// Wall velocity.
+        u: [f64; 3],
+    },
+}
+
+/// A pair of y-walls bounding the fluid, realised as solid layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelWalls {
+    /// Wall at low y.
+    pub low: WallKind,
+    /// Wall at high y.
+    pub high: WallKind,
+    /// Solid layers per side (must be ≥ lattice reach).
+    pub layers: usize,
+}
+
+impl ChannelWalls {
+    /// No-slip channel with `layers` solid layers per side.
+    pub fn no_slip(layers: usize) -> Self {
+        Self {
+            low: WallKind::BounceBack,
+            high: WallKind::BounceBack,
+            layers,
+        }
+    }
+
+    /// Diffuse-reflecting (kinetic) channel at rest.
+    pub fn diffuse(layers: usize) -> Self {
+        Self {
+            low: WallKind::Diffuse { u: [0.0; 3] },
+            high: WallKind::Diffuse { u: [0.0; 3] },
+            layers,
+        }
+    }
+
+    /// Fluid y range for an allocated y extent `ny`.
+    pub fn fluid_y(&self, ny: usize) -> std::ops::Range<usize> {
+        self.layers..ny - self.layers
+    }
+
+    /// Number of fluid rows for an allocated y extent `ny`.
+    pub fn fluid_height(&self, ny: usize) -> usize {
+        ny - 2 * self.layers
+    }
+
+    /// Apply both walls to the post-stream field over planes
+    /// `x ∈ [x_lo, x_hi)`.
+    pub fn apply(&self, ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+        let ny = f.alloc_dims().ny;
+        assert!(
+            self.layers >= ctx.lat.reach(),
+            "walls need at least `reach` solid layers"
+        );
+        assert!(ny > 2 * self.layers, "no fluid rows left");
+        for layer in 0..self.layers {
+            apply_wall_row(ctx, f, self.low, layer, x_lo, x_hi);
+            apply_wall_row(ctx, f, self.high, ny - 1 - layer, x_lo, x_hi);
+        }
+    }
+}
+
+/// Transform the populations of one solid y-row.
+fn apply_wall_row(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    kind: WallKind,
+    y: usize,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    let d = f.alloc_dims();
+    let q = ctx.lat.q();
+    let cs2 = ctx.lat.cs2();
+    let mut cell = [0.0f64; MAX_Q];
+    let mut out = [0.0f64; MAX_Q];
+    for x in x_lo..x_hi {
+        for z in 0..d.nz {
+            let lin = d.idx(x, y, z);
+            f.gather_cell(lin, &mut cell[..q]);
+            match kind {
+                WallKind::BounceBack => {
+                    for i in 0..q {
+                        out[i] = cell[ctx.lat.opposite(i)];
+                    }
+                }
+                WallKind::Moving { u, rho } => {
+                    for i in 0..q {
+                        let c = ctx.lat.velocities()[i];
+                        let cu = c[0] as f64 * u[0] + c[1] as f64 * u[1] + c[2] as f64 * u[2];
+                        out[i] = cell[ctx.lat.opposite(i)]
+                            + 2.0 * ctx.lat.weights()[i] * rho * cu / cs2;
+                    }
+                }
+                WallKind::Diffuse { u } => {
+                    let mass: f64 = cell[..q].iter().sum();
+                    for (i, o) in out[..q].iter_mut().enumerate() {
+                        // feq sums to its density argument, so emitting
+                        // feq(mass, u_wall) conserves the arriving mass.
+                        *o = feq_i(&ctx.lat, EqOrder::Second, i, mass, u);
+                    }
+                }
+            }
+            f.scatter_cell(lin, &out[..q]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::index::Dim3;
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(1.0).unwrap())
+    }
+
+    fn filled_field(c: &KernelCtx, dims: Dim3) -> DistField {
+        let mut f = DistField::new(c.lat.q(), dims, 0).unwrap();
+        let mut s = 9u64;
+        for v in f.as_mut_slice() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = 0.01 + (s % 499) as f64 / 700.0;
+        }
+        f
+    }
+
+    #[test]
+    fn bounce_back_reverses_populations_and_conserves_mass() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(3, 6, 4);
+        let mut f = filled_field(&c, dims);
+        let walls = ChannelWalls::no_slip(1);
+        let before_mass: f64 = f.as_slice().iter().sum();
+        let lin = dims.idx(1, 0, 2); // a low-wall solid cell
+        let mut pre = [0.0; MAX_Q];
+        f.gather_cell(lin, &mut pre[..c.lat.q()]);
+        walls.apply(&c, &mut f, 0, dims.nx);
+        let mut post = [0.0; MAX_Q];
+        f.gather_cell(lin, &mut post[..c.lat.q()]);
+        for i in 0..c.lat.q() {
+            assert_eq!(post[i], pre[c.lat.opposite(i)], "i={i}");
+        }
+        let after_mass: f64 = f.as_slice().iter().sum();
+        assert!((before_mass - after_mass).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diffuse_wall_conserves_mass_per_cell() {
+        let c = ctx(LatticeKind::D3Q39);
+        let dims = Dim3::new(2, 8, 3);
+        let mut f = filled_field(&c, dims);
+        let walls = ChannelWalls::diffuse(3); // k = 3 for D3Q39
+        let lin = dims.idx(0, 7, 1); // top solid row
+        let mut pre = [0.0; MAX_Q];
+        f.gather_cell(lin, &mut pre[..c.lat.q()]);
+        let pre_mass: f64 = pre[..c.lat.q()].iter().sum();
+        walls.apply(&c, &mut f, 0, dims.nx);
+        let mut post = [0.0; MAX_Q];
+        f.gather_cell(lin, &mut post[..c.lat.q()]);
+        let post_mass: f64 = post[..c.lat.q()].iter().sum();
+        assert!((pre_mass - post_mass).abs() < 1e-13);
+        // And the emitted distribution carries no net tangential momentum.
+        let mx: f64 = post[..c.lat.q()]
+            .iter()
+            .zip(c.lat.velocities())
+            .map(|(f, v)| f * v[0] as f64)
+            .sum();
+        assert!(mx.abs() < 1e-13, "{mx}");
+    }
+
+    #[test]
+    fn moving_wall_injects_tangential_momentum() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(2, 5, 3);
+        let mut f = filled_field(&c, dims);
+        let uw = [0.05, 0.0, 0.0];
+        let walls = ChannelWalls {
+            low: WallKind::BounceBack,
+            high: WallKind::Moving { u: uw, rho: 1.0 },
+            layers: 1,
+        };
+        let lin = dims.idx(0, 4, 0);
+        let mut pre = [0.0; MAX_Q];
+        f.gather_cell(lin, &mut pre[..c.lat.q()]);
+        let pre_mx: f64 = pre[..c.lat.q()]
+            .iter()
+            .zip(c.lat.velocities())
+            .map(|(f, v)| f * v[0] as f64)
+            .sum();
+        walls.apply(&c, &mut f, 0, dims.nx);
+        let mut post = [0.0; MAX_Q];
+        f.gather_cell(lin, &mut post[..c.lat.q()]);
+        let post_mx: f64 = post[..c.lat.q()]
+            .iter()
+            .zip(c.lat.velocities())
+            .map(|(f, v)| f * v[0] as f64)
+            .sum();
+        // Reversal negates the momentum; the correction adds 2·ρ·u_w·Σw c_x²/cs².
+        let expect = -pre_mx + 2.0 * 1.0 * uw[0]; // Σ w_i c_x²/c_s² = 1
+        assert!((post_mx - expect).abs() < 1e-12, "{post_mx} vs {expect}");
+    }
+
+    #[test]
+    fn walls_require_enough_layers() {
+        let c = ctx(LatticeKind::D3Q39);
+        let dims = Dim3::new(2, 10, 3);
+        let mut f = filled_field(&c, dims);
+        let walls = ChannelWalls::no_slip(1); // too thin for k=3
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            walls.apply(&c, &mut f, 0, dims.nx);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn fluid_range_helpers() {
+        let w = ChannelWalls::no_slip(2);
+        assert_eq!(w.fluid_y(10), 2..8);
+        assert_eq!(w.fluid_height(10), 6);
+    }
+}

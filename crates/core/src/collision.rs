@@ -1,0 +1,186 @@
+//! BGK collision operator (paper §II) and the Guo body-force extension.
+//!
+//! The paper uses the Bhatnagar–Gross–Krook single-relaxation-time operator:
+//! `f ← f − ω Δt (f − f^eq)` with `ω = 1/τ`, giving kinematic viscosity
+//! `ν = c_s² (τ − ½)` in lattice units. The performance experiments need
+//! nothing else; the physics examples (force-driven channel and microchannel
+//! flows) additionally use Guo et al.'s second-order forcing term, which is
+//! the standard way to drive a periodic Poiseuille flow without inflow
+//! boundaries.
+
+use crate::error::{Error, Result};
+use crate::lattice::Lattice;
+
+/// BGK single-relaxation-time collision parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bgk {
+    tau: f64,
+}
+
+impl Bgk {
+    /// Create from the relaxation time `τ` (must exceed ½ for positive
+    /// viscosity and linear stability).
+    pub fn new(tau: f64) -> Result<Self> {
+        if !(tau > 0.5) || !tau.is_finite() {
+            return Err(Error::BadParameter(format!(
+                "BGK requires tau > 0.5, got {tau}"
+            )));
+        }
+        Ok(Self { tau })
+    }
+
+    /// Create from a kinematic viscosity `ν` (lattice units) on a lattice
+    /// with sound speed squared `cs2`: `τ = ν/c_s² + ½`.
+    pub fn from_viscosity(nu: f64, cs2: f64) -> Result<Self> {
+        if !(nu > 0.0) || !nu.is_finite() {
+            return Err(Error::BadParameter(format!(
+                "viscosity must be positive, got {nu}"
+            )));
+        }
+        Self::new(nu / cs2 + 0.5)
+    }
+
+    /// Relaxation time τ.
+    #[inline]
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Relaxation rate ω = 1/τ.
+    #[inline]
+    pub fn omega(&self) -> f64 {
+        1.0 / self.tau
+    }
+
+    /// Kinematic viscosity `ν = c_s²(τ − ½)` on a lattice with the given `cs2`.
+    #[inline]
+    pub fn viscosity(&self, cs2: f64) -> f64 {
+        cs2 * (self.tau - 0.5)
+    }
+}
+
+/// One BGK relaxation: `f + ω (f^eq − f)`.
+#[inline(always)]
+pub fn bgk_relax(f: f64, feq: f64, omega: f64) -> f64 {
+    f + omega * (feq - f)
+}
+
+/// A constant body force per unit mass (lattice units).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BodyForce {
+    /// Force vector.
+    pub g: [f64; 3],
+}
+
+impl BodyForce {
+    /// Force along +x (the channel-flow driver used by the examples).
+    pub fn along_x(g: f64) -> Self {
+        Self { g: [g, 0.0, 0.0] }
+    }
+
+    /// True if the force is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.g == [0.0; 3]
+    }
+}
+
+/// Guo et al. source term for velocity `i`, to be *added* to the
+/// post-collision population:
+///
+/// `S_i = (1 − ω/2) w_i [ (c−u)/c_s² + (c·u) c / c_s⁴ ] · G`
+///
+/// Used together with the half-force velocity shift
+/// `u = (Σ f c + G/2)/ρ` (see [`half_force_velocity`]).
+#[inline]
+pub fn guo_source_i(lat: &Lattice, i: usize, u: [f64; 3], g: [f64; 3], omega: f64) -> f64 {
+    let cs2 = lat.cs2();
+    let c = lat.velocities()[i];
+    let cf = [c[0] as f64, c[1] as f64, c[2] as f64];
+    let cu = cf[0] * u[0] + cf[1] * u[1] + cf[2] * u[2];
+    let mut s = 0.0;
+    for a in 0..3 {
+        s += ((cf[a] - u[a]) / cs2 + cu * cf[a] / (cs2 * cs2)) * g[a];
+    }
+    (1.0 - 0.5 * omega) * lat.weights()[i] * s
+}
+
+/// The force-shifted macroscopic velocity `u = (Σ f c + G/2) / ρ` required
+/// by the Guo scheme for second-order accuracy.
+#[inline]
+pub fn half_force_velocity(momentum: [f64; 3], rho: f64, g: [f64; 3]) -> [f64; 3] {
+    let inv = 1.0 / rho;
+    [
+        (momentum[0] + 0.5 * g[0]) * inv,
+        (momentum[1] + 0.5 * g[1]) * inv,
+        (momentum[2] + 0.5 * g[2]) * inv,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::LatticeKind;
+
+    #[test]
+    fn tau_must_exceed_half() {
+        assert!(Bgk::new(0.5).is_err());
+        assert!(Bgk::new(0.49).is_err());
+        assert!(Bgk::new(f64::NAN).is_err());
+        assert!(Bgk::new(0.51).is_ok());
+    }
+
+    #[test]
+    fn viscosity_round_trip() {
+        let cs2 = 1.0 / 3.0;
+        let b = Bgk::from_viscosity(0.02, cs2).unwrap();
+        assert!((b.viscosity(cs2) - 0.02).abs() < 1e-15);
+        assert!((b.tau() - (0.02 / cs2 + 0.5)).abs() < 1e-15);
+        assert!((b.omega() * b.tau() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relax_moves_toward_equilibrium() {
+        let f = 1.0;
+        let feq = 2.0;
+        assert!((bgk_relax(f, feq, 1.0) - feq).abs() < 1e-15); // omega=1 lands on feq
+        let half = bgk_relax(f, feq, 0.5);
+        assert!((half - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn guo_source_conserves_mass_and_injects_momentum() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let lat = Lattice::new(kind);
+            let omega = 1.25;
+            let u = [0.02, -0.01, 0.03];
+            let g = [1e-4, 2e-4, -5e-5];
+            let m0: f64 = (0..lat.q()).map(|i| guo_source_i(&lat, i, u, g, omega)).sum();
+            assert!(m0.abs() < 1e-16, "{kind:?}: mass source {m0}");
+            for a in 0..3 {
+                let m1: f64 = (0..lat.q())
+                    .map(|i| guo_source_i(&lat, i, u, g, omega) * lat.velocities()[i][a] as f64)
+                    .sum();
+                let want = (1.0 - 0.5 * omega) * g[a];
+                assert!(
+                    (m1 - want).abs() < 1e-15,
+                    "{kind:?} axis {a}: {m1} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_force_velocity_shifts_by_g_over_two_rho() {
+        let u = half_force_velocity([0.2, 0.0, 0.0], 2.0, [0.1, 0.0, 0.0]);
+        assert!((u[0] - (0.2 + 0.05) / 2.0).abs() < 1e-15);
+        assert_eq!(u[1], 0.0);
+    }
+
+    #[test]
+    fn body_force_helpers() {
+        let f = BodyForce::along_x(1e-5);
+        assert_eq!(f.g, [1e-5, 0.0, 0.0]);
+        assert!(!f.is_zero());
+        assert!(BodyForce::default().is_zero());
+    }
+}

@@ -1,0 +1,198 @@
+//! 1-D domain decomposition (paper §IV).
+//!
+//! The paper deliberately restricts the study to a cubic, periodic fluid
+//! volume decomposed along one dimension so the ghost-cell-depth analysis is
+//! not confounded by boundary handling. We mirror that: the global box is
+//! cut into contiguous x-slabs, one per rank, with left/right periodic
+//! neighbours.
+
+use crate::error::{Error, Result};
+use crate::index::Dim3;
+
+/// A 1-D (x-axis) decomposition of a global periodic box over `ranks` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decomp1d {
+    /// Global domain extents.
+    pub global: Dim3,
+    /// Number of ranks.
+    pub ranks: usize,
+}
+
+impl Decomp1d {
+    /// Create a decomposition; every rank must receive at least one plane.
+    pub fn new(global: Dim3, ranks: usize) -> Result<Self> {
+        if global.is_empty() {
+            return Err(Error::BadDimensions(format!("empty global domain {global:?}")));
+        }
+        if ranks == 0 || ranks > global.nx {
+            return Err(Error::BadDecomposition(format!(
+                "need 1..=nx ranks (nx={}, ranks={ranks})",
+                global.nx
+            )));
+        }
+        Ok(Self { global, ranks })
+    }
+
+    /// Subdomain owned by `rank` (balanced split: the first `nx % ranks`
+    /// ranks get one extra plane).
+    pub fn subdomain(&self, rank: usize) -> Subdomain {
+        assert!(rank < self.ranks, "rank {rank} out of {}", self.ranks);
+        let base = self.global.nx / self.ranks;
+        let extra = self.global.nx % self.ranks;
+        let nx = base + usize::from(rank < extra);
+        let x_start = rank * base + rank.min(extra);
+        Subdomain {
+            global: self.global,
+            rank,
+            ranks: self.ranks,
+            x_start,
+            nx,
+        }
+    }
+
+    /// All subdomains in rank order.
+    pub fn subdomains(&self) -> Vec<Subdomain> {
+        (0..self.ranks).map(|r| self.subdomain(r)).collect()
+    }
+
+    /// The paper's “lattice points per processor” ratio **R** (Table III/IV):
+    /// planes of the decomposed dimension per rank (they sweep “the size of
+    /// the dimension being partitioned” and divide by processor count).
+    pub fn points_per_rank(&self) -> f64 {
+        self.global.nx as f64 / self.ranks as f64
+    }
+}
+
+/// The contiguous x-slab of the global box owned by one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subdomain {
+    /// Global extents.
+    pub global: Dim3,
+    /// This rank.
+    pub rank: usize,
+    /// Total ranks.
+    pub ranks: usize,
+    /// First owned global x-plane.
+    pub x_start: usize,
+    /// Number of owned x-planes.
+    pub nx: usize,
+}
+
+impl Subdomain {
+    /// Owned extents as a box.
+    pub fn owned(&self) -> Dim3 {
+        Dim3::new(self.nx, self.global.ny, self.global.nz)
+    }
+
+    /// Left (lower-x) periodic neighbour rank.
+    pub fn left(&self) -> usize {
+        (self.rank + self.ranks - 1) % self.ranks
+    }
+
+    /// Right (higher-x) periodic neighbour rank.
+    pub fn right(&self) -> usize {
+        (self.rank + 1) % self.ranks
+    }
+
+    /// Global x of an allocation-local x given halo width.
+    pub fn global_x(&self, local_x: usize, halo: usize) -> usize {
+        let gx = self.x_start as isize + local_x as isize - halo as isize;
+        gx.rem_euclid(self.global.nx as isize) as usize
+    }
+
+    /// Validate a halo width: the deep-halo exchange copies the outermost
+    /// `halo` *owned* planes to the neighbour, so `halo ≤ nx` is required
+    /// (this is exactly the out-of-memory wall the paper hits at GC=4 on the
+    /// 133k D3Q19 case — too few owned planes per rank for the halo depth).
+    pub fn validate_halo(&self, halo: usize) -> Result<()> {
+        if halo == 0 {
+            return Err(Error::BadHalo("halo width must be ≥ 1".into()));
+        }
+        if halo > self.nx {
+            return Err(Error::BadHalo(format!(
+                "halo {halo} exceeds owned planes {} on rank {}",
+                self.nx, self.rank
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_split_covers_domain_exactly() {
+        for (nx, ranks) in [(16usize, 4usize), (17, 4), (19, 4), (7, 7), (100, 8)] {
+            let d = Decomp1d::new(Dim3::new(nx, 4, 4), ranks).unwrap();
+            let subs = d.subdomains();
+            let total: usize = subs.iter().map(|s| s.nx).sum();
+            assert_eq!(total, nx, "nx={nx} ranks={ranks}");
+            // Contiguous and ordered.
+            let mut next = 0;
+            for s in &subs {
+                assert_eq!(s.x_start, next);
+                next += s.nx;
+                assert!(s.nx >= nx / ranks);
+                assert!(s.nx <= nx / ranks + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_wrap_periodically() {
+        let d = Decomp1d::new(Dim3::new(12, 2, 2), 4).unwrap();
+        let s0 = d.subdomain(0);
+        let s3 = d.subdomain(3);
+        assert_eq!(s0.left(), 3);
+        assert_eq!(s0.right(), 1);
+        assert_eq!(s3.right(), 0);
+        assert_eq!(s3.left(), 2);
+    }
+
+    #[test]
+    fn single_rank_is_own_neighbour() {
+        let d = Decomp1d::new(Dim3::cube(8), 1).unwrap();
+        let s = d.subdomain(0);
+        assert_eq!(s.left(), 0);
+        assert_eq!(s.right(), 0);
+    }
+
+    #[test]
+    fn global_x_maps_halo_coordinates() {
+        let d = Decomp1d::new(Dim3::new(12, 2, 2), 3).unwrap();
+        let s = d.subdomain(1); // owns x 4..8
+        assert_eq!(s.x_start, 4);
+        // local 2 with halo 2 is the first owned plane.
+        assert_eq!(s.global_x(2, 2), 4);
+        // local 0 with halo 2 is two planes left: global 2.
+        assert_eq!(s.global_x(0, 2), 2);
+        // rank 0's left halo wraps around.
+        let s0 = d.subdomain(0);
+        assert_eq!(s0.global_x(0, 2), 10);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Decomp1d::new(Dim3::new(0, 4, 4), 1).is_err());
+        assert!(Decomp1d::new(Dim3::new(4, 4, 4), 0).is_err());
+        assert!(Decomp1d::new(Dim3::new(4, 4, 4), 5).is_err());
+    }
+
+    #[test]
+    fn halo_validation() {
+        let d = Decomp1d::new(Dim3::new(8, 2, 2), 4).unwrap();
+        let s = d.subdomain(0); // owns 2 planes
+        assert!(s.validate_halo(0).is_err());
+        assert!(s.validate_halo(1).is_ok());
+        assert!(s.validate_halo(2).is_ok());
+        assert!(s.validate_halo(3).is_err());
+    }
+
+    #[test]
+    fn points_per_rank_ratio() {
+        let d = Decomp1d::new(Dim3::new(128, 4, 4), 8).unwrap();
+        assert_eq!(d.points_per_rank(), 16.0);
+    }
+}

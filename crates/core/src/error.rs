@@ -1,0 +1,69 @@
+//! Error type shared by the core crate.
+
+use std::fmt;
+
+/// Errors produced by configuration and setup paths of the core crate.
+///
+/// Hot paths (kernels) never return `Result`; invalid geometry is rejected at
+/// construction time so the inner loops can stay branch-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A domain dimension was zero or otherwise unusable.
+    BadDimensions(String),
+    /// The decomposition does not fit the domain (e.g. more ranks than planes).
+    BadDecomposition(String),
+    /// A ghost/halo request is invalid (e.g. depth 0, or exceeds the subdomain).
+    BadHalo(String),
+    /// A physical parameter is out of range (e.g. `tau <= 0.5`).
+    BadParameter(String),
+    /// Mismatched operands (field shapes, lattice sizes, …).
+    Mismatch(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadDimensions(m) => write!(f, "bad dimensions: {m}"),
+            Error::BadDecomposition(m) => write!(f, "bad decomposition: {m}"),
+            Error::BadHalo(m) => write!(f, "bad halo: {m}"),
+            Error::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            Error::Mismatch(m) => write!(f, "mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::BadHalo("depth 0".into());
+        let s = e.to_string();
+        assert!(s.contains("bad halo"), "{s}");
+        assert!(s.contains("depth 0"), "{s}");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::BadParameter("tau".into()));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            Error::Mismatch("a".into()),
+            Error::Mismatch("a".into())
+        );
+        assert_ne!(
+            Error::Mismatch("a".into()),
+            Error::BadDimensions("a".into())
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! Distribution-function and macroscopic-field storage.
+//!
+//! [`DistField`] is the paper's *collision-optimized* layout (§IV, citing
+//! Wellein/Pohl/Rüde): a two-dimensional arrangement
+//! `f[velocity][z + y·nz + x·nz·ny]` in contiguous memory — structure of
+//! arrays with one *slab* per discrete velocity. The x-extent is enlarged by
+//! a halo of ghost planes on each side (the ghost-cell pattern of §V-A);
+//! y and z carry no halos because the decomposition is one-dimensional.
+//!
+//! Two instances form the `distr`/`distr_adv` double buffer of the paper's
+//! Fig. 2; the solver swaps them each step.
+
+use crate::align::AlignedBuf;
+use crate::error::{Error, Result};
+use crate::index::Dim3;
+
+/// Structure-of-arrays storage for the particle distribution on one rank's
+/// subdomain, halo-extended along x.
+#[derive(Debug, Clone)]
+pub struct DistField {
+    q: usize,
+    /// Allocated dims: `alloc.nx = owned.nx + 2*halo`.
+    alloc: Dim3,
+    owned_nx: usize,
+    halo: usize,
+    slab_len: usize,
+    data: AlignedBuf,
+}
+
+impl DistField {
+    /// Allocate a zeroed field for `q` velocities over `owned` lattice points
+    /// plus `halo` ghost planes on each side of the x axis.
+    pub fn new(q: usize, owned: Dim3, halo: usize) -> Result<Self> {
+        if owned.is_empty() {
+            return Err(Error::BadDimensions(format!("empty owned region {owned:?}")));
+        }
+        if q == 0 {
+            return Err(Error::BadDimensions("q == 0".into()));
+        }
+        let alloc = Dim3::new(owned.nx + 2 * halo, owned.ny, owned.nz);
+        let slab_len = alloc.len();
+        let data = AlignedBuf::new(q * slab_len);
+        Ok(Self {
+            q,
+            alloc,
+            owned_nx: owned.nx,
+            halo,
+            slab_len,
+            data,
+        })
+    }
+
+    /// Number of velocity slabs.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Halo width (lattice planes per side).
+    #[inline]
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Allocated dimensions (including halos).
+    #[inline]
+    pub fn alloc_dims(&self) -> Dim3 {
+        self.alloc
+    }
+
+    /// Owned dimensions (excluding halos).
+    #[inline]
+    pub fn owned_dims(&self) -> Dim3 {
+        Dim3::new(self.owned_nx, self.alloc.ny, self.alloc.nz)
+    }
+
+    /// Allocation-local x range of the owned region: `halo .. halo+owned_nx`.
+    #[inline]
+    pub fn owned_x(&self) -> std::ops::Range<usize> {
+        self.halo..self.halo + self.owned_nx
+    }
+
+    /// Points per slab (allocated).
+    #[inline]
+    pub fn slab_len(&self) -> usize {
+        self.slab_len
+    }
+
+    /// Linear index inside a slab for allocation-local coordinates.
+    #[inline(always)]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        self.alloc.idx(x, y, z)
+    }
+
+    /// Velocity slab `i` (read).
+    #[inline]
+    pub fn slab(&self, i: usize) -> &[f64] {
+        &self.data[i * self.slab_len..(i + 1) * self.slab_len]
+    }
+
+    /// Velocity slab `i` (write).
+    #[inline]
+    pub fn slab_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.slab_len..(i + 1) * self.slab_len]
+    }
+
+    /// All slabs as disjoint mutable slices (for per-velocity parallelism).
+    pub fn slabs_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.data.chunks_exact_mut(self.slab_len)
+    }
+
+    /// The whole backing storage (read).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The whole backing storage (write).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Raw pointer to the backing storage — used by the (audited) rayon
+    /// kernel drivers that split work into disjoint x-chunks.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+        self.data.as_mut_ptr()
+    }
+
+    /// Gather the Q populations of one cell into `out`.
+    #[inline]
+    pub fn gather_cell(&self, lin: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.q);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * self.slab_len + lin];
+        }
+    }
+
+    /// Scatter Q populations of one cell from `vals`.
+    #[inline]
+    pub fn scatter_cell(&mut self, lin: usize, vals: &[f64]) {
+        debug_assert_eq!(vals.len(), self.q);
+        for (i, v) in vals.iter().enumerate() {
+            self.data[i * self.slab_len + lin] = *v;
+        }
+    }
+
+    /// Total mass over the owned region (diagnostic; halo excluded).
+    pub fn owned_mass(&self) -> f64 {
+        let d = self.alloc;
+        let mut m = 0.0;
+        for i in 0..self.q {
+            let s = self.slab(i);
+            for x in self.owned_x() {
+                let base = d.idx(x, 0, 0);
+                m += s[base..base + d.plane()].iter().sum::<f64>();
+            }
+        }
+        m
+    }
+
+    /// Copy every owned plane and halo plane from `other` (shape must match).
+    pub fn copy_from(&mut self, other: &DistField) -> Result<()> {
+        if self.q != other.q || self.alloc != other.alloc || self.halo != other.halo {
+            return Err(Error::Mismatch("DistField shapes differ".into()));
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// Maximum absolute difference over owned regions (test/diagnostic aid).
+    pub fn max_abs_diff_owned(&self, other: &DistField) -> f64 {
+        assert_eq!(self.q, other.q);
+        assert_eq!(self.owned_dims(), other.owned_dims());
+        let mut m: f64 = 0.0;
+        let da = self.alloc;
+        let db = other.alloc;
+        for i in 0..self.q {
+            let sa = self.slab(i);
+            let sb = other.slab(i);
+            for (oa, ob) in self.owned_x().zip(other.owned_x()) {
+                let ba = da.idx(oa, 0, 0);
+                let bb = db.idx(ob, 0, 0);
+                for k in 0..da.plane() {
+                    m = m.max((sa[ba + k] - sb[bb + k]).abs());
+                }
+            }
+        }
+        m
+    }
+}
+
+/// A scalar field over a (halo-free) box — densities, error maps, images.
+#[derive(Debug, Clone)]
+pub struct ScalarField {
+    dims: Dim3,
+    data: AlignedBuf,
+}
+
+impl ScalarField {
+    /// Allocate zeroed.
+    pub fn new(dims: Dim3) -> Self {
+        Self {
+            dims,
+            data: AlignedBuf::new(dims.len()),
+        }
+    }
+
+    /// Extents.
+    #[inline]
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// Read `(x,y,z)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.data[self.dims.idx(x, y, z)]
+    }
+
+    /// Write `(x,y,z)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f64) {
+        let i = self.dims.idx(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Raw values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw values, mutable.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// A 3-component vector field over a box (velocity output).
+#[derive(Debug, Clone)]
+pub struct VectorField {
+    dims: Dim3,
+    data: AlignedBuf, // 3 consecutive component slabs
+}
+
+impl VectorField {
+    /// Allocate zeroed.
+    pub fn new(dims: Dim3) -> Self {
+        Self {
+            dims,
+            data: AlignedBuf::new(3 * dims.len()),
+        }
+    }
+
+    /// Extents.
+    #[inline]
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// Component slab `a ∈ 0..3`.
+    #[inline]
+    pub fn component(&self, a: usize) -> &[f64] {
+        let n = self.dims.len();
+        &self.data[a * n..(a + 1) * n]
+    }
+
+    /// Read the vector at `(x,y,z)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> [f64; 3] {
+        let n = self.dims.len();
+        let i = self.dims.idx(x, y, z);
+        [self.data[i], self.data[n + i], self.data[2 * n + i]]
+    }
+
+    /// Write the vector at `(x,y,z)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: [f64; 3]) {
+        let n = self.dims.len();
+        let i = self.dims.idx(x, y, z);
+        self.data[i] = v[0];
+        self.data[n + i] = v[1];
+        self.data[2 * n + i] = v[2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_shape() {
+        let f = DistField::new(19, Dim3::new(8, 4, 4), 2).unwrap();
+        assert_eq!(f.q(), 19);
+        assert_eq!(f.alloc_dims(), Dim3::new(12, 4, 4));
+        assert_eq!(f.owned_dims(), Dim3::new(8, 4, 4));
+        assert_eq!(f.owned_x(), 2..10);
+        assert_eq!(f.slab_len(), 12 * 16);
+        assert_eq!(f.as_slice().len(), 19 * 12 * 16);
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert!(DistField::new(0, Dim3::cube(4), 1).is_err());
+        assert!(DistField::new(19, Dim3::new(0, 4, 4), 1).is_err());
+    }
+
+    #[test]
+    fn slabs_are_disjoint_and_contiguous() {
+        let mut f = DistField::new(3, Dim3::cube(2), 0).unwrap();
+        f.slab_mut(1).fill(7.0);
+        assert!(f.slab(0).iter().all(|&v| v == 0.0));
+        assert!(f.slab(1).iter().all(|&v| v == 7.0));
+        assert!(f.slab(2).iter().all(|&v| v == 0.0));
+        let n: usize = f.slabs_mut().map(|s| s.len()).sum();
+        assert_eq!(n, 3 * 8);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let mut f = DistField::new(5, Dim3::cube(3), 1).unwrap();
+        let lin = f.idx(2, 1, 1);
+        let vals = [1.0, 2.0, 3.0, 4.0, 5.0];
+        f.scatter_cell(lin, &vals);
+        let mut out = [0.0; 5];
+        f.gather_cell(lin, &mut out);
+        assert_eq!(out, vals);
+    }
+
+    #[test]
+    fn owned_mass_ignores_halo() {
+        let mut f = DistField::new(1, Dim3::new(2, 2, 2), 1).unwrap();
+        // Put 1.0 in a halo plane (x=0) and 2.0 in an owned cell (x=1).
+        let h = f.idx(0, 0, 0);
+        let o = f.idx(1, 0, 0);
+        f.slab_mut(0)[h] = 1.0;
+        f.slab_mut(0)[o] = 2.0;
+        assert_eq!(f.owned_mass(), 2.0);
+    }
+
+    #[test]
+    fn copy_from_requires_same_shape() {
+        let mut a = DistField::new(2, Dim3::cube(3), 1).unwrap();
+        let b = DistField::new(2, Dim3::cube(3), 1).unwrap();
+        let c = DistField::new(2, Dim3::cube(4), 1).unwrap();
+        assert!(a.copy_from(&b).is_ok());
+        assert!(a.copy_from(&c).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_owned_sees_only_owned() {
+        let mut a = DistField::new(1, Dim3::new(2, 1, 1), 1).unwrap();
+        let mut b = DistField::new(1, Dim3::new(2, 1, 1), 1).unwrap();
+        let halo_lin = a.idx(0, 0, 0);
+        a.slab_mut(0)[halo_lin] = 100.0; // halo difference is invisible
+        assert_eq!(a.max_abs_diff_owned(&b), 0.0);
+        let lin = b.idx(1, 0, 0);
+        b.slab_mut(0)[lin] = 0.5;
+        assert_eq!(a.max_abs_diff_owned(&b), 0.5);
+    }
+
+    #[test]
+    fn scalar_and_vector_fields() {
+        let mut s = ScalarField::new(Dim3::cube(3));
+        s.set(1, 2, 0, 9.0);
+        assert_eq!(s.get(1, 2, 0), 9.0);
+        assert_eq!(s.values().len(), 27);
+
+        let mut v = VectorField::new(Dim3::cube(2));
+        v.set(1, 0, 1, [1.0, 2.0, 3.0]);
+        assert_eq!(v.get(1, 0, 1), [1.0, 2.0, 3.0]);
+        assert_eq!(v.component(2).iter().sum::<f64>(), 3.0);
+    }
+}

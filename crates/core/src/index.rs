@@ -1,0 +1,201 @@
+//! Dimension and linear-index helpers.
+//!
+//! Memory order follows the paper (§IV): within one velocity slab, the linear
+//! index is `z + y*nz + x*nz*ny` — `z` fastest, then `y`, then `x`. The 1-D
+//! domain decomposition therefore cuts along `x`, so a halo plane is one
+//! contiguous `ny*nz` run of doubles, which is what makes the paper's
+//! message aggregation (one message per neighbour carrying all velocities)
+//! cheap to pack.
+
+/// Extents of a 3-D box of lattice points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Extent along x (the decomposed axis).
+    pub nx: usize,
+    /// Extent along y.
+    pub ny: usize,
+    /// Extent along z (fastest-varying in memory).
+    pub nz: usize,
+}
+
+impl Dim3 {
+    /// Construct extents.
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { nx, ny, nz }
+    }
+
+    /// A cube of side `n`.
+    pub const fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Total number of lattice points.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when any extent is zero.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of points in one x-plane (`ny*nz`) — the halo-plane size.
+    #[inline]
+    pub const fn plane(&self) -> usize {
+        self.ny * self.nz
+    }
+
+    /// Linear index of `(x, y, z)`.
+    #[inline(always)]
+    pub const fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Inverse of [`Dim3::idx`].
+    #[inline]
+    pub const fn coords(&self, i: usize) -> (usize, usize, usize) {
+        let z = i % self.nz;
+        let r = i / self.nz;
+        let y = r % self.ny;
+        let x = r / self.ny;
+        (x, y, z)
+    }
+
+    /// Iterate all `(x, y, z)` coordinates in memory order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let d = *self;
+        (0..d.nx).flat_map(move |x| {
+            (0..d.ny).flat_map(move |y| (0..d.nz).map(move |z| (x, y, z)))
+        })
+    }
+}
+
+/// Wrap a signed offset from `i` into `[0, n)` (periodic boundary).
+///
+/// `off` may have any magnitude smaller than `n`, which covers every discrete
+/// velocity component of the supported lattices (|c| ≤ 3) for domains of at
+/// least 4 points.
+#[inline(always)]
+pub fn wrap(i: usize, off: i32, n: usize) -> usize {
+    debug_assert!(
+        n > 0 && (off.unsigned_abs() as usize) < n,
+        "offset magnitude exceeds extent"
+    );
+    let j = i as isize + off as isize;
+    let n = n as isize;
+    (((j % n) + n) % n) as usize
+}
+
+/// Precomputed periodic source-index table for a pull-stream along one axis.
+///
+/// `table[i] = wrap(i, -c, n)`: the source coordinate that streams into `i`
+/// for a velocity component `c`. Used by the branch-reduced (LoBr) kernels to
+/// replace the inner-loop `if` wrap checks of the naive kernel with a lookup,
+/// the same trick as the paper's Fig. 6 index arrays.
+#[derive(Debug, Clone)]
+pub struct WrapTable {
+    table: Vec<u32>,
+}
+
+impl WrapTable {
+    /// Build the table for axis length `n` and velocity component `c`.
+    pub fn new(n: usize, c: i32) -> Self {
+        let table = (0..n).map(|i| wrap(i, -c, n) as u32).collect();
+        Self { table }
+    }
+
+    /// Source index for destination index `i`.
+    #[inline(always)]
+    pub fn src(&self, i: usize) -> usize {
+        self.table[i] as usize
+    }
+
+    /// Length of the axis.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the axis has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_is_z_fastest() {
+        let d = Dim3::new(4, 3, 5);
+        assert_eq!(d.idx(0, 0, 0), 0);
+        assert_eq!(d.idx(0, 0, 1), 1);
+        assert_eq!(d.idx(0, 1, 0), 5);
+        assert_eq!(d.idx(1, 0, 0), 15);
+        assert_eq!(d.idx(3, 2, 4), d.len() - 1);
+    }
+
+    #[test]
+    fn coords_inverts_idx() {
+        let d = Dim3::new(3, 4, 5);
+        for i in 0..d.len() {
+            let (x, y, z) = d.coords(i);
+            assert_eq!(d.idx(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn iter_visits_memory_order() {
+        let d = Dim3::new(2, 2, 2);
+        let seq: Vec<_> = d.iter().collect();
+        assert_eq!(seq.len(), 8);
+        assert_eq!(seq[0], (0, 0, 0));
+        assert_eq!(seq[1], (0, 0, 1));
+        assert_eq!(seq[2], (0, 1, 0));
+        assert_eq!(seq[4], (1, 0, 0));
+        for (k, &(x, y, z)) in seq.iter().enumerate() {
+            assert_eq!(d.idx(x, y, z), k);
+        }
+    }
+
+    #[test]
+    fn plane_is_ny_nz() {
+        assert_eq!(Dim3::new(7, 3, 5).plane(), 15);
+    }
+
+    #[test]
+    fn wrap_handles_all_velocity_reaches() {
+        let n = 8;
+        for c in -3i32..=3 {
+            for i in 0..n {
+                let w = wrap(i, c, n);
+                assert!(w < n);
+                let expect = ((i as i32 + c).rem_euclid(n as i32)) as usize;
+                assert_eq!(w, expect, "i={i} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_table_matches_wrap() {
+        for c in -3i32..=3 {
+            let t = WrapTable::new(10, c);
+            assert_eq!(t.len(), 10);
+            for i in 0..10 {
+                assert_eq!(t.src(i), wrap(i, -c, 10));
+            }
+        }
+    }
+
+    #[test]
+    fn cube_and_len() {
+        let d = Dim3::cube(6);
+        assert_eq!(d.len(), 216);
+        assert!(!d.is_empty());
+        assert!(Dim3::new(0, 5, 5).is_empty());
+    }
+}

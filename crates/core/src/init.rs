@@ -1,0 +1,186 @@
+//! Initial conditions.
+//!
+//! All initialisers set the field to the local equilibrium of a prescribed
+//! macroscopic state — the standard LBM start that avoids initial
+//! transients beyond the physical ones.
+
+use crate::equilibrium::feq_i;
+use crate::field::DistField;
+use crate::kernels::{KernelCtx, MAX_Q};
+
+/// Set every owned and halo cell to equilibrium at `(rho, u)`.
+pub fn uniform(ctx: &KernelCtx, f: &mut DistField, rho: f64, u: [f64; 3]) {
+    let q = ctx.lat.q();
+    let mut cell = [0.0f64; MAX_Q];
+    for (i, c) in cell[..q].iter_mut().enumerate() {
+        *c = feq_i(&ctx.lat, ctx.order, i, rho, u);
+    }
+    for i in 0..q {
+        let v = cell[i];
+        f.slab_mut(i).fill(v);
+    }
+}
+
+/// Set each cell to equilibrium of a macroscopic state given by a closure of
+/// *global* coordinates (the subdomain mapping is the caller's business; the
+/// closure receives allocation-local coordinates here).
+pub fn from_macroscopic<F>(ctx: &KernelCtx, f: &mut DistField, mut state: F)
+where
+    F: FnMut(usize, usize, usize) -> (f64, [f64; 3]),
+{
+    let d = f.alloc_dims();
+    let q = ctx.lat.q();
+    let mut cell = [0.0f64; MAX_Q];
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let (rho, u) = state(x, y, z);
+                for (i, c) in cell[..q].iter_mut().enumerate() {
+                    *c = feq_i(&ctx.lat, ctx.order, i, rho, u);
+                }
+                let lin = d.idx(x, y, z);
+                f.scatter_cell(lin, &cell[..q]);
+            }
+        }
+    }
+}
+
+/// Taylor–Green-like vortex in the x–y plane (z-invariant), the classic
+/// viscosity-validation flow:
+///
+/// `u_x =  u0 · cos(κx̂) · sin(κŷ)`,
+/// `u_y = −u0 · sin(κx̂) · cos(κŷ)`, with `x̂ = 2π(x+offset_x)/n`.
+///
+/// `global_nx`/`global_ny` set the wavelength; `x_offset` maps local to
+/// global x so decomposed ranks initialise consistently.
+#[allow(clippy::too_many_arguments)]
+pub fn taylor_green(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    rho0: f64,
+    u0: f64,
+    global_nx: usize,
+    global_ny: usize,
+    x_offset: isize,
+    halo: usize,
+) {
+    let kx = 2.0 * std::f64::consts::PI / global_nx as f64;
+    let ky = 2.0 * std::f64::consts::PI / global_ny as f64;
+    from_macroscopic(ctx, f, |x, y, _z| {
+        let gx = (x as isize - halo as isize + x_offset) as f64;
+        let gy = y as f64;
+        let ux = u0 * (kx * gx).cos() * (ky * gy).sin();
+        let uy = -u0 * (kx * gx).sin() * (ky * gy).cos();
+        (rho0, [ux, uy, 0.0])
+    });
+}
+
+/// A shear wave `u_x(y) = u0 sin(2πy/ny)` whose decay rate measures ν.
+pub fn shear_wave(ctx: &KernelCtx, f: &mut DistField, rho0: f64, u0: f64, global_ny: usize) {
+    let k = 2.0 * std::f64::consts::PI / global_ny as f64;
+    from_macroscopic(ctx, f, |_x, y, _z| (rho0, [u0 * (k * y as f64).sin(), 0.0, 0.0]));
+}
+
+/// A Gaussian density pulse at the box centre (acoustic test / Fig. 1-style
+/// visual).
+pub fn density_pulse(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    rho0: f64,
+    amplitude: f64,
+    width: f64,
+) {
+    let d = f.alloc_dims();
+    let cx = d.nx as f64 / 2.0;
+    let cy = d.ny as f64 / 2.0;
+    let cz = d.nz as f64 / 2.0;
+    from_macroscopic(ctx, f, |x, y, z| {
+        let r2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2) + (z as f64 - cz).powi(2);
+        (rho0 + amplitude * (-r2 / (2.0 * width * width)).exp(), [0.0; 3])
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::lattice::LatticeKind;
+    use crate::moments::Moments;
+
+    fn ctx() -> KernelCtx {
+        KernelCtx::new(LatticeKind::D3Q19, EqOrder::Second, Bgk::new(0.8).unwrap())
+    }
+
+    #[test]
+    fn uniform_sets_exact_equilibrium_everywhere() {
+        let c = ctx();
+        let mut f = DistField::new(c.lat.q(), Dim3::cube(4), 1).unwrap();
+        uniform(&c, &mut f, 1.2, [0.01, 0.02, 0.03]);
+        let mut cell = [0.0; MAX_Q];
+        let lin = f.idx(3, 2, 1);
+        f.gather_cell(lin, &mut cell[..c.lat.q()]);
+        let m = Moments::of_cell(&c.lat, &cell[..c.lat.q()]);
+        assert!((m.rho - 1.2).abs() < 1e-13);
+        assert!((m.u[0] - 0.01).abs() < 1e-13);
+    }
+
+    #[test]
+    fn taylor_green_has_zero_net_momentum() {
+        let c = ctx();
+        let n = 8;
+        let mut f = DistField::new(c.lat.q(), Dim3::cube(n), 0).unwrap();
+        taylor_green(&c, &mut f, 1.0, 0.03, n, n, 0, 0);
+        let mut mom = [0.0f64; 3];
+        let mut cell = [0.0; MAX_Q];
+        for lin in 0..f.slab_len() {
+            f.gather_cell(lin, &mut cell[..c.lat.q()]);
+            let m = Moments::of_cell(&c.lat, &cell[..c.lat.q()]);
+            for a in 0..3 {
+                mom[a] += m.rho * m.u[a];
+            }
+        }
+        for a in 0..3 {
+            assert!(mom[a].abs() < 1e-10, "axis {a}: {}", mom[a]);
+        }
+    }
+
+    #[test]
+    fn density_pulse_peaks_at_centre() {
+        let c = ctx();
+        let n = 9;
+        let mut f = DistField::new(c.lat.q(), Dim3::cube(n), 0).unwrap();
+        density_pulse(&c, &mut f, 1.0, 0.1, 2.0);
+        let d = f.alloc_dims();
+        let mut cell = [0.0; MAX_Q];
+        f.gather_cell(d.idx(4, 4, 4), &mut cell[..c.lat.q()]);
+        let centre = Moments::of_cell(&c.lat, &cell[..c.lat.q()]).rho;
+        f.gather_cell(d.idx(0, 0, 0), &mut cell[..c.lat.q()]);
+        let corner = Moments::of_cell(&c.lat, &cell[..c.lat.q()]).rho;
+        assert!(centre > corner + 0.05, "{centre} vs {corner}");
+    }
+
+    #[test]
+    fn decomposed_taylor_green_matches_global() {
+        // Two ranks initialising with offsets must reproduce the global field.
+        let c = ctx();
+        let n = 8;
+        let mut whole = DistField::new(c.lat.q(), Dim3::cube(n), 0).unwrap();
+        taylor_green(&c, &mut whole, 1.0, 0.04, n, n, 0, 0);
+        let mut part = DistField::new(c.lat.q(), Dim3::new(4, n, n), 0).unwrap();
+        taylor_green(&c, &mut part, 1.0, 0.04, n, n, 4, 0); // right half
+        let dw = whole.alloc_dims();
+        let dp = part.alloc_dims();
+        for i in 0..c.lat.q() {
+            for x in 0..4 {
+                let a = dw.idx(x + 4, 0, 0);
+                let b = dp.idx(x, 0, 0);
+                assert_eq!(
+                    &whole.slab(i)[a..a + dw.plane()],
+                    &part.slab(i)[b..b + dp.plane()]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! `CF` — compiler-optimization analogue (paper §V-C).
+//!
+//! On Blue Gene the paper reached for XL/C's `-O5` and `qipa=2` (whole-
+//! program alias analysis, loop unrolling, scheduling). The Rust analogue is
+//! to *hand the optimizer proof*: force-inlined helpers and bounds-check-free
+//! inner loops over raw slab pointers, so LLVM sees exactly the dependence
+//! structure IPA had to discover. The arithmetic is identical to the DH rung;
+//! only the indexing discipline changes.
+//!
+//! Safety: every pointer offset is derived from the same `(slab, base, blk)`
+//! arithmetic the checked DH kernel uses, with the containment proved by the
+//! `debug_assert!`s at entry and exercised by the equivalence tests.
+
+use crate::field::DistField;
+use crate::kernels::dh::ZB;
+use crate::kernels::{KernelCtx, StreamTables};
+
+/// CF stream: the DH rotate-copy structure with unchecked row slicing.
+pub fn stream(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    let dims = src.alloc_dims();
+    debug_assert!(x_lo >= ctx.lat.reach());
+    debug_assert!(x_hi + ctx.lat.reach() <= dims.nx);
+    let nz = dims.nz;
+    let slab_len = src.slab_len();
+    for i in 0..ctx.lat.q() {
+        let c = ctx.lat.velocities()[i];
+        let (cx, cy, cz) = (c[0], c[1], c[2]);
+        let ty = tables.y_for(cy);
+        let src_slab = src.slab(i);
+        let dst_slab = dst.slab_mut(i);
+        debug_assert_eq!(src_slab.len(), slab_len);
+        for x in x_lo..x_hi {
+            let xs = (x as isize - cx as isize) as usize;
+            for y in 0..dims.ny {
+                let ys = ty.src(y);
+                let db = dims.idx(x, y, 0);
+                let sb = dims.idx(xs, ys, 0);
+                // SAFETY: db+nz ≤ slab_len and sb+nz ≤ slab_len by
+                // construction (x, xs < dims.nx; y, ys < ny; rows are whole
+                // z-lines), asserted in debug builds.
+                debug_assert!(db + nz <= slab_len && sb + nz <= slab_len);
+                let (dline, sline) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(dst_slab.as_mut_ptr().add(db), nz),
+                        std::slice::from_raw_parts(src_slab.as_ptr().add(sb), nz),
+                    )
+                };
+                if cz == 0 {
+                    dline.copy_from_slice(sline);
+                } else if cz > 0 {
+                    let m = cz as usize;
+                    dline[m..].copy_from_slice(&sline[..nz - m]);
+                    dline[..m].copy_from_slice(&sline[nz - m..]);
+                } else {
+                    let m = (-cz) as usize;
+                    dline[..nz - m].copy_from_slice(&sline[m..]);
+                    dline[nz - m..].copy_from_slice(&sline[..m]);
+                }
+            }
+        }
+    }
+}
+
+/// CF collide: DH's two-pass line-blocked update over raw slab pointers.
+pub fn collide(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    if ctx.third_order() {
+        collide_impl::<true>(ctx, f, x_lo, x_hi);
+    } else {
+        collide_impl::<false>(ctx, f, x_lo, x_hi);
+    }
+}
+
+fn collide_impl<const THIRD: bool>(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    let d = f.alloc_dims();
+    let q = ctx.lat.q();
+    let k = &ctx.consts;
+    let omega = ctx.omega;
+    let slab_len = f.slab_len();
+    debug_assert!(x_hi <= d.nx);
+    let data = f.as_mut_slice();
+    let base_ptr = data.as_mut_ptr();
+    let total = data.len();
+
+    let mut rho = [0.0f64; ZB];
+    let mut mx = [0.0f64; ZB];
+    let mut my = [0.0f64; ZB];
+    let mut mz = [0.0f64; ZB];
+    let mut ux = [0.0f64; ZB];
+    let mut uy = [0.0f64; ZB];
+    let mut uz = [0.0f64; ZB];
+    let mut u2 = [0.0f64; ZB];
+
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            let base = d.idx(x, y, 0);
+            let mut z0 = 0;
+            while z0 < d.nz {
+                let blk = (d.nz - z0).min(ZB);
+                rho[..blk].fill(0.0);
+                mx[..blk].fill(0.0);
+                my[..blk].fill(0.0);
+                mz[..blk].fill(0.0);
+                for i in 0..q {
+                    let c = k.c[i];
+                    let off = i * slab_len + base + z0;
+                    debug_assert!(off + blk <= total);
+                    // SAFETY: off+blk ≤ q*slab_len, shown by the line/block
+                    // construction; single mutable borrow held by this fn.
+                    let p = unsafe { base_ptr.add(off) };
+                    for j in 0..blk {
+                        let fv = unsafe { *p.add(j) };
+                        rho[j] += fv;
+                        mx[j] += fv * c[0];
+                        my[j] += fv * c[1];
+                        mz[j] += fv * c[2];
+                    }
+                }
+                for j in 0..blk {
+                    let inv = 1.0 / rho[j];
+                    ux[j] = mx[j] * inv;
+                    uy[j] = my[j] * inv;
+                    uz[j] = mz[j] * inv;
+                    u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
+                }
+                for i in 0..q {
+                    let c = k.c[i];
+                    let w = k.w[i];
+                    let off = i * slab_len + base + z0;
+                    debug_assert!(off + blk <= total);
+                    // SAFETY: as above.
+                    let p = unsafe { base_ptr.add(off) };
+                    for j in 0..blk {
+                        let xi = c[0] * ux[j] + c[1] * uy[j] + c[2] * uz[j];
+                        let mut poly =
+                            1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2[j] * k.inv_2cs2;
+                        if THIRD {
+                            poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
+                        }
+                        let feq = w * rho[j] * poly;
+                        // SAFETY: j < blk, in-bounds per the off+blk check.
+                        unsafe {
+                            let fv = *p.add(j);
+                            *p.add(j) = fv + omega * (feq - fv);
+                        }
+                    }
+                }
+                z0 += blk;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::kernels::dh;
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.77).unwrap())
+    }
+
+    fn random_field(q: usize, dims: Dim3, halo: usize, seed: u64) -> DistField {
+        let mut f = DistField::new(q, dims, halo).unwrap();
+        let mut state = seed | 1;
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.02 + (state % 1009) as f64 / 1700.0;
+        }
+        f
+    }
+
+    #[test]
+    fn cf_stream_bitwise_equals_dh_stream() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            let dims = Dim3::new(7, 6, 11);
+            let src = random_field(c.lat.q(), dims, k, 17);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let mut a = DistField::new(c.lat.q(), dims, k).unwrap();
+            let mut b = DistField::new(c.lat.q(), dims, k).unwrap();
+            dh::stream(&c, &tables, &src, &mut a, k, k + dims.nx);
+            stream(&c, &tables, &src, &mut b, k, k + dims.nx);
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn cf_collide_bitwise_equals_dh_collide() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(4, 5, 130); // straddles two z-blocks
+            let mut a = random_field(c.lat.q(), dims, 0, 23);
+            let mut b = a.clone();
+            dh::collide(&c, &mut a, 0, dims.nx);
+            collide(&c, &mut b, 0, dims.nx);
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Fused stream+collide — the paper's future-work direction implemented.
+//!
+//! The paper's conclusion (§VII) singles out "methods to alter the algorithm
+//! as to reduce the memory accesses per lattice update" as the way past the
+//! bandwidth wall. The classic answer is to *fuse* the two sweeps: pull the
+//! shifted populations, relax them, and store the post-collision state in a
+//! single pass. Per step this moves `2·Q·8` bytes per cell (one read, one
+//! write per velocity) instead of the split pipeline's `4·Q·8` (stream
+//! read+write, collide read+write) — halving the traffic that Table II
+//! proves is the binding constraint.
+//!
+//! The fused kernel is an *extension*, deliberately not a rung of the
+//! paper's Fig. 8 ladder; the ablation benchmark (`cargo bench -p lbm-bench
+//! kernels`) quantifies what the paper predicted.
+
+use crate::field::DistField;
+use crate::kernels::{KernelCtx, StreamTables, MAX_Q};
+
+/// z-block for the fused gather (the whole Q×ZBF tile lives on the stack:
+/// 39×64×8 B ≈ 20 KiB; larger blocks amortise the per-row gather setup).
+const ZBF: usize = 64;
+
+/// One fused LBM step over planes `x ∈ [x_lo, x_hi)`: `dst ← collide(pull(src))`.
+///
+/// Halo contract identical to [`crate::kernels::dh::stream`]: `src` must be
+/// valid on `[x_lo − k, x_hi + k)`. `src` is read-only (the double-buffer
+/// swap is the caller's, as with the split kernels).
+pub fn stream_collide(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    if ctx.third_order() {
+        fused_impl::<true>(ctx, tables, src, dst, x_lo, x_hi);
+    } else {
+        fused_impl::<false>(ctx, tables, src, dst, x_lo, x_hi);
+    }
+}
+
+fn fused_impl<const THIRD: bool>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    let d = src.alloc_dims();
+    debug_assert!(x_lo >= ctx.lat.reach());
+    debug_assert!(x_hi + ctx.lat.reach() <= d.nx);
+    let q = ctx.lat.q();
+    let k = &ctx.consts;
+    let omega = ctx.omega;
+    let nz = d.nz;
+    let slab_len = src.slab_len();
+    let vel = ctx.lat.velocities();
+
+    // Gather tile: pulled populations for one z-block, all velocities.
+    let mut fq = [[0.0f64; ZBF]; MAX_Q];
+    let mut rho = [0.0f64; ZBF];
+    let mut mx = [0.0f64; ZBF];
+    let mut my = [0.0f64; ZBF];
+    let mut mz = [0.0f64; ZBF];
+    let mut ux = [0.0f64; ZBF];
+    let mut uy = [0.0f64; ZBF];
+    let mut uz = [0.0f64; ZBF];
+    let mut u2 = [0.0f64; ZBF];
+
+    let src_data = src.as_slice();
+    let dst_data = dst.as_mut_slice();
+
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            let dbase = d.idx(x, y, 0);
+            let mut z0 = 0;
+            while z0 < nz {
+                let blk = (nz - z0).min(ZBF);
+                rho[..blk].fill(0.0);
+                mx[..blk].fill(0.0);
+                my[..blk].fill(0.0);
+                mz[..blk].fill(0.0);
+                // Pull + accumulate: for each velocity, gather the shifted
+                // z-segment as at most two contiguous copies (the rotate-copy
+                // of the optimized stream, not per-element wrap lookups) and
+                // fold it into the moments.
+                for i in 0..q {
+                    let c = vel[i];
+                    let xs = (x as isize - c[0] as isize) as usize;
+                    let ys = tables.y_for(c[1]).src(y);
+                    let srow = &src_data[i * slab_len + d.idx(xs, ys, 0)..][..nz];
+                    let line = &mut fq[i];
+                    // Source start for dst index z0: (z0 − cz) mod nz.
+                    let start = (z0 as isize - c[2] as isize).rem_euclid(nz as isize) as usize;
+                    if start + blk <= nz {
+                        line[..blk].copy_from_slice(&srow[start..start + blk]);
+                    } else {
+                        let first = nz - start;
+                        line[..first].copy_from_slice(&srow[start..]);
+                        line[first..blk].copy_from_slice(&srow[..blk - first]);
+                    }
+                    let cf = k.c[i];
+                    for j in 0..blk {
+                        let fv = line[j];
+                        rho[j] += fv;
+                        mx[j] += fv * cf[0];
+                        my[j] += fv * cf[1];
+                        mz[j] += fv * cf[2];
+                    }
+                }
+                for j in 0..blk {
+                    let inv = 1.0 / rho[j];
+                    ux[j] = mx[j] * inv;
+                    uy[j] = my[j] * inv;
+                    uz[j] = mz[j] * inv;
+                    u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
+                }
+                // Relax and store — the only write traffic of the step.
+                for i in 0..q {
+                    let cf = k.c[i];
+                    let w = k.w[i];
+                    let line = &fq[i];
+                    let out = &mut dst_data[i * slab_len + dbase + z0..i * slab_len + dbase + z0 + blk];
+                    for (j, o) in out.iter_mut().enumerate() {
+                        let xi = cf[0] * ux[j] + cf[1] * uy[j] + cf[2] * uz[j];
+                        let mut poly =
+                            1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2[j] * k.inv_2cs2;
+                        if THIRD {
+                            poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
+                        }
+                        let feq = w * rho[j] * poly;
+                        let fv = line[j];
+                        *o = fv + omega * (feq - fv);
+                    }
+                }
+                z0 += blk;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::kernels::{dh, OptLevel};
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.75).unwrap())
+    }
+
+    fn random_field(q: usize, dims: Dim3, halo: usize, seed: u64) -> DistField {
+        let mut f = DistField::new(q, dims, halo).unwrap();
+        let mut s = seed | 1;
+        for v in f.as_mut_slice() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = 0.03 + (s % 709) as f64 / 1000.0;
+        }
+        f
+    }
+
+    #[test]
+    fn fused_equals_split_stream_then_collide() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            // nz = 37 straddles a fused block boundary.
+            let dims = Dim3::new(6, 7, 37);
+            let src = random_field(c.lat.q(), dims, k, 77);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+
+            let mut split = DistField::new(c.lat.q(), dims, k).unwrap();
+            dh::stream(&c, &tables, &src, &mut split, k, k + dims.nx);
+            crate::kernels::collide(OptLevel::Dh, &c, &mut split, k, k + dims.nx);
+
+            let mut fused = DistField::new(c.lat.q(), dims, k).unwrap();
+            stream_collide(&c, &tables, &src, &mut fused, k, k + dims.nx);
+
+            assert_eq!(split.max_abs_diff_owned(&fused), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fused_respects_x_range() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(8, 6, 8);
+        let src = random_field(c.lat.q(), dims, 1, 3);
+        let tables = StreamTables::new(dims.ny, dims.nz);
+        let mut dst = DistField::new(c.lat.q(), dims, 1).unwrap();
+        let before = dst.clone();
+        stream_collide(&c, &tables, &src, &mut dst, 3, 5);
+        let d = dst.alloc_dims();
+        for i in 0..c.lat.q() {
+            for x in (1..3).chain(5..9) {
+                let b = d.idx(x, 0, 0);
+                assert_eq!(
+                    &dst.slab(i)[b..b + d.plane()],
+                    &before.slab(i)[b..b + d.plane()],
+                    "x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_is_split_invariant() {
+        let c = ctx(LatticeKind::D3Q39);
+        let dims = Dim3::new(8, 7, 9);
+        let k = c.lat.reach();
+        let src = random_field(c.lat.q(), dims, k, 21);
+        let tables = StreamTables::new(dims.ny, dims.nz);
+        let mut whole = DistField::new(c.lat.q(), dims, k).unwrap();
+        stream_collide(&c, &tables, &src, &mut whole, k, k + dims.nx);
+        let mut parts = DistField::new(c.lat.q(), dims, k).unwrap();
+        stream_collide(&c, &tables, &src, &mut parts, k, k + 3);
+        stream_collide(&c, &tables, &src, &mut parts, k + 3, k + dims.nx);
+        assert_eq!(whole.max_abs_diff_owned(&parts), 0.0);
+    }
+}

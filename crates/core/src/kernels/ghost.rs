@@ -1,0 +1,144 @@
+//! `GC` — ghost-cell kernels (paper §V-A).
+//!
+//! First rung above naive: the halo layers are now *trusted*, so the
+//! per-cell `if` wrap checks disappear from the stream — x pulls straight
+//! from the (pre-filled) ghost planes and y/z wrap through precomputed index
+//! tables. Loop order and the division-form collide are still naive; those
+//! fall to the DH rung. The measured delta Orig→GC is therefore the cost of
+//! branchy wrapping (plus, at the `lbm-sim` level, the exchange moving to
+//! the end of the time step).
+
+use crate::field::DistField;
+use crate::kernels::{naive, KernelCtx, StreamTables};
+
+/// Branch-free pull-stream over planes `x ∈ [x_lo, x_hi)`.
+///
+/// Requires `src` valid on `[x_lo − k, x_hi + k)` — i.e. halos filled (the
+/// ghost-cell contract).
+pub fn stream(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    let d = src.alloc_dims();
+    let q = ctx.lat.q();
+    let vel = ctx.lat.velocities();
+    debug_assert!(x_lo >= ctx.lat.reach(), "stream would read below plane 0");
+    debug_assert!(
+        x_hi + ctx.lat.reach() <= d.nx,
+        "stream would read past the last allocated plane"
+    );
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let t = d.idx(x, y, z);
+                for i in 0..q {
+                    let c = vel[i];
+                    let xs = (x as isize - c[0] as isize) as usize;
+                    let ys = tables.y_for(c[1]).src(y);
+                    let zs = tables.z_for(c[2]).src(z);
+                    let s = d.idx(xs, ys, zs);
+                    dst.slab_mut(i)[t] = src.slab(i)[s];
+                }
+            }
+        }
+    }
+}
+
+/// GC collide is the naive collide (re-exported for the dispatch table);
+/// the rung's collide-side improvements arrive only at DH.
+pub use naive::collide;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::{wrap, Dim3};
+    use crate::kernels::reference;
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.7).unwrap())
+    }
+
+    /// Fill a halo-extended single-rank field's ghosts by periodic wrap.
+    fn fill_halo_periodic(f: &mut DistField) {
+        let d = f.alloc_dims();
+        let h = f.halo();
+        let owned_nx = f.owned_dims().nx;
+        let plane = d.plane();
+        for i in 0..f.q() {
+            for g in 0..h {
+                // Left ghost g mirrors owned plane owned_nx-h+g (global wrap).
+                let src_x = h + wrap(0, (owned_nx - h + g) as i32, owned_nx);
+                let dst_x = g;
+                let (s, t) = (d.idx(src_x, 0, 0), d.idx(dst_x, 0, 0));
+                let slab = f.slab_mut(i);
+                slab.copy_within(s..s + plane, t);
+                // Right ghost mirrors owned plane g.
+                let src_x = h + g;
+                let dst_x = h + owned_nx + g;
+                let (s, t) = (d.idx(src_x, 0, 0), d.idx(dst_x, 0, 0));
+                let slab = f.slab_mut(i);
+                slab.copy_within(s..s + plane, t);
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_stream_equals_reference_on_periodic_box() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            let dims = Dim3::new(8, 5, 6);
+            // Reference on halo-free field.
+            let mut flat = DistField::new(c.lat.q(), dims, 0).unwrap();
+            let mut state = 123u64;
+            for v in flat.as_mut_slice() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *v = 0.1 + (state >> 33) as f64 / u32::MAX as f64;
+            }
+            let mut ref_out = DistField::new(c.lat.q(), dims, 0).unwrap();
+            reference::stream_push_periodic(&c, &flat, &mut ref_out);
+
+            // Same data in a halo-extended field.
+            let mut halod = DistField::new(c.lat.q(), dims, k).unwrap();
+            let d0 = flat.alloc_dims();
+            let d1 = halod.alloc_dims();
+            for i in 0..c.lat.q() {
+                for x in 0..dims.nx {
+                    let s = d0.idx(x, 0, 0);
+                    let t = d1.idx(x + k, 0, 0);
+                    let row = flat.slab(i)[s..s + d0.plane()].to_vec();
+                    halod.slab_mut(i)[t..t + d0.plane()].copy_from_slice(&row);
+                }
+            }
+            fill_halo_periodic(&mut halod);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let mut out = DistField::new(c.lat.q(), dims, k).unwrap();
+            stream(&c, &tables, &halod, &mut out, k, k + dims.nx);
+
+            // Compare owned regions.
+            let mut max = 0.0f64;
+            for i in 0..c.lat.q() {
+                for x in 0..dims.nx {
+                    let rs = d0.idx(x, 0, 0);
+                    let os = d1.idx(x + k, 0, 0);
+                    for j in 0..d0.plane() {
+                        max = max.max((ref_out.slab(i)[rs + j] - out.slab(i)[os + j]).abs());
+                    }
+                }
+            }
+            assert_eq!(max, 0.0, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! `LoBr` — loop restructuring and branch reduction (paper §V-D, Fig. 6).
+//!
+//! Two ideas from the paper, translated to this code base:
+//!
+//! * **Region separation.** The paper splits the x loops into the ghost-low /
+//!   interior / ghost-high groups; in `lbm-sim` the deep-halo driver already
+//!   passes those disjoint x ranges. *Within* the kernel the same idea is
+//!   applied to the y axis: the rows whose pull-source wraps around (at most
+//!   `|c_y|` at each end) are split off, so the bulk of the y loop runs with
+//!   direct `y − c_y` indexing and **zero** wrap lookups or branches.
+//! * **Branch elimination by specialization.** The paper replaces inner-loop
+//!   `if`s with precomputed index arrays. Here the moment-accumulation loop
+//!   is monomorphised per velocity-component mask, so velocities with zero
+//!   components contribute with no multiply at all and no test inside the
+//!   z loop (adding `+0.0` terms is what the other rungs do; skipping them is
+//!   bit-identical because the accumulators start at `+0.0`).
+
+use crate::field::DistField;
+use crate::kernels::dh::ZB;
+use crate::kernels::{KernelCtx, StreamTables};
+
+/// LoBr stream: rotate-copy rows with the y loop split into
+/// wrap-head / bulk / wrap-tail regions (no per-row table lookups in bulk).
+pub fn stream(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    let dims = src.alloc_dims();
+    debug_assert!(x_lo >= ctx.lat.reach());
+    debug_assert!(x_hi + ctx.lat.reach() <= dims.nx);
+    let nz = dims.nz;
+    let ny = dims.ny;
+    for i in 0..ctx.lat.q() {
+        let c = ctx.lat.velocities()[i];
+        let (cx, cy, cz) = (c[0], c[1], c[2]);
+        let src_slab = src.slab(i);
+        let dst_slab = dst.slab_mut(i);
+        // Bulk rows: ys = y - cy stays in [0, ny).
+        let bulk_lo = cy.max(0) as usize;
+        let bulk_hi = (ny as i32 + cy.min(0)) as usize;
+        let ty = tables.y_for(cy);
+        for x in x_lo..x_hi {
+            let xs = (x as isize - cx as isize) as usize;
+            // Head region (wrapping rows below bulk_lo).
+            for y in 0..bulk_lo {
+                copy_row(dst_slab, src_slab, dims, x, y, xs, ty.src(y), cz, nz);
+            }
+            // Bulk: additive row bases, no lookups, no branches.
+            let mut db = dims.idx(x, bulk_lo, 0);
+            let mut sb = dims.idx(xs, (bulk_lo as i32 - cy) as usize, 0);
+            for _y in bulk_lo..bulk_hi {
+                rotate_copy(&mut dst_slab[db..db + nz], &src_slab[sb..sb + nz], cz);
+                db += nz;
+                sb += nz;
+            }
+            // Tail region (wrapping rows at the top).
+            for y in bulk_hi..ny {
+                copy_row(dst_slab, src_slab, dims, x, y, xs, ty.src(y), cz, nz);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn copy_row(
+    dst_slab: &mut [f64],
+    src_slab: &[f64],
+    dims: crate::index::Dim3,
+    x: usize,
+    y: usize,
+    xs: usize,
+    ys: usize,
+    cz: i32,
+    nz: usize,
+) {
+    let db = dims.idx(x, y, 0);
+    let sb = dims.idx(xs, ys, 0);
+    rotate_copy(&mut dst_slab[db..db + nz], &src_slab[sb..sb + nz], cz);
+}
+
+/// `dst[z] = src[z − cz]` with periodic wrap, as at most two memcpy's.
+#[inline(always)]
+fn rotate_copy(dst: &mut [f64], src: &[f64], cz: i32) {
+    let nz = dst.len();
+    if cz == 0 {
+        dst.copy_from_slice(src);
+    } else if cz > 0 {
+        let m = cz as usize;
+        dst[m..].copy_from_slice(&src[..nz - m]);
+        dst[..m].copy_from_slice(&src[nz - m..]);
+    } else {
+        let m = (-cz) as usize;
+        dst[..nz - m].copy_from_slice(&src[m..]);
+        dst[nz - m..].copy_from_slice(&src[..m]);
+    }
+}
+
+/// LoBr collide: CF's pointer discipline plus component-mask specialization
+/// of the moment-accumulation pass.
+pub fn collide(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    if ctx.third_order() {
+        collide_impl::<true>(ctx, f, x_lo, x_hi);
+    } else {
+        collide_impl::<false>(ctx, f, x_lo, x_hi);
+    }
+}
+
+/// Accumulate one slab segment into the moment lines, compile-time
+/// specialised on which velocity components are nonzero.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn accumulate<const CX: bool, const CY: bool, const CZ: bool>(
+    p: *const f64,
+    blk: usize,
+    c: [f64; 3],
+    rho: &mut [f64; ZB],
+    mx: &mut [f64; ZB],
+    my: &mut [f64; ZB],
+    mz: &mut [f64; ZB],
+) {
+    for j in 0..blk {
+        // SAFETY: caller guarantees p..p+blk in bounds.
+        let fv = unsafe { *p.add(j) };
+        rho[j] += fv;
+        if CX {
+            mx[j] += fv * c[0];
+        }
+        if CY {
+            my[j] += fv * c[1];
+        }
+        if CZ {
+            mz[j] += fv * c[2];
+        }
+    }
+}
+
+fn collide_impl<const THIRD: bool>(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    let d = f.alloc_dims();
+    let q = ctx.lat.q();
+    let k = &ctx.consts;
+    let omega = ctx.omega;
+    let slab_len = f.slab_len();
+    let data = f.as_mut_slice();
+    let base_ptr = data.as_mut_ptr();
+    let total = data.len();
+
+    // Component masks hoisted out of all spatial loops (branch reduction).
+    let masks: Vec<(bool, bool, bool)> = k
+        .c
+        .iter()
+        .map(|c| (c[0] != 0.0, c[1] != 0.0, c[2] != 0.0))
+        .collect();
+
+    let mut rho = [0.0f64; ZB];
+    let mut mx = [0.0f64; ZB];
+    let mut my = [0.0f64; ZB];
+    let mut mz = [0.0f64; ZB];
+    let mut ux = [0.0f64; ZB];
+    let mut uy = [0.0f64; ZB];
+    let mut uz = [0.0f64; ZB];
+    let mut u2 = [0.0f64; ZB];
+
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            let base = d.idx(x, y, 0);
+            let mut z0 = 0;
+            while z0 < d.nz {
+                let blk = (d.nz - z0).min(ZB);
+                rho[..blk].fill(0.0);
+                mx[..blk].fill(0.0);
+                my[..blk].fill(0.0);
+                mz[..blk].fill(0.0);
+                for i in 0..q {
+                    let c = k.c[i];
+                    let off = i * slab_len + base + z0;
+                    debug_assert!(off + blk <= total);
+                    // SAFETY: off+blk within the allocation (see CF kernel).
+                    let p = unsafe { base_ptr.add(off) as *const f64 };
+                    // SAFETY: p..p+blk in bounds, per above.
+                    unsafe {
+                        match masks[i] {
+                            (false, false, false) => {
+                                accumulate::<false, false, false>(
+                                    p, blk, c, &mut rho, &mut mx, &mut my, &mut mz,
+                                );
+                            }
+                            (true, false, false) => {
+                                accumulate::<true, false, false>(
+                                    p, blk, c, &mut rho, &mut mx, &mut my, &mut mz,
+                                );
+                            }
+                            (false, true, false) => {
+                                accumulate::<false, true, false>(
+                                    p, blk, c, &mut rho, &mut mx, &mut my, &mut mz,
+                                );
+                            }
+                            (false, false, true) => {
+                                accumulate::<false, false, true>(
+                                    p, blk, c, &mut rho, &mut mx, &mut my, &mut mz,
+                                );
+                            }
+                            (true, true, false) => {
+                                accumulate::<true, true, false>(
+                                    p, blk, c, &mut rho, &mut mx, &mut my, &mut mz,
+                                );
+                            }
+                            (true, false, true) => {
+                                accumulate::<true, false, true>(
+                                    p, blk, c, &mut rho, &mut mx, &mut my, &mut mz,
+                                );
+                            }
+                            (false, true, true) => {
+                                accumulate::<false, true, true>(
+                                    p, blk, c, &mut rho, &mut mx, &mut my, &mut mz,
+                                );
+                            }
+                            (true, true, true) => {
+                                accumulate::<true, true, true>(
+                                    p, blk, c, &mut rho, &mut mx, &mut my, &mut mz,
+                                );
+                            }
+                        }
+                    }
+                }
+                for j in 0..blk {
+                    let inv = 1.0 / rho[j];
+                    ux[j] = mx[j] * inv;
+                    uy[j] = my[j] * inv;
+                    uz[j] = mz[j] * inv;
+                    u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
+                }
+                for i in 0..q {
+                    let c = k.c[i];
+                    let w = k.w[i];
+                    let off = i * slab_len + base + z0;
+                    debug_assert!(off + blk <= total);
+                    // SAFETY: as above.
+                    let p = unsafe { base_ptr.add(off) };
+                    for j in 0..blk {
+                        let xi = c[0] * ux[j] + c[1] * uy[j] + c[2] * uz[j];
+                        let mut poly =
+                            1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2[j] * k.inv_2cs2;
+                        if THIRD {
+                            poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
+                        }
+                        let feq = w * rho[j] * poly;
+                        // SAFETY: j < blk ≤ in-bounds run.
+                        unsafe {
+                            let fv = *p.add(j);
+                            *p.add(j) = fv + omega * (feq - fv);
+                        }
+                    }
+                }
+                z0 += blk;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::kernels::{cf, dh};
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.66).unwrap())
+    }
+
+    fn random_field(q: usize, dims: Dim3, halo: usize, seed: u64) -> DistField {
+        let mut f = DistField::new(q, dims, halo).unwrap();
+        let mut state = seed | 1;
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.03 + (state % 883) as f64 / 1100.0;
+        }
+        f
+    }
+
+    #[test]
+    fn lobr_stream_bitwise_equals_dh_stream() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            // ny barely larger than 2*reach exercises head/bulk/tail splits.
+            let dims = Dim3::new(7, 7, 8);
+            let src = random_field(c.lat.q(), dims, k, 31);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let mut a = DistField::new(c.lat.q(), dims, k).unwrap();
+            let mut b = DistField::new(c.lat.q(), dims, k).unwrap();
+            dh::stream(&c, &tables, &src, &mut a, k, k + dims.nx);
+            stream(&c, &tables, &src, &mut b, k, k + dims.nx);
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn lobr_collide_bitwise_equals_cf_collide() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(3, 4, 67);
+            let mut a = random_field(c.lat.q(), dims, 0, 13);
+            let mut b = a.clone();
+            cf::collide(&c, &mut a, 0, dims.nx);
+            collide(&c, &mut b, 0, dims.nx);
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn rotate_copy_small_cases() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut dst = [0.0; 5];
+        rotate_copy(&mut dst, &src, 0);
+        assert_eq!(dst, src);
+        rotate_copy(&mut dst, &src, 2); // dst[z] = src[z-2]
+        assert_eq!(dst, [4.0, 5.0, 1.0, 2.0, 3.0]);
+        rotate_copy(&mut dst, &src, -1); // dst[z] = src[z+1]
+        assert_eq!(dst, [2.0, 3.0, 4.0, 5.0, 1.0]);
+        rotate_copy(&mut dst, &src, -3);
+        assert_eq!(dst, [4.0, 5.0, 1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The optimization ladder of stream/collide kernels (paper §V, Fig. 8).
+//!
+//! Each rung of the paper's cumulative optimization study maps to a concrete
+//! kernel variant here (the two communication rungs change the *schedule*,
+//! not the compute kernel, and live in `lbm-sim`):
+//!
+//! | Rung    | Paper §V               | Compute kernel                      | Comm schedule (lbm-sim) |
+//! |---------|------------------------|-------------------------------------|-------------------------|
+//! | `Orig`  | naive implementation   | [`naive`] — branchy wrap, divisions | blocking, every step    |
+//! | `Gc`    | ghost cells (V-A)      | [`ghost`] — branch-free via tables  | blocking, end of step   |
+//! | `Dh`    | data handling (V-B)    | [`dh`] — slab-order stream, line-blocked collide, reciprocals | blocking, end of step |
+//! | `Cf`    | compiler opts (V-C)    | [`cf`] — bounds-check-elided, force-inlined (the Rust analogue of O5/IPA) | blocking, end of step |
+//! | `LoBr`  | loop/branch restr. (V-D)| [`lobr`] — region-split loops, hoisted index arithmetic | blocking, end of step |
+//! | `NbC`   | nonblocking comm (V-E) | [`lobr`]                            | nonblocking             |
+//! | `GcC`   | ghost-collide (V-F)    | [`lobr`]                            | overlapped (Fig. 7)     |
+//! | `Simd`  | SIMD (V-G)             | [`simd`] — AVX2+FMA collide         | overlapped (Fig. 7)     |
+//!
+//! All variants compute the *same* stream and BGK update; the naive pair is
+//! the semantic oracle (property-tested against [`reference`]); the optimized
+//! pairs must agree within floating-point reassociation tolerance.
+
+pub mod cf;
+pub mod dh;
+pub mod fused;
+pub mod ghost;
+pub mod lobr;
+pub mod naive;
+pub mod par;
+pub mod reference;
+pub mod simd;
+
+use crate::collision::Bgk;
+use crate::equilibrium::{EqConsts, EqOrder};
+use crate::field::DistField;
+use crate::index::WrapTable;
+use crate::lattice::{Lattice, LatticeKind};
+
+/// Largest velocity count across supported lattices (stack-buffer bound).
+pub const MAX_Q: usize = 39;
+
+/// The cumulative optimization levels of the paper's Fig. 8 x-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// Naive implementation (paper Fig. 2-4).
+    Orig,
+    /// + ghost cells (§V-A).
+    Gc,
+    /// + data handling: loop order, temporaries, reciprocals (§V-B).
+    Dh,
+    /// + compiler-optimization analogue: bounds-check elision, inlining (§V-C).
+    Cf,
+    /// + loop restructuring and branch reduction (§V-D).
+    LoBr,
+    /// + nonblocking communication (§V-E; schedule change only).
+    NbC,
+    /// + separate ghost-cell collide overlap (§V-F; schedule change only).
+    GcC,
+    /// + SIMD vectorization (§V-G).
+    Simd,
+}
+
+impl OptLevel {
+    /// The ladder in paper order.
+    pub const ALL: [OptLevel; 8] = [
+        OptLevel::Orig,
+        OptLevel::Gc,
+        OptLevel::Dh,
+        OptLevel::Cf,
+        OptLevel::LoBr,
+        OptLevel::NbC,
+        OptLevel::GcC,
+        OptLevel::Simd,
+    ];
+
+    /// Label as used on the paper's Fig. 8 axis.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OptLevel::Orig => "Orig",
+            OptLevel::Gc => "GC",
+            OptLevel::Dh => "DH",
+            OptLevel::Cf => "CF",
+            OptLevel::LoBr => "LoBr",
+            OptLevel::NbC => "NB-C",
+            OptLevel::GcC => "GC_C",
+            OptLevel::Simd => "SIMD",
+        }
+    }
+
+    /// Parse a Fig. 8 label (case-insensitive, `-`/`_` ignored).
+    pub fn parse(s: &str) -> Option<Self> {
+        let t: String = s
+            .trim()
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match t.as_str() {
+            "orig" => OptLevel::Orig,
+            "gc" => OptLevel::Gc,
+            "dh" => OptLevel::Dh,
+            "cf" => OptLevel::Cf,
+            "lobr" => OptLevel::LoBr,
+            "nbc" => OptLevel::NbC,
+            "gcc" => OptLevel::GcC,
+            "simd" => OptLevel::Simd,
+            _ => return None,
+        })
+    }
+
+    /// Which compute-kernel implementation this rung runs (the NB-C and GC-C
+    /// rungs reuse the LoBr kernels).
+    pub const fn kernel_class(self) -> KernelClass {
+        match self {
+            OptLevel::Orig => KernelClass::Naive,
+            OptLevel::Gc => KernelClass::Ghost,
+            OptLevel::Dh => KernelClass::Dh,
+            OptLevel::Cf => KernelClass::Cf,
+            OptLevel::LoBr | OptLevel::NbC | OptLevel::GcC => KernelClass::LoBr,
+            OptLevel::Simd => KernelClass::Simd,
+        }
+    }
+}
+
+/// Distinct compute-kernel implementations behind the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Branchy per-cell loops, division-form equilibrium.
+    Naive,
+    /// Branch-free wrap via index tables, naive collide.
+    Ghost,
+    /// Slab-ordered stream, line-blocked two-pass collide, reciprocals.
+    Dh,
+    /// Dh with bounds checks elided and helpers force-inlined.
+    Cf,
+    /// Cf with region-split loops and hoisted index arithmetic.
+    LoBr,
+    /// LoBr stream with an AVX2+FMA vectorized collide (scalar fallback).
+    Simd,
+}
+
+/// Everything a kernel invocation needs besides the fields themselves.
+#[derive(Debug, Clone)]
+pub struct KernelCtx {
+    /// The discrete velocity model.
+    pub lat: Lattice,
+    /// Precomputed equilibrium constants (reciprocal form).
+    pub consts: EqConsts,
+    /// Equilibrium truncation order.
+    pub order: EqOrder,
+    /// BGK relaxation rate ω.
+    pub omega: f64,
+}
+
+impl KernelCtx {
+    /// Build a context for `kind` with truncation `order` and collision `bgk`.
+    pub fn new(kind: LatticeKind, order: EqOrder, bgk: Bgk) -> Self {
+        let lat = Lattice::new(kind);
+        let consts = EqConsts::new(&lat);
+        Self {
+            lat,
+            consts,
+            order,
+            omega: bgk.omega(),
+        }
+    }
+
+    /// Whether the third-order equilibrium term is active.
+    #[inline]
+    pub fn third_order(&self) -> bool {
+        self.order == EqOrder::Third
+    }
+}
+
+/// Periodic wrap tables for the y and z axes, one per velocity-component
+/// offset in `-3..=3` (indexed by `c + 3`). Built once per field shape.
+#[derive(Debug, Clone)]
+pub struct StreamTables {
+    /// y-axis tables.
+    pub y: Vec<WrapTable>,
+    /// z-axis tables.
+    pub z: Vec<WrapTable>,
+}
+
+impl StreamTables {
+    /// Build tables for a field with `ny`×`nz` cross-section.
+    pub fn new(ny: usize, nz: usize) -> Self {
+        let y = (-3..=3).map(|c| WrapTable::new(ny, c)).collect();
+        let z = (-3..=3).map(|c| WrapTable::new(nz, c)).collect();
+        Self { y, z }
+    }
+
+    /// Table for y-offset `c`.
+    #[inline(always)]
+    pub fn y_for(&self, c: i32) -> &WrapTable {
+        &self.y[(c + 3) as usize]
+    }
+
+    /// Table for z-offset `c`.
+    #[inline(always)]
+    pub fn z_for(&self, c: i32) -> &WrapTable {
+        &self.z[(c + 3) as usize]
+    }
+}
+
+/// Pull-stream `dst[x] ← src[x−c]` for allocation-local planes
+/// `x ∈ [x_lo, x_hi)`, selecting the variant for `level`.
+///
+/// For every level above `Orig` the caller must guarantee that
+/// `src` is valid on `[x_lo − k, x_hi + k)` (halo filled); `Orig`
+/// additionally tolerates halo-free single-rank fields by wrapping x.
+pub fn stream(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    debug_assert!(x_hi <= dst.alloc_dims().nx);
+    match level.kernel_class() {
+        KernelClass::Naive => naive::stream(ctx, src, dst, x_lo, x_hi),
+        KernelClass::Ghost => ghost::stream(ctx, tables, src, dst, x_lo, x_hi),
+        KernelClass::Dh => dh::stream(ctx, tables, src, dst, x_lo, x_hi),
+        KernelClass::Cf | KernelClass::Simd => cf::stream(ctx, tables, src, dst, x_lo, x_hi),
+        KernelClass::LoBr => lobr::stream(ctx, tables, src, dst, x_lo, x_hi),
+    }
+}
+
+/// In-place BGK collide over planes `x ∈ [x_lo, x_hi)`, selecting the variant
+/// for `level`.
+pub fn collide(level: OptLevel, ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    debug_assert!(x_hi <= f.alloc_dims().nx);
+    match level.kernel_class() {
+        KernelClass::Naive | KernelClass::Ghost => naive::collide(ctx, f, x_lo, x_hi),
+        KernelClass::Dh => dh::collide(ctx, f, x_lo, x_hi),
+        KernelClass::Cf => cf::collide(ctx, f, x_lo, x_hi),
+        KernelClass::LoBr => lobr::collide(ctx, f, x_lo, x_hi),
+        KernelClass::Simd => simd::collide(ctx, f, x_lo, x_hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_and_names() {
+        let names: Vec<_> = OptLevel::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(
+            names,
+            ["Orig", "GC", "DH", "CF", "LoBr", "NB-C", "GC_C", "SIMD"]
+        );
+        // Cumulative: strictly ordered.
+        for w in OptLevel::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for l in OptLevel::ALL {
+            assert_eq!(OptLevel::parse(l.name()), Some(l), "{}", l.name());
+        }
+        assert_eq!(OptLevel::parse("nb-c"), Some(OptLevel::NbC));
+        assert_eq!(OptLevel::parse("gc_c"), Some(OptLevel::GcC));
+        assert_eq!(OptLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn comm_rungs_reuse_lobr_kernels() {
+        assert_eq!(OptLevel::NbC.kernel_class(), KernelClass::LoBr);
+        assert_eq!(OptLevel::GcC.kernel_class(), KernelClass::LoBr);
+        assert_eq!(OptLevel::LoBr.kernel_class(), KernelClass::LoBr);
+    }
+
+    #[test]
+    fn stream_tables_cover_all_offsets() {
+        let t = StreamTables::new(6, 9);
+        for c in -3i32..=3 {
+            assert_eq!(t.y_for(c).len(), 6);
+            assert_eq!(t.z_for(c).len(), 9);
+            assert_eq!(t.y_for(c).src(0), crate::index::wrap(0, -c, 6));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! `Orig` — the naive kernels (paper Fig. 3/4 structure, pre-optimization).
+//!
+//! Deliberately written the way the paper describes its starting point:
+//!
+//! * loop nest `x → y → z → velocity` with the velocity loop *innermost*,
+//!   so every population access strides across distant slabs (poor cache
+//!   reuse — exactly what the DH rung later fixes);
+//! * periodic wrapping decided by per-cell `if` branches (the
+//!   `boundary_conditions()` call in the paper's Fig. 3 — what LoBr later
+//!   eliminates);
+//! * macroscopic velocity and equilibrium computed with *divisions* and no
+//!   hoisted temporaries (what DH's reciprocal trick later removes);
+//! * a defensive density branch in the collide loop.
+//!
+//! Streaming is pull-form `dst[x] ← src[x−c]`, the mirror image of the
+//! paper's push — the permutation is identical (property-tested against
+//! [`crate::kernels::reference`]), and pull is what the deep-halo region
+//! bookkeeping of `lbm-sim` needs.
+
+use crate::equilibrium::feq_i;
+use crate::field::DistField;
+use crate::kernels::{KernelCtx, MAX_Q};
+
+/// Naive pull-stream over planes `x ∈ [x_lo, x_hi)`.
+///
+/// Wraps on all three axes with branches; works both on halo-free
+/// single-rank fields (branches do the periodic wrap) and on halo-filled
+/// decomposed fields (branches never fire for x).
+pub fn stream(ctx: &KernelCtx, src: &DistField, dst: &mut DistField, x_lo: usize, x_hi: usize) {
+    let d = src.alloc_dims();
+    let q = ctx.lat.q();
+    let vel = ctx.lat.velocities();
+    let (nx, ny, nz) = (d.nx as i64, d.ny as i64, d.nz as i64);
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let t = d.idx(x, y, z);
+                for i in 0..q {
+                    let c = vel[i];
+                    let mut xs = x as i64 - c[0] as i64;
+                    if xs < 0 {
+                        xs += nx;
+                    } else if xs >= nx {
+                        xs -= nx;
+                    }
+                    let mut ys = y as i64 - c[1] as i64;
+                    if ys < 0 {
+                        ys += ny;
+                    } else if ys >= ny {
+                        ys -= ny;
+                    }
+                    let mut zs = z as i64 - c[2] as i64;
+                    if zs < 0 {
+                        zs += nz;
+                    } else if zs >= nz {
+                        zs -= nz;
+                    }
+                    let s = d.idx(xs as usize, ys as usize, zs as usize);
+                    dst.slab_mut(i)[t] = src.slab(i)[s];
+                }
+            }
+        }
+    }
+}
+
+/// Naive per-cell BGK collide over planes `x ∈ [x_lo, x_hi)` (division form).
+pub fn collide(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    let d = f.alloc_dims();
+    let q = ctx.lat.q();
+    let vel = ctx.lat.velocities();
+    let mut cell = [0.0f64; MAX_Q];
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let lin = d.idx(x, y, z);
+                for (i, c) in cell[..q].iter_mut().enumerate() {
+                    *c = f.slab(i)[lin];
+                }
+                // calc_rho_and_vel(), divisions and all (paper Fig. 4).
+                let mut rho = 0.0;
+                let mut m = [0.0f64; 3];
+                for (i, fv) in cell[..q].iter().enumerate() {
+                    rho += fv;
+                    m[0] += fv * vel[i][0] as f64;
+                    m[1] += fv * vel[i][1] as f64;
+                    m[2] += fv * vel[i][2] as f64;
+                }
+                if rho <= 0.0 {
+                    continue; // defensive branch, naive-code style
+                }
+                let u = [m[0] / rho, m[1] / rho, m[2] / rho];
+                for (i, c) in cell[..q].iter_mut().enumerate() {
+                    let fe = feq_i(&ctx.lat, ctx.order, i, rho, u);
+                    *c += ctx.omega * (fe - *c);
+                }
+                for (i, c) in cell[..q].iter().enumerate() {
+                    f.slab_mut(i)[lin] = *c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::kernels::reference;
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.93).unwrap())
+    }
+
+    fn random_field(q: usize, dims: Dim3, seed: u64) -> DistField {
+        let mut f = DistField::new(q, dims, 0).unwrap();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.05 + (state % 1000) as f64 / 2000.0;
+        }
+        f
+    }
+
+    #[test]
+    fn pull_stream_matches_reference_push() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(6, 5, 7);
+            let f = random_field(c.lat.q(), dims, 42);
+            let mut a = DistField::new(c.lat.q(), dims, 0).unwrap();
+            let mut b = DistField::new(c.lat.q(), dims, 0).unwrap();
+            reference::stream_push_periodic(&c, &f, &mut a);
+            stream(&c, &f, &mut b, 0, dims.nx);
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn collide_matches_reference_bitwise() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(4, 3, 5);
+            let mut a = random_field(c.lat.q(), dims, 7);
+            let mut b = a.clone();
+            reference::collide_periodic(&c, &mut a);
+            collide(&c, &mut b, 0, dims.nx);
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn partial_range_touches_only_that_range() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(6, 4, 4);
+        let mut f = random_field(c.lat.q(), dims, 3);
+        let before = f.clone();
+        collide(&c, &mut f, 2, 4);
+        // Planes outside [2,4) must be untouched.
+        let d = f.alloc_dims();
+        for i in 0..c.lat.q() {
+            for x in (0..2).chain(4..6) {
+                for yz in 0..d.plane() {
+                    let lin = d.idx(x, 0, 0) + yz;
+                    assert_eq!(f.slab(i)[lin], before.slab(i)[lin]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Rayon-parallel kernel drivers — the intra-rank threading substrate for
+//! the paper's hybrid MPI/OpenMP experiments (§VI-B, Fig. 11).
+//!
+//! * **stream**: one task per velocity. Each task reads slab *i* of the
+//!   source and owns slab *i* of the destination exclusively
+//!   ([`DistField::slabs_mut`] hands out disjoint `&mut [f64]`) — fully safe.
+//! * **collide**: one task per x-plane chunk, running the same line-blocked
+//!   single-pass update as the serial CF/LoBr collide. Collide is purely
+//!   cell-local, so tasks partitioning the x-range write disjoint offsets of
+//!   every velocity slab; that disjointness is the safety argument for the
+//!   one raw-pointer wrapper below (the memory-traffic-doubling alternative
+//!   — a staged moment-field collide — costs ~2× on a bandwidth-bound
+//!   kernel, which is exactly what this paper is about avoiding).
+//!
+//! The parallel collide performs the identical per-cell arithmetic in the
+//! identical order as the serial DH/CF/LoBr collide, so threaded runs are
+//! bit-identical to serial runs — which is what lets the Fig. 11 experiments
+//! compare configurations on time alone.
+
+use rayon::prelude::*;
+
+use crate::field::DistField;
+use crate::kernels::dh::ZB;
+use crate::kernels::{dh, KernelCtx, StreamTables};
+
+/// Parallel pull-stream over `x ∈ [x_lo, x_hi)` (one velocity per task),
+/// using the DH rotate-copy row routine.
+pub fn stream_par(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    let dims = src.alloc_dims();
+    debug_assert!(x_lo >= ctx.lat.reach());
+    debug_assert!(x_hi + ctx.lat.reach() <= dims.nx);
+    let dst_slabs: Vec<&mut [f64]> = dst.slabs_mut().collect();
+    dst_slabs
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(i, dst_slab)| {
+            dh::stream_velocity(ctx, tables, src.slab(i), dst_slab, dims, i, x_lo, x_hi);
+        });
+}
+
+/// Shareable base pointer for the disjoint-x-chunk collide tasks.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+// SAFETY: tasks created from this pointer write only to x-plane ranges that
+// partition [x_lo, x_hi) — enforced by the chunking in `collide_par` — so no
+// two tasks touch the same element.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Parallel single-pass BGK collide over `x ∈ [x_lo, x_hi)`.
+///
+/// Bit-identical to the serial CF collide (same accumulation order, same
+/// reciprocal form, same z-blocking).
+pub fn collide_par(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    let d = f.alloc_dims();
+    debug_assert!(x_hi <= d.nx);
+    if x_lo >= x_hi {
+        return;
+    }
+    let q = ctx.lat.q();
+    let slab_len = f.slab_len();
+    let total = f.as_slice().len();
+    let third = ctx.third_order();
+    let base = SendPtr(f.as_mut_ptr());
+
+    // A few chunks per worker for load balance; at least one plane each.
+    let threads = rayon::current_num_threads().max(1);
+    let planes = x_hi - x_lo;
+    let chunks = (threads * 4).min(planes).max(1);
+    let per = planes.div_ceil(chunks);
+
+    (0..chunks).into_par_iter().for_each(|c| {
+        let lo = x_lo + c * per;
+        let hi = (lo + per).min(x_hi);
+        if lo >= hi {
+            return;
+        }
+        let p = base;
+        // SAFETY: [lo, hi) ranges partition [x_lo, x_hi); each task writes
+        // only offsets i·slab_len + idx(x,·,·) with x ∈ [lo, hi), which are
+        // disjoint between tasks; `total`/`slab_len` bound all offsets.
+        unsafe {
+            if third {
+                collide_planes::<true>(p.0, total, d, q, slab_len, ctx, lo, hi);
+            } else {
+                collide_planes::<false>(p.0, total, d, q, slab_len, ctx, lo, hi);
+            }
+        }
+    });
+}
+
+/// Line-blocked single-pass collide over `x ∈ [x_lo, x_hi)` against a raw
+/// base pointer — the body shared (structurally) with the serial CF kernel.
+///
+/// # Safety
+/// `base_ptr` must point to `total = q·slab_len` initialised doubles laid
+/// out as consecutive velocity slabs of a field with allocated dims `d`;
+/// the caller must guarantee exclusive access to the x-planes `[x_lo, x_hi)`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn collide_planes<const THIRD: bool>(
+    base_ptr: *mut f64,
+    total: usize,
+    d: crate::index::Dim3,
+    q: usize,
+    slab_len: usize,
+    ctx: &KernelCtx,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    let k = &ctx.consts;
+    let omega = ctx.omega;
+
+    let mut rho = [0.0f64; ZB];
+    let mut mx = [0.0f64; ZB];
+    let mut my = [0.0f64; ZB];
+    let mut mz = [0.0f64; ZB];
+    let mut ux = [0.0f64; ZB];
+    let mut uy = [0.0f64; ZB];
+    let mut uz = [0.0f64; ZB];
+    let mut u2 = [0.0f64; ZB];
+
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            let base = d.idx(x, y, 0);
+            let mut z0 = 0;
+            while z0 < d.nz {
+                let blk = (d.nz - z0).min(ZB);
+                rho[..blk].fill(0.0);
+                mx[..blk].fill(0.0);
+                my[..blk].fill(0.0);
+                mz[..blk].fill(0.0);
+                for i in 0..q {
+                    let c = k.c[i];
+                    let off = i * slab_len + base + z0;
+                    debug_assert!(off + blk <= total);
+                    // SAFETY: off+blk ≤ total per the layout contract.
+                    let p = unsafe { base_ptr.add(off) as *const f64 };
+                    for j in 0..blk {
+                        let fv = unsafe { *p.add(j) };
+                        rho[j] += fv;
+                        mx[j] += fv * c[0];
+                        my[j] += fv * c[1];
+                        mz[j] += fv * c[2];
+                    }
+                }
+                for j in 0..blk {
+                    let inv = 1.0 / rho[j];
+                    ux[j] = mx[j] * inv;
+                    uy[j] = my[j] * inv;
+                    uz[j] = mz[j] * inv;
+                    u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
+                }
+                for i in 0..q {
+                    let c = k.c[i];
+                    let w = k.w[i];
+                    let off = i * slab_len + base + z0;
+                    debug_assert!(off + blk <= total);
+                    // SAFETY: as above; writes stay within this task's x range.
+                    let p = unsafe { base_ptr.add(off) };
+                    for j in 0..blk {
+                        let xi = c[0] * ux[j] + c[1] * uy[j] + c[2] * uz[j];
+                        let mut poly =
+                            1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2[j] * k.inv_2cs2;
+                        if THIRD {
+                            poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
+                        }
+                        let feq = w * rho[j] * poly;
+                        unsafe {
+                            let fv = *p.add(j);
+                            *p.add(j) = fv + omega * (feq - fv);
+                        }
+                    }
+                }
+                z0 += blk;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.9).unwrap())
+    }
+
+    fn random_field(q: usize, dims: Dim3, halo: usize, seed: u64) -> DistField {
+        let mut f = DistField::new(q, dims, halo).unwrap();
+        let mut state = seed | 1;
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.02 + (state % 613) as f64 / 900.0;
+        }
+        f
+    }
+
+    #[test]
+    fn parallel_stream_bitwise_equals_serial() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            let dims = Dim3::new(8, 6, 10);
+            let src = random_field(c.lat.q(), dims, k, 41);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let mut a = DistField::new(c.lat.q(), dims, k).unwrap();
+            let mut b = DistField::new(c.lat.q(), dims, k).unwrap();
+            dh::stream(&c, &tables, &src, &mut a, k, k + dims.nx);
+            stream_par(&c, &tables, &src, &mut b, k, k + dims.nx);
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_collide_bitwise_equals_serial_cf() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(11, 5, 70); // odd plane count, partial z-block
+            let mut a = random_field(c.lat.q(), dims, 0, 29);
+            let mut b = a.clone();
+            crate::kernels::cf::collide(&c, &mut a, 0, dims.nx);
+            collide_par(&c, &mut b, 0, dims.nx);
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_collide_respects_x_range() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(6, 4, 4);
+        let mut f = random_field(c.lat.q(), dims, 0, 3);
+        let before = f.clone();
+        collide_par(&c, &mut f, 2, 4);
+        let d = f.alloc_dims();
+        for i in 0..c.lat.q() {
+            for x in (0..2).chain(4..6) {
+                let b = d.idx(x, 0, 0);
+                assert_eq!(
+                    &f.slab(i)[b..b + d.plane()],
+                    &before.slab(i)[b..b + d.plane()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_collide_handles_empty_and_single_plane() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(4, 4, 4);
+        let mut f = random_field(c.lat.q(), dims, 0, 9);
+        let before = f.clone();
+        collide_par(&c, &mut f, 2, 2); // empty
+        assert_eq!(f.max_abs_diff_owned(&before), 0.0);
+        collide_par(&c, &mut f, 1, 2); // one plane
+        let mut g = before.clone();
+        crate::kernels::cf::collide(&c, &mut g, 1, 2);
+        assert_eq!(f.max_abs_diff_owned(&g), 0.0);
+    }
+}

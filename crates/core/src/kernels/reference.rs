@@ -1,0 +1,205 @@
+//! Reference implementation: the paper's Fig. 2/3/4 pseudocode, verbatim.
+//!
+//! Push-form streaming over a *global periodic* box (no halos), followed by
+//! a per-cell BGK collide. Deliberately simple and obviously correct: this
+//! is the oracle every optimized kernel — and the whole distributed deep-halo
+//! machinery — is tested against. Never used on a hot path.
+
+use crate::equilibrium::feq_i;
+use crate::field::DistField;
+use crate::index::wrap;
+use crate::kernels::{KernelCtx, MAX_Q};
+use crate::moments::Moments;
+
+/// Push-stream the whole periodic box: `distr_adv[x+c] ← distr[x]`
+/// (paper Fig. 3). `src` and `dst` must be halo-free fields of equal shape.
+pub fn stream_push_periodic(ctx: &KernelCtx, src: &DistField, dst: &mut DistField) {
+    assert_eq!(src.halo(), 0, "reference kernel is halo-free");
+    assert_eq!(dst.halo(), 0);
+    let d = src.alloc_dims();
+    let q = ctx.lat.q();
+    let vel = ctx.lat.velocities();
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let s = d.idx(x, y, z);
+                for i in 0..q {
+                    let c = vel[i];
+                    let xa = wrap(x, c[0], d.nx);
+                    let ya = wrap(y, c[1], d.ny);
+                    let za = wrap(z, c[2], d.nz);
+                    let t = d.idx(xa, ya, za);
+                    dst.slab_mut(i)[t] = src.slab(i)[s];
+                }
+            }
+        }
+    }
+}
+
+/// Per-cell BGK collide over the whole box (paper Fig. 4).
+pub fn collide_periodic(ctx: &KernelCtx, f: &mut DistField) {
+    assert_eq!(f.halo(), 0, "reference kernel is halo-free");
+    let d = f.alloc_dims();
+    let q = ctx.lat.q();
+    let mut cell = [0.0f64; MAX_Q];
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let lin = d.idx(x, y, z);
+                f.gather_cell(lin, &mut cell[..q]);
+                let m = Moments::of_cell(&ctx.lat, &cell[..q]);
+                for (i, c) in cell[..q].iter_mut().enumerate() {
+                    let fe = feq_i(&ctx.lat, ctx.order, i, m.rho, m.u);
+                    *c += ctx.omega * (fe - *c);
+                }
+                f.scatter_cell(lin, &cell[..q]);
+            }
+        }
+    }
+}
+
+/// One full reference time step: stream into `tmp`, collide, and leave the
+/// post-collision state in `f` (swaps the buffers, like the paper's Fig. 2
+/// loop).
+pub fn step_periodic(ctx: &KernelCtx, f: &mut DistField, tmp: &mut DistField) {
+    stream_push_periodic(ctx, f, tmp);
+    collide_periodic(ctx, tmp);
+    std::mem::swap(f, tmp);
+}
+
+/// Initialise a halo-free field to equilibrium with the given density and
+/// velocity everywhere (test helper).
+pub fn fill_uniform_equilibrium(ctx: &KernelCtx, f: &mut DistField, rho: f64, u: [f64; 3]) {
+    let q = ctx.lat.q();
+    let mut cell = [0.0f64; MAX_Q];
+    for (i, c) in cell[..q].iter_mut().enumerate() {
+        *c = feq_i(&ctx.lat, ctx.order, i, rho, u);
+    }
+    let n = f.slab_len();
+    for i in 0..q {
+        f.slab_mut(i)[..n].fill(cell[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.8).unwrap())
+    }
+
+    #[test]
+    fn stream_is_a_permutation_conserving_mass() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(5, 4, 6);
+            let mut f = DistField::new(c.lat.q(), dims, 0).unwrap();
+            // Distinct values everywhere.
+            for i in 0..c.lat.q() {
+                for (j, v) in f.slab_mut(i).iter_mut().enumerate() {
+                    *v = (i * 1000 + j) as f64;
+                }
+            }
+            let mass_before: f64 = f.as_slice().iter().sum();
+            let mut g = DistField::new(c.lat.q(), dims, 0).unwrap();
+            stream_push_periodic(&c, &f, &mut g);
+            let mass_after: f64 = g.as_slice().iter().sum();
+            assert_eq!(mass_before, mass_after, "{kind:?}");
+            // Per-slab it is a permutation: sorted values match.
+            for i in 0..c.lat.q() {
+                let mut a: Vec<f64> = f.slab(i).to_vec();
+                let mut b: Vec<f64> = g.slab(i).to_vec();
+                a.sort_by(f64::total_cmp);
+                b.sort_by(f64::total_cmp);
+                assert_eq!(a, b, "{kind:?} slab {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_moves_populations_by_velocity() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(4, 4, 4);
+        let mut f = DistField::new(c.lat.q(), dims, 0).unwrap();
+        // Tag the cell (1,2,3) in every slab.
+        let lin = dims.idx(1, 2, 3);
+        for i in 0..c.lat.q() {
+            f.slab_mut(i)[lin] = (i + 1) as f64;
+        }
+        let mut g = DistField::new(c.lat.q(), dims, 0).unwrap();
+        stream_push_periodic(&c, &f, &mut g);
+        for (i, cvec) in c.lat.velocities().iter().enumerate() {
+            let t = dims.idx(
+                wrap(1, cvec[0], 4),
+                wrap(2, cvec[1], 4),
+                wrap(3, cvec[2], 4),
+            );
+            assert_eq!(g.slab(i)[t], (i + 1) as f64, "slab {i}");
+        }
+    }
+
+    #[test]
+    fn collide_conserves_mass_and_momentum() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(3, 3, 3);
+            let mut f = DistField::new(c.lat.q(), dims, 0).unwrap();
+            // Non-equilibrium, positive populations.
+            for i in 0..c.lat.q() {
+                for (j, v) in f.slab_mut(i).iter_mut().enumerate() {
+                    *v = 0.01 + ((i * 37 + j * 11) % 17) as f64 * 0.013;
+                }
+            }
+            let q = c.lat.q();
+            let mut pre = Vec::new();
+            let mut cell = [0.0; MAX_Q];
+            for lin in 0..dims.len() {
+                f.gather_cell(lin, &mut cell[..q]);
+                pre.push(Moments::of_cell(&c.lat, &cell[..q]));
+            }
+            collide_periodic(&c, &mut f);
+            for (lin, was) in pre.iter().enumerate() {
+                f.gather_cell(lin, &mut cell[..q]);
+                let now = Moments::of_cell(&c.lat, &cell[..q]);
+                assert!((now.rho - was.rho).abs() < 1e-12, "{kind:?}");
+                for a in 0..3 {
+                    assert!(
+                        (now.rho * now.u[a] - was.rho * was.u[a]).abs() < 1e-12,
+                        "{kind:?} axis {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_equilibrium_is_a_fixed_point() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::cube(4);
+            let mut f = DistField::new(c.lat.q(), dims, 0).unwrap();
+            let mut tmp = DistField::new(c.lat.q(), dims, 0).unwrap();
+            fill_uniform_equilibrium(&c, &mut f, 1.0, [0.02, 0.01, -0.03]);
+            let before = f.clone();
+            for _ in 0..3 {
+                step_periodic(&c, &mut f, &mut tmp);
+            }
+            // A uniform equilibrium streams into itself and collides to itself.
+            assert!(
+                f.max_abs_diff_owned(&before) < 1e-13,
+                "{kind:?}: {}",
+                f.max_abs_diff_owned(&before)
+            );
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! `SIMD` — explicit short-vector collide (paper §V-G).
+//!
+//! The paper hand-coded double-hummer intrinsics (BG/P) and QPX quad-word
+//! operations (BG/Q) for the collide function, on 16-byte-aligned data. The
+//! host analogue is AVX2+FMA over 4-wide `f64` lanes: four consecutive
+//! z-cells are collided at once — moment accumulation, one vector reciprocal,
+//! equilibrium polynomial, and relaxation all in vector registers with fused
+//! multiply-adds (the same `fpmadd` idea the paper invokes).
+//!
+//! Feature detection happens at runtime; without AVX2+FMA the rung falls back
+//! to the CF collide (so the crate stays portable, and the benchmark harness
+//! reports when the fallback was taken). Streaming is already a memcpy
+//! exercise after LoBr, so this rung reuses the CF/LoBr stream.
+
+use crate::field::DistField;
+use crate::kernels::{cf, KernelCtx};
+
+/// True when the vectorized path is available on this CPU.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAIL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Vectorized BGK collide over planes `x ∈ [x_lo, x_hi)`; falls back to the
+/// CF collide when AVX2+FMA is unavailable.
+pub fn collide(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_available() {
+            if ctx.third_order() {
+                // SAFETY: feature presence checked above.
+                unsafe { collide_avx2::<true>(ctx, f, x_lo, x_hi) };
+            } else {
+                // SAFETY: feature presence checked above.
+                unsafe { collide_avx2::<false>(ctx, f, x_lo, x_hi) };
+            }
+            return;
+        }
+    }
+    cf::collide(ctx, f, x_lo, x_hi);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn collide_avx2<const THIRD: bool>(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    use std::arch::x86_64::*;
+
+    const LANES: usize = 4;
+    let d = f.alloc_dims();
+    let q = ctx.lat.q();
+    let k = &ctx.consts;
+    let omega = ctx.omega;
+    let slab_len = f.slab_len();
+    let data = f.as_mut_slice();
+    let base_ptr = data.as_mut_ptr();
+    let total = data.len();
+
+    // SAFETY: all pointer offsets below are i*slab_len + base + z with
+    // z + LANES ≤ nz, hence within `total`; debug-asserted per row.
+    unsafe {
+        let v_one = _mm256_set1_pd(1.0);
+        let v_omega = _mm256_set1_pd(omega);
+        let v_inv_cs2 = _mm256_set1_pd(k.inv_cs2);
+        let v_inv_2cs4 = _mm256_set1_pd(k.inv_2cs4);
+        let v_inv_2cs2 = _mm256_set1_pd(k.inv_2cs2);
+        let v_inv_6cs6 = _mm256_set1_pd(k.inv_6cs6);
+        let v_3cs2 = _mm256_set1_pd(3.0 * k.cs2);
+
+        for x in x_lo..x_hi {
+            for y in 0..d.ny {
+                let base = d.idx(x, y, 0);
+                debug_assert!(base + d.nz <= slab_len);
+                let vec_end = d.nz - d.nz % LANES;
+                let mut z = 0;
+                while z < vec_end {
+                    let off = base + z;
+                    // Pass 1: moments.
+                    let mut vrho = _mm256_setzero_pd();
+                    let mut vmx = _mm256_setzero_pd();
+                    let mut vmy = _mm256_setzero_pd();
+                    let mut vmz = _mm256_setzero_pd();
+                    for i in 0..q {
+                        let c = k.c[i];
+                        debug_assert!(i * slab_len + off + LANES <= total);
+                        let fv = _mm256_loadu_pd(base_ptr.add(i * slab_len + off));
+                        vrho = _mm256_add_pd(vrho, fv);
+                        if c[0] != 0.0 {
+                            vmx = _mm256_fmadd_pd(fv, _mm256_set1_pd(c[0]), vmx);
+                        }
+                        if c[1] != 0.0 {
+                            vmy = _mm256_fmadd_pd(fv, _mm256_set1_pd(c[1]), vmy);
+                        }
+                        if c[2] != 0.0 {
+                            vmz = _mm256_fmadd_pd(fv, _mm256_set1_pd(c[2]), vmz);
+                        }
+                    }
+                    let vinv = _mm256_div_pd(v_one, vrho);
+                    let vux = _mm256_mul_pd(vmx, vinv);
+                    let vuy = _mm256_mul_pd(vmy, vinv);
+                    let vuz = _mm256_mul_pd(vmz, vinv);
+                    let vu2 = _mm256_fmadd_pd(
+                        vux,
+                        vux,
+                        _mm256_fmadd_pd(vuy, vuy, _mm256_mul_pd(vuz, vuz)),
+                    );
+                    // Pass 2: equilibrium + relax.
+                    for i in 0..q {
+                        let c = k.c[i];
+                        let mut vxi = _mm256_setzero_pd();
+                        if c[0] != 0.0 {
+                            vxi = _mm256_fmadd_pd(_mm256_set1_pd(c[0]), vux, vxi);
+                        }
+                        if c[1] != 0.0 {
+                            vxi = _mm256_fmadd_pd(_mm256_set1_pd(c[1]), vuy, vxi);
+                        }
+                        if c[2] != 0.0 {
+                            vxi = _mm256_fmadd_pd(_mm256_set1_pd(c[2]), vuz, vxi);
+                        }
+                        // poly = 1 + xi/cs2 + xi²/(2cs⁴) − u²/(2cs²) [+ third]
+                        let mut vpoly = _mm256_fmadd_pd(vxi, v_inv_cs2, v_one);
+                        vpoly = _mm256_fmadd_pd(_mm256_mul_pd(vxi, vxi), v_inv_2cs4, vpoly);
+                        vpoly = _mm256_fnmadd_pd(vu2, v_inv_2cs2, vpoly);
+                        if THIRD {
+                            let t = _mm256_fnmadd_pd(v_3cs2, vu2, _mm256_mul_pd(vxi, vxi));
+                            vpoly =
+                                _mm256_fmadd_pd(_mm256_mul_pd(vxi, t), v_inv_6cs6, vpoly);
+                        }
+                        let vfeq = _mm256_mul_pd(
+                            _mm256_mul_pd(_mm256_set1_pd(k.w[i]), vrho),
+                            vpoly,
+                        );
+                        let p = base_ptr.add(i * slab_len + off);
+                        let fv = _mm256_loadu_pd(p);
+                        let out = _mm256_fmadd_pd(v_omega, _mm256_sub_pd(vfeq, fv), fv);
+                        _mm256_storeu_pd(p, out);
+                    }
+                    z += LANES;
+                }
+                // Scalar tail (nz % 4 cells), reciprocal form.
+                while z < d.nz {
+                    let off = base + z;
+                    let mut rho = 0.0;
+                    let mut m = [0.0f64; 3];
+                    for i in 0..q {
+                        let c = k.c[i];
+                        let fv = *base_ptr.add(i * slab_len + off);
+                        rho += fv;
+                        m[0] += fv * c[0];
+                        m[1] += fv * c[1];
+                        m[2] += fv * c[2];
+                    }
+                    let inv = 1.0 / rho;
+                    let u = [m[0] * inv, m[1] * inv, m[2] * inv];
+                    let u2 = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+                    for i in 0..q {
+                        let c = k.c[i];
+                        let xi = c[0] * u[0] + c[1] * u[1] + c[2] * u[2];
+                        let mut poly =
+                            1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2 * k.inv_2cs2;
+                        if THIRD {
+                            poly += xi * (xi * xi - 3.0 * k.cs2 * u2) * k.inv_6cs6;
+                        }
+                        let feq = k.w[i] * rho * poly;
+                        let p = base_ptr.add(i * slab_len + off);
+                        let fv = *p;
+                        *p = fv + omega * (feq - fv);
+                    }
+                    z += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::kernels::dh;
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.85).unwrap())
+    }
+
+    fn random_field(q: usize, dims: Dim3, seed: u64) -> DistField {
+        let mut f = DistField::new(q, dims, 0).unwrap();
+        let mut state = seed | 1;
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.04 + (state % 769) as f64 / 1300.0;
+        }
+        f
+    }
+
+    #[test]
+    fn simd_collide_matches_dh_within_fma_tolerance() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            // nz = 11 forces a 3-cell scalar tail.
+            let dims = Dim3::new(4, 3, 11);
+            let mut a = random_field(c.lat.q(), dims, 71);
+            let mut b = a.clone();
+            dh::collide(&c, &mut a, 0, dims.nx);
+            collide(&c, &mut b, 0, dims.nx);
+            let diff = a.max_abs_diff_owned(&b);
+            // FMA re-rounding only: differences are a few ulps of O(1) values.
+            assert!(diff < 1e-13, "{kind:?}: {diff}");
+        }
+    }
+
+    #[test]
+    fn simd_collide_conserves_mass_exactly_enough() {
+        let c = ctx(LatticeKind::D3Q39);
+        let dims = Dim3::new(3, 3, 16);
+        let mut f = random_field(c.lat.q(), dims, 5);
+        let before = f.owned_mass();
+        collide(&c, &mut f, 0, dims.nx);
+        let after = f.owned_mass();
+        assert!(
+            (before - after).abs() < 1e-10 * before.abs(),
+            "{before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn availability_probe_is_stable() {
+        assert_eq!(simd_available(), simd_available());
+    }
+}

@@ -1,0 +1,110 @@
+//! Knudsen-number relations.
+//!
+//! The paper's motivation (§I): continuum CFD is valid for Kn ∈ [0, 0.1],
+//! where `Kn = λ/L` with λ the mean free path and L the macroscopic length.
+//! In BGK-LBM the mean free path is tied to the relaxation time; we adopt
+//! the common convention `λ = c_s (τ − ½)` (the relaxation length travelled
+//! at the sound speed), which makes `Kn = c_s (τ − ½) / L` — the same
+//! scaling used by Shan–Yuan–Chen [11] and Zhang–Shan–Chen [5] up to an
+//! O(1) constant. Regime classification follows the standard bands.
+
+use crate::error::{Error, Result};
+
+/// Flow regime by Knudsen number (standard classification; the paper's
+/// continuum limit Kn ≤ 0.1 separates `Continuum`+`Slip` from the rest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Kn < 0.001 — Navier–Stokes with no-slip walls.
+    Continuum,
+    /// 0.001 ≤ Kn < 0.1 — Navier–Stokes with slip corrections.
+    Slip,
+    /// 0.1 ≤ Kn < 10 — transition regime: beyond Navier–Stokes.
+    Transition,
+    /// Kn ≥ 10 — free molecular flow.
+    FreeMolecular,
+}
+
+/// Mean free path `λ = c_s (τ − ½)` in lattice units.
+pub fn mean_free_path(tau: f64, cs2: f64) -> f64 {
+    cs2.sqrt() * (tau - 0.5)
+}
+
+/// Knudsen number of a flow with characteristic length `l` (lattice units).
+pub fn knudsen(tau: f64, cs2: f64, l: f64) -> f64 {
+    mean_free_path(tau, cs2) / l
+}
+
+/// Relaxation time that realises Knudsen number `kn` over length `l`.
+pub fn tau_for_knudsen(kn: f64, cs2: f64, l: f64) -> Result<f64> {
+    if !(kn > 0.0) || !(l > 0.0) {
+        return Err(Error::BadParameter(format!(
+            "knudsen and length must be positive (kn={kn}, l={l})"
+        )));
+    }
+    Ok(0.5 + kn * l / cs2.sqrt())
+}
+
+/// Classify the regime for `kn`.
+pub fn regime(kn: f64) -> Regime {
+    if kn < 1e-3 {
+        Regime::Continuum
+    } else if kn < 0.1 {
+        Regime::Slip
+    } else if kn < 10.0 {
+        Regime::Transition
+    } else {
+        Regime::FreeMolecular
+    }
+}
+
+/// Whether a flow at `kn` is inside the paper's stated validity window for
+/// conventional (Navier–Stokes) models, Kn ∈ [0, 0.1].
+pub fn navier_stokes_valid(kn: f64) -> bool {
+    kn <= 0.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_knudsen_round_trip() {
+        let cs2 = 2.0 / 3.0;
+        let l = 40.0;
+        for kn in [0.01, 0.1, 0.5, 2.0] {
+            let tau = tau_for_knudsen(kn, cs2, l).unwrap();
+            assert!(tau > 0.5);
+            assert!((knudsen(tau, cs2, l) - kn).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn regime_bands() {
+        assert_eq!(regime(1e-4), Regime::Continuum);
+        assert_eq!(regime(0.01), Regime::Slip);
+        assert_eq!(regime(0.5), Regime::Transition);
+        assert_eq!(regime(50.0), Regime::FreeMolecular);
+    }
+
+    #[test]
+    fn paper_validity_window() {
+        assert!(navier_stokes_valid(0.05));
+        assert!(navier_stokes_valid(0.1));
+        assert!(!navier_stokes_valid(0.11));
+    }
+
+    #[test]
+    fn rejects_nonpositive_inputs() {
+        assert!(tau_for_knudsen(0.0, 1.0 / 3.0, 10.0).is_err());
+        assert!(tau_for_knudsen(0.1, 1.0 / 3.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn mean_free_path_scales_with_tau() {
+        let cs2 = 1.0 / 3.0;
+        assert!(mean_free_path(0.5, cs2).abs() < 1e-15);
+        let a = mean_free_path(0.6, cs2);
+        let b = mean_free_path(0.7, cs2);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! The D3Q15 lattice (conventional family, smallest 3-D member).
+//!
+//! 6 face neighbours (w = 1/9), 8 corner neighbours (w = 1/72) and the rest
+//! particle (w = 2/9), `c_s² = 1/3`. Fourth-order isotropic: supports the
+//! second-order (Navier–Stokes) equilibrium only.
+
+/// Squared speed of sound.
+pub const CS2: f64 = 1.0 / 3.0;
+/// Weight of the six face velocities.
+pub const W_FACE: f64 = 1.0 / 9.0;
+/// Weight of the eight corner velocities.
+pub const W_CORNER: f64 = 1.0 / 72.0;
+/// Weight of the rest velocity.
+pub const W_REST: f64 = 2.0 / 9.0;
+
+/// Build `(cs2, velocities, weights)` with the rest velocity last.
+pub(crate) fn tables() -> (f64, Vec<[i32; 3]>, Vec<f64>) {
+    let mut v: Vec<[i32; 3]> = Vec::with_capacity(15);
+    let mut w: Vec<f64> = Vec::with_capacity(15);
+    for a in 0..3 {
+        for s in [1i32, -1] {
+            let mut c = [0i32; 3];
+            c[a] = s;
+            v.push(c);
+            w.push(W_FACE);
+        }
+    }
+    for sx in [1i32, -1] {
+        for sy in [1i32, -1] {
+            for sz in [1i32, -1] {
+                v.push([sx, sy, sz]);
+                w.push(W_CORNER);
+            }
+        }
+    }
+    v.push([0, 0, 0]);
+    w.push(W_REST);
+    (CS2, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fifteen_velocities_weights_sum() {
+        let (_, v, w) = super::tables();
+        assert_eq!(v.len(), 15);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,77 @@
+//! The D3Q19 lattice — the paper's continuum-flow (Navier–Stokes) model.
+//!
+//! 19 velocities: 6 face neighbours (distance 1), 12 edge neighbours
+//! (distance √2) and the rest particle, with `c_s² = 1/3` and weights
+//! 1/18, 1/36, 1/3 respectively (paper Table I, left half).
+
+/// Squared speed of sound.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// Weight of the six first-neighbour (face) velocities.
+pub const W_FACE: f64 = 1.0 / 18.0;
+/// Weight of the twelve second-neighbour (edge) velocities.
+pub const W_EDGE: f64 = 1.0 / 36.0;
+/// Weight of the rest velocity.
+pub const W_REST: f64 = 1.0 / 3.0;
+
+/// Build `(cs2, velocities, weights)` with the rest velocity last.
+pub(crate) fn tables() -> (f64, Vec<[i32; 3]>, Vec<f64>) {
+    let mut v: Vec<[i32; 3]> = Vec::with_capacity(19);
+    let mut w: Vec<f64> = Vec::with_capacity(19);
+
+    // Face neighbours: permutations of (±1, 0, 0).
+    for a in 0..3 {
+        for s in [1i32, -1] {
+            let mut c = [0i32; 3];
+            c[a] = s;
+            v.push(c);
+            w.push(W_FACE);
+        }
+    }
+    // Edge neighbours: (±1, ±1, 0) over the three axis pairs.
+    for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        for sa in [1i32, -1] {
+            for sb in [1i32, -1] {
+                let mut c = [0i32; 3];
+                c[a] = sa;
+                c[b] = sb;
+                v.push(c);
+                w.push(W_EDGE);
+            }
+        }
+    }
+    // Rest velocity last (paper: "the 19th value is the lattice point itself").
+    v.push([0, 0, 0]);
+    w.push(W_REST);
+
+    (CS2, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_velocities() {
+        let (_, v, w) = tables();
+        assert_eq!(v.len(), 19);
+        assert_eq!(w.len(), 19);
+    }
+
+    #[test]
+    fn shell_populations() {
+        let (_, v, _) = tables();
+        let faces = v.iter().filter(|c| c.iter().map(|x| x * x).sum::<i32>() == 1);
+        let edges = v.iter().filter(|c| c.iter().map(|x| x * x).sum::<i32>() == 2);
+        assert_eq!(faces.count(), 6);
+        assert_eq!(edges.count(), 12);
+    }
+
+    #[test]
+    fn no_velocity_exceeds_second_neighbour() {
+        let (_, v, _) = tables();
+        assert!(v
+            .iter()
+            .all(|c| c.iter().map(|x| x * x).sum::<i32>() <= 2));
+    }
+}

@@ -1,0 +1,68 @@
+//! The D3Q27 lattice (conventional family, full first-neighbour cube).
+//!
+//! The paper's introduction notes that traditional LBM simulations use models
+//! "of up to 27 neighbors" — this is that upper member. 6 faces (2/27),
+//! 12 edges (1/54), 8 corners (1/216), rest (8/27), `c_s² = 1/3`.
+//! Despite its size it is *not* sixth-order isotropic (its Σw·c_x⁶ moment is
+//! wrong), so like D3Q15/19 it supports only the second-order equilibrium —
+//! the reason the beyond-NS extension needs the multi-speed D3Q39 instead of
+//! simply "more neighbours". This property is exercised by the Hermite tests.
+
+/// Squared speed of sound.
+pub const CS2: f64 = 1.0 / 3.0;
+/// Weight of the six face velocities.
+pub const W_FACE: f64 = 2.0 / 27.0;
+/// Weight of the twelve edge velocities.
+pub const W_EDGE: f64 = 1.0 / 54.0;
+/// Weight of the eight corner velocities.
+pub const W_CORNER: f64 = 1.0 / 216.0;
+/// Weight of the rest velocity.
+pub const W_REST: f64 = 8.0 / 27.0;
+
+/// Build `(cs2, velocities, weights)` with the rest velocity last.
+pub(crate) fn tables() -> (f64, Vec<[i32; 3]>, Vec<f64>) {
+    let mut v: Vec<[i32; 3]> = Vec::with_capacity(27);
+    let mut w: Vec<f64> = Vec::with_capacity(27);
+    for x in [-1i32, 0, 1] {
+        for y in [-1i32, 0, 1] {
+            for z in [-1i32, 0, 1] {
+                if (x, y, z) == (0, 0, 0) {
+                    continue; // rest goes last
+                }
+                v.push([x, y, z]);
+                w.push(match x * x + y * y + z * z {
+                    1 => W_FACE,
+                    2 => W_EDGE,
+                    3 => W_CORNER,
+                    _ => unreachable!(),
+                });
+            }
+        }
+    }
+    v.push([0, 0, 0]);
+    w.push(W_REST);
+    (CS2, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn twenty_seven_velocities_weights_sum() {
+        let (_, v, w) = super::tables();
+        assert_eq!(v.len(), 27);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shell_counts() {
+        let (_, v, _) = super::tables();
+        let count = |d2: i32| {
+            v.iter()
+                .filter(|c| c.iter().map(|x| x * x).sum::<i32>() == d2)
+                .count()
+        };
+        assert_eq!(count(1), 6);
+        assert_eq!(count(2), 12);
+        assert_eq!(count(3), 8);
+    }
+}

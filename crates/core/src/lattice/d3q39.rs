@@ -1,0 +1,135 @@
+//! The D3Q39 lattice — the paper's beyond-Navier-Stokes model.
+//!
+//! The 39-point, sixth-order-isotropic Gauss–Hermite quadrature of
+//! Shan, Yuan & Chen (J. Fluid Mech. 550, 2006), as used by the paper for
+//! finite-Knudsen flows. Shells (paper Table I, right half):
+//!
+//! | shell     | count | weight  | distance |
+//! |-----------|-------|---------|----------|
+//! | (0,0,0)   | 1     | 1/12    | 0        |
+//! | (1,0,0)   | 6     | 1/12    | 1        |
+//! | (1,1,1)   | 8     | 1/27    | √3       |
+//! | (2,0,0)   | 6     | 2/135   | 2        |
+//! | (2,2,0)   | 12    | 1/432¹  | 2√2      |
+//! | (3,0,0)   | 6     | 1/1620  | 3        |
+//!
+//! with `c_s² = 2/3`. ¹ The paper's Table I misprints this weight as 1/142;
+//! 1/432 is the Shan–Yuan–Chen value and the only one for which Σw = 1 and
+//! Σw·c_α c_β = c_s² δ_αβ hold (unit-tested in `lattice::mod`).
+//!
+//! Because the (3,0,0) shell moves three planes per step, the fundamental
+//! ghost-cell unit for this model is **k = 3** (see `Lattice::reach`).
+
+/// Squared speed of sound.
+pub const CS2: f64 = 2.0 / 3.0;
+
+/// Weight of the rest velocity.
+pub const W_REST: f64 = 1.0 / 12.0;
+/// Weight of the (1,0,0) shell.
+pub const W_100: f64 = 1.0 / 12.0;
+/// Weight of the (1,1,1) shell.
+pub const W_111: f64 = 1.0 / 27.0;
+/// Weight of the (2,0,0) shell.
+pub const W_200: f64 = 2.0 / 135.0;
+/// Weight of the (2,2,0) shell (paper misprint: 1/142).
+pub const W_220: f64 = 1.0 / 432.0;
+/// Weight of the (3,0,0) shell.
+pub const W_300: f64 = 1.0 / 1620.0;
+
+/// Build `(cs2, velocities, weights)` with the rest velocity last.
+pub(crate) fn tables() -> (f64, Vec<[i32; 3]>, Vec<f64>) {
+    let mut v: Vec<[i32; 3]> = Vec::with_capacity(39);
+    let mut w: Vec<f64> = Vec::with_capacity(39);
+
+    let axis_shell = |m: i32, weight: f64, v: &mut Vec<[i32; 3]>, w: &mut Vec<f64>| {
+        for a in 0..3 {
+            for s in [1i32, -1] {
+                let mut c = [0i32; 3];
+                c[a] = s * m;
+                v.push(c);
+                w.push(weight);
+            }
+        }
+    };
+
+    // (±1,0,0) — 6 velocities.
+    axis_shell(1, W_100, &mut v, &mut w);
+    // (±1,±1,±1) — 8 velocities.
+    for sx in [1i32, -1] {
+        for sy in [1i32, -1] {
+            for sz in [1i32, -1] {
+                v.push([sx, sy, sz]);
+                w.push(W_111);
+            }
+        }
+    }
+    // (±2,0,0) — 6 velocities.
+    axis_shell(2, W_200, &mut v, &mut w);
+    // (±2,±2,0) — 12 velocities over the three axis pairs.
+    for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        for sa in [1i32, -1] {
+            for sb in [1i32, -1] {
+                let mut c = [0i32; 3];
+                c[a] = 2 * sa;
+                c[b] = 2 * sb;
+                v.push(c);
+                w.push(W_220);
+            }
+        }
+    }
+    // (±3,0,0) — 6 velocities.
+    axis_shell(3, W_300, &mut v, &mut w);
+    // Rest velocity last (paper: "the 39th value is the lattice point itself").
+    v.push([0, 0, 0]);
+    w.push(W_REST);
+
+    (CS2, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_nine_velocities() {
+        let (_, v, w) = tables();
+        assert_eq!(v.len(), 39);
+        assert_eq!(w.len(), 39);
+    }
+
+    #[test]
+    fn shell_populations() {
+        let (_, v, _) = tables();
+        let count = |d2: i32| v.iter().filter(|c| c.iter().map(|x| x * x).sum::<i32>() == d2).count();
+        assert_eq!(count(0), 1);
+        assert_eq!(count(1), 6);
+        assert_eq!(count(3), 8);
+        assert_eq!(count(4), 6);
+        assert_eq!(count(8), 12);
+        assert_eq!(count(9), 6);
+    }
+
+    #[test]
+    fn max_component_is_three() {
+        let (_, v, _) = tables();
+        let m = v.iter().flat_map(|c| c.iter().map(|x| x.abs())).max();
+        assert_eq!(m, Some(3));
+    }
+
+    #[test]
+    fn fourth_moment_isotropy_axis_vs_mixed() {
+        // Σ w cx⁴ = 3 cs⁴ and Σ w cx²cy² = cs⁴ — sixth-order quadratures
+        // satisfy these exactly; a direct spot check before the generic
+        // Hermite machinery runs.
+        let (cs2, v, w) = tables();
+        let cs4 = cs2 * cs2;
+        let x4: f64 = v.iter().zip(&w).map(|(c, w)| w * (c[0] as f64).powi(4)).sum();
+        let x2y2: f64 = v
+            .iter()
+            .zip(&w)
+            .map(|(c, w)| w * (c[0] as f64).powi(2) * (c[1] as f64).powi(2))
+            .sum();
+        assert!((x4 - 3.0 * cs4).abs() < 1e-13, "{x4}");
+        assert!((x2y2 - cs4).abs() < 1e-13, "{x2y2}");
+    }
+}

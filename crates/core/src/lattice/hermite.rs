@@ -1,0 +1,198 @@
+//! Gauss–Hermite quadrature verification machinery.
+//!
+//! A discrete velocity set recovers the moments of the Maxwell–Boltzmann
+//! distribution up to order *N* exactly when its quadrature is exact for all
+//! polynomial moments of degree ≤ 2N (Shan, Yuan & Chen 2006; paper §II).
+//! The second-order equilibrium (paper Eq. 2) therefore needs fourth-order
+//! quadrature isotropy; the third-order equilibrium (paper Eq. 3) needs
+//! sixth-order — which is precisely why the extension beyond Navier–Stokes
+//! forces the jump from D3Q19 (degree-5 quadrature) to the multi-speed D3Q39
+//! (degree-7), with all its bandwidth and halo-depth consequences.
+//!
+//! This module computes discrete lattice moments, the corresponding exact
+//! Gaussian moments, and the resulting quadrature degree, so the claim above
+//! is *checked* rather than assumed.
+
+use super::Lattice;
+
+/// Exact moment `E[c_x^px · c_y^py · c_z^pz]` of an isotropic Gaussian with
+/// variance `cs2` per axis.
+///
+/// Zero when any exponent is odd; otherwise the product of per-axis
+/// double-factorial moments `(p−1)!! · cs2^{p/2}`.
+pub fn gaussian_moment(cs2: f64, powers: [usize; 3]) -> f64 {
+    let mut m = 1.0;
+    for p in powers {
+        if p % 2 == 1 {
+            return 0.0;
+        }
+        m *= double_factorial_odd(p) * cs2.powi((p / 2) as i32);
+    }
+    m
+}
+
+/// `(p−1)!!` for even `p` (1 for p=0, 1 for p=2, 3 for p=4, 15 for p=6, …).
+fn double_factorial_odd(p: usize) -> f64 {
+    let mut v = 1.0;
+    let mut k = p as i64 - 1;
+    while k > 1 {
+        v *= k as f64;
+        k -= 2;
+    }
+    v
+}
+
+/// Discrete lattice moment `Σ_i w_i · c_ix^px · c_iy^py · c_iz^pz`.
+pub fn lattice_moment(lat: &Lattice, powers: [usize; 3]) -> f64 {
+    lat.velocities()
+        .iter()
+        .zip(lat.weights())
+        .map(|(c, w)| {
+            let mut t = *w;
+            for a in 0..3 {
+                t *= (c[a] as f64).powi(powers[a] as i32);
+            }
+            t
+        })
+        .sum()
+}
+
+/// Maximum total polynomial degree `D ≤ max_degree` for which every lattice
+/// moment of degree ≤ D equals the Gaussian moment (relative tolerance
+/// `1e-11` against the moment scale).
+pub fn quadrature_degree(lat: &Lattice, max_degree: usize) -> usize {
+    let mut degree = 0;
+    for d in 1..=max_degree {
+        if degree_exact(lat, d) {
+            degree = d;
+        } else {
+            break;
+        }
+    }
+    degree
+}
+
+/// Check exactness of every moment of total degree exactly `d`.
+fn degree_exact(lat: &Lattice, d: usize) -> bool {
+    let cs2 = lat.cs2();
+    for px in 0..=d {
+        for py in 0..=(d - px) {
+            let pz = d - px - py;
+            let got = lattice_moment(lat, [px, py, pz]);
+            let want = gaussian_moment(cs2, [px, py, pz]);
+            let scale = want.abs().max(cs2.powi((d / 2) as i32)).max(1e-300);
+            if (got - want).abs() > 1e-11 * scale {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the lattice quadrature supports a Hermite equilibrium truncated
+/// at order `n` (requires quadrature degree ≥ 2n).
+pub fn supports_order(lat: &Lattice, n: usize) -> bool {
+    quadrature_degree(lat, 2 * n) >= 2 * n
+}
+
+/// Evaluate the (probabilists', `cs2`-scaled) Hermite polynomial of order
+/// `n ∈ 0..=3` in one velocity component: used to express the equilibrium as
+/// the expansion the paper's Eq. 2/3 truncates.
+///
+/// * H⁰ = 1
+/// * H¹ = c
+/// * H² = c² − cs2
+/// * H³ = c³ − 3·cs2·c
+pub fn hermite_1d(n: usize, c: f64, cs2: f64) -> f64 {
+    match n {
+        0 => 1.0,
+        1 => c,
+        2 => c * c - cs2,
+        3 => c * (c * c - 3.0 * cs2),
+        _ => panic!("hermite_1d supports orders 0..=3 (got {n})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::LatticeKind;
+
+    #[test]
+    fn gaussian_moments_reference_values() {
+        let cs2 = 0.5;
+        assert_eq!(gaussian_moment(cs2, [0, 0, 0]), 1.0);
+        assert_eq!(gaussian_moment(cs2, [1, 0, 0]), 0.0);
+        assert_eq!(gaussian_moment(cs2, [2, 0, 0]), cs2);
+        assert_eq!(gaussian_moment(cs2, [4, 0, 0]), 3.0 * cs2 * cs2);
+        assert_eq!(gaussian_moment(cs2, [2, 2, 0]), cs2 * cs2);
+        assert_eq!(gaussian_moment(cs2, [6, 0, 0]), 15.0 * cs2.powi(3));
+        assert_eq!(gaussian_moment(cs2, [4, 2, 0]), 3.0 * cs2.powi(3));
+        assert_eq!(gaussian_moment(cs2, [2, 2, 2]), cs2.powi(3));
+        assert_eq!(gaussian_moment(cs2, [3, 2, 0]), 0.0);
+    }
+
+    #[test]
+    fn conventional_lattices_are_degree_five() {
+        // All of D3Q15/19/27 satisfy fourth-order isotropy (degree-5
+        // quadrature, odd degrees vanishing by inversion symmetry) but fail
+        // at degree 6 — the structural reason "more neighbours" (D3Q27)
+        // cannot substitute for the multi-speed D3Q39.
+        assert_eq!(quadrature_degree(&Lattice::new(LatticeKind::D3Q15), 9), 5);
+        assert_eq!(quadrature_degree(&Lattice::new(LatticeKind::D3Q19), 9), 5);
+        assert_eq!(quadrature_degree(&Lattice::new(LatticeKind::D3Q27), 9), 5);
+    }
+
+    #[test]
+    fn d3q39_is_degree_seven() {
+        assert_eq!(quadrature_degree(&Lattice::new(LatticeKind::D3Q39), 9), 7);
+    }
+
+    #[test]
+    fn supports_order_matches_paper_requirements() {
+        // Paper §II: third-order truncation requires sixth-order isotropy,
+        // second-order requires fourth-order.
+        assert!(supports_order(&Lattice::new(LatticeKind::D3Q19), 2));
+        assert!(!supports_order(&Lattice::new(LatticeKind::D3Q19), 3));
+        assert!(!supports_order(&Lattice::new(LatticeKind::D3Q27), 3));
+        assert!(supports_order(&Lattice::new(LatticeKind::D3Q39), 3));
+        assert!(supports_order(&Lattice::new(LatticeKind::D3Q39), 2));
+    }
+
+    #[test]
+    fn hermite_polynomials_are_quadrature_orthogonal_on_d3q39() {
+        // Σ_i w_i H^m(c_ix) H^n(c_ix) = 0 for m≠n, m+n ≤ 6 — the property
+        // that makes the truncated expansion's coefficients independent.
+        let lat = Lattice::new(LatticeKind::D3Q39);
+        let cs2 = lat.cs2();
+        for m in 0..=3usize {
+            for n in 0..=3usize {
+                if m == n || m + n > 6 {
+                    continue;
+                }
+                let s: f64 = lat
+                    .velocities()
+                    .iter()
+                    .zip(lat.weights())
+                    .map(|(c, w)| {
+                        w * hermite_1d(m, c[0] as f64, cs2) * hermite_1d(n, c[0] as f64, cs2)
+                    })
+                    .sum();
+                assert!(s.abs() < 1e-12, "H{m}·H{n} = {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_moment_agrees_with_manual_sum() {
+        let lat = Lattice::new(LatticeKind::D3Q19);
+        // Σ w cx² directly.
+        let manual: f64 = lat
+            .velocities()
+            .iter()
+            .zip(lat.weights())
+            .map(|(c, w)| w * (c[0] * c[0]) as f64)
+            .sum();
+        assert!((lattice_moment(&lat, [2, 0, 0]) - manual).abs() < 1e-15);
+    }
+}

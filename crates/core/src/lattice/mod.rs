@@ -1,0 +1,487 @@
+//! Discrete velocity models.
+//!
+//! The paper studies two models (its Table I):
+//!
+//! * **D3Q19** — the common 19-speed cubic lattice reaching first and second
+//!   neighbours, `c_s² = 1/3`, fourth-order isotropic: sufficient for the
+//!   second-order Hermite equilibrium that recovers Navier–Stokes.
+//! * **D3Q39** — the 39-point Gauss–Hermite quadrature of Shan, Yuan & Chen,
+//!   reaching up to the fifth-nearest neighbour, `c_s² = 2/3`, sixth-order
+//!   isotropic: required by the third-order equilibrium that captures
+//!   finite-Knudsen physics beyond Navier–Stokes.
+//!
+//! D3Q15 and D3Q27 are included as well — the conventional “up to 27
+//! neighbours” family the introduction refers to — and double as negative
+//! controls in the isotropy tests (neither supports the third-order
+//! expansion).
+//!
+//! **Paper erratum handled here.** The paper's Table I prints the (2,2,0)
+//! shell weight as `1/142`; the Shan–Yuan–Chen value is `1/432`, and only the
+//! latter makes the weights sum to 1 and reproduces `c_s² = 2/3` second
+//! moments. We use `1/432` (verified by `weights_*` unit tests and the
+//! Hermite isotropy checks).
+//!
+//! **Ordering convention.** Following the paper (“the 19th and 39th values
+//! are for the lattice point itself”), the rest velocity is stored **last**.
+
+pub mod d3q15;
+pub mod d3q19;
+pub mod d3q27;
+pub mod d3q39;
+pub mod hermite;
+
+use crate::equilibrium::EqOrder;
+
+/// Identifies one of the supported discrete velocity models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatticeKind {
+    /// 15-velocity cubic lattice (conventional).
+    D3Q15,
+    /// 19-velocity cubic lattice (the paper's continuum-flow model).
+    D3Q19,
+    /// 27-velocity cubic lattice (conventional, full first-neighbour cube).
+    D3Q27,
+    /// 39-velocity Gauss–Hermite lattice (the paper's beyond-Navier-Stokes model).
+    D3Q39,
+}
+
+impl LatticeKind {
+    /// All supported kinds, for sweeps and tests.
+    pub const ALL: [LatticeKind; 4] = [
+        LatticeKind::D3Q15,
+        LatticeKind::D3Q19,
+        LatticeKind::D3Q27,
+        LatticeKind::D3Q39,
+    ];
+
+    /// Human-readable name (`"D3Q19"` …).
+    pub const fn name(self) -> &'static str {
+        match self {
+            LatticeKind::D3Q15 => "D3Q15",
+            LatticeKind::D3Q19 => "D3Q19",
+            LatticeKind::D3Q27 => "D3Q27",
+            LatticeKind::D3Q39 => "D3Q39",
+        }
+    }
+
+    /// Number of discrete velocities.
+    pub const fn q(self) -> usize {
+        match self {
+            LatticeKind::D3Q15 => 15,
+            LatticeKind::D3Q19 => 19,
+            LatticeKind::D3Q27 => 27,
+            LatticeKind::D3Q39 => 39,
+        }
+    }
+
+    /// Parse `"q19"`, `"d3q39"`, `"D3Q19"`, `"39"` and similar spellings.
+    pub fn parse(s: &str) -> Option<Self> {
+        let t = s.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "d3q15" | "q15" | "15" => Some(LatticeKind::D3Q15),
+            "d3q19" | "q19" | "19" => Some(LatticeKind::D3Q19),
+            "d3q27" | "q27" | "27" => Some(LatticeKind::D3Q27),
+            "d3q39" | "q39" | "39" => Some(LatticeKind::D3Q39),
+            _ => None,
+        }
+    }
+}
+
+/// One shell of the velocity set, as listed per row in the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shell {
+    /// Representative velocity of the shell, e.g. `(2, 2, 0)`.
+    pub representative: [i32; 3],
+    /// Quadrature weight shared by every member of the shell.
+    pub weight: f64,
+    /// Neighbour order as counted in the paper's Table I (0 = rest).
+    pub neighbor_order: usize,
+    /// Euclidean distance of the shell from the origin.
+    pub distance: f64,
+    /// Number of velocities in the shell.
+    pub multiplicity: usize,
+}
+
+/// A fully-materialised discrete velocity model.
+///
+/// Construction is cheap (a few hundred bytes); kernels borrow it immutably.
+/// All derived tables (opposites, per-axis maxima, shells) are precomputed so
+/// the hot loops only index into slices.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    kind: LatticeKind,
+    cs2: f64,
+    velocities: Vec<[i32; 3]>,
+    weights: Vec<f64>,
+    opposite: Vec<usize>,
+    shells: Vec<Shell>,
+    reach: usize,
+}
+
+impl Lattice {
+    /// Materialise the lattice for `kind`.
+    pub fn new(kind: LatticeKind) -> Self {
+        let (cs2, velocities, weights): (f64, Vec<[i32; 3]>, Vec<f64>) = match kind {
+            LatticeKind::D3Q15 => d3q15::tables(),
+            LatticeKind::D3Q19 => d3q19::tables(),
+            LatticeKind::D3Q27 => d3q27::tables(),
+            LatticeKind::D3Q39 => d3q39::tables(),
+        };
+        debug_assert_eq!(velocities.len(), kind.q());
+        debug_assert_eq!(weights.len(), kind.q());
+
+        let opposite = velocities
+            .iter()
+            .map(|c| {
+                let neg = [-c[0], -c[1], -c[2]];
+                velocities
+                    .iter()
+                    .position(|v| *v == neg)
+                    .expect("velocity set must be symmetric under inversion")
+            })
+            .collect::<Vec<_>>();
+
+        let reach = velocities
+            .iter()
+            .flat_map(|c| c.iter().map(|v| v.unsigned_abs() as usize))
+            .max()
+            .unwrap_or(0);
+
+        let shells = Self::group_shells(&velocities, &weights);
+
+        Self {
+            kind,
+            cs2,
+            velocities,
+            weights,
+            opposite,
+            shells,
+            reach,
+        }
+    }
+
+    fn group_shells(velocities: &[[i32; 3]], weights: &[f64]) -> Vec<Shell> {
+        // A shell is the set of velocities sharing the same sorted |component|
+        // signature (and hence the same weight for these isotropic lattices).
+        let mut shells: Vec<(Vec<usize>, Shell)> = Vec::new();
+        for (i, c) in velocities.iter().enumerate() {
+            let mut sig = [
+                c[0].unsigned_abs() as usize,
+                c[1].unsigned_abs() as usize,
+                c[2].unsigned_abs() as usize,
+            ];
+            sig.sort_unstable();
+            let key = sig.to_vec();
+            match shells.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, sh)) => sh.multiplicity += 1,
+                None => {
+                    let d2 = (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]) as f64;
+                    shells.push((
+                        key,
+                        Shell {
+                            representative: *c,
+                            weight: weights[i],
+                            neighbor_order: 0, // assigned below
+                            distance: d2.sqrt(),
+                            multiplicity: 1,
+                        },
+                    ));
+                }
+            }
+        }
+        let mut out: Vec<Shell> = shells.into_iter().map(|(_, s)| s).collect();
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        for (ord, s) in out.iter_mut().enumerate() {
+            s.neighbor_order = ord; // 0 = rest, then by distance, as in Table I
+        }
+        out
+    }
+
+    /// Which model this is.
+    #[inline]
+    pub fn kind(&self) -> LatticeKind {
+        self.kind
+    }
+
+    /// Model name, e.g. `"D3Q39"`.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Number of discrete velocities Q.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.velocities.len()
+    }
+
+    /// Squared lattice speed of sound `c_s²`.
+    #[inline]
+    pub fn cs2(&self) -> f64 {
+        self.cs2
+    }
+
+    /// The discrete velocities `c_i` (rest velocity last, per the paper).
+    #[inline]
+    pub fn velocities(&self) -> &[[i32; 3]] {
+        &self.velocities
+    }
+
+    /// Quadrature weights `w_i`, aligned with [`Lattice::velocities`].
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Index of the velocity opposite to `i` (`c_opp = -c_i`).
+    #[inline]
+    pub fn opposite(&self, i: usize) -> usize {
+        self.opposite[i]
+    }
+
+    /// Velocity shells in neighbour order (paper Table I rows).
+    #[inline]
+    pub fn shells(&self) -> &[Shell] {
+        &self.shells
+    }
+
+    /// Maximum |velocity component|: how many planes a particle can cross per
+    /// step along a coordinate axis. This is the paper's `k`: the fundamental
+    /// ghost-cell unit. 1 for D3Q15/19/27, **3** for D3Q39.
+    ///
+    /// (The paper's prose says D3Q39 particles move “up to two points” per
+    /// step, but its own Table I lists the (3,0,0) shell; correctness
+    /// requires `k = 3`, see DESIGN.md.)
+    #[inline]
+    pub fn reach(&self) -> usize {
+        self.reach
+    }
+
+    /// Highest equilibrium truncation order this lattice supports, from its
+    /// quadrature isotropy (4th-order isotropy → 2nd-order equilibrium,
+    /// 6th-order → 3rd-order equilibrium).
+    pub fn max_eq_order(&self) -> EqOrder {
+        if hermite::supports_order(self, 3) {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        }
+    }
+
+    /// Bytes moved to/from memory per lattice-point update under the paper's
+    /// accounting (§III-B): two loads and one store per velocity, 8 bytes
+    /// each → `3·Q·8`. 456 B for D3Q19, 936 B for D3Q39.
+    #[inline]
+    pub fn bytes_per_cell(&self) -> usize {
+        3 * self.q() * 8
+    }
+
+    /// Nominal floating-point operations per lattice-point update, as counted
+    /// by the paper for its implementation: 178 (D3Q19) and 190 (D3Q39).
+    /// For the other lattices we extrapolate with the same per-velocity cost
+    /// model the paper's two data points imply.
+    pub fn flops_per_cell(&self) -> usize {
+        match self.kind {
+            LatticeKind::D3Q19 => 178,
+            LatticeKind::D3Q39 => 190,
+            // Paper gives no number; interpolate linearly in Q between its
+            // two anchors (178 @ 19, 190 @ 39 → slope 0.6/velocity).
+            k => (178.0 + 0.6 * (k.q() as f64 - 19.0)).round() as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat(k: LatticeKind) -> Lattice {
+        Lattice::new(k)
+    }
+
+    #[test]
+    fn q_matches_kind() {
+        for k in LatticeKind::ALL {
+            assert_eq!(lat(k).q(), k.q(), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for k in LatticeKind::ALL {
+            let l = lat(k);
+            let s: f64 = l.weights().iter().sum();
+            assert!((s - 1.0).abs() < 1e-14, "{}: sum={s}", l.name());
+        }
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        for k in LatticeKind::ALL {
+            assert!(lat(k).weights().iter().all(|&w| w > 0.0));
+        }
+    }
+
+    #[test]
+    fn velocities_are_unique() {
+        for k in LatticeKind::ALL {
+            let l = lat(k);
+            for (i, a) in l.velocities().iter().enumerate() {
+                for b in l.velocities().iter().skip(i + 1) {
+                    assert_ne!(a, b, "{}", l.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rest_velocity_is_last_per_paper_convention() {
+        for k in LatticeKind::ALL {
+            let l = lat(k);
+            assert_eq!(l.velocities()[l.q() - 1], [0, 0, 0], "{}", l.name());
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution_and_inverts_velocity() {
+        for k in LatticeKind::ALL {
+            let l = lat(k);
+            for i in 0..l.q() {
+                let o = l.opposite(i);
+                assert_eq!(l.opposite(o), i);
+                let c = l.velocities()[i];
+                let co = l.velocities()[o];
+                assert_eq!([-c[0], -c[1], -c[2]], co);
+                // Opposite velocities share a weight.
+                assert_eq!(l.weights()[i], l.weights()[o]);
+            }
+        }
+    }
+
+    #[test]
+    fn first_moment_vanishes() {
+        for k in LatticeKind::ALL {
+            let l = lat(k);
+            for a in 0..3 {
+                let m: f64 = l
+                    .velocities()
+                    .iter()
+                    .zip(l.weights())
+                    .map(|(c, w)| w * c[a] as f64)
+                    .sum();
+                assert!(m.abs() < 1e-14, "{} axis {a}: {m}", l.name());
+            }
+        }
+    }
+
+    #[test]
+    fn second_moment_is_cs2_identity() {
+        for k in LatticeKind::ALL {
+            let l = lat(k);
+            for a in 0..3 {
+                for b in 0..3 {
+                    let m: f64 = l
+                        .velocities()
+                        .iter()
+                        .zip(l.weights())
+                        .map(|(c, w)| w * (c[a] * c[b]) as f64)
+                        .sum();
+                    let expect = if a == b { l.cs2() } else { 0.0 };
+                    assert!(
+                        (m - expect).abs() < 1e-13,
+                        "{} ({a},{b}): {m} vs {expect}",
+                        l.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reach_matches_paper_k() {
+        assert_eq!(lat(LatticeKind::D3Q19).reach(), 1);
+        assert_eq!(lat(LatticeKind::D3Q15).reach(), 1);
+        assert_eq!(lat(LatticeKind::D3Q27).reach(), 1);
+        assert_eq!(lat(LatticeKind::D3Q39).reach(), 3);
+    }
+
+    #[test]
+    fn bytes_per_cell_match_paper_table2_inputs() {
+        assert_eq!(lat(LatticeKind::D3Q19).bytes_per_cell(), 456);
+        assert_eq!(lat(LatticeKind::D3Q39).bytes_per_cell(), 936);
+    }
+
+    #[test]
+    fn flops_per_cell_match_paper() {
+        assert_eq!(lat(LatticeKind::D3Q19).flops_per_cell(), 178);
+        assert_eq!(lat(LatticeKind::D3Q39).flops_per_cell(), 190);
+    }
+
+    #[test]
+    fn d3q19_shells_match_table1() {
+        let l = lat(LatticeKind::D3Q19);
+        let sh = l.shells();
+        assert_eq!(sh.len(), 3);
+        assert_eq!(sh[0].representative, [0, 0, 0]);
+        assert!((sh[0].weight - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(sh[0].multiplicity, 1);
+        assert!((sh[1].weight - 1.0 / 18.0).abs() < 1e-15);
+        assert_eq!(sh[1].multiplicity, 6);
+        assert!((sh[1].distance - 1.0).abs() < 1e-15);
+        assert!((sh[2].weight - 1.0 / 36.0).abs() < 1e-15);
+        assert_eq!(sh[2].multiplicity, 12);
+        assert!((sh[2].distance - 2f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn d3q39_shells_match_table1_with_weight_erratum() {
+        let l = lat(LatticeKind::D3Q39);
+        let sh = l.shells();
+        assert_eq!(sh.len(), 6);
+        let expect: [(f64, usize, f64); 6] = [
+            (1.0 / 12.0, 1, 0.0),            // rest
+            (1.0 / 12.0, 6, 1.0),            // (1,0,0)
+            (1.0 / 27.0, 8, 3f64.sqrt()),    // (1,1,1)
+            (2.0 / 135.0, 6, 2.0),           // (2,0,0)
+            (1.0 / 432.0, 12, 8f64.sqrt()),  // (2,2,0)  — paper's misprinted 1/142
+            (1.0 / 1620.0, 6, 3.0),          // (3,0,0)
+        ];
+        for (s, (w, m, d)) in sh.iter().zip(expect) {
+            assert!((s.weight - w).abs() < 1e-15, "{s:?}");
+            assert_eq!(s.multiplicity, m, "{s:?}");
+            assert!((s.distance - d).abs() < 1e-12, "{s:?}");
+        }
+        assert!((l.cs2() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shell_weights_and_multiplicities_reassemble_unity() {
+        for k in LatticeKind::ALL {
+            let l = lat(k);
+            let s: f64 = l
+                .shells()
+                .iter()
+                .map(|s| s.weight * s.multiplicity as f64)
+                .sum();
+            assert!((s - 1.0).abs() < 1e-14, "{}", l.name());
+            let q: usize = l.shells().iter().map(|s| s.multiplicity).sum();
+            assert_eq!(q, l.q());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_spellings() {
+        assert_eq!(LatticeKind::parse("d3q39"), Some(LatticeKind::D3Q39));
+        assert_eq!(LatticeKind::parse("Q19"), Some(LatticeKind::D3Q19));
+        assert_eq!(LatticeKind::parse(" 27 "), Some(LatticeKind::D3Q27));
+        assert_eq!(LatticeKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn max_eq_order_by_isotropy() {
+        assert_eq!(lat(LatticeKind::D3Q19).max_eq_order(), EqOrder::Second);
+        assert_eq!(lat(LatticeKind::D3Q15).max_eq_order(), EqOrder::Second);
+        assert_eq!(lat(LatticeKind::D3Q27).max_eq_order(), EqOrder::Second);
+        assert_eq!(lat(LatticeKind::D3Q39).max_eq_order(), EqOrder::Third);
+    }
+}

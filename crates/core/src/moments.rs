@@ -1,0 +1,197 @@
+//! Macroscopic moments of the particle distribution.
+//!
+//! Density and momentum are the conserved moments driving the BGK collision;
+//! the *higher kinetic moments* (deviatoric stress, heat flux) are exactly
+//! what the extended D3Q39 model resolves beyond Navier–Stokes (paper §I:
+//! “the contributions from higher kinetic moments are no longer negligible”),
+//! so they are first-class observables here.
+
+use crate::lattice::Lattice;
+
+/// Conserved moments of one lattice cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Mass density ρ = Σ f_i.
+    pub rho: f64,
+    /// Macroscopic velocity u = (Σ f_i c_i)/ρ.
+    pub u: [f64; 3],
+}
+
+impl Moments {
+    /// Compute ρ and u from the cell's populations (`f.len() == Q`).
+    pub fn of_cell(lat: &Lattice, f: &[f64]) -> Self {
+        debug_assert_eq!(f.len(), lat.q());
+        let mut rho = 0.0;
+        let mut m = [0.0; 3];
+        for (fi, c) in f.iter().zip(lat.velocities()) {
+            rho += fi;
+            m[0] += fi * c[0] as f64;
+            m[1] += fi * c[1] as f64;
+            m[2] += fi * c[2] as f64;
+        }
+        // Plain division (not reciprocal-multiply) so this stays bit-identical
+        // to the naive kernel's `calc_rho_and_vel`; the optimized kernels'
+        // reciprocal form is compared against it under tolerance.
+        Self {
+            rho,
+            u: [m[0] / rho, m[1] / rho, m[2] / rho],
+        }
+    }
+
+    /// Momentum density ρu.
+    pub fn momentum(&self) -> [f64; 3] {
+        [
+            self.rho * self.u[0],
+            self.rho * self.u[1],
+            self.rho * self.u[2],
+        ]
+    }
+
+    /// Kinetic energy density ½ρu².
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.rho * (self.u[0] * self.u[0] + self.u[1] * self.u[1] + self.u[2] * self.u[2])
+    }
+}
+
+/// Symmetric rank-2 tensor stored as `[xx, yy, zz, xy, xz, yz]`.
+pub type Sym3 = [f64; 6];
+
+/// Momentum-flux tensor `Π_ab = Σ f_i c_a c_b` of one cell.
+pub fn momentum_flux(lat: &Lattice, f: &[f64]) -> Sym3 {
+    debug_assert_eq!(f.len(), lat.q());
+    let mut p = [0.0; 6];
+    for (fi, c) in f.iter().zip(lat.velocities()) {
+        let cx = c[0] as f64;
+        let cy = c[1] as f64;
+        let cz = c[2] as f64;
+        p[0] += fi * cx * cx;
+        p[1] += fi * cy * cy;
+        p[2] += fi * cz * cz;
+        p[3] += fi * cx * cy;
+        p[4] += fi * cx * cz;
+        p[5] += fi * cy * cz;
+    }
+    p
+}
+
+/// Non-equilibrium part of the momentum flux, `Π^neq = Σ (f_i − f_i^eq) c c`,
+/// proportional to the viscous stress in the hydrodynamic limit.
+pub fn noneq_stress(
+    lat: &Lattice,
+    order: crate::equilibrium::EqOrder,
+    f: &[f64],
+) -> Sym3 {
+    let m = Moments::of_cell(lat, f);
+    let mut feq = vec![0.0; lat.q()];
+    crate::equilibrium::feq(lat, order, m.rho, m.u, &mut feq);
+    let mut p = [0.0; 6];
+    for ((fi, fe), c) in f.iter().zip(&feq).zip(lat.velocities()) {
+        let d = fi - fe;
+        let cx = c[0] as f64;
+        let cy = c[1] as f64;
+        let cz = c[2] as f64;
+        p[0] += d * cx * cx;
+        p[1] += d * cy * cy;
+        p[2] += d * cz * cz;
+        p[3] += d * cx * cy;
+        p[4] += d * cx * cz;
+        p[5] += d * cy * cz;
+    }
+    p
+}
+
+/// Peculiar-velocity heat flux `q_a = ½ Σ f_i |c_i − u|² (c_i − u)_a` —
+/// a third-order moment that only the beyond-Navier-Stokes model transports
+/// with controlled error.
+pub fn heat_flux(lat: &Lattice, f: &[f64], rho_u: &Moments) -> [f64; 3] {
+    debug_assert_eq!(f.len(), lat.q());
+    let u = rho_u.u;
+    let mut q = [0.0; 3];
+    for (fi, c) in f.iter().zip(lat.velocities()) {
+        let v = [c[0] as f64 - u[0], c[1] as f64 - u[1], c[2] as f64 - u[2]];
+        let v2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+        for a in 0..3 {
+            q[a] += 0.5 * fi * v2 * v[a];
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::{feq, EqOrder};
+    use crate::lattice::LatticeKind;
+
+    #[test]
+    fn moments_recover_equilibrium_inputs() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let lat = Lattice::new(kind);
+            let rho = 1.07;
+            let u = [0.05, -0.03, 0.01];
+            let mut f = vec![0.0; lat.q()];
+            feq(&lat, EqOrder::Second, rho, u, &mut f);
+            let m = Moments::of_cell(&lat, &f);
+            assert!((m.rho - rho).abs() < 1e-13);
+            for a in 0..3 {
+                assert!((m.u[a] - u[a]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_has_zero_noneq_stress() {
+        for (kind, order) in [
+            (LatticeKind::D3Q19, EqOrder::Second),
+            (LatticeKind::D3Q39, EqOrder::Third),
+        ] {
+            let lat = Lattice::new(kind);
+            let mut f = vec![0.0; lat.q()];
+            feq(&lat, order, 1.0, [0.04, 0.02, -0.01], &mut f);
+            let s = noneq_stress(&lat, order, &f);
+            for v in s {
+                assert!(v.abs() < 1e-13, "{kind:?}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_flux_of_rest_gas_is_isotropic_pressure() {
+        let lat = Lattice::new(LatticeKind::D3Q39);
+        let mut f = vec![0.0; lat.q()];
+        feq(&lat, EqOrder::Third, 2.0, [0.0; 3], &mut f);
+        let p = momentum_flux(&lat, &f);
+        let expect = 2.0 * lat.cs2();
+        for d in 0..3 {
+            assert!((p[d] - expect).abs() < 1e-13);
+        }
+        for od in 3..6 {
+            assert!(p[od].abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn heat_flux_vanishes_at_equilibrium_rest() {
+        // For a resting Maxwellian the odd central moments vanish.
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let lat = Lattice::new(kind);
+            let mut f = vec![0.0; lat.q()];
+            feq(&lat, EqOrder::Second, 1.0, [0.0; 3], &mut f);
+            let m = Moments::of_cell(&lat, &f);
+            let q = heat_flux(&lat, &f, &m);
+            for a in 0..3 {
+                assert!(q[a].abs() < 1e-13, "{kind:?}: {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kinetic_energy_and_momentum_helpers() {
+        let m = Moments {
+            rho: 2.0,
+            u: [0.1, 0.0, 0.0],
+        };
+        assert!((m.kinetic_energy() - 0.5 * 2.0 * 0.01).abs() < 1e-15);
+        assert_eq!(m.momentum(), [0.2, 0.0, 0.0]);
+    }
+}

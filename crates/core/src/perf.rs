@@ -1,0 +1,174 @@
+//! Performance accounting in the paper's metric (§III-B).
+//!
+//! The paper argues flop/s is the wrong metric for LBM and uses **MFlup/s** —
+//! million fluid lattice-point updates per second (its Eq. 4):
+//! `P = s · N_fl / (T(s) · 10⁶)`. [`PerfCounters`] implements exactly that,
+//! plus derived bandwidth/flop figures using the paper's per-cell accounting
+//! (B = 3·Q·8 bytes, F = 178/190 flops).
+
+use std::time::{Duration, Instant};
+
+/// Accumulates lattice updates and wall time; reports MFlup/s.
+#[derive(Debug, Clone, Default)]
+pub struct PerfCounters {
+    /// Fluid-cell updates performed (s · N_fl, *owned* cells only).
+    pub updates: u64,
+    /// Extra updates spent on ghost/halo cells (the deep-halo overhead the
+    /// paper's model deliberately excludes — tracked separately, as its §VI
+    /// discussion of the GC gap suggests).
+    pub ghost_updates: u64,
+    /// Wall time attributed to computation.
+    pub elapsed: Duration,
+}
+
+impl PerfCounters {
+    /// New, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `cells` owned-cell updates plus `ghost` halo updates over `dt`.
+    pub fn record(&mut self, cells: u64, ghost: u64, dt: Duration) {
+        self.updates += cells;
+        self.ghost_updates += ghost;
+        self.elapsed += dt;
+    }
+
+    /// Paper Eq. 4: million fluid lattice updates per second, counting only
+    /// owned cells (ghost updates are overhead, exactly as in the paper's
+    /// model-vs-measured comparison).
+    pub fn mflups(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.updates as f64 / secs / 1e6
+    }
+
+    /// MFlup/s counting ghost updates as useful work (upper curve; the gap
+    /// to [`PerfCounters::mflups`] is the deep-halo overhead).
+    pub fn mflups_including_ghost(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.updates + self.ghost_updates) as f64 / secs / 1e6
+    }
+
+    /// Fraction of all updates spent on ghost cells.
+    pub fn ghost_fraction(&self) -> f64 {
+        let total = self.updates + self.ghost_updates;
+        if total == 0 {
+            return 0.0;
+        }
+        self.ghost_updates as f64 / total as f64
+    }
+
+    /// Effective memory traffic in GB/s under the paper's B = 3·Q·8 bytes per
+    /// update accounting.
+    pub fn effective_bandwidth_gbs(&self, bytes_per_cell: usize) -> f64 {
+        self.mflups_including_ghost() * 1e6 * bytes_per_cell as f64 / 1e9
+    }
+
+    /// Effective GFlop/s under the paper's F flops-per-cell accounting.
+    pub fn effective_gflops(&self, flops_per_cell: usize) -> f64 {
+        self.mflups_including_ghost() * 1e6 * flops_per_cell as f64 / 1e9
+    }
+
+    /// Merge another counter set (e.g. across ranks).
+    pub fn merge_max_time(&mut self, other: &PerfCounters) {
+        self.updates += other.updates;
+        self.ghost_updates += other.ghost_updates;
+        // Parallel ranks overlap in time: wall time is the max, not the sum.
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+}
+
+/// Scoped timer: measures one phase and records into counters on drop.
+pub struct FlupTimer<'a> {
+    counters: &'a mut PerfCounters,
+    cells: u64,
+    ghost: u64,
+    start: Instant,
+}
+
+impl<'a> FlupTimer<'a> {
+    /// Start timing a phase that will update `cells` owned and `ghost` halo
+    /// cells.
+    pub fn start(counters: &'a mut PerfCounters, cells: u64, ghost: u64) -> Self {
+        Self {
+            counters,
+            cells,
+            ghost,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for FlupTimer<'_> {
+    fn drop(&mut self) {
+        self.counters
+            .record(self.cells, self.ghost, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mflups_matches_eq4() {
+        let mut p = PerfCounters::new();
+        // 10⁶ updates in 1 s = 1 MFlup/s.
+        p.record(1_000_000, 0, Duration::from_secs(1));
+        assert!((p.mflups() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghost_updates_are_separate() {
+        let mut p = PerfCounters::new();
+        p.record(800, 200, Duration::from_millis(1));
+        assert!(p.mflups_including_ghost() > p.mflups());
+        assert!((p.ghost_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_reports_zero_not_inf() {
+        let p = PerfCounters::new();
+        assert_eq!(p.mflups(), 0.0);
+        assert_eq!(p.mflups_including_ghost(), 0.0);
+        assert_eq!(p.ghost_fraction(), 0.0);
+    }
+
+    #[test]
+    fn derived_bandwidth_and_flops() {
+        let mut p = PerfCounters::new();
+        p.record(1_000_000, 0, Duration::from_secs(1));
+        // 1 MFlup/s × 456 B = 0.456 GB/s; × 178 flops = 0.178 GFlop/s.
+        assert!((p.effective_bandwidth_gbs(456) - 0.456).abs() < 1e-9);
+        assert!((p.effective_gflops(178) - 0.178).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_takes_max_time_sum_updates() {
+        let mut a = PerfCounters::new();
+        a.record(100, 0, Duration::from_millis(10));
+        let mut b = PerfCounters::new();
+        b.record(200, 50, Duration::from_millis(30));
+        a.merge_max_time(&b);
+        assert_eq!(a.updates, 300);
+        assert_eq!(a.ghost_updates, 50);
+        assert_eq!(a.elapsed, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        let mut p = PerfCounters::new();
+        {
+            let _t = FlupTimer::start(&mut p, 42, 7);
+        }
+        assert_eq!(p.updates, 42);
+        assert_eq!(p.ghost_updates, 7);
+        assert!(p.elapsed > Duration::ZERO);
+    }
+}

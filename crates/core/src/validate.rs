@@ -1,0 +1,69 @@
+//! Error norms and comparison helpers for validation runs.
+
+/// Relative L2 error `‖a − b‖₂ / ‖b‖₂` (b is the reference).
+pub fn l2_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l2_error: length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - y) * (x - y);
+        den += y * y;
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Maximum absolute difference.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_error: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Observed order of convergence from errors at two resolutions
+/// (`h` halved: `log2(e_coarse/e_fine)`).
+pub fn convergence_order(e_coarse: f64, e_fine: f64) -> f64 {
+    (e_coarse / e_fine).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_of_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(l2_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn l2_is_relative() {
+        let a = [2.0, 0.0];
+        let b = [1.0, 0.0];
+        assert!((l2_error(&a, &b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l2_handles_zero_reference() {
+        let a = [3.0, 4.0];
+        let b = [0.0, 0.0];
+        assert!((l2_error(&a, &b) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_abs_picks_worst() {
+        let a = [1.0, 5.0, 2.0];
+        let b = [1.0, 2.0, 2.5];
+        assert_eq!(max_abs_error(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn second_order_convergence_reads_two() {
+        assert!((convergence_order(4e-3, 1e-3) - 2.0).abs() < 1e-12);
+    }
+}

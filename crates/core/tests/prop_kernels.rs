@@ -1,0 +1,191 @@
+//! Property-based tests for the kernel ladder: every optimization rung must
+//! compute the same stream permutation and the same BGK update as the naive
+//! oracle, for arbitrary fields, shapes and x-range splits.
+
+use proptest::prelude::*;
+
+use lbm_core::collision::Bgk;
+use lbm_core::equilibrium::EqOrder;
+use lbm_core::field::DistField;
+use lbm_core::index::Dim3;
+use lbm_core::kernels::{self, KernelCtx, OptLevel, StreamTables};
+use lbm_core::lattice::LatticeKind;
+
+fn ctx_for(kind: LatticeKind, tau: f64) -> KernelCtx {
+    let order = if kind == LatticeKind::D3Q39 {
+        EqOrder::Third
+    } else {
+        EqOrder::Second
+    };
+    KernelCtx::new(kind, order, Bgk::new(tau).unwrap())
+}
+
+/// Deterministic pseudo-random positive field from a seed.
+fn seeded_field(q: usize, dims: Dim3, halo: usize, seed: u64) -> DistField {
+    let mut f = DistField::new(q, dims, halo).unwrap();
+    let mut state = seed | 1;
+    for v in f.as_mut_slice() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = 0.01 + (state % 2048) as f64 / 2500.0;
+    }
+    f
+}
+
+fn arb_kind() -> impl Strategy<Value = LatticeKind> {
+    prop_oneof![
+        Just(LatticeKind::D3Q15),
+        Just(LatticeKind::D3Q19),
+        Just(LatticeKind::D3Q27),
+        Just(LatticeKind::D3Q39),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// All stream variants produce bitwise-identical owned regions.
+    #[test]
+    fn stream_variants_agree_bitwise(
+        kind in arb_kind(),
+        nx in 1usize..6,
+        ny in 7usize..12,
+        nz in 7usize..12,
+        seed in any::<u64>(),
+    ) {
+        let ctx = ctx_for(kind, 0.9);
+        let k = ctx.lat.reach();
+        let dims = Dim3::new(nx, ny, nz);
+        let src = seeded_field(ctx.lat.q(), dims, k, seed);
+        let tables = StreamTables::new(ny, nz);
+        let mut base: Option<DistField> = None;
+        for level in [OptLevel::Gc, OptLevel::Dh, OptLevel::Cf, OptLevel::LoBr, OptLevel::Simd] {
+            let mut out = DistField::new(ctx.lat.q(), dims, k).unwrap();
+            kernels::stream(level, &ctx, &tables, &src, &mut out, k, k + nx);
+            match &base {
+                None => base = Some(out),
+                Some(b) => prop_assert_eq!(
+                    b.max_abs_diff_owned(&out), 0.0,
+                    "{:?} level {:?}", kind, level
+                ),
+            }
+        }
+    }
+
+    /// All collide variants agree with the naive oracle within
+    /// reassociation/FMA tolerance, and conserve mass and momentum.
+    #[test]
+    fn collide_variants_agree_and_conserve(
+        kind in arb_kind(),
+        nx in 1usize..5,
+        ny in 2usize..6,
+        nz in 2usize..70,
+        tau in 0.55f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let ctx = ctx_for(kind, tau);
+        let dims = Dim3::new(nx, ny, nz);
+        let orig = seeded_field(ctx.lat.q(), dims, 0, seed);
+
+        let mut oracle = orig.clone();
+        kernels::collide(OptLevel::Orig, &ctx, &mut oracle, 0, nx);
+
+        // Mass / momentum conservation of the oracle itself.
+        let pre_mass = orig.owned_mass();
+        let post_mass = oracle.owned_mass();
+        prop_assert!((pre_mass - post_mass).abs() < 1e-9 * pre_mass.abs());
+
+        for level in [OptLevel::Dh, OptLevel::Cf, OptLevel::LoBr, OptLevel::Simd] {
+            let mut out = orig.clone();
+            kernels::collide(level, &ctx, &mut out, 0, nx);
+            let diff = oracle.max_abs_diff_owned(&out);
+            prop_assert!(diff < 1e-12, "{:?} level {:?}: diff={}", kind, level, diff);
+        }
+    }
+
+    /// Collide over [0,nx) equals collide over any split [0,s) ∪ [s,nx) —
+    /// the invariant the deep-halo region schedule depends on.
+    #[test]
+    fn collide_is_split_invariant(
+        kind in arb_kind(),
+        nx in 2usize..7,
+        split in 1usize..6,
+        nz in 3usize..40,
+        seed in any::<u64>(),
+    ) {
+        let split = split.min(nx - 1);
+        let ctx = ctx_for(kind, 0.8);
+        let dims = Dim3::new(nx, 4, nz);
+        let orig = seeded_field(ctx.lat.q(), dims, 0, seed);
+        for level in [OptLevel::Orig, OptLevel::Dh, OptLevel::LoBr, OptLevel::Simd] {
+            let mut whole = orig.clone();
+            kernels::collide(level, &ctx, &mut whole, 0, nx);
+            let mut parts = orig.clone();
+            kernels::collide(level, &ctx, &mut parts, 0, split);
+            kernels::collide(level, &ctx, &mut parts, split, nx);
+            prop_assert_eq!(whole.max_abs_diff_owned(&parts), 0.0, "{:?} {:?}", kind, level);
+        }
+    }
+
+    /// Streaming then streaming with every velocity reversed is the identity
+    /// (pull with c then pull with −c undoes the permutation).
+    #[test]
+    fn stream_roundtrip_via_opposites(
+        kind in arb_kind(),
+        n in 7usize..10,
+        seed in any::<u64>(),
+    ) {
+        let ctx = ctx_for(kind, 0.9);
+        let dims = Dim3::cube(n);
+        let f0 = seeded_field(ctx.lat.q(), dims, 0, seed);
+        // Forward stream via the reference push (periodic, halo-free)…
+        let mut fwd = DistField::new(ctx.lat.q(), dims, 0).unwrap();
+        lbm_core::kernels::reference::stream_push_periodic(&ctx, &f0, &mut fwd);
+        // …then push each population along the *opposite* velocity by
+        // copying slab i into slab opp(i), streaming, and swapping back.
+        let mut swapped = DistField::new(ctx.lat.q(), dims, 0).unwrap();
+        for i in 0..ctx.lat.q() {
+            let o = ctx.lat.opposite(i);
+            let src = fwd.slab(i).to_vec();
+            swapped.slab_mut(o).copy_from_slice(&src);
+        }
+        let mut back = DistField::new(ctx.lat.q(), dims, 0).unwrap();
+        lbm_core::kernels::reference::stream_push_periodic(&ctx, &swapped, &mut back);
+        for i in 0..ctx.lat.q() {
+            let o = ctx.lat.opposite(i);
+            prop_assert_eq!(back.slab(o), f0.slab(i), "{:?} slab {}", kind, i);
+        }
+    }
+
+    /// Mass is exactly conserved by streaming for every variant (it is a
+    /// permutation of each slab).
+    #[test]
+    fn stream_conserves_slab_multisets(
+        kind in arb_kind(),
+        nx in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let ctx = ctx_for(kind, 1.2);
+        let k = ctx.lat.reach();
+        let dims = Dim3::new(nx, 8, 9);
+        let src = seeded_field(ctx.lat.q(), dims, k, seed);
+        let tables = StreamTables::new(8, 9);
+        let mut out = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream(OptLevel::LoBr, &ctx, &tables, &src, &mut out, k, k + nx);
+        // Owned mass of dst equals the mass of the source region it pulled
+        // from only in the aggregate-periodic case; here we check the weaker
+        // but exact property that every output value exists in the source.
+        for i in 0..ctx.lat.q() {
+            let s = src.slab(i);
+            let d = out.slab(i);
+            let dims_a = out.alloc_dims();
+            for x in out.owned_x() {
+                for yz in 0..dims_a.plane() {
+                    let v = d[dims_a.idx(x, 0, 0) + yz];
+                    prop_assert!(s.contains(&v), "{:?}: value {} not from source", kind, v);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests for the physical invariants of the model layer:
+//! equilibrium moments, BGK fixed points, Guo forcing, boundary mass
+//! conservation, and H-theorem-adjacent monotonicity.
+
+use proptest::prelude::*;
+
+use lbm_core::boundary::{ChannelWalls, WallKind};
+use lbm_core::collision::{guo_source_i, half_force_velocity, Bgk};
+use lbm_core::equilibrium::{feq, feq_i, EqOrder};
+use lbm_core::field::DistField;
+use lbm_core::index::Dim3;
+use lbm_core::kernels::{reference, KernelCtx, MAX_Q};
+use lbm_core::lattice::{Lattice, LatticeKind};
+use lbm_core::moments::Moments;
+
+fn arb_kind() -> impl Strategy<Value = LatticeKind> {
+    prop_oneof![
+        Just(LatticeKind::D3Q15),
+        Just(LatticeKind::D3Q19),
+        Just(LatticeKind::D3Q27),
+        Just(LatticeKind::D3Q39),
+    ]
+}
+
+fn small_u() -> impl Strategy<Value = [f64; 3]> {
+    (-0.08f64..0.08, -0.08f64..0.08, -0.08f64..0.08).prop_map(|(a, b, c)| [a, b, c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Σ f^eq = ρ and Σ f^eq c = ρu for arbitrary (ρ, u), both orders.
+    #[test]
+    fn equilibrium_moments_exact(
+        kind in arb_kind(),
+        rho in 0.2f64..3.0,
+        u in small_u(),
+        third in any::<bool>(),
+    ) {
+        let lat = Lattice::new(kind);
+        let order = if third && kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        let mut f = vec![0.0; lat.q()];
+        feq(&lat, order, rho, u, &mut f);
+        let m = Moments::of_cell(&lat, &f);
+        prop_assert!((m.rho - rho).abs() < 1e-12 * rho);
+        for a in 0..3 {
+            prop_assert!((m.u[a] - u[a]).abs() < 1e-12, "axis {}: {} vs {}", a, m.u[a], u[a]);
+        }
+    }
+
+    /// Equilibrium is a BGK fixed point: collide(f^eq) = f^eq for any ω.
+    #[test]
+    fn equilibrium_is_bgk_fixed_point(
+        kind in arb_kind(),
+        rho in 0.5f64..2.0,
+        u in small_u(),
+        tau in 0.51f64..3.0,
+    ) {
+        let order = if kind == LatticeKind::D3Q39 { EqOrder::Third } else { EqOrder::Second };
+        let ctx = KernelCtx::new(kind, order, Bgk::new(tau).unwrap());
+        let lat = &ctx.lat;
+        let mut f = vec![0.0; lat.q()];
+        feq(lat, order, rho, u, &mut f);
+        let m = Moments::of_cell(lat, &f);
+        for (i, fi) in f.iter().enumerate() {
+            let fe = feq_i(lat, order, i, m.rho, m.u);
+            let post = fi + ctx.omega * (fe - fi);
+            prop_assert!((post - fi).abs() < 1e-13, "i={}", i);
+        }
+    }
+
+    /// BGK collision contracts the distance to equilibrium for ω ∈ (0, 1]
+    /// (and overshoots but stays bounded for ω ∈ (1, 2)).
+    #[test]
+    fn bgk_contracts_toward_equilibrium(
+        kind in arb_kind(),
+        tau in 0.51f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let order = if kind == LatticeKind::D3Q39 { EqOrder::Third } else { EqOrder::Second };
+        let ctx = KernelCtx::new(kind, order, Bgk::new(tau).unwrap());
+        let lat = &ctx.lat;
+        let q = lat.q();
+        let mut state = seed | 1;
+        let mut f = vec![0.0; q];
+        for v in &mut f {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.05 + (state % 100) as f64 / 150.0;
+        }
+        let m = Moments::of_cell(lat, &f);
+        let mut feq_v = vec![0.0; q];
+        feq(lat, order, m.rho, m.u, &mut feq_v);
+        let dist_before: f64 = f.iter().zip(&feq_v).map(|(a, b)| (a - b).abs()).sum();
+        let omega = ctx.omega;
+        let post: Vec<f64> = f.iter().zip(&feq_v).map(|(a, b)| a + omega * (b - a)).collect();
+        // Conserved moments unchanged ⇒ same equilibrium after collision.
+        let dist_after: f64 = post.iter().zip(&feq_v).map(|(a, b)| (a - b).abs()).sum();
+        let contraction = (1.0f64 - omega).abs() + 1e-12;
+        prop_assert!(dist_after <= contraction * dist_before + 1e-12,
+            "dist {} -> {} (factor {})", dist_before, dist_after, contraction);
+    }
+
+    /// Guo source: zero net mass, (1 − ω/2)·G net momentum, any state.
+    #[test]
+    fn guo_forcing_moments(
+        kind in arb_kind(),
+        u in small_u(),
+        g in (-1e-3f64..1e-3, -1e-3f64..1e-3, -1e-3f64..1e-3).prop_map(|(a, b, c)| [a, b, c]),
+        tau in 0.51f64..3.0,
+    ) {
+        let lat = Lattice::new(kind);
+        let omega = 1.0 / tau;
+        let mass: f64 = (0..lat.q()).map(|i| guo_source_i(&lat, i, u, g, omega)).sum();
+        prop_assert!(mass.abs() < 1e-15);
+        for a in 0..3 {
+            let mom: f64 = (0..lat.q())
+                .map(|i| guo_source_i(&lat, i, u, g, omega) * lat.velocities()[i][a] as f64)
+                .sum();
+            let want = (1.0 - 0.5 * omega) * g[a];
+            prop_assert!((mom - want).abs() < 1e-14, "axis {}: {} vs {}", a, mom, want);
+        }
+    }
+
+    /// half_force_velocity inverts: ρu − G/2 recovers the bare momentum.
+    #[test]
+    fn half_force_velocity_inverts(
+        rho in 0.3f64..3.0,
+        m in (-0.2f64..0.2, -0.2f64..0.2, -0.2f64..0.2).prop_map(|(a, b, c)| [a, b, c]),
+        g in (-1e-2f64..1e-2, -1e-2f64..1e-2, -1e-2f64..1e-2).prop_map(|(a, b, c)| [a, b, c]),
+    ) {
+        let u = half_force_velocity(m, rho, g);
+        for a in 0..3 {
+            let back = u[a] * rho - 0.5 * g[a];
+            prop_assert!((back - m[a]).abs() < 1e-12);
+        }
+    }
+
+    /// Walls conserve total mass for any wall kind and field.
+    #[test]
+    fn walls_conserve_mass(
+        kind in arb_kind(),
+        which in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let order = if kind == LatticeKind::D3Q39 { EqOrder::Third } else { EqOrder::Second };
+        let ctx = KernelCtx::new(kind, order, Bgk::new(1.0).unwrap());
+        let k = ctx.lat.reach();
+        let dims = Dim3::new(3, 4 + 2 * k, 4);
+        let mut f = DistField::new(ctx.lat.q(), dims, 0).unwrap();
+        let mut state = seed | 1;
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.02 + (state % 512) as f64 / 600.0;
+        }
+        let wall = match which {
+            0 => WallKind::BounceBack,
+            1 => WallKind::Moving { u: [0.03, 0.0, 0.0], rho: 1.0 },
+            _ => WallKind::Diffuse { u: [0.0; 3] },
+        };
+        let walls = ChannelWalls { low: wall, high: wall, layers: k };
+        let before: f64 = f.as_slice().iter().sum();
+        walls.apply(&ctx, &mut f, 0, dims.nx);
+        let after: f64 = f.as_slice().iter().sum();
+        // Moving walls inject momentum but not mass (the ±c pairs cancel).
+        prop_assert!((before - after).abs() < 1e-10 * before.abs(),
+            "{:?} wall {:?}: {} -> {}", kind, wall, before, after);
+    }
+
+    /// A full reference step conserves mass and momentum exactly
+    /// (periodic box, no force).
+    #[test]
+    fn reference_step_conserves_invariants(
+        kind in arb_kind(),
+        n in 4usize..7,
+        tau in 0.6f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let order = if kind == LatticeKind::D3Q39 { EqOrder::Third } else { EqOrder::Second };
+        let ctx = KernelCtx::new(kind, order, Bgk::new(tau).unwrap());
+        let dims = Dim3::cube(n);
+        let mut f = DistField::new(ctx.lat.q(), dims, 0).unwrap();
+        let mut state = seed | 1;
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.03 + (state % 256) as f64 / 400.0;
+        }
+        let q = ctx.lat.q();
+        let mut cell = [0.0f64; MAX_Q];
+        let mut mass0 = 0.0;
+        let mut mom0 = [0.0f64; 3];
+        for lin in 0..dims.len() {
+            f.gather_cell(lin, &mut cell[..q]);
+            let m = Moments::of_cell(&ctx.lat, &cell[..q]);
+            mass0 += m.rho;
+            for a in 0..3 { mom0[a] += m.rho * m.u[a]; }
+        }
+        let mut tmp = DistField::new(q, dims, 0).unwrap();
+        reference::step_periodic(&ctx, &mut f, &mut tmp);
+        let mut mass1 = 0.0;
+        let mut mom1 = [0.0f64; 3];
+        for lin in 0..dims.len() {
+            f.gather_cell(lin, &mut cell[..q]);
+            let m = Moments::of_cell(&ctx.lat, &cell[..q]);
+            mass1 += m.rho;
+            for a in 0..3 { mom1[a] += m.rho * m.u[a]; }
+        }
+        prop_assert!((mass0 - mass1).abs() < 1e-9 * mass0);
+        for a in 0..3 {
+            prop_assert!((mom0[a] - mom1[a]).abs() < 1e-9 * mass0, "axis {}", a);
+        }
+    }
+}

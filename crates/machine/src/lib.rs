@@ -1,0 +1,23 @@
+//! # lbm-machine
+//!
+//! Machine models and the LBM performance model of the paper's §III.
+//!
+//! * [`spec`] — hardware constants for the two platforms of the paper
+//!   (IBM Blue Gene/P and Blue Gene/Q) plus a measured spec for the host
+//!   this reproduction actually runs on.
+//! * [`roofline`] — the MFlup/s metric (paper Eq. 4) and Wellein et al.'s
+//!   attainable-performance model (paper Eq. 5), reproducing the paper's
+//!   Table II to the digit, including the torus lower bounds of §III-C.
+//! * [`measure`] — STREAM-triad bandwidth and FMA peak-flops probes, so the
+//!   same roofline methodology can be applied to the host running the
+//!   benchmark harness (the Fig. 8 "% of model peak" analysis).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod measure;
+pub mod roofline;
+pub mod spec;
+
+pub use roofline::{attainable, mflups, Attainable, KernelTraffic, Limiter};
+pub use spec::MachineSpec;

@@ -1,0 +1,139 @@
+//! Host microbenchmarks: measure the two roofline inputs on the machine the
+//! reproduction actually runs on.
+//!
+//! * [`stream_triad_gbs`] — a multithreaded STREAM-triad
+//!   (`a[i] = b[i] + s·c[i]`) over arrays far larger than cache, counting
+//!   the conventional 3 × 8 bytes per element (write-allocate traffic is
+//!   deliberately not counted, matching how the paper's `B_m` figures for
+//!   Blue Gene are quoted).
+//! * [`peak_gflops`] — a register-resident FMA chain (`x = x·a + b` on many
+//!   independent accumulators) counting 2 flops per `mul_add`.
+//!
+//! Both probes are deliberately short (hundreds of ms) — they feed the
+//! Fig. 8 "% of model peak" normalisation, not a certification run.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Measure main-memory bandwidth (GB/s) with a STREAM-triad over `threads`
+/// threads. `mib_per_thread` controls the working set (keep ≥ 64 MiB total
+/// to defeat last-level cache).
+pub fn stream_triad_gbs(threads: usize, mib_per_thread: usize, reps: usize) -> f64 {
+    assert!(threads > 0 && mib_per_thread > 0 && reps > 0);
+    let n = mib_per_thread * 1024 * 1024 / 8 / 3; // three arrays per thread
+    let secs: f64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut a = vec![0.0f64; n];
+                    let b = vec![1.5f64; n];
+                    let c = vec![2.5f64; n];
+                    let s = 3.0 + t as f64 * 1e-9;
+                    // Warm-up pass populates pages.
+                    triad(&mut a, &b, &c, s);
+                    let t0 = Instant::now();
+                    for _ in 0..reps {
+                        triad(&mut a, &b, &c, s);
+                    }
+                    black_box(a[n / 2]);
+                    t0.elapsed().as_secs_f64()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("triad thread panicked"))
+            .fold(0.0f64, f64::max)
+    });
+    let bytes = (threads * reps * n * 3 * 8) as f64;
+    bytes / secs / 1e9
+}
+
+#[inline(never)]
+fn triad(a: &mut [f64], b: &[f64], c: &[f64], s: f64) {
+    let n = a.len().min(b.len()).min(c.len());
+    let (a, b, c) = (&mut a[..n], &b[..n], &c[..n]);
+    for i in 0..n {
+        a[i] = b[i] + s * c[i];
+    }
+}
+
+/// Measure peak double-precision rate (GFlop/s) with register-resident FMA
+/// chains across `threads` threads.
+pub fn peak_gflops(threads: usize, iters_m: usize) -> f64 {
+    assert!(threads > 0 && iters_m > 0);
+    let iters = iters_m * 1_000_000;
+    const ACC: usize = 16; // independent chains to fill FMA pipelines
+    let secs: f64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut x = [1.000_000_1f64; ACC];
+                    for (k, v) in x.iter_mut().enumerate() {
+                        *v += k as f64 * 1e-9 + t as f64 * 1e-10;
+                    }
+                    let a = 0.999_999_9f64;
+                    let b = 1e-9f64;
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        for v in &mut x {
+                            *v = v.mul_add(a, b);
+                        }
+                    }
+                    black_box(x[0]);
+                    t0.elapsed().as_secs_f64()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fma thread panicked"))
+            .fold(0.0f64, f64::max)
+    });
+    let flops = (threads * iters * ACC * 2) as f64;
+    flops / secs / 1e9
+}
+
+/// Assemble a measured [`crate::MachineSpec`] for this host using all
+/// available parallelism.
+pub fn measure_host(threads: usize) -> crate::MachineSpec {
+    let bw = stream_triad_gbs(threads, 32, 3);
+    let fl = peak_gflops(threads, 40);
+    crate::MachineSpec::host(fl, bw, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_computes_the_triad() {
+        let mut a = vec![0.0; 100];
+        let b = vec![2.0; 100];
+        let c = vec![3.0; 100];
+        triad(&mut a, &b, &c, 10.0);
+        assert!(a.iter().all(|&v| (v - 32.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn bandwidth_probe_returns_sane_number() {
+        // Tiny probe: just checks plumbing, not accuracy.
+        let gbs = stream_triad_gbs(2, 4, 1);
+        assert!(gbs > 0.05 && gbs < 10_000.0, "{gbs}");
+    }
+
+    #[test]
+    fn flops_probe_returns_sane_number() {
+        let gf = peak_gflops(2, 5);
+        assert!(gf > 0.05 && gf < 100_000.0, "{gf}");
+    }
+
+    #[test]
+    fn host_spec_is_populated() {
+        let spec = measure_host(2);
+        assert!(spec.peak_gflops > 0.0);
+        assert!(spec.mem_bw_gbs > 0.0);
+        assert_eq!(spec.cores_per_node, 2);
+        assert!(spec.torus_agg_gbs.is_none());
+    }
+}

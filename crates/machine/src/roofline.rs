@@ -1,0 +1,264 @@
+//! The LBM performance model (paper §III-B/C).
+//!
+//! * **Eq. 4** — the metric: `P[MFlup/s] = s · N_fl / (T(s) · 10⁶)`.
+//! * **Eq. 5** — the attainable bound: `P = min(B_m / B ∥ P_peak / F)` where
+//!   `B` is bytes moved per cell update (two loads + one store per velocity:
+//!   456 B for D3Q19, 936 B for D3Q39) and `F` flops per cell update (178 /
+//!   190 in the paper's implementation).
+//!
+//! The functions here regenerate the paper's Table II, the §III-C torus
+//! lower bounds, and the hardware-efficiency ceilings (38% / 20% on BG/P)
+//! that frame the Fig. 8 results.
+
+use crate::spec::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// Per-cell traffic of one kernel implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTraffic {
+    /// Bytes to/from main memory per lattice-point update.
+    pub bytes_per_cell: f64,
+    /// Floating-point operations per lattice-point update.
+    pub flops_per_cell: f64,
+}
+
+impl KernelTraffic {
+    /// The paper's accounting for a Q-velocity BGK step: `B = 3·Q·8` bytes
+    /// and the given flop count.
+    pub fn lbm(q: usize, flops: usize) -> Self {
+        Self {
+            bytes_per_cell: (3 * q * 8) as f64,
+            flops_per_cell: flops as f64,
+        }
+    }
+
+    /// D3Q19 with the paper's 178 flops.
+    pub fn d3q19() -> Self {
+        Self::lbm(19, 178)
+    }
+
+    /// D3Q39 with the paper's 190 flops.
+    pub fn d3q39() -> Self {
+        Self::lbm(39, 190)
+    }
+
+    /// Arithmetic intensity in flops/byte.
+    pub fn intensity(&self) -> f64 {
+        self.flops_per_cell / self.bytes_per_cell
+    }
+}
+
+/// Which hardware resource caps the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    /// Main-store bandwidth (every case in the paper's Table II).
+    Bandwidth,
+    /// Peak flop rate.
+    Compute,
+}
+
+/// Output of the attainable-performance model (one Table II row pair).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Attainable {
+    /// `P(B_m)` in MFlup/s.
+    pub p_bandwidth: f64,
+    /// `P(P_peak)` in MFlup/s.
+    pub p_flops: f64,
+    /// The binding constraint (min of the two).
+    pub limiter: Limiter,
+}
+
+impl Attainable {
+    /// The attainable MFlup/s (the min; paper Eq. 5).
+    pub fn mflups(&self) -> f64 {
+        self.p_bandwidth.min(self.p_flops)
+    }
+
+    /// Upper bound on hardware (flop) efficiency: `P(B_m)/P(P_peak)` —
+    /// the paper's 38% (D3Q19) / 20% (D3Q39) ceilings on BG/P.
+    pub fn efficiency_bound(&self) -> f64 {
+        self.p_bandwidth / self.p_flops
+    }
+}
+
+/// Paper Eq. 5 for one machine/kernel pair.
+pub fn attainable(spec: &MachineSpec, t: &KernelTraffic) -> Attainable {
+    let p_bandwidth = spec.mem_bw_gbs * 1e9 / t.bytes_per_cell / 1e6;
+    let p_flops = spec.peak_gflops * 1e9 / t.flops_per_cell / 1e6;
+    Attainable {
+        p_bandwidth,
+        p_flops,
+        limiter: if p_bandwidth <= p_flops {
+            Limiter::Bandwidth
+        } else {
+            Limiter::Compute
+        },
+    }
+}
+
+/// Paper Eq. 4: MFlup/s from steps, fluid cells and wall time.
+pub fn mflups(steps: u64, fluid_cells: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    (steps as f64) * (fluid_cells as f64) / seconds / 1e6
+}
+
+/// §III-C: the crude parallel lower bound assuming every load/store crosses
+/// the torus (11.1 / 5.4 MFlup/s on BG/P, 70 / 34 on BG/Q).
+pub fn torus_lower_bound(spec: &MachineSpec, t: &KernelTraffic) -> Option<f64> {
+    spec.torus_agg_gbs
+        .map(|bw| bw * 1e9 / t.bytes_per_cell / 1e6)
+}
+
+/// One row of the Table II reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Platform name.
+    pub system: String,
+    /// Lattice label.
+    pub lattice: String,
+    /// Main-store bandwidth, GB/s.
+    pub bm_gbs: f64,
+    /// `P(B_m)`, MFlup/s.
+    pub p_bm: f64,
+    /// Peak GFlop/s.
+    pub ppeak_gflops: f64,
+    /// `P(P_peak)`, MFlup/s.
+    pub p_ppeak: f64,
+    /// Binding limit.
+    pub limiter: Limiter,
+    /// §III-C torus lower bound, MFlup/s.
+    pub torus_bound: Option<f64>,
+    /// Efficiency ceiling `P(B_m)/P(P_peak)`.
+    pub efficiency_bound: f64,
+}
+
+/// Regenerate the paper's Table II (plus the §III-C bounds) for a list of
+/// machines.
+pub fn table2(machines: &[MachineSpec]) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for (lattice, t) in [("D3Q19", KernelTraffic::d3q19()), ("D3Q39", KernelTraffic::d3q39())] {
+        for m in machines {
+            let a = attainable(m, &t);
+            rows.push(Table2Row {
+                system: m.name.clone(),
+                lattice: lattice.to_string(),
+                bm_gbs: m.mem_bw_gbs,
+                p_bm: a.p_bandwidth,
+                ppeak_gflops: m.peak_gflops,
+                p_ppeak: a.p_flops,
+                limiter: a.limiter,
+                torus_bound: torus_lower_bound(m, &t),
+                efficiency_bound: a.efficiency_bound(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn traffic_bytes_match_paper() {
+        assert_eq!(KernelTraffic::d3q19().bytes_per_cell, 456.0);
+        assert_eq!(KernelTraffic::d3q39().bytes_per_cell, 936.0);
+        assert_eq!(KernelTraffic::d3q19().flops_per_cell, 178.0);
+        assert_eq!(KernelTraffic::d3q39().flops_per_cell, 190.0);
+    }
+
+    #[test]
+    fn table2_bgp_matches_paper_digits() {
+        let m = MachineSpec::bgp();
+        let q19 = attainable(&m, &KernelTraffic::d3q19());
+        // Paper: 29 MFlup/s (we keep the unrounded 29.8) and 76.4 MFlup/s.
+        assert!(close(q19.p_bandwidth, 29.82, 0.05), "{}", q19.p_bandwidth);
+        assert!(close(q19.p_flops, 76.4, 0.05), "{}", q19.p_flops);
+        assert_eq!(q19.limiter, Limiter::Bandwidth);
+
+        let q39 = attainable(&m, &KernelTraffic::d3q39());
+        assert!(close(q39.p_bandwidth, 14.53, 0.05), "{}", q39.p_bandwidth);
+        assert!(close(q39.p_flops, 71.5, 0.1), "{}", q39.p_flops);
+        assert_eq!(q39.limiter, Limiter::Bandwidth);
+    }
+
+    #[test]
+    fn table2_bgq_matches_paper_digits() {
+        let m = MachineSpec::bgq();
+        let q19 = attainable(&m, &KernelTraffic::d3q19());
+        assert!(close(q19.p_bandwidth, 94.3, 0.2), "{}", q19.p_bandwidth);
+        assert!(close(q19.p_flops, 1150.6, 1.0), "{}", q19.p_flops);
+        let q39 = attainable(&m, &KernelTraffic::d3q39());
+        assert!(close(q39.p_bandwidth, 45.9, 0.2), "{}", q39.p_bandwidth);
+        assert!(close(q39.p_flops, 1077.9, 1.0), "{}", q39.p_flops);
+        assert_eq!(q39.limiter, Limiter::Bandwidth);
+    }
+
+    #[test]
+    fn torus_bounds_match_section_3c() {
+        let bgp = MachineSpec::bgp();
+        let bgq = MachineSpec::bgq();
+        let b19p = torus_lower_bound(&bgp, &KernelTraffic::d3q19()).unwrap();
+        let b39p = torus_lower_bound(&bgp, &KernelTraffic::d3q39()).unwrap();
+        let b19q = torus_lower_bound(&bgq, &KernelTraffic::d3q19()).unwrap();
+        let b39q = torus_lower_bound(&bgq, &KernelTraffic::d3q39()).unwrap();
+        assert!(close(b19p, 11.1, 0.15), "{b19p}");
+        assert!(close(b39p, 5.4, 0.1), "{b39p}");
+        assert!(close(b19q, 70.0, 0.3), "{b19q}");
+        assert!(close(b39q, 34.0, 0.2), "{b39q}");
+    }
+
+    #[test]
+    fn efficiency_bounds_match_paper() {
+        let m = MachineSpec::bgp();
+        let e19 = attainable(&m, &KernelTraffic::d3q19()).efficiency_bound();
+        let e39 = attainable(&m, &KernelTraffic::d3q39()).efficiency_bound();
+        // Paper: 38% and 20% (rounded).
+        assert!(close(e19, 0.39, 0.015), "{e19}");
+        assert!(close(e39, 0.20, 0.01), "{e39}");
+    }
+
+    #[test]
+    fn every_paper_case_is_bandwidth_limited() {
+        for m in [MachineSpec::bgp(), MachineSpec::bgq()] {
+            for t in [KernelTraffic::d3q19(), KernelTraffic::d3q39()] {
+                assert_eq!(attainable(&m, &t).limiter, Limiter::Bandwidth, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn eq4_mflups() {
+        // 300 steps × 10⁶ cells in 30 s = 10 MFlup/s.
+        assert!(close(mflups(300, 1_000_000, 30.0), 10.0, 1e-9));
+        assert_eq!(mflups(1, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn table2_has_four_rows_for_two_machines() {
+        let rows = table2(&[MachineSpec::bgp(), MachineSpec::bgq()]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| matches!(r.limiter, Limiter::Bandwidth)));
+        // D3Q39 halves the bandwidth-attainable MFlup/s (936/456 ≈ 2.05×).
+        let q19: Vec<_> = rows.iter().filter(|r| r.lattice == "D3Q19").collect();
+        let q39: Vec<_> = rows.iter().filter(|r| r.lattice == "D3Q39").collect();
+        for (a, b) in q19.iter().zip(&q39) {
+            let ratio = a.p_bm / b.p_bm;
+            assert!(close(ratio, 936.0 / 456.0, 1e-9), "{ratio}");
+        }
+    }
+
+    #[test]
+    fn intensity_is_low_as_paper_argues() {
+        // LBM's arithmetic intensity is far below 1 flop/byte on both
+        // lattices — the structural reason it is bandwidth-bound.
+        assert!(KernelTraffic::d3q19().intensity() < 0.5);
+        assert!(KernelTraffic::d3q39().intensity() < 0.25);
+    }
+}

@@ -1,0 +1,120 @@
+//! Hardware constants (paper §III-A, citing its refs [15]–[17]).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node hardware description sufficient for the paper's performance
+/// model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Platform name.
+    pub name: String,
+    /// Peak double-precision rate per node, GFlop/s.
+    pub peak_gflops: f64,
+    /// Main-store bandwidth per node, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Aggregate torus bandwidth per node, GB/s (None for a single host).
+    pub torus_agg_gbs: Option<f64>,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Memory per node, GB.
+    pub mem_per_node_gb: f64,
+}
+
+impl MachineSpec {
+    /// IBM Blue Gene/P: 4-core 850 MHz PowerPC 450, 13.6 GFlop/s and
+    /// 13.6 GB/s per node, 2 GB memory; 3-D torus with 425 MB/s per
+    /// unidirectional link × 12 links = 5.1 GB/s aggregate (§III-A, [15]).
+    pub fn bgp() -> Self {
+        Self {
+            name: "IBM Blue Gene/P".into(),
+            peak_gflops: 13.6,
+            mem_bw_gbs: 13.6,
+            torus_agg_gbs: Some(5.1),
+            cores_per_node: 4,
+            threads_per_core: 1,
+            clock_ghz: 0.85,
+            mem_per_node_gb: 2.0,
+        }
+    }
+
+    /// IBM Blue Gene/Q: 16-core 1.6 GHz PowerPC A2, 204.8 GFlop/s and
+    /// 43 GB/s per node, 16 GB memory; 5-D torus. The aggregate network
+    /// bandwidth (31.9 GB/s) is derived from the paper's own §III-C lower
+    /// bounds (70 MFlup/s × 456 B ≈ 34 MFlup/s × 936 B ≈ 31.9 GB/s),
+    /// consistent with its citation [17].
+    pub fn bgq() -> Self {
+        Self {
+            name: "IBM Blue Gene/Q".into(),
+            peak_gflops: 204.8,
+            mem_bw_gbs: 43.0,
+            torus_agg_gbs: Some(31.9),
+            cores_per_node: 16,
+            threads_per_core: 4,
+            clock_ghz: 1.6,
+            mem_per_node_gb: 16.0,
+        }
+    }
+
+    /// A host spec assembled from measured numbers (see [`crate::measure`]).
+    pub fn host(peak_gflops: f64, mem_bw_gbs: f64, cores: usize) -> Self {
+        Self {
+            name: "measured host".into(),
+            peak_gflops,
+            mem_bw_gbs,
+            torus_agg_gbs: None,
+            cores_per_node: cores,
+            threads_per_core: 1,
+            clock_ghz: 0.0,
+            mem_per_node_gb: 0.0,
+        }
+    }
+
+    /// Machine balance in bytes/flop — the paper's closing argument is the
+    /// *decline* of this number from BG/P to BG/Q (1.0 → 0.21), which is why
+    /// bandwidth-bound LBM loses relative efficiency on newer machines.
+    pub fn balance_bytes_per_flop(&self) -> f64 {
+        self.mem_bw_gbs / self.peak_gflops
+    }
+
+    /// Maximum hardware threads per node.
+    pub fn max_threads(&self) -> usize {
+        self.cores_per_node * self.threads_per_core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgp_constants_match_paper() {
+        let m = MachineSpec::bgp();
+        assert_eq!(m.peak_gflops, 13.6);
+        assert_eq!(m.mem_bw_gbs, 13.6);
+        assert_eq!(m.cores_per_node, 4);
+        assert_eq!(m.max_threads(), 4);
+        assert!((m.balance_bytes_per_flop() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bgq_constants_match_paper() {
+        let m = MachineSpec::bgq();
+        assert_eq!(m.peak_gflops, 204.8);
+        assert_eq!(m.mem_bw_gbs, 43.0);
+        assert_eq!(m.max_threads(), 64);
+        // The balance collapse the paper's conclusion highlights.
+        assert!(m.balance_bytes_per_flop() < 0.25);
+    }
+
+    #[test]
+    fn host_spec_has_no_torus() {
+        let m = MachineSpec::host(100.0, 20.0, 24);
+        assert!(m.torus_agg_gbs.is_none());
+        assert_eq!(m.cores_per_node, 24);
+        assert!((m.balance_bytes_per_flop() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the performance model: the roofline must behave like
+//! one for arbitrary machine/kernel parameters.
+
+use proptest::prelude::*;
+
+use lbm_machine::roofline::{attainable, mflups, torus_lower_bound, Limiter};
+use lbm_machine::{KernelTraffic, MachineSpec};
+
+fn arb_spec() -> impl Strategy<Value = MachineSpec> {
+    (1.0f64..500.0, 1.0f64..500.0, 1usize..64).prop_map(|(gf, bw, cores)| {
+        let mut m = MachineSpec::host(gf, bw, cores);
+        m.torus_agg_gbs = Some(bw / 4.0);
+        m
+    })
+}
+
+fn arb_traffic() -> impl Strategy<Value = KernelTraffic> {
+    (7usize..64, 50usize..400).prop_map(|(q, f)| KernelTraffic::lbm(q, f))
+}
+
+proptest! {
+    /// The attainable rate is min of the two ceilings and the limiter tags
+    /// the smaller one.
+    #[test]
+    fn attainable_is_min_and_limiter_consistent(spec in arb_spec(), t in arb_traffic()) {
+        let a = attainable(&spec, &t);
+        prop_assert!(a.p_bandwidth > 0.0 && a.p_flops > 0.0);
+        prop_assert!((a.mflups() - a.p_bandwidth.min(a.p_flops)).abs() < 1e-9);
+        match a.limiter {
+            Limiter::Bandwidth => prop_assert!(a.p_bandwidth <= a.p_flops),
+            Limiter::Compute => prop_assert!(a.p_flops < a.p_bandwidth),
+        }
+    }
+
+    /// More bandwidth never lowers the bound; more bytes/cell never raises it.
+    #[test]
+    fn monotonicity(spec in arb_spec(), t in arb_traffic(), factor in 1.01f64..4.0) {
+        let a = attainable(&spec, &t);
+        let mut faster = spec.clone();
+        faster.mem_bw_gbs *= factor;
+        prop_assert!(attainable(&faster, &t).mflups() >= a.mflups() - 1e-12);
+        let heavier = KernelTraffic {
+            bytes_per_cell: t.bytes_per_cell * factor,
+            flops_per_cell: t.flops_per_cell,
+        };
+        prop_assert!(attainable(&spec, &heavier).mflups() <= a.mflups() + 1e-12);
+    }
+
+    /// The torus bound is always below the memory-bandwidth bound when the
+    /// torus is slower than memory (as on every real machine).
+    #[test]
+    fn torus_bound_below_memory_bound(spec in arb_spec(), t in arb_traffic()) {
+        let a = attainable(&spec, &t);
+        let tb = torus_lower_bound(&spec, &t).unwrap();
+        prop_assert!(tb <= a.p_bandwidth + 1e-12);
+    }
+
+    /// Eq. 4 scales linearly in steps and cells, inversely in time.
+    #[test]
+    fn eq4_scaling(steps in 1u64..1000, cells in 1u64..1_000_000, secs in 0.1f64..100.0) {
+        let p = mflups(steps, cells, secs);
+        prop_assert!((mflups(steps * 2, cells, secs) - 2.0 * p).abs() < 1e-6 * p.max(1.0));
+        prop_assert!((mflups(steps, cells, secs * 2.0) - p / 2.0).abs() < 1e-6 * p.max(1.0));
+    }
+
+    /// The efficiency ceiling equals the ratio of the two bounds and is the
+    /// fraction of peak flops a bandwidth-bound kernel can ever reach.
+    #[test]
+    fn efficiency_ceiling_definition(spec in arb_spec(), t in arb_traffic()) {
+        let a = attainable(&spec, &t);
+        let e = a.efficiency_bound();
+        prop_assert!(e > 0.0);
+        prop_assert!((e - a.p_bandwidth / a.p_flops).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Experiment configuration.
+
+use lbm_comm::CostModel;
+use lbm_core::equilibrium::EqOrder;
+use lbm_core::error::{Error, Result};
+use lbm_core::index::Dim3;
+use lbm_core::kernels::OptLevel;
+use lbm_core::lattice::{Lattice, LatticeKind};
+
+/// Communication schedule (paper §V-E/F, Fig. 9 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommStrategy {
+    /// Blocking exchange at cycle start; receives completed one at a time
+    /// (sum of link delays). The `Orig`…`LoBr` rungs of the ladder.
+    Blocking,
+    /// Nonblocking posts with an *immediate* waitall — the paper's "NB-C"
+    /// without ghost cells (Fig. 9 solid lines): zero overlap window,
+    /// but completion is max-of-links rather than sum.
+    NonBlockingEager,
+    /// Nonblocking with ghost cells: sends posted at cycle end, waited at
+    /// the start of the next cycle ("NB-C & GC", Fig. 9 dash-dot).
+    NonBlockingGhost,
+    /// Separate ghost-cell collide (paper Fig. 7, "GC-C", Fig. 9 dashed):
+    /// border planes collided first, sends posted, then the interior collide
+    /// overlaps the messages in flight.
+    OverlapGhostCollide,
+}
+
+impl CommStrategy {
+    /// The schedule each optimization rung used in the paper.
+    pub fn for_level(level: OptLevel) -> Self {
+        match level {
+            OptLevel::Orig | OptLevel::Gc | OptLevel::Dh | OptLevel::Cf | OptLevel::LoBr => {
+                CommStrategy::Blocking
+            }
+            OptLevel::NbC => CommStrategy::NonBlockingGhost,
+            OptLevel::GcC | OptLevel::Simd => CommStrategy::OverlapGhostCollide,
+        }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommStrategy::Blocking => "Blocking",
+            CommStrategy::NonBlockingEager => "NB-C",
+            CommStrategy::NonBlockingGhost => "NB-C & GC",
+            CommStrategy::OverlapGhostCollide => "GC-C",
+        }
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Discrete velocity model.
+    pub lattice: LatticeKind,
+    /// Equilibrium order (None = natural for the lattice: 3rd on D3Q39).
+    pub order: Option<EqOrder>,
+    /// Global periodic box.
+    pub global: Dim3,
+    /// BGK relaxation time.
+    pub tau: f64,
+    /// Time steps to run (after warmup).
+    pub steps: usize,
+    /// Untimed warmup steps.
+    pub warmup: usize,
+    /// Number of ranks (1-D decomposition along x).
+    pub ranks: usize,
+    /// Rayon threads per rank (1 = serial kernels).
+    pub threads_per_rank: usize,
+    /// Ghost-cell depth d in multiples of the lattice reach k (paper §V-A).
+    pub ghost_depth: usize,
+    /// Kernel optimization rung.
+    pub level: OptLevel,
+    /// Communication schedule (None = the rung's paper default).
+    pub strategy: Option<CommStrategy>,
+    /// Injected link-cost model.
+    pub cost: CostModel,
+    /// Multiplicative per-substep compute jitter (0 = none): emulates OS /
+    /// node noise; each substep sleeps an extra `U(0,jitter)` fraction of
+    /// its own measured duration (deterministic per rank/step).
+    pub compute_jitter: f64,
+    /// Deterministic per-rank compute slowdown ramp (0 = homogeneous):
+    /// rank r runs `1 + skew·r/(ranks−1)` times slower. This is the node
+    /// heterogeneity (placement/daemon/DVFS) stand-in that produces the
+    /// paper's Fig. 9 min→max communication-time gradient: fast ranks
+    /// accumulate wait on slow neighbours.
+    pub compute_skew: f64,
+    /// Initial flow: amplitude of the Taylor–Green mode used to make the
+    /// field non-trivial (0 = uniform rest fluid).
+    pub init_u0: f64,
+}
+
+impl SimConfig {
+    /// A reasonable default configuration for the given lattice and box.
+    pub fn new(lattice: LatticeKind, global: Dim3) -> Self {
+        Self {
+            lattice,
+            order: None,
+            global,
+            tau: 0.8,
+            steps: 10,
+            warmup: 0,
+            ranks: 1,
+            threads_per_rank: 1,
+            ghost_depth: 1,
+            level: OptLevel::Simd,
+            strategy: None,
+            cost: CostModel::free(),
+            compute_jitter: 0.0,
+            compute_skew: 0.0,
+            init_u0: 0.02,
+        }
+    }
+
+    /// Resolved equilibrium order.
+    pub fn eq_order(&self) -> EqOrder {
+        self.order.unwrap_or(match self.lattice {
+            LatticeKind::D3Q39 => EqOrder::Third,
+            _ => EqOrder::Second,
+        })
+    }
+
+    /// Resolved communication strategy.
+    pub fn comm_strategy(&self) -> CommStrategy {
+        self.strategy.unwrap_or(CommStrategy::for_level(self.level))
+    }
+
+    /// Halo width in lattice planes: `d · k`.
+    pub fn halo_width(&self) -> usize {
+        self.ghost_depth * Lattice::new(self.lattice).reach()
+    }
+
+    /// Validate decomposition, halo and shape constraints; returns the
+    /// smallest per-rank plane count on success.
+    pub fn validate(&self) -> Result<usize> {
+        let lat = Lattice::new(self.lattice);
+        let k = lat.reach();
+        if self.ghost_depth == 0 {
+            return Err(Error::BadHalo("ghost depth must be ≥ 1".into()));
+        }
+        if self.tau <= 0.5 {
+            return Err(Error::BadParameter(format!("tau must exceed 0.5: {}", self.tau)));
+        }
+        if self.threads_per_rank == 0 || self.ranks == 0 {
+            return Err(Error::BadDecomposition("ranks and threads must be ≥ 1".into()));
+        }
+        if self.global.ny <= 2 * k || self.global.nz <= 2 * k {
+            return Err(Error::BadDimensions(format!(
+                "ny/nz must exceed 2·k = {} for {}",
+                2 * k,
+                lat.name()
+            )));
+        }
+        let dec = lbm_core::domain::Decomp1d::new(self.global, self.ranks)?;
+        let h = self.halo_width();
+        let mut min_nx = usize::MAX;
+        for r in 0..self.ranks {
+            let sub = dec.subdomain(r);
+            // The paper's out-of-memory wall: the exchange sends the
+            // outermost `h` owned planes, so h > nx cannot run (the 133k
+            // GC=4 failure of Fig. 10).
+            sub.validate_halo(h)?;
+            min_nx = min_nx.min(sub.nx);
+        }
+        Ok(min_nx)
+    }
+
+    // -- builder-style helpers (each returns self) --
+
+    /// Set relaxation time.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Set step count.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Set rank count.
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Set threads per rank.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads_per_rank = threads;
+        self
+    }
+
+    /// Set ghost depth (multiples of k).
+    pub fn with_ghost_depth(mut self, d: usize) -> Self {
+        self.ghost_depth = d;
+        self
+    }
+
+    /// Set the kernel rung.
+    pub fn with_level(mut self, level: OptLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Override the communication schedule.
+    pub fn with_strategy(mut self, s: CommStrategy) -> Self {
+        self.strategy = Some(s);
+        self
+    }
+
+    /// Set the link-cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Set compute jitter.
+    pub fn with_jitter(mut self, j: f64) -> Self {
+        self.compute_jitter = j;
+        self
+    }
+
+    /// Set the per-rank compute slowdown ramp.
+    pub fn with_compute_skew(mut self, s: f64) -> Self {
+        self.compute_skew = s;
+        self
+    }
+
+    /// Set warmup steps.
+    pub fn with_warmup(mut self, w: usize) -> Self {
+        self.warmup = w;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(16));
+        assert!(c.validate().is_ok());
+        assert_eq!(c.eq_order(), EqOrder::Second);
+        assert_eq!(c.comm_strategy(), CommStrategy::OverlapGhostCollide);
+    }
+
+    #[test]
+    fn q39_defaults_to_third_order_and_k3_halo() {
+        let c = SimConfig::new(LatticeKind::D3Q39, Dim3::cube(16)).with_ghost_depth(2);
+        assert_eq!(c.eq_order(), EqOrder::Third);
+        assert_eq!(c.halo_width(), 6);
+    }
+
+    #[test]
+    fn strategy_ladder_mapping_matches_paper() {
+        assert_eq!(CommStrategy::for_level(OptLevel::Orig), CommStrategy::Blocking);
+        assert_eq!(CommStrategy::for_level(OptLevel::LoBr), CommStrategy::Blocking);
+        assert_eq!(CommStrategy::for_level(OptLevel::NbC), CommStrategy::NonBlockingGhost);
+        assert_eq!(CommStrategy::for_level(OptLevel::GcC), CommStrategy::OverlapGhostCollide);
+        assert_eq!(CommStrategy::for_level(OptLevel::Simd), CommStrategy::OverlapGhostCollide);
+    }
+
+    #[test]
+    fn oversized_halo_is_rejected_like_the_paper_oom() {
+        // 16 planes over 8 ranks = 2 planes/rank; depth 3 (k=1) needs 3.
+        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+            .with_ranks(8)
+            .with_ghost_depth(3);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn thin_cross_sections_are_rejected_for_q39() {
+        let c = SimConfig::new(LatticeKind::D3Q39, Dim3::new(16, 6, 16));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_tau_and_zero_threads_rejected() {
+        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(8)).with_tau(0.5);
+        assert!(c.validate().is_err());
+        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(8)).with_threads(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_returns_min_planes() {
+        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::new(10, 8, 8)).with_ranks(3);
+        assert_eq!(c.validate().unwrap(), 3); // 4+3+3
+    }
+}

@@ -1,0 +1,624 @@
+//! The per-rank distributed solver: deep-halo stepping plus the paper's
+//! communication schedules.
+//!
+//! ## Deep-halo cycle (paper §V-A)
+//!
+//! With ghost depth `d` (halo width `H = d·k`), halos are exchanged once per
+//! `d` steps. After an exchange the field is valid on all `L + 2H` allocated
+//! planes; each pull-stream+collide consumes `k` planes of validity per side,
+//! so sub-step `j` computes on `[(j+1)·k, L + 2H − (j+1)·k)` — the interior
+//! plus the still-needed part of the halo (the "extra computation" the paper
+//! trades against message count). After `d` sub-steps exactly the owned
+//! planes are valid and the next exchange refills the halos.
+//!
+//! ## Schedules (paper §V-E/F, Fig. 7/9)
+//!
+//! * [`CommStrategy::Blocking`] — exchange at cycle start, receives completed
+//!   one link at a time (sum of delays).
+//! * [`CommStrategy::NonBlockingEager`] — nonblocking posts, immediate
+//!   waitall (max of delays, zero overlap): the no-ghost NB-C of Fig. 9.
+//! * [`CommStrategy::NonBlockingGhost`] — sends posted at cycle end, waited
+//!   at next cycle start (NB-C & GC).
+//! * [`CommStrategy::OverlapGhostCollide`] — on the last sub-step the border
+//!   planes are collided first, sends posted, and the interior collide
+//!   overlaps the in-flight messages (GC-C, Fig. 7).
+
+use std::time::Instant;
+
+use lbm_comm::comm::RecvRequest;
+use lbm_comm::Comm;
+use lbm_core::domain::{Decomp1d, Subdomain};
+use lbm_core::equilibrium::EqOrder;
+use lbm_core::field::DistField;
+use lbm_core::kernels::{self, KernelCtx, OptLevel, StreamTables, MAX_Q};
+use lbm_core::moments::Moments;
+use lbm_core::perf::PerfCounters;
+use lbm_core::prelude::Bgk;
+use lbm_core::Result;
+
+use crate::config::{CommStrategy, SimConfig};
+use crate::halo::{self, Side};
+
+/// One rank's solver state.
+pub struct RankSolver {
+    /// Kernel context (lattice, equilibrium constants, ω).
+    pub ctx: KernelCtx,
+    /// This rank's subdomain.
+    pub sub: Subdomain,
+    level: OptLevel,
+    strategy: CommStrategy,
+    /// Lattice reach k.
+    k: usize,
+    /// Halo width H = d·k.
+    h: usize,
+    /// Ghost depth d.
+    depth: usize,
+    f: DistField,
+    tmp: DistField,
+    tables: StreamTables,
+    pool: Option<rayon::ThreadPool>,
+    /// Performance counters (owned vs ghost updates, compute time).
+    pub counters: PerfCounters,
+    jitter: f64,
+    skew: f64,
+    cycle: u64,
+    send_buf: Vec<f64>,
+    pending: Vec<RecvRequest>,
+}
+
+/// Tag-space offset for the no-ghost mid-step (scatter) exchange, keeping it
+/// disjoint from the cycle-boundary halo exchange tags.
+const MIDSTEP_TAG_BASE: u64 = 1 << 40;
+
+impl RankSolver {
+    /// Build the solver for `rank` under `cfg` (assumed validated).
+    pub fn new(cfg: &SimConfig, rank: usize) -> Result<Self> {
+        cfg.validate()?;
+        let order: EqOrder = cfg.eq_order();
+        let ctx = KernelCtx::new(cfg.lattice, order, Bgk::new(cfg.tau)?);
+        let k = ctx.lat.reach();
+        let h = cfg.halo_width();
+        let dec = Decomp1d::new(cfg.global, cfg.ranks)?;
+        let sub = dec.subdomain(rank);
+        let owned = sub.owned();
+        let f = DistField::new(ctx.lat.q(), owned, h)?;
+        let tmp = f.clone();
+        let tables = StreamTables::new(owned.ny, owned.nz);
+        let pool = if cfg.threads_per_rank > 1 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(cfg.threads_per_rank)
+                    .build()
+                    .expect("rayon pool"),
+            )
+        } else {
+            None
+        };
+        let mut solver = Self {
+            ctx,
+            sub,
+            level: cfg.level,
+            strategy: cfg.comm_strategy(),
+            k,
+            h,
+            depth: cfg.ghost_depth,
+            f,
+            tmp,
+            tables,
+            pool,
+            counters: PerfCounters::new(),
+            jitter: cfg.compute_jitter,
+            skew: if cfg.ranks > 1 {
+                cfg.compute_skew * rank as f64 / (cfg.ranks - 1) as f64
+            } else {
+                0.0
+            },
+            cycle: 0,
+            send_buf: Vec::new(),
+            pending: Vec::new(),
+        };
+        solver.init_taylor_green(1.0, cfg.init_u0);
+        Ok(solver)
+    }
+
+    /// Initialise to a global Taylor–Green mode (halos included — trig
+    /// periodicity makes the wrap-around halos exact, so the first cycle
+    /// needs no exchange).
+    pub fn init_taylor_green(&mut self, rho0: f64, u0: f64) {
+        let g = self.sub.global;
+        let x_off = self.sub.x_start as isize;
+        lbm_core::init::taylor_green(&self.ctx, &mut self.f, rho0, u0, g.nx, g.ny, x_off, self.h);
+        self.cycle = 0;
+        self.pending.clear();
+    }
+
+    /// Allocated x extent.
+    fn alloc_nx(&self) -> usize {
+        self.f.alloc_dims().nx
+    }
+
+    /// Owned region in allocation coordinates.
+    fn owned(&self) -> (usize, usize) {
+        (self.h, self.h + self.sub.nx)
+    }
+
+    /// Compute region for sub-step `j`.
+    fn region(&self, j: usize) -> (usize, usize) {
+        let lo = (j + 1) * self.k;
+        let hi = self.alloc_nx() - (j + 1) * self.k;
+        (lo, hi)
+    }
+
+    /// Message tags for the exchange consumed at the start of `cycle`:
+    /// `(to_left, to_right)`.
+    fn tags(cycle: u64) -> (u64, u64) {
+        (cycle * 2, cycle * 2 + 1)
+    }
+
+    /// Run `steps` time steps.
+    pub fn run(&mut self, comm: &mut Comm, steps: usize) {
+        let mut done = 0;
+        while done < steps {
+            let in_cycle = self.depth.min(steps - done);
+            self.begin_cycle(comm);
+            for j in 0..in_cycle {
+                self.substep(comm, j, in_cycle);
+            }
+            self.end_cycle(comm);
+            self.cycle += 1;
+            done += in_cycle;
+        }
+    }
+
+    fn begin_cycle(&mut self, comm: &mut Comm) {
+        if self.cycle == 0 {
+            return; // halos valid from initialisation
+        }
+        if self.sub.ranks == 1 {
+            halo::fill_periodic_self(&mut self.f, self.h);
+            return;
+        }
+        let (to_left, to_right) = Self::tags(self.cycle);
+        let left = self.sub.left();
+        let right = self.sub.right();
+        match self.strategy {
+            CommStrategy::Blocking => {
+                // Send both borders, then complete receives one at a time
+                // (the naive sum-of-delays pattern).
+                halo::pack_border(&self.f, Side::Left, self.h, &mut self.send_buf);
+                comm.send(left, to_left, self.send_buf.clone()).expect("send");
+                halo::pack_border(&self.f, Side::Right, self.h, &mut self.send_buf);
+                comm.send(right, to_right, self.send_buf.clone()).expect("send");
+                // My left halo comes from my left neighbour's to_right send.
+                let from_left = comm.recv(left, to_right).expect("recv");
+                halo::unpack_halo(&mut self.f, Side::Left, self.h, &from_left);
+                let from_right = comm.recv(right, to_left).expect("recv");
+                halo::unpack_halo(&mut self.f, Side::Right, self.h, &from_right);
+            }
+            CommStrategy::NonBlockingEager => {
+                // Nonblocking posts but an immediate waitall: zero overlap.
+                halo::pack_border(&self.f, Side::Left, self.h, &mut self.send_buf);
+                let _ = comm.isend(left, to_left, self.send_buf.clone()).expect("isend");
+                halo::pack_border(&self.f, Side::Right, self.h, &mut self.send_buf);
+                let _ = comm.isend(right, to_right, self.send_buf.clone()).expect("isend");
+                let rl = comm.irecv(left, to_right).expect("irecv");
+                let rr = comm.irecv(right, to_left).expect("irecv");
+                let msgs = comm.waitall(vec![rl, rr]).expect("waitall");
+                halo::unpack_halo(&mut self.f, Side::Left, self.h, &msgs[0]);
+                halo::unpack_halo(&mut self.f, Side::Right, self.h, &msgs[1]);
+            }
+            CommStrategy::NonBlockingGhost | CommStrategy::OverlapGhostCollide => {
+                // Sends were posted at the end of the previous cycle.
+                let reqs = std::mem::take(&mut self.pending);
+                debug_assert_eq!(reqs.len(), 2, "ghost schedule must have posted receives");
+                let msgs = comm.waitall(reqs).expect("waitall");
+                halo::unpack_halo(&mut self.f, Side::Left, self.h, &msgs[0]);
+                halo::unpack_halo(&mut self.f, Side::Right, self.h, &msgs[1]);
+            }
+        }
+    }
+
+    fn end_cycle(&mut self, comm: &mut Comm) {
+        if self.sub.ranks == 1 {
+            return;
+        }
+        match self.strategy {
+            CommStrategy::Blocking | CommStrategy::NonBlockingEager => {}
+            CommStrategy::NonBlockingGhost => {
+                // Post sends and receives for the next cycle now; the gap to
+                // the next cycle's waitall is the (limited) overlap window.
+                let (to_left, to_right) = Self::tags(self.cycle + 1);
+                let left = self.sub.left();
+                let right = self.sub.right();
+                halo::pack_border(&self.f, Side::Left, self.h, &mut self.send_buf);
+                let _ = comm.isend(left, to_left, self.send_buf.clone()).expect("isend");
+                halo::pack_border(&self.f, Side::Right, self.h, &mut self.send_buf);
+                let _ = comm.isend(right, to_right, self.send_buf.clone()).expect("isend");
+                self.post_receives(comm);
+            }
+            CommStrategy::OverlapGhostCollide => {
+                // Sends already posted inside the last sub-step; receives too.
+                debug_assert_eq!(self.pending.len(), 2);
+            }
+        }
+    }
+
+    fn post_receives(&mut self, comm: &mut Comm) {
+        let (to_left, to_right) = Self::tags(self.cycle + 1);
+        let left = self.sub.left();
+        let right = self.sub.right();
+        let rl = comm.irecv(left, to_right).expect("irecv");
+        let rr = comm.irecv(right, to_left).expect("irecv");
+        self.pending = vec![rl, rr];
+    }
+
+    fn substep(&mut self, comm: &mut Comm, j: usize, in_cycle: usize) {
+        let t0 = Instant::now();
+        let (lo, hi) = self.region(j);
+        let (own_lo, own_hi) = self.owned();
+
+        self.stream(lo, hi);
+
+        if self.strategy == CommStrategy::NonBlockingEager && self.sub.ranks > 1 {
+            // No-ghost-cells data flow (paper's bare NB-C): in push form the
+            // collide depends on the neighbours' *stream* output of this very
+            // step, so the exchange sits mid-step with zero overlap window.
+            // We exchange the post-stream borders and wait immediately —
+            // the unhideable stall that the GC rungs remove.
+            let step_tag = MIDSTEP_TAG_BASE + self.cycle * 64 + j as u64;
+            let left = self.sub.left();
+            let right = self.sub.right();
+            halo::pack_border(&self.tmp, Side::Left, self.h, &mut self.send_buf);
+            let _ = comm.isend(left, step_tag, self.send_buf.clone()).expect("isend");
+            halo::pack_border(&self.tmp, Side::Right, self.h, &mut self.send_buf);
+            let _ = comm
+                .isend(right, step_tag + 32, self.send_buf.clone())
+                .expect("isend");
+            let rl = comm.irecv(left, step_tag + 32).expect("irecv");
+            let rr = comm.irecv(right, step_tag).expect("irecv");
+            let msgs = comm.waitall(vec![rl, rr]).expect("waitall");
+            halo::unpack_halo(&mut self.tmp, Side::Left, self.h, &msgs[0]);
+            halo::unpack_halo(&mut self.tmp, Side::Right, self.h, &msgs[1]);
+        }
+
+        let overlap_now = self.strategy == CommStrategy::OverlapGhostCollide
+            && j + 1 == in_cycle
+            && self.sub.ranks > 1;
+        if overlap_now {
+            // GC-C (paper Fig. 7): collide the border planes of the *owned*
+            // region first so their new state can be sent immediately…
+            let b = self.h.min((own_hi - own_lo).div_ceil(2));
+            let border_lo = (own_lo, own_lo + b);
+            let border_hi = ((own_hi - b).max(own_lo + b), own_hi);
+            self.collide(border_lo.0, border_lo.1);
+            if border_hi.0 < border_hi.1 {
+                self.collide(border_hi.0, border_hi.1);
+            }
+            let (to_left, to_right) = Self::tags(self.cycle + 1);
+            let left = self.sub.left();
+            let right = self.sub.right();
+            halo::pack_border(&self.tmp, Side::Left, self.h, &mut self.send_buf);
+            let _ = comm.isend(left, to_left, self.send_buf.clone()).expect("isend");
+            halo::pack_border(&self.tmp, Side::Right, self.h, &mut self.send_buf);
+            let _ = comm.isend(right, to_right, self.send_buf.clone()).expect("isend");
+            self.post_receives(comm);
+            // …then collide everything else while the messages fly: the
+            // ghost-region planes plus the interior.
+            if lo < own_lo {
+                self.collide(lo, own_lo);
+            }
+            if border_lo.1 < border_hi.0 {
+                self.collide(border_lo.1, border_hi.0);
+            }
+            if own_hi < hi {
+                self.collide(own_hi, hi);
+            }
+        } else {
+            self.collide(lo, hi);
+        }
+
+        std::mem::swap(&mut self.f, &mut self.tmp);
+
+        let mut dt = t0.elapsed();
+        if self.jitter > 0.0 || self.skew > 0.0 {
+            let u = jitter_u01(self.sub.rank as u64, self.cycle * 64 + j as u64);
+            let extra = dt.mul_f64(self.jitter * u + self.skew);
+            spin_sleep(extra);
+            dt += extra;
+        }
+        let plane = self.f.alloc_dims().plane() as u64;
+        let owned_cells = (own_hi - own_lo) as u64 * plane;
+        let ghost_cells = ((hi - lo) as u64 - (own_hi - own_lo) as u64) * plane;
+        self.counters.record(owned_cells, ghost_cells, dt);
+    }
+
+    fn stream(&mut self, lo: usize, hi: usize) {
+        match &self.pool {
+            Some(pool) if self.level >= OptLevel::Dh => pool.install(|| {
+                kernels::par::stream_par(&self.ctx, &self.tables, &self.f, &mut self.tmp, lo, hi);
+            }),
+            _ => kernels::stream(self.level, &self.ctx, &self.tables, &self.f, &mut self.tmp, lo, hi),
+        }
+    }
+
+    fn collide(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        match &self.pool {
+            Some(pool) if self.level >= OptLevel::Dh => pool.install(|| {
+                kernels::par::collide_par(&self.ctx, &mut self.tmp, lo, hi);
+            }),
+            _ => kernels::collide(self.level, &self.ctx, &mut self.tmp, lo, hi),
+        }
+    }
+
+    /// Owned-region mass and momentum, summed across ranks.
+    pub fn global_invariants(&self, comm: &mut Comm) -> (f64, [f64; 3]) {
+        let (mass, mom) = self.local_invariants();
+        let v = comm.allreduce_sum(&[mass, mom[0], mom[1], mom[2]]);
+        (v[0], [v[1], v[2], v[3]])
+    }
+
+    /// Owned-region mass and momentum on this rank.
+    pub fn local_invariants(&self) -> (f64, [f64; 3]) {
+        let d = self.f.alloc_dims();
+        let q = self.ctx.lat.q();
+        let (lo, hi) = self.owned();
+        let mut cell = [0.0f64; MAX_Q];
+        let mut mass = 0.0;
+        let mut mom = [0.0f64; 3];
+        for x in lo..hi {
+            for y in 0..d.ny {
+                for z in 0..d.nz {
+                    let lin = d.idx(x, y, z);
+                    self.f.gather_cell(lin, &mut cell[..q]);
+                    let m = Moments::of_cell(&self.ctx.lat, &cell[..q]);
+                    mass += m.rho;
+                    for a in 0..3 {
+                        mom[a] += m.rho * m.u[a];
+                    }
+                }
+            }
+        }
+        (mass, mom)
+    }
+
+    /// Copy of the owned planes (halo-free), for cross-run comparisons.
+    pub fn owned_snapshot(&self) -> DistField {
+        let owned = self.sub.owned();
+        let mut out = DistField::new(self.ctx.lat.q(), owned, 0).expect("snapshot alloc");
+        let ds = self.f.alloc_dims();
+        let dd = out.alloc_dims();
+        for i in 0..self.ctx.lat.q() {
+            for x in 0..owned.nx {
+                let s = ds.idx(x + self.h, 0, 0);
+                let t = dd.idx(x, 0, 0);
+                let row = self.f.slab(i)[s..s + ds.plane()].to_vec();
+                out.slab_mut(i)[t..t + dd.plane()].copy_from_slice(&row);
+            }
+        }
+        out
+    }
+
+    /// Reset the performance counters (after warmup).
+    pub fn reset_counters(&mut self) {
+        self.counters = PerfCounters::new();
+    }
+
+    /// The current field (owned + halos) — test/diagnostic access.
+    pub fn field(&self) -> &DistField {
+        &self.f
+    }
+}
+
+/// Deterministic `[0,1)` hash noise for compute jitter.
+fn jitter_u01(rank: u64, step: u64) -> f64 {
+    let mut x = rank
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(step)
+        .wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 29;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn spin_sleep(d: std::time::Duration) {
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_comm::{CostModel, Universe};
+    use lbm_core::index::Dim3;
+    use lbm_core::lattice::LatticeKind;
+
+    /// Reference: run the same problem on one rank with the reference
+    /// kernels (global periodic push-stream).
+    fn reference_run(cfg: &SimConfig, steps: usize) -> DistField {
+        let ctx = KernelCtx::new(cfg.lattice, cfg.eq_order(), Bgk::new(cfg.tau).unwrap());
+        let mut f = DistField::new(ctx.lat.q(), cfg.global, 0).unwrap();
+        lbm_core::init::taylor_green(&ctx, &mut f, 1.0, cfg.init_u0, cfg.global.nx, cfg.global.ny, 0, 0);
+        let mut tmp = f.clone();
+        for _ in 0..steps {
+            lbm_core::kernels::reference::step_periodic(&ctx, &mut f, &mut tmp);
+        }
+        f
+    }
+
+    fn distributed_owned(cfg: &SimConfig, steps: usize) -> Vec<DistField> {
+        Universe::run(cfg.ranks, cfg.cost.clone(), |comm| {
+            let mut s = RankSolver::new(cfg, comm.rank()).unwrap();
+            s.run(comm, steps);
+            s.owned_snapshot()
+        })
+    }
+
+    fn compare_to_reference(cfg: &SimConfig, steps: usize, tol: f64) {
+        let reference = reference_run(cfg, steps);
+        let snaps = distributed_owned(cfg, steps);
+        let dref = reference.alloc_dims();
+        let mut x0 = 0usize;
+        let mut max_diff: f64 = 0.0;
+        for snap in snaps {
+            let ds = snap.alloc_dims();
+            for i in 0..snap.q() {
+                for x in 0..ds.nx {
+                    let a = dref.idx(x0 + x, 0, 0);
+                    let b = ds.idx(x, 0, 0);
+                    for p in 0..dref.plane() {
+                        max_diff = max_diff
+                            .max((reference.slab(i)[a + p] - snap.slab(i)[b + p]).abs());
+                    }
+                }
+            }
+            x0 += ds.nx;
+        }
+        assert!(
+            max_diff <= tol,
+            "distributed differs from reference by {max_diff} (cfg: {:?} ranks={} depth={} level={:?} strat={:?})",
+            cfg.lattice, cfg.ranks, cfg.ghost_depth, cfg.level, cfg.comm_strategy()
+        );
+    }
+
+    #[test]
+    fn single_rank_matches_reference_q19() {
+        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .with_level(OptLevel::Gc);
+        compare_to_reference(&cfg, 5, 1e-13);
+    }
+
+    #[test]
+    fn multi_rank_matches_reference_q19_all_strategies() {
+        for strategy in [
+            CommStrategy::Blocking,
+            CommStrategy::NonBlockingEager,
+            CommStrategy::NonBlockingGhost,
+            CommStrategy::OverlapGhostCollide,
+        ] {
+            let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+                .with_ranks(3)
+                .with_level(OptLevel::LoBr)
+                .with_strategy(strategy);
+            compare_to_reference(&cfg, 6, 1e-12);
+        }
+    }
+
+    #[test]
+    fn deep_halo_matches_reference_q19() {
+        for depth in [1usize, 2, 3] {
+            let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+                .with_ranks(2)
+                .with_ghost_depth(depth)
+                .with_level(OptLevel::Cf)
+                .with_strategy(CommStrategy::NonBlockingGhost);
+            compare_to_reference(&cfg, 7, 1e-12);
+        }
+    }
+
+    #[test]
+    fn deep_halo_matches_reference_q39() {
+        // k = 3: depth 2 means 6-plane halos.
+        for depth in [1usize, 2] {
+            let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+                .with_ranks(2)
+                .with_ghost_depth(depth)
+                .with_level(OptLevel::Simd)
+                .with_strategy(CommStrategy::OverlapGhostCollide);
+            compare_to_reference(&cfg, 5, 1e-11);
+        }
+    }
+
+    #[test]
+    fn orig_level_matches_reference_multirank() {
+        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .with_ranks(4)
+            .with_level(OptLevel::Orig);
+        compare_to_reference(&cfg, 4, 1e-12);
+    }
+
+    #[test]
+    fn hybrid_threads_match_reference() {
+        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .with_ranks(2)
+            .with_threads(3)
+            .with_level(OptLevel::Simd)
+            .with_strategy(CommStrategy::OverlapGhostCollide);
+        compare_to_reference(&cfg, 5, 1e-11);
+    }
+
+    #[test]
+    fn rank_count_invariance_is_bitwise_per_level() {
+        // The same kernel class must produce identical owned fields
+        // regardless of decomposition (1 vs 4 ranks).
+        let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .with_level(OptLevel::LoBr)
+            .with_strategy(CommStrategy::NonBlockingGhost);
+        let single = distributed_owned(&base.clone().with_ranks(1), 6);
+        let multi = distributed_owned(&base.with_ranks(4), 6);
+        let whole = &single[0];
+        let dw = whole.alloc_dims();
+        let mut x0 = 0;
+        for part in multi {
+            let dp = part.alloc_dims();
+            for i in 0..part.q() {
+                for x in 0..dp.nx {
+                    let a = dw.idx(x0 + x, 0, 0);
+                    let b = dp.idx(x, 0, 0);
+                    assert_eq!(
+                        &whole.slab(i)[a..a + dw.plane()],
+                        &part.slab(i)[b..b + dp.plane()],
+                        "slab {i} plane {x}"
+                    );
+                }
+            }
+            x0 += dp.nx;
+        }
+    }
+
+    #[test]
+    fn invariants_conserved_across_run() {
+        let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+            .with_ranks(2)
+            .with_ghost_depth(1)
+            .with_level(OptLevel::Simd);
+        let out = Universe::run(cfg.ranks, CostModel::free(), |comm| {
+            let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+            let before = s.global_invariants(comm);
+            s.run(comm, 8);
+            let after = s.global_invariants(comm);
+            (before, after)
+        });
+        for (before, after) in out {
+            assert!((before.0 - after.0).abs() < 1e-9 * before.0, "mass");
+            for a in 0..3 {
+                assert!((before.1[a] - after.1[a]).abs() < 1e-9, "momentum {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_track_ghost_overhead() {
+        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+            .with_ranks(2)
+            .with_ghost_depth(2)
+            .with_level(OptLevel::Cf)
+            .with_strategy(CommStrategy::NonBlockingGhost);
+        let counters = Universe::run(cfg.ranks, CostModel::free(), |comm| {
+            let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+            s.run(comm, 4);
+            (s.counters.updates, s.counters.ghost_updates)
+        });
+        for (owned, ghost) in counters {
+            // 4 steps × 8 owned planes × 64 cells.
+            assert_eq!(owned, 4 * 8 * 64);
+            // Depth 2 (k=1): per cycle extra = k·d(d−1) = 2 planes; 2 cycles.
+            assert_eq!(ghost, 2 * 2 * 64);
+        }
+    }
+}

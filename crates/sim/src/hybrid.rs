@@ -1,0 +1,111 @@
+//! Hybrid rank × thread configuration helpers (paper §VI-B, Fig. 11).
+//!
+//! The paper's hybrid argument: for a fixed machine partition, trading MPI
+//! ranks for threads shrinks the number of subdomains and therefore the
+//! total ghost-cell footprint — "for any ghost cell depth n, the number of
+//! ghost cells in a simulation is equal to the area of the cross sections of
+//! the number of domains multiplied by 2n". The D3Q39 model benefits twice:
+//! its halos are k = 3 deep per ghost level and its populations are ~2×
+//! larger.
+
+/// One point of a Fig. 11 tasks–threads sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// MPI-analogue ranks.
+    pub ranks: usize,
+    /// Threads per rank.
+    pub threads: usize,
+}
+
+impl HybridConfig {
+    /// Total hardware threads used.
+    pub fn cpus(&self) -> usize {
+        self.ranks * self.threads
+    }
+
+    /// Label in the paper's "tasks-threads" style (e.g. `4-16`).
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.ranks, self.threads)
+    }
+}
+
+/// Total ghost cells for a decomposition: `domains × cross_section × 2·depth·k`
+/// (the paper's §VI-B formula).
+pub fn total_ghost_cells(domains: usize, cross_section: usize, depth: usize, k: usize) -> usize {
+    domains * cross_section * 2 * depth * k
+}
+
+/// The Blue Gene/P-style sweep of Fig. 11a: a fixed rank count with 1–4
+/// threads, plus "virtual node" mode (4× ranks, 1 thread).
+pub fn bgp_sweep(base_ranks: usize) -> Vec<(String, HybridConfig)> {
+    let mut v: Vec<(String, HybridConfig)> = (1..=4)
+        .map(|t| {
+            (
+                format!("{t}T"),
+                HybridConfig {
+                    ranks: base_ranks,
+                    threads: t,
+                },
+            )
+        })
+        .collect();
+    v.push((
+        "VN".to_string(),
+        HybridConfig {
+            ranks: base_ranks * 4,
+            threads: 1,
+        },
+    ));
+    v
+}
+
+/// A Blue Gene/Q-style tasks–threads grid (Fig. 11b) bounded by `max_cpus`
+/// total threads and `max_ranks` available subdomain planes.
+pub fn bgq_sweep(max_cpus: usize, max_ranks: usize) -> Vec<HybridConfig> {
+    let mut v = Vec::new();
+    let mut ranks = 1;
+    while ranks <= max_ranks {
+        let mut threads = 1;
+        while ranks * threads <= max_cpus {
+            v.push(HybridConfig { ranks, threads });
+            threads *= 2;
+        }
+        ranks *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghost_cell_formula() {
+        // 8 domains, 32×32 cross-section, depth 2, k = 3: 8·1024·12.
+        assert_eq!(total_ghost_cells(8, 1024, 2, 3), 98_304);
+        // Halving the domain count halves the ghost total — the hybrid win.
+        assert_eq!(
+            total_ghost_cells(4, 1024, 2, 3) * 2,
+            total_ghost_cells(8, 1024, 2, 3)
+        );
+    }
+
+    #[test]
+    fn bgp_sweep_shape() {
+        let s = bgp_sweep(8);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0].1, HybridConfig { ranks: 8, threads: 1 });
+        assert_eq!(s[3].1, HybridConfig { ranks: 8, threads: 4 });
+        assert_eq!(s[4].0, "VN");
+        assert_eq!(s[4].1, HybridConfig { ranks: 32, threads: 1 });
+    }
+
+    #[test]
+    fn bgq_sweep_respects_bounds() {
+        let s = bgq_sweep(16, 8);
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|c| c.cpus() <= 16 && c.ranks <= 8));
+        assert!(s.contains(&HybridConfig { ranks: 4, threads: 4 }));
+        assert_eq!(HybridConfig { ranks: 4, threads: 4 }.label(), "4-4");
+    }
+}

@@ -1,0 +1,38 @@
+//! # lbm-sim
+//!
+//! Simulation drivers tying the core kernels ([`lbm_core`]) to the
+//! message-passing substrate ([`lbm_comm`]): this is where the paper's
+//! parallel machinery lives.
+//!
+//! * [`config`] — experiment configuration (lattice, domain, ladder level,
+//!   ghost depth, ranks × threads, link-cost model).
+//! * [`halo`] — border pack/unpack with the paper's *message aggregation*
+//!   (all velocities to one neighbour in a single message, §IV).
+//! * [`distributed`] — the per-rank solver implementing the paper's
+//!   communication schedules: blocking (Orig), eager nonblocking (the
+//!   no-ghost NB-C of Fig. 9), nonblocking with ghost cells (NB-C & GC),
+//!   and the overlapped separate ghost-collide schedule of Fig. 7 (GC-C) —
+//!   plus **deep halo** stepping (ghost depth d: exchange every d steps over
+//!   `d·k`-wide halos with a shrinking valid region, §V-A).
+//! * [`hybrid`] — rank-local rayon pools: the MPI/OpenMP hybrid of §VI-B.
+//! * [`physics`] — a single-rank solver with walls and Guo forcing for the
+//!   validation flows (Poiseuille/Couette/microchannel/pulsatile pipe).
+//! * [`observables`], [`output`], [`report`], [`runner`] — measurement,
+//!   file output and the experiment entry points used by `lbm-bench`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod config;
+pub mod distributed;
+pub mod halo;
+pub mod hybrid;
+pub mod observables;
+pub mod output;
+pub mod physics;
+pub mod report;
+pub mod runner;
+
+pub use config::{CommStrategy, SimConfig};
+pub use report::{RankReport, RunReport};
+pub use runner::run_distributed;

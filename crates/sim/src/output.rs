@@ -1,0 +1,153 @@
+//! File output: CSV series and PGM/PPM images (the Fig. 1-style density
+//! visuals).
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use lbm_core::field::ScalarField;
+
+/// Write a CSV file with a header row and f64 rows.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.9e}")).collect();
+        writeln!(w, "{}", line.join(","))?;
+    }
+    w.flush()
+}
+
+/// Normalise values to 0..=255 over their min..max range (constant fields
+/// map to mid-gray).
+fn normalize(values: &[f64]) -> Vec<u8> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !(hi > lo) {
+        return vec![128; values.len()];
+    }
+    values
+        .iter()
+        .map(|v| (255.0 * (v - lo) / (hi - lo)).round().clamp(0.0, 255.0) as u8)
+        .collect()
+}
+
+/// Write a 2-D scalar field (`dims.nz == 1`) as a binary PGM image,
+/// x across, y down.
+pub fn write_pgm(path: &Path, field: &ScalarField) -> io::Result<()> {
+    let d = field.dims();
+    assert_eq!(d.nz, 1, "write_pgm expects a 2-D slice");
+    let px = normalize(field.values());
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "P5\n{} {}\n255\n", d.nx, d.ny)?;
+    // ScalarField is x-major; images are row(y)-major.
+    for y in 0..d.ny {
+        for x in 0..d.nx {
+            w.write_all(&[px[d.idx(x, y, 0)]])?;
+        }
+    }
+    w.flush()
+}
+
+/// Write a 2-D scalar field as a colour PPM using a blue→white→red map
+/// (diverging, like the paper's Fig. 1 rendering).
+pub fn write_ppm(path: &Path, field: &ScalarField) -> io::Result<()> {
+    let d = field.dims();
+    assert_eq!(d.nz, 1, "write_ppm expects a 2-D slice");
+    let px = normalize(field.values());
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "P6\n{} {}\n255\n", d.nx, d.ny)?;
+    for y in 0..d.ny {
+        for x in 0..d.nx {
+            let t = px[d.idx(x, y, 0)] as f64 / 255.0;
+            let (r, g, b) = diverging(t);
+            w.write_all(&[r, g, b])?;
+        }
+    }
+    w.flush()
+}
+
+/// Blue (0) → white (0.5) → red (1) colour map.
+fn diverging(t: f64) -> (u8, u8, u8) {
+    let t = t.clamp(0.0, 1.0);
+    if t < 0.5 {
+        let s = t * 2.0;
+        (
+            (s * 255.0) as u8,
+            (s * 255.0) as u8,
+            255,
+        )
+    } else {
+        let s = (t - 0.5) * 2.0;
+        (
+            255,
+            ((1.0 - s) * 255.0) as u8,
+            ((1.0 - s) * 255.0) as u8,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::index::Dim3;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let dir = std::env::temp_dir().join("lbm_sim_test_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        write_csv(&p, &["a", "b"], &[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "a,b");
+        assert!(lines[1].starts_with("1.0"));
+    }
+
+    #[test]
+    fn normalize_handles_constant_and_range() {
+        assert_eq!(normalize(&[5.0, 5.0]), vec![128, 128]);
+        let n = normalize(&[0.0, 1.0, 2.0]);
+        assert_eq!(n, vec![0, 128, 255]);
+    }
+
+    #[test]
+    fn pgm_has_correct_header_and_size() {
+        let dir = std::env::temp_dir().join("lbm_sim_test_pgm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.pgm");
+        let mut f = ScalarField::new(Dim3::new(4, 3, 1));
+        f.set(0, 0, 0, 1.0);
+        write_pgm(&p, &f).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let header = b"P5\n4 3\n255\n";
+        assert_eq!(&bytes[..header.len()], header);
+        assert_eq!(bytes.len(), header.len() + 12);
+    }
+
+    #[test]
+    fn ppm_is_rgb() {
+        let dir = std::env::temp_dir().join("lbm_sim_test_ppm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.ppm");
+        let mut f = ScalarField::new(Dim3::new(2, 2, 1));
+        f.set(0, 0, 0, -1.0);
+        f.set(1, 1, 0, 1.0);
+        write_ppm(&p, &f).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let header = b"P6\n2 2\n255\n";
+        assert_eq!(&bytes[..header.len()], header);
+        assert_eq!(bytes.len(), header.len() + 12);
+    }
+
+    #[test]
+    fn diverging_endpoints() {
+        assert_eq!(diverging(0.0), (0, 0, 255));
+        assert_eq!(diverging(1.0), (255, 0, 0));
+        let (r, g, b) = diverging(0.5);
+        assert!(r > 250 && g > 250 && b > 250);
+    }
+}

@@ -1,0 +1,433 @@
+//! Single-rank physics solver: walls, body force, optional solid geometry.
+//!
+//! The paper's performance study is periodic-only, but the flows motivating
+//! it (§I: microfluidics, microvascular plasma, MEMS) need walls and a
+//! driver. This solver provides them for the examples and validation tests:
+//!
+//! * periodic in x (flow direction) and z,
+//! * y bounded by [`ChannelWalls`] (bounce-back / moving / Maxwell-diffuse),
+//! * optional solid mask over the (y,z) cross-section (full-way bounce-back)
+//!   for pipe-like geometries — the aorta illustration,
+//! * constant or time-varying body force via the Guo scheme.
+
+use lbm_core::boundary::ChannelWalls;
+use lbm_core::collision::{guo_source_i, Bgk, BodyForce};
+use lbm_core::equilibrium::{feq_i_consts, EqOrder};
+use lbm_core::error::{Error, Result};
+use lbm_core::field::DistField;
+use lbm_core::index::Dim3;
+use lbm_core::kernels::{self, KernelCtx, OptLevel, StreamTables, MAX_Q};
+use lbm_core::lattice::{Lattice, LatticeKind};
+
+use crate::halo::fill_periodic_self;
+
+/// Bounded-channel / masked-geometry LBM solver (single rank).
+pub struct ChannelSim {
+    /// Kernel context.
+    pub ctx: KernelCtx,
+    /// y-walls.
+    pub walls: ChannelWalls,
+    force: BodyForce,
+    f: DistField,
+    tmp: DistField,
+    tables: StreamTables,
+    /// Halo width (= lattice reach) used for x periodicity.
+    h: usize,
+    /// Optional solid mask over (y, z): `true` = solid, applied at every x.
+    mask: Option<Vec<bool>>,
+    dims_fluid: Dim3,
+    steps_done: u64,
+}
+
+impl ChannelSim {
+    /// Create a channel of `fluid` interior size (walls are added on top of
+    /// `fluid.ny`: allocated ny = fluid.ny + 2·layers).
+    pub fn new(
+        lattice: LatticeKind,
+        tau: f64,
+        fluid: Dim3,
+        walls: ChannelWalls,
+        force: BodyForce,
+    ) -> Result<Self> {
+        let lat = Lattice::new(lattice);
+        let k = lat.reach();
+        if walls.layers < k {
+            return Err(Error::BadParameter(format!(
+                "walls need ≥ {k} solid layers for {}",
+                lat.name()
+            )));
+        }
+        let order = match lattice {
+            LatticeKind::D3Q39 => EqOrder::Third,
+            _ => EqOrder::Second,
+        };
+        let ctx = KernelCtx::new(lattice, order, Bgk::new(tau)?);
+        let ny_alloc = fluid.ny + 2 * walls.layers;
+        if fluid.nz <= 2 * k || fluid.nx < 1 {
+            return Err(Error::BadDimensions(format!(
+                "fluid box too small for reach {k}: {fluid:?}"
+            )));
+        }
+        let owned = Dim3::new(fluid.nx, ny_alloc, fluid.nz);
+        let mut f = DistField::new(ctx.lat.q(), owned, k)?;
+        lbm_core::init::uniform(&ctx, &mut f, 1.0, [0.0; 3]);
+        let tmp = f.clone();
+        let tables = StreamTables::new(ny_alloc, fluid.nz);
+        Ok(Self {
+            ctx,
+            walls,
+            force,
+            f,
+            tmp,
+            tables,
+            h: k,
+            mask: None,
+            dims_fluid: fluid,
+            steps_done: 0,
+        })
+    }
+
+    /// Install a solid mask over the (y, z) cross-section (`true` = solid);
+    /// masked cells bounce back all populations each step. The mask indexes
+    /// the *allocated* y (walls' solid layers included).
+    pub fn set_mask<F>(&mut self, mut is_solid: F)
+    where
+        F: FnMut(usize, usize) -> bool,
+    {
+        let d = self.f.alloc_dims();
+        let mut m = vec![false; d.ny * d.nz];
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                m[y * d.nz + z] = is_solid(y, z);
+            }
+        }
+        self.mask = Some(m);
+    }
+
+    /// Update the body force (for pulsatile driving).
+    pub fn set_force(&mut self, force: BodyForce) {
+        self.force = force;
+    }
+
+    /// Interior (fluid) dimensions.
+    pub fn fluid_dims(&self) -> Dim3 {
+        self.dims_fluid
+    }
+
+    /// Allocated y extent (fluid + solid layers).
+    pub fn ny_alloc(&self) -> usize {
+        self.f.alloc_dims().ny
+    }
+
+    /// Fluid y range in allocated coordinates.
+    pub fn fluid_y(&self) -> std::ops::Range<usize> {
+        self.walls.fluid_y(self.ny_alloc())
+    }
+
+    /// Steps taken so far.
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Current distribution field (read access for observables).
+    pub fn field(&self) -> &DistField {
+        &self.f
+    }
+
+    /// Advance one time step.
+    pub fn step(&mut self) {
+        let (x_lo, x_hi) = (self.h, self.h + self.dims_fluid.nx);
+        // x periodicity via self-exchange of the k-wide halos.
+        fill_periodic_self(&mut self.f, self.h);
+        // Pull-stream everything (solid rows included so walls see arrivals).
+        kernels::stream(
+            OptLevel::LoBr,
+            &self.ctx,
+            &self.tables,
+            &self.f,
+            &mut self.tmp,
+            x_lo,
+            x_hi,
+        );
+        // Walls transform the populations that just arrived in solid rows.
+        self.walls.apply(&self.ctx, &mut self.tmp, x_lo, x_hi);
+        if self.mask.is_some() {
+            self.apply_mask(x_lo, x_hi);
+        }
+        // Collide fluid rows only, with the Guo forcing term.
+        self.collide_forced(x_lo, x_hi);
+        std::mem::swap(&mut self.f, &mut self.tmp);
+        self.steps_done += 1;
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    fn apply_mask(&mut self, x_lo: usize, x_hi: usize) {
+        let d = self.tmp.alloc_dims();
+        let q = self.ctx.lat.q();
+        let mask = self.mask.as_ref().expect("mask checked by caller");
+        let mut cell = [0.0f64; MAX_Q];
+        let mut out = [0.0f64; MAX_Q];
+        for x in x_lo..x_hi {
+            for y in 0..d.ny {
+                for z in 0..d.nz {
+                    if !mask[y * d.nz + z] {
+                        continue;
+                    }
+                    let lin = d.idx(x, y, z);
+                    self.tmp.gather_cell(lin, &mut cell[..q]);
+                    for i in 0..q {
+                        out[i] = cell[self.ctx.lat.opposite(i)];
+                    }
+                    self.tmp.scatter_cell(lin, &out[..q]);
+                }
+            }
+        }
+    }
+
+    /// Per-cell BGK + Guo forcing over fluid cells (solid rows and masked
+    /// cells skipped).
+    fn collide_forced(&mut self, x_lo: usize, x_hi: usize) {
+        let d = self.tmp.alloc_dims();
+        let q = self.ctx.lat.q();
+        let k = &self.ctx.consts;
+        let third = self.ctx.third_order();
+        let omega = self.ctx.omega;
+        let g = self.force.g;
+        let fluid_y = self.fluid_y();
+        let mask = self.mask.as_deref();
+        let mut cell = [0.0f64; MAX_Q];
+        for x in x_lo..x_hi {
+            for y in fluid_y.clone() {
+                for z in 0..d.nz {
+                    if let Some(m) = mask {
+                        if m[y * d.nz + z] {
+                            continue;
+                        }
+                    }
+                    let lin = d.idx(x, y, z);
+                    self.tmp.gather_cell(lin, &mut cell[..q]);
+                    let mut rho = 0.0;
+                    let mut mom = [0.0f64; 3];
+                    for (i, fv) in cell[..q].iter().enumerate() {
+                        let c = k.c[i];
+                        rho += fv;
+                        mom[0] += fv * c[0];
+                        mom[1] += fv * c[1];
+                        mom[2] += fv * c[2];
+                    }
+                    // Guo half-force velocity shift (g is a force density).
+                    let inv = 1.0 / rho;
+                    let u = [
+                        (mom[0] + 0.5 * g[0]) * inv,
+                        (mom[1] + 0.5 * g[1]) * inv,
+                        (mom[2] + 0.5 * g[2]) * inv,
+                    ];
+                    for (i, fv) in cell[..q].iter_mut().enumerate() {
+                        let fe = feq_i_consts(k, third, i, rho, u);
+                        let s = guo_source_i(&self.ctx.lat, i, u, g, omega);
+                        *fv += omega * (fe - *fv) + s;
+                    }
+                    self.tmp.scatter_cell(lin, &cell[..q]);
+                }
+            }
+        }
+    }
+
+    /// Mean `u_x(y)` over fluid rows (see [`crate::observables::ux_profile`]).
+    pub fn velocity_profile(&self) -> Vec<f64> {
+        crate::observables::ux_profile(&self.ctx, &self.f, self.fluid_y())
+    }
+
+    /// Total fluid mass (excludes solid rows and masked cells).
+    pub fn fluid_mass(&self) -> f64 {
+        let d = self.f.alloc_dims();
+        let q = self.ctx.lat.q();
+        let mut cell = [0.0f64; MAX_Q];
+        let mut mass = 0.0;
+        for x in self.f.owned_x() {
+            for y in self.fluid_y() {
+                for z in 0..d.nz {
+                    if let Some(m) = self.mask.as_ref() {
+                        if m[y * d.nz + z] {
+                            continue;
+                        }
+                    }
+                    let lin = d.idx(x, y, z);
+                    self.f.gather_cell(lin, &mut cell[..q]);
+                    mass += cell[..q].iter().sum::<f64>();
+                }
+            }
+        }
+        mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::analytic;
+
+    #[test]
+    fn poiseuille_profile_converges_to_parabola() {
+        // Narrow channel, moderate force, run to near steady state.
+        let lattice = LatticeKind::D3Q19;
+        let tau = 0.9;
+        let fluid = Dim3::new(4, 17, 8);
+        let g = 1e-5;
+        let mut sim = ChannelSim::new(
+            lattice,
+            tau,
+            fluid,
+            ChannelWalls::no_slip(1),
+            BodyForce::along_x(g),
+        )
+        .unwrap();
+        sim.run(3000);
+        let profile = sim.velocity_profile();
+        let nu = Bgk::new(tau).unwrap().viscosity(1.0 / 3.0);
+        // Bounce-back walls sit on the links half a cell outside the
+        // first/last fluid rows: width H = ny, fluid row j at y = j + ½.
+        let h_eff = fluid.ny as f64;
+        let mut worst = 0.0f64;
+        for (j, u) in profile.iter().enumerate() {
+            let y = j as f64 + 0.5;
+            let want = analytic::poiseuille(g, nu, h_eff, y);
+            worst = worst.max((u - want).abs() / want.abs().max(1e-12));
+        }
+        assert!(worst < 0.03, "relative profile error {worst}");
+    }
+
+    #[test]
+    fn couette_profile_is_linear() {
+        use lbm_core::boundary::WallKind;
+        let fluid = Dim3::new(4, 15, 8);
+        let uw = 0.04;
+        let walls = ChannelWalls {
+            low: WallKind::BounceBack,
+            high: WallKind::Moving {
+                u: [uw, 0.0, 0.0],
+                rho: 1.0,
+            },
+            layers: 1,
+        };
+        let mut sim =
+            ChannelSim::new(LatticeKind::D3Q19, 0.8, fluid, walls, BodyForce::default()).unwrap();
+        sim.run(4000);
+        let profile = sim.velocity_profile();
+        let h = fluid.ny as f64 + 1.0;
+        let mut worst = 0.0f64;
+        for (j, u) in profile.iter().enumerate() {
+            let y = j as f64 + 1.0;
+            let want = analytic::couette(uw, h, y);
+            worst = worst.max((u - want).abs());
+        }
+        assert!(worst < 0.15 * uw, "couette error {worst}");
+    }
+
+    #[test]
+    fn diffuse_walls_produce_slip_at_high_knudsen() {
+        // Same force-driven channel; diffuse (kinetic) walls at a large
+        // relaxation time → finite-Kn slip: the wall-adjacent velocity stays
+        // a visible fraction of the centreline velocity, unlike bounce-back.
+        let fluid = Dim3::new(4, 13, 8);
+        let g = 1e-5;
+        let tau = 1.8; // Kn ≈ c_s(τ−½)/H well into the slip regime
+        let mut slip_sim = ChannelSim::new(
+            LatticeKind::D3Q39,
+            tau,
+            fluid,
+            ChannelWalls::diffuse(3),
+            BodyForce::along_x(g),
+        )
+        .unwrap();
+        slip_sim.run(2500);
+        let p_slip = slip_sim.velocity_profile();
+        let wall_u = p_slip[0];
+        let centre_u = p_slip[fluid.ny / 2];
+        assert!(centre_u > 0.0);
+        let slip_ratio = wall_u / centre_u;
+        assert!(
+            slip_ratio > 0.15,
+            "expected kinetic slip, got ratio {slip_ratio} ({p_slip:?})"
+        );
+
+        // Bounce-back reference: near-zero wall velocity ratio.
+        let mut ns_sim = ChannelSim::new(
+            LatticeKind::D3Q39,
+            tau,
+            fluid,
+            ChannelWalls::no_slip(3),
+            BodyForce::along_x(g),
+        )
+        .unwrap();
+        ns_sim.run(2500);
+        let p_ns = ns_sim.velocity_profile();
+        let ns_ratio = p_ns[0] / p_ns[fluid.ny / 2];
+        assert!(
+            slip_ratio > 2.0 * ns_ratio,
+            "diffuse slip {slip_ratio} should far exceed bounce-back {ns_ratio}"
+        );
+    }
+
+    #[test]
+    fn mass_is_conserved_with_walls_and_force() {
+        let fluid = Dim3::new(4, 9, 8);
+        let mut sim = ChannelSim::new(
+            LatticeKind::D3Q19,
+            0.8,
+            fluid,
+            ChannelWalls::no_slip(1),
+            BodyForce::along_x(1e-5),
+        )
+        .unwrap();
+        let m0 = sim.fluid_mass();
+        sim.run(200);
+        let m1 = sim.fluid_mass();
+        // Fluid exchanges a little mass with the wall layers transiently;
+        // the total drift must stay tiny.
+        assert!((m1 - m0).abs() < 1e-6 * m0, "{m0} -> {m1}");
+    }
+
+    #[test]
+    fn masked_pipe_flow_is_fastest_on_axis() {
+        let fluid = Dim3::new(4, 15, 15);
+        let mut sim = ChannelSim::new(
+            LatticeKind::D3Q19,
+            0.9,
+            fluid,
+            ChannelWalls::no_slip(1),
+            BodyForce::along_x(2e-5),
+        )
+        .unwrap();
+        let (cy, cz, r) = (8.5, 7.5, 6.0);
+        sim.set_mask(|y, z| {
+            let dy = y as f64 - cy;
+            let dz = z as f64 - cz;
+            (dy * dy + dz * dz).sqrt() > r
+        });
+        sim.run(1200);
+        let (_, u) = crate::observables::macro_fields(&sim.ctx, sim.field());
+        let axis = u.get(1, 8, 7)[0];
+        let edge = u.get(1, 8, 2)[0]; // near the mask boundary
+        assert!(axis > 0.0, "axis velocity {axis}");
+        assert!(axis > 3.0 * edge.abs().max(1e-9), "axis {axis} vs edge {edge}");
+    }
+
+    #[test]
+    fn rejects_too_thin_walls_for_q39() {
+        let r = ChannelSim::new(
+            LatticeKind::D3Q39,
+            0.9,
+            Dim3::new(4, 9, 8),
+            ChannelWalls::no_slip(1),
+            BodyForce::default(),
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Serializable run reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-rank measurement summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankReport {
+    /// Rank id.
+    pub rank: usize,
+    /// Owned lattice cells.
+    pub owned_cells: u64,
+    /// Owned-cell updates performed.
+    pub updates: u64,
+    /// Ghost-cell updates performed (deep-halo overhead).
+    pub ghost_updates: u64,
+    /// Compute seconds (including injected jitter).
+    pub compute_secs: f64,
+    /// Seconds blocked in point-to-point waits.
+    pub wait_secs: f64,
+    /// Seconds blocked in barriers.
+    pub barrier_secs: f64,
+    /// Seconds blocked in collectives.
+    pub collective_secs: f64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Total wall seconds for the timed phase on this rank.
+    pub wall_secs: f64,
+}
+
+impl RankReport {
+    /// Total communication seconds (the paper's Fig. 9 quantity).
+    pub fn comm_secs(&self) -> f64 {
+        self.wait_secs + self.barrier_secs + self.collective_secs
+    }
+}
+
+/// Whole-run summary (all ranks).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Lattice name.
+    pub lattice: String,
+    /// Optimization rung label.
+    pub level: String,
+    /// Communication schedule label.
+    pub strategy: String,
+    /// Rank count.
+    pub ranks: usize,
+    /// Threads per rank.
+    pub threads_per_rank: usize,
+    /// Ghost depth d.
+    pub ghost_depth: usize,
+    /// Global domain (nx, ny, nz).
+    pub global: (usize, usize, usize),
+    /// Timed steps.
+    pub steps: usize,
+    /// Max per-rank wall seconds (the run's wall time).
+    pub wall_secs: f64,
+    /// MFlup/s by the paper's Eq. 4 (owned cells only).
+    pub mflups: f64,
+    /// MFlup/s counting ghost updates as work.
+    pub mflups_with_ghost: f64,
+    /// Min per-rank communication seconds.
+    pub comm_min_secs: f64,
+    /// Median per-rank communication seconds.
+    pub comm_median_secs: f64,
+    /// Max per-rank communication seconds.
+    pub comm_max_secs: f64,
+    /// Global mass after the run (conservation check).
+    pub mass: f64,
+    /// Per-rank details.
+    pub per_rank: Vec<RankReport>,
+}
+
+impl RunReport {
+    /// Assemble from per-rank reports.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        lattice: String,
+        level: String,
+        strategy: String,
+        threads_per_rank: usize,
+        ghost_depth: usize,
+        global: (usize, usize, usize),
+        steps: usize,
+        mass: f64,
+        per_rank: Vec<RankReport>,
+    ) -> Self {
+        let ranks = per_rank.len();
+        let wall_secs = per_rank.iter().map(|r| r.wall_secs).fold(0.0, f64::max);
+        let cells: u64 = per_rank.iter().map(|r| r.owned_cells).sum();
+        let updates: u64 = per_rank.iter().map(|r| r.updates).sum();
+        let ghost: u64 = per_rank.iter().map(|r| r.ghost_updates).sum();
+        debug_assert_eq!(updates, steps as u64 * cells);
+        let mflups = if wall_secs > 0.0 {
+            updates as f64 / wall_secs / 1e6
+        } else {
+            0.0
+        };
+        let mflups_with_ghost = if wall_secs > 0.0 {
+            (updates + ghost) as f64 / wall_secs / 1e6
+        } else {
+            0.0
+        };
+        let mut comms: Vec<f64> = per_rank.iter().map(|r| r.comm_secs()).collect();
+        comms.sort_by(f64::total_cmp);
+        Self {
+            lattice,
+            level,
+            strategy,
+            ranks,
+            threads_per_rank,
+            ghost_depth,
+            global,
+            steps,
+            wall_secs,
+            mflups,
+            mflups_with_ghost,
+            comm_min_secs: comms[0],
+            comm_median_secs: comms[comms.len() / 2],
+            comm_max_secs: comms[comms.len() - 1],
+            mass,
+            per_rank,
+        }
+    }
+
+    /// Ghost overhead fraction of all updates.
+    pub fn ghost_fraction(&self) -> f64 {
+        let u: u64 = self.per_rank.iter().map(|r| r.updates).sum();
+        let g: u64 = self.per_rank.iter().map(|r| r.ghost_updates).sum();
+        if u + g == 0 {
+            0.0
+        } else {
+            g as f64 / (u + g) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr(rank: usize, wall: f64, wait: f64) -> RankReport {
+        RankReport {
+            rank,
+            owned_cells: 1000,
+            updates: 10_000,
+            ghost_updates: 500,
+            compute_secs: wall - wait,
+            wait_secs: wait,
+            barrier_secs: 0.0,
+            collective_secs: 0.0,
+            messages: 20,
+            bytes: 8000,
+            wall_secs: wall,
+        }
+    }
+
+    #[test]
+    fn assemble_reduces_correctly() {
+        let rep = RunReport::assemble(
+            "D3Q19".into(),
+            "SIMD".into(),
+            "GC-C".into(),
+            1,
+            2,
+            (20, 10, 10),
+            10,
+            2000.0,
+            vec![rr(0, 1.0, 0.1), rr(1, 2.0, 0.4)],
+        );
+        assert_eq!(rep.ranks, 2);
+        assert_eq!(rep.wall_secs, 2.0);
+        // 20k updates in 2 s = 0.01 MFlup/s.
+        assert!((rep.mflups - 0.01).abs() < 1e-12);
+        assert!(rep.mflups_with_ghost > rep.mflups);
+        assert_eq!(rep.comm_min_secs, 0.1);
+        assert_eq!(rep.comm_max_secs, 0.4);
+        let gf = rep.ghost_fraction();
+        assert!((gf - 1000.0 / 21000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! High-level experiment entry point: configure → run on a universe of
+//! ranks → collect a [`RunReport`].
+
+use std::time::Instant;
+
+use lbm_comm::Universe;
+use lbm_core::Result;
+
+use crate::config::SimConfig;
+use crate::distributed::RankSolver;
+use crate::report::{RankReport, RunReport};
+
+/// Run `cfg` on its own universe of ranks and report aggregate performance.
+pub fn run_distributed(cfg: &SimConfig) -> Result<RunReport> {
+    cfg.validate()?;
+    let results = Universe::run(cfg.ranks, cfg.cost.clone(), |comm| {
+        let mut solver = RankSolver::new(cfg, comm.rank()).expect("config validated");
+        if cfg.warmup > 0 {
+            solver.run(comm, cfg.warmup);
+            solver.reset_counters();
+            let _ = comm.take_timers();
+        }
+        // Align ranks so per-rank walls measure the same phase.
+        comm.barrier();
+        let _ = comm.take_timers();
+        let t0 = Instant::now();
+        solver.run(comm, cfg.steps);
+        let wall = t0.elapsed();
+        let timers = comm.take_timers();
+        let (mass, _mom) = solver.global_invariants(comm);
+        let owned_cells = solver.sub.owned().len() as u64;
+        (
+            RankReport {
+                rank: comm.rank(),
+                owned_cells,
+                updates: solver.counters.updates,
+                ghost_updates: solver.counters.ghost_updates,
+                compute_secs: solver.counters.elapsed.as_secs_f64(),
+                wait_secs: timers.wait.as_secs_f64(),
+                barrier_secs: timers.barrier.as_secs_f64(),
+                collective_secs: timers.collective.as_secs_f64(),
+                messages: timers.messages_sent,
+                bytes: timers.bytes_sent(),
+                wall_secs: wall.as_secs_f64(),
+            },
+            mass,
+        )
+    });
+    let mass = results[0].1;
+    let per_rank: Vec<RankReport> = results.into_iter().map(|(r, _)| r).collect();
+    Ok(RunReport::assemble(
+        cfg.lattice.name().to_string(),
+        cfg.level.name().to_string(),
+        cfg.comm_strategy().label().to_string(),
+        cfg.threads_per_rank,
+        cfg.ghost_depth,
+        (cfg.global.nx, cfg.global.ny, cfg.global.nz),
+        cfg.steps,
+        mass,
+        per_rank,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::index::Dim3;
+    use lbm_core::kernels::OptLevel;
+    use lbm_core::lattice::LatticeKind;
+
+    #[test]
+    fn report_accounts_all_updates() {
+        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+            .with_ranks(4)
+            .with_steps(6)
+            .with_level(OptLevel::LoBr);
+        let rep = run_distributed(&cfg).unwrap();
+        assert_eq!(rep.ranks, 4);
+        let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
+        assert_eq!(updates, 6 * 16 * 8 * 8);
+        assert!(rep.mflups > 0.0);
+        assert!((rep.mass - (16 * 8 * 8) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_steps_are_not_counted() {
+        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .with_steps(4)
+            .with_warmup(3)
+            .with_level(OptLevel::Cf);
+        let rep = run_distributed(&cfg).unwrap();
+        let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
+        assert_eq!(updates, 4 * 12 * 8 * 8);
+    }
+
+    #[test]
+    fn invalid_config_errors_cleanly() {
+        let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(8, 8, 8))
+            .with_ranks(4)
+            .with_ghost_depth(2); // halo 6 > 2 planes per rank
+        assert!(run_distributed(&cfg).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Deep-halo auto-tuning demo (paper §V-A / Fig. 10 / Tables III–IV).
+//!
+//! Sweeps the ghost-cell depth for a given per-rank workload under a
+//! latency-bearing link-cost model, reporting runtime normalized to depth 1
+//! and the chosen optimum — the procedure behind the paper's Tables III/IV.
+//!
+//! ```sh
+//! cargo run --release --example ghost_depth_tuning [q19|q39]
+//! ```
+
+use std::time::Duration;
+
+use lbm::prelude::*;
+
+fn main() {
+    let kind = std::env::args()
+        .nth(1)
+        .and_then(|s| LatticeKind::parse(&s))
+        .unwrap_or(LatticeKind::D3Q39);
+    let lat = Lattice::new(kind);
+    let ranks = 4usize;
+    let planes_per_rank = 24usize;
+    let steps = 60usize;
+    let global = Dim3::new(ranks * planes_per_rank, 16, 16);
+
+    println!("== ghost-depth tuning: {} ==", lat.name());
+    println!(
+        "   {} ranks × {} planes (k = {}), {} steps, α = 300 µs torus latency\n",
+        ranks,
+        planes_per_rank,
+        lat.reach(),
+        steps
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10}",
+        "depth", "halo", "time (ms)", "T/T(GC1)", "ghost-upd%"
+    );
+
+    let cost = CostModel::uniform(Duration::from_micros(300), 2e9);
+    let mut best = (1usize, f64::INFINITY);
+    let mut t1 = None;
+    for depth in 1..=4usize {
+        let cfg = SimConfig::new(kind, global)
+            .with_ranks(ranks)
+            .with_ghost_depth(depth)
+            .with_steps(steps)
+            .with_warmup(6)
+            .with_level(OptLevel::Simd)
+            .with_strategy(CommStrategy::NonBlockingGhost)
+            .with_cost(cost.clone());
+        match lbm::sim::run_distributed(&cfg) {
+            Ok(rep) => {
+                let ms = rep.wall_secs * 1e3;
+                let base = *t1.get_or_insert(ms);
+                println!(
+                    "{:>6} {:>10} {:>12.1} {:>12.3} {:>9.1}%",
+                    depth,
+                    depth * lat.reach(),
+                    ms,
+                    ms / base,
+                    100.0 * rep.ghost_fraction()
+                );
+                if ms < best.1 {
+                    best = (depth, ms);
+                }
+            }
+            Err(e) => {
+                // The paper hit exactly this wall: GC=4 ran out of memory on
+                // the 133k case (Fig. 10a).
+                println!("{depth:>6} {:>10} {:>12}", depth * lat.reach(), format!("-- {e}"));
+            }
+        }
+    }
+    println!(
+        "\n   optimal ghost-cell depth for this ratio (R = {planes_per_rank} planes/rank): GC = {}",
+        best.0
+    );
+}

@@ -1,0 +1,85 @@
+//! The paper's motivating physics: gaseous flow in a microchannel at finite
+//! Knudsen number (§I — microfluidics/MEMS), where Navier–Stokes with
+//! no-slip walls breaks down.
+//!
+//! A force-driven channel is run across a Knudsen sweep with kinetic
+//! (Maxwell-diffuse) walls, comparing the conventional D3Q19 model against
+//! the extended D3Q39 model with its third-order equilibrium. The observable
+//! is the wall-slip fraction and the mass-flow enhancement over the no-slip
+//! parabola — the classic signatures of slip/transition flow the extended
+//! model exists to capture.
+//!
+//! ```sh
+//! cargo run --release --example microchannel_knudsen
+//! ```
+
+use lbm::core::analytic;
+use lbm::core::boundary::ChannelWalls;
+use lbm::core::collision::{Bgk, BodyForce};
+use lbm::core::knudsen;
+use lbm::prelude::*;
+use lbm::sim::physics::ChannelSim;
+
+fn main() {
+    let height = 13usize; // channel height in lattice units
+    let g = 5e-6;
+    let steps = 4000;
+    println!("== Microchannel at finite Knudsen number (diffuse walls) ==");
+    println!("   H = {height} lattice units, force g = {g:.1e}, {steps} steps\n");
+    println!(
+        "{:>8} {:>8} {:>10} | {:>12} {:>12} | {:>12} {:>12}",
+        "Kn", "tau", "regime", "Q19 slip%", "Q39 slip%", "Q19 flow+%", "Q39 flow+%"
+    );
+
+    for kn in [0.01, 0.05, 0.1, 0.2, 0.5] {
+        let mut row = format!("{kn:>8.2} ");
+        let mut taus = [0.0; 2];
+        let mut slips = [0.0; 2];
+        let mut flows = [0.0; 2];
+        for (i, kind) in [LatticeKind::D3Q19, LatticeKind::D3Q39].into_iter().enumerate() {
+            let lat = Lattice::new(kind);
+            let tau = knudsen::tau_for_knudsen(kn, lat.cs2(), height as f64).unwrap();
+            taus[i] = tau;
+            let fluid = Dim3::new(4, height, 8);
+            let mut sim = ChannelSim::new(
+                kind,
+                tau,
+                fluid,
+                ChannelWalls::diffuse(lat.reach()),
+                BodyForce::along_x(g),
+            )
+            .expect("channel");
+            sim.run(steps);
+            let profile = sim.velocity_profile();
+            let centre = profile[height / 2];
+            let wall = 0.5 * (profile[0] + profile[height - 1]);
+            slips[i] = 100.0 * wall / centre;
+
+            // Mass-flow enhancement vs the no-slip parabola at the same ν.
+            let nu = Bgk::new(tau).unwrap().viscosity(lat.cs2());
+            let h = height as f64;
+            let analytic_flow: f64 = (0..height)
+                .map(|j| analytic::poiseuille(g, nu, h, j as f64 + 0.5))
+                .sum();
+            let measured_flow: f64 = profile.iter().sum();
+            flows[i] = 100.0 * (measured_flow / analytic_flow - 1.0);
+        }
+        row.push_str(&format!(
+            "{:>8.3} {:>10} | {:>12.1} {:>12.1} | {:>12.1} {:>12.1}",
+            taus[1],
+            format!("{:?}", knudsen::regime(kn)),
+            slips[0],
+            slips[1],
+            flows[0],
+            flows[1]
+        ));
+        println!("{row}");
+    }
+
+    println!("\nReading the table:");
+    println!("  * slip% grows with Kn — no-slip Navier–Stokes misses it entirely");
+    println!("    (the paper's Kn ∈ [0, 0.1] validity bound, §I);");
+    println!("  * the D3Q39 third-order model transports the higher kinetic");
+    println!("    moments, so its slip/flow enhancement is the trustworthy one");
+    println!("    as Kn enters the transition regime.");
+}

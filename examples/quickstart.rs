@@ -1,0 +1,58 @@
+//! Quickstart: run both of the paper's velocity models on a periodic
+//! Taylor–Green box, report MFlup/s (paper Eq. 4), and place the numbers on
+//! the machine roofline (paper Eq. 5 / Table II methodology).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lbm::machine::roofline;
+use lbm::machine::MachineSpec;
+use lbm::prelude::*;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    println!("== lbm quickstart: D3Q19 (Navier-Stokes) vs D3Q39 (beyond) ==\n");
+
+    // Measure this host's roofline inputs, exactly as the paper derives
+    // Table II from the Blue Gene spec sheets.
+    println!("measuring host roofline (STREAM triad + FMA peak)…");
+    let host = lbm::machine::measure::measure_host(threads);
+    println!(
+        "  host: {:.1} GB/s main-memory bandwidth, {:.1} GFlop/s peak\n",
+        host.mem_bw_gbs, host.peak_gflops
+    );
+
+    for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+        let lat = Lattice::new(kind);
+        let cfg = SimConfig::new(kind, Dim3::new(96, 64, 64))
+            .with_ranks(1)
+            .with_threads(threads)
+            .with_steps(30)
+            .with_warmup(5)
+            .with_level(OptLevel::Simd);
+        let report = lbm::sim::run_distributed(&cfg).expect("run");
+
+        let traffic = lbm::machine::KernelTraffic::lbm(lat.q(), lat.flops_per_cell());
+        let bound = lbm::machine::attainable(&host, &traffic);
+        let pct = 100.0 * report.mflups / bound.mflups();
+        println!(
+            "{:6}  reach k={}  bytes/cell={:4}  {:8.1} MFlup/s  (host roofline {:8.1} → {:4.1}% of model peak)",
+            lat.name(),
+            lat.reach(),
+            lat.bytes_per_cell(),
+            report.mflups,
+            bound.mflups(),
+            pct
+        );
+    }
+
+    // For context, print the paper's Blue Gene bounds for the same kernels.
+    println!("\npaper Table II (analytic, for reference):");
+    for row in roofline::table2(&[MachineSpec::bgp(), MachineSpec::bgq()]) {
+        println!(
+            "  {:18} {:6}  P(Bm) {:7.1} MFlup/s   P(Ppeak) {:8.1} MFlup/s   limiter: {:?}",
+            row.system, row.lattice, row.p_bm, row.p_ppeak, row.limiter
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # lbm — lattice Boltzmann beyond Navier–Stokes
+//!
+//! Facade crate for the reproduction of *“Performance Analysis of the
+//! Lattice Boltzmann Model Beyond Navier-Stokes”* (Randles, Kale, Hammond,
+//! Gropp, Kaxiras — IPDPS 2013). It re-exports the four subsystem crates:
+//!
+//! * [`core`] (`lbm-core`) — discrete velocity models (D3Q19, D3Q39, …),
+//!   Hermite equilibria, BGK collision, the §V optimization-ladder kernels,
+//!   boundaries, analytic solutions and MFlup/s counters.
+//! * [`comm`] (`lbm-comm`) — the thread-backed message-passing runtime with
+//!   nonblocking semantics and the torus link-cost model (MPI substitute).
+//! * [`machine`] (`lbm-machine`) — Blue Gene/P & /Q machine models, the
+//!   Table II roofline, and host bandwidth/flops measurement.
+//! * [`sim`] (`lbm-sim`) — distributed deep-halo solvers, the Fig. 7/9
+//!   communication schedules, hybrid rank×thread execution, the walled
+//!   physics solver and output writers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbm::prelude::*;
+//!
+//! // A small D3Q39 (beyond-Navier-Stokes) run on 2 ranks, ghost depth 2.
+//! let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+//!     .with_ranks(2)
+//!     .with_ghost_depth(2)
+//!     .with_steps(4);
+//! let report = lbm::sim::run_distributed(&cfg).unwrap();
+//! assert!(report.mflups > 0.0);
+//! ```
+
+pub use lbm_comm as comm;
+pub use lbm_core as core;
+pub use lbm_machine as machine;
+pub use lbm_sim as sim;
+
+/// Common imports for applications.
+pub mod prelude {
+    pub use lbm_comm::{Comm, CostModel, Universe};
+    pub use lbm_core::prelude::*;
+    pub use lbm_machine::{attainable, KernelTraffic, MachineSpec};
+    pub use lbm_sim::{CommStrategy, RunReport, SimConfig};
+}

@@ -1,0 +1,93 @@
+//! Determinism guarantees: timing-perturbation knobs (jitter, compute skew,
+//! link costs) and communication schedules must never change the physics —
+//! only the clock. This is what makes the Fig. 9/10/11 timing experiments
+//! trustworthy: every configuration computes the identical flow.
+
+use std::time::Duration;
+
+use lbm::comm::{CostModel, Universe};
+use lbm::prelude::*;
+use lbm::sim::distributed::RankSolver;
+
+fn owned_fields(cfg: &SimConfig, steps: usize) -> Vec<lbm::core::DistField> {
+    Universe::run(cfg.ranks, cfg.cost.clone(), |comm| {
+        let mut s = RankSolver::new(cfg, comm.rank()).unwrap();
+        s.run(comm, steps);
+        s.owned_snapshot()
+    })
+}
+
+fn assert_identical(a: &[lbm::core::DistField], b: &[lbm::core::DistField], what: &str) {
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.max_abs_diff_owned(y), 0.0, "{what}");
+    }
+}
+
+#[test]
+fn jitter_and_skew_change_only_time() {
+    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+        .with_ranks(4)
+        .with_level(OptLevel::LoBr);
+    let clean = owned_fields(&base, 5);
+    let noisy = owned_fields(&base.clone().with_jitter(0.3).with_compute_skew(0.5), 5);
+    assert_identical(&clean, &noisy, "jitter/skew must not alter physics");
+}
+
+#[test]
+fn link_costs_change_only_time() {
+    let base = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+        .with_ranks(2)
+        .with_level(OptLevel::Simd);
+    let free = owned_fields(&base, 4);
+    let costly = owned_fields(
+        &base
+            .clone()
+            .with_cost(CostModel::torus_ramp(Duration::from_micros(300), 1e9, 2, 4.0)),
+        4,
+    );
+    assert_identical(&free, &costly, "link cost must not alter physics");
+}
+
+#[test]
+fn repeated_runs_are_bitwise_reproducible() {
+    let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+        .with_ranks(3)
+        .with_threads(2)
+        .with_level(OptLevel::Simd);
+    let a = owned_fields(&cfg, 5);
+    let b = owned_fields(&cfg, 5);
+    assert_identical(&a, &b, "same config twice must agree bitwise");
+}
+
+#[test]
+fn eager_midstep_exchange_does_not_alter_physics() {
+    // The no-ghost schedule's extra mid-step scatter exchange writes real
+    // halo values into tmp; physics must match the other schedules exactly.
+    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+        .with_ranks(3)
+        .with_level(OptLevel::LoBr);
+    let eager = owned_fields(&base.clone().with_strategy(CommStrategy::NonBlockingEager), 6);
+    let ghost = owned_fields(&base.with_strategy(CommStrategy::NonBlockingGhost), 6);
+    assert_identical(&eager, &ghost, "schedules must agree");
+}
+
+#[test]
+fn report_is_internally_consistent() {
+    let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+        .with_ranks(4)
+        .with_steps(8)
+        .with_ghost_depth(2)
+        .with_level(OptLevel::Simd);
+    let rep = lbm::sim::run_distributed(&cfg).unwrap();
+    // Eq. 4 bookkeeping: updates = steps × cells; mflups consistent.
+    let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
+    assert_eq!(updates, 8 * 16 * 8 * 8);
+    let expect = updates as f64 / rep.wall_secs / 1e6;
+    assert!((rep.mflups - expect).abs() < 1e-9);
+    assert!(rep.mflups_with_ghost >= rep.mflups);
+    // Comm stats ordered.
+    assert!(rep.comm_min_secs <= rep.comm_median_secs);
+    assert!(rep.comm_median_secs <= rep.comm_max_secs);
+    // Mass equals the initial uniform density times the cell count.
+    assert!((rep.mass - (16 * 8 * 8) as f64).abs() < 1e-6);
+}

@@ -1,0 +1,103 @@
+//! End-to-end ladder equivalence: every optimization rung of the paper's
+//! Fig. 8 must compute the *same flow* — the rungs may only change speed.
+//! Runs the full distributed stack (decomposition, exchange schedule, deep
+//! halos, kernels) for each rung and compares owned fields cell by cell.
+
+use lbm::comm::{CostModel, Universe};
+use lbm::prelude::*;
+use lbm::sim::distributed::RankSolver;
+
+fn owned_fields(cfg: &SimConfig, steps: usize) -> Vec<lbm::core::DistField> {
+    Universe::run(cfg.ranks, CostModel::free(), |comm| {
+        let mut s = RankSolver::new(cfg, comm.rank()).unwrap();
+        s.run(comm, steps);
+        s.owned_snapshot()
+    })
+}
+
+fn max_diff(a: &[lbm::core::DistField], b: &[lbm::core::DistField]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.max_abs_diff_owned(y))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn all_rungs_produce_the_same_flow_q19() {
+    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8)).with_ranks(4);
+    let reference = owned_fields(&base.clone().with_level(OptLevel::Orig), 8);
+    for level in OptLevel::ALL {
+        let cfg = base.clone().with_level(level);
+        let got = owned_fields(&cfg, 8);
+        let d = max_diff(&reference, &got);
+        assert!(d < 1e-11, "{}: diff {d}", level.name());
+    }
+}
+
+#[test]
+fn all_rungs_produce_the_same_flow_q39() {
+    let base = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8)).with_ranks(2);
+    let reference = owned_fields(&base.clone().with_level(OptLevel::Orig), 5);
+    for level in OptLevel::ALL {
+        let cfg = base.clone().with_level(level);
+        let got = owned_fields(&cfg, 5);
+        let d = max_diff(&reference, &got);
+        assert!(d < 1e-11, "{}: diff {d}", level.name());
+    }
+}
+
+#[test]
+fn ladder_rungs_conserve_mass_and_momentum() {
+    for level in [OptLevel::Orig, OptLevel::Dh, OptLevel::Simd] {
+        let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+            .with_ranks(3)
+            .with_level(level);
+        let out = Universe::run(cfg.ranks, CostModel::free(), |comm| {
+            let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+            let before = s.global_invariants(comm);
+            s.run(comm, 6);
+            let after = s.global_invariants(comm);
+            (before, after)
+        });
+        let (b, a) = &out[0];
+        assert!((b.0 - a.0).abs() < 1e-9 * b.0, "{}: mass", level.name());
+        for ax in 0..3 {
+            assert!((b.1[ax] - a.1[ax]).abs() < 1e-9, "{}: momentum {ax}", level.name());
+        }
+    }
+}
+
+#[test]
+fn deep_halo_and_strategy_grid_equivalence() {
+    // depth × strategy grid must all agree with the depth-1 blocking run.
+    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+        .with_ranks(2)
+        .with_level(OptLevel::LoBr);
+    let reference = owned_fields(
+        &base
+            .clone()
+            .with_ghost_depth(1)
+            .with_strategy(CommStrategy::Blocking),
+        6,
+    );
+    for depth in [1usize, 2, 3] {
+        for strategy in [
+            CommStrategy::Blocking,
+            CommStrategy::NonBlockingEager,
+            CommStrategy::NonBlockingGhost,
+            CommStrategy::OverlapGhostCollide,
+        ] {
+            let cfg = base
+                .clone()
+                .with_ghost_depth(depth)
+                .with_strategy(strategy);
+            let got = owned_fields(&cfg, 6);
+            let d = max_diff(&reference, &got);
+            assert_eq!(
+                d, 0.0,
+                "depth {depth} strategy {}: diff {d}",
+                strategy.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-crate physics validation: the distributed solver must produce the
+//! hydrodynamics the lattice models promise.
+
+use lbm::core::analytic;
+use lbm::core::collision::Bgk;
+use lbm::core::knudsen;
+use lbm::comm::{CostModel, Universe};
+use lbm::prelude::*;
+use lbm::sim::distributed::RankSolver;
+use lbm::sim::observables;
+
+/// Taylor–Green decay measured through the full distributed stack (2 ranks,
+/// deep halos, SIMD kernels) matches ν = c_s²(τ−½) for both models.
+#[test]
+fn distributed_taylor_green_viscosity() {
+    for (kind, tol_pct) in [(LatticeKind::D3Q19, 3.0), (LatticeKind::D3Q39, 3.0)] {
+        let n = 16usize;
+        let steps = 60usize;
+        let tau = 0.9;
+        let cfg = SimConfig::new(kind, Dim3::cube(n))
+            .with_ranks(2)
+            .with_ghost_depth(2)
+            .with_tau(tau)
+            .with_level(OptLevel::Simd);
+        let amps: Vec<(f64, f64)> = Universe::run(cfg.ranks, CostModel::free(), |comm| {
+            let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+            let a0 = observables::max_speed(&s.ctx, s.field());
+            s.run(comm, steps);
+            let a1 = observables::max_speed(&s.ctx, s.field());
+            // Reduce the true global max across ranks.
+            let m0 = comm.allreduce_max(&[a0]);
+            let m1 = comm.allreduce_max(&[a1]);
+            (m0[0], m1[0])
+        });
+        let (a0, a1) = amps[0];
+        let k = 2.0 * std::f64::consts::PI / n as f64;
+        let nu_measured = analytic::viscosity_from_decay(a1 / a0, k, k, steps as f64);
+        let lat = Lattice::new(kind);
+        let nu_expect = Bgk::new(tau).unwrap().viscosity(lat.cs2());
+        let err = 100.0 * (nu_measured - nu_expect).abs() / nu_expect;
+        assert!(
+            err < tol_pct,
+            "{}: measured ν {nu_measured:.6} vs {nu_expect:.6} ({err:.2}%)",
+            lat.name()
+        );
+    }
+}
+
+/// At a continuum-regime Knudsen number both models give the same channel
+/// flow; the extended model is a strict superset of Navier–Stokes.
+#[test]
+fn q19_and_q39_agree_in_continuum_regime() {
+    use lbm::core::boundary::ChannelWalls;
+    use lbm::core::collision::BodyForce;
+    use lbm::sim::physics::ChannelSim;
+
+    let height = 11usize;
+    let g = 5e-6;
+    let steps = 2500;
+    let mut profiles = Vec::new();
+    for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+        let lat = Lattice::new(kind);
+        // Same physical viscosity for both lattices (cs2 differs!).
+        let nu = 0.08;
+        let tau = nu / lat.cs2() + 0.5;
+        let kn = knudsen::knudsen(tau, lat.cs2(), height as f64);
+        assert!(knudsen::navier_stokes_valid(kn), "test must sit in the continuum window");
+        let mut sim = ChannelSim::new(
+            kind,
+            tau,
+            Dim3::new(4, height, 8),
+            ChannelWalls::no_slip(lat.reach()),
+            BodyForce::along_x(g),
+        )
+        .unwrap();
+        sim.run(steps);
+        profiles.push(sim.velocity_profile());
+    }
+    // Compare centreline-normalised shapes. The effective wall position
+    // differs at O(1 cell) between the k=1 and k=3 solid stacks, so the
+    // wall-adjacent rows carry the largest (purely geometric) deviation.
+    let c0 = profiles[0][height / 2];
+    let c1 = profiles[1][height / 2];
+    assert!(c0 > 0.0 && c1 > 0.0);
+    for j in 0..height {
+        let a = profiles[0][j] / c0;
+        let b = profiles[1][j] / c1;
+        let dist_to_wall = j.min(height - 1 - j);
+        let tol = if dist_to_wall <= 1 { 0.09 } else { 0.05 };
+        assert!(
+            (a - b).abs() < tol,
+            "profiles diverge at y={j}: {a:.4} vs {b:.4}"
+        );
+    }
+}
+
+/// Grid-refining the Poiseuille channel shrinks the error (convergence).
+#[test]
+fn poiseuille_error_shrinks_under_refinement() {
+    use lbm::core::boundary::ChannelWalls;
+    use lbm::core::collision::BodyForce;
+    use lbm::sim::physics::ChannelSim;
+
+    let mut errors = Vec::new();
+    for height in [9usize, 17] {
+        let g = 1e-5 / (height as f64 / 9.0).powi(2); // keep u_max comparable
+        let tau = 0.9;
+        let mut sim = ChannelSim::new(
+            LatticeKind::D3Q19,
+            tau,
+            Dim3::new(4, height, 8),
+            ChannelWalls::no_slip(1),
+            BodyForce::along_x(g),
+        )
+        .unwrap();
+        sim.run(6000);
+        let profile = sim.velocity_profile();
+        let nu = Bgk::new(tau).unwrap().viscosity(1.0 / 3.0);
+        let h = height as f64;
+        let analytic_p: Vec<f64> = (0..height)
+            .map(|j| analytic::poiseuille(g, nu, h, j as f64 + 0.5))
+            .collect();
+        errors.push(lbm::core::validate::l2_error(&profile, &analytic_p));
+    }
+    assert!(
+        errors[1] < errors[0],
+        "refinement must reduce error: {errors:?}"
+    );
+}
+
+/// Acoustic sanity: a density pulse in a periodic box must not blow up and
+/// must conserve mass exactly — exercised on the D3Q39 lattice whose sound
+/// speed differs (c_s² = 2/3).
+#[test]
+fn density_pulse_is_stable_on_q39() {
+    use lbm::core::init;
+    use lbm::core::kernels::{self, KernelCtx, StreamTables};
+
+    let n = 12usize;
+    let ctx = KernelCtx::new(LatticeKind::D3Q39, EqOrder::Third, Bgk::new(0.8).unwrap());
+    let k = ctx.lat.reach();
+    let mut f = lbm::core::DistField::new(ctx.lat.q(), Dim3::cube(n), k).unwrap();
+    init::density_pulse(&ctx, &mut f, 1.0, 0.05, 2.0);
+    let mut tmp = f.clone();
+    let tables = StreamTables::new(n, n);
+    let mass0 = f.owned_mass();
+    for _ in 0..50 {
+        lbm::sim::halo::fill_periodic_self(&mut f, k);
+        kernels::stream(OptLevel::Simd, &ctx, &tables, &f, &mut tmp, k, k + n);
+        kernels::collide(OptLevel::Simd, &ctx, &mut tmp, k, k + n);
+        std::mem::swap(&mut f, &mut tmp);
+    }
+    let mass1 = f.owned_mass();
+    assert!((mass0 - mass1).abs() < 1e-9 * mass0);
+    let peak = observables::max_speed(&ctx, &f);
+    assert!(peak.is_finite() && peak < 0.2, "unstable: {peak}");
+}
