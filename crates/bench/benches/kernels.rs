@@ -101,7 +101,15 @@ fn bench_fused_ablation(c: &mut Criterion) {
         g.throughput(Throughput::Elements(dims.len() as u64));
         g.bench_function("split_simd", |b| {
             b.iter(|| {
-                kernels::stream(OptLevel::Simd, &ctx, &tables, &src, &mut dst, k, k + dims.nx);
+                kernels::stream(
+                    OptLevel::Simd,
+                    &ctx,
+                    &tables,
+                    &src,
+                    &mut dst,
+                    k,
+                    k + dims.nx,
+                );
                 kernels::collide(OptLevel::Simd, &ctx, &mut dst, k, k + dims.nx);
                 std::hint::black_box(dst.slab(0)[0])
             })
@@ -109,7 +117,15 @@ fn bench_fused_ablation(c: &mut Criterion) {
         // Like-for-like scalar comparison (the fused kernel is scalar).
         g.bench_function("split_scalar", |b| {
             b.iter(|| {
-                kernels::stream(OptLevel::LoBr, &ctx, &tables, &src, &mut dst, k, k + dims.nx);
+                kernels::stream(
+                    OptLevel::LoBr,
+                    &ctx,
+                    &tables,
+                    &src,
+                    &mut dst,
+                    k,
+                    k + dims.nx,
+                );
                 kernels::collide(OptLevel::LoBr, &ctx, &mut dst, k, k + dims.nx);
                 std::hint::black_box(dst.slab(0)[0])
             })

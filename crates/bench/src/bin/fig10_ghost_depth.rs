@@ -35,7 +35,12 @@ use lbm_sim::{run_distributed, CommStrategy, SimConfig};
 
 fn sweep(kind: LatticeKind, ranks: usize, steps: usize, rs: &[usize], cost: &CostModel) -> Table {
     let mut t = Table::new(vec![
-        "size (global x)", "R/rank", "GC=1", "GC=2", "GC=3", "GC=4",
+        "size (global x)",
+        "R/rank",
+        "GC=1",
+        "GC=2",
+        "GC=3",
+        "GC=4",
     ]);
     for &r in rs {
         let global = Dim3::new(ranks * r, 16, 16);

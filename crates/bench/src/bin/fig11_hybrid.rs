@@ -26,7 +26,12 @@ use lbm_core::lattice::LatticeKind;
 use lbm_sim::hybrid::{bgp_sweep, bgq_sweep, HybridConfig};
 use lbm_sim::{run_distributed, CommStrategy, SimConfig};
 
-fn best_over_depths(kind: LatticeKind, global: Dim3, hc: HybridConfig, steps: usize) -> Option<(f64, usize)> {
+fn best_over_depths(
+    kind: LatticeKind,
+    global: Dim3,
+    hc: HybridConfig,
+    steps: usize,
+) -> Option<(f64, usize)> {
     let cost = CostModel::torus_ramp(Duration::from_micros(200), 1.5e9, hc.ranks, 2.0);
     let mut best: Option<(f64, usize)> = None;
     for depth in 1..=3usize {
@@ -82,8 +87,16 @@ fn main() {
     // Fig. 11a: 1T..4T vs virtual-node mode.
     let base_ranks = 4usize;
     let global = Dim3::new(96, 40, 40);
-    println!("== Fig. 11a: threading impact, {base_ranks} base ranks (VN = {}×1) ==\n", base_ranks * 4);
-    let mut t = Table::new(vec!["config", "ranks×threads", "D3Q19 time(ms)", "D3Q39 time(ms)"]);
+    println!(
+        "== Fig. 11a: threading impact, {base_ranks} base ranks (VN = {}×1) ==\n",
+        base_ranks * 4
+    );
+    let mut t = Table::new(vec![
+        "config",
+        "ranks×threads",
+        "D3Q19 time(ms)",
+        "D3Q39 time(ms)",
+    ]);
     let mut q39_times: Vec<(String, f64)> = Vec::new();
     for (label, hc) in bgp_sweep(base_ranks) {
         let a = best_over_depths(LatticeKind::D3Q19, global, hc, steps);
@@ -94,8 +107,12 @@ fn main() {
         t.row(vec![
             label,
             format!("{}×{}", hc.ranks, hc.threads),
-            a.map_or("(halo too wide)".into(), |(s, d)| format!("{} (GC{d})", f(s * 1e3, 1))),
-            b.map_or("(halo too wide)".into(), |(s, d)| format!("{} (GC{d})", f(s * 1e3, 1))),
+            a.map_or("(halo too wide)".into(), |(s, d)| {
+                format!("{} (GC{d})", f(s * 1e3, 1))
+            }),
+            b.map_or("(halo too wide)".into(), |(s, d)| {
+                format!("{} (GC{d})", f(s * 1e3, 1))
+            }),
         ]);
     }
     t.print();

@@ -52,7 +52,12 @@ fn main() {
             f(bound.mflups(), 1)
         );
         let mut t = Table::new(vec![
-            "rung", "kernel", "schedule", "MFlup/s", "vs Orig", "% of model peak",
+            "rung",
+            "kernel",
+            "schedule",
+            "MFlup/s",
+            "vs Orig",
+            "% of model peak",
         ]);
         let mut orig = None;
         let mut last = 0.0;

@@ -37,12 +37,17 @@ fn main() {
     );
 
     let mut t = Table::new(vec![
-        "model", "schedule", "min (ms)", "median (ms)", "max (ms)", "max/min",
+        "model",
+        "schedule",
+        "min (ms)",
+        "median (ms)",
+        "max (ms)",
+        "max/min",
     ]);
     for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
         for strategy in [
-            CommStrategy::NonBlockingEager, // the paper's bare "NB-C"
-            CommStrategy::NonBlockingGhost, // "NB-C & GC"
+            CommStrategy::NonBlockingEager,    // the paper's bare "NB-C"
+            CommStrategy::NonBlockingGhost,    // "NB-C & GC"
             CommStrategy::OverlapGhostCollide, // "GC-C"
         ] {
             let cfg = SimConfig::new(kind, Dim3::new(64, 24, 24))

@@ -19,7 +19,10 @@ fn shell_table(kind: LatticeKind) -> Table {
     for s in lat.shells() {
         t.row(vec![
             format!("{:.4}", lat.cs2()),
-            format!("({},{},{})", s.representative[0], s.representative[1], s.representative[2]),
+            format!(
+                "({},{},{})",
+                s.representative[0], s.representative[1], s.representative[2]
+            ),
             format!("{:.6e}", s.weight),
             format!("{}", s.multiplicity),
             format!("{}", s.neighbor_order),
@@ -45,8 +48,15 @@ fn main() {
         println!("   Σ w_i = {wsum:.15}\n");
     }
     println!("notes:");
-    println!("  * rest velocity stored last (\"the 19th and 39th values are the lattice point itself\")");
-    println!("  * (2,2,0) weight is 1/432 = {:.6e}; the paper's Table I misprints it as 1/142", 1.0 / 432.0);
-    println!("  * D3Q39 reaches distance 3 ⇒ fundamental ghost unit k = 3 (the paper's prose says 2;");
+    println!(
+        "  * rest velocity stored last (\"the 19th and 39th values are the lattice point itself\")"
+    );
+    println!(
+        "  * (2,2,0) weight is 1/432 = {:.6e}; the paper's Table I misprints it as 1/142",
+        1.0 / 432.0
+    );
+    println!(
+        "  * D3Q39 reaches distance 3 ⇒ fundamental ghost unit k = 3 (the paper's prose says 2;"
+    );
     println!("    its own (3,0,0) shell requires 3 — see DESIGN.md)");
 }

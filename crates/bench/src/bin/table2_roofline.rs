@@ -9,15 +9,25 @@ use lbm_machine::{measure, MachineSpec};
 
 fn main() {
     println!("== Table II: maximum attainable MFlup/s (paper Eq. 5) ==\n");
-    println!("measuring host (STREAM triad + FMA peak, {} threads)…\n", host_threads());
+    println!(
+        "measuring host (STREAM triad + FMA peak, {} threads)…\n",
+        host_threads()
+    );
     let host = measure::measure_host(host_threads());
 
     let machines = vec![MachineSpec::bgp(), MachineSpec::bgq(), host.clone()];
     let rows = roofline::table2(&machines);
 
     let mut t = Table::new(vec![
-        "lattice", "system", "Bm GB/s", "P(Bm) MFlup/s", "Ppeak GF/s", "P(Ppeak) MFlup/s",
-        "limiter", "torus bound", "eff. ceiling",
+        "lattice",
+        "system",
+        "Bm GB/s",
+        "P(Bm) MFlup/s",
+        "Ppeak GF/s",
+        "P(Ppeak) MFlup/s",
+        "limiter",
+        "torus bound",
+        "eff. ceiling",
     ]);
     for r in &rows {
         t.row(vec![
@@ -38,7 +48,13 @@ fn main() {
     t.print();
 
     println!("\npaper's printed values (Table II / §III-C):");
-    let mut p = Table::new(vec!["system", "lattice", "P(Bm)", "P(Ppeak)", "torus bound"]);
+    let mut p = Table::new(vec![
+        "system",
+        "lattice",
+        "P(Bm)",
+        "P(Ppeak)",
+        "torus bound",
+    ]);
     for ((sys, lat, p_bm, p_pp), (_, _, tb)) in paper::TABLE2.iter().zip(paper::TORUS_BOUNDS.iter())
     {
         p.row(vec![

@@ -22,7 +22,13 @@ use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
 use lbm_sim::{run_distributed, CommStrategy, SimConfig};
 
-fn best_depth(kind: LatticeKind, ranks: usize, r: usize, steps: usize, cost: &CostModel) -> (Vec<Option<f64>>, usize) {
+fn best_depth(
+    kind: LatticeKind,
+    ranks: usize,
+    r: usize,
+    steps: usize,
+    cost: &CostModel,
+) -> (Vec<Option<f64>>, usize) {
     let global = Dim3::new(ranks * r, 16, 16);
     let mut times = Vec::new();
     for depth in 1..=4usize {
@@ -62,7 +68,11 @@ fn main() {
 
     println!(
         "== Table {}: optimal ghost-cell depth vs points/rank ratio ({}) ==\n",
-        if kind == LatticeKind::D3Q19 { "III" } else { "IV" },
+        if kind == LatticeKind::D3Q19 {
+            "III"
+        } else {
+            "IV"
+        },
         lat.name()
     );
 

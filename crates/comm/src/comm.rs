@@ -295,7 +295,10 @@ mod tests {
 
     #[test]
     fn cost_model_delays_completion() {
-        let fabric = Fabric::new(2, CostModel::uniform(Duration::from_millis(20), f64::INFINITY));
+        let fabric = Fabric::new(
+            2,
+            CostModel::uniform(Duration::from_millis(20), f64::INFINITY),
+        );
         let mut a = Comm::new(fabric.clone(), 0);
         let mut b = Comm::new(fabric, 1);
         a.send(1, 0, vec![1.0]).unwrap();
@@ -311,7 +314,10 @@ mod tests {
         // If the receiver does 30 ms of "work" before waiting on a 20 ms
         // message, the wait should be ~instant — the overlap property GC-C
         // exploits.
-        let fabric = Fabric::new(2, CostModel::uniform(Duration::from_millis(20), f64::INFINITY));
+        let fabric = Fabric::new(
+            2,
+            CostModel::uniform(Duration::from_millis(20), f64::INFINITY),
+        );
         let mut a = Comm::new(fabric.clone(), 0);
         let mut b = Comm::new(fabric, 1);
         a.send(1, 0, vec![1.0]).unwrap();

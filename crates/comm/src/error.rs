@@ -25,7 +25,10 @@ impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CommError::BadRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             CommError::Disconnected { from } => {
                 write!(f, "peer rank {from} disconnected with receive pending")
@@ -48,7 +51,9 @@ mod tests {
     fn display_messages() {
         let e = CommError::BadRank { rank: 9, size: 4 };
         assert!(e.to_string().contains("rank 9"));
-        assert!(CommError::Disconnected { from: 2 }.to_string().contains("rank 2"));
+        assert!(CommError::Disconnected { from: 2 }
+            .to_string()
+            .contains("rank 2"));
         assert!(CommError::BadConfig("x".into()).to_string().contains('x'));
     }
 }

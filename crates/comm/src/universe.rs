@@ -121,10 +121,7 @@ mod tests {
         });
         // Rank 0 receives from rank n-1 (slowest link), rank 1 from rank 0
         // (fastest link).
-        assert!(
-            waits[0] > waits[1],
-            "expected skewed waits, got {waits:?}"
-        );
+        assert!(waits[0] > waits[1], "expected skewed waits, got {waits:?}");
     }
 
     #[test]

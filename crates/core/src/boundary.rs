@@ -126,8 +126,8 @@ fn apply_wall_row(
                     for i in 0..q {
                         let c = ctx.lat.velocities()[i];
                         let cu = c[0] as f64 * u[0] + c[1] as f64 * u[1] + c[2] as f64 * u[2];
-                        out[i] = cell[ctx.lat.opposite(i)]
-                            + 2.0 * ctx.lat.weights()[i] * rho * cu / cs2;
+                        out[i] =
+                            cell[ctx.lat.opposite(i)] + 2.0 * ctx.lat.weights()[i] * rho * cu / cs2;
                     }
                 }
                 WallKind::Diffuse { u } => {

@@ -154,7 +154,9 @@ mod tests {
             let omega = 1.25;
             let u = [0.02, -0.01, 0.03];
             let g = [1e-4, 2e-4, -5e-5];
-            let m0: f64 = (0..lat.q()).map(|i| guo_source_i(&lat, i, u, g, omega)).sum();
+            let m0: f64 = (0..lat.q())
+                .map(|i| guo_source_i(&lat, i, u, g, omega))
+                .sum();
             assert!(m0.abs() < 1e-16, "{kind:?}: mass source {m0}");
             for a in 0..3 {
                 let m1: f64 = (0..lat.q())

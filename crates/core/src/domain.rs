@@ -22,7 +22,9 @@ impl Decomp1d {
     /// Create a decomposition; every rank must receive at least one plane.
     pub fn new(global: Dim3, ranks: usize) -> Result<Self> {
         if global.is_empty() {
-            return Err(Error::BadDimensions(format!("empty global domain {global:?}")));
+            return Err(Error::BadDimensions(format!(
+                "empty global domain {global:?}"
+            )));
         }
         if ranks == 0 || ranks > global.nx {
             return Err(Error::BadDecomposition(format!(

@@ -57,10 +57,7 @@ mod tests {
 
     #[test]
     fn errors_compare_by_value() {
-        assert_eq!(
-            Error::Mismatch("a".into()),
-            Error::Mismatch("a".into())
-        );
+        assert_eq!(Error::Mismatch("a".into()), Error::Mismatch("a".into()));
         assert_ne!(
             Error::Mismatch("a".into()),
             Error::BadDimensions("a".into())

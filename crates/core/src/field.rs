@@ -32,7 +32,9 @@ impl DistField {
     /// plus `halo` ghost planes on each side of the x axis.
     pub fn new(q: usize, owned: Dim3, halo: usize) -> Result<Self> {
         if owned.is_empty() {
-            return Err(Error::BadDimensions(format!("empty owned region {owned:?}")));
+            return Err(Error::BadDimensions(format!(
+                "empty owned region {owned:?}"
+            )));
         }
         if q == 0 {
             return Err(Error::BadDimensions("q == 0".into()));

@@ -66,9 +66,7 @@ impl Dim3 {
     /// Iterate all `(x, y, z)` coordinates in memory order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         let d = *self;
-        (0..d.nx).flat_map(move |x| {
-            (0..d.ny).flat_map(move |y| (0..d.nz).map(move |z| (x, y, z)))
-        })
+        (0..d.nx).flat_map(move |x| (0..d.ny).flat_map(move |y| (0..d.nz).map(move |z| (x, y, z))))
     }
 }
 

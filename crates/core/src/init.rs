@@ -78,25 +78,24 @@ pub fn taylor_green(
 /// A shear wave `u_x(y) = u0 sin(2πy/ny)` whose decay rate measures ν.
 pub fn shear_wave(ctx: &KernelCtx, f: &mut DistField, rho0: f64, u0: f64, global_ny: usize) {
     let k = 2.0 * std::f64::consts::PI / global_ny as f64;
-    from_macroscopic(ctx, f, |_x, y, _z| (rho0, [u0 * (k * y as f64).sin(), 0.0, 0.0]));
+    from_macroscopic(ctx, f, |_x, y, _z| {
+        (rho0, [u0 * (k * y as f64).sin(), 0.0, 0.0])
+    });
 }
 
 /// A Gaussian density pulse at the box centre (acoustic test / Fig. 1-style
 /// visual).
-pub fn density_pulse(
-    ctx: &KernelCtx,
-    f: &mut DistField,
-    rho0: f64,
-    amplitude: f64,
-    width: f64,
-) {
+pub fn density_pulse(ctx: &KernelCtx, f: &mut DistField, rho0: f64, amplitude: f64, width: f64) {
     let d = f.alloc_dims();
     let cx = d.nx as f64 / 2.0;
     let cy = d.ny as f64 / 2.0;
     let cz = d.nz as f64 / 2.0;
     from_macroscopic(ctx, f, |x, y, z| {
         let r2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2) + (z as f64 - cz).powi(2);
-        (rho0 + amplitude * (-r2 / (2.0 * width * width)).exp(), [0.0; 3])
+        (
+            rho0 + amplitude * (-r2 / (2.0 * width * width)).exp(),
+            [0.0; 3],
+        )
     });
 }
 

@@ -122,7 +122,8 @@ fn fused_impl<const THIRD: bool>(
                     let cf = k.c[i];
                     let w = k.w[i];
                     let line = &fq[i];
-                    let out = &mut dst_data[i * slab_len + dbase + z0..i * slab_len + dbase + z0 + blk];
+                    let out =
+                        &mut dst_data[i * slab_len + dbase + z0..i * slab_len + dbase + z0 + blk];
                     for (j, o) in out.iter_mut().enumerate() {
                         let xi = cf[0] * ux[j] + cf[1] * uy[j] + cf[2] * uz[j];
                         let mut poly =

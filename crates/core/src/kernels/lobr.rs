@@ -150,11 +150,10 @@ fn collide_impl<const THIRD: bool>(ctx: &KernelCtx, f: &mut DistField, x_lo: usi
     let total = data.len();
 
     // Component masks hoisted out of all spatial loops (branch reduction).
-    let masks: Vec<(bool, bool, bool)> = k
-        .c
-        .iter()
-        .map(|c| (c[0] != 0.0, c[1] != 0.0, c[2] != 0.0))
-        .collect();
+    let masks: Vec<(bool, bool, bool)> =
+        k.c.iter()
+            .map(|c| (c[0] != 0.0, c[1] != 0.0, c[2] != 0.0))
+            .collect();
 
     let mut rho = [0.0f64; ZB];
     let mut mx = [0.0f64; ZB];

@@ -21,7 +21,8 @@ pub fn simd_available() -> bool {
     {
         static AVAIL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         *AVAIL.get_or_init(|| {
-            std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
         })
     }
     #[cfg(not(target_arch = "x86_64"))]
@@ -136,13 +137,10 @@ unsafe fn collide_avx2<const THIRD: bool>(
                         vpoly = _mm256_fnmadd_pd(vu2, v_inv_2cs2, vpoly);
                         if THIRD {
                             let t = _mm256_fnmadd_pd(v_3cs2, vu2, _mm256_mul_pd(vxi, vxi));
-                            vpoly =
-                                _mm256_fmadd_pd(_mm256_mul_pd(vxi, t), v_inv_6cs6, vpoly);
+                            vpoly = _mm256_fmadd_pd(_mm256_mul_pd(vxi, t), v_inv_6cs6, vpoly);
                         }
-                        let vfeq = _mm256_mul_pd(
-                            _mm256_mul_pd(_mm256_set1_pd(k.w[i]), vrho),
-                            vpoly,
-                        );
+                        let vfeq =
+                            _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(k.w[i]), vrho), vpoly);
                         let p = base_ptr.add(i * slab_len + off);
                         let fv = _mm256_loadu_pd(p);
                         let out = _mm256_fmadd_pd(v_omega, _mm256_sub_pd(vfeq, fv), fv);

@@ -61,8 +61,12 @@ mod tests {
     #[test]
     fn shell_populations() {
         let (_, v, _) = tables();
-        let faces = v.iter().filter(|c| c.iter().map(|x| x * x).sum::<i32>() == 1);
-        let edges = v.iter().filter(|c| c.iter().map(|x| x * x).sum::<i32>() == 2);
+        let faces = v
+            .iter()
+            .filter(|c| c.iter().map(|x| x * x).sum::<i32>() == 1);
+        let edges = v
+            .iter()
+            .filter(|c| c.iter().map(|x| x * x).sum::<i32>() == 2);
         assert_eq!(faces.count(), 6);
         assert_eq!(edges.count(), 12);
     }
@@ -70,8 +74,6 @@ mod tests {
     #[test]
     fn no_velocity_exceeds_second_neighbour() {
         let (_, v, _) = tables();
-        assert!(v
-            .iter()
-            .all(|c| c.iter().map(|x| x * x).sum::<i32>() <= 2));
+        assert!(v.iter().all(|c| c.iter().map(|x| x * x).sum::<i32>() <= 2));
     }
 }

@@ -100,7 +100,11 @@ mod tests {
     #[test]
     fn shell_populations() {
         let (_, v, _) = tables();
-        let count = |d2: i32| v.iter().filter(|c| c.iter().map(|x| x * x).sum::<i32>() == d2).count();
+        let count = |d2: i32| {
+            v.iter()
+                .filter(|c| c.iter().map(|x| x * x).sum::<i32>() == d2)
+                .count()
+        };
         assert_eq!(count(0), 1);
         assert_eq!(count(1), 6);
         assert_eq!(count(3), 8);
@@ -123,7 +127,11 @@ mod tests {
         // Hermite machinery runs.
         let (cs2, v, w) = tables();
         let cs4 = cs2 * cs2;
-        let x4: f64 = v.iter().zip(&w).map(|(c, w)| w * (c[0] as f64).powi(4)).sum();
+        let x4: f64 = v
+            .iter()
+            .zip(&w)
+            .map(|(c, w)| w * (c[0] as f64).powi(4))
+            .sum();
         let x2y2: f64 = v
             .iter()
             .zip(&w)

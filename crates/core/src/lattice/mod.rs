@@ -439,12 +439,12 @@ mod tests {
         let sh = l.shells();
         assert_eq!(sh.len(), 6);
         let expect: [(f64, usize, f64); 6] = [
-            (1.0 / 12.0, 1, 0.0),            // rest
-            (1.0 / 12.0, 6, 1.0),            // (1,0,0)
-            (1.0 / 27.0, 8, 3f64.sqrt()),    // (1,1,1)
-            (2.0 / 135.0, 6, 2.0),           // (2,0,0)
-            (1.0 / 432.0, 12, 8f64.sqrt()),  // (2,2,0)  — paper's misprinted 1/142
-            (1.0 / 1620.0, 6, 3.0),          // (3,0,0)
+            (1.0 / 12.0, 1, 0.0),           // rest
+            (1.0 / 12.0, 6, 1.0),           // (1,0,0)
+            (1.0 / 27.0, 8, 3f64.sqrt()),   // (1,1,1)
+            (2.0 / 135.0, 6, 2.0),          // (2,0,0)
+            (1.0 / 432.0, 12, 8f64.sqrt()), // (2,2,0)  — paper's misprinted 1/142
+            (1.0 / 1620.0, 6, 3.0),         // (3,0,0)
         ];
         for (s, (w, m, d)) in sh.iter().zip(expect) {
             assert!((s.weight - w).abs() < 1e-15, "{s:?}");

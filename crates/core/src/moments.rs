@@ -76,11 +76,7 @@ pub fn momentum_flux(lat: &Lattice, f: &[f64]) -> Sym3 {
 
 /// Non-equilibrium part of the momentum flux, `Π^neq = Σ (f_i − f_i^eq) c c`,
 /// proportional to the viscous stress in the hydrodynamic limit.
-pub fn noneq_stress(
-    lat: &Lattice,
-    order: crate::equilibrium::EqOrder,
-    f: &[f64],
-) -> Sym3 {
+pub fn noneq_stress(lat: &Lattice, order: crate::equilibrium::EqOrder, f: &[f64]) -> Sym3 {
     let m = Moments::of_cell(lat, f);
     let mut feq = vec![0.0; lat.q()];
     crate::equilibrium::feq(lat, order, m.rho, m.u, &mut feq);

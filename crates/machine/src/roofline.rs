@@ -138,7 +138,10 @@ pub struct Table2Row {
 /// machines.
 pub fn table2(machines: &[MachineSpec]) -> Vec<Table2Row> {
     let mut rows = Vec::new();
-    for (lattice, t) in [("D3Q19", KernelTraffic::d3q19()), ("D3Q39", KernelTraffic::d3q39())] {
+    for (lattice, t) in [
+        ("D3Q19", KernelTraffic::d3q19()),
+        ("D3Q39", KernelTraffic::d3q39()),
+    ] {
         for m in machines {
             let a = attainable(m, &t);
             rows.push(Table2Row {

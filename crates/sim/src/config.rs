@@ -140,10 +140,15 @@ impl SimConfig {
             return Err(Error::BadHalo("ghost depth must be ≥ 1".into()));
         }
         if self.tau <= 0.5 {
-            return Err(Error::BadParameter(format!("tau must exceed 0.5: {}", self.tau)));
+            return Err(Error::BadParameter(format!(
+                "tau must exceed 0.5: {}",
+                self.tau
+            )));
         }
         if self.threads_per_rank == 0 || self.ranks == 0 {
-            return Err(Error::BadDecomposition("ranks and threads must be ≥ 1".into()));
+            return Err(Error::BadDecomposition(
+                "ranks and threads must be ≥ 1".into(),
+            ));
         }
         if self.global.ny <= 2 * k || self.global.nz <= 2 * k {
             return Err(Error::BadDimensions(format!(
@@ -256,11 +261,26 @@ mod tests {
 
     #[test]
     fn strategy_ladder_mapping_matches_paper() {
-        assert_eq!(CommStrategy::for_level(OptLevel::Orig), CommStrategy::Blocking);
-        assert_eq!(CommStrategy::for_level(OptLevel::LoBr), CommStrategy::Blocking);
-        assert_eq!(CommStrategy::for_level(OptLevel::NbC), CommStrategy::NonBlockingGhost);
-        assert_eq!(CommStrategy::for_level(OptLevel::GcC), CommStrategy::OverlapGhostCollide);
-        assert_eq!(CommStrategy::for_level(OptLevel::Simd), CommStrategy::OverlapGhostCollide);
+        assert_eq!(
+            CommStrategy::for_level(OptLevel::Orig),
+            CommStrategy::Blocking
+        );
+        assert_eq!(
+            CommStrategy::for_level(OptLevel::LoBr),
+            CommStrategy::Blocking
+        );
+        assert_eq!(
+            CommStrategy::for_level(OptLevel::NbC),
+            CommStrategy::NonBlockingGhost
+        );
+        assert_eq!(
+            CommStrategy::for_level(OptLevel::GcC),
+            CommStrategy::OverlapGhostCollide
+        );
+        assert_eq!(
+            CommStrategy::for_level(OptLevel::Simd),
+            CommStrategy::OverlapGhostCollide
+        );
     }
 
     #[test]

@@ -186,9 +186,11 @@ impl RankSolver {
                 // Send both borders, then complete receives one at a time
                 // (the naive sum-of-delays pattern).
                 halo::pack_border(&self.f, Side::Left, self.h, &mut self.send_buf);
-                comm.send(left, to_left, self.send_buf.clone()).expect("send");
+                comm.send(left, to_left, self.send_buf.clone())
+                    .expect("send");
                 halo::pack_border(&self.f, Side::Right, self.h, &mut self.send_buf);
-                comm.send(right, to_right, self.send_buf.clone()).expect("send");
+                comm.send(right, to_right, self.send_buf.clone())
+                    .expect("send");
                 // My left halo comes from my left neighbour's to_right send.
                 let from_left = comm.recv(left, to_right).expect("recv");
                 halo::unpack_halo(&mut self.f, Side::Left, self.h, &from_left);
@@ -198,9 +200,13 @@ impl RankSolver {
             CommStrategy::NonBlockingEager => {
                 // Nonblocking posts but an immediate waitall: zero overlap.
                 halo::pack_border(&self.f, Side::Left, self.h, &mut self.send_buf);
-                let _ = comm.isend(left, to_left, self.send_buf.clone()).expect("isend");
+                let _ = comm
+                    .isend(left, to_left, self.send_buf.clone())
+                    .expect("isend");
                 halo::pack_border(&self.f, Side::Right, self.h, &mut self.send_buf);
-                let _ = comm.isend(right, to_right, self.send_buf.clone()).expect("isend");
+                let _ = comm
+                    .isend(right, to_right, self.send_buf.clone())
+                    .expect("isend");
                 let rl = comm.irecv(left, to_right).expect("irecv");
                 let rr = comm.irecv(right, to_left).expect("irecv");
                 let msgs = comm.waitall(vec![rl, rr]).expect("waitall");
@@ -231,9 +237,13 @@ impl RankSolver {
                 let left = self.sub.left();
                 let right = self.sub.right();
                 halo::pack_border(&self.f, Side::Left, self.h, &mut self.send_buf);
-                let _ = comm.isend(left, to_left, self.send_buf.clone()).expect("isend");
+                let _ = comm
+                    .isend(left, to_left, self.send_buf.clone())
+                    .expect("isend");
                 halo::pack_border(&self.f, Side::Right, self.h, &mut self.send_buf);
-                let _ = comm.isend(right, to_right, self.send_buf.clone()).expect("isend");
+                let _ = comm
+                    .isend(right, to_right, self.send_buf.clone())
+                    .expect("isend");
                 self.post_receives(comm);
             }
             CommStrategy::OverlapGhostCollide => {
@@ -269,7 +279,9 @@ impl RankSolver {
             let left = self.sub.left();
             let right = self.sub.right();
             halo::pack_border(&self.tmp, Side::Left, self.h, &mut self.send_buf);
-            let _ = comm.isend(left, step_tag, self.send_buf.clone()).expect("isend");
+            let _ = comm
+                .isend(left, step_tag, self.send_buf.clone())
+                .expect("isend");
             halo::pack_border(&self.tmp, Side::Right, self.h, &mut self.send_buf);
             let _ = comm
                 .isend(right, step_tag + 32, self.send_buf.clone())
@@ -298,9 +310,13 @@ impl RankSolver {
             let left = self.sub.left();
             let right = self.sub.right();
             halo::pack_border(&self.tmp, Side::Left, self.h, &mut self.send_buf);
-            let _ = comm.isend(left, to_left, self.send_buf.clone()).expect("isend");
+            let _ = comm
+                .isend(left, to_left, self.send_buf.clone())
+                .expect("isend");
             halo::pack_border(&self.tmp, Side::Right, self.h, &mut self.send_buf);
-            let _ = comm.isend(right, to_right, self.send_buf.clone()).expect("isend");
+            let _ = comm
+                .isend(right, to_right, self.send_buf.clone())
+                .expect("isend");
             self.post_receives(comm);
             // …then collide everything else while the messages fly: the
             // ghost-region planes plus the interior.
@@ -337,7 +353,15 @@ impl RankSolver {
             Some(pool) if self.level >= OptLevel::Dh => pool.install(|| {
                 kernels::par::stream_par(&self.ctx, &self.tables, &self.f, &mut self.tmp, lo, hi);
             }),
-            _ => kernels::stream(self.level, &self.ctx, &self.tables, &self.f, &mut self.tmp, lo, hi),
+            _ => kernels::stream(
+                self.level,
+                &self.ctx,
+                &self.tables,
+                &self.f,
+                &mut self.tmp,
+                lo,
+                hi,
+            ),
         }
     }
 
@@ -443,7 +467,16 @@ mod tests {
     fn reference_run(cfg: &SimConfig, steps: usize) -> DistField {
         let ctx = KernelCtx::new(cfg.lattice, cfg.eq_order(), Bgk::new(cfg.tau).unwrap());
         let mut f = DistField::new(ctx.lat.q(), cfg.global, 0).unwrap();
-        lbm_core::init::taylor_green(&ctx, &mut f, 1.0, cfg.init_u0, cfg.global.nx, cfg.global.ny, 0, 0);
+        lbm_core::init::taylor_green(
+            &ctx,
+            &mut f,
+            1.0,
+            cfg.init_u0,
+            cfg.global.nx,
+            cfg.global.ny,
+            0,
+            0,
+        );
         let mut tmp = f.clone();
         for _ in 0..steps {
             lbm_core::kernels::reference::step_periodic(&ctx, &mut f, &mut tmp);
@@ -472,8 +505,8 @@ mod tests {
                     let a = dref.idx(x0 + x, 0, 0);
                     let b = ds.idx(x, 0, 0);
                     for p in 0..dref.plane() {
-                        max_diff = max_diff
-                            .max((reference.slab(i)[a + p] - snap.slab(i)[b + p]).abs());
+                        max_diff =
+                            max_diff.max((reference.slab(i)[a + p] - snap.slab(i)[b + p]).abs());
                     }
                 }
             }
@@ -488,8 +521,7 @@ mod tests {
 
     #[test]
     fn single_rank_matches_reference_q19() {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-            .with_level(OptLevel::Gc);
+        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8)).with_level(OptLevel::Gc);
         compare_to_reference(&cfg, 5, 1e-13);
     }
 

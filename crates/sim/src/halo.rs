@@ -155,8 +155,12 @@ mod tests {
         for i in 0..3 {
             let p0 = d.idx(0, 0, 0);
             let p1 = d.idx(1, 0, 0);
-            assert!(b.slab(i)[p0..p0 + d.plane()].iter().all(|&v| v == (i * 1000 + 5) as f64));
-            assert!(b.slab(i)[p1..p1 + d.plane()].iter().all(|&v| v == (i * 1000 + 6) as f64));
+            assert!(b.slab(i)[p0..p0 + d.plane()]
+                .iter()
+                .all(|&v| v == (i * 1000 + 5) as f64));
+            assert!(b.slab(i)[p1..p1 + d.plane()]
+                .iter()
+                .all(|&v| v == (i * 1000 + 6) as f64));
         }
     }
 
@@ -166,11 +170,19 @@ mod tests {
         fill_periodic_self(&mut f, 2);
         let d = f.alloc_dims();
         // Left halo (x=0,1) ← right border (tags 4,5).
-        assert!(f.slab(0)[d.idx(0, 0, 0)..d.idx(0, 0, 0) + d.plane()].iter().all(|&v| v == 4.0));
-        assert!(f.slab(0)[d.idx(1, 0, 0)..d.idx(1, 0, 0) + d.plane()].iter().all(|&v| v == 5.0));
+        assert!(f.slab(0)[d.idx(0, 0, 0)..d.idx(0, 0, 0) + d.plane()]
+            .iter()
+            .all(|&v| v == 4.0));
+        assert!(f.slab(0)[d.idx(1, 0, 0)..d.idx(1, 0, 0) + d.plane()]
+            .iter()
+            .all(|&v| v == 5.0));
         // Right halo (x=6,7) ← left border (tags 2,3).
-        assert!(f.slab(0)[d.idx(6, 0, 0)..d.idx(6, 0, 0) + d.plane()].iter().all(|&v| v == 2.0));
-        assert!(f.slab(0)[d.idx(7, 0, 0)..d.idx(7, 0, 0) + d.plane()].iter().all(|&v| v == 3.0));
+        assert!(f.slab(0)[d.idx(6, 0, 0)..d.idx(6, 0, 0) + d.plane()]
+            .iter()
+            .all(|&v| v == 2.0));
+        assert!(f.slab(0)[d.idx(7, 0, 0)..d.idx(7, 0, 0) + d.plane()]
+            .iter()
+            .all(|&v| v == 3.0));
     }
 
     #[test]

@@ -94,10 +94,28 @@ mod tests {
     fn bgp_sweep_shape() {
         let s = bgp_sweep(8);
         assert_eq!(s.len(), 5);
-        assert_eq!(s[0].1, HybridConfig { ranks: 8, threads: 1 });
-        assert_eq!(s[3].1, HybridConfig { ranks: 8, threads: 4 });
+        assert_eq!(
+            s[0].1,
+            HybridConfig {
+                ranks: 8,
+                threads: 1
+            }
+        );
+        assert_eq!(
+            s[3].1,
+            HybridConfig {
+                ranks: 8,
+                threads: 4
+            }
+        );
         assert_eq!(s[4].0, "VN");
-        assert_eq!(s[4].1, HybridConfig { ranks: 32, threads: 1 });
+        assert_eq!(
+            s[4].1,
+            HybridConfig {
+                ranks: 32,
+                threads: 1
+            }
+        );
     }
 
     #[test]
@@ -105,7 +123,17 @@ mod tests {
         let s = bgq_sweep(16, 8);
         assert!(!s.is_empty());
         assert!(s.iter().all(|c| c.cpus() <= 16 && c.ranks <= 8));
-        assert!(s.contains(&HybridConfig { ranks: 4, threads: 4 }));
-        assert_eq!(HybridConfig { ranks: 4, threads: 4 }.label(), "4-4");
+        assert!(s.contains(&HybridConfig {
+            ranks: 4,
+            threads: 4
+        }));
+        assert_eq!(
+            HybridConfig {
+                ranks: 4,
+                threads: 4
+            }
+            .label(),
+            "4-4"
+        );
     }
 }

@@ -109,7 +109,10 @@ mod tests {
         let c = ctx();
         let mut f = DistField::new(c.lat.q(), Dim3::new(4, 5, 6), 1).unwrap();
         lbm_core::init::from_macroscopic(&c, &mut f, |x, y, z| {
-            (1.0 + 0.01 * x as f64, [0.001 * y as f64, 0.0, 0.002 * z as f64])
+            (
+                1.0 + 0.01 * x as f64,
+                [0.001 * y as f64, 0.0, 0.002 * z as f64],
+            )
         });
         let (rho, u) = macro_fields(&c, &f);
         // owned x index 0 maps to alloc x=1.
@@ -122,7 +125,9 @@ mod tests {
     fn profile_averages_over_x_and_z() {
         let c = ctx();
         let mut f = DistField::new(c.lat.q(), Dim3::new(3, 4, 5), 0).unwrap();
-        lbm_core::init::from_macroscopic(&c, &mut f, |_x, y, _z| (1.0, [y as f64 * 0.01, 0.0, 0.0]));
+        lbm_core::init::from_macroscopic(&c, &mut f, |_x, y, _z| {
+            (1.0, [y as f64 * 0.01, 0.0, 0.0])
+        });
         let p = ux_profile(&c, &f, 0..4);
         for (y, v) in p.iter().enumerate() {
             assert!((v - y as f64 * 0.01).abs() < 1e-12, "y={y}");

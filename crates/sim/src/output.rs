@@ -74,18 +74,10 @@ fn diverging(t: f64) -> (u8, u8, u8) {
     let t = t.clamp(0.0, 1.0);
     if t < 0.5 {
         let s = t * 2.0;
-        (
-            (s * 255.0) as u8,
-            (s * 255.0) as u8,
-            255,
-        )
+        ((s * 255.0) as u8, (s * 255.0) as u8, 255)
     } else {
         let s = (t - 0.5) * 2.0;
-        (
-            255,
-            ((1.0 - s) * 255.0) as u8,
-            ((1.0 - s) * 255.0) as u8,
-        )
+        (255, ((1.0 - s) * 255.0) as u8, ((1.0 - s) * 255.0) as u8)
     }
 }
 

@@ -416,7 +416,10 @@ mod tests {
         let axis = u.get(1, 8, 7)[0];
         let edge = u.get(1, 8, 2)[0]; // near the mask boundary
         assert!(axis > 0.0, "axis velocity {axis}");
-        assert!(axis > 3.0 * edge.abs().max(1e-9), "axis {axis} vs edge {edge}");
+        assert!(
+            axis > 3.0 * edge.abs().max(1e-9),
+            "axis {axis} vs edge {edge}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ fn main() {
             Err(e) => {
                 // The paper hit exactly this wall: GC=4 ran out of memory on
                 // the 133k case (Fig. 10a).
-                println!("{depth:>6} {:>10} {:>12}", depth * lat.reach(), format!("-- {e}"));
+                println!(
+                    "{depth:>6} {:>10} {:>12}",
+                    depth * lat.reach(),
+                    format!("-- {e}")
+                );
             }
         }
     }

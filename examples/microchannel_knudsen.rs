@@ -36,7 +36,10 @@ fn main() {
         let mut taus = [0.0; 2];
         let mut slips = [0.0; 2];
         let mut flows = [0.0; 2];
-        for (i, kind) in [LatticeKind::D3Q19, LatticeKind::D3Q39].into_iter().enumerate() {
+        for (i, kind) in [LatticeKind::D3Q19, LatticeKind::D3Q39]
+            .into_iter()
+            .enumerate()
+        {
             let lat = Lattice::new(kind);
             let tau = knudsen::tau_for_knudsen(kn, lat.cs2(), height as f64).unwrap();
             taus[i] = tau;

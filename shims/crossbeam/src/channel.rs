@@ -1,0 +1,245 @@
+//! Unbounded MPMC channel over `Mutex<VecDeque>` + `Condvar`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Create an unbounded channel; sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half; cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message. Fails only if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(msg));
+        }
+        self.shared.lock().push_back(msg);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake blocked receivers so they can observe
+            // the disconnect.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+/// The receiving half; cloneable (all clones drain the same queue).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message is available or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            q = self.shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Receiver::recv`] with an upper bound on the blocked time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .shared
+                .ready
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.lock();
+        if let Some(msg) = q.pop_front() {
+            return Ok(msg);
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Send failed: all receivers dropped. Carries the unsent message back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Receive failed: channel empty and all senders dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Timed receive outcome when no message was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message within the timeout.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// Non-blocking receive outcome when no message was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_clone_receiver() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx2.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+
+        let (tx, rx) = unbounded::<i32>();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn keepalive_clone_outlives_original_receiver() {
+        let (tx, rx) = unbounded::<i32>();
+        let keep = rx.clone();
+        drop(rx);
+        tx.send(9).unwrap();
+        assert_eq!(keep.recv().unwrap(), 9);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for k in 0..100 {
+                tx.send(k).unwrap();
+            }
+        });
+        for k in 0..100 {
+            assert_eq!(rx.recv().unwrap(), k);
+        }
+        h.join().unwrap();
+    }
+}

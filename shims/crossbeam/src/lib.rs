@@ -1,0 +1,7 @@
+//! Offline shim for `crossbeam`: the `channel` module subset used by this
+//! workspace — unbounded MPMC channels with cloneable senders *and*
+//! receivers, and crossbeam's disconnect semantics (`send` fails only once
+//! every receiver is gone; `recv` fails once the queue is drained and every
+//! sender is gone).
+
+pub mod channel;

@@ -1,0 +1,203 @@
+//! Offline shim for `proptest`: the macro/strategy subset this workspace's
+//! property suites use, run deterministically.
+//!
+//! Supported surface:
+//! * `proptest! { #![proptest_config(..)] #[test] fn name(a in strat, ..) {..} }`
+//! * strategies: ranges over ints/floats, tuples, [`Just`], `prop_map`,
+//!   `prop_oneof!`, `any::<T>()`
+//! * assertions: `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//!
+//! Differences from real proptest, chosen for a hermetic CI:
+//! * **Deterministic**: the RNG seed is derived from the test name (override
+//!   with `PROPTEST_SEED=<u64>` to explore other trajectories).
+//! * **No shrinking**: a failing case reports its exact inputs instead; with
+//!   a deterministic seed the case is already reproducible.
+//! * Default case count is 64 (override with `PROPTEST_CASES`); suites that
+//!   set `ProptestConfig { cases, .. }` explicitly keep their own budget.
+
+use std::fmt;
+
+mod macros;
+mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Map, Strategy, Union};
+
+// `prop_oneof!` expands in downstream crates and needs a `$crate`-rooted
+// path to the boxing helper.
+#[doc(hidden)]
+pub use strategy::boxed as strategy_boxed;
+
+pub mod prelude {
+    //! Glob import mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Per-suite configuration, constructed with functional update over
+/// `default()` as in real proptest. The `cases` budget is the only knob the
+/// shim honors; the other fields exist so configs written against the real
+/// crate keep their meaning (and so `.. default()` updates stay non-trivial).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Shrink budget (unused: the shim does not shrink).
+    pub max_shrink_iters: u32,
+    /// Global rejection budget (unused: the shim has no filters).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self {
+            cases,
+            max_shrink_iters: 1024,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// A failed property: carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type a generated property body returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 generator driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name (FNV-1a), mixed with `PROPTEST_SEED` if set.
+    pub fn for_test(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        if let Some(seed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            h ^= seed.wrapping_mul(0x9e3779b97f4a7c15);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Driver called by the generated tests: runs `cases` samples of `strategy`
+/// through `body`, panicking with the offending inputs on the first failure.
+pub fn run_property<S, F>(test_name: &str, config: &ProptestConfig, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::for_test(test_name);
+    let cases = config.cases.max(1);
+    for case in 0..cases {
+        let value = strategy.sample(&mut rng);
+        let rendered = format!("{value:?}");
+        if let Err(err) = body(value) {
+            panic!(
+                "proptest property `{test_name}` failed at case {case}/{cases}: \
+                 {err}\n  inputs: {rendered}\n  (deterministic; rerun with \
+                 PROPTEST_SEED to vary)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..17, b in -2.5f64..4.5, c in any::<bool>()) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..4.5).contains(&b));
+            prop_assert_eq!(c as u8 <= 1, true);
+        }
+
+        #[test]
+        fn map_and_oneof_compose(
+            v in (0.0f64..1.0, 1usize..4).prop_map(|(x, n)| vec![x; n]),
+            k in prop_oneof![Just(1u8), Just(2u8), Just(3u8)],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!((1..=3).contains(&k));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(k, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_property_reports_inputs() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig {
+                cases: 5,
+                ..ProptestConfig::default()
+            },
+            &(0usize..10,),
+            |(_n,)| Err(TestCaseError::fail("boom")),
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Parallel iterator subset: `into_par_iter().enumerate().for_each(..)`
+//! over `Vec<T>` and `Range<usize>`, executed on scoped threads.
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator (items are split into one contiguous
+/// chunk per worker thread when consumed).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `op` to every item, in parallel across worker threads.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        let mut items = self.items;
+        let workers = crate::current_num_threads().clamp(1, items.len().max(1));
+        if workers <= 1 {
+            for item in items {
+                op(item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let op = &op;
+            while !items.is_empty() {
+                let tail = items.split_off(items.len().saturating_sub(chunk));
+                s.spawn(move || {
+                    for item in tail {
+                        op(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits = AtomicUsize::new(0);
+        (0..1000).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn enumerate_indices_match_items() {
+        let v: Vec<i32> = (0..64).map(|i| i * 10).collect();
+        v.into_par_iter().enumerate().for_each(|(i, x)| {
+            assert_eq!(x, i as i32 * 10);
+        });
+    }
+
+    #[test]
+    fn disjoint_mut_slabs() {
+        let mut data = vec![0u64; 8 * 32];
+        let slabs: Vec<&mut [u64]> = data.chunks_mut(32).collect();
+        slabs.into_par_iter().enumerate().for_each(|(i, slab)| {
+            for v in slab {
+                *v = i as u64;
+            }
+        });
+        for (i, chunk) in data.chunks(32).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u64));
+        }
+    }
+}

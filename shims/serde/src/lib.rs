@@ -1,0 +1,12 @@
+//! Offline shim for `serde`: marker traits plus re-exported no-op derive
+//! macros, mirroring real serde's trait-and-derive-share-a-name layout so
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compile
+//! unchanged. No serializer exists in-tree, so the traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

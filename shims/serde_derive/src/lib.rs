@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: derives that accept the same syntax as
+//! the real ones (including `#[serde(...)]` attributes) and emit no code.
+//! Nothing in this workspace serializes through serde yet — the derives
+//! exist so type definitions can carry the annotations they were written
+//! with and pick up real behavior the day the genuine crates are wired in.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

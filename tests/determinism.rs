@@ -40,9 +40,12 @@ fn link_costs_change_only_time() {
         .with_level(OptLevel::Simd);
     let free = owned_fields(&base, 4);
     let costly = owned_fields(
-        &base
-            .clone()
-            .with_cost(CostModel::torus_ramp(Duration::from_micros(300), 1e9, 2, 4.0)),
+        &base.clone().with_cost(CostModel::torus_ramp(
+            Duration::from_micros(300),
+            1e9,
+            2,
+            4.0,
+        )),
         4,
     );
     assert_identical(&free, &costly, "link cost must not alter physics");
@@ -66,7 +69,10 @@ fn eager_midstep_exchange_does_not_alter_physics() {
     let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
         .with_ranks(3)
         .with_level(OptLevel::LoBr);
-    let eager = owned_fields(&base.clone().with_strategy(CommStrategy::NonBlockingEager), 6);
+    let eager = owned_fields(
+        &base.clone().with_strategy(CommStrategy::NonBlockingEager),
+        6,
+    );
     let ghost = owned_fields(&base.with_strategy(CommStrategy::NonBlockingGhost), 6);
     assert_identical(&eager, &ghost, "schedules must agree");
 }

@@ -140,15 +140,15 @@ fn overlap_schedule_hides_latency() {
         .with_steps(10)
         .with_warmup(2)
         .with_level(OptLevel::Simd)
-        .with_cost(CostModel::uniform(Duration::from_micros(500), f64::INFINITY));
-    let eager = lbm::sim::run_distributed(
-        &base.clone().with_strategy(CommStrategy::NonBlockingEager),
-    )
-    .unwrap();
-    let overlap = lbm::sim::run_distributed(
-        &base.with_strategy(CommStrategy::OverlapGhostCollide),
-    )
-    .unwrap();
+        .with_cost(CostModel::uniform(
+            Duration::from_micros(500),
+            f64::INFINITY,
+        ));
+    let eager =
+        lbm::sim::run_distributed(&base.clone().with_strategy(CommStrategy::NonBlockingEager))
+            .unwrap();
+    let overlap =
+        lbm::sim::run_distributed(&base.with_strategy(CommStrategy::OverlapGhostCollide)).unwrap();
     assert!(
         overlap.comm_median_secs < eager.comm_median_secs,
         "overlap {:.4}s should beat eager {:.4}s",

@@ -62,7 +62,11 @@ fn ladder_rungs_conserve_mass_and_momentum() {
         let (b, a) = &out[0];
         assert!((b.0 - a.0).abs() < 1e-9 * b.0, "{}: mass", level.name());
         for ax in 0..3 {
-            assert!((b.1[ax] - a.1[ax]).abs() < 1e-9, "{}: momentum {ax}", level.name());
+            assert!(
+                (b.1[ax] - a.1[ax]).abs() < 1e-9,
+                "{}: momentum {ax}",
+                level.name()
+            );
         }
     }
 }
@@ -87,14 +91,12 @@ fn deep_halo_and_strategy_grid_equivalence() {
             CommStrategy::NonBlockingGhost,
             CommStrategy::OverlapGhostCollide,
         ] {
-            let cfg = base
-                .clone()
-                .with_ghost_depth(depth)
-                .with_strategy(strategy);
+            let cfg = base.clone().with_ghost_depth(depth).with_strategy(strategy);
             let got = owned_fields(&cfg, 6);
             let d = max_diff(&reference, &got);
             assert_eq!(
-                d, 0.0,
+                d,
+                0.0,
                 "depth {depth} strategy {}: diff {d}",
                 strategy.label()
             );

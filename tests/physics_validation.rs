@@ -1,10 +1,10 @@
 //! Cross-crate physics validation: the distributed solver must produce the
 //! hydrodynamics the lattice models promise.
 
+use lbm::comm::{CostModel, Universe};
 use lbm::core::analytic;
 use lbm::core::collision::Bgk;
 use lbm::core::knudsen;
-use lbm::comm::{CostModel, Universe};
 use lbm::prelude::*;
 use lbm::sim::distributed::RankSolver;
 use lbm::sim::observables;
@@ -64,7 +64,10 @@ fn q19_and_q39_agree_in_continuum_regime() {
         let nu = 0.08;
         let tau = nu / lat.cs2() + 0.5;
         let kn = knudsen::knudsen(tau, lat.cs2(), height as f64);
-        assert!(knudsen::navier_stokes_valid(kn), "test must sit in the continuum window");
+        assert!(
+            knudsen::navier_stokes_valid(kn),
+            "test must sit in the continuum window"
+        );
         let mut sim = ChannelSim::new(
             kind,
             tau,
