@@ -136,6 +136,28 @@ fn bench_fused_ablation(c: &mut Criterion) {
                 std::hint::black_box(dst.slab(0)[0])
             })
         });
+        // The Fused rung proper: AVX2+FMA single pass (scalar fallback).
+        g.bench_function("fused_simd", |b| {
+            b.iter(|| {
+                kernels::stream_collide(
+                    OptLevel::Fused,
+                    &ctx,
+                    &tables,
+                    &src,
+                    &mut dst,
+                    k,
+                    k + dims.nx,
+                );
+                std::hint::black_box(dst.slab(0)[0])
+            })
+        });
+        // Threaded fused driver (disjoint x-chunks over dst).
+        g.bench_function("fused_par", |b| {
+            b.iter(|| {
+                kernels::par::stream_collide_par(&ctx, &tables, &src, &mut dst, k, k + dims.nx);
+                std::hint::black_box(dst.slab(0)[0])
+            })
+        });
         g.finish();
     }
 }

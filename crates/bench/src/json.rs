@@ -1,0 +1,178 @@
+//! Minimal JSON emitter for the machine-readable benchmark artifacts.
+//!
+//! The workspace is offline (no `serde_json`); the harness needs only to
+//! *write* JSON, so this module provides a tiny value tree with a renderer.
+//! Numbers are emitted via Rust's shortest-roundtrip float formatting;
+//! non-finite floats become `null` (JSON has no NaN/Inf).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Integer (kept exact, unlike going through f64).
+    Int(i64),
+    /// Float; non-finite renders as `null`.
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object values.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with 2-space indentation (stable, diff-friendly artifacts).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                write_escaped(out, &pairs[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                pairs[i].1.write(out, indent, depth + 1)
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let v = Json::obj(vec![
+            ("name", Json::str("D3Q19")),
+            ("mflups", Json::Num(12.5)),
+            ("steps", Json::Int(8)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("arr", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"D3Q19","mflups":12.5,"steps":8,"ok":true,"none":null,"arr":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_nonfinite_to_null() {
+        let v = Json::Arr(vec![
+            Json::str("a\"b\\c\nd"),
+            Json::Num(f64::NAN),
+            Json::Num(f64::INFINITY),
+        ]);
+        assert_eq!(v.render(), r#"["a\"b\\c\nd",null,null]"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparsable_shape() {
+        let v = Json::obj(vec![("k", Json::Arr(vec![Json::Int(1)]))]);
+        let s = v.render_pretty();
+        assert!(s.contains("\"k\": [\n"));
+        assert!(s.ends_with("}\n"));
+        // Float roundtrip formatting keeps full precision.
+        let f = Json::Num(0.1 + 0.2);
+        assert_eq!(f.render(), format!("{:?}", 0.1f64 + 0.2f64));
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(Json::Arr(vec![]).render_pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).render(), "{}");
+    }
+}

@@ -13,11 +13,13 @@
 //! | `table3_optimal_depth`| Tables III/IV — optimal depth vs points/rank |
 //! | `fig11_hybrid`        | Fig. 11a/b — rank × thread sweeps |
 //! | `fig1_aorta`          | Fig. 1 — density field illustration |
+//! | `bench_mflups`        | Machine-readable per-lattice/per-rung MFLUPS (`BENCH_kernels.json`) |
 //!
 //! Criterion microbenchmarks (`benches/`) complement the binaries with
 //! kernel-level measurements: per-rung stream/collide, equilibrium order
 //! cost, halo pack/unpack, and fabric latency.
 
+pub mod json;
 pub mod paper;
 
 /// Simple fixed-width table printer for harness output.

@@ -9,16 +9,19 @@
 //! read+write, collide read+write) — halving the traffic that Table II
 //! proves is the binding constraint.
 //!
-//! The fused kernel is an *extension*, deliberately not a rung of the
-//! paper's Fig. 8 ladder; the ablation benchmark (`cargo bench -p lbm-bench
-//! kernels`) quantifies what the paper predicted.
+//! The fused kernel is the `Fused` top rung of the extended ladder
+//! ([`crate::kernels::OptLevel::Fused`]): this module holds the scalar
+//! variant, [`crate::kernels::fused_simd`] the AVX2+FMA one, and
+//! [`crate::kernels::par::stream_collide_par`] the threaded driver. The
+//! ablation benchmark (`cargo bench -p lbm-bench kernels`) quantifies what
+//! the paper predicted.
 
 use crate::field::DistField;
 use crate::kernels::{KernelCtx, StreamTables, MAX_Q};
 
 /// z-block for the fused gather (the whole Q×ZBF tile lives on the stack:
 /// 39×64×8 B ≈ 20 KiB; larger blocks amortise the per-row gather setup).
-const ZBF: usize = 64;
+pub(crate) const ZBF: usize = 64;
 
 /// One fused LBM step over planes `x ∈ [x_lo, x_hi)`: `dst ← collide(pull(src))`.
 ///
@@ -33,18 +36,70 @@ pub fn stream_collide(
     x_lo: usize,
     x_hi: usize,
 ) {
-    if ctx.third_order() {
-        fused_impl::<true>(ctx, tables, src, dst, x_lo, x_hi);
-    } else {
-        fused_impl::<false>(ctx, tables, src, dst, x_lo, x_hi);
-    }
+    check_fused_bounds(ctx, src, dst, x_lo, x_hi);
+    let total = dst.as_slice().len();
+    let dst_ptr = dst.as_mut_ptr();
+    // SAFETY: `&mut dst` grants exclusive access to all `total` doubles, and
+    // the bounds check above keeps every raw write inside them.
+    unsafe { stream_collide_raw(ctx, tables, src, dst_ptr, total, x_lo, x_hi) }
 }
 
-fn fused_impl<const THIRD: bool>(
+/// Hard bounds/shape checks shared by the safe fused entry points: the raw
+/// kernels write through pointers, so an out-of-range `x_hi` must fail loudly
+/// here (in release builds too) rather than corrupt memory.
+pub(crate) fn check_fused_bounds(
+    ctx: &KernelCtx,
+    src: &DistField,
+    dst: &DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    assert_eq!(src.alloc_dims(), dst.alloc_dims(), "src/dst shape mismatch");
+    assert_eq!(src.q(), dst.q(), "src/dst velocity-count mismatch");
+    let k = ctx.lat.reach();
+    assert!(
+        x_lo >= k && x_hi + k <= src.alloc_dims().nx,
+        "fused x-range [{x_lo}, {x_hi}) needs k = {k} halo planes inside nx = {}",
+        src.alloc_dims().nx
+    );
+}
+
+/// Raw-destination form shared with the rayon fused driver: identical
+/// arithmetic, writing through `dst_ptr` instead of a `&mut DistField`.
+///
+/// # Safety
+/// `dst_ptr` must point to `total` initialised doubles laid out exactly like
+/// `src` (same `alloc_dims`, same `q`, consecutive velocity slabs), and the
+/// caller must guarantee exclusive access to the x-planes `[x_lo, x_hi)` of
+/// every slab. `src` must be valid on `[x_lo − k, x_hi + k)` and must not
+/// alias the destination.
+pub(crate) unsafe fn stream_collide_raw(
     ctx: &KernelCtx,
     tables: &StreamTables,
     src: &DistField,
-    dst: &mut DistField,
+    dst_ptr: *mut f64,
+    total: usize,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    // SAFETY: forwarded contract.
+    unsafe {
+        if ctx.third_order() {
+            fused_impl::<true>(ctx, tables, src, dst_ptr, total, x_lo, x_hi);
+        } else {
+            fused_impl::<false>(ctx, tables, src, dst_ptr, total, x_lo, x_hi);
+        }
+    }
+}
+
+/// # Safety
+/// See [`stream_collide_raw`].
+unsafe fn fused_impl<const THIRD: bool>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst_ptr: *mut f64,
+    total: usize,
     x_lo: usize,
     x_hi: usize,
 ) {
@@ -58,6 +113,15 @@ fn fused_impl<const THIRD: bool>(
     let slab_len = src.slab_len();
     let vel = ctx.lat.velocities();
 
+    // Stack-cache the per-velocity equilibrium constants once, outside the
+    // cell loops: `[cx, cy, cz, w]` per velocity, so the hot loops read a
+    // dense local array instead of chasing the two `EqConsts` heap vectors
+    // per z-block (the same hoist the SIMD collide applies).
+    let mut cw = [[0.0f64; 4]; MAX_Q];
+    for (i, slot) in cw.iter_mut().enumerate().take(q) {
+        *slot = [k.c[i][0], k.c[i][1], k.c[i][2], k.w[i]];
+    }
+
     // Gather tile: pulled populations for one z-block, all velocities.
     let mut fq = [[0.0f64; ZBF]; MAX_Q];
     let mut rho = [0.0f64; ZBF];
@@ -70,7 +134,6 @@ fn fused_impl<const THIRD: bool>(
     let mut u2 = [0.0f64; ZBF];
 
     let src_data = src.as_slice();
-    let dst_data = dst.as_mut_slice();
 
     for x in x_lo..x_hi {
         for y in 0..d.ny {
@@ -101,7 +164,7 @@ fn fused_impl<const THIRD: bool>(
                         line[..first].copy_from_slice(&srow[start..]);
                         line[first..blk].copy_from_slice(&srow[..blk - first]);
                     }
-                    let cf = k.c[i];
+                    let cf = cw[i];
                     for j in 0..blk {
                         let fv = line[j];
                         rho[j] += fv;
@@ -119,11 +182,14 @@ fn fused_impl<const THIRD: bool>(
                 }
                 // Relax and store — the only write traffic of the step.
                 for i in 0..q {
-                    let cf = k.c[i];
-                    let w = k.w[i];
+                    let cf = cw[i];
                     let line = &fq[i];
-                    let out =
-                        &mut dst_data[i * slab_len + dbase + z0..i * slab_len + dbase + z0 + blk];
+                    let off = i * slab_len + dbase + z0;
+                    debug_assert!(off + blk <= total);
+                    // SAFETY: off+blk ≤ total per the layout contract, and
+                    // x ∈ [x_lo, x_hi) keeps writes inside this caller's
+                    // exclusive plane range.
+                    let out = unsafe { std::slice::from_raw_parts_mut(dst_ptr.add(off), blk) };
                     for (j, o) in out.iter_mut().enumerate() {
                         let xi = cf[0] * ux[j] + cf[1] * uy[j] + cf[2] * uz[j];
                         let mut poly =
@@ -131,7 +197,7 @@ fn fused_impl<const THIRD: bool>(
                         if THIRD {
                             poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
                         }
-                        let feq = w * rho[j] * poly;
+                        let feq = cf[3] * rho[j] * poly;
                         let fv = line[j];
                         *o = fv + omega * (feq - fv);
                     }
@@ -213,6 +279,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "halo planes")]
+    fn fused_rejects_out_of_range_x_in_release_too() {
+        // The raw-pointer kernels must never be reachable with a range that
+        // walks off the allocation: the safe wrapper asserts (not
+        // debug-asserts) the halo contract.
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(4, 7, 8);
+        let src = random_field(c.lat.q(), dims, 1, 5);
+        let tables = StreamTables::new(dims.ny, dims.nz);
+        let mut dst = DistField::new(c.lat.q(), dims, 1).unwrap();
+        // alloc nx = 6, k = 1: x_hi may be at most 5.
+        stream_collide(&c, &tables, &src, &mut dst, 1, 6);
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //! | `NbC`   | nonblocking comm (V-E) | [`lobr`]                            | nonblocking             |
 //! | `GcC`   | ghost-collide (V-F)    | [`lobr`]                            | overlapped (Fig. 7)     |
 //! | `Simd`  | SIMD (V-G)             | [`simd`] — AVX2+FMA collide         | overlapped (Fig. 7)     |
+//! | `Fused` | §VII future work       | [`fused`]/[`fused_simd`] — single-pass stream+collide, AVX2+FMA | overlapped (Fig. 7) |
+//!
+//! The `Fused` rung goes past the paper's ladder: it implements the
+//! conclusion's "reduce the memory accesses per lattice update" direction by
+//! merging the two sweeps into one pass (`2·Q·8` bytes/cell instead of the
+//! split pipeline's `4·Q·8`), with the same SIMD vectorization and the same
+//! overlapped communication schedule as the `Simd` rung. Split `stream`/
+//! `collide` calls at this level fall back to the `Simd`-rung kernels; the
+//! single-pass path is reached through [`stream_collide`].
 //!
 //! All variants compute the *same* stream and BGK update; the naive pair is
 //! the semantic oracle (property-tested against [`reference`]); the optimized
@@ -22,6 +31,7 @@
 pub mod cf;
 pub mod dh;
 pub mod fused;
+pub mod fused_simd;
 pub mod ghost;
 pub mod lobr;
 pub mod naive;
@@ -57,11 +67,14 @@ pub enum OptLevel {
     GcC,
     /// + SIMD vectorization (§V-G).
     Simd,
+    /// + fused single-pass stream+collide (§VII future work): halves
+    ///   the memory traffic per lattice update.
+    Fused,
 }
 
 impl OptLevel {
-    /// The ladder in paper order.
-    pub const ALL: [OptLevel; 8] = [
+    /// The ladder in paper order, extended by the fused top rung.
+    pub const ALL: [OptLevel; 9] = [
         OptLevel::Orig,
         OptLevel::Gc,
         OptLevel::Dh,
@@ -70,6 +83,7 @@ impl OptLevel {
         OptLevel::NbC,
         OptLevel::GcC,
         OptLevel::Simd,
+        OptLevel::Fused,
     ];
 
     /// Label as used on the paper's Fig. 8 axis.
@@ -83,6 +97,7 @@ impl OptLevel {
             OptLevel::NbC => "NB-C",
             OptLevel::GcC => "GC_C",
             OptLevel::Simd => "SIMD",
+            OptLevel::Fused => "Fused",
         }
     }
 
@@ -103,6 +118,7 @@ impl OptLevel {
             "nbc" => OptLevel::NbC,
             "gcc" => OptLevel::GcC,
             "simd" => OptLevel::Simd,
+            "fused" => OptLevel::Fused,
             _ => return None,
         })
     }
@@ -117,6 +133,7 @@ impl OptLevel {
             OptLevel::Cf => KernelClass::Cf,
             OptLevel::LoBr | OptLevel::NbC | OptLevel::GcC => KernelClass::LoBr,
             OptLevel::Simd => KernelClass::Simd,
+            OptLevel::Fused => KernelClass::Fused,
         }
     }
 }
@@ -136,6 +153,9 @@ pub enum KernelClass {
     LoBr,
     /// LoBr stream with an AVX2+FMA vectorized collide (scalar fallback).
     Simd,
+    /// Single-pass fused stream+collide, AVX2+FMA with scalar fallback.
+    /// Split `stream`/`collide` calls at this level run the `Simd` kernels.
+    Fused,
 }
 
 /// Everything a kernel invocation needs besides the fields themselves.
@@ -222,7 +242,9 @@ pub fn stream(
         KernelClass::Naive => naive::stream(ctx, src, dst, x_lo, x_hi),
         KernelClass::Ghost => ghost::stream(ctx, tables, src, dst, x_lo, x_hi),
         KernelClass::Dh => dh::stream(ctx, tables, src, dst, x_lo, x_hi),
-        KernelClass::Cf | KernelClass::Simd => cf::stream(ctx, tables, src, dst, x_lo, x_hi),
+        KernelClass::Cf | KernelClass::Simd | KernelClass::Fused => {
+            cf::stream(ctx, tables, src, dst, x_lo, x_hi)
+        }
         KernelClass::LoBr => lobr::stream(ctx, tables, src, dst, x_lo, x_hi),
     }
 }
@@ -236,7 +258,31 @@ pub fn collide(level: OptLevel, ctx: &KernelCtx, f: &mut DistField, x_lo: usize,
         KernelClass::Dh => dh::collide(ctx, f, x_lo, x_hi),
         KernelClass::Cf => cf::collide(ctx, f, x_lo, x_hi),
         KernelClass::LoBr => lobr::collide(ctx, f, x_lo, x_hi),
-        KernelClass::Simd => simd::collide(ctx, f, x_lo, x_hi),
+        KernelClass::Simd | KernelClass::Fused => simd::collide(ctx, f, x_lo, x_hi),
+    }
+}
+
+/// One full lattice update `dst ← collide(pull(src))` over planes
+/// `x ∈ [x_lo, x_hi)`, selecting the variant for `level`.
+///
+/// The `Fused` rung runs the single-pass kernel (`2·Q·8` bytes/cell,
+/// AVX2+FMA when available); every other rung performs its split
+/// stream-then-collide pair into `dst` (`4·Q·8` bytes/cell). Halo contract
+/// as for [`stream`]: `src` must be valid on `[x_lo − k, x_hi + k)`.
+pub fn stream_collide(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    if level.kernel_class() == KernelClass::Fused {
+        fused_simd::stream_collide(ctx, tables, src, dst, x_lo, x_hi);
+    } else {
+        stream(level, ctx, tables, src, dst, x_lo, x_hi);
+        collide(level, ctx, dst, x_lo, x_hi);
     }
 }
 
@@ -249,7 +295,7 @@ mod tests {
         let names: Vec<_> = OptLevel::ALL.iter().map(|l| l.name()).collect();
         assert_eq!(
             names,
-            ["Orig", "GC", "DH", "CF", "LoBr", "NB-C", "GC_C", "SIMD"]
+            ["Orig", "GC", "DH", "CF", "LoBr", "NB-C", "GC_C", "SIMD", "Fused"]
         );
         // Cumulative: strictly ordered.
         for w in OptLevel::ALL.windows(2) {
@@ -264,6 +310,7 @@ mod tests {
         }
         assert_eq!(OptLevel::parse("nb-c"), Some(OptLevel::NbC));
         assert_eq!(OptLevel::parse("gc_c"), Some(OptLevel::GcC));
+        assert_eq!(OptLevel::parse("FUSED"), Some(OptLevel::Fused));
         assert_eq!(OptLevel::parse("bogus"), None);
     }
 
@@ -272,6 +319,8 @@ mod tests {
         assert_eq!(OptLevel::NbC.kernel_class(), KernelClass::LoBr);
         assert_eq!(OptLevel::GcC.kernel_class(), KernelClass::LoBr);
         assert_eq!(OptLevel::LoBr.kernel_class(), KernelClass::LoBr);
+        assert_eq!(OptLevel::Fused.kernel_class(), KernelClass::Fused);
+        assert!(OptLevel::Simd < OptLevel::Fused, "Fused is the top rung");
     }
 
     #[test]

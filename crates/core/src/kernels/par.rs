@@ -11,6 +11,10 @@
 //!   one raw-pointer wrapper below (the memory-traffic-doubling alternative
 //!   — a staged moment-field collide — costs ~2× on a bandwidth-bound
 //!   kernel, which is exactly what this paper is about avoiding).
+//! * **fused stream+collide**: one task per x-plane chunk of the
+//!   *destination*, each running the single-pass fused kernel; the source is
+//!   shared read-only, so only the destination needs the disjoint-chunk
+//!   argument.
 //!
 //! The parallel collide performs the identical per-cell arithmetic in the
 //! identical order as the serial DH/CF/LoBr collide, so threaded runs are
@@ -21,7 +25,7 @@ use rayon::prelude::*;
 
 use crate::field::DistField;
 use crate::kernels::dh::ZB;
-use crate::kernels::{dh, KernelCtx, StreamTables};
+use crate::kernels::{dh, fused_simd, KernelCtx, StreamTables};
 
 /// Parallel pull-stream over `x ∈ [x_lo, x_hi)` (one velocity per task),
 /// using the DH rotate-copy row routine.
@@ -54,6 +58,23 @@ struct SendPtr(*mut f64);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
+/// Balanced x-plane partition: chunk `c` of `chunks` over
+/// `[x_lo, x_lo + planes)`. Every chunk is non-empty when
+/// `chunks ≤ planes` and chunk sizes differ by at most one plane — unlike a
+/// `div_ceil`-sized split, which can strand empty tail chunks (and hence
+/// idle workers) whenever `planes` barely exceeds `chunks`.
+pub(crate) fn chunk_bounds(x_lo: usize, planes: usize, chunks: usize, c: usize) -> (usize, usize) {
+    debug_assert!(c < chunks);
+    (x_lo + c * planes / chunks, x_lo + (c + 1) * planes / chunks)
+}
+
+/// Chunk count for an `[x_lo, x_hi)` sweep: a few chunks per worker for load
+/// balance, never more chunks than planes.
+fn chunk_count(planes: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    (threads * 4).min(planes).max(1)
+}
+
 /// Parallel single-pass BGK collide over `x ∈ [x_lo, x_hi)`.
 ///
 /// Bit-identical to the serial CF collide (same accumulation order, same
@@ -70,15 +91,11 @@ pub fn collide_par(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize)
     let third = ctx.third_order();
     let base = SendPtr(f.as_mut_ptr());
 
-    // A few chunks per worker for load balance; at least one plane each.
-    let threads = rayon::current_num_threads().max(1);
     let planes = x_hi - x_lo;
-    let chunks = (threads * 4).min(planes).max(1);
-    let per = planes.div_ceil(chunks);
+    let chunks = chunk_count(planes);
 
     (0..chunks).into_par_iter().for_each(|c| {
-        let lo = x_lo + c * per;
-        let hi = (lo + per).min(x_hi);
+        let (lo, hi) = chunk_bounds(x_lo, planes, chunks, c);
         if lo >= hi {
             return;
         }
@@ -93,6 +110,50 @@ pub fn collide_par(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize)
                 collide_planes::<false>(p.0, total, d, q, slab_len, ctx, lo, hi);
             }
         }
+    });
+}
+
+/// Parallel fused stream+collide over `x ∈ [x_lo, x_hi)`: the `Fused` rung's
+/// threading substrate.
+///
+/// Tasks split the destination into disjoint x-plane chunks; `src` is shared
+/// read-only (the pull-stream reads `[lo − k, hi + k)` of `src`, which may
+/// overlap between tasks, but no task ever writes `src`) — a simpler safety
+/// story than the in-place `collide_par`, where read and write ranges live
+/// in the same field. Each task runs the full fused kernel (AVX2+FMA when
+/// available), so threaded results are bit-identical to single-threaded
+/// fused runs.
+///
+/// Halo contract as for [`fused_simd::stream_collide`]: `src` valid on
+/// `[x_lo − k, x_hi + k)`.
+pub fn stream_collide_par(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    if x_lo >= x_hi {
+        return;
+    }
+    crate::kernels::fused::check_fused_bounds(ctx, src, dst, x_lo, x_hi);
+    let total = dst.as_slice().len();
+    let base = SendPtr(dst.as_mut_ptr());
+    let planes = x_hi - x_lo;
+    let chunks = chunk_count(planes);
+
+    (0..chunks).into_par_iter().for_each(|c| {
+        let (lo, hi) = chunk_bounds(x_lo, planes, chunks, c);
+        if lo >= hi {
+            return;
+        }
+        let p = base;
+        // SAFETY: [lo, hi) ranges partition [x_lo, x_hi), which the bounds
+        // check above confines to the allocation, so tasks write disjoint
+        // in-bounds x-planes of `dst`; `src` is only read and never aliases
+        // `dst` (distinct fields).
+        unsafe { fused_simd::stream_collide_raw(ctx, tables, src, p.0, total, lo, hi) }
     });
 }
 
@@ -256,6 +317,101 @@ mod tests {
                 assert_eq!(
                     &f.slab(i)[b..b + d.plane()],
                     &before.slab(i)[b..b + d.plane()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_partition_is_balanced_and_gapless() {
+        // Adversarial combos, including the div_ceil failure shapes
+        // (planes barely above chunks) and planes < chunks.
+        for planes in 1usize..40 {
+            for chunks in 1usize..20 {
+                let mut expect = 5; // x_lo
+                let (mut min_sz, mut max_sz) = (usize::MAX, 0);
+                for c in 0..chunks {
+                    let (lo, hi) = chunk_bounds(5, planes, chunks, c);
+                    assert_eq!(lo, expect, "gap at chunk {c} ({planes}/{chunks})");
+                    assert!(hi >= lo);
+                    expect = hi;
+                    min_sz = min_sz.min(hi - lo);
+                    max_sz = max_sz.max(hi - lo);
+                }
+                assert_eq!(expect, 5 + planes, "coverage ({planes}/{chunks})");
+                assert!(max_sz - min_sz <= 1, "imbalance ({planes}/{chunks})");
+                if chunks <= planes {
+                    assert!(min_sz >= 1, "empty chunk ({planes}/{chunks})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_collide_with_fewer_planes_than_threads() {
+        // Regression: planes < threads (and planes barely above the old
+        // div_ceil chunk count) must still partition correctly.
+        let c = ctx(LatticeKind::D3Q19);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        for nx in [1usize, 2, 3, 5, 9, 33] {
+            let dims = Dim3::new(nx, 4, 11);
+            let mut a = random_field(c.lat.q(), dims, 0, 57);
+            let mut b = a.clone();
+            crate::kernels::cf::collide(&c, &mut a, 0, nx);
+            pool.install(|| collide_par(&c, &mut b, 0, nx));
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "nx={nx}");
+        }
+    }
+
+    #[test]
+    fn parallel_fused_matches_serial_fused() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            let dims = Dim3::new(9, 7, 13);
+            let src = random_field(c.lat.q(), dims, k, 83);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let mut serial = DistField::new(c.lat.q(), dims, k).unwrap();
+            crate::kernels::fused_simd::stream_collide(
+                &c,
+                &tables,
+                &src,
+                &mut serial,
+                k,
+                k + dims.nx,
+            );
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(5)
+                .build()
+                .unwrap();
+            let mut par = DistField::new(c.lat.q(), dims, k).unwrap();
+            pool.install(|| stream_collide_par(&c, &tables, &src, &mut par, k, k + dims.nx));
+            assert_eq!(serial.max_abs_diff_owned(&par), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_fused_respects_x_range_and_empty() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(8, 6, 8);
+        let src = random_field(c.lat.q(), dims, 1, 3);
+        let tables = StreamTables::new(dims.ny, dims.nz);
+        let mut dst = DistField::new(c.lat.q(), dims, 1).unwrap();
+        let before = dst.clone();
+        stream_collide_par(&c, &tables, &src, &mut dst, 4, 4); // empty
+        assert_eq!(dst.max_abs_diff_owned(&before), 0.0);
+        stream_collide_par(&c, &tables, &src, &mut dst, 3, 5);
+        let d = dst.alloc_dims();
+        for i in 0..c.lat.q() {
+            for x in (1..3).chain(5..9) {
+                let b = d.idx(x, 0, 0);
+                assert_eq!(
+                    &dst.slab(i)[b..b + d.plane()],
+                    &before.slab(i)[b..b + d.plane()],
+                    "x={x}"
                 );
             }
         }

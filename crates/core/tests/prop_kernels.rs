@@ -42,6 +42,10 @@ fn arb_kind() -> impl Strategy<Value = LatticeKind> {
     ]
 }
 
+fn arb_order() -> impl Strategy<Value = EqOrder> {
+    prop_oneof![Just(EqOrder::Second), Just(EqOrder::Third)]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
 
@@ -126,6 +130,80 @@ proptest! {
             kernels::collide(level, &ctx, &mut parts, split, nx);
             prop_assert_eq!(whole.max_abs_diff_owned(&parts), 0.0, "{:?} {:?}", kind, level);
         }
+    }
+
+    /// The fused single-pass kernels (scalar, SIMD, rayon-parallel) agree
+    /// with the split stream-then-collide reference within FP-reassociation
+    /// tolerance, across all four lattices and both equilibrium orders.
+    #[test]
+    fn fused_variants_match_split_reference(
+        kind in arb_kind(),
+        order in arb_order(),
+        nx in 1usize..5,
+        ny in 7usize..11,
+        nz in 7usize..40,
+        tau in 0.55f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let ctx = KernelCtx::new(kind, order, lbm_core::collision::Bgk::new(tau).unwrap());
+        let k = ctx.lat.reach();
+        let dims = Dim3::new(nx, ny, nz);
+        let src = seeded_field(ctx.lat.q(), dims, k, seed);
+        let tables = StreamTables::new(ny, nz);
+
+        // Split reference: DH stream followed by DH collide.
+        let mut split = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream(OptLevel::Dh, &ctx, &tables, &src, &mut split, k, k + nx);
+        kernels::collide(OptLevel::Dh, &ctx, &mut split, k, k + nx);
+
+        // Scalar fused is reassociation-identical to the split pair.
+        let mut scalar = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::fused::stream_collide(&ctx, &tables, &src, &mut scalar, k, k + nx);
+        prop_assert_eq!(
+            split.max_abs_diff_owned(&scalar), 0.0,
+            "{:?}/{:?} scalar fused", kind, order
+        );
+
+        // SIMD fused differs only by FMA re-rounding.
+        let mut vec = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream_collide(OptLevel::Fused, &ctx, &tables, &src, &mut vec, k, k + nx);
+        let diff = split.max_abs_diff_owned(&vec);
+        prop_assert!(diff < 1e-12, "{:?}/{:?} simd fused: diff={}", kind, order, diff);
+
+        // The parallel driver is bitwise-identical to its serial kernel.
+        let mut par = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::par::stream_collide_par(&ctx, &tables, &src, &mut par, k, k + nx);
+        prop_assert_eq!(
+            vec.max_abs_diff_owned(&par), 0.0,
+            "{:?}/{:?} parallel fused", kind, order
+        );
+    }
+
+    /// Fused over [lo,hi) equals fused over any split of the range — the
+    /// invariant the distributed overlap schedule (borders first, interior
+    /// later) depends on.
+    #[test]
+    fn fused_is_x_split_invariant(
+        kind in arb_kind(),
+        nx in 2usize..7,
+        split in 1usize..6,
+        nz in 7usize..40,
+        seed in any::<u64>(),
+    ) {
+        let split = split.min(nx - 1);
+        let ctx = ctx_for(kind, 0.8);
+        let k = ctx.lat.reach();
+        let dims = Dim3::new(nx, 8, nz);
+        let src = seeded_field(ctx.lat.q(), dims, k, seed);
+        let tables = StreamTables::new(8, nz);
+        let mut whole = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream_collide(OptLevel::Fused, &ctx, &tables, &src, &mut whole, k, k + nx);
+        let mut parts = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream_collide(OptLevel::Fused, &ctx, &tables, &src, &mut parts, k, k + split);
+        kernels::stream_collide(
+            OptLevel::Fused, &ctx, &tables, &src, &mut parts, k + split, k + nx,
+        );
+        prop_assert_eq!(whole.max_abs_diff_owned(&parts), 0.0, "{:?}", kind);
     }
 
     /// Streaming then streaming with every velocity reversed is the identity

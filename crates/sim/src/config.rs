@@ -34,7 +34,7 @@ impl CommStrategy {
                 CommStrategy::Blocking
             }
             OptLevel::NbC => CommStrategy::NonBlockingGhost,
-            OptLevel::GcC | OptLevel::Simd => CommStrategy::OverlapGhostCollide,
+            OptLevel::GcC | OptLevel::Simd | OptLevel::Fused => CommStrategy::OverlapGhostCollide,
         }
     }
 
@@ -279,6 +279,13 @@ mod tests {
         );
         assert_eq!(
             CommStrategy::for_level(OptLevel::Simd),
+            CommStrategy::OverlapGhostCollide
+        );
+        // The fused top rung keeps the Fig. 7 overlap schedule: the fused
+        // border planes are complete post-collision state, so they can be
+        // sent while the interior is still being computed.
+        assert_eq!(
+            CommStrategy::for_level(OptLevel::Fused),
             CommStrategy::OverlapGhostCollide
         );
     }

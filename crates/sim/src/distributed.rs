@@ -22,6 +22,18 @@
 //! * [`CommStrategy::OverlapGhostCollide`] — on the last sub-step the border
 //!   planes are collided first, sends posted, and the interior collide
 //!   overlaps the in-flight messages (GC-C, Fig. 7).
+//!
+//! ## Fused schedule (`OptLevel::Fused`)
+//!
+//! The fused top rung computes `dst ← collide(pull(src))` in one pass, so
+//! there is no post-stream intermediate to exchange. The Fig. 7 overlap
+//! still applies, re-ordered around the single pass: on the last sub-step
+//! the *border* planes are fused first (their destination values are
+//! complete post-collision state the moment they are written), the halo
+//! sends are posted, and the fused interior + ghost-region sweep overlaps
+//! the messages in flight. All pieces read only `src` and write disjoint
+//! destination planes, so the re-ordering is exact, under both serial and
+//! rayon-parallel drivers.
 
 use std::time::Instant;
 
@@ -30,7 +42,7 @@ use lbm_comm::Comm;
 use lbm_core::domain::{Decomp1d, Subdomain};
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::field::DistField;
-use lbm_core::kernels::{self, KernelCtx, OptLevel, StreamTables, MAX_Q};
+use lbm_core::kernels::{self, KernelClass, KernelCtx, OptLevel, StreamTables, MAX_Q};
 use lbm_core::moments::Moments;
 use lbm_core::perf::PerfCounters;
 use lbm_core::prelude::Bgk;
@@ -262,75 +274,119 @@ impl RankSolver {
         self.pending = vec![rl, rr];
     }
 
+    /// GC-C send posting: pack the freshly-updated borders of `tmp`, post
+    /// the nonblocking sends for the next cycle, and post the receives.
+    fn post_border_sends(&mut self, comm: &mut Comm) {
+        let (to_left, to_right) = Self::tags(self.cycle + 1);
+        let left = self.sub.left();
+        let right = self.sub.right();
+        halo::pack_border(&self.tmp, Side::Left, self.h, &mut self.send_buf);
+        let _ = comm
+            .isend(left, to_left, self.send_buf.clone())
+            .expect("isend");
+        halo::pack_border(&self.tmp, Side::Right, self.h, &mut self.send_buf);
+        let _ = comm
+            .isend(right, to_right, self.send_buf.clone())
+            .expect("isend");
+        self.post_receives(comm);
+    }
+
+    /// The no-ghost-cells mid-step exchange (paper's bare NB-C): in push
+    /// form the collide depends on the neighbours' *stream* output of this
+    /// very step, so the exchange sits mid-step with zero overlap window.
+    /// We exchange the current `tmp` borders and wait immediately — the
+    /// unhideable stall that the GC rungs remove.
+    fn midstep_exchange(&mut self, comm: &mut Comm, j: usize) {
+        let step_tag = MIDSTEP_TAG_BASE + self.cycle * 64 + j as u64;
+        let left = self.sub.left();
+        let right = self.sub.right();
+        halo::pack_border(&self.tmp, Side::Left, self.h, &mut self.send_buf);
+        let _ = comm
+            .isend(left, step_tag, self.send_buf.clone())
+            .expect("isend");
+        halo::pack_border(&self.tmp, Side::Right, self.h, &mut self.send_buf);
+        let _ = comm
+            .isend(right, step_tag + 32, self.send_buf.clone())
+            .expect("isend");
+        let rl = comm.irecv(left, step_tag + 32).expect("irecv");
+        let rr = comm.irecv(right, step_tag).expect("irecv");
+        let msgs = comm.waitall(vec![rl, rr]).expect("waitall");
+        halo::unpack_halo(&mut self.tmp, Side::Left, self.h, &msgs[0]);
+        halo::unpack_halo(&mut self.tmp, Side::Right, self.h, &msgs[1]);
+    }
+
+    /// The owned-region border split used by the Fig. 7 overlap:
+    /// `(left border, right border)` in allocation coordinates.
+    fn overlap_borders(&self) -> ((usize, usize), (usize, usize)) {
+        let (own_lo, own_hi) = self.owned();
+        let b = self.h.min((own_hi - own_lo).div_ceil(2));
+        ((own_lo, own_lo + b), ((own_hi - b).max(own_lo + b), own_hi))
+    }
+
     fn substep(&mut self, comm: &mut Comm, j: usize, in_cycle: usize) {
         let t0 = Instant::now();
         let (lo, hi) = self.region(j);
         let (own_lo, own_hi) = self.owned();
-
-        self.stream(lo, hi);
-
-        if self.strategy == CommStrategy::NonBlockingEager && self.sub.ranks > 1 {
-            // No-ghost-cells data flow (paper's bare NB-C): in push form the
-            // collide depends on the neighbours' *stream* output of this very
-            // step, so the exchange sits mid-step with zero overlap window.
-            // We exchange the post-stream borders and wait immediately —
-            // the unhideable stall that the GC rungs remove.
-            let step_tag = MIDSTEP_TAG_BASE + self.cycle * 64 + j as u64;
-            let left = self.sub.left();
-            let right = self.sub.right();
-            halo::pack_border(&self.tmp, Side::Left, self.h, &mut self.send_buf);
-            let _ = comm
-                .isend(left, step_tag, self.send_buf.clone())
-                .expect("isend");
-            halo::pack_border(&self.tmp, Side::Right, self.h, &mut self.send_buf);
-            let _ = comm
-                .isend(right, step_tag + 32, self.send_buf.clone())
-                .expect("isend");
-            let rl = comm.irecv(left, step_tag + 32).expect("irecv");
-            let rr = comm.irecv(right, step_tag).expect("irecv");
-            let msgs = comm.waitall(vec![rl, rr]).expect("waitall");
-            halo::unpack_halo(&mut self.tmp, Side::Left, self.h, &msgs[0]);
-            halo::unpack_halo(&mut self.tmp, Side::Right, self.h, &msgs[1]);
-        }
-
         let overlap_now = self.strategy == CommStrategy::OverlapGhostCollide
             && j + 1 == in_cycle
             && self.sub.ranks > 1;
-        if overlap_now {
-            // GC-C (paper Fig. 7): collide the border planes of the *owned*
-            // region first so their new state can be sent immediately…
-            let b = self.h.min((own_hi - own_lo).div_ceil(2));
-            let border_lo = (own_lo, own_lo + b);
-            let border_hi = ((own_hi - b).max(own_lo + b), own_hi);
-            self.collide(border_lo.0, border_lo.1);
-            if border_hi.0 < border_hi.1 {
-                self.collide(border_hi.0, border_hi.1);
-            }
-            let (to_left, to_right) = Self::tags(self.cycle + 1);
-            let left = self.sub.left();
-            let right = self.sub.right();
-            halo::pack_border(&self.tmp, Side::Left, self.h, &mut self.send_buf);
-            let _ = comm
-                .isend(left, to_left, self.send_buf.clone())
-                .expect("isend");
-            halo::pack_border(&self.tmp, Side::Right, self.h, &mut self.send_buf);
-            let _ = comm
-                .isend(right, to_right, self.send_buf.clone())
-                .expect("isend");
-            self.post_receives(comm);
-            // …then collide everything else while the messages fly: the
-            // ghost-region planes plus the interior.
-            if lo < own_lo {
-                self.collide(lo, own_lo);
-            }
-            if border_lo.1 < border_hi.0 {
-                self.collide(border_lo.1, border_hi.0);
-            }
-            if own_hi < hi {
-                self.collide(own_hi, hi);
+
+        if self.level.kernel_class() == KernelClass::Fused {
+            // Single-pass schedule: the fused kernel writes complete
+            // post-collision planes, so the Fig. 7 overlap computes the
+            // owned borders first, posts the sends, and fuses the rest
+            // (ghost regions + interior) while the messages fly. Pieces
+            // read only `f` and write disjoint `tmp` planes, so any order
+            // produces the identical field.
+            if overlap_now {
+                let (border_lo, border_hi) = self.overlap_borders();
+                self.fused(border_lo.0, border_lo.1);
+                self.fused(border_hi.0, border_hi.1);
+                self.post_border_sends(comm);
+                self.fused(lo, own_lo);
+                self.fused(border_lo.1, border_hi.0);
+                self.fused(own_hi, hi);
+            } else {
+                self.fused(lo, hi);
+                if self.strategy == CommStrategy::NonBlockingEager && self.sub.ranks > 1 {
+                    // The eager emulation still pays its mid-step stall; the
+                    // exchanged borders are post-collision here (there is no
+                    // post-stream intermediate), which the next cycle's
+                    // boundary exchange overwrites either way.
+                    self.midstep_exchange(comm, j);
+                }
             }
         } else {
-            self.collide(lo, hi);
+            self.stream(lo, hi);
+
+            if self.strategy == CommStrategy::NonBlockingEager && self.sub.ranks > 1 {
+                self.midstep_exchange(comm, j);
+            }
+
+            if overlap_now {
+                // GC-C (paper Fig. 7): collide the border planes of the
+                // *owned* region first so their new state can be sent
+                // immediately…
+                let (border_lo, border_hi) = self.overlap_borders();
+                self.collide(border_lo.0, border_lo.1);
+                if border_hi.0 < border_hi.1 {
+                    self.collide(border_hi.0, border_hi.1);
+                }
+                self.post_border_sends(comm);
+                // …then collide everything else while the messages fly: the
+                // ghost-region planes plus the interior.
+                if lo < own_lo {
+                    self.collide(lo, own_lo);
+                }
+                if border_lo.1 < border_hi.0 {
+                    self.collide(border_lo.1, border_hi.0);
+                }
+                if own_hi < hi {
+                    self.collide(own_hi, hi);
+                }
+            } else {
+                self.collide(lo, hi);
+            }
         }
 
         std::mem::swap(&mut self.f, &mut self.tmp);
@@ -374,6 +430,35 @@ impl RankSolver {
                 kernels::par::collide_par(&self.ctx, &mut self.tmp, lo, hi);
             }),
             _ => kernels::collide(self.level, &self.ctx, &mut self.tmp, lo, hi),
+        }
+    }
+
+    /// One fused stream+collide pass `tmp ← collide(pull(f))` over
+    /// `x ∈ [lo, hi)`, threaded when the rank has a pool.
+    fn fused(&mut self, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        match &self.pool {
+            Some(pool) => pool.install(|| {
+                kernels::par::stream_collide_par(
+                    &self.ctx,
+                    &self.tables,
+                    &self.f,
+                    &mut self.tmp,
+                    lo,
+                    hi,
+                );
+            }),
+            None => kernels::stream_collide(
+                self.level,
+                &self.ctx,
+                &self.tables,
+                &self.f,
+                &mut self.tmp,
+                lo,
+                hi,
+            ),
         }
     }
 
@@ -572,6 +657,58 @@ mod tests {
             .with_ranks(4)
             .with_level(OptLevel::Orig);
         compare_to_reference(&cfg, 4, 1e-12);
+    }
+
+    #[test]
+    fn fused_rung_matches_reference_q19_all_strategies() {
+        for strategy in [
+            CommStrategy::Blocking,
+            CommStrategy::NonBlockingEager,
+            CommStrategy::NonBlockingGhost,
+            CommStrategy::OverlapGhostCollide,
+        ] {
+            let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+                .with_ranks(3)
+                .with_level(OptLevel::Fused)
+                .with_strategy(strategy);
+            compare_to_reference(&cfg, 6, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_deep_halo_matches_reference_q39() {
+        // k = 3: the fused kernel must honour the shrinking deep-halo
+        // regions and the Fig. 7 overlap split.
+        for depth in [1usize, 2] {
+            let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+                .with_ranks(2)
+                .with_ghost_depth(depth)
+                .with_level(OptLevel::Fused);
+            compare_to_reference(&cfg, 5, 1e-11);
+        }
+    }
+
+    #[test]
+    fn fused_hybrid_threads_match_reference() {
+        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .with_ranks(2)
+            .with_threads(3)
+            .with_level(OptLevel::Fused);
+        compare_to_reference(&cfg, 5, 1e-11);
+    }
+
+    #[test]
+    fn fused_threads_are_bitwise_identical_to_serial_fused() {
+        // The threaded fused driver runs the identical kernel per chunk, so
+        // rank-local threading must not change a single bit.
+        let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .with_ranks(2)
+            .with_level(OptLevel::Fused);
+        let serial = distributed_owned(&base.clone().with_threads(1), 6);
+        let threaded = distributed_owned(&base.with_threads(4), 6);
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.max_abs_diff_owned(b), 0.0);
+        }
     }
 
     #[test]

@@ -94,6 +94,39 @@ mod tests {
     }
 
     #[test]
+    fn fused_rung_conserves_mass_like_simd() {
+        // Acceptance check for the fused top rung: distributed fused runs
+        // must conserve global mass to the same tolerance as the Simd rung.
+        for (kind, global) in [
+            (LatticeKind::D3Q19, Dim3::new(16, 8, 8)),
+            (LatticeKind::D3Q39, Dim3::new(12, 8, 8)),
+        ] {
+            let expected = (global.nx * global.ny * global.nz) as f64;
+            let mut masses = Vec::new();
+            for level in [OptLevel::Simd, OptLevel::Fused] {
+                let cfg = SimConfig::new(kind, global)
+                    .with_ranks(2)
+                    .with_steps(8)
+                    .with_level(level);
+                let rep = run_distributed(&cfg).unwrap();
+                assert!(
+                    (rep.mass - expected).abs() < 1e-9 * expected,
+                    "{kind:?} {}: mass {} vs {}",
+                    level.name(),
+                    rep.mass,
+                    expected
+                );
+                assert!(rep.mflups > 0.0);
+                masses.push(rep.mass);
+            }
+            assert!(
+                (masses[0] - masses[1]).abs() < 1e-9 * expected,
+                "{kind:?}: Simd vs Fused mass drift"
+            );
+        }
+    }
+
+    #[test]
     fn invalid_config_errors_cleanly() {
         let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(8, 8, 8))
             .with_ranks(4)
