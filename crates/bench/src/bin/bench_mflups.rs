@@ -29,7 +29,7 @@ use lbm_core::equilibrium::EqOrder;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::{simd, KernelClass, OptLevel};
 use lbm_core::lattice::{Lattice, LatticeKind};
-use lbm_sim::{run_distributed, RunReport, SimConfig};
+use lbm_sim::{RunReport, Simulation};
 
 struct Args {
     global: Option<Dim3>,
@@ -161,18 +161,20 @@ fn model_bytes_per_cell(level: OptLevel, q: usize) -> usize {
 
 fn run_entry(args: &Args, kind: LatticeKind, level: OptLevel) -> (RunReport, Json, f64) {
     let global = args.global.unwrap_or_else(|| default_box(kind));
-    let cfg = SimConfig::new(kind, global)
-        .with_ranks(args.ranks)
-        .with_threads(args.threads)
-        .with_steps(args.steps)
-        .with_warmup(args.warmup)
-        .with_level(level)
-        .with_cost(CostModel::free());
-    let mut cfg = cfg;
-    cfg.order = args.order;
+    let mut builder = Simulation::builder(kind, global)
+        .ranks(args.ranks)
+        .threads(args.threads)
+        .warmup(args.warmup)
+        .level(level)
+        .cost(CostModel::free());
+    if let Some(order) = args.order {
+        builder = builder.order(order);
+    }
+    let sim = builder.build().expect("config");
+    let eq_order = sim.config().eq_order();
     // Best-of-N (standard perf-measurement practice: minimum wall time).
     let rep = (0..args.repeats)
-        .map(|_| run_distributed(&cfg).expect("run"))
+        .map(|_| sim.run(args.steps).expect("run"))
         .max_by(|a, b| a.mflups.total_cmp(&b.mflups))
         .unwrap();
     let q = Lattice::new(kind).q();
@@ -183,8 +185,9 @@ fn run_entry(args: &Args, kind: LatticeKind, level: OptLevel) -> (RunReport, Jso
     let entry = Json::obj(vec![
         ("lattice", Json::str(kind.name())),
         ("q", Json::Int(q as i64)),
+        ("scenario", Json::str(rep.scenario.clone())),
         ("level", Json::str(level.name())),
-        ("eq_order", Json::str(cfg.eq_order().label())),
+        ("eq_order", Json::str(eq_order.label())),
         ("kernel", Json::str(format!("{:?}", level.kernel_class()))),
         ("strategy", Json::str(rep.strategy.clone())),
         ("ranks", Json::Int(rep.ranks as i64)),

@@ -31,7 +31,7 @@ use lbm_comm::CostModel;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
-use lbm_sim::{run_distributed, CommStrategy, SimConfig};
+use lbm_sim::{CommStrategy, Simulation};
 
 fn sweep(kind: LatticeKind, ranks: usize, steps: usize, rs: &[usize], cost: &CostModel) -> Table {
     let mut t = Table::new(vec![
@@ -47,16 +47,17 @@ fn sweep(kind: LatticeKind, ranks: usize, steps: usize, rs: &[usize], cost: &Cos
         let mut cells: Vec<String> = vec![format!("{}", global.nx), format!("{r}")];
         let mut base = None;
         for depth in 1..=4usize {
-            let cfg = SimConfig::new(kind, global)
-                .with_ranks(ranks)
-                .with_steps(steps)
-                .with_warmup(4)
-                .with_ghost_depth(depth)
-                .with_level(OptLevel::Simd)
-                .with_strategy(CommStrategy::NonBlockingGhost)
-                .with_cost(cost.clone())
-                .with_jitter(0.05);
-            match run_distributed(&cfg) {
+            let result = Simulation::builder(kind, global)
+                .ranks(ranks)
+                .warmup(4)
+                .ghost_depth(depth)
+                .level(OptLevel::Simd)
+                .strategy(CommStrategy::NonBlockingGhost)
+                .cost(cost.clone())
+                .jitter(0.05)
+                .build()
+                .and_then(|sim| sim.run(steps));
+            match result {
                 Ok(rep) => {
                     let b = *base.get_or_insert(rep.wall_secs);
                     cells.push(f(rep.wall_secs / b, 3));

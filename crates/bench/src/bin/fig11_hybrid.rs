@@ -24,7 +24,7 @@ use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::LatticeKind;
 use lbm_sim::hybrid::{bgp_sweep, bgq_sweep, HybridConfig};
-use lbm_sim::{run_distributed, CommStrategy, SimConfig};
+use lbm_sim::{CommStrategy, Simulation};
 
 fn best_over_depths(
     kind: LatticeKind,
@@ -35,19 +35,23 @@ fn best_over_depths(
     let cost = CostModel::torus_ramp(Duration::from_micros(200), 1.5e9, hc.ranks, 2.0);
     let mut best: Option<(f64, usize)> = None;
     for depth in 1..=3usize {
-        let cfg = SimConfig::new(kind, global)
-            .with_ranks(hc.ranks)
-            .with_threads(hc.threads)
-            .with_steps(steps)
-            .with_warmup(3)
-            .with_ghost_depth(depth)
-            .with_level(OptLevel::Simd)
-            .with_strategy(CommStrategy::OverlapGhostCollide)
-            .with_cost(cost.clone())
-            .with_jitter(0.05);
+        let sim = Simulation::builder(kind, global)
+            .ranks(hc.ranks)
+            .threads(hc.threads)
+            .warmup(3)
+            .ghost_depth(depth)
+            .level(OptLevel::Simd)
+            .strategy(CommStrategy::OverlapGhostCollide)
+            .cost(cost.clone())
+            .jitter(0.05)
+            .build();
         // Best of two runs per point (perf-measurement practice).
         for _ in 0..2 {
-            if let Ok(rep) = run_distributed(&cfg) {
+            if let Ok(rep) = sim
+                .as_ref()
+                .map_err(|e| e.clone())
+                .and_then(|s| s.run(steps))
+            {
                 let cand = (rep.wall_secs, depth);
                 best = Some(match best {
                     Some(b) if b.0 <= cand.0 => b,

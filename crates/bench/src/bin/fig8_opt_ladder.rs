@@ -22,7 +22,7 @@ use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
 use lbm_machine::{attainable, measure, KernelTraffic};
-use lbm_sim::{run_distributed, SimConfig};
+use lbm_sim::Simulation;
 
 fn main() {
     let ranks: usize = std::env::args()
@@ -66,15 +66,16 @@ fn main() {
         let mut orig = None;
         let mut last = 0.0;
         for level in OptLevel::ALL {
-            let cfg = SimConfig::new(kind, global)
-                .with_ranks(ranks)
-                .with_steps(steps)
-                .with_warmup(2)
-                .with_level(level)
-                .with_cost(CostModel::free());
+            let sim = Simulation::builder(kind, global)
+                .ranks(ranks)
+                .warmup(2)
+                .level(level)
+                .cost(CostModel::free())
+                .build()
+                .expect("config");
             // Best of three runs per rung (perf-measurement practice).
             let rep = (0..3)
-                .map(|_| run_distributed(&cfg).expect("run"))
+                .map(|_| sim.run(steps).expect("run"))
                 .max_by(|a, b| a.mflups.total_cmp(&b.mflups))
                 .unwrap();
             let base = *orig.get_or_insert(rep.mflups);

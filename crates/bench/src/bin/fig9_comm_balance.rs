@@ -19,7 +19,7 @@ use lbm_comm::CostModel;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::LatticeKind;
-use lbm_sim::{run_distributed, CommStrategy, SimConfig};
+use lbm_sim::{CommStrategy, Simulation};
 
 fn main() {
     let ranks = 8usize;
@@ -50,16 +50,18 @@ fn main() {
             CommStrategy::NonBlockingGhost,    // "NB-C & GC"
             CommStrategy::OverlapGhostCollide, // "GC-C"
         ] {
-            let cfg = SimConfig::new(kind, Dim3::new(64, 24, 24))
-                .with_ranks(ranks)
-                .with_steps(steps)
-                .with_warmup(4)
-                .with_level(OptLevel::Simd)
-                .with_strategy(strategy)
-                .with_cost(cost.clone())
-                .with_compute_skew(compute_skew)
-                .with_jitter(0.05);
-            let rep = run_distributed(&cfg).expect("run");
+            let rep = Simulation::builder(kind, Dim3::new(64, 24, 24))
+                .ranks(ranks)
+                .warmup(4)
+                .level(OptLevel::Simd)
+                .strategy(strategy)
+                .cost(cost.clone())
+                .compute_skew(compute_skew)
+                .jitter(0.05)
+                .build()
+                .expect("config")
+                .run(steps)
+                .expect("run");
             t.row(vec![
                 kind.name().to_string(),
                 strategy.label().to_string(),

@@ -20,7 +20,7 @@ use lbm_comm::CostModel;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
-use lbm_sim::{run_distributed, CommStrategy, SimConfig};
+use lbm_sim::{CommStrategy, Simulation};
 
 fn best_depth(
     kind: LatticeKind,
@@ -32,16 +32,17 @@ fn best_depth(
     let global = Dim3::new(ranks * r, 16, 16);
     let mut times = Vec::new();
     for depth in 1..=4usize {
-        let cfg = SimConfig::new(kind, global)
-            .with_ranks(ranks)
-            .with_steps(steps)
-            .with_warmup(4)
-            .with_ghost_depth(depth)
-            .with_level(OptLevel::Simd)
-            .with_strategy(CommStrategy::NonBlockingGhost)
-            .with_cost(cost.clone())
-            .with_jitter(0.05);
-        times.push(run_distributed(&cfg).ok().map(|rep| rep.wall_secs));
+        let result = Simulation::builder(kind, global)
+            .ranks(ranks)
+            .warmup(4)
+            .ghost_depth(depth)
+            .level(OptLevel::Simd)
+            .strategy(CommStrategy::NonBlockingGhost)
+            .cost(cost.clone())
+            .jitter(0.05)
+            .build()
+            .and_then(|sim| sim.run(steps));
+        times.push(result.ok().map(|rep| rep.wall_secs));
     }
     let best = times
         .iter()

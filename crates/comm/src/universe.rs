@@ -11,6 +11,14 @@ use crate::fabric::Fabric;
 pub struct Universe;
 
 impl Universe {
+    /// A standalone size-1 communicator for in-process incremental use
+    /// (driving one rank step by step without spawning a universe of
+    /// threads). Point-to-point self-sends and all collectives work; there
+    /// are no peers.
+    pub fn solo(cost: CostModel) -> Comm {
+        Comm::new(Fabric::new(1, cost), 0)
+    }
+
     /// Run `f` on `ranks` ranks over a fabric with the given cost model and
     /// return the per-rank results in rank order.
     ///
@@ -54,6 +62,17 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
+
+    #[test]
+    fn solo_comm_supports_collectives_and_self_sends() {
+        let mut comm = Universe::solo(CostModel::free());
+        assert_eq!(comm.rank(), 0);
+        assert_eq!(comm.size(), 1);
+        assert_eq!(comm.allreduce_sum(&[2.5]), vec![2.5]);
+        comm.barrier();
+        comm.send(0, 7, vec![1.0, 2.0]).unwrap();
+        assert_eq!(comm.recv(0, 7).unwrap(), vec![1.0, 2.0]);
+    }
 
     #[test]
     fn results_come_back_in_rank_order() {

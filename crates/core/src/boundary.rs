@@ -18,8 +18,11 @@
 //!   bounce-back's no-slip is wrong and slip emerges naturally.
 
 use crate::equilibrium::{feq_i, EqOrder};
+use crate::error::{Error, Result};
 use crate::field::DistField;
+use crate::index::Dim3;
 use crate::kernels::{KernelCtx, MAX_Q};
+use crate::lattice::Lattice;
 
 /// What a wall does to populations that stream into it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +98,262 @@ impl ChannelWalls {
             apply_wall_row(ctx, f, self.low, layer, x_lo, x_hi);
             apply_wall_row(ctx, f, self.high, ny - 1 - layer, x_lo, x_hi);
         }
+    }
+}
+
+/// A solid mask over the (y, z) cross-section, applied at every x-plane
+/// (`true` = solid). Masked cells perform full-way bounce-back on the
+/// populations that stream into them, which is how pipe-like geometries
+/// (the aorta illustration) and side walls (lid-driven cavity) are carved
+/// out of the periodic box.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionMask {
+    ny: usize,
+    nz: usize,
+    solid: Vec<bool>,
+}
+
+impl SectionMask {
+    /// Build a mask for an allocated `ny × nz` cross-section from a
+    /// predicate over (y, z).
+    pub fn from_fn<F>(ny: usize, nz: usize, mut is_solid: F) -> Self
+    where
+        F: FnMut(usize, usize) -> bool,
+    {
+        let mut solid = vec![false; ny * nz];
+        for y in 0..ny {
+            for z in 0..nz {
+                solid[y * nz + z] = is_solid(y, z);
+            }
+        }
+        Self { ny, nz, solid }
+    }
+
+    /// Cross-section extents `(ny, nz)` this mask was built for.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.ny, self.nz)
+    }
+
+    /// Whether cell (y, z) is solid.
+    #[inline]
+    pub fn is_solid(&self, y: usize, z: usize) -> bool {
+        self.solid[y * self.nz + z]
+    }
+
+    /// Number of solid cells in the cross-section.
+    pub fn solid_count(&self) -> usize {
+        self.solid.iter().filter(|s| **s).count()
+    }
+
+    /// Bounce back the post-stream populations of every masked cell over
+    /// planes `x ∈ [x_lo, x_hi)` and rows `y ∈ y_range` (rows outside
+    /// `y_range` — the y-wall layers — are owned by [`ChannelWalls`]).
+    pub fn apply(
+        &self,
+        ctx: &KernelCtx,
+        f: &mut DistField,
+        x_lo: usize,
+        x_hi: usize,
+        y_range: std::ops::Range<usize>,
+    ) {
+        let d = f.alloc_dims();
+        assert_eq!(
+            (d.ny, d.nz),
+            (self.ny, self.nz),
+            "mask/field shape mismatch"
+        );
+        let q = ctx.lat.q();
+        let mut cell = [0.0f64; MAX_Q];
+        let mut out = [0.0f64; MAX_Q];
+        for x in x_lo..x_hi {
+            for y in y_range.clone() {
+                for z in 0..d.nz {
+                    if !self.is_solid(y, z) {
+                        continue;
+                    }
+                    let lin = d.idx(x, y, z);
+                    f.gather_cell(lin, &mut cell[..q]);
+                    for i in 0..q {
+                        out[i] = cell[ctx.lat.opposite(i)];
+                    }
+                    f.scatter_cell(lin, &out[..q]);
+                }
+            }
+        }
+    }
+}
+
+/// The full boundary configuration of a scenario: optional y-walls plus an
+/// optional (y, z) solid mask, over an otherwise periodic box (x is always
+/// periodic — it is the decomposed flow direction).
+///
+/// This is the unit the distributed solver plumbs through its kernels: both
+/// pieces are rank-local (the 1-D decomposition cuts x only), so every rank
+/// applies the identical transform to its own planes — halo planes included,
+/// which is what keeps deep-halo ghost computation consistent with the
+/// neighbouring rank's owned computation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BoundarySpec {
+    y_walls: Option<ChannelWalls>,
+    mask: Option<SectionMask>,
+}
+
+impl BoundarySpec {
+    /// Fully periodic box (the paper's performance-study configuration).
+    pub fn periodic() -> Self {
+        Self::default()
+    }
+
+    /// Bound the box in y with the given walls.
+    #[must_use]
+    pub fn with_walls(mut self, walls: ChannelWalls) -> Self {
+        self.y_walls = Some(walls);
+        self
+    }
+
+    /// Carve solid cells out of the (y, z) cross-section.
+    #[must_use]
+    pub fn with_mask(mut self, mask: SectionMask) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Whether the box is fully periodic (no walls, no mask).
+    pub fn is_periodic(&self) -> bool {
+        self.y_walls.is_none() && self.mask.is_none()
+    }
+
+    /// The y-walls, if any.
+    pub fn walls(&self) -> Option<&ChannelWalls> {
+        self.y_walls.as_ref()
+    }
+
+    /// The cross-section mask, if any.
+    pub fn mask(&self) -> Option<&SectionMask> {
+        self.mask.as_ref()
+    }
+
+    /// Fluid y range for an allocated y extent `ny` (all rows when there are
+    /// no walls).
+    pub fn fluid_y(&self, ny: usize) -> std::ops::Range<usize> {
+        match &self.y_walls {
+            Some(w) => w.fluid_y(ny),
+            None => 0..ny,
+        }
+    }
+
+    /// Whether cell (y, z) collides as fluid (inside the fluid y range and
+    /// not masked solid).
+    pub fn is_fluid(&self, ny: usize, y: usize, z: usize) -> bool {
+        self.fluid_y(ny).contains(&y) && !self.mask.as_ref().is_some_and(|m| m.is_solid(y, z))
+    }
+
+    /// Apply the boundary transforms to the post-stream field over planes
+    /// `x ∈ [x_lo, x_hi)`: wall rows first, then the mask over the fluid
+    /// rows. Call between the stream and collide halves of a step.
+    pub fn apply(&self, ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+        let ny = f.alloc_dims().ny;
+        if let Some(w) = &self.y_walls {
+            w.apply(ctx, f, x_lo, x_hi);
+        }
+        if let Some(m) = &self.mask {
+            m.apply(ctx, f, x_lo, x_hi, self.fluid_y(ny));
+        }
+    }
+
+    /// Check the spec against a lattice and a global box: wall layers must
+    /// cover the lattice reach, some fluid rows must remain, and the mask
+    /// shape must match the cross-section.
+    pub fn validate(&self, lat: &Lattice, global: Dim3) -> Result<()> {
+        let k = lat.reach();
+        if let Some(w) = &self.y_walls {
+            if w.layers < k {
+                return Err(Error::BadParameter(format!(
+                    "walls need ≥ {k} solid layers for {}, got {}",
+                    lat.name(),
+                    w.layers
+                )));
+            }
+            if global.ny <= 2 * w.layers {
+                return Err(Error::BadDimensions(format!(
+                    "no fluid rows: ny = {} with 2×{} wall layers",
+                    global.ny, w.layers
+                )));
+            }
+        }
+        if let Some(m) = &self.mask {
+            if m.dims() != (global.ny, global.nz) {
+                return Err(Error::BadDimensions(format!(
+                    "mask shape {:?} does not match cross-section ({}, {})",
+                    m.dims(),
+                    global.ny,
+                    global.nz
+                )));
+            }
+            self.check_mask_tunneling(lat, global, m)?;
+        }
+        Ok(())
+    }
+
+    /// Reject masks with solid features too thin for the lattice reach.
+    ///
+    /// Full-way bounce-back only transforms the cell a population *lands*
+    /// on. A hop whose (y, z) displacement has gcd g > 1 — e.g. D3Q39's
+    /// (0, 2, 0), (0, 2, 2) or (0, 3, 0) shells — passes over g − 1
+    /// intermediate lattice points; if both endpoints are fluid but an
+    /// intermediate is masked solid, the population tunnels straight
+    /// through the wall and the geometry is silently wrong. The mask is
+    /// x-invariant, so checking the (y, z) cross-section covers every hop.
+    fn check_mask_tunneling(&self, lat: &Lattice, global: Dim3, m: &SectionMask) -> Result<()> {
+        fn gcd(a: usize, b: usize) -> usize {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let fluid_y = self.fluid_y(global.ny);
+        let (ny, nz) = (global.ny as isize, global.nz as isize);
+        // Without y-walls the stream wraps y periodically, so the check
+        // must follow hops across the y seam too; with walls, rows outside
+        // the fluid range belong to the (separately validated) wall layers.
+        let y_periodic = self.y_walls.is_none();
+        let is_fluid = |y: isize, z: isize| -> bool {
+            let y = if y_periodic { y.rem_euclid(ny) } else { y };
+            (0..ny).contains(&y)
+                && fluid_y.contains(&(y as usize))
+                && !m.is_solid(y as usize, z.rem_euclid(nz) as usize)
+        };
+        for i in 0..lat.q() {
+            let c = lat.velocities()[i];
+            let (cy, cz) = (c[1] as isize, c[2] as isize);
+            let g = gcd(cy.unsigned_abs(), cz.unsigned_abs());
+            if g <= 1 {
+                continue;
+            }
+            let (sy, sz) = (cy / g as isize, cz / g as isize);
+            for y in fluid_y.clone() {
+                for z in 0..global.nz {
+                    let (y, z) = (y as isize, z as isize);
+                    if !is_fluid(y, z) || !is_fluid(y + cy, z + cz) {
+                        continue;
+                    }
+                    for s in 1..g as isize {
+                        if !is_fluid(y + sy * s, z + sz * s) {
+                            return Err(Error::BadParameter(format!(
+                                "mask feature too thin for {}: the ({}, {cy}, {cz}) hop \
+                                 from fluid (y={y}, z={z}) tunnels through solid — solid \
+                                 features must be ≥ reach {} cells thick",
+                                lat.name(),
+                                c[0],
+                                lat.reach()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -265,5 +524,111 @@ mod tests {
         let w = ChannelWalls::no_slip(2);
         assert_eq!(w.fluid_y(10), 2..8);
         assert_eq!(w.fluid_height(10), 6);
+    }
+
+    #[test]
+    fn section_mask_bounces_masked_cells_only() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(2, 5, 4);
+        let mut f = filled_field(&c, dims);
+        let before = f.clone();
+        let mask = SectionMask::from_fn(5, 4, |_y, z| z == 0);
+        assert_eq!(mask.solid_count(), 5);
+        mask.apply(&c, &mut f, 0, dims.nx, 0..5);
+        let mut pre = [0.0; MAX_Q];
+        let mut post = [0.0; MAX_Q];
+        // Masked column: reversed.
+        let lin = dims.idx(1, 2, 0);
+        before.gather_cell(lin, &mut pre[..c.lat.q()]);
+        f.gather_cell(lin, &mut post[..c.lat.q()]);
+        for i in 0..c.lat.q() {
+            assert_eq!(post[i], pre[c.lat.opposite(i)]);
+        }
+        // Unmasked column: untouched.
+        let lin = dims.idx(1, 2, 1);
+        before.gather_cell(lin, &mut pre[..c.lat.q()]);
+        f.gather_cell(lin, &mut post[..c.lat.q()]);
+        assert_eq!(&pre[..c.lat.q()], &post[..c.lat.q()]);
+    }
+
+    #[test]
+    fn boundary_spec_periodic_is_a_no_op() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(2, 5, 4);
+        let mut f = filled_field(&c, dims);
+        let before = f.clone();
+        let spec = BoundarySpec::periodic();
+        assert!(spec.is_periodic());
+        assert_eq!(spec.fluid_y(5), 0..5);
+        spec.apply(&c, &mut f, 0, dims.nx);
+        assert_eq!(f.max_abs_diff_owned(&before), 0.0);
+    }
+
+    #[test]
+    fn boundary_spec_applies_walls_then_mask_and_conserves_mass() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(3, 6, 5);
+        let mut f = filled_field(&c, dims);
+        let before_mass: f64 = f.as_slice().iter().sum();
+        let spec = BoundarySpec::periodic()
+            .with_walls(ChannelWalls::no_slip(1))
+            .with_mask(SectionMask::from_fn(6, 5, |_y, z| z == 4));
+        assert!(!spec.is_periodic());
+        assert_eq!(spec.fluid_y(6), 1..5);
+        assert!(spec.is_fluid(6, 2, 1));
+        assert!(!spec.is_fluid(6, 0, 1), "wall row is not fluid");
+        assert!(!spec.is_fluid(6, 2, 4), "masked column is not fluid");
+        spec.apply(&c, &mut f, 0, dims.nx);
+        let after_mass: f64 = f.as_slice().iter().sum();
+        assert!((before_mass - after_mass).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_spec_validation_catches_misconfiguration() {
+        let q39 = Lattice::new(LatticeKind::D3Q39);
+        let q19 = Lattice::new(LatticeKind::D3Q19);
+        let thin = BoundarySpec::periodic().with_walls(ChannelWalls::no_slip(1));
+        assert!(thin.validate(&q39, Dim3::new(4, 12, 8)).is_err());
+        assert!(thin.validate(&q19, Dim3::new(4, 12, 8)).is_ok());
+        let no_fluid = BoundarySpec::periodic().with_walls(ChannelWalls::no_slip(4));
+        assert!(no_fluid.validate(&q19, Dim3::new(4, 8, 8)).is_err());
+        let bad_mask = BoundarySpec::periodic().with_mask(SectionMask::from_fn(4, 4, |_, _| false));
+        assert!(bad_mask.validate(&q19, Dim3::new(4, 8, 8)).is_err());
+        assert!(BoundarySpec::periodic()
+            .validate(&q39, Dim3::new(4, 8, 8))
+            .is_ok());
+    }
+
+    #[test]
+    fn mask_features_too_thin_for_the_reach_are_rejected() {
+        let q39 = Lattice::new(LatticeKind::D3Q39);
+        let q19 = Lattice::new(LatticeKind::D3Q19);
+        let g = Dim3::new(4, 12, 12);
+        // A 1-cell solid plane at z = 5 with fluid on both sides: D3Q39's
+        // (0, 0, ±2) and (0, 0, ±3) hops jump straight over it.
+        let spec = BoundarySpec::periodic().with_mask(SectionMask::from_fn(12, 12, |_y, z| z == 5));
+        assert!(spec.validate(&q19, g).is_ok(), "reach 1 cannot tunnel");
+        let err = spec.validate(&q39, g).unwrap_err();
+        assert!(format!("{err:?}").contains("tunnels"), "{err:?}");
+        // A reach-thick slab is fine on both lattices.
+        let slab = BoundarySpec::periodic()
+            .with_mask(SectionMask::from_fn(12, 12, |_y, z| (4..7).contains(&z)));
+        assert!(slab.validate(&q39, g).is_ok());
+        // Side walls as thick as the reach (the cavity layout) are fine too,
+        // and solid columns adjacent to the y-walls stay legal.
+        let cavity = BoundarySpec::periodic()
+            .with_walls(ChannelWalls::no_slip(3))
+            .with_mask(SectionMask::from_fn(12, 12, |_y, z| !(3..9).contains(&z)));
+        assert!(cavity.validate(&q39, g).is_ok());
+        // Without y-walls, y streams periodically: a thin solid plane at the
+        // y wrap seam must be rejected just like one in the interior.
+        let seam = BoundarySpec::periodic().with_mask(SectionMask::from_fn(12, 12, |y, _z| y == 0));
+        assert!(seam.validate(&q19, g).is_ok());
+        let err = seam.validate(&q39, g).unwrap_err();
+        assert!(format!("{err:?}").contains("tunnels"), "{err:?}");
+        let seam_band =
+            BoundarySpec::periodic()
+                .with_mask(SectionMask::from_fn(12, 12, |y, _z| !(3..9).contains(&y)));
+        assert!(seam_band.validate(&q39, g).is_ok());
     }
 }

@@ -30,6 +30,7 @@
 
 pub mod cf;
 pub mod dh;
+pub mod forced;
 pub mod fused;
 pub mod fused_simd;
 pub mod ghost;

@@ -49,12 +49,13 @@ pub fn stream_par(
         });
 }
 
-/// Shareable base pointer for the disjoint-x-chunk collide tasks.
+/// Shareable base pointer for disjoint-x-chunk kernel tasks (used by the
+/// parallel collide drivers here and in [`super::forced`]).
 #[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
+pub(crate) struct SendPtr(pub(crate) *mut f64);
 // SAFETY: tasks created from this pointer write only to x-plane ranges that
-// partition [x_lo, x_hi) — enforced by the chunking in `collide_par` — so no
-// two tasks touch the same element.
+// partition [x_lo, x_hi) — enforced by `chunk_bounds` chunking at every use
+// site — so no two tasks touch the same element.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 

@@ -7,6 +7,9 @@ use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
 
+use crate::scenario::ScenarioHandle;
+use crate::simulation::SimulationBuilder;
+
 /// Communication schedule (paper §V-E/F, Fig. 9 series).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommStrategy {
@@ -87,8 +90,12 @@ pub struct SimConfig {
     /// accumulate wait on slow neighbours.
     pub compute_skew: f64,
     /// Initial flow: amplitude of the Taylor–Green mode used to make the
-    /// field non-trivial (0 = uniform rest fluid).
+    /// field non-trivial (0 = uniform rest fluid). Ignored when a scenario
+    /// is plugged in.
     pub init_u0: f64,
+    /// Pluggable scenario (initial state, boundaries, forcing,
+    /// observables). `None` = the legacy periodic Taylor–Green flow.
+    pub scenario: Option<ScenarioHandle>,
 }
 
 impl SimConfig {
@@ -110,7 +117,14 @@ impl SimConfig {
             compute_jitter: 0.0,
             compute_skew: 0.0,
             init_u0: 0.02,
+            scenario: None,
         }
+    }
+
+    /// Name of the configured scenario (`"taylor_green"` for the legacy
+    /// default initialisation).
+    pub fn scenario_name(&self) -> &'static str {
+        self.scenario.as_ref().map_or("taylor_green", |s| s.name())
     }
 
     /// Resolved equilibrium order.
@@ -157,6 +171,9 @@ impl SimConfig {
                 lat.name()
             )));
         }
+        if let Some(s) = &self.scenario {
+            s.validate(&lat, self.global)?;
+        }
         let dec = lbm_core::domain::Decomp1d::new(self.global, self.ranks)?;
         let h = self.halo_width();
         let mut min_nx = usize::MAX;
@@ -171,76 +188,110 @@ impl SimConfig {
         Ok(min_nx)
     }
 
-    // -- builder-style helpers (each returns self) --
+    // -- deprecated builder-style helpers --
+    //
+    // The fluent API moved to `Simulation::builder`; these setters forward
+    // through `SimulationBuilder` so there is a single implementation of
+    // every knob. They will be removed once external callers have migrated.
 
     /// Set relaxation time.
-    pub fn with_tau(mut self, tau: f64) -> Self {
-        self.tau = tau;
-        self
+    #[deprecated(note = "use Simulation::builder(…).tau(…) instead")]
+    #[must_use]
+    pub fn with_tau(self, tau: f64) -> Self {
+        SimulationBuilder::from_config(self).tau(tau).into_config()
     }
 
     /// Set step count.
-    pub fn with_steps(mut self, steps: usize) -> Self {
-        self.steps = steps;
-        self
+    #[deprecated(note = "use Simulation::builder(…) and run(steps) instead")]
+    #[must_use]
+    pub fn with_steps(self, steps: usize) -> Self {
+        SimulationBuilder::from_config(self)
+            .steps(steps)
+            .into_config()
     }
 
     /// Set rank count.
-    pub fn with_ranks(mut self, ranks: usize) -> Self {
-        self.ranks = ranks;
-        self
+    #[deprecated(note = "use Simulation::builder(…).ranks(…) instead")]
+    #[must_use]
+    pub fn with_ranks(self, ranks: usize) -> Self {
+        SimulationBuilder::from_config(self)
+            .ranks(ranks)
+            .into_config()
     }
 
     /// Set threads per rank.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads_per_rank = threads;
-        self
+    #[deprecated(note = "use Simulation::builder(…).threads(…) instead")]
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        SimulationBuilder::from_config(self)
+            .threads(threads)
+            .into_config()
     }
 
     /// Set ghost depth (multiples of k).
-    pub fn with_ghost_depth(mut self, d: usize) -> Self {
-        self.ghost_depth = d;
-        self
+    #[deprecated(note = "use Simulation::builder(…).ghost_depth(…) instead")]
+    #[must_use]
+    pub fn with_ghost_depth(self, d: usize) -> Self {
+        SimulationBuilder::from_config(self)
+            .ghost_depth(d)
+            .into_config()
     }
 
     /// Set the kernel rung.
-    pub fn with_level(mut self, level: OptLevel) -> Self {
-        self.level = level;
-        self
+    #[deprecated(note = "use Simulation::builder(…).level(…) instead")]
+    #[must_use]
+    pub fn with_level(self, level: OptLevel) -> Self {
+        SimulationBuilder::from_config(self)
+            .level(level)
+            .into_config()
     }
 
     /// Override the communication schedule.
-    pub fn with_strategy(mut self, s: CommStrategy) -> Self {
-        self.strategy = Some(s);
-        self
+    #[deprecated(note = "use Simulation::builder(…).strategy(…) instead")]
+    #[must_use]
+    pub fn with_strategy(self, s: CommStrategy) -> Self {
+        SimulationBuilder::from_config(self)
+            .strategy(s)
+            .into_config()
     }
 
     /// Set the link-cost model.
-    pub fn with_cost(mut self, cost: CostModel) -> Self {
-        self.cost = cost;
-        self
+    #[deprecated(note = "use Simulation::builder(…).cost(…) instead")]
+    #[must_use]
+    pub fn with_cost(self, cost: CostModel) -> Self {
+        SimulationBuilder::from_config(self)
+            .cost(cost)
+            .into_config()
     }
 
     /// Set compute jitter.
-    pub fn with_jitter(mut self, j: f64) -> Self {
-        self.compute_jitter = j;
-        self
+    #[deprecated(note = "use Simulation::builder(…).jitter(…) instead")]
+    #[must_use]
+    pub fn with_jitter(self, j: f64) -> Self {
+        SimulationBuilder::from_config(self).jitter(j).into_config()
     }
 
     /// Set the per-rank compute slowdown ramp.
-    pub fn with_compute_skew(mut self, s: f64) -> Self {
-        self.compute_skew = s;
-        self
+    #[deprecated(note = "use Simulation::builder(…).compute_skew(…) instead")]
+    #[must_use]
+    pub fn with_compute_skew(self, s: f64) -> Self {
+        SimulationBuilder::from_config(self)
+            .compute_skew(s)
+            .into_config()
     }
 
     /// Set warmup steps.
-    pub fn with_warmup(mut self, w: usize) -> Self {
-        self.warmup = w;
-        self
+    #[deprecated(note = "use Simulation::builder(…).warmup(…) instead")]
+    #[must_use]
+    pub fn with_warmup(self, w: usize) -> Self {
+        SimulationBuilder::from_config(self).warmup(w).into_config()
     }
 }
 
 #[cfg(test)]
+// The deprecated with_* forwards are exercised on purpose: they must keep
+// behaving exactly like the builder they route through.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

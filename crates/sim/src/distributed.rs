@@ -34,11 +34,40 @@
 //! the messages in flight. All pieces read only `src` and write disjoint
 //! destination planes, so the re-ordering is exact, under both serial and
 //! rayon-parallel drivers.
+//!
+//! ## Scenario path (walls / masks / forcing)
+//!
+//! A [`crate::scenario::Scenario`] with boundaries or a body force routes
+//! every sub-step through the exact split pipeline, at any requested
+//! [`OptLevel`]. The *stream* half still runs the rung's kernel (the
+//! `Fused` rung falls back to its split SIMD-class stream, since the
+//! single-pass kernel cannot interleave the post-stream boundary
+//! transform); the *collide* half is always the scalar Guo-forced
+//! fluid-row kernel of [`kernels::forced`] — a SIMD variant is an open
+//! item, so expect the Simd/Fused rungs to show their full separation only
+//! on periodic unforced scenarios. The sequence:
+//!
+//! 1. pull-stream `[lo, hi)` (all rows, solid included, so walls see the
+//!    arrivals),
+//! 2. the eager mid-step exchange, when that schedule is active (the
+//!    exchanged post-stream borders are pre-boundary on both sides, keeping
+//!    ghost planes consistent),
+//! 3. [`BoundarySpec::apply`] over the same `[lo, hi)` region — wall rows
+//!    and masked cells transform their arrivals; because the spec is
+//!    rank-local (the decomposition cuts x only), ghost planes evolve
+//!    identically to the neighbour's owned planes at any ghost depth,
+//! 4. Guo-forced BGK collide over the fluid cells only
+//!    ([`kernels::forced`]), with the Fig. 7 border-first split when the
+//!    overlap schedule is on.
+//!
+//! Periodic unforced scenarios (e.g. Taylor–Green) take the fast paths
+//! above unchanged, fused single pass included.
 
 use std::time::Instant;
 
 use lbm_comm::comm::RecvRequest;
 use lbm_comm::Comm;
+use lbm_core::boundary::BoundarySpec;
 use lbm_core::domain::{Decomp1d, Subdomain};
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::field::DistField;
@@ -50,6 +79,7 @@ use lbm_core::Result;
 
 use crate::config::{CommStrategy, SimConfig};
 use crate::halo::{self, Side};
+use crate::scenario::ScenarioHandle;
 
 /// One rank's solver state.
 pub struct RankSolver {
@@ -76,6 +106,12 @@ pub struct RankSolver {
     cycle: u64,
     send_buf: Vec<f64>,
     pending: Vec<RecvRequest>,
+    /// The pluggable scenario (None = legacy periodic Taylor–Green).
+    scenario: Option<ScenarioHandle>,
+    /// The scenario's resolved boundary configuration.
+    bounds: BoundarySpec,
+    /// Time steps completed (drives time-varying forcing).
+    step_no: u64,
 }
 
 /// Tag-space offset for the no-ghost mid-step (scatter) exchange, keeping it
@@ -106,6 +142,10 @@ impl RankSolver {
         } else {
             None
         };
+        let scenario = cfg.scenario.clone();
+        let bounds = scenario
+            .as_ref()
+            .map_or_else(BoundarySpec::periodic, |s| s.boundaries(cfg.global));
         let mut solver = Self {
             ctx,
             sub,
@@ -128,9 +168,32 @@ impl RankSolver {
             cycle: 0,
             send_buf: Vec::new(),
             pending: Vec::new(),
+            scenario,
+            bounds,
+            step_no: 0,
         };
-        solver.init_taylor_green(1.0, cfg.init_u0);
+        match solver.scenario.clone() {
+            Some(s) => solver.init_scenario(&s),
+            None => solver.init_taylor_green(1.0, cfg.init_u0),
+        }
         Ok(solver)
+    }
+
+    /// Initialise every allocated cell (halos included) to the equilibrium
+    /// of the scenario's macroscopic state at its *global* coordinate. The
+    /// periodic wrap makes the halos exactly the neighbour's owned values,
+    /// so the first cycle needs no exchange — for any scenario, since x is
+    /// always the periodic decomposed direction.
+    fn init_scenario(&mut self, s: &ScenarioHandle) {
+        let g = self.sub.global;
+        let sub = self.sub;
+        let h = self.h;
+        lbm_core::init::from_macroscopic(&self.ctx, &mut self.f, |x, y, z| {
+            s.init(g, sub.global_x(x, h), y, z)
+        });
+        self.cycle = 0;
+        self.step_no = 0;
+        self.pending.clear();
     }
 
     /// Initialise to a global Taylor–Green mode (halos included — trig
@@ -141,7 +204,18 @@ impl RankSolver {
         let x_off = self.sub.x_start as isize;
         lbm_core::init::taylor_green(&self.ctx, &mut self.f, rho0, u0, g.nx, g.ny, x_off, self.h);
         self.cycle = 0;
+        self.step_no = 0;
         self.pending.clear();
+    }
+
+    /// Time steps completed since initialisation.
+    pub fn steps_done(&self) -> u64 {
+        self.step_no
+    }
+
+    /// The scenario's resolved boundary configuration.
+    pub fn bounds(&self) -> &BoundarySpec {
+        &self.bounds
     }
 
     /// Allocated x extent.
@@ -330,8 +404,40 @@ impl RankSolver {
         let overlap_now = self.strategy == CommStrategy::OverlapGhostCollide
             && j + 1 == in_cycle
             && self.sub.ranks > 1;
+        let force = self
+            .scenario
+            .as_ref()
+            .and_then(|s| s.forcing(self.step_no))
+            .map_or([0.0; 3], |b| b.g);
+        let plain = self.bounds.is_periodic() && force == [0.0; 3];
 
-        if self.level.kernel_class() == KernelClass::Fused {
+        if !plain {
+            // Scenario path: exact split pipeline (see module docs). Stream
+            // everything (solid rows included, so walls see the arrivals)…
+            self.stream(lo, hi);
+            if self.strategy == CommStrategy::NonBlockingEager && self.sub.ranks > 1 {
+                // …exchange the pre-boundary post-stream borders (both sides
+                // pack pre-boundary state, so ghost planes stay consistent)…
+                self.midstep_exchange(comm, j);
+            }
+            // …transform wall rows and masked cells over the same region…
+            self.bounds.apply(&self.ctx, &mut self.tmp, lo, hi);
+            if overlap_now {
+                // …then the Fig. 7 overlap: collide the owned borders first
+                // (their fluid rows are final after this — solid rows were
+                // finalised by the boundary transform), post the sends, and
+                // collide the rest while the messages fly.
+                let (border_lo, border_hi) = self.overlap_borders();
+                self.collide_scenario(border_lo.0, border_lo.1, force);
+                self.collide_scenario(border_hi.0, border_hi.1, force);
+                self.post_border_sends(comm);
+                self.collide_scenario(lo, own_lo, force);
+                self.collide_scenario(border_lo.1, border_hi.0, force);
+                self.collide_scenario(own_hi, hi, force);
+            } else {
+                self.collide_scenario(lo, hi, force);
+            }
+        } else if self.level.kernel_class() == KernelClass::Fused {
             // Single-pass schedule: the fused kernel writes complete
             // post-collision planes, so the Fig. 7 overlap computes the
             // owned borders first, posts the sends, and fuses the rest
@@ -390,6 +496,7 @@ impl RankSolver {
         }
 
         std::mem::swap(&mut self.f, &mut self.tmp);
+        self.step_no += 1;
 
         let mut dt = t0.elapsed();
         if self.jitter > 0.0 || self.skew > 0.0 {
@@ -430,6 +537,28 @@ impl RankSolver {
                 kernels::par::collide_par(&self.ctx, &mut self.tmp, lo, hi);
             }),
             _ => kernels::collide(self.level, &self.ctx, &mut self.tmp, lo, hi),
+        }
+    }
+
+    /// Scenario collide: BGK + Guo forcing over the fluid cells of
+    /// `x ∈ [lo, hi)` (wall rows and masked cells skipped), threaded when
+    /// the rank has a pool — bit-identical to serial either way.
+    fn collide_scenario(&mut self, lo: usize, hi: usize, g: [f64; 3]) {
+        if lo >= hi {
+            return;
+        }
+        match &self.pool {
+            Some(pool) if self.level >= OptLevel::Dh => pool.install(|| {
+                kernels::forced::collide_forced_par(
+                    &self.ctx,
+                    &mut self.tmp,
+                    lo,
+                    hi,
+                    g,
+                    &self.bounds,
+                );
+            }),
+            _ => kernels::forced::collide_forced(&self.ctx, &mut self.tmp, lo, hi, g, &self.bounds),
         }
     }
 
@@ -547,6 +676,8 @@ mod tests {
     use lbm_core::index::Dim3;
     use lbm_core::lattice::LatticeKind;
 
+    use crate::simulation::Simulation;
+
     /// Reference: run the same problem on one rank with the reference
     /// kernels (global periodic push-stream).
     fn reference_run(cfg: &SimConfig, steps: usize) -> DistField {
@@ -606,7 +737,10 @@ mod tests {
 
     #[test]
     fn single_rank_matches_reference_q19() {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8)).with_level(OptLevel::Gc);
+        let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .level(OptLevel::Gc)
+            .build_config()
+            .unwrap();
         compare_to_reference(&cfg, 5, 1e-13);
     }
 
@@ -618,10 +752,12 @@ mod tests {
             CommStrategy::NonBlockingGhost,
             CommStrategy::OverlapGhostCollide,
         ] {
-            let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-                .with_ranks(3)
-                .with_level(OptLevel::LoBr)
-                .with_strategy(strategy);
+            let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+                .ranks(3)
+                .level(OptLevel::LoBr)
+                .strategy(strategy)
+                .build_config()
+                .unwrap();
             compare_to_reference(&cfg, 6, 1e-12);
         }
     }
@@ -629,11 +765,13 @@ mod tests {
     #[test]
     fn deep_halo_matches_reference_q19() {
         for depth in [1usize, 2, 3] {
-            let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
-                .with_ranks(2)
-                .with_ghost_depth(depth)
-                .with_level(OptLevel::Cf)
-                .with_strategy(CommStrategy::NonBlockingGhost);
+            let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+                .ranks(2)
+                .ghost_depth(depth)
+                .level(OptLevel::Cf)
+                .strategy(CommStrategy::NonBlockingGhost)
+                .build_config()
+                .unwrap();
             compare_to_reference(&cfg, 7, 1e-12);
         }
     }
@@ -642,20 +780,24 @@ mod tests {
     fn deep_halo_matches_reference_q39() {
         // k = 3: depth 2 means 6-plane halos.
         for depth in [1usize, 2] {
-            let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
-                .with_ranks(2)
-                .with_ghost_depth(depth)
-                .with_level(OptLevel::Simd)
-                .with_strategy(CommStrategy::OverlapGhostCollide);
+            let cfg = Simulation::builder(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+                .ranks(2)
+                .ghost_depth(depth)
+                .level(OptLevel::Simd)
+                .strategy(CommStrategy::OverlapGhostCollide)
+                .build_config()
+                .unwrap();
             compare_to_reference(&cfg, 5, 1e-11);
         }
     }
 
     #[test]
     fn orig_level_matches_reference_multirank() {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-            .with_ranks(4)
-            .with_level(OptLevel::Orig);
+        let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .ranks(4)
+            .level(OptLevel::Orig)
+            .build_config()
+            .unwrap();
         compare_to_reference(&cfg, 4, 1e-12);
     }
 
@@ -667,10 +809,12 @@ mod tests {
             CommStrategy::NonBlockingGhost,
             CommStrategy::OverlapGhostCollide,
         ] {
-            let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-                .with_ranks(3)
-                .with_level(OptLevel::Fused)
-                .with_strategy(strategy);
+            let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+                .ranks(3)
+                .level(OptLevel::Fused)
+                .strategy(strategy)
+                .build_config()
+                .unwrap();
             compare_to_reference(&cfg, 6, 1e-12);
         }
     }
@@ -680,20 +824,24 @@ mod tests {
         // k = 3: the fused kernel must honour the shrinking deep-halo
         // regions and the Fig. 7 overlap split.
         for depth in [1usize, 2] {
-            let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
-                .with_ranks(2)
-                .with_ghost_depth(depth)
-                .with_level(OptLevel::Fused);
+            let cfg = Simulation::builder(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+                .ranks(2)
+                .ghost_depth(depth)
+                .level(OptLevel::Fused)
+                .build_config()
+                .unwrap();
             compare_to_reference(&cfg, 5, 1e-11);
         }
     }
 
     #[test]
     fn fused_hybrid_threads_match_reference() {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-            .with_ranks(2)
-            .with_threads(3)
-            .with_level(OptLevel::Fused);
+        let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .ranks(2)
+            .threads(3)
+            .level(OptLevel::Fused)
+            .build_config()
+            .unwrap();
         compare_to_reference(&cfg, 5, 1e-11);
     }
 
@@ -701,11 +849,11 @@ mod tests {
     fn fused_threads_are_bitwise_identical_to_serial_fused() {
         // The threaded fused driver runs the identical kernel per chunk, so
         // rank-local threading must not change a single bit.
-        let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-            .with_ranks(2)
-            .with_level(OptLevel::Fused);
-        let serial = distributed_owned(&base.clone().with_threads(1), 6);
-        let threaded = distributed_owned(&base.with_threads(4), 6);
+        let base = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .ranks(2)
+            .level(OptLevel::Fused);
+        let serial = distributed_owned(&base.clone().threads(1).build_config().unwrap(), 6);
+        let threaded = distributed_owned(&base.threads(4).build_config().unwrap(), 6);
         for (a, b) in serial.iter().zip(&threaded) {
             assert_eq!(a.max_abs_diff_owned(b), 0.0);
         }
@@ -713,11 +861,13 @@ mod tests {
 
     #[test]
     fn hybrid_threads_match_reference() {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-            .with_ranks(2)
-            .with_threads(3)
-            .with_level(OptLevel::Simd)
-            .with_strategy(CommStrategy::OverlapGhostCollide);
+        let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .ranks(2)
+            .threads(3)
+            .level(OptLevel::Simd)
+            .strategy(CommStrategy::OverlapGhostCollide)
+            .build_config()
+            .unwrap();
         compare_to_reference(&cfg, 5, 1e-11);
     }
 
@@ -725,11 +875,11 @@ mod tests {
     fn rank_count_invariance_is_bitwise_per_level() {
         // The same kernel class must produce identical owned fields
         // regardless of decomposition (1 vs 4 ranks).
-        let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-            .with_level(OptLevel::LoBr)
-            .with_strategy(CommStrategy::NonBlockingGhost);
-        let single = distributed_owned(&base.clone().with_ranks(1), 6);
-        let multi = distributed_owned(&base.with_ranks(4), 6);
+        let base = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .level(OptLevel::LoBr)
+            .strategy(CommStrategy::NonBlockingGhost);
+        let single = distributed_owned(&base.clone().ranks(1).build_config().unwrap(), 6);
+        let multi = distributed_owned(&base.ranks(4).build_config().unwrap(), 6);
         let whole = &single[0];
         let dw = whole.alloc_dims();
         let mut x0 = 0;
@@ -752,10 +902,12 @@ mod tests {
 
     #[test]
     fn invariants_conserved_across_run() {
-        let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
-            .with_ranks(2)
-            .with_ghost_depth(1)
-            .with_level(OptLevel::Simd);
+        let cfg = Simulation::builder(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+            .ranks(2)
+            .ghost_depth(1)
+            .level(OptLevel::Simd)
+            .build_config()
+            .unwrap();
         let out = Universe::run(cfg.ranks, CostModel::free(), |comm| {
             let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
             let before = s.global_invariants(comm);
@@ -773,11 +925,13 @@ mod tests {
 
     #[test]
     fn counters_track_ghost_overhead() {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
-            .with_ranks(2)
-            .with_ghost_depth(2)
-            .with_level(OptLevel::Cf)
-            .with_strategy(CommStrategy::NonBlockingGhost);
+        let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+            .ranks(2)
+            .ghost_depth(2)
+            .level(OptLevel::Cf)
+            .strategy(CommStrategy::NonBlockingGhost)
+            .build_config()
+            .unwrap();
         let counters = Universe::run(cfg.ranks, CostModel::free(), |comm| {
             let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
             s.run(comm, 4);

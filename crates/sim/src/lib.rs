@@ -15,8 +15,15 @@
 //!   plus **deep halo** stepping (ghost depth d: exchange every d steps over
 //!   `d·k`-wide halos with a shrinking valid region, §V-A).
 //! * [`hybrid`] — rank-local rayon pools: the MPI/OpenMP hybrid of §VI-B.
-//! * [`physics`] — a single-rank solver with walls and Guo forcing for the
-//!   validation flows (Poiseuille/Couette/microchannel/pulsatile pipe).
+//! * [`scenario`] — the pluggable [`Scenario`] trait (init/boundaries/
+//!   forcing/observables) plus the shipped scenarios: [`TaylorGreen`],
+//!   [`PoiseuilleChannel`], [`CouetteFlow`], [`LidDrivenCavity`],
+//!   [`KnudsenMicrochannel`].
+//! * [`simulation`] — the [`Simulation::builder`] fluent API: one handle for
+//!   batch distributed runs and incremental step/probe use.
+//! * [`physics`] — a single-rank convenience wrapper with walls, masks and
+//!   Guo forcing (now a thin layer over the same core boundary/forcing
+//!   machinery the distributed solver uses).
 //! * [`observables`], [`output`], [`report`], [`runner`] — measurement,
 //!   file output and the experiment entry points used by `lbm-bench`.
 
@@ -32,7 +39,15 @@ pub mod output;
 pub mod physics;
 pub mod report;
 pub mod runner;
+pub mod scenario;
+pub mod simulation;
 
 pub use config::{CommStrategy, SimConfig};
 pub use report::{RankReport, RunReport};
+#[allow(deprecated)]
 pub use runner::run_distributed;
+pub use scenario::{
+    CouetteFlow, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Scenario,
+    ScenarioHandle, TaylorGreen,
+};
+pub use simulation::{Probe, Simulation, SimulationBuilder};

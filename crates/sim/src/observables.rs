@@ -30,24 +30,70 @@ pub fn macro_fields(ctx: &KernelCtx, f: &DistField) -> (ScalarField, VectorField
 /// Mean `u_x(y)` profile over the owned x planes and all z, for
 /// `y ∈ y_range` — the channel-flow validation observable.
 pub fn ux_profile(ctx: &KernelCtx, f: &DistField, y_range: std::ops::Range<usize>) -> Vec<f64> {
+    u_profile(ctx, f, y_range, 0, None)
+}
+
+/// Mean `u_axis(y)` profile over the owned x planes for `y ∈ y_range`,
+/// averaged over all z (`z_slice = None`) or taken at one z slice — the
+/// latter is the cavity centre-line observable.
+pub fn u_profile(
+    ctx: &KernelCtx,
+    f: &DistField,
+    y_range: std::ops::Range<usize>,
+    axis: usize,
+    z_slice: Option<usize>,
+) -> Vec<f64> {
+    profile_impl(ctx, f, y_range, axis, z_slice, None)
+}
+
+/// Mean `u_axis(y)` over the *fluid* cells of each row of `bounds` (masked
+/// solid cells skipped — their transform state is not a flow velocity).
+/// Rows with no fluid cells in the scanned z range report 0.
+pub fn u_profile_fluid(
+    ctx: &KernelCtx,
+    f: &DistField,
+    bounds: &lbm_core::boundary::BoundarySpec,
+    axis: usize,
+    z_slice: Option<usize>,
+) -> Vec<f64> {
+    let ny = f.alloc_dims().ny;
+    profile_impl(ctx, f, bounds.fluid_y(ny), axis, z_slice, Some(bounds))
+}
+
+fn profile_impl(
+    ctx: &KernelCtx,
+    f: &DistField,
+    y_range: std::ops::Range<usize>,
+    axis: usize,
+    z_slice: Option<usize>,
+    bounds: Option<&lbm_core::boundary::BoundarySpec>,
+) -> Vec<f64> {
+    assert!(axis < 3, "velocity axis must be 0..3");
     let d = f.alloc_dims();
     let q = ctx.lat.q();
     let owned_x = f.owned_x();
     let mut cell = [0.0f64; MAX_Q];
     let mut out = Vec::with_capacity(y_range.len());
+    let z_range = match z_slice {
+        Some(z) => z..z + 1,
+        None => 0..d.nz,
+    };
     for y in y_range {
         let mut sum = 0.0;
         let mut n = 0usize;
         for x in owned_x.clone() {
-            for z in 0..d.nz {
+            for z in z_range.clone() {
+                if bounds.is_some_and(|b| !b.is_fluid(d.ny, y, z)) {
+                    continue;
+                }
                 let lin = d.idx(x, y, z);
                 f.gather_cell(lin, &mut cell[..q]);
                 let m = Moments::of_cell(&ctx.lat, &cell[..q]);
-                sum += m.u[0];
+                sum += m.u[axis];
                 n += 1;
             }
         }
-        out.push(sum / n as f64);
+        out.push(if n > 0 { sum / n as f64 } else { 0.0 });
     }
     out
 }
@@ -74,13 +120,27 @@ pub fn density_slice(ctx: &KernelCtx, f: &DistField, z_slice: usize) -> ScalarFi
 
 /// Peak |u| over the owned region (stability monitor).
 pub fn max_speed(ctx: &KernelCtx, f: &DistField) -> f64 {
+    max_speed_fluid(ctx, f, &lbm_core::boundary::BoundarySpec::periodic())
+}
+
+/// Peak |u| over the owned *fluid* cells of `bounds` (wall rows and masked
+/// cells skipped — their populations carry boundary-transform state whose
+/// formal "velocity" is not a flow observable).
+pub fn max_speed_fluid(
+    ctx: &KernelCtx,
+    f: &DistField,
+    bounds: &lbm_core::boundary::BoundarySpec,
+) -> f64 {
     let d = f.alloc_dims();
     let q = ctx.lat.q();
     let mut cell = [0.0f64; MAX_Q];
     let mut peak: f64 = 0.0;
     for x in f.owned_x() {
-        for y in 0..d.ny {
+        for y in bounds.fluid_y(d.ny) {
             for z in 0..d.nz {
+                if !bounds.is_fluid(d.ny, y, z) {
+                    continue;
+                }
                 let lin = d.idx(x, y, z);
                 f.gather_cell(lin, &mut cell[..q]);
                 let m = Moments::of_cell(&ctx.lat, &cell[..q]);

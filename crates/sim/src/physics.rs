@@ -9,10 +9,18 @@
 //! * optional solid mask over the (y,z) cross-section (full-way bounce-back)
 //!   for pipe-like geometries — the aorta illustration,
 //! * constant or time-varying body force via the Guo scheme.
+//!
+//! Since the `Scenario`/`Simulation` redesign this is a thin convenience
+//! wrapper: the wall/mask transform is [`BoundarySpec::apply`] and the
+//! forced collide is [`kernels::forced`] — the same code the distributed
+//! [`crate::distributed::RankSolver`] runs, so the two stacks cannot drift.
+//! Prefer [`crate::Simulation`] with a [`crate::Scenario`] for new code;
+//! this type remains for flows that mutate the force mid-run (the pulsatile
+//! aorta illustration).
 
-use lbm_core::boundary::ChannelWalls;
-use lbm_core::collision::{guo_source_i, Bgk, BodyForce};
-use lbm_core::equilibrium::{feq_i_consts, EqOrder};
+use lbm_core::boundary::{BoundarySpec, ChannelWalls, SectionMask};
+use lbm_core::collision::{Bgk, BodyForce};
+use lbm_core::equilibrium::EqOrder;
 use lbm_core::error::{Error, Result};
 use lbm_core::field::DistField;
 use lbm_core::index::Dim3;
@@ -25,16 +33,15 @@ use crate::halo::fill_periodic_self;
 pub struct ChannelSim {
     /// Kernel context.
     pub ctx: KernelCtx,
-    /// y-walls.
-    pub walls: ChannelWalls,
+    /// Wall + mask configuration (single source of truth for both the
+    /// post-stream transform and the collide's fluid-cell restriction).
+    bounds: BoundarySpec,
     force: BodyForce,
     f: DistField,
     tmp: DistField,
     tables: StreamTables,
     /// Halo width (= lattice reach) used for x periodicity.
     h: usize,
-    /// Optional solid mask over (y, z): `true` = solid, applied at every x.
-    mask: Option<Vec<bool>>,
     dims_fluid: Dim3,
     steps_done: u64,
 }
@@ -75,33 +82,32 @@ impl ChannelSim {
         let tables = StreamTables::new(ny_alloc, fluid.nz);
         Ok(Self {
             ctx,
-            walls,
+            bounds: BoundarySpec::periodic().with_walls(walls),
             force,
             f,
             tmp,
             tables,
             h: k,
-            mask: None,
             dims_fluid: fluid,
             steps_done: 0,
         })
     }
 
     /// Install a solid mask over the (y, z) cross-section (`true` = solid);
-    /// masked cells bounce back all populations each step. The mask indexes
-    /// the *allocated* y (walls' solid layers included).
-    pub fn set_mask<F>(&mut self, mut is_solid: F)
+    /// masked *fluid-row* cells bounce back all populations each step. The
+    /// mask indexes the *allocated* y, but the wall layers own their rows:
+    /// a masked cell inside a wall layer gets the wall transform only
+    /// (previously the mask reversal was applied on top of it, which for
+    /// plain bounce-back walls cancelled to a no-op).
+    pub fn set_mask<F>(&mut self, is_solid: F)
     where
         F: FnMut(usize, usize) -> bool,
     {
         let d = self.f.alloc_dims();
-        let mut m = vec![false; d.ny * d.nz];
-        for y in 0..d.ny {
-            for z in 0..d.nz {
-                m[y * d.nz + z] = is_solid(y, z);
-            }
-        }
-        self.mask = Some(m);
+        self.bounds = self
+            .bounds
+            .clone()
+            .with_mask(SectionMask::from_fn(d.ny, d.nz, is_solid));
     }
 
     /// Update the body force (for pulsatile driving).
@@ -121,7 +127,12 @@ impl ChannelSim {
 
     /// Fluid y range in allocated coordinates.
     pub fn fluid_y(&self) -> std::ops::Range<usize> {
-        self.walls.fluid_y(self.ny_alloc())
+        self.bounds.fluid_y(self.ny_alloc())
+    }
+
+    /// The wall + mask configuration.
+    pub fn bounds(&self) -> &BoundarySpec {
+        &self.bounds
     }
 
     /// Steps taken so far.
@@ -149,13 +160,18 @@ impl ChannelSim {
             x_lo,
             x_hi,
         );
-        // Walls transform the populations that just arrived in solid rows.
-        self.walls.apply(&self.ctx, &mut self.tmp, x_lo, x_hi);
-        if self.mask.is_some() {
-            self.apply_mask(x_lo, x_hi);
-        }
-        // Collide fluid rows only, with the Guo forcing term.
-        self.collide_forced(x_lo, x_hi);
+        // Walls and mask transform the populations that just arrived in
+        // solid cells; then the fluid cells collide with the Guo forcing
+        // term — both via the shared core machinery.
+        self.bounds.apply(&self.ctx, &mut self.tmp, x_lo, x_hi);
+        kernels::forced::collide_forced(
+            &self.ctx,
+            &mut self.tmp,
+            x_lo,
+            x_hi,
+            self.force.g,
+            &self.bounds,
+        );
         std::mem::swap(&mut self.f, &mut self.tmp);
         self.steps_done += 1;
     }
@@ -164,78 +180,6 @@ impl ChannelSim {
     pub fn run(&mut self, n: usize) {
         for _ in 0..n {
             self.step();
-        }
-    }
-
-    fn apply_mask(&mut self, x_lo: usize, x_hi: usize) {
-        let d = self.tmp.alloc_dims();
-        let q = self.ctx.lat.q();
-        let mask = self.mask.as_ref().expect("mask checked by caller");
-        let mut cell = [0.0f64; MAX_Q];
-        let mut out = [0.0f64; MAX_Q];
-        for x in x_lo..x_hi {
-            for y in 0..d.ny {
-                for z in 0..d.nz {
-                    if !mask[y * d.nz + z] {
-                        continue;
-                    }
-                    let lin = d.idx(x, y, z);
-                    self.tmp.gather_cell(lin, &mut cell[..q]);
-                    for i in 0..q {
-                        out[i] = cell[self.ctx.lat.opposite(i)];
-                    }
-                    self.tmp.scatter_cell(lin, &out[..q]);
-                }
-            }
-        }
-    }
-
-    /// Per-cell BGK + Guo forcing over fluid cells (solid rows and masked
-    /// cells skipped).
-    fn collide_forced(&mut self, x_lo: usize, x_hi: usize) {
-        let d = self.tmp.alloc_dims();
-        let q = self.ctx.lat.q();
-        let k = &self.ctx.consts;
-        let third = self.ctx.third_order();
-        let omega = self.ctx.omega;
-        let g = self.force.g;
-        let fluid_y = self.fluid_y();
-        let mask = self.mask.as_deref();
-        let mut cell = [0.0f64; MAX_Q];
-        for x in x_lo..x_hi {
-            for y in fluid_y.clone() {
-                for z in 0..d.nz {
-                    if let Some(m) = mask {
-                        if m[y * d.nz + z] {
-                            continue;
-                        }
-                    }
-                    let lin = d.idx(x, y, z);
-                    self.tmp.gather_cell(lin, &mut cell[..q]);
-                    let mut rho = 0.0;
-                    let mut mom = [0.0f64; 3];
-                    for (i, fv) in cell[..q].iter().enumerate() {
-                        let c = k.c[i];
-                        rho += fv;
-                        mom[0] += fv * c[0];
-                        mom[1] += fv * c[1];
-                        mom[2] += fv * c[2];
-                    }
-                    // Guo half-force velocity shift (g is a force density).
-                    let inv = 1.0 / rho;
-                    let u = [
-                        (mom[0] + 0.5 * g[0]) * inv,
-                        (mom[1] + 0.5 * g[1]) * inv,
-                        (mom[2] + 0.5 * g[2]) * inv,
-                    ];
-                    for (i, fv) in cell[..q].iter_mut().enumerate() {
-                        let fe = feq_i_consts(k, third, i, rho, u);
-                        let s = guo_source_i(&self.ctx.lat, i, u, g, omega);
-                        *fv += omega * (fe - *fv) + s;
-                    }
-                    self.tmp.scatter_cell(lin, &cell[..q]);
-                }
-            }
         }
     }
 
@@ -253,10 +197,8 @@ impl ChannelSim {
         for x in self.f.owned_x() {
             for y in self.fluid_y() {
                 for z in 0..d.nz {
-                    if let Some(m) = self.mask.as_ref() {
-                        if m[y * d.nz + z] {
-                            continue;
-                        }
+                    if self.bounds.mask().is_some_and(|m| m.is_solid(y, z)) {
+                        continue;
                     }
                     let lin = d.idx(x, y, z);
                     self.f.gather_cell(lin, &mut cell[..q]);

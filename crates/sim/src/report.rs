@@ -41,6 +41,8 @@ impl RankReport {
 pub struct RunReport {
     /// Lattice name.
     pub lattice: String,
+    /// Scenario name (`"taylor_green"` for the legacy default flow).
+    pub scenario: String,
     /// Optimization rung label.
     pub level: String,
     /// Communication schedule label.
@@ -78,6 +80,7 @@ impl RunReport {
     #[allow(clippy::too_many_arguments)]
     pub fn assemble(
         lattice: String,
+        scenario: String,
         level: String,
         strategy: String,
         threads_per_rank: usize,
@@ -107,6 +110,7 @@ impl RunReport {
         comms.sort_by(f64::total_cmp);
         Self {
             lattice,
+            scenario,
             level,
             strategy,
             ranks,
@@ -161,6 +165,7 @@ mod tests {
     fn assemble_reduces_correctly() {
         let rep = RunReport::assemble(
             "D3Q19".into(),
+            "taylor_green".into(),
             "SIMD".into(),
             "GC-C".into(),
             1,

@@ -11,7 +11,18 @@ use crate::distributed::RankSolver;
 use crate::report::{RankReport, RunReport};
 
 /// Run `cfg` on its own universe of ranks and report aggregate performance.
+///
+/// Deprecated shim over the [`crate::Simulation`] API: build with
+/// [`crate::Simulation::builder`] and call
+/// [`run(steps)`](crate::Simulation::run) instead.
+#[deprecated(note = "use Simulation::builder(…).build()?.run(steps) instead")]
 pub fn run_distributed(cfg: &SimConfig) -> Result<RunReport> {
+    run_config(cfg)
+}
+
+/// Shared batch-run implementation behind [`crate::Simulation::run`] and the
+/// deprecated [`run_distributed`] shim.
+pub(crate) fn run_config(cfg: &SimConfig) -> Result<RunReport> {
     cfg.validate()?;
     let results = Universe::run(cfg.ranks, cfg.cost.clone(), |comm| {
         let mut solver = RankSolver::new(cfg, comm.rank()).expect("config validated");
@@ -50,6 +61,7 @@ pub fn run_distributed(cfg: &SimConfig) -> Result<RunReport> {
     let per_rank: Vec<RankReport> = results.into_iter().map(|(r, _)| r).collect();
     Ok(RunReport::assemble(
         cfg.lattice.name().to_string(),
+        cfg.scenario_name().to_string(),
         cfg.level.name().to_string(),
         cfg.comm_strategy().label().to_string(),
         cfg.threads_per_rank,
@@ -64,18 +76,22 @@ pub fn run_distributed(cfg: &SimConfig) -> Result<RunReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulation::Simulation;
     use lbm_core::index::Dim3;
     use lbm_core::kernels::OptLevel;
     use lbm_core::lattice::LatticeKind;
 
     #[test]
     fn report_accounts_all_updates() {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
-            .with_ranks(4)
-            .with_steps(6)
-            .with_level(OptLevel::LoBr);
-        let rep = run_distributed(&cfg).unwrap();
+        let rep = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+            .ranks(4)
+            .level(OptLevel::LoBr)
+            .build()
+            .unwrap()
+            .run(6)
+            .unwrap();
         assert_eq!(rep.ranks, 4);
+        assert_eq!(rep.scenario, "taylor_green");
         let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
         assert_eq!(updates, 6 * 16 * 8 * 8);
         assert!(rep.mflups > 0.0);
@@ -84,13 +100,39 @@ mod tests {
 
     #[test]
     fn warmup_steps_are_not_counted() {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-            .with_steps(4)
-            .with_warmup(3)
-            .with_level(OptLevel::Cf);
-        let rep = run_distributed(&cfg).unwrap();
+        let rep = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .warmup(3)
+            .level(OptLevel::Cf)
+            .build()
+            .unwrap()
+            .run(4)
+            .unwrap();
         let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
         assert_eq!(updates, 4 * 12 * 8 * 8);
+    }
+
+    #[test]
+    fn deprecated_shim_matches_the_builder_path() {
+        // run_distributed stays as a thin shim: identical physics and
+        // bookkeeping to Simulation::run.
+        #[allow(deprecated)]
+        let old = {
+            let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+                .with_ranks(2)
+                .with_steps(5)
+                .with_level(OptLevel::Simd);
+            run_distributed(&cfg).unwrap()
+        };
+        let new = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .ranks(2)
+            .level(OptLevel::Simd)
+            .build()
+            .unwrap()
+            .run(5)
+            .unwrap();
+        assert_eq!(old.mass, new.mass, "shim must compute the identical flow");
+        assert_eq!(old.steps, new.steps);
+        assert_eq!(old.strategy, new.strategy);
     }
 
     #[test]
@@ -104,11 +146,13 @@ mod tests {
             let expected = (global.nx * global.ny * global.nz) as f64;
             let mut masses = Vec::new();
             for level in [OptLevel::Simd, OptLevel::Fused] {
-                let cfg = SimConfig::new(kind, global)
-                    .with_ranks(2)
-                    .with_steps(8)
-                    .with_level(level);
-                let rep = run_distributed(&cfg).unwrap();
+                let rep = Simulation::builder(kind, global)
+                    .ranks(2)
+                    .level(level)
+                    .build()
+                    .unwrap()
+                    .run(8)
+                    .unwrap();
                 assert!(
                     (rep.mass - expected).abs() < 1e-9 * expected,
                     "{kind:?} {}: mass {} vs {}",
@@ -128,9 +172,11 @@ mod tests {
 
     #[test]
     fn invalid_config_errors_cleanly() {
-        let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(8, 8, 8))
-            .with_ranks(4)
-            .with_ghost_depth(2); // halo 6 > 2 planes per rank
-        assert!(run_distributed(&cfg).is_err());
+        // halo 6 > 2 planes per rank
+        assert!(Simulation::builder(LatticeKind::D3Q39, Dim3::new(8, 8, 8))
+            .ranks(4)
+            .ghost_depth(2)
+            .build()
+            .is_err());
     }
 }

@@ -1,0 +1,646 @@
+//! Pluggable simulation scenarios: initial state + boundaries + forcing +
+//! validation observables behind one trait.
+//!
+//! The paper's performance study runs a single flow (periodic Taylor–Green);
+//! the flows that *motivate* it (§I: microfluidics, finite-Knudsen MEMS,
+//! microvascular plasma) need walls, drivers and beyond-Navier-Stokes
+//! lattices. A [`Scenario`] packages everything problem-specific so the full
+//! optimization ladder, deep halos and rank×thread execution of the
+//! distributed solver apply to any of them:
+//!
+//! * [`Scenario::init`] — macroscopic initial state at a *global* coordinate
+//!   (ranks initialise consistently regardless of decomposition),
+//! * [`Scenario::boundaries`] — a [`BoundarySpec`] (y-walls + cross-section
+//!   mask; x stays periodic, it is the decomposed flow direction),
+//! * [`Scenario::forcing`] — optional per-step body force (Guo scheme),
+//! * [`Scenario::observables`] / [`Scenario::reference_solution`] — what to
+//!   measure and what the analytic answer is, for validation.
+//!
+//! Shipped scenarios: [`TaylorGreen`], [`PoiseuilleChannel`],
+//! [`CouetteFlow`], [`LidDrivenCavity`] (Hou et al., *Simulation of Cavity
+//! Flow by the Lattice Boltzmann Method*) and [`KnudsenMicrochannel`]
+//! (finite-Kn channel flow beyond the Chapman–Enskog limit, Sbragaglia &
+//! Succi).
+
+use std::fmt;
+use std::sync::Arc;
+
+use lbm_core::analytic;
+use lbm_core::boundary::{BoundarySpec, ChannelWalls, SectionMask, WallKind};
+use lbm_core::collision::{Bgk, BodyForce};
+use lbm_core::error::{Error, Result};
+use lbm_core::index::Dim3;
+use lbm_core::knudsen;
+use lbm_core::lattice::Lattice;
+
+/// A named observable a scenario recommends recording (see
+/// [`crate::simulation::Simulation::probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservableSpec {
+    /// Total mass over owned cells (conservation monitor).
+    Mass,
+    /// Peak |u| over owned cells (stability monitor).
+    MaxSpeed,
+    /// Mean `u_axis(y)` over the fluid rows, averaged over x and z.
+    Profile {
+        /// Velocity component (0 = x, 1 = y, 2 = z).
+        axis: usize,
+    },
+    /// `u_axis(y)` along the vertical centre-line (mid-z slice, averaged
+    /// over x) — the lid-driven-cavity validation observable.
+    CentreLineProfile {
+        /// Velocity component (0 = x, 1 = y, 2 = z).
+        axis: usize,
+    },
+}
+
+/// Everything problem-specific about a simulation, pluggable into
+/// [`crate::simulation::Simulation::builder`].
+///
+/// All hooks receive *global* quantities: the solver maps rank-local
+/// coordinates to global ones (periodically wrapped), so an implementation
+/// never needs to know about the decomposition.
+pub trait Scenario: Send + Sync {
+    /// Short machine-readable name (recorded in run reports and bench
+    /// artifacts).
+    fn name(&self) -> &'static str;
+
+    /// Macroscopic initial state `(ρ, u)` at global cell (x, y, z). The
+    /// field is set to the local equilibrium of this state everywhere,
+    /// halos included. Defaults to uniform rest fluid.
+    fn init(&self, global: Dim3, x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
+        let _ = (global, x, y, z);
+        (1.0, [0.0; 3])
+    }
+
+    /// Boundary configuration for a global box. Defaults to fully periodic.
+    fn boundaries(&self, global: Dim3) -> BoundarySpec {
+        let _ = global;
+        BoundarySpec::periodic()
+    }
+
+    /// Body force applied at time step `step` (Guo scheme). `None` or a
+    /// zero force means unforced. Defaults to `None`.
+    fn forcing(&self, step: u64) -> Option<BodyForce> {
+        let _ = step;
+        None
+    }
+
+    /// The observables worth recording for this scenario.
+    fn observables(&self) -> &[ObservableSpec] {
+        &[ObservableSpec::Mass, ObservableSpec::MaxSpeed]
+    }
+
+    /// Analytic reference for the scenario's profile observable, sampled at
+    /// the fluid rows (one value per row, same length as the measured
+    /// profile), or `None` when only qualitative checks apply.
+    fn reference_solution(&self, lat: &Lattice, tau: f64, global: Dim3) -> Option<Vec<f64>> {
+        let _ = (lat, tau, global);
+        None
+    }
+
+    /// Relaxation time the scenario recommends for a lattice and box (e.g.
+    /// derived from a Reynolds or Knudsen number). Used by the builder when
+    /// the caller does not set τ explicitly.
+    fn suggested_tau(&self, lat: &Lattice, global: Dim3) -> Option<f64> {
+        let _ = (lat, global);
+        None
+    }
+
+    /// Check the scenario against a lattice and global box. The default
+    /// validates the boundary spec (wall layers vs lattice reach, mask
+    /// shape).
+    fn validate(&self, lat: &Lattice, global: Dim3) -> Result<()> {
+        self.boundaries(global).validate(lat, global)
+    }
+}
+
+/// A shared, cloneable handle to a [`Scenario`] (what [`crate::SimConfig`]
+/// stores).
+#[derive(Clone)]
+pub struct ScenarioHandle(Arc<dyn Scenario>);
+
+impl ScenarioHandle {
+    /// Wrap a scenario.
+    pub fn new(s: impl Scenario + 'static) -> Self {
+        Self(Arc::new(s))
+    }
+}
+
+impl std::ops::Deref for ScenarioHandle {
+    type Target = dyn Scenario;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for ScenarioHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Scenario").field(&self.0.name()).finish()
+    }
+}
+
+/// A handle is itself a scenario (pure delegation), so parametric code can
+/// feed handles straight back into
+/// [`SimulationBuilder::scenario`](crate::simulation::SimulationBuilder::scenario).
+impl Scenario for ScenarioHandle {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn init(&self, global: Dim3, x: usize, y: usize, z: usize) -> (f64, [f64; 3]) {
+        self.0.init(global, x, y, z)
+    }
+
+    fn boundaries(&self, global: Dim3) -> BoundarySpec {
+        self.0.boundaries(global)
+    }
+
+    fn forcing(&self, step: u64) -> Option<BodyForce> {
+        self.0.forcing(step)
+    }
+
+    fn observables(&self) -> &[ObservableSpec] {
+        self.0.observables()
+    }
+
+    fn reference_solution(&self, lat: &Lattice, tau: f64, global: Dim3) -> Option<Vec<f64>> {
+        self.0.reference_solution(lat, tau, global)
+    }
+
+    fn suggested_tau(&self, lat: &Lattice, global: Dim3) -> Option<f64> {
+        self.0.suggested_tau(lat, global)
+    }
+
+    fn validate(&self, lat: &Lattice, global: Dim3) -> Result<()> {
+        self.0.validate(lat, global)
+    }
+}
+
+/// Fluid-row count for a channel bounded by `layers` solid rows per side.
+fn fluid_rows(global: Dim3, layers: usize) -> usize {
+    global.ny.saturating_sub(2 * layers)
+}
+
+// ---------------------------------------------------------------------------
+// Taylor–Green
+// ---------------------------------------------------------------------------
+
+/// The classic periodic Taylor–Green vortex in the x–y plane (z-invariant):
+/// the paper's performance-study flow and the viscosity-validation standard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaylorGreen {
+    /// Background density.
+    pub rho0: f64,
+    /// Velocity amplitude.
+    pub u0: f64,
+}
+
+impl TaylorGreen {
+    /// Vortex with amplitude `u0` on a unit-density background.
+    pub fn new(u0: f64) -> Self {
+        Self { rho0: 1.0, u0 }
+    }
+}
+
+impl Default for TaylorGreen {
+    fn default() -> Self {
+        Self::new(0.02)
+    }
+}
+
+impl Scenario for TaylorGreen {
+    fn name(&self) -> &'static str {
+        "taylor_green"
+    }
+
+    fn init(&self, global: Dim3, x: usize, y: usize, _z: usize) -> (f64, [f64; 3]) {
+        let kx = 2.0 * std::f64::consts::PI / global.nx as f64;
+        let ky = 2.0 * std::f64::consts::PI / global.ny as f64;
+        let (gx, gy) = (x as f64, y as f64);
+        let ux = self.u0 * (kx * gx).cos() * (ky * gy).sin();
+        let uy = -self.u0 * (kx * gx).sin() * (ky * gy).cos();
+        (self.rho0, [ux, uy, 0.0])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poiseuille
+// ---------------------------------------------------------------------------
+
+/// Force-driven plane Poiseuille flow: no-slip y-walls, constant body force
+/// along x. Validates against the analytic parabola.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoiseuilleChannel {
+    /// Driving force density along x.
+    pub g: f64,
+    /// Solid wall layers per side (must be ≥ lattice reach).
+    pub layers: usize,
+}
+
+impl PoiseuilleChannel {
+    /// Channel driven by force density `g`, with single-layer walls
+    /// (sufficient for the reach-1 lattices; see [`Self::with_layers`]).
+    pub fn new(g: f64) -> Self {
+        Self { g, layers: 1 }
+    }
+
+    /// Set the wall thickness (D3Q39 needs ≥ 3 layers).
+    #[must_use]
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+}
+
+impl Scenario for PoiseuilleChannel {
+    fn name(&self) -> &'static str {
+        "poiseuille_channel"
+    }
+
+    fn boundaries(&self, _global: Dim3) -> BoundarySpec {
+        BoundarySpec::periodic().with_walls(ChannelWalls::no_slip(self.layers))
+    }
+
+    fn forcing(&self, _step: u64) -> Option<BodyForce> {
+        Some(BodyForce::along_x(self.g))
+    }
+
+    fn observables(&self) -> &[ObservableSpec] {
+        &[
+            ObservableSpec::Mass,
+            ObservableSpec::MaxSpeed,
+            ObservableSpec::Profile { axis: 0 },
+        ]
+    }
+
+    fn reference_solution(&self, lat: &Lattice, tau: f64, global: Dim3) -> Option<Vec<f64>> {
+        let m = fluid_rows(global, self.layers);
+        let nu = Bgk::new(tau).ok()?.viscosity(lat.cs2());
+        // Bounce-back walls sit on the links half a cell outside the
+        // first/last fluid rows: width H = m, fluid row j at y = j + ½.
+        let h = m as f64;
+        Some(
+            (0..m)
+                .map(|j| analytic::poiseuille(self.g, nu, h, j as f64 + 0.5))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Couette
+// ---------------------------------------------------------------------------
+
+/// Plane Couette flow: fixed lower wall, upper wall sliding along x.
+/// Validates against the linear profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouetteFlow {
+    /// Upper-wall sliding velocity (along x).
+    pub u_wall: f64,
+    /// Solid wall layers per side (must be ≥ lattice reach).
+    pub layers: usize,
+}
+
+impl CouetteFlow {
+    /// Couette flow with upper-wall speed `u_wall` and single-layer walls.
+    pub fn new(u_wall: f64) -> Self {
+        Self { u_wall, layers: 1 }
+    }
+
+    /// Set the wall thickness (D3Q39 needs ≥ 3 layers).
+    #[must_use]
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+}
+
+impl Scenario for CouetteFlow {
+    fn name(&self) -> &'static str {
+        "couette_flow"
+    }
+
+    fn boundaries(&self, _global: Dim3) -> BoundarySpec {
+        BoundarySpec::periodic().with_walls(ChannelWalls {
+            low: WallKind::BounceBack,
+            high: WallKind::Moving {
+                u: [self.u_wall, 0.0, 0.0],
+                rho: 1.0,
+            },
+            layers: self.layers,
+        })
+    }
+
+    fn observables(&self) -> &[ObservableSpec] {
+        &[
+            ObservableSpec::Mass,
+            ObservableSpec::MaxSpeed,
+            ObservableSpec::Profile { axis: 0 },
+        ]
+    }
+
+    fn reference_solution(&self, _lat: &Lattice, _tau: f64, global: Dim3) -> Option<Vec<f64>> {
+        let m = fluid_rows(global, self.layers);
+        // Full-way bounce-back walls: effective gap m + 1, fluid row j at
+        // y = j + 1.
+        let h = m as f64 + 1.0;
+        Some(
+            (0..m)
+                .map(|j| analytic::couette(self.u_wall, h, j as f64 + 1.0))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lid-driven cavity
+// ---------------------------------------------------------------------------
+
+/// Lid-driven cavity in the (y, z) cross-section (x-invariant, periodic):
+/// stationary side walls carved from the z extremes by the solid mask, a
+/// bounce-back floor at low y, and a lid at high y sliding tangentially
+/// along +z. The classic LBM validation flow of Hou et al.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LidDrivenCavity {
+    /// Reynolds number `Re = u_lid · L / ν` (L = cavity width in z).
+    pub re: f64,
+    /// Lid speed (along +z).
+    pub u_lid: f64,
+    /// Solid layers for floor/lid/side walls (must be ≥ lattice reach).
+    pub layers: usize,
+}
+
+impl LidDrivenCavity {
+    /// Cavity at Reynolds number `re` with the default lid speed 0.05 and
+    /// single-layer walls. The builder derives τ from `re` via
+    /// [`Scenario::suggested_tau`] unless overridden.
+    pub fn new(re: f64) -> Self {
+        Self {
+            re,
+            u_lid: 0.05,
+            layers: 1,
+        }
+    }
+
+    /// Set the lid speed.
+    #[must_use]
+    pub fn with_lid_speed(mut self, u_lid: f64) -> Self {
+        self.u_lid = u_lid;
+        self
+    }
+
+    /// Set the wall thickness (D3Q39 needs ≥ 3 layers).
+    #[must_use]
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Cavity width L (z extent between the side walls).
+    pub fn width(&self, global: Dim3) -> usize {
+        global.nz.saturating_sub(2 * self.layers)
+    }
+}
+
+impl Scenario for LidDrivenCavity {
+    fn name(&self) -> &'static str {
+        "lid_driven_cavity"
+    }
+
+    fn boundaries(&self, global: Dim3) -> BoundarySpec {
+        let layers = self.layers;
+        BoundarySpec::periodic()
+            .with_walls(ChannelWalls {
+                low: WallKind::BounceBack,
+                high: WallKind::Moving {
+                    u: [0.0, 0.0, self.u_lid],
+                    rho: 1.0,
+                },
+                layers,
+            })
+            .with_mask(SectionMask::from_fn(global.ny, global.nz, |_y, z| {
+                z < layers || z >= global.nz - layers
+            }))
+    }
+
+    fn observables(&self) -> &[ObservableSpec] {
+        &[
+            ObservableSpec::Mass,
+            ObservableSpec::MaxSpeed,
+            ObservableSpec::CentreLineProfile { axis: 2 },
+        ]
+    }
+
+    fn suggested_tau(&self, lat: &Lattice, global: Dim3) -> Option<f64> {
+        let l = self.width(global);
+        if l == 0 || self.re <= 0.0 {
+            return None;
+        }
+        let nu = self.u_lid * l as f64 / self.re;
+        Bgk::from_viscosity(nu, lat.cs2()).ok().map(|b| b.tau())
+    }
+
+    fn validate(&self, lat: &Lattice, global: Dim3) -> Result<()> {
+        if !(self.re > 0.0) {
+            return Err(Error::BadParameter(format!(
+                "cavity Reynolds number must be positive: {}",
+                self.re
+            )));
+        }
+        if self.width(global) < 3 {
+            return Err(Error::BadDimensions(format!(
+                "cavity needs ≥ 3 fluid columns in z: nz = {} with {} wall layers",
+                global.nz, self.layers
+            )));
+        }
+        self.boundaries(global).validate(lat, global)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Knudsen microchannel
+// ---------------------------------------------------------------------------
+
+/// Force-driven microchannel at finite Knudsen number with Maxwell-diffuse
+/// (kinetic) walls — the §I beyond-Navier-Stokes motivation. At the target
+/// `Kn`, bounce-back no-slip is wrong and wall slip emerges naturally; the
+/// extended lattices (D3Q39) transport the higher kinetic moments this
+/// regime needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnudsenMicrochannel {
+    /// Target Knudsen number (sets τ via [`Scenario::suggested_tau`]).
+    pub kn: f64,
+    /// Driving force density along x.
+    pub g: f64,
+    /// Solid wall layers per side (defaults to 3: enough for every shipped
+    /// lattice, including D3Q39's reach 3).
+    pub layers: usize,
+}
+
+impl KnudsenMicrochannel {
+    /// Microchannel at Knudsen number `kn` with the default force 5e-6 and
+    /// 3-layer walls.
+    pub fn new(kn: f64) -> Self {
+        Self {
+            kn,
+            g: 5e-6,
+            layers: 3,
+        }
+    }
+
+    /// Set the driving force density.
+    #[must_use]
+    pub fn with_force(mut self, g: f64) -> Self {
+        self.g = g;
+        self
+    }
+
+    /// Set the wall thickness (must be ≥ lattice reach).
+    #[must_use]
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+}
+
+impl Scenario for KnudsenMicrochannel {
+    fn name(&self) -> &'static str {
+        "knudsen_microchannel"
+    }
+
+    fn boundaries(&self, _global: Dim3) -> BoundarySpec {
+        BoundarySpec::periodic().with_walls(ChannelWalls::diffuse(self.layers))
+    }
+
+    fn forcing(&self, _step: u64) -> Option<BodyForce> {
+        Some(BodyForce::along_x(self.g))
+    }
+
+    fn observables(&self) -> &[ObservableSpec] {
+        &[
+            ObservableSpec::Mass,
+            ObservableSpec::MaxSpeed,
+            ObservableSpec::Profile { axis: 0 },
+        ]
+    }
+
+    fn suggested_tau(&self, lat: &Lattice, global: Dim3) -> Option<f64> {
+        let h = fluid_rows(global, self.layers);
+        knudsen::tau_for_knudsen(self.kn, lat.cs2(), h as f64).ok()
+    }
+
+    fn reference_solution(&self, lat: &Lattice, tau: f64, global: Dim3) -> Option<Vec<f64>> {
+        // First-order Maxwell slip correction: quantitative in the slip
+        // regime (Kn ≲ 0.1), qualitative beyond it.
+        let m = fluid_rows(global, self.layers);
+        let nu = Bgk::new(tau).ok()?.viscosity(lat.cs2());
+        let lambda = knudsen::mean_free_path(tau, lat.cs2());
+        let h = m as f64;
+        Some(
+            (0..m)
+                .map(|j| analytic::poiseuille_slip(self.g, nu, h, lambda, j as f64 + 0.5))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm_core::lattice::LatticeKind;
+
+    #[test]
+    fn taylor_green_init_matches_legacy_initialiser() {
+        // The scenario must reproduce lbm_core::init::taylor_green exactly
+        // on owned (in-range) coordinates.
+        use lbm_core::collision::Bgk;
+        use lbm_core::equilibrium::EqOrder;
+        use lbm_core::field::DistField;
+        use lbm_core::kernels::KernelCtx;
+
+        let g = Dim3::new(8, 6, 4);
+        let ctx = KernelCtx::new(LatticeKind::D3Q19, EqOrder::Second, Bgk::new(0.8).unwrap());
+        let mut legacy = DistField::new(ctx.lat.q(), g, 0).unwrap();
+        lbm_core::init::taylor_green(&ctx, &mut legacy, 1.0, 0.03, g.nx, g.ny, 0, 0);
+        let sc = TaylorGreen::new(0.03);
+        let mut from_scenario = DistField::new(ctx.lat.q(), g, 0).unwrap();
+        lbm_core::init::from_macroscopic(&ctx, &mut from_scenario, |x, y, z| sc.init(g, x, y, z));
+        assert_eq!(legacy.max_abs_diff_owned(&from_scenario), 0.0);
+    }
+
+    #[test]
+    fn channel_scenarios_reference_profiles_have_expected_shape() {
+        let lat = Lattice::new(LatticeKind::D3Q19);
+        let g = Dim3::new(4, 11, 8);
+        let p = PoiseuilleChannel::new(1e-5);
+        let prof = p.reference_solution(&lat, 0.9, g).unwrap();
+        assert_eq!(prof.len(), 9);
+        // Symmetric parabola peaking mid-channel.
+        assert!((prof[0] - prof[8]).abs() < 1e-15);
+        assert!(prof[4] > prof[0]);
+
+        let c = CouetteFlow::new(0.04);
+        let prof = c.reference_solution(&lat, 0.8, g).unwrap();
+        assert_eq!(prof.len(), 9);
+        for w in prof.windows(2) {
+            assert!(w[1] > w[0], "couette profile must be increasing");
+        }
+        assert!(prof[8] < 0.04);
+    }
+
+    #[test]
+    fn cavity_geometry_and_suggested_tau() {
+        let lat = Lattice::new(LatticeKind::D3Q19);
+        let g = Dim3::new(4, 13, 13);
+        let cav = LidDrivenCavity::new(10.0);
+        assert_eq!(cav.width(g), 11);
+        let spec = cav.boundaries(g);
+        assert!(!spec.is_periodic());
+        // Side columns are solid, interior is fluid.
+        assert!(!spec.is_fluid(g.ny, 6, 0));
+        assert!(!spec.is_fluid(g.ny, 6, 12));
+        assert!(spec.is_fluid(g.ny, 6, 6));
+        // τ from Re: ν = u·L/Re = 0.05·11/10 = 0.055 → τ = ν/c_s² + ½.
+        let tau = cav.suggested_tau(&lat, g).unwrap();
+        assert!((tau - (0.055 / lat.cs2() + 0.5)).abs() < 1e-12);
+        assert!(cav.validate(&lat, g).is_ok());
+        assert!(LidDrivenCavity::new(-1.0).validate(&lat, g).is_err());
+        assert!(cav.validate(&lat, Dim3::new(4, 13, 4)).is_err());
+    }
+
+    #[test]
+    fn knudsen_scenario_realises_target_kn() {
+        let lat = Lattice::new(LatticeKind::D3Q39);
+        let g = Dim3::new(4, 19, 8);
+        let sc = KnudsenMicrochannel::new(0.2);
+        let tau = sc.suggested_tau(&lat, g).unwrap();
+        // 19 − 2·3 = 13 fluid rows.
+        let kn = knudsen::knudsen(tau, lat.cs2(), 13.0);
+        assert!((kn - 0.2).abs() < 1e-12);
+        // Diffuse walls, 3 layers: valid for D3Q39.
+        assert!(sc.validate(&lat, g).is_ok());
+        // Too-thin walls rejected for the reach-3 lattice.
+        assert!(sc.with_layers(1).validate(&lat, g).is_err());
+        // Slip reference exceeds the no-slip parabola everywhere.
+        let slip = sc.reference_solution(&lat, tau, g).unwrap();
+        let noslip = PoiseuilleChannel::new(sc.g)
+            .with_layers(3)
+            .reference_solution(&lat, tau, g)
+            .unwrap();
+        for (s, n) in slip.iter().zip(&noslip) {
+            assert!(s > n);
+        }
+    }
+
+    #[test]
+    fn scenario_handle_is_cloneable_and_debuggable() {
+        let h = ScenarioHandle::new(TaylorGreen::default());
+        let h2 = h.clone();
+        assert_eq!(h2.name(), "taylor_green");
+        assert_eq!(format!("{h:?}"), "Scenario(\"taylor_green\")");
+        assert!(h.forcing(0).is_none());
+        assert_eq!(h.observables().len(), 2);
+    }
+}

@@ -1,0 +1,452 @@
+//! The unified simulation API: a fluent builder over the distributed solver
+//! with pluggable [`Scenario`]s.
+//!
+//! ```
+//! use lbm_sim::{Simulation, TaylorGreen};
+//! use lbm_core::index::Dim3;
+//! use lbm_core::kernels::OptLevel;
+//! use lbm_core::lattice::LatticeKind;
+//!
+//! let sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+//!     .scenario(TaylorGreen::default())
+//!     .ranks(2)
+//!     .level(OptLevel::Fused)
+//!     .build()
+//!     .unwrap();
+//! let report = sim.run(4).unwrap();
+//! assert!(report.mflups > 0.0);
+//! ```
+//!
+//! Two execution modes share one handle:
+//!
+//! * [`Simulation::run`] — a batch run on its own universe of ranks (any
+//!   rank × thread shape, every [`OptLevel`] and [`CommStrategy`] schedule),
+//!   returning a [`RunReport`]. Each call starts from the scenario's initial
+//!   state.
+//! * [`Simulation::step`] / [`Simulation::probe`] — incremental in-process
+//!   stepping for observing a flow evolve (single-rank; threads still apply).
+
+use lbm_comm::{Comm, CostModel, Universe};
+use lbm_core::equilibrium::EqOrder;
+use lbm_core::error::{Error, Result};
+use lbm_core::index::Dim3;
+use lbm_core::kernels::OptLevel;
+use lbm_core::lattice::{Lattice, LatticeKind};
+
+use crate::config::{CommStrategy, SimConfig};
+use crate::distributed::RankSolver;
+use crate::observables;
+use crate::report::RunReport;
+use crate::scenario::{ObservableSpec, Scenario, ScenarioHandle};
+
+/// Fluent configuration for a [`Simulation`] (see [`Simulation::builder`]).
+///
+/// Every setter is chainable; [`SimulationBuilder::build`] validates the
+/// whole configuration (decomposition, halo, τ, scenario-vs-lattice fit) in
+/// one place.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    cfg: SimConfig,
+    tau_explicit: bool,
+}
+
+impl SimulationBuilder {
+    pub(crate) fn new(lattice: LatticeKind, global: Dim3) -> Self {
+        Self {
+            cfg: SimConfig::new(lattice, global),
+            tau_explicit: false,
+        }
+    }
+
+    /// Wrap an existing config (the routing target of the deprecated
+    /// `SimConfig::with_*` setters).
+    pub(crate) fn from_config(cfg: SimConfig) -> Self {
+        Self {
+            cfg,
+            tau_explicit: true,
+        }
+    }
+
+    /// The configured state without validation (deprecated-shim escape
+    /// hatch; prefer [`Self::build`]).
+    pub(crate) fn into_config(self) -> SimConfig {
+        self.cfg
+    }
+
+    /// Plug in the scenario (initial state, boundaries, forcing,
+    /// observables). Without one the run is the legacy periodic
+    /// Taylor–Green flow.
+    #[must_use]
+    pub fn scenario(mut self, s: impl Scenario + 'static) -> Self {
+        self.cfg.scenario = Some(ScenarioHandle::new(s));
+        self
+    }
+
+    /// BGK relaxation time τ (> ½). Overrides any
+    /// [`Scenario::suggested_tau`].
+    #[must_use]
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.cfg.tau = tau;
+        self.tau_explicit = true;
+        self
+    }
+
+    /// Equilibrium truncation order (default: the lattice's natural order —
+    /// third on D3Q39).
+    #[must_use]
+    pub fn order(mut self, order: EqOrder) -> Self {
+        self.cfg.order = Some(order);
+        self
+    }
+
+    /// Number of ranks (1-D decomposition along x).
+    #[must_use]
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.cfg.ranks = ranks;
+        self
+    }
+
+    /// Rayon threads per rank (1 = serial kernels).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads_per_rank = threads;
+        self
+    }
+
+    /// Ghost-cell depth d in multiples of the lattice reach (paper §V-A).
+    #[must_use]
+    pub fn ghost_depth(mut self, d: usize) -> Self {
+        self.cfg.ghost_depth = d;
+        self
+    }
+
+    /// Kernel optimization rung (paper Fig. 8 ladder; default `Simd`).
+    #[must_use]
+    pub fn level(mut self, level: OptLevel) -> Self {
+        self.cfg.level = level;
+        self
+    }
+
+    /// Explicit communication schedule, overriding the rung's paper default
+    /// — the only way to reach [`CommStrategy::NonBlockingEager`], which
+    /// [`CommStrategy::for_level`] never selects.
+    #[must_use]
+    pub fn strategy(mut self, s: CommStrategy) -> Self {
+        self.cfg.strategy = Some(s);
+        self
+    }
+
+    /// Injected link-cost model (default free).
+    #[must_use]
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Multiplicative per-substep compute jitter (OS-noise stand-in).
+    #[must_use]
+    pub fn jitter(mut self, j: f64) -> Self {
+        self.cfg.compute_jitter = j;
+        self
+    }
+
+    /// Deterministic per-rank compute slowdown ramp (node heterogeneity
+    /// stand-in).
+    #[must_use]
+    pub fn compute_skew(mut self, s: f64) -> Self {
+        self.cfg.compute_skew = s;
+        self
+    }
+
+    /// Untimed warmup steps before a [`Simulation::run`] measurement.
+    #[must_use]
+    pub fn warmup(mut self, w: usize) -> Self {
+        self.cfg.warmup = w;
+        self
+    }
+
+    /// Default step count used by the deprecated [`crate::run_distributed`]
+    /// shim ([`Simulation::run`] takes the count explicitly).
+    #[must_use]
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.cfg.steps = steps;
+        self
+    }
+
+    /// Amplitude of the legacy Taylor–Green initial mode used when no
+    /// scenario is plugged in.
+    #[must_use]
+    pub fn init_amplitude(mut self, u0: f64) -> Self {
+        self.cfg.init_u0 = u0;
+        self
+    }
+
+    /// Resolve and validate the configuration without constructing the
+    /// handle — for call sites that drive [`RankSolver`] directly.
+    pub fn build_config(mut self) -> Result<SimConfig> {
+        if !self.tau_explicit {
+            if let Some(s) = &self.cfg.scenario {
+                let lat = Lattice::new(self.cfg.lattice);
+                if let Some(tau) = s.suggested_tau(&lat, self.cfg.global) {
+                    self.cfg.tau = tau;
+                }
+            }
+        }
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// Validate everything and return the typed simulation handle.
+    pub fn build(self) -> Result<Simulation> {
+        Ok(Simulation {
+            cfg: self.build_config()?,
+            local: None,
+        })
+    }
+}
+
+/// A configured simulation: batch-run it distributed, or step it
+/// incrementally and probe observables.
+pub struct Simulation {
+    cfg: SimConfig,
+    /// Lazily-created in-process rank for incremental stepping.
+    local: Option<LocalRank>,
+}
+
+struct LocalRank {
+    solver: RankSolver,
+    comm: Comm,
+}
+
+/// A point-in-time measurement of an incrementally-stepped simulation
+/// (see [`Simulation::probe`]).
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Time steps completed.
+    pub step: u64,
+    /// Total mass over owned cells (solid wall/mask cells included — they
+    /// hold bounced populations, so this is the conserved global mass).
+    pub mass: f64,
+    /// Total momentum over owned cells (solid cells included).
+    pub momentum: [f64; 3],
+    /// Peak |u| over owned *fluid* cells (wall rows and masked cells are
+    /// excluded — their transform state is not a flow velocity).
+    pub max_speed: f64,
+    /// The scenario's profile observable (mean `u_axis(y)` over the fluid
+    /// rows), when the scenario declares one.
+    pub profile: Option<Vec<f64>>,
+}
+
+impl Simulation {
+    /// Start configuring a simulation of a `global` box on `lattice`.
+    pub fn builder(lattice: LatticeKind, global: Dim3) -> SimulationBuilder {
+        SimulationBuilder::new(lattice, global)
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The scenario name (`"taylor_green"` for the legacy default).
+    pub fn scenario_name(&self) -> &'static str {
+        self.cfg.scenario_name()
+    }
+
+    /// Run `steps` timed steps (plus the configured warmup) on this
+    /// simulation's own universe of ranks and report aggregate performance.
+    /// Starts from the scenario's initial state; independent of any
+    /// incremental stepping done through [`Self::step`].
+    pub fn run(&self, steps: usize) -> Result<RunReport> {
+        let mut cfg = self.cfg.clone();
+        cfg.steps = steps;
+        crate::runner::run_config(&cfg)
+    }
+
+    /// Advance the in-process simulation by one time step (single-rank;
+    /// rank-local threads still apply). Created lazily from the scenario's
+    /// initial state on first call.
+    pub fn step(&mut self) -> Result<()> {
+        let local = self.local_mut()?;
+        local.solver.run(&mut local.comm, 1);
+        Ok(())
+    }
+
+    /// Advance the in-process simulation by `n` steps.
+    pub fn run_local(&mut self, n: usize) -> Result<()> {
+        let local = self.local_mut()?;
+        local.solver.run(&mut local.comm, n);
+        Ok(())
+    }
+
+    /// Measure the scenario's observables on the in-process simulation
+    /// (step 0 state if [`Self::step`] has not been called yet).
+    pub fn probe(&mut self) -> Result<Probe> {
+        let scenario = self.cfg.scenario.clone();
+        let global = self.cfg.global;
+        let local = self.local_mut()?;
+        let solver = &local.solver;
+        let (mass, momentum) = solver.local_invariants();
+        let max_speed = observables::max_speed_fluid(&solver.ctx, solver.field(), solver.bounds());
+        let mut profile = None;
+        if let Some(s) = &scenario {
+            for obs in s.observables() {
+                let (axis, z_slice) = match *obs {
+                    ObservableSpec::Profile { axis } => (axis, None),
+                    ObservableSpec::CentreLineProfile { axis } => (axis, Some(global.nz / 2)),
+                    _ => continue,
+                };
+                // The solver resolved the boundary spec once at
+                // construction; the fluid-aware profile skips wall rows and
+                // masked cells, matching max_speed_fluid.
+                profile = Some(observables::u_profile_fluid(
+                    &solver.ctx,
+                    solver.field(),
+                    solver.bounds(),
+                    axis,
+                    z_slice,
+                ));
+                break;
+            }
+        }
+        Ok(Probe {
+            step: solver.steps_done(),
+            mass,
+            momentum,
+            max_speed,
+            profile,
+        })
+    }
+
+    /// The scenario's analytic reference for its profile observable at this
+    /// configuration, if it has one.
+    pub fn reference_profile(&self) -> Option<Vec<f64>> {
+        let s = self.cfg.scenario.as_ref()?;
+        s.reference_solution(
+            &Lattice::new(self.cfg.lattice),
+            self.cfg.tau,
+            self.cfg.global,
+        )
+    }
+
+    fn local_mut(&mut self) -> Result<&mut LocalRank> {
+        if self.cfg.ranks != 1 {
+            return Err(Error::BadDecomposition(format!(
+                "incremental stepping is single-rank; this simulation has {} ranks \
+                 (use run(steps) for distributed execution)",
+                self.cfg.ranks
+            )));
+        }
+        if self.local.is_none() {
+            self.local = Some(LocalRank {
+                solver: RankSolver::new(&self.cfg, 0)?,
+                comm: Universe::solo(self.cfg.cost.clone()),
+            });
+        }
+        Ok(self.local.as_mut().expect("just created"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{LidDrivenCavity, PoiseuilleChannel, TaylorGreen};
+
+    #[test]
+    fn builder_produces_validated_config() {
+        let sim = Simulation::builder(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+            .ranks(2)
+            .ghost_depth(2)
+            .level(OptLevel::Fused)
+            .build()
+            .unwrap();
+        let cfg = sim.config();
+        assert_eq!(cfg.ranks, 2);
+        assert_eq!(cfg.halo_width(), 6);
+        assert_eq!(cfg.eq_order(), EqOrder::Third);
+        assert_eq!(sim.scenario_name(), "taylor_green");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert!(Simulation::builder(LatticeKind::D3Q19, Dim3::cube(8))
+            .tau(0.5)
+            .build()
+            .is_err());
+        assert!(Simulation::builder(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+            .ranks(8)
+            .ghost_depth(2)
+            .build()
+            .is_err());
+        // Scenario-vs-lattice misfit: 1-layer walls on a reach-3 lattice.
+        assert!(Simulation::builder(LatticeKind::D3Q39, Dim3::new(8, 12, 8))
+            .scenario(PoiseuilleChannel::new(1e-5))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn scenario_suggested_tau_applies_unless_overridden() {
+        let g = Dim3::new(4, 13, 13);
+        let sim = Simulation::builder(LatticeKind::D3Q19, g)
+            .scenario(LidDrivenCavity::new(10.0))
+            .build()
+            .unwrap();
+        let want = LidDrivenCavity::new(10.0)
+            .suggested_tau(&Lattice::new(LatticeKind::D3Q19), g)
+            .unwrap();
+        assert_eq!(sim.config().tau, want);
+        let sim = Simulation::builder(LatticeKind::D3Q19, g)
+            .scenario(LidDrivenCavity::new(10.0))
+            .tau(0.93)
+            .build()
+            .unwrap();
+        assert_eq!(sim.config().tau, 0.93);
+    }
+
+    #[test]
+    fn incremental_stepping_probes_the_flow() {
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 11, 8))
+            .scenario(PoiseuilleChannel::new(1e-5))
+            .tau(0.9)
+            .build()
+            .unwrap();
+        let p0 = sim.probe().unwrap();
+        assert_eq!(p0.step, 0);
+        assert_eq!(p0.max_speed, 0.0, "starts at rest");
+        let mass0 = p0.mass;
+        sim.step().unwrap();
+        sim.run_local(49).unwrap();
+        let p = sim.probe().unwrap();
+        assert_eq!(p.step, 50);
+        assert!((p.mass - mass0).abs() < 1e-9 * mass0, "mass conserved");
+        assert!(p.max_speed > 0.0, "force must accelerate the flow");
+        let profile = p.profile.expect("poiseuille declares a profile");
+        assert_eq!(profile.len(), 9);
+        let reference = sim.reference_profile().unwrap();
+        assert_eq!(reference.len(), 9);
+    }
+
+    #[test]
+    fn incremental_stepping_requires_single_rank() {
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 8, 8))
+            .ranks(2)
+            .build()
+            .unwrap();
+        assert!(sim.step().is_err());
+        assert!(sim.run(2).is_ok(), "batch runs still work");
+    }
+
+    #[test]
+    fn batch_run_reports_scenario_name() {
+        let sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 8, 8))
+            .scenario(TaylorGreen::default())
+            .ranks(2)
+            .build()
+            .unwrap();
+        let rep = sim.run(3).unwrap();
+        assert_eq!(rep.scenario, "taylor_green");
+        assert_eq!(rep.steps, 3);
+        assert!(rep.mflups > 0.0);
+    }
+}

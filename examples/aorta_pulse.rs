@@ -19,11 +19,16 @@ use lbm::sim::output;
 use lbm::sim::physics::ChannelSim;
 
 fn main() {
-    let fluid = Dim3::new(48, 25, 25);
+    let small = std::env::var_os("LBM_EXAMPLE_SMALL").is_some();
+    let fluid = if small {
+        Dim3::new(16, 25, 25)
+    } else {
+        Dim3::new(48, 25, 25)
+    };
     let tau = 0.7;
     let g0 = 4e-6;
-    let period = 400usize; // pulse period in steps
-    let cycles = 2usize;
+    let period = if small { 80usize } else { 400 }; // pulse period in steps
+    let cycles = if small { 1usize } else { 2 };
 
     let mut sim = ChannelSim::new(
         LatticeKind::D3Q19,

@@ -17,10 +17,11 @@ fn main() {
         .nth(1)
         .and_then(|s| LatticeKind::parse(&s))
         .unwrap_or(LatticeKind::D3Q39);
+    let small = std::env::var_os("LBM_EXAMPLE_SMALL").is_some();
     let lat = Lattice::new(kind);
     let ranks = 4usize;
-    let planes_per_rank = 24usize;
-    let steps = 60usize;
+    let planes_per_rank = if small { 12usize } else { 24 };
+    let steps = if small { 16usize } else { 60 };
     let global = Dim3::new(ranks * planes_per_rank, 16, 16);
 
     println!("== ghost-depth tuning: {} ==", lat.name());
@@ -40,15 +41,16 @@ fn main() {
     let mut best = (1usize, f64::INFINITY);
     let mut t1 = None;
     for depth in 1..=4usize {
-        let cfg = SimConfig::new(kind, global)
-            .with_ranks(ranks)
-            .with_ghost_depth(depth)
-            .with_steps(steps)
-            .with_warmup(6)
-            .with_level(OptLevel::Simd)
-            .with_strategy(CommStrategy::NonBlockingGhost)
-            .with_cost(cost.clone());
-        match lbm::sim::run_distributed(&cfg) {
+        let result = Simulation::builder(kind, global)
+            .ranks(ranks)
+            .ghost_depth(depth)
+            .warmup(6)
+            .level(OptLevel::Simd)
+            .strategy(CommStrategy::NonBlockingGhost)
+            .cost(cost.clone())
+            .build()
+            .and_then(|sim| sim.run(steps));
+        match result {
             Ok(rep) => {
                 let ms = rep.wall_secs * 1e3;
                 let base = *t1.get_or_insert(ms);

@@ -1,9 +1,11 @@
 //! Quickstart: run both of the paper's velocity models on a periodic
-//! Taylor–Green box, report MFlup/s (paper Eq. 4), and place the numbers on
-//! the machine roofline (paper Eq. 5 / Table II methodology).
+//! Taylor–Green box through the `Simulation` builder API, report MFlup/s
+//! (paper Eq. 4), and place the numbers on the machine roofline (paper
+//! Eq. 5 / Table II methodology).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! LBM_EXAMPLE_SMALL=1 cargo run --release --example quickstart   # CI smoke
 //! ```
 
 use lbm::machine::roofline;
@@ -11,7 +13,13 @@ use lbm::machine::MachineSpec;
 use lbm::prelude::*;
 
 fn main() {
+    let small = std::env::var_os("LBM_EXAMPLE_SMALL").is_some();
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let (global, steps, warmup) = if small {
+        (Dim3::new(32, 16, 16), 6, 1)
+    } else {
+        (Dim3::new(96, 64, 64), 30, 5)
+    };
     println!("== lbm quickstart: D3Q19 (Navier-Stokes) vs D3Q39 (beyond) ==\n");
 
     // Measure this host's roofline inputs, exactly as the paper derives
@@ -25,13 +33,14 @@ fn main() {
 
     for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
         let lat = Lattice::new(kind);
-        let cfg = SimConfig::new(kind, Dim3::new(96, 64, 64))
-            .with_ranks(1)
-            .with_threads(threads)
-            .with_steps(30)
-            .with_warmup(5)
-            .with_level(OptLevel::Simd);
-        let report = lbm::sim::run_distributed(&cfg).expect("run");
+        let sim = Simulation::builder(kind, global)
+            .scenario(TaylorGreen::default())
+            .threads(threads)
+            .warmup(warmup)
+            .level(OptLevel::Fused)
+            .build()
+            .expect("config");
+        let report = sim.run(steps).expect("run");
 
         let traffic = lbm::machine::KernelTraffic::lbm(lat.q(), lat.flops_per_cell());
         let bound = lbm::machine::attainable(&host, &traffic);

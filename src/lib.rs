@@ -11,23 +11,52 @@
 //!   nonblocking semantics and the torus link-cost model (MPI substitute).
 //! * [`machine`] (`lbm-machine`) — Blue Gene/P & /Q machine models, the
 //!   Table II roofline, and host bandwidth/flops measurement.
-//! * [`sim`] (`lbm-sim`) — distributed deep-halo solvers, the Fig. 7/9
-//!   communication schedules, hybrid rank×thread execution, the walled
-//!   physics solver and output writers.
+//! * [`sim`] (`lbm-sim`) — the `Simulation` builder + `Scenario` API over
+//!   the distributed deep-halo solver, the Fig. 7/9 communication
+//!   schedules, hybrid rank×thread execution and output writers.
 //!
 //! ## Quickstart
+//!
+//! Pick a lattice and a box, plug in a scenario, and run — distributed over
+//! ranks × threads at any rung of the paper's optimization ladder:
 //!
 //! ```
 //! use lbm::prelude::*;
 //!
-//! // A small D3Q39 (beyond-Navier-Stokes) run on 2 ranks, ghost depth 2.
-//! let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
-//!     .with_ranks(2)
-//!     .with_ghost_depth(2)
-//!     .with_steps(4);
-//! let report = lbm::sim::run_distributed(&cfg).unwrap();
+//! // Beyond-Navier-Stokes lattice, 2 ranks, the fused top kernel rung.
+//! let sim = Simulation::builder(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+//!     .scenario(TaylorGreen::default())
+//!     .ranks(2)
+//!     .ghost_depth(2)
+//!     .level(OptLevel::Fused)
+//!     .build()
+//!     .unwrap();
+//! let report = sim.run(4).unwrap();
 //! assert!(report.mflups > 0.0);
+//! assert_eq!(report.scenario, "taylor_green");
 //! ```
+//!
+//! Walled and driven flows work the same way — and can also be stepped
+//! incrementally and probed:
+//!
+//! ```
+//! use lbm::prelude::*;
+//!
+//! let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 11, 8))
+//!     .scenario(PoiseuilleChannel::new(1e-5))
+//!     .tau(0.9)
+//!     .build()
+//!     .unwrap();
+//! sim.run_local(100).unwrap();
+//! let probe = sim.probe().unwrap();
+//! assert!(probe.max_speed > 0.0);
+//! assert_eq!(probe.profile.unwrap().len(), 9); // u_x(y) over the fluid rows
+//! ```
+//!
+//! Shipped scenarios: `TaylorGreen`, `PoiseuilleChannel`, `CouetteFlow`,
+//! `LidDrivenCavity`, `KnudsenMicrochannel` — see [`sim::scenario`]. The
+//! pre-redesign entry point `lbm::sim::run_distributed(&SimConfig)` remains
+//! as a deprecated shim over the same machinery.
 
 pub use lbm_comm as comm;
 pub use lbm_core as core;
@@ -39,5 +68,9 @@ pub mod prelude {
     pub use lbm_comm::{Comm, CostModel, Universe};
     pub use lbm_core::prelude::*;
     pub use lbm_machine::{attainable, KernelTraffic, MachineSpec};
-    pub use lbm_sim::{CommStrategy, RunReport, SimConfig};
+    pub use lbm_sim::{
+        CommStrategy, CouetteFlow, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec,
+        PoiseuilleChannel, Probe, RunReport, Scenario, SimConfig, Simulation, SimulationBuilder,
+        TaylorGreen,
+    };
 }

@@ -9,9 +9,10 @@ use lbm::comm::{CostModel, Universe};
 use lbm::prelude::*;
 use lbm::sim::distributed::RankSolver;
 
-fn owned_fields(cfg: &SimConfig, steps: usize) -> Vec<lbm::core::DistField> {
+fn owned_fields(b: &SimulationBuilder, steps: usize) -> Vec<lbm::core::DistField> {
+    let cfg = b.clone().build_config().unwrap();
     Universe::run(cfg.ranks, cfg.cost.clone(), |comm| {
-        let mut s = RankSolver::new(cfg, comm.rank()).unwrap();
+        let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
         s.run(comm, steps);
         s.owned_snapshot()
     })
@@ -25,22 +26,22 @@ fn assert_identical(a: &[lbm::core::DistField], b: &[lbm::core::DistField], what
 
 #[test]
 fn jitter_and_skew_change_only_time() {
-    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
-        .with_ranks(4)
-        .with_level(OptLevel::LoBr);
+    let base = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+        .ranks(4)
+        .level(OptLevel::LoBr);
     let clean = owned_fields(&base, 5);
-    let noisy = owned_fields(&base.clone().with_jitter(0.3).with_compute_skew(0.5), 5);
+    let noisy = owned_fields(&base.jitter(0.3).compute_skew(0.5), 5);
     assert_identical(&clean, &noisy, "jitter/skew must not alter physics");
 }
 
 #[test]
 fn link_costs_change_only_time() {
-    let base = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
-        .with_ranks(2)
-        .with_level(OptLevel::Simd);
+    let base = Simulation::builder(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+        .ranks(2)
+        .level(OptLevel::Simd);
     let free = owned_fields(&base, 4);
     let costly = owned_fields(
-        &base.clone().with_cost(CostModel::torus_ramp(
+        &base.cost(CostModel::torus_ramp(
             Duration::from_micros(300),
             1e9,
             2,
@@ -53,10 +54,10 @@ fn link_costs_change_only_time() {
 
 #[test]
 fn repeated_runs_are_bitwise_reproducible() {
-    let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
-        .with_ranks(3)
-        .with_threads(2)
-        .with_level(OptLevel::Simd);
+    let cfg = Simulation::builder(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+        .ranks(3)
+        .threads(2)
+        .level(OptLevel::Simd);
     let a = owned_fields(&cfg, 5);
     let b = owned_fields(&cfg, 5);
     assert_identical(&a, &b, "same config twice must agree bitwise");
@@ -66,25 +67,24 @@ fn repeated_runs_are_bitwise_reproducible() {
 fn eager_midstep_exchange_does_not_alter_physics() {
     // The no-ghost schedule's extra mid-step scatter exchange writes real
     // halo values into tmp; physics must match the other schedules exactly.
-    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-        .with_ranks(3)
-        .with_level(OptLevel::LoBr);
-    let eager = owned_fields(
-        &base.clone().with_strategy(CommStrategy::NonBlockingEager),
-        6,
-    );
-    let ghost = owned_fields(&base.with_strategy(CommStrategy::NonBlockingGhost), 6);
+    let base = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+        .ranks(3)
+        .level(OptLevel::LoBr);
+    let eager = owned_fields(&base.clone().strategy(CommStrategy::NonBlockingEager), 6);
+    let ghost = owned_fields(&base.strategy(CommStrategy::NonBlockingGhost), 6);
     assert_identical(&eager, &ghost, "schedules must agree");
 }
 
 #[test]
 fn report_is_internally_consistent() {
-    let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
-        .with_ranks(4)
-        .with_steps(8)
-        .with_ghost_depth(2)
-        .with_level(OptLevel::Simd);
-    let rep = lbm::sim::run_distributed(&cfg).unwrap();
+    let rep = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+        .ranks(4)
+        .ghost_depth(2)
+        .level(OptLevel::Simd)
+        .build()
+        .unwrap()
+        .run(8)
+        .unwrap();
     // Eq. 4 bookkeeping: updates = steps × cells; mflups consistent.
     let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
     assert_eq!(updates, 8 * 16 * 8 * 8);
@@ -96,4 +96,6 @@ fn report_is_internally_consistent() {
     assert!(rep.comm_median_secs <= rep.comm_max_secs);
     // Mass equals the initial uniform density times the cell count.
     assert!((rep.mass - (16 * 8 * 8) as f64).abs() < 1e-6);
+    // The legacy default flow is reported as the Taylor–Green scenario.
+    assert_eq!(rep.scenario, "taylor_green");
 }

@@ -7,9 +7,10 @@ use lbm::comm::{CostModel, Universe};
 use lbm::prelude::*;
 use lbm::sim::distributed::RankSolver;
 
-fn owned_fields(cfg: &SimConfig, steps: usize) -> Vec<lbm::core::DistField> {
+fn owned_fields(b: &SimulationBuilder, steps: usize) -> Vec<lbm::core::DistField> {
+    let cfg = b.clone().build_config().unwrap();
     Universe::run(cfg.ranks, cfg.cost.clone(), |comm| {
-        let mut s = RankSolver::new(cfg, comm.rank()).unwrap();
+        let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
         s.run(comm, steps);
         s.owned_snapshot()
     })
@@ -17,12 +18,12 @@ fn owned_fields(cfg: &SimConfig, steps: usize) -> Vec<lbm::core::DistField> {
 
 #[test]
 fn thread_count_does_not_change_results() {
-    let base = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
-        .with_ranks(2)
-        .with_level(OptLevel::LoBr); // hybrid path uses the parallel DH-math kernels
-    let serial = owned_fields(&base.clone().with_threads(1), 4);
+    let base = Simulation::builder(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+        .ranks(2)
+        .level(OptLevel::LoBr); // hybrid path uses the parallel DH-math kernels
+    let serial = owned_fields(&base.clone().threads(1), 4);
     for threads in [2usize, 4] {
-        let hybrid = owned_fields(&base.clone().with_threads(threads), 4);
+        let hybrid = owned_fields(&base.clone().threads(threads), 4);
         for (a, b) in serial.iter().zip(&hybrid) {
             // Parallel two-phase collide is bit-identical to the serial
             // DH-class collide by construction.
@@ -48,11 +49,11 @@ fn rank_thread_tradeoff_preserves_physics() {
     }
 
     for (ranks, threads) in [(8usize, 1usize), (4, 2), (2, 4), (1, 8)] {
-        let cfg = SimConfig::new(LatticeKind::D3Q19, global)
-            .with_ranks(ranks)
-            .with_threads(threads)
-            .with_level(OptLevel::Simd);
-        let fields = owned_fields(&cfg, 5);
+        let b = Simulation::builder(LatticeKind::D3Q19, global)
+            .ranks(ranks)
+            .threads(threads)
+            .level(OptLevel::Simd);
+        let fields = owned_fields(&b, 5);
         let dref = whole.alloc_dims();
         let mut x0 = 0usize;
         let mut max = 0.0f64;
@@ -79,13 +80,15 @@ fn rank_thread_tradeoff_preserves_physics() {
 fn comm_timers_reflect_injected_latency() {
     // With a 5 ms per-message latency and exchange-every-step, a 6-step run
     // must accumulate multiple milliseconds of wait on every rank.
-    let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
-        .with_ranks(4)
-        .with_steps(6)
-        .with_level(OptLevel::LoBr)
-        .with_strategy(CommStrategy::NonBlockingEager)
-        .with_cost(CostModel::uniform(Duration::from_millis(5), f64::INFINITY));
-    let rep = lbm::sim::run_distributed(&cfg).unwrap();
+    let rep = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+        .ranks(4)
+        .level(OptLevel::LoBr)
+        .strategy(CommStrategy::NonBlockingEager)
+        .cost(CostModel::uniform(Duration::from_millis(5), f64::INFINITY))
+        .build()
+        .unwrap()
+        .run(6)
+        .unwrap();
     assert!(
         rep.comm_min_secs > 0.015,
         "min comm {} too small",
@@ -103,15 +106,18 @@ fn comm_timers_reflect_injected_latency() {
 fn deep_halo_cuts_message_count_not_bytes() {
     // The paper's §V-A claim: same data volume, fewer messages.
     let mk = |depth: usize| {
-        SimConfig::new(LatticeKind::D3Q19, Dim3::new(24, 8, 8))
-            .with_ranks(2)
-            .with_ghost_depth(depth)
-            .with_steps(12)
-            .with_level(OptLevel::LoBr)
-            .with_strategy(CommStrategy::NonBlockingGhost)
+        Simulation::builder(LatticeKind::D3Q19, Dim3::new(24, 8, 8))
+            .ranks(2)
+            .ghost_depth(depth)
+            .level(OptLevel::LoBr)
+            .strategy(CommStrategy::NonBlockingGhost)
+            .build()
+            .unwrap()
+            .run(12)
+            .unwrap()
     };
-    let d1 = lbm::sim::run_distributed(&mk(1)).unwrap();
-    let d3 = lbm::sim::run_distributed(&mk(3)).unwrap();
+    let d1 = mk(1);
+    let d3 = mk(3);
     let msgs = |r: &lbm::sim::RunReport| -> u64 { r.per_rank.iter().map(|p| p.messages).sum() };
     let bytes = |r: &lbm::sim::RunReport| -> u64 { r.per_rank.iter().map(|p| p.bytes).sum() };
     assert!(
@@ -135,20 +141,27 @@ fn deep_halo_cuts_message_count_not_bytes() {
 fn overlap_schedule_hides_latency() {
     // With latency comparable to a step's compute, GC-C must show less wait
     // time than the eager schedule — the mechanism of the paper's Fig. 9.
-    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(32, 16, 16))
-        .with_ranks(4)
-        .with_steps(10)
-        .with_warmup(2)
-        .with_level(OptLevel::Simd)
-        .with_cost(CostModel::uniform(
+    let base = Simulation::builder(LatticeKind::D3Q19, Dim3::new(32, 16, 16))
+        .ranks(4)
+        .warmup(2)
+        .level(OptLevel::Simd)
+        .cost(CostModel::uniform(
             Duration::from_micros(500),
             f64::INFINITY,
         ));
-    let eager =
-        lbm::sim::run_distributed(&base.clone().with_strategy(CommStrategy::NonBlockingEager))
-            .unwrap();
-    let overlap =
-        lbm::sim::run_distributed(&base.with_strategy(CommStrategy::OverlapGhostCollide)).unwrap();
+    let eager = base
+        .clone()
+        .strategy(CommStrategy::NonBlockingEager)
+        .build()
+        .unwrap()
+        .run(10)
+        .unwrap();
+    let overlap = base
+        .strategy(CommStrategy::OverlapGhostCollide)
+        .build()
+        .unwrap()
+        .run(10)
+        .unwrap();
     assert!(
         overlap.comm_median_secs < eager.comm_median_secs,
         "overlap {:.4}s should beat eager {:.4}s",

@@ -7,9 +7,10 @@ use lbm::comm::{CostModel, Universe};
 use lbm::prelude::*;
 use lbm::sim::distributed::RankSolver;
 
-fn owned_fields(cfg: &SimConfig, steps: usize) -> Vec<lbm::core::DistField> {
+fn owned_fields(b: &SimulationBuilder, steps: usize) -> Vec<lbm::core::DistField> {
+    let cfg = b.clone().build_config().unwrap();
     Universe::run(cfg.ranks, CostModel::free(), |comm| {
-        let mut s = RankSolver::new(cfg, comm.rank()).unwrap();
+        let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
         s.run(comm, steps);
         s.owned_snapshot()
     })
@@ -24,11 +25,10 @@ fn max_diff(a: &[lbm::core::DistField], b: &[lbm::core::DistField]) -> f64 {
 
 #[test]
 fn all_rungs_produce_the_same_flow_q19() {
-    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8)).with_ranks(4);
-    let reference = owned_fields(&base.clone().with_level(OptLevel::Orig), 8);
+    let base = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8)).ranks(4);
+    let reference = owned_fields(&base.clone().level(OptLevel::Orig), 8);
     for level in OptLevel::ALL {
-        let cfg = base.clone().with_level(level);
-        let got = owned_fields(&cfg, 8);
+        let got = owned_fields(&base.clone().level(level), 8);
         let d = max_diff(&reference, &got);
         assert!(d < 1e-11, "{}: diff {d}", level.name());
     }
@@ -36,11 +36,10 @@ fn all_rungs_produce_the_same_flow_q19() {
 
 #[test]
 fn all_rungs_produce_the_same_flow_q39() {
-    let base = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8)).with_ranks(2);
-    let reference = owned_fields(&base.clone().with_level(OptLevel::Orig), 5);
+    let base = Simulation::builder(LatticeKind::D3Q39, Dim3::new(12, 8, 8)).ranks(2);
+    let reference = owned_fields(&base.clone().level(OptLevel::Orig), 5);
     for level in OptLevel::ALL {
-        let cfg = base.clone().with_level(level);
-        let got = owned_fields(&cfg, 5);
+        let got = owned_fields(&base.clone().level(level), 5);
         let d = max_diff(&reference, &got);
         assert!(d < 1e-11, "{}: diff {d}", level.name());
     }
@@ -49,9 +48,11 @@ fn all_rungs_produce_the_same_flow_q39() {
 #[test]
 fn ladder_rungs_conserve_mass_and_momentum() {
     for level in [OptLevel::Orig, OptLevel::Dh, OptLevel::Simd] {
-        let cfg = SimConfig::new(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
-            .with_ranks(3)
-            .with_level(level);
+        let cfg = Simulation::builder(LatticeKind::D3Q39, Dim3::new(12, 8, 8))
+            .ranks(3)
+            .level(level)
+            .build_config()
+            .unwrap();
         let out = Universe::run(cfg.ranks, CostModel::free(), |comm| {
             let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
             let before = s.global_invariants(comm);
@@ -74,14 +75,11 @@ fn ladder_rungs_conserve_mass_and_momentum() {
 #[test]
 fn deep_halo_and_strategy_grid_equivalence() {
     // depth × strategy grid must all agree with the depth-1 blocking run.
-    let base = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
-        .with_ranks(2)
-        .with_level(OptLevel::LoBr);
+    let base = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+        .ranks(2)
+        .level(OptLevel::LoBr);
     let reference = owned_fields(
-        &base
-            .clone()
-            .with_ghost_depth(1)
-            .with_strategy(CommStrategy::Blocking),
+        &base.clone().ghost_depth(1).strategy(CommStrategy::Blocking),
         6,
     );
     for depth in [1usize, 2, 3] {
@@ -91,8 +89,7 @@ fn deep_halo_and_strategy_grid_equivalence() {
             CommStrategy::NonBlockingGhost,
             CommStrategy::OverlapGhostCollide,
         ] {
-            let cfg = base.clone().with_ghost_depth(depth).with_strategy(strategy);
-            let got = owned_fields(&cfg, 6);
+            let got = owned_fields(&base.clone().ghost_depth(depth).strategy(strategy), 6);
             let d = max_diff(&reference, &got);
             assert_eq!(
                 d,

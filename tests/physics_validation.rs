@@ -17,11 +17,13 @@ fn distributed_taylor_green_viscosity() {
         let n = 16usize;
         let steps = 60usize;
         let tau = 0.9;
-        let cfg = SimConfig::new(kind, Dim3::cube(n))
-            .with_ranks(2)
-            .with_ghost_depth(2)
-            .with_tau(tau)
-            .with_level(OptLevel::Simd);
+        let cfg = Simulation::builder(kind, Dim3::cube(n))
+            .ranks(2)
+            .ghost_depth(2)
+            .tau(tau)
+            .level(OptLevel::Simd)
+            .build_config()
+            .unwrap();
         let amps: Vec<(f64, f64)> = Universe::run(cfg.ranks, CostModel::free(), |comm| {
             let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
             let a0 = observables::max_speed(&s.ctx, s.field());

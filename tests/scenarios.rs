@@ -1,0 +1,328 @@
+//! Acceptance tests for the `Scenario` + `Simulation` builder redesign:
+//! every shipped scenario must run on the fast distributed stack (ranks ≥ 2,
+//! the `Fused` top rung of the optimization ladder) with mass conserved, be
+//! bitwise independent of rank-local threading, and — where an analytic
+//! answer exists — validate against it.
+
+use lbm::core::validate::l2_error;
+use lbm::prelude::*;
+use lbm::sim::scenario::ScenarioHandle;
+
+/// Every shipped scenario as a `(name, handle)` pair on comparable boxes.
+fn all_scenarios() -> Vec<(&'static str, ScenarioHandle, Dim3)> {
+    vec![
+        (
+            "taylor_green",
+            ScenarioHandle::new(TaylorGreen::default()),
+            Dim3::new(12, 8, 8),
+        ),
+        (
+            "poiseuille_channel",
+            ScenarioHandle::new(PoiseuilleChannel::new(1e-5)),
+            Dim3::new(8, 11, 8),
+        ),
+        (
+            "couette_flow",
+            ScenarioHandle::new(CouetteFlow::new(0.04)),
+            Dim3::new(8, 11, 8),
+        ),
+        (
+            "lid_driven_cavity",
+            ScenarioHandle::new(LidDrivenCavity::new(10.0)),
+            Dim3::new(8, 13, 13),
+        ),
+        (
+            "knudsen_microchannel",
+            ScenarioHandle::new(KnudsenMicrochannel::new(0.2).with_layers(1)),
+            Dim3::new(8, 11, 8),
+        ),
+    ]
+}
+
+fn builder_for(s: &ScenarioHandle, global: Dim3) -> SimulationBuilder {
+    // ScenarioHandle implements Scenario itself, so parametric test code can
+    // feed handles straight into the builder.
+    Simulation::builder(LatticeKind::D3Q19, global).scenario(s.clone())
+}
+
+/// Acceptance: all five scenarios run distributed (2 and 3 ranks) at
+/// `OptLevel::Fused` with global mass conserved to 1e-9 relative.
+#[test]
+fn all_scenarios_run_distributed_at_fused_with_mass_conserved() {
+    for (name, scenario, global) in all_scenarios() {
+        for ranks in [2usize, 3] {
+            let sim = builder_for(&scenario, global)
+                .ranks(ranks)
+                .level(OptLevel::Fused)
+                .build()
+                .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+            let rep = sim.run(20).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(rep.scenario, name);
+            let expected = (global.nx * global.ny * global.nz) as f64;
+            assert!(
+                (rep.mass - expected).abs() < 1e-9 * expected,
+                "{name} ({ranks} ranks): mass {} vs {expected}",
+                rep.mass
+            );
+        }
+    }
+}
+
+/// Acceptance: scenario results are bitwise identical serial vs threaded at
+/// a fixed rank count — including at the Fused rung and with deep halos.
+#[test]
+fn scenario_results_are_bitwise_identical_serial_vs_threaded() {
+    use lbm::comm::Universe;
+    use lbm::sim::distributed::RankSolver;
+
+    for (name, scenario, global) in all_scenarios() {
+        let base = builder_for(&scenario, global)
+            .ranks(2)
+            .level(OptLevel::Fused);
+        let run = |threads: usize| {
+            let cfg = base.clone().threads(threads).build_config().unwrap();
+            Universe::run(cfg.ranks, CostModel::free(), |comm| {
+                let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+                s.run(comm, 10);
+                s.owned_snapshot()
+            })
+        };
+        let serial = run(1);
+        let threaded = run(4);
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.max_abs_diff_owned(b), 0.0, "{name}: threads changed bits");
+        }
+    }
+}
+
+/// Acceptance: scenario results are independent of the rank count (1 vs 3),
+/// at every ladder rung class that matters (LoBr split vs Fused).
+#[test]
+fn scenario_results_are_rank_count_invariant() {
+    use lbm::comm::Universe;
+    use lbm::sim::distributed::RankSolver;
+
+    for (name, scenario, global) in all_scenarios() {
+        for level in [OptLevel::LoBr, OptLevel::Fused] {
+            let base = builder_for(&scenario, global).level(level);
+            let owned = |ranks: usize| {
+                let cfg = base.clone().ranks(ranks).build_config().unwrap();
+                Universe::run(cfg.ranks, CostModel::free(), |comm| {
+                    let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+                    s.run(comm, 8);
+                    s.owned_snapshot()
+                })
+            };
+            let single = owned(1);
+            let multi = owned(3);
+            let whole = &single[0];
+            let dw = whole.alloc_dims();
+            let mut x0 = 0usize;
+            let mut max = 0.0f64;
+            for part in multi {
+                let dp = part.alloc_dims();
+                for i in 0..part.q() {
+                    for x in 0..dp.nx {
+                        let a = dw.idx(x0 + x, 0, 0);
+                        let b = dp.idx(x, 0, 0);
+                        for p in 0..dw.plane() {
+                            max = max.max((whole.slab(i)[a + p] - part.slab(i)[b + p]).abs());
+                        }
+                    }
+                }
+                x0 += dp.nx;
+            }
+            assert!(
+                max < 1e-13,
+                "{name} at {}: decomposition changed the flow by {max}",
+                level.name()
+            );
+        }
+    }
+}
+
+/// Acceptance: distributed Poiseuille at the Fused rung converges to the
+/// analytic parabola with < 2% L2 error.
+#[test]
+fn poiseuille_validates_against_parabola_distributed_fused() {
+    let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 19, 8))
+        .scenario(PoiseuilleChannel::new(1e-5))
+        .tau(0.9)
+        .level(OptLevel::Fused)
+        .build()
+        .unwrap();
+    // Distributed run first: same scenario must execute on 2 ranks at Fused.
+    let rep = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 19, 8))
+        .scenario(PoiseuilleChannel::new(1e-5))
+        .tau(0.9)
+        .ranks(2)
+        .level(OptLevel::Fused)
+        .build()
+        .unwrap()
+        .run(50)
+        .unwrap();
+    assert_eq!(rep.scenario, "poiseuille_channel");
+    // Convergence to steady state via the incremental path.
+    sim.run_local(4000).unwrap();
+    let probe = sim.probe().unwrap();
+    let measured = probe.profile.expect("poiseuille declares a profile");
+    let reference = sim.reference_profile().expect("analytic parabola");
+    // l2_error is already normalised by the reference.
+    let err = l2_error(&measured, &reference);
+    assert!(err < 0.02, "Poiseuille relative L2 error {err:.4} ≥ 2%");
+}
+
+/// Acceptance: Couette converges to the linear profile.
+#[test]
+fn couette_validates_against_linear_profile() {
+    let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 17, 8))
+        .scenario(CouetteFlow::new(0.04))
+        .tau(0.8)
+        .build()
+        .unwrap();
+    sim.run_local(4000).unwrap();
+    let probe = sim.probe().unwrap();
+    let measured = probe.profile.unwrap();
+    let reference = sim.reference_profile().unwrap();
+    let err = l2_error(&measured, &reference);
+    assert!(err < 0.05, "Couette relative L2 error {err:.4} ≥ 5%");
+}
+
+/// Acceptance: the lid-driven cavity centre-line profile is qualitatively
+/// right (Hou et al.): strong co-moving flow under the lid, a return
+/// current below, one sign change in between.
+#[test]
+fn lid_driven_cavity_centre_line_is_qualitatively_correct() {
+    let u_lid = 0.05;
+    let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 15, 15))
+        .scenario(LidDrivenCavity::new(10.0))
+        .build()
+        .unwrap();
+    sim.run_local(3000).unwrap();
+    let probe = sim.probe().unwrap();
+    // u_z along the vertical centre-line, floor row first.
+    let profile = probe
+        .profile
+        .expect("cavity declares a centre-line profile");
+    assert_eq!(profile.len(), 13);
+    let top = *profile.last().unwrap();
+    assert!(
+        top > 0.3 * u_lid,
+        "near-lid fluid must co-move with the lid: {top} vs u_lid {u_lid}"
+    );
+    let min = profile.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        min < -0.02 * u_lid,
+        "cavity must develop a return current: min u_z = {min}"
+    );
+    // Exactly one sign change along the centre line (primary vortex).
+    let crossings = profile
+        .windows(2)
+        .filter(|w| (w[0] < 0.0) != (w[1] < 0.0))
+        .count();
+    assert_eq!(crossings, 1, "profile {profile:?}");
+    // And mass is conserved through the whole transient.
+    let cells = (4 * 15 * 15) as f64;
+    assert!((probe.mass - cells).abs() < 1e-9 * cells);
+}
+
+/// Acceptance: diffuse (kinetic) walls at finite Kn produce wall slip that
+/// bounce-back walls cannot, and the flow exceeds the no-slip parabola.
+#[test]
+fn knudsen_microchannel_develops_slip() {
+    // Kn = 0.06 puts τ ≈ 1.85: firmly in the slip regime, but below the
+    // large-τ range where bounce-back's own O(ν) wall artifact would blur
+    // the kinetic-vs-no-slip contrast this test asserts.
+    let mut kinetic = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 15, 8))
+        .scenario(KnudsenMicrochannel::new(0.06).with_layers(1))
+        .build()
+        .unwrap();
+    kinetic.run_local(2500).unwrap();
+    let p = kinetic.probe().unwrap().profile.unwrap();
+    let wall = 0.5 * (p[0] + p[p.len() - 1]);
+    let centre = p[p.len() / 2];
+    assert!(centre > 0.0);
+    let slip_ratio = wall / centre;
+    assert!(
+        slip_ratio > 0.15,
+        "expected kinetic slip, got ratio {slip_ratio} ({p:?})"
+    );
+
+    // Same τ and force with no-slip walls: far less wall velocity.
+    let tau = kinetic.config().tau;
+    let mut noslip = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 15, 8))
+        .scenario(PoiseuilleChannel::new(5e-6))
+        .tau(tau)
+        .build()
+        .unwrap();
+    noslip.run_local(2500).unwrap();
+    let pn = noslip.probe().unwrap().profile.unwrap();
+    let ns_ratio = 0.5 * (pn[0] + pn[pn.len() - 1]) / pn[pn.len() / 2];
+    assert!(
+        slip_ratio > 2.0 * ns_ratio,
+        "diffuse slip {slip_ratio} should far exceed bounce-back {ns_ratio}"
+    );
+}
+
+/// Satellite: `CommStrategy::NonBlockingEager` is reachable end-to-end
+/// through the builder's explicit-strategy path (`for_level` never selects
+/// it), and computes the identical flow — scenarios included.
+#[test]
+fn explicit_eager_strategy_is_reachable_and_equivalent() {
+    // Not selectable implicitly from any rung…
+    for level in OptLevel::ALL {
+        assert_ne!(
+            CommStrategy::for_level(level),
+            CommStrategy::NonBlockingEager,
+            "{}",
+            level.name()
+        );
+    }
+    // …but explicit through the builder, surviving to the report label.
+    let base = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 11, 8))
+        .scenario(PoiseuilleChannel::new(1e-5))
+        .tau(0.9)
+        .ranks(3)
+        .level(OptLevel::Fused);
+    let eager = base
+        .clone()
+        .strategy(CommStrategy::NonBlockingEager)
+        .build()
+        .unwrap();
+    let rep = eager.run(12).unwrap();
+    assert_eq!(rep.strategy, CommStrategy::NonBlockingEager.label());
+
+    // Distributed equivalence: the eager schedule must compute bitwise the
+    // same flow as the rung's default overlap schedule.
+    use lbm::comm::Universe;
+    use lbm::sim::distributed::RankSolver;
+    let owned = |strategy: CommStrategy| {
+        let cfg = base.clone().strategy(strategy).build_config().unwrap();
+        Universe::run(cfg.ranks, CostModel::free(), |comm| {
+            let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+            s.run(comm, 12);
+            s.owned_snapshot()
+        })
+    };
+    let eager = owned(CommStrategy::NonBlockingEager);
+    let overlap = owned(CommStrategy::OverlapGhostCollide);
+    for (a, b) in eager.iter().zip(&overlap) {
+        assert_eq!(a.max_abs_diff_owned(b), 0.0, "schedules must agree");
+    }
+}
+
+/// The deprecated `run_distributed` shim still works for scenario configs.
+#[test]
+fn deprecated_run_distributed_shim_carries_scenarios() {
+    let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 11, 8))
+        .scenario(CouetteFlow::new(0.03))
+        .ranks(2)
+        .level(OptLevel::Fused)
+        .build_config()
+        .unwrap();
+    #[allow(deprecated)]
+    let rep = lbm::sim::run_distributed(&cfg).unwrap();
+    assert_eq!(rep.scenario, "couette_flow");
+    let cells = (8 * 11 * 8) as f64;
+    assert!((rep.mass - cells).abs() < 1e-9 * cells);
+}
