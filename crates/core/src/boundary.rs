@@ -80,6 +80,17 @@ impl ChannelWalls {
         self.layers..ny - self.layers
     }
 
+    /// The wall transform owning allocated row `y` (`None` for fluid rows).
+    pub fn row_kind(&self, ny: usize, y: usize) -> Option<WallKind> {
+        if y < self.layers {
+            Some(self.low)
+        } else if y >= ny - self.layers {
+            Some(self.high)
+        } else {
+            None
+        }
+    }
+
     /// Number of fluid rows for an allocated y extent `ny`.
     pub fn fluid_height(&self, ny: usize) -> usize {
         ny - 2 * self.layers
@@ -240,6 +251,12 @@ impl BoundarySpec {
             Some(w) => w.fluid_y(ny),
             None => 0..ny,
         }
+    }
+
+    /// The wall transform owning allocated row `y`, if `y` is a solid wall
+    /// row (the per-row dispatch of the fused scenario kernels).
+    pub fn wall_row_kind(&self, ny: usize, y: usize) -> Option<WallKind> {
+        self.y_walls.as_ref().and_then(|w| w.row_kind(ny, y))
     }
 
     /// Whether cell (y, z) collides as fluid (inside the fluid y range and

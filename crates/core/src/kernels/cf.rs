@@ -11,8 +11,9 @@
 //! arithmetic the checked DH kernel uses, with the containment proved by the
 //! `debug_assert!`s at entry and exercised by the equivalence tests.
 
+use crate::boundary::BoundarySpec;
 use crate::field::DistField;
-use crate::kernels::dh::ZB;
+use crate::kernels::op::{self, PlainBgk};
 use crate::kernels::{KernelCtx, StreamTables};
 
 /// CF stream: the DH rotate-copy structure with unchecked row slicing.
@@ -68,93 +69,12 @@ pub fn stream(
     }
 }
 
-/// CF collide: DH's two-pass line-blocked update over raw slab pointers.
+/// CF collide: DH's two-pass line-blocked update over raw slab pointers —
+/// the [`PlainBgk`] periodic instantiation of the shared cell-operator body
+/// in [`crate::kernels::op`] (the same code the scenario drivers
+/// monomorphize with walls, masks and forcing plugged in).
 pub fn collide(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
-    if ctx.third_order() {
-        collide_impl::<true>(ctx, f, x_lo, x_hi);
-    } else {
-        collide_impl::<false>(ctx, f, x_lo, x_hi);
-    }
-}
-
-fn collide_impl<const THIRD: bool>(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
-    let d = f.alloc_dims();
-    let q = ctx.lat.q();
-    let k = &ctx.consts;
-    let omega = ctx.omega;
-    let slab_len = f.slab_len();
-    debug_assert!(x_hi <= d.nx);
-    let data = f.as_mut_slice();
-    let base_ptr = data.as_mut_ptr();
-    let total = data.len();
-
-    let mut rho = [0.0f64; ZB];
-    let mut mx = [0.0f64; ZB];
-    let mut my = [0.0f64; ZB];
-    let mut mz = [0.0f64; ZB];
-    let mut ux = [0.0f64; ZB];
-    let mut uy = [0.0f64; ZB];
-    let mut uz = [0.0f64; ZB];
-    let mut u2 = [0.0f64; ZB];
-
-    for x in x_lo..x_hi {
-        for y in 0..d.ny {
-            let base = d.idx(x, y, 0);
-            let mut z0 = 0;
-            while z0 < d.nz {
-                let blk = (d.nz - z0).min(ZB);
-                rho[..blk].fill(0.0);
-                mx[..blk].fill(0.0);
-                my[..blk].fill(0.0);
-                mz[..blk].fill(0.0);
-                for i in 0..q {
-                    let c = k.c[i];
-                    let off = i * slab_len + base + z0;
-                    debug_assert!(off + blk <= total);
-                    // SAFETY: off+blk ≤ q*slab_len, shown by the line/block
-                    // construction; single mutable borrow held by this fn.
-                    let p = unsafe { base_ptr.add(off) };
-                    for j in 0..blk {
-                        let fv = unsafe { *p.add(j) };
-                        rho[j] += fv;
-                        mx[j] += fv * c[0];
-                        my[j] += fv * c[1];
-                        mz[j] += fv * c[2];
-                    }
-                }
-                for j in 0..blk {
-                    let inv = 1.0 / rho[j];
-                    ux[j] = mx[j] * inv;
-                    uy[j] = my[j] * inv;
-                    uz[j] = mz[j] * inv;
-                    u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
-                }
-                for i in 0..q {
-                    let c = k.c[i];
-                    let w = k.w[i];
-                    let off = i * slab_len + base + z0;
-                    debug_assert!(off + blk <= total);
-                    // SAFETY: as above.
-                    let p = unsafe { base_ptr.add(off) };
-                    for j in 0..blk {
-                        let xi = c[0] * ux[j] + c[1] * uy[j] + c[2] * uz[j];
-                        let mut poly =
-                            1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2[j] * k.inv_2cs2;
-                        if THIRD {
-                            poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
-                        }
-                        let feq = w * rho[j] * poly;
-                        // SAFETY: j < blk, in-bounds per the off+blk check.
-                        unsafe {
-                            let fv = *p.add(j);
-                            *p.add(j) = fv + omega * (feq - fv);
-                        }
-                    }
-                }
-                z0 += blk;
-            }
-        }
-    }
+    op::collide_cells(ctx, f, x_lo, x_hi, PlainBgk, &BoundarySpec::periodic());
 }
 
 #[cfg(test)]

@@ -1,27 +1,27 @@
 //! Scenario collide: BGK with optional Guo forcing, restricted to fluid
 //! cells (y-wall rows and masked cells skipped).
 //!
-//! This is the collide half used whenever a run has boundary conditions or a
-//! body force — the walled/driven flows that motivate the paper (§I). The
-//! per-cell update is the Guo scheme: the macroscopic velocity is shifted by
-//! half the force, `u = (Σ f c + G/2)/ρ`, the BGK relaxation targets
-//! `f^eq(ρ, u)`, and the source `S_i` is added post-relaxation. With `G = 0`
-//! the shift and source vanish and this is a plain fluid-row-restricted BGK
-//! collide.
+//! This is the scalar-class collide half used by the `Orig`…`LoBr` rungs
+//! whenever a run has boundary conditions or a body force — the
+//! walled/driven flows that motivate the paper (§I). Since the
+//! [`CollideOp`](crate::kernels::op::CollideOp) refactor these entry points
+//! are thin instantiations of the shared boundary-aware drivers in
+//! [`crate::kernels::op`] and [`crate::kernels::par`]: the per-cell rule is
+//! [`GuoForced`] (half-force velocity shift `u = (Σ f c + G/2)/ρ`, BGK
+//! relaxation toward `f^eq(ρ, u)`, source `S_i` post-relaxation) or, for
+//! `G = 0`, the monomorphized [`PlainBgk`] rule — the identical code path
+//! the periodic CF/LoBr collide compiles to.
 //!
 //! The serial and rayon drivers run the identical per-cell arithmetic in the
 //! identical order over disjoint x-plane chunks, so threaded scenario runs
 //! are bit-identical to serial runs — the same guarantee the periodic ladder
-//! kernels give.
-
-use rayon::prelude::*;
+//! kernels give. The SIMD- and Fused-class scenario variants live in
+//! [`crate::kernels::simd`] and [`crate::kernels::fused_simd`].
 
 use crate::boundary::BoundarySpec;
-use crate::collision::guo_source_i;
-use crate::equilibrium::feq_i_consts;
 use crate::field::DistField;
-use crate::kernels::par::SendPtr;
-use crate::kernels::{KernelCtx, MAX_Q};
+use crate::kernels::op;
+use crate::kernels::KernelCtx;
 
 /// Serial scenario collide over planes `x ∈ [x_lo, x_hi)`: BGK + Guo forcing
 /// `g` on every fluid cell of `bounds`, leaving wall rows and masked cells
@@ -35,17 +35,9 @@ pub fn collide_forced(
     g: [f64; 3],
     bounds: &BoundarySpec,
 ) {
-    if x_lo >= x_hi {
-        return;
-    }
-    let d = f.alloc_dims();
-    debug_assert!(x_hi <= d.nx);
-    let total = f.as_slice().len();
-    let slab_len = f.slab_len();
-    let ptr = f.as_mut_ptr();
-    // SAFETY: single caller with exclusive &mut access; offsets bounded by
-    // the layout contract checked in collide_forced_planes.
-    unsafe { collide_forced_planes(ptr, total, slab_len, ctx, g, bounds, d, x_lo, x_hi) }
+    op::with_op!(g, |rule| op::collide_cells(
+        ctx, f, x_lo, x_hi, rule, bounds
+    ));
 }
 
 /// Rayon-parallel scenario collide: disjoint x-plane chunks each running the
@@ -58,93 +50,9 @@ pub fn collide_forced_par(
     g: [f64; 3],
     bounds: &BoundarySpec,
 ) {
-    if x_lo >= x_hi {
-        return;
-    }
-    let d = f.alloc_dims();
-    debug_assert!(x_hi <= d.nx);
-    let total = f.as_slice().len();
-    let slab_len = f.slab_len();
-    let base = SendPtr(f.as_mut_ptr());
-    let planes = x_hi - x_lo;
-    let chunks = (rayon::current_num_threads().max(1) * 4).min(planes).max(1);
-    (0..chunks).into_par_iter().for_each(|c| {
-        let (lo, hi) = super::par::chunk_bounds(x_lo, planes, chunks, c);
-        if lo >= hi {
-            return;
-        }
-        let p = base;
-        // SAFETY: [lo, hi) ranges partition [x_lo, x_hi); each task writes
-        // only offsets i·slab_len + idx(x,·,·) with x ∈ [lo, hi), which are
-        // disjoint between tasks.
-        unsafe { collide_forced_planes(p.0, total, slab_len, ctx, g, bounds, d, lo, hi) }
-    });
-}
-
-/// The shared per-plane body.
-///
-/// # Safety
-/// `base_ptr` must point to `total = q·slab_len` initialised doubles laid
-/// out as consecutive velocity slabs of a field with allocated dims `d`; the
-/// caller must guarantee exclusive access to the x-planes `[x_lo, x_hi)`.
-#[allow(clippy::too_many_arguments)]
-unsafe fn collide_forced_planes(
-    base_ptr: *mut f64,
-    total: usize,
-    slab_len: usize,
-    ctx: &KernelCtx,
-    g: [f64; 3],
-    bounds: &BoundarySpec,
-    d: crate::index::Dim3,
-    x_lo: usize,
-    x_hi: usize,
-) {
-    let q = ctx.lat.q();
-    let k = &ctx.consts;
-    let third = ctx.third_order();
-    let omega = ctx.omega;
-    let forced = g != [0.0; 3];
-    let fluid_y = bounds.fluid_y(d.ny);
-    let mask = bounds.mask();
-    let mut cell = [0.0f64; MAX_Q];
-    for x in x_lo..x_hi {
-        for y in fluid_y.clone() {
-            for z in 0..d.nz {
-                if mask.is_some_and(|m| m.is_solid(y, z)) {
-                    continue;
-                }
-                let lin = d.idx(x, y, z);
-                debug_assert!((q - 1) * slab_len + lin < total);
-                let mut rho = 0.0;
-                let mut mom = [0.0f64; 3];
-                for (i, fv) in cell[..q].iter_mut().enumerate() {
-                    // SAFETY: offset bounded by the layout contract above.
-                    *fv = unsafe { *base_ptr.add(i * slab_len + lin) };
-                    let c = k.c[i];
-                    rho += *fv;
-                    mom[0] += *fv * c[0];
-                    mom[1] += *fv * c[1];
-                    mom[2] += *fv * c[2];
-                }
-                // Guo half-force velocity shift (g is a force density).
-                let inv = 1.0 / rho;
-                let u = [
-                    (mom[0] + 0.5 * g[0]) * inv,
-                    (mom[1] + 0.5 * g[1]) * inv,
-                    (mom[2] + 0.5 * g[2]) * inv,
-                ];
-                for (i, fv) in cell[..q].iter_mut().enumerate() {
-                    let fe = feq_i_consts(k, third, i, rho, u);
-                    let mut next = *fv + omega * (fe - *fv);
-                    if forced {
-                        next += guo_source_i(&ctx.lat, i, u, g, omega);
-                    }
-                    // SAFETY: same offset as the gather above.
-                    unsafe { *base_ptr.add(i * slab_len + lin) = next };
-                }
-            }
-        }
-    }
+    op::with_op!(g, |rule| super::par::collide_cells_par(
+        ctx, f, x_lo, x_hi, rule, bounds, false
+    ));
 }
 
 #[cfg(test)]

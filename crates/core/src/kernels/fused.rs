@@ -9,14 +9,33 @@
 //! read+write, collide read+write) — halving the traffic that Table II
 //! proves is the binding constraint.
 //!
-//! The fused kernel is the `Fused` top rung of the extended ladder
-//! ([`crate::kernels::OptLevel::Fused`]): this module holds the scalar
-//! variant, [`crate::kernels::fused_simd`] the AVX2+FMA one, and
-//! [`crate::kernels::par::stream_collide_par`] the threaded driver. The
+//! The kernel is generic over the cell operator
+//! ([`crate::kernels::op::CollideOp`]) *and* boundary-aware, so the fused
+//! top rung also runs walled/forced scenarios in one pass. The key
+//! observation is that the split scenario pipeline's three phases touch
+//! disjoint state: the boundary transform rewrites only *solid* cells from
+//! their own arrivals, and the collide rewrites only *fluid* cells from
+//! their own arrivals — so one sweep can dispatch per row/cell:
+//!
+//! * fluid cells — gather (= the pull-stream), accumulate moments, relax
+//!   under the operator (plain or Guo-forced), store;
+//! * wall rows — gather, then store the wall transform of the gathered
+//!   arrivals (bounce-back / moving / Maxwell-diffuse — identical
+//!   arithmetic to [`crate::boundary::BoundarySpec::apply`]);
+//! * masked cells — the full-way bounce-back of their gathered arrivals.
+//!
+//! The result is bitwise identical to the split stream → boundary-apply →
+//! forced-collide pipeline while keeping the fused rung's `2·Q·8` traffic.
+//!
+//! This module holds the scalar variant, [`crate::kernels::fused_simd`] the
+//! AVX2+FMA one, and [`crate::kernels::par`] the threaded drivers. The
 //! ablation benchmark (`cargo bench -p lbm-bench kernels`) quantifies what
 //! the paper predicted.
 
+use crate::boundary::{BoundarySpec, WallKind};
+use crate::equilibrium::{feq_i, EqOrder};
 use crate::field::DistField;
+use crate::kernels::op::{CollideOp, OpConsts, PlainBgk};
 use crate::kernels::{KernelCtx, StreamTables, MAX_Q};
 
 /// z-block for the fused gather (the whole Q×ZBF tile lives on the stack:
@@ -36,12 +55,37 @@ pub fn stream_collide(
     x_lo: usize,
     x_hi: usize,
 ) {
+    stream_collide_cells(
+        ctx,
+        tables,
+        src,
+        dst,
+        x_lo,
+        x_hi,
+        PlainBgk,
+        &BoundarySpec::periodic(),
+    );
+}
+
+/// Boundary-aware fused step: the rule `op` on the fluid cells of `bounds`,
+/// the wall/mask transforms on its solid cells, all in one pass.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_collide_cells<O: CollideOp>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+) {
     check_fused_bounds(ctx, src, dst, x_lo, x_hi);
     let total = dst.as_slice().len();
     let dst_ptr = dst.as_mut_ptr();
     // SAFETY: `&mut dst` grants exclusive access to all `total` doubles, and
     // the bounds check above keeps every raw write inside them.
-    unsafe { stream_collide_raw(ctx, tables, src, dst_ptr, total, x_lo, x_hi) }
+    unsafe { stream_collide_cells_raw(ctx, tables, src, dst_ptr, total, x_lo, x_hi, op, bounds) }
 }
 
 /// Hard bounds/shape checks shared by the safe fused entry points: the raw
@@ -64,8 +108,8 @@ pub(crate) fn check_fused_bounds(
     );
 }
 
-/// Raw-destination form shared with the rayon fused driver: identical
-/// arithmetic, writing through `dst_ptr` instead of a `&mut DistField`.
+/// Raw-destination form of the boundary-aware fused step, shared with the
+/// rayon scenario driver and the SIMD fallback.
 ///
 /// # Safety
 /// `dst_ptr` must point to `total` initialised doubles laid out exactly like
@@ -73,7 +117,8 @@ pub(crate) fn check_fused_bounds(
 /// caller must guarantee exclusive access to the x-planes `[x_lo, x_hi)` of
 /// every slab. `src` must be valid on `[x_lo − k, x_hi + k)` and must not
 /// alias the destination.
-pub(crate) unsafe fn stream_collide_raw(
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn stream_collide_cells_raw<O: CollideOp>(
     ctx: &KernelCtx,
     tables: &StreamTables,
     src: &DistField,
@@ -81,20 +126,133 @@ pub(crate) unsafe fn stream_collide_raw(
     total: usize,
     x_lo: usize,
     x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
 ) {
     // SAFETY: forwarded contract.
     unsafe {
         if ctx.third_order() {
-            fused_impl::<true>(ctx, tables, src, dst_ptr, total, x_lo, x_hi);
+            fused_impl::<true, O>(ctx, tables, src, dst_ptr, total, x_lo, x_hi, op, bounds);
         } else {
-            fused_impl::<false>(ctx, tables, src, dst_ptr, total, x_lo, x_hi);
+            fused_impl::<false, O>(ctx, tables, src, dst_ptr, total, x_lo, x_hi, op, bounds);
+        }
+    }
+}
+
+/// Store the wall transform of the gathered arrivals for one z-block of a
+/// solid wall row — the tile-resident form of
+/// [`crate::boundary::BoundarySpec::apply`]'s per-row transform (identical
+/// per-cell arithmetic, so fused and split scenario paths agree bitwise).
+///
+/// # Safety
+/// `dst_ptr`/`total`/`slab_len` as in [`stream_collide_cells_raw`];
+/// `dbase + z0 + blk` must stay within every slab and inside the caller's
+/// exclusive x-plane range; `blk ≤ ZBF`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn store_wall_block(
+    ctx: &KernelCtx,
+    kind: WallKind,
+    fq: &[[f64; ZBF]; MAX_Q],
+    opp: &[usize; MAX_Q],
+    q: usize,
+    dst_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    dbase: usize,
+    z0: usize,
+    blk: usize,
+) {
+    let cs2 = ctx.lat.cs2();
+    match kind {
+        WallKind::BounceBack => {
+            for i in 0..q {
+                let off = i * slab_len + dbase + z0;
+                debug_assert!(off + blk <= total);
+                let line = &fq[opp[i]];
+                for j in 0..blk {
+                    // SAFETY: off+blk ≤ total per the caller's contract.
+                    unsafe { *dst_ptr.add(off + j) = line[j] };
+                }
+            }
+        }
+        WallKind::Moving { u, rho } => {
+            for i in 0..q {
+                let c = ctx.lat.velocities()[i];
+                let cu = c[0] as f64 * u[0] + c[1] as f64 * u[1] + c[2] as f64 * u[2];
+                // The identical expression BoundarySpec::apply evaluates per
+                // cell; it is constant per velocity, so hoisting it out of
+                // the z loop preserves every bit.
+                let corr = 2.0 * ctx.lat.weights()[i] * rho * cu / cs2;
+                let off = i * slab_len + dbase + z0;
+                debug_assert!(off + blk <= total);
+                let line = &fq[opp[i]];
+                for j in 0..blk {
+                    // SAFETY: as above.
+                    unsafe { *dst_ptr.add(off + j) = line[j] + corr };
+                }
+            }
+        }
+        WallKind::Diffuse { u } => {
+            // Per-cell arriving mass, accumulated over velocities in index
+            // order — the same summation order BoundarySpec::apply uses.
+            let mut mass = [0.0f64; ZBF];
+            for line in fq.iter().take(q) {
+                for j in 0..blk {
+                    mass[j] += line[j];
+                }
+            }
+            for i in 0..q {
+                let off = i * slab_len + dbase + z0;
+                debug_assert!(off + blk <= total);
+                for (j, m) in mass.iter().enumerate().take(blk) {
+                    // feq sums to its density argument, so emitting
+                    // feq(mass, u_wall) conserves the arriving mass.
+                    // SAFETY: as above.
+                    unsafe { *dst_ptr.add(off + j) = feq_i(&ctx.lat, EqOrder::Second, i, *m, u) };
+                }
+            }
+        }
+    }
+}
+
+/// Overwrite the masked solid cells of one fluid-row z-block with the
+/// full-way bounce-back of their gathered arrivals — shared by the scalar
+/// and AVX2 fused kernels so the mask convention cannot drift between them.
+///
+/// # Safety
+/// `dst_ptr`/`total`/`slab_len` as in [`stream_collide_cells_raw`];
+/// `dbase + z0 + blk` must stay within every slab and inside the caller's
+/// exclusive x-plane range; `blk ≤ ZBF`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn store_masked_cells(
+    mask: &crate::boundary::SectionMask,
+    fq: &[[f64; ZBF]; MAX_Q],
+    opp: &[usize; MAX_Q],
+    q: usize,
+    dst_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    y: usize,
+    dbase: usize,
+    z0: usize,
+    blk: usize,
+) {
+    for j in 0..blk {
+        if mask.is_solid(y, z0 + j) {
+            for i in 0..q {
+                let off = i * slab_len + dbase + z0 + j;
+                debug_assert!(off < total);
+                // SAFETY: off < total per the caller's contract.
+                unsafe { *dst_ptr.add(off) = fq[opp[i]][j] };
+            }
         }
     }
 }
 
 /// # Safety
-/// See [`stream_collide_raw`].
-unsafe fn fused_impl<const THIRD: bool>(
+/// See [`stream_collide_cells_raw`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn fused_impl<const THIRD: bool, O: CollideOp>(
     ctx: &KernelCtx,
     tables: &StreamTables,
     src: &DistField,
@@ -102,6 +260,8 @@ unsafe fn fused_impl<const THIRD: bool>(
     total: usize,
     x_lo: usize,
     x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
 ) {
     let d = src.alloc_dims();
     debug_assert!(x_lo >= ctx.lat.reach());
@@ -112,15 +272,14 @@ unsafe fn fused_impl<const THIRD: bool>(
     let nz = d.nz;
     let slab_len = src.slab_len();
     let vel = ctx.lat.velocities();
+    let mask = bounds.mask();
 
-    // Stack-cache the per-velocity equilibrium constants once, outside the
-    // cell loops: `[cx, cy, cz, w]` per velocity, so the hot loops read a
-    // dense local array instead of chasing the two `EqConsts` heap vectors
-    // per z-block (the same hoist the SIMD collide applies).
-    let mut cw = [[0.0f64; 4]; MAX_Q];
-    for (i, slot) in cw.iter_mut().enumerate().take(q) {
-        *slot = [k.c[i][0], k.c[i][1], k.c[i][2], k.w[i]];
-    }
+    // The one shared per-invocation hoist: equilibrium-constant rows, the
+    // bounce-back permutation, the force terms, and the Guo source
+    // coefficients when forced — see `kernels::op`.
+    let oc = OpConsts::new(ctx, &op);
+    let g = oc.g;
+    let hg = oc.half_g;
 
     // Gather tile: pulled populations for one z-block, all velocities.
     let mut fq = [[0.0f64; ZBF]; MAX_Q];
@@ -132,11 +291,13 @@ unsafe fn fused_impl<const THIRD: bool>(
     let mut uy = [0.0f64; ZBF];
     let mut uz = [0.0f64; ZBF];
     let mut u2 = [0.0f64; ZBF];
+    let mut ug = [0.0f64; ZBF];
 
     let src_data = src.as_slice();
 
     for x in x_lo..x_hi {
         for y in 0..d.ny {
+            let wall = bounds.wall_row_kind(d.ny, y);
             let dbase = d.idx(x, y, 0);
             let mut z0 = 0;
             while z0 < nz {
@@ -148,7 +309,8 @@ unsafe fn fused_impl<const THIRD: bool>(
                 // Pull + accumulate: for each velocity, gather the shifted
                 // z-segment as at most two contiguous copies (the rotate-copy
                 // of the optimized stream, not per-element wrap lookups) and
-                // fold it into the moments.
+                // fold it into the moments (wall rows only gather — their
+                // arrivals are transformed, not collided).
                 for i in 0..q {
                     let c = vel[i];
                     let xs = (x as isize - c[0] as isize) as usize;
@@ -164,25 +326,49 @@ unsafe fn fused_impl<const THIRD: bool>(
                         line[..first].copy_from_slice(&srow[start..]);
                         line[first..blk].copy_from_slice(&srow[..blk - first]);
                     }
-                    let cf = cw[i];
-                    for j in 0..blk {
-                        let fv = line[j];
-                        rho[j] += fv;
-                        mx[j] += fv * cf[0];
-                        my[j] += fv * cf[1];
-                        mz[j] += fv * cf[2];
+                    if wall.is_none() {
+                        let cf = oc.cw[i];
+                        for j in 0..blk {
+                            let fv = line[j];
+                            rho[j] += fv;
+                            mx[j] += fv * cf[0];
+                            my[j] += fv * cf[1];
+                            mz[j] += fv * cf[2];
+                        }
                     }
+                }
+                if let Some(kind) = wall {
+                    // Solid wall row: the arrivals are transformed, not
+                    // collided — the in-pass form of the split pipeline's
+                    // boundary-apply step.
+                    // SAFETY: dbase+z0+blk is inside every slab (same
+                    // bound as the stores below), within this caller's
+                    // exclusive x-planes.
+                    unsafe {
+                        store_wall_block(
+                            ctx, kind, &fq, &oc.opp, q, dst_ptr, total, slab_len, dbase, z0, blk,
+                        )
+                    };
+                    z0 += blk;
+                    continue;
                 }
                 for j in 0..blk {
                     let inv = 1.0 / rho[j];
-                    ux[j] = mx[j] * inv;
-                    uy[j] = my[j] * inv;
-                    uz[j] = mz[j] * inv;
+                    if O::FORCED {
+                        ux[j] = (mx[j] + hg[0]) * inv;
+                        uy[j] = (my[j] + hg[1]) * inv;
+                        uz[j] = (mz[j] + hg[2]) * inv;
+                        ug[j] = ux[j] * g[0] + uy[j] * g[1] + uz[j] * g[2];
+                    } else {
+                        ux[j] = mx[j] * inv;
+                        uy[j] = my[j] * inv;
+                        uz[j] = mz[j] * inv;
+                    }
                     u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
                 }
                 // Relax and store — the only write traffic of the step.
                 for i in 0..q {
-                    let cf = cw[i];
+                    let cf = oc.cw[i];
                     let line = &fq[i];
                     let off = i * slab_len + dbase + z0;
                     debug_assert!(off + blk <= total);
@@ -199,8 +385,24 @@ unsafe fn fused_impl<const THIRD: bool>(
                         }
                         let feq = cf[3] * rho[j] * poly;
                         let fv = line[j];
-                        *o = fv + omega * (feq - fv);
+                        let mut next = fv + omega * (feq - fv);
+                        if O::FORCED {
+                            next += oc.sa[i] - oc.sb[i] * ug[j] + oc.sc[i] * xi;
+                        }
+                        *o = next;
                     }
+                }
+                // Masked solid cells inside a fluid row: overwrite the
+                // collided garbage with the full-way bounce-back of their
+                // gathered arrivals (sparse — cavity side walls and carved
+                // geometry).
+                if let Some(m) = mask {
+                    // SAFETY: as for the stores above.
+                    unsafe {
+                        store_masked_cells(
+                            m, &fq, &oc.opp, q, dst_ptr, total, slab_len, y, dbase, z0, blk,
+                        )
+                    };
                 }
                 z0 += blk;
             }
@@ -211,9 +413,11 @@ unsafe fn fused_impl<const THIRD: bool>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::boundary::ChannelWalls;
     use crate::collision::Bgk;
     use crate::equilibrium::EqOrder;
     use crate::index::Dim3;
+    use crate::kernels::op::GuoForced;
     use crate::kernels::{dh, OptLevel};
     use crate::lattice::LatticeKind;
 
@@ -257,6 +461,79 @@ mod tests {
 
             assert_eq!(split.max_abs_diff_owned(&fused), 0.0, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn fused_scenario_equals_split_scenario_bitwise() {
+        // The boundary-aware fused pass must reproduce the split pipeline
+        // (stream → boundary apply → forced collide) bit for bit.
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            let dims = Dim3::new(5, 9, 13);
+            let bounds = BoundarySpec::periodic()
+                .with_walls(ChannelWalls::no_slip(k))
+                .with_mask(crate::boundary::SectionMask::from_fn(9, 13, |_y, z| {
+                    z >= 10
+                }));
+            let g = [3e-5, 0.0, 1e-5];
+            let src = random_field(c.lat.q(), dims, k, 51);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+
+            let mut split = DistField::new(c.lat.q(), dims, k).unwrap();
+            dh::stream(&c, &tables, &src, &mut split, k, k + dims.nx);
+            bounds.apply(&c, &mut split, k, k + dims.nx);
+            crate::kernels::forced::collide_forced(&c, &mut split, k, k + dims.nx, g, &bounds);
+
+            let mut fused = DistField::new(c.lat.q(), dims, k).unwrap();
+            stream_collide_cells(
+                &c,
+                &tables,
+                &src,
+                &mut fused,
+                k,
+                k + dims.nx,
+                GuoForced { g },
+                &bounds,
+            );
+            assert_eq!(split.max_abs_diff_owned(&fused), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fused_scenario_handles_moving_and_diffuse_walls_bitwise() {
+        use crate::boundary::WallKind;
+        let c = ctx(LatticeKind::D3Q19);
+        let k = c.lat.reach();
+        let dims = Dim3::new(4, 8, 9);
+        let bounds = BoundarySpec::periodic().with_walls(ChannelWalls {
+            low: WallKind::Diffuse { u: [0.0; 3] },
+            high: WallKind::Moving {
+                u: [0.04, 0.0, 0.02],
+                rho: 1.0,
+            },
+            layers: 1,
+        });
+        let src = random_field(c.lat.q(), dims, k, 67);
+        let tables = StreamTables::new(dims.ny, dims.nz);
+
+        let mut split = DistField::new(c.lat.q(), dims, k).unwrap();
+        dh::stream(&c, &tables, &src, &mut split, k, k + dims.nx);
+        bounds.apply(&c, &mut split, k, k + dims.nx);
+        crate::kernels::forced::collide_forced(&c, &mut split, k, k + dims.nx, [0.0; 3], &bounds);
+
+        let mut fused = DistField::new(c.lat.q(), dims, k).unwrap();
+        stream_collide_cells(
+            &c,
+            &tables,
+            &src,
+            &mut fused,
+            k,
+            k + dims.nx,
+            PlainBgk,
+            &bounds,
+        );
+        assert_eq!(split.max_abs_diff_owned(&fused), 0.0);
     }
 
     #[test]

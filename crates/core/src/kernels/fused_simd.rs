@@ -7,13 +7,23 @@
 //! vectorization the paper hand-coded for the collide function (§V-G),
 //! applied to the kernel shape its conclusion (§VII) asks for.
 //!
+//! Like the scalar variant, the kernel is generic over the cell operator
+//! ([`crate::kernels::op::CollideOp`]) and boundary-aware: the Guo force is
+//! broadcast into the vectorized moment accumulation (half-force shift, then
+//! the hoisted source `sa_i − sb_i (u·G) + sc_i ξ_i` in the store pass), wall
+//! rows store the wall transform of the gathered tile instead of colliding,
+//! and masked cells are fixed up with full-way bounce-back after the vector
+//! stores — so forced/walled scenarios run the full fused rung.
+//!
 //! The gather phase is the scalar rotate-copy (it is already a memcpy, which
 //! the platform vectorizes); the tile then stays cache-resident for the two
 //! vector passes. Feature detection happens at runtime; without AVX2+FMA the
 //! rung falls back to the scalar fused kernel, so the crate stays portable.
 
+use crate::boundary::BoundarySpec;
 use crate::field::DistField;
 use crate::kernels::fused::{self, ZBF};
+use crate::kernels::op::{CollideOp, PlainBgk};
 use crate::kernels::simd::simd_available;
 use crate::kernels::{KernelCtx, StreamTables};
 
@@ -31,19 +41,44 @@ pub fn stream_collide(
     x_lo: usize,
     x_hi: usize,
 ) {
+    stream_collide_cells(
+        ctx,
+        tables,
+        src,
+        dst,
+        x_lo,
+        x_hi,
+        PlainBgk,
+        &BoundarySpec::periodic(),
+    );
+}
+
+/// Boundary-aware vectorized fused step: the rule `op` on the fluid cells of
+/// `bounds`, the wall/mask transforms on its solid cells, in one pass.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_collide_cells<O: CollideOp>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+) {
     fused::check_fused_bounds(ctx, src, dst, x_lo, x_hi);
     let total = dst.as_slice().len();
     let dst_ptr = dst.as_mut_ptr();
     // SAFETY: `&mut dst` grants exclusive access to all `total` doubles, and
     // the bounds check above keeps every raw write inside them.
-    unsafe { stream_collide_raw(ctx, tables, src, dst_ptr, total, x_lo, x_hi) }
+    unsafe { stream_collide_cells_raw(ctx, tables, src, dst_ptr, total, x_lo, x_hi, op, bounds) }
 }
 
-/// Raw-destination dispatch shared with the rayon fused driver: AVX2+FMA
-/// when available, scalar fused otherwise.
+/// Raw-destination dispatch of the plain periodic step, shared with the
+/// rayon fused driver: AVX2+FMA when available, scalar fused otherwise.
 ///
 /// # Safety
-/// Same contract as [`fused::stream_collide_raw`].
+/// Same contract as [`fused::stream_collide_cells_raw`].
 pub(crate) unsafe fn stream_collide_raw(
     ctx: &KernelCtx,
     tables: &StreamTables,
@@ -53,30 +88,29 @@ pub(crate) unsafe fn stream_collide_raw(
     x_lo: usize,
     x_hi: usize,
 ) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if simd_available() {
-            // SAFETY: feature presence checked above; contract forwarded.
-            unsafe {
-                if ctx.third_order() {
-                    fused_avx2::<true>(ctx, tables, src, dst_ptr, total, x_lo, x_hi);
-                } else {
-                    fused_avx2::<false>(ctx, tables, src, dst_ptr, total, x_lo, x_hi);
-                }
-            }
-            return;
-        }
+    // SAFETY: forwarded contract.
+    unsafe {
+        stream_collide_cells_raw(
+            ctx,
+            tables,
+            src,
+            dst_ptr,
+            total,
+            x_lo,
+            x_hi,
+            PlainBgk,
+            &BoundarySpec::periodic(),
+        )
     }
-    // SAFETY: contract forwarded.
-    unsafe { fused::stream_collide_raw(ctx, tables, src, dst_ptr, total, x_lo, x_hi) }
 }
 
+/// Raw-destination dispatch of the boundary-aware step, shared with the
+/// rayon scenario driver.
+///
 /// # Safety
-/// Caller must ensure AVX2+FMA are available and the layout/exclusivity
-/// contract of [`fused::stream_collide_raw`] holds.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2,fma")]
-unsafe fn fused_avx2<const THIRD: bool>(
+/// Same contract as [`fused::stream_collide_cells_raw`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn stream_collide_cells_raw<O: CollideOp>(
     ctx: &KernelCtx,
     tables: &StreamTables,
     src: &DistField,
@@ -84,9 +118,51 @@ unsafe fn fused_avx2<const THIRD: bool>(
     total: usize,
     x_lo: usize,
     x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_available() {
+            // SAFETY: feature presence checked above; contract forwarded.
+            unsafe {
+                if ctx.third_order() {
+                    fused_avx2::<true, O>(ctx, tables, src, dst_ptr, total, x_lo, x_hi, op, bounds);
+                } else {
+                    fused_avx2::<false, O>(
+                        ctx, tables, src, dst_ptr, total, x_lo, x_hi, op, bounds,
+                    );
+                }
+            }
+            return;
+        }
+    }
+    // SAFETY: contract forwarded.
+    unsafe {
+        fused::stream_collide_cells_raw(ctx, tables, src, dst_ptr, total, x_lo, x_hi, op, bounds)
+    }
+}
+
+/// # Safety
+/// Caller must ensure AVX2+FMA are available and the layout/exclusivity
+/// contract of [`fused::stream_collide_cells_raw`] holds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn fused_avx2<const THIRD: bool, O: CollideOp>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst_ptr: *mut f64,
+    total: usize,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
 ) {
     use std::arch::x86_64::*;
 
+    use crate::kernels::op::OpConsts;
     use crate::kernels::MAX_Q;
 
     const LANES: usize = 4;
@@ -99,12 +175,14 @@ unsafe fn fused_avx2<const THIRD: bool>(
     let nz = d.nz;
     let slab_len = src.slab_len();
     let vel = ctx.lat.velocities();
+    let mask = bounds.mask();
 
-    // Stack-cached per-velocity constants (same hoist as the scalar kernel).
-    let mut cw = [[0.0f64; 4]; MAX_Q];
-    for (i, slot) in cw.iter_mut().enumerate().take(q) {
-        *slot = [k.c[i][0], k.c[i][1], k.c[i][2], k.w[i]];
-    }
+    // The one shared per-invocation hoist: equilibrium-constant rows, the
+    // bounce-back permutation, the force terms, and the Guo source
+    // coefficients when forced — see `kernels::op`.
+    let oc = OpConsts::new(ctx, &op);
+    let g = oc.g;
+    let hg = oc.half_g;
 
     // Gather tile plus per-lane moment scratch; everything stays L1/L2-hot.
     let mut fq = [[0.0f64; ZBF]; MAX_Q];
@@ -113,6 +191,7 @@ unsafe fn fused_avx2<const THIRD: bool>(
     let mut uy = [0.0f64; ZBF];
     let mut uz = [0.0f64; ZBF];
     let mut u2 = [0.0f64; ZBF];
+    let mut ug = [0.0f64; ZBF];
 
     let src_data = src.as_slice();
 
@@ -127,6 +206,12 @@ unsafe fn fused_avx2<const THIRD: bool>(
         let v_inv_2cs2 = _mm256_set1_pd(k.inv_2cs2);
         let v_inv_6cs6 = _mm256_set1_pd(k.inv_6cs6);
         let v_3cs2 = _mm256_set1_pd(3.0 * k.cs2);
+        let v_hg0 = _mm256_set1_pd(hg[0]);
+        let v_hg1 = _mm256_set1_pd(hg[1]);
+        let v_hg2 = _mm256_set1_pd(hg[2]);
+        let v_g0 = _mm256_set1_pd(g[0]);
+        let v_g1 = _mm256_set1_pd(g[1]);
+        let v_g2 = _mm256_set1_pd(g[2]);
 
         // Balanced z-blocks (sizes differ by ≤ 1) instead of a short tail
         // block: with the row prefetch below hiding the gather latency, the
@@ -136,6 +221,7 @@ unsafe fn fused_avx2<const THIRD: bool>(
 
         for x in x_lo..x_hi {
             for y in 0..d.ny {
+                let wall = bounds.wall_row_kind(d.ny, y);
                 let dbase = d.idx(x, y, 0);
                 for b in 0..nblocks {
                     let z0 = b * nz / nblocks;
@@ -151,7 +237,8 @@ unsafe fn fused_avx2<const THIRD: bool>(
                     // fused kernel) and immediately fold the L1-hot row
                     // into the moment arrays. Interleaving keeps the tile
                     // from being traversed a second cold time — decisive
-                    // for the high-Q lattices whose tile outgrows L1.
+                    // for the high-Q lattices whose tile outgrows L1. Wall
+                    // rows only gather: their arrivals are transformed.
                     for i in 0..q {
                         let c = vel[i];
                         let xs = (x as isize - c[0] as isize) as usize;
@@ -190,8 +277,11 @@ unsafe fn fused_avx2<const THIRD: bool>(
                             line[..first].copy_from_slice(&srow[start..]);
                             line[first..blk].copy_from_slice(&srow[..blk - first]);
                         }
+                        if wall.is_some() {
+                            continue;
+                        }
                         line[blk..vec_end].fill(0.0);
-                        let cf = cw[i];
+                        let cf = oc.cw[i];
                         let vcx = _mm256_set1_pd(cf[0]);
                         let vcy = _mm256_set1_pd(cf[1]);
                         let vcz = _mm256_set1_pd(cf[2]);
@@ -223,15 +313,34 @@ unsafe fn fused_avx2<const THIRD: bool>(
                             j += LANES;
                         }
                     }
+                    if let Some(kind) = wall {
+                        // Solid wall row: store the transform of the tile —
+                        // the in-pass form of the split boundary apply.
+                        // SAFETY: dbase+z0+blk inside every slab, within
+                        // this caller's exclusive x-planes.
+                        fused::store_wall_block(
+                            ctx, kind, &fq, &oc.opp, q, dst_ptr, total, slab_len, dbase, z0, blk,
+                        );
+                        continue;
+                    }
                     // Phase 2 — finalize macroscopics: one short vector pass
-                    // turning the moment sums into velocities.
+                    // turning the moment sums into velocities (Guo half-force
+                    // shift applied to the momentum when forced).
                     let mut j = 0;
                     while j < vec_end {
                         let vrho = _mm256_loadu_pd(rho.as_ptr().add(j));
                         let vinv = _mm256_div_pd(v_one, vrho);
-                        let vux = _mm256_mul_pd(_mm256_loadu_pd(ux.as_ptr().add(j)), vinv);
-                        let vuy = _mm256_mul_pd(_mm256_loadu_pd(uy.as_ptr().add(j)), vinv);
-                        let vuz = _mm256_mul_pd(_mm256_loadu_pd(uz.as_ptr().add(j)), vinv);
+                        let mut vmx = _mm256_loadu_pd(ux.as_ptr().add(j));
+                        let mut vmy = _mm256_loadu_pd(uy.as_ptr().add(j));
+                        let mut vmz = _mm256_loadu_pd(uz.as_ptr().add(j));
+                        if O::FORCED {
+                            vmx = _mm256_add_pd(vmx, v_hg0);
+                            vmy = _mm256_add_pd(vmy, v_hg1);
+                            vmz = _mm256_add_pd(vmz, v_hg2);
+                        }
+                        let vux = _mm256_mul_pd(vmx, vinv);
+                        let vuy = _mm256_mul_pd(vmy, vinv);
+                        let vuz = _mm256_mul_pd(vmz, vinv);
                         let vu2 = _mm256_fmadd_pd(
                             vux,
                             vux,
@@ -241,6 +350,14 @@ unsafe fn fused_avx2<const THIRD: bool>(
                         _mm256_storeu_pd(uy.as_mut_ptr().add(j), vuy);
                         _mm256_storeu_pd(uz.as_mut_ptr().add(j), vuz);
                         _mm256_storeu_pd(u2.as_mut_ptr().add(j), vu2);
+                        if O::FORCED {
+                            let vug = _mm256_fmadd_pd(
+                                vux,
+                                v_g0,
+                                _mm256_fmadd_pd(vuy, v_g1, _mm256_mul_pd(vuz, v_g2)),
+                            );
+                            _mm256_storeu_pd(ug.as_mut_ptr().add(j), vug);
+                        }
                         j += LANES;
                     }
                     // Phase 3 — relax + store: per velocity the broadcasts
@@ -250,7 +367,7 @@ unsafe fn fused_avx2<const THIRD: bool>(
                     // partial group finishes scalar.
                     let store_end = blk - blk % LANES;
                     for i in 0..q {
-                        let c = cw[i];
+                        let c = oc.cw[i];
                         let off = i * slab_len + dbase + z0;
                         debug_assert!(off + blk <= total);
                         let vcx = _mm256_set1_pd(c[0]);
@@ -279,7 +396,21 @@ unsafe fn fused_avx2<const THIRD: bool>(
                             }
                             let vfeq = _mm256_mul_pd(_mm256_mul_pd(vw, vrho), vpoly);
                             let fv = _mm256_loadu_pd(fq[i].as_ptr().add(j));
-                            let out = _mm256_fmadd_pd(v_omega, _mm256_sub_pd(vfeq, fv), fv);
+                            let mut out = _mm256_fmadd_pd(v_omega, _mm256_sub_pd(vfeq, fv), fv);
+                            if O::FORCED {
+                                // S_i = sa_i − sb_i (u·G) + sc_i ξ_i.
+                                let vug = _mm256_loadu_pd(ug.as_ptr().add(j));
+                                let vs = _mm256_fmadd_pd(
+                                    _mm256_set1_pd(oc.sc[i]),
+                                    vxi,
+                                    _mm256_fnmadd_pd(
+                                        _mm256_set1_pd(oc.sb[i]),
+                                        vug,
+                                        _mm256_set1_pd(oc.sa[i]),
+                                    ),
+                                );
+                                out = _mm256_add_pd(out, vs);
+                            }
                             _mm256_storeu_pd(dst_ptr.add(off + j), out);
                             j += LANES;
                         }
@@ -292,9 +423,21 @@ unsafe fn fused_avx2<const THIRD: bool>(
                             }
                             let feq = c[3] * rho[j] * poly;
                             let fv = fq[i][j];
-                            *dst_ptr.add(off + j) = fv + omega * (feq - fv);
+                            let mut next = fv + omega * (feq - fv);
+                            if O::FORCED {
+                                next += oc.sa[i] - oc.sb[i] * ug[j] + oc.sc[i] * xi;
+                            }
+                            *dst_ptr.add(off + j) = next;
                             j += 1;
                         }
+                    }
+                    // Masked solid cells inside a fluid row: overwrite the
+                    // collided garbage with the full-way bounce-back of the
+                    // gathered arrivals (shared with the scalar kernel).
+                    if let Some(m) = mask {
+                        fused::store_masked_cells(
+                            m, &fq, &oc.opp, q, dst_ptr, total, slab_len, y, dbase, z0, blk,
+                        );
                     }
                 }
             }
@@ -305,9 +448,11 @@ unsafe fn fused_avx2<const THIRD: bool>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::boundary::{ChannelWalls, SectionMask};
     use crate::collision::Bgk;
     use crate::equilibrium::EqOrder;
     use crate::index::Dim3;
+    use crate::kernels::op::GuoForced;
     use crate::kernels::{dh, OptLevel};
     use crate::lattice::LatticeKind;
 
@@ -366,6 +511,49 @@ mod tests {
         fused::stream_collide(&c, &tables, &src, &mut a, k, k + dims.nx);
         stream_collide(&c, &tables, &src, &mut b, k, k + dims.nx);
         assert!(a.max_abs_diff_owned(&b) < 1e-13);
+    }
+
+    #[test]
+    fn fused_simd_scenario_matches_fused_scalar_scenario_closely() {
+        for (kind, order) in [
+            (LatticeKind::D3Q19, EqOrder::Second),
+            (LatticeKind::D3Q39, EqOrder::Third),
+        ] {
+            let c = ctx(kind, order);
+            let k = c.lat.reach();
+            let dims = Dim3::new(4, 9, 13);
+            let bounds = BoundarySpec::periodic()
+                .with_walls(ChannelWalls::no_slip(k))
+                .with_mask(SectionMask::from_fn(9, 13, |_y, z| z >= 10));
+            let op = GuoForced {
+                g: [4e-5, 0.0, -1e-5],
+            };
+            let src = random_field(c.lat.q(), dims, k, 39);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let mut a = DistField::new(c.lat.q(), dims, k).unwrap();
+            let mut b = DistField::new(c.lat.q(), dims, k).unwrap();
+            fused::stream_collide_cells(&c, &tables, &src, &mut a, k, k + dims.nx, op, &bounds);
+            stream_collide_cells(&c, &tables, &src, &mut b, k, k + dims.nx, op, &bounds);
+            let diff = a.max_abs_diff_owned(&b);
+            assert!(diff < 1e-13, "{kind:?}: {diff}");
+            // Wall rows and masked cells are pure copies/transforms of the
+            // same gathered arrivals: bitwise equal even under FMA.
+            let d = a.alloc_dims();
+            for i in 0..c.lat.q() {
+                for x in k..k + dims.nx {
+                    for z in 0..dims.nz {
+                        for y in (0..k).chain(9 - k..9) {
+                            let lin = d.idx(x, y, z);
+                            assert_eq!(a.slab(i)[lin], b.slab(i)[lin], "wall row");
+                        }
+                        if z >= 10 {
+                            let lin = d.idx(x, 4, z);
+                            assert_eq!(a.slab(i)[lin], b.slab(i)[lin], "masked");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

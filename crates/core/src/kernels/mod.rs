@@ -36,10 +36,14 @@ pub mod fused_simd;
 pub mod ghost;
 pub mod lobr;
 pub mod naive;
+pub mod op;
 pub mod par;
 pub mod reference;
 pub mod simd;
 
+pub use op::{CollideOp, GuoForced, PlainBgk};
+
+use crate::boundary::BoundarySpec;
 use crate::collision::Bgk;
 use crate::equilibrium::{EqConsts, EqOrder};
 use crate::field::DistField;
@@ -285,6 +289,89 @@ pub fn stream_collide(
         stream(level, ctx, tables, src, dst, x_lo, x_hi);
         collide(level, ctx, dst, x_lo, x_hi);
     }
+}
+
+/// Scenario collide at `level`'s kernel class: BGK with optional Guo
+/// forcing `g` over the fluid cells of `bounds` (wall rows and masked
+/// cells untouched), in place over planes `x ∈ [x_lo, x_hi)`.
+///
+/// The scalar classes run the shared [`op`] cell-operator body; the
+/// `Simd`/`Fused` classes run the AVX2+FMA variant (runtime-detected,
+/// scalar fallback). With `g = 0` every class monomorphizes to the plain
+/// fluid-row-restricted BGK update.
+pub fn collide_scenario(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    match level.kernel_class() {
+        KernelClass::Simd | KernelClass::Fused => {
+            op::with_op!(g, |rule| simd::collide_cells(
+                ctx, f, x_lo, x_hi, rule, bounds
+            ));
+        }
+        _ => forced::collide_forced(ctx, f, x_lo, x_hi, g, bounds),
+    }
+}
+
+/// Rayon-parallel [`collide_scenario`]: disjoint x-plane chunks, each
+/// running the identical per-class kernel — bit-identical to serial.
+pub fn collide_scenario_par(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    let use_simd = matches!(level.kernel_class(), KernelClass::Simd | KernelClass::Fused);
+    op::with_op!(g, |rule| par::collide_cells_par(
+        ctx, f, x_lo, x_hi, rule, bounds, use_simd
+    ));
+}
+
+/// Scenario fused stream+collide: one single pass computing
+/// `dst ← boundary+collide(pull(src))` — fluid cells collided (with Guo
+/// forcing `g` when nonzero), wall rows and masked cells transformed from
+/// their gathered arrivals. AVX2+FMA when available, scalar fallback; halo
+/// contract as for [`stream_collide`].
+#[allow(clippy::too_many_arguments)]
+pub fn stream_collide_scenario(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    op::with_op!(g, |rule| fused_simd::stream_collide_cells(
+        ctx, tables, src, dst, x_lo, x_hi, rule, bounds
+    ));
+}
+
+/// Rayon-parallel [`stream_collide_scenario`] (disjoint destination
+/// x-chunks, bit-identical to serial).
+#[allow(clippy::too_many_arguments)]
+pub fn stream_collide_scenario_par(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    op::with_op!(g, |rule| par::stream_collide_cells_par(
+        ctx, tables, src, dst, x_lo, x_hi, rule, bounds
+    ));
 }
 
 #[cfg(test)]

@@ -1,0 +1,496 @@
+//! Composable cell operators: the per-cell collide rule, factored out of the
+//! drivers.
+//!
+//! Every rung of the ladder runs the same *data movement* (in-place sweep,
+//! AVX2 lanes, fused single pass, rayon chunks) around one of two per-cell
+//! *rules*: plain BGK relaxation, or the Guo-forced variant (half-force
+//! velocity shift plus a post-relaxation source). A [`CollideOp`] names the
+//! rule; the drivers are generic over it and monomorphize, so the unforced
+//! instantiation compiles to exactly the code the dedicated plain kernels
+//! used to be — the `O::FORCED` branches fold away at compile time.
+//!
+//! The module also owns the two pieces every driver used to duplicate by
+//! hand:
+//!
+//! * [`OpConsts`] — the per-invocation stack hoist of the equilibrium
+//!   constants (`[cx, cy, cz, w]` per velocity, previously copy-pasted in
+//!   `fused.rs`/`fused_simd.rs`) plus the precomputed Guo source
+//!   coefficients, so there is exactly one equilibrium-constant path;
+//! * [`collide_cells_raw`] — the z-blocked, boundary-aware scalar collide
+//!   body shared by the serial scalar driver, the rayon chunks, and the
+//!   non-AVX2 fallback of the SIMD rung. Wall rows are skipped and masked
+//!   cells excluded via fluid z-runs, so walled/masked scenarios reuse the
+//!   identical line-blocked loop the periodic kernels run.
+//!
+//! ## The Guo source, hoisted
+//!
+//! `S_i = (1 − ω/2) w_i [ (c_i−u)/c_s² + (c_i·u) c_i/c_s⁴ ] · G` expands to
+//! `S_i = sa_i − sb_i (u·G) + sc_i ξ_i` with `ξ_i = c_i·u` and per-velocity
+//! constants `sa_i = p_i (c_i·G)/c_s²`, `sb_i = p_i/c_s²`,
+//! `sc_i = p_i (c_i·G)/c_s⁴`, `p_i = (1 − ω/2) w_i`. Only `u·G` and `ξ_i`
+//! vary per cell — and `ξ_i` is already computed for the equilibrium — so
+//! the forced path costs two extra fmas per (cell, velocity) in both the
+//! scalar and AVX2 drivers.
+
+use crate::boundary::{BoundarySpec, SectionMask};
+use crate::field::DistField;
+use crate::kernels::dh::ZB;
+use crate::kernels::{KernelCtx, MAX_Q};
+
+/// A per-cell collide rule, threaded through every kernel driver.
+///
+/// Implementations carry only the rule's parameters (e.g. the force
+/// density); the drivers do the sweeping. `FORCED` is an associated const
+/// so the plain instantiation monomorphizes to branch-free unforced code.
+pub trait CollideOp: Copy + Send + Sync {
+    /// Whether this rule applies a body force (compile-time: `false`
+    /// instantiations compile to the plain BGK update).
+    const FORCED: bool;
+
+    /// The force density `G` (zero for plain BGK).
+    fn g(&self) -> [f64; 3];
+}
+
+/// Plain BGK relaxation — the rule of the periodic ladder kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlainBgk;
+
+impl CollideOp for PlainBgk {
+    const FORCED: bool = false;
+
+    #[inline(always)]
+    fn g(&self) -> [f64; 3] {
+        [0.0; 3]
+    }
+}
+
+/// Guo-forced BGK: half-force velocity shift `u = (Σ f c + G/2)/ρ`, BGK
+/// relaxation toward `f^eq(ρ, u)`, and the second-order source `S_i` added
+/// post-relaxation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuoForced {
+    /// Force density `G` (lattice units).
+    pub g: [f64; 3],
+}
+
+impl CollideOp for GuoForced {
+    const FORCED: bool = true;
+
+    #[inline(always)]
+    fn g(&self) -> [f64; 3] {
+        self.g
+    }
+}
+
+/// Per-invocation hoisted constants shared by every collide driver: the
+/// equilibrium-constant stack cache plus (when forced) the Guo source
+/// coefficients. Built once per kernel call, outside the cell loops.
+#[derive(Debug, Clone)]
+pub struct OpConsts {
+    /// `[cx, cy, cz, w]` per velocity — the dense stack row the hot loops
+    /// read instead of chasing the two `EqConsts` heap vectors.
+    pub cw: [[f64; 4]; MAX_Q],
+    /// Opposite-velocity index per velocity (the bounce-back permutation
+    /// the boundary-aware drivers apply to wall rows and masked cells).
+    pub opp: [usize; MAX_Q],
+    /// The force density `G`.
+    pub g: [f64; 3],
+    /// `G/2` — the Guo velocity-shift numerator term.
+    pub half_g: [f64; 3],
+    /// Source coefficient `sa_i = (1 − ω/2) w_i (c_i·G)/c_s²`.
+    pub sa: [f64; MAX_Q],
+    /// Source coefficient `sb_i = (1 − ω/2) w_i/c_s²` (multiplies `u·G`).
+    pub sb: [f64; MAX_Q],
+    /// Source coefficient `sc_i = (1 − ω/2) w_i (c_i·G)/c_s⁴` (multiplies
+    /// `ξ_i`).
+    pub sc: [f64; MAX_Q],
+}
+
+impl OpConsts {
+    /// Hoist the constants for `op` under `ctx`.
+    pub fn new<O: CollideOp>(ctx: &KernelCtx, op: &O) -> Self {
+        let k = &ctx.consts;
+        let q = ctx.lat.q();
+        let mut cw = [[0.0f64; 4]; MAX_Q];
+        for (i, slot) in cw.iter_mut().enumerate().take(q) {
+            *slot = [k.c[i][0], k.c[i][1], k.c[i][2], k.w[i]];
+        }
+        let mut opp = [0usize; MAX_Q];
+        for (i, o) in opp.iter_mut().enumerate().take(q) {
+            *o = ctx.lat.opposite(i);
+        }
+        let g = op.g();
+        let mut sa = [0.0f64; MAX_Q];
+        let mut sb = [0.0f64; MAX_Q];
+        let mut sc = [0.0f64; MAX_Q];
+        if O::FORCED {
+            let pref = 1.0 - 0.5 * ctx.omega;
+            let inv_cs4 = k.inv_cs2 * k.inv_cs2;
+            for i in 0..q {
+                let cg = cw[i][0] * g[0] + cw[i][1] * g[1] + cw[i][2] * g[2];
+                let p = pref * k.w[i];
+                sa[i] = p * cg * k.inv_cs2;
+                sb[i] = p * k.inv_cs2;
+                sc[i] = p * cg * inv_cs4;
+            }
+        }
+        Self {
+            cw,
+            opp,
+            g,
+            half_g: [0.5 * g[0], 0.5 * g[1], 0.5 * g[2]],
+            sa,
+            sb,
+            sc,
+        }
+    }
+}
+
+/// Monomorphize a block over the force vector: `g = 0` binds the operator
+/// to [`PlainBgk`] (compiling to the branch-free unforced kernels), any
+/// other `g` to [`GuoForced`]. The single place the zero-force fast-path
+/// rule lives — every public `g`-taking entry point routes through it.
+macro_rules! with_op {
+    ($g:expr, |$op:ident| $body:expr) => {{
+        let g = $g;
+        if g == [0.0; 3] {
+            let $op = $crate::kernels::op::PlainBgk;
+            $body
+        } else {
+            let $op = $crate::kernels::op::GuoForced { g };
+            $body
+        }
+    }};
+}
+pub(crate) use with_op;
+
+/// Advance `zs` to the next fluid z-run of row `y` and return its bounds,
+/// or `None` when the row is exhausted. With no mask the whole row is one
+/// run. Shared by every boundary-aware driver (scalar body, AVX2 collide),
+/// so the run boundaries cannot drift between the kernel classes.
+#[inline]
+pub(crate) fn next_fluid_run(
+    mask: Option<&SectionMask>,
+    y: usize,
+    nz: usize,
+    zs: &mut usize,
+) -> Option<(usize, usize)> {
+    if *zs >= nz {
+        return None;
+    }
+    match mask {
+        None => {
+            // Honour the cursor even without a mask, so a caller starting
+            // mid-row gets the remainder of the row, never cells it (or
+            // someone else) already swept.
+            let lo = *zs;
+            *zs = nz;
+            Some((lo, nz))
+        }
+        Some(m) => {
+            while *zs < nz && m.is_solid(y, *zs) {
+                *zs += 1;
+            }
+            if *zs == nz {
+                return None;
+            }
+            let lo = *zs;
+            while *zs < nz && !m.is_solid(y, *zs) {
+                *zs += 1;
+            }
+            Some((lo, *zs))
+        }
+    }
+}
+
+/// Serial boundary-aware collide over planes `x ∈ [x_lo, x_hi)`: the rule
+/// `op` applied to every fluid cell of `bounds` (wall rows and masked cells
+/// untouched). With periodic `bounds` and [`PlainBgk`] this is exactly the
+/// CF/LoBr line-blocked collide.
+pub fn collide_cells<O: CollideOp>(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+) {
+    if x_lo >= x_hi {
+        return;
+    }
+    let d = f.alloc_dims();
+    debug_assert!(x_hi <= d.nx);
+    let total = f.as_slice().len();
+    let slab_len = f.slab_len();
+    let ptr = f.as_mut_ptr();
+    // SAFETY: exclusive &mut access to the whole field; offsets bounded by
+    // the layout contract checked in collide_cells_raw.
+    unsafe {
+        collide_cells_raw::<O>(
+            ptr,
+            total,
+            slab_len,
+            ctx,
+            &OpConsts::new(ctx, &op),
+            bounds,
+            d,
+            x_lo,
+            x_hi,
+        )
+    }
+}
+
+/// The shared z-blocked scalar collide body, against a raw base pointer so
+/// the rayon drivers can run it per disjoint x-chunk.
+///
+/// # Safety
+/// `base_ptr` must point to `total = q·slab_len` initialised doubles laid
+/// out as consecutive velocity slabs of a field with allocated dims `d`; the
+/// caller must guarantee exclusive access to the x-planes `[x_lo, x_hi)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn collide_cells_raw<O: CollideOp>(
+    base_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    ctx: &KernelCtx,
+    oc: &OpConsts,
+    bounds: &BoundarySpec,
+    d: crate::index::Dim3,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    // SAFETY: forwarded contract.
+    unsafe {
+        if ctx.third_order() {
+            collide_cells_impl::<true, O>(
+                base_ptr, total, slab_len, ctx, oc, bounds, d, x_lo, x_hi,
+            );
+        } else {
+            collide_cells_impl::<false, O>(
+                base_ptr, total, slab_len, ctx, oc, bounds, d, x_lo, x_hi,
+            );
+        }
+    }
+}
+
+/// # Safety
+/// See [`collide_cells_raw`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn collide_cells_impl<const THIRD: bool, O: CollideOp>(
+    base_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    ctx: &KernelCtx,
+    oc: &OpConsts,
+    bounds: &BoundarySpec,
+    d: crate::index::Dim3,
+    x_lo: usize,
+    x_hi: usize,
+) {
+    let q = ctx.lat.q();
+    let k = &ctx.consts;
+    let omega = ctx.omega;
+    let fluid_y = bounds.fluid_y(d.ny);
+    let mask = bounds.mask();
+    let hg = oc.half_g;
+    let g = oc.g;
+
+    let mut rho = [0.0f64; ZB];
+    let mut mx = [0.0f64; ZB];
+    let mut my = [0.0f64; ZB];
+    let mut mz = [0.0f64; ZB];
+    let mut ux = [0.0f64; ZB];
+    let mut uy = [0.0f64; ZB];
+    let mut uz = [0.0f64; ZB];
+    let mut u2 = [0.0f64; ZB];
+    let mut ug = [0.0f64; ZB];
+
+    for x in x_lo..x_hi {
+        for y in fluid_y.clone() {
+            let base = d.idx(x, y, 0);
+            // Fluid z-runs of this row (one full run when there is no mask),
+            // each swept with the CF/LoBr z-blocking.
+            let mut zs = 0usize;
+            while let Some((run_lo, run_hi)) = next_fluid_run(mask, y, d.nz, &mut zs) {
+                let mut z0 = run_lo;
+                while z0 < run_hi {
+                    let blk = (run_hi - z0).min(ZB);
+                    rho[..blk].fill(0.0);
+                    mx[..blk].fill(0.0);
+                    my[..blk].fill(0.0);
+                    mz[..blk].fill(0.0);
+                    for i in 0..q {
+                        let c = oc.cw[i];
+                        let off = i * slab_len + base + z0;
+                        debug_assert!(off + blk <= total);
+                        // SAFETY: off+blk ≤ total per the layout contract.
+                        let p = unsafe { base_ptr.add(off) as *const f64 };
+                        for j in 0..blk {
+                            let fv = unsafe { *p.add(j) };
+                            rho[j] += fv;
+                            mx[j] += fv * c[0];
+                            my[j] += fv * c[1];
+                            mz[j] += fv * c[2];
+                        }
+                    }
+                    for j in 0..blk {
+                        let inv = 1.0 / rho[j];
+                        if O::FORCED {
+                            ux[j] = (mx[j] + hg[0]) * inv;
+                            uy[j] = (my[j] + hg[1]) * inv;
+                            uz[j] = (mz[j] + hg[2]) * inv;
+                            ug[j] = ux[j] * g[0] + uy[j] * g[1] + uz[j] * g[2];
+                        } else {
+                            ux[j] = mx[j] * inv;
+                            uy[j] = my[j] * inv;
+                            uz[j] = mz[j] * inv;
+                        }
+                        u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
+                    }
+                    for i in 0..q {
+                        let c = oc.cw[i];
+                        let w = c[3];
+                        let off = i * slab_len + base + z0;
+                        debug_assert!(off + blk <= total);
+                        // SAFETY: as above; writes stay within this caller's
+                        // exclusive x range.
+                        let p = unsafe { base_ptr.add(off) };
+                        for j in 0..blk {
+                            let xi = c[0] * ux[j] + c[1] * uy[j] + c[2] * uz[j];
+                            let mut poly =
+                                1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2[j] * k.inv_2cs2;
+                            if THIRD {
+                                poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
+                            }
+                            let feq = w * rho[j] * poly;
+                            unsafe {
+                                let fv = *p.add(j);
+                                let mut next = fv + omega * (feq - fv);
+                                if O::FORCED {
+                                    next += oc.sa[i] - oc.sb[i] * ug[j] + oc.sc[i] * xi;
+                                }
+                                *p.add(j) = next;
+                            }
+                        }
+                    }
+                    z0 += blk;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::{ChannelWalls, SectionMask};
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::index::Dim3;
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.9).unwrap())
+    }
+
+    fn random_field(q: usize, dims: Dim3, seed: u64) -> DistField {
+        let mut f = DistField::new(q, dims, 0).unwrap();
+        let mut state = seed | 1;
+        for v in f.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = 0.02 + (state % 613) as f64 / 900.0;
+        }
+        f
+    }
+
+    #[test]
+    fn plain_op_is_bitwise_the_cf_collide() {
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(4, 5, 130); // straddles two z-blocks
+            let mut a = random_field(c.lat.q(), dims, 31);
+            let mut b = a.clone();
+            crate::kernels::dh::collide(&c, &mut a, 0, dims.nx);
+            collide_cells(&c, &mut b, 0, dims.nx, PlainBgk, &BoundarySpec::periodic());
+            assert_eq!(a.max_abs_diff_owned(&b), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn guo_with_zero_force_is_bitwise_plain() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(3, 6, 9);
+        let bounds = BoundarySpec::periodic().with_walls(ChannelWalls::no_slip(1));
+        let mut a = random_field(c.lat.q(), dims, 7);
+        let mut b = a.clone();
+        collide_cells(&c, &mut a, 0, dims.nx, PlainBgk, &bounds);
+        collide_cells(&c, &mut b, 0, dims.nx, GuoForced { g: [0.0; 3] }, &bounds);
+        assert_eq!(a.max_abs_diff_owned(&b), 0.0);
+    }
+
+    #[test]
+    fn fluid_runs_respect_mask_and_walls() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(3, 6, 5);
+        let bounds = BoundarySpec::periodic()
+            .with_walls(ChannelWalls::no_slip(1))
+            .with_mask(SectionMask::from_fn(6, 5, |_y, z| z == 2));
+        let mut f = random_field(c.lat.q(), dims, 23);
+        let before = f.clone();
+        collide_cells(
+            &c,
+            &mut f,
+            0,
+            dims.nx,
+            GuoForced {
+                g: [1e-4, 0.0, 0.0],
+            },
+            &bounds,
+        );
+        let d = f.alloc_dims();
+        for i in 0..c.lat.q() {
+            for x in 0..dims.nx {
+                for z in 0..dims.nz {
+                    for y in [0usize, 5] {
+                        let lin = d.idx(x, y, z);
+                        assert_eq!(f.slab(i)[lin], before.slab(i)[lin], "wall row");
+                    }
+                    let lin = d.idx(x, 3, z);
+                    if z == 2 {
+                        assert_eq!(f.slab(i)[lin], before.slab(i)[lin], "masked");
+                    }
+                }
+            }
+        }
+        assert!(f.max_abs_diff_owned(&before) > 0.0, "fluid must collide");
+    }
+
+    #[test]
+    fn source_coefficients_reproduce_guo_source() {
+        // sa − sb(u·G) + sc·ξ must equal guo_source_i to rounding.
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let g = [3e-4, -2e-4, 1e-4];
+            let oc = OpConsts::new(&c, &GuoForced { g });
+            let u = [0.05, -0.02, 0.03];
+            let ug = u[0] * g[0] + u[1] * g[1] + u[2] * g[2];
+            for i in 0..c.lat.q() {
+                let cf = oc.cw[i];
+                let xi = cf[0] * u[0] + cf[1] * u[1] + cf[2] * u[2];
+                let s = oc.sa[i] - oc.sb[i] * ug + oc.sc[i] * xi;
+                let want = crate::collision::guo_source_i(&c.lat, i, u, g, c.omega);
+                assert!(
+                    (s - want).abs() < 1e-18 + 1e-12 * want.abs(),
+                    "{kind:?} i={i}: {s} vs {want}"
+                );
+            }
+        }
+    }
+}

@@ -23,9 +23,10 @@
 
 use rayon::prelude::*;
 
+use crate::boundary::BoundarySpec;
 use crate::field::DistField;
-use crate::kernels::dh::ZB;
-use crate::kernels::{dh, fused_simd, KernelCtx, StreamTables};
+use crate::kernels::op::{self, CollideOp, OpConsts, PlainBgk};
+use crate::kernels::{dh, fused_simd, simd, KernelCtx, StreamTables};
 
 /// Parallel pull-stream over `x ∈ [x_lo, x_hi)` (one velocity per task),
 /// using the DH rotate-copy row routine.
@@ -79,18 +80,43 @@ fn chunk_count(planes: usize) -> usize {
 /// Parallel single-pass BGK collide over `x ∈ [x_lo, x_hi)`.
 ///
 /// Bit-identical to the serial CF collide (same accumulation order, same
-/// reciprocal form, same z-blocking).
+/// reciprocal form, same z-blocking) — the [`PlainBgk`] instantiation of the
+/// shared boundary-aware driver.
 pub fn collide_par(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize) {
+    collide_cells_par(
+        ctx,
+        f,
+        x_lo,
+        x_hi,
+        PlainBgk,
+        &BoundarySpec::periodic(),
+        false,
+    );
+}
+
+/// Rayon-parallel boundary-aware collide: disjoint x-plane chunks each
+/// running the rule `op` over the fluid cells of `bounds`, bit-identical to
+/// the matching serial driver. With `use_simd` the chunks run the AVX2+FMA
+/// kernel of [`crate::kernels::simd`] (scalar fallback when unavailable);
+/// otherwise the shared scalar body of [`crate::kernels::op`].
+pub fn collide_cells_par<O: CollideOp>(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+    use_simd: bool,
+) {
     let d = f.alloc_dims();
     debug_assert!(x_hi <= d.nx);
     if x_lo >= x_hi {
         return;
     }
-    let q = ctx.lat.q();
     let slab_len = f.slab_len();
     let total = f.as_slice().len();
-    let third = ctx.third_order();
     let base = SendPtr(f.as_mut_ptr());
+    let oc = OpConsts::new(ctx, &op);
 
     let planes = x_hi - x_lo;
     let chunks = chunk_count(planes);
@@ -105,10 +131,10 @@ pub fn collide_par(ctx: &KernelCtx, f: &mut DistField, x_lo: usize, x_hi: usize)
         // only offsets i·slab_len + idx(x,·,·) with x ∈ [lo, hi), which are
         // disjoint between tasks; `total`/`slab_len` bound all offsets.
         unsafe {
-            if third {
-                collide_planes::<true>(p.0, total, d, q, slab_len, ctx, lo, hi);
+            if use_simd {
+                simd::collide_cells_raw::<O>(p.0, total, slab_len, ctx, &oc, bounds, d, lo, hi);
             } else {
-                collide_planes::<false>(p.0, total, d, q, slab_len, ctx, lo, hi);
+                op::collide_cells_raw::<O>(p.0, total, slab_len, ctx, &oc, bounds, d, lo, hi);
             }
         }
     });
@@ -158,92 +184,44 @@ pub fn stream_collide_par(
     });
 }
 
-/// Line-blocked single-pass collide over `x ∈ [x_lo, x_hi)` against a raw
-/// base pointer — the body shared (structurally) with the serial CF kernel.
+/// Rayon-parallel *scenario* fused stream+collide over `x ∈ [x_lo, x_hi)`:
+/// the boundary-aware single pass (wall rows transformed, masked cells
+/// bounced, fluid cells collided under `op`) per disjoint destination
+/// x-chunk. Bit-identical to the serial scenario fused kernel.
 ///
-/// # Safety
-/// `base_ptr` must point to `total = q·slab_len` initialised doubles laid
-/// out as consecutive velocity slabs of a field with allocated dims `d`;
-/// the caller must guarantee exclusive access to the x-planes `[x_lo, x_hi)`.
+/// Halo contract as for [`fused_simd::stream_collide`].
 #[allow(clippy::too_many_arguments)]
-unsafe fn collide_planes<const THIRD: bool>(
-    base_ptr: *mut f64,
-    total: usize,
-    d: crate::index::Dim3,
-    q: usize,
-    slab_len: usize,
+pub fn stream_collide_cells_par<O: CollideOp>(
     ctx: &KernelCtx,
+    tables: &StreamTables,
+    src: &DistField,
+    dst: &mut DistField,
     x_lo: usize,
     x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
 ) {
-    let k = &ctx.consts;
-    let omega = ctx.omega;
-
-    let mut rho = [0.0f64; ZB];
-    let mut mx = [0.0f64; ZB];
-    let mut my = [0.0f64; ZB];
-    let mut mz = [0.0f64; ZB];
-    let mut ux = [0.0f64; ZB];
-    let mut uy = [0.0f64; ZB];
-    let mut uz = [0.0f64; ZB];
-    let mut u2 = [0.0f64; ZB];
-
-    for x in x_lo..x_hi {
-        for y in 0..d.ny {
-            let base = d.idx(x, y, 0);
-            let mut z0 = 0;
-            while z0 < d.nz {
-                let blk = (d.nz - z0).min(ZB);
-                rho[..blk].fill(0.0);
-                mx[..blk].fill(0.0);
-                my[..blk].fill(0.0);
-                mz[..blk].fill(0.0);
-                for i in 0..q {
-                    let c = k.c[i];
-                    let off = i * slab_len + base + z0;
-                    debug_assert!(off + blk <= total);
-                    // SAFETY: off+blk ≤ total per the layout contract.
-                    let p = unsafe { base_ptr.add(off) as *const f64 };
-                    for j in 0..blk {
-                        let fv = unsafe { *p.add(j) };
-                        rho[j] += fv;
-                        mx[j] += fv * c[0];
-                        my[j] += fv * c[1];
-                        mz[j] += fv * c[2];
-                    }
-                }
-                for j in 0..blk {
-                    let inv = 1.0 / rho[j];
-                    ux[j] = mx[j] * inv;
-                    uy[j] = my[j] * inv;
-                    uz[j] = mz[j] * inv;
-                    u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
-                }
-                for i in 0..q {
-                    let c = k.c[i];
-                    let w = k.w[i];
-                    let off = i * slab_len + base + z0;
-                    debug_assert!(off + blk <= total);
-                    // SAFETY: as above; writes stay within this task's x range.
-                    let p = unsafe { base_ptr.add(off) };
-                    for j in 0..blk {
-                        let xi = c[0] * ux[j] + c[1] * uy[j] + c[2] * uz[j];
-                        let mut poly =
-                            1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2[j] * k.inv_2cs2;
-                        if THIRD {
-                            poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
-                        }
-                        let feq = w * rho[j] * poly;
-                        unsafe {
-                            let fv = *p.add(j);
-                            *p.add(j) = fv + omega * (feq - fv);
-                        }
-                    }
-                }
-                z0 += blk;
-            }
-        }
+    if x_lo >= x_hi {
+        return;
     }
+    crate::kernels::fused::check_fused_bounds(ctx, src, dst, x_lo, x_hi);
+    let total = dst.as_slice().len();
+    let base = SendPtr(dst.as_mut_ptr());
+    let planes = x_hi - x_lo;
+    let chunks = chunk_count(planes);
+
+    (0..chunks).into_par_iter().for_each(|c| {
+        let (lo, hi) = chunk_bounds(x_lo, planes, chunks, c);
+        if lo >= hi {
+            return;
+        }
+        let p = base;
+        // SAFETY: as in `stream_collide_par` — disjoint in-bounds dst
+        // x-planes per task, `src` read-only and non-aliasing.
+        unsafe {
+            fused_simd::stream_collide_cells_raw(ctx, tables, src, p.0, total, lo, hi, op, bounds)
+        }
+    });
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use lbm_core::boundary::{BoundarySpec, ChannelWalls, SectionMask, WallKind};
 use lbm_core::collision::Bgk;
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::field::DistField;
@@ -44,6 +45,17 @@ fn arb_kind() -> impl Strategy<Value = LatticeKind> {
 
 fn arb_order() -> impl Strategy<Value = EqOrder> {
     prop_oneof![Just(EqOrder::Second), Just(EqOrder::Third)]
+}
+
+fn arb_wall() -> impl Strategy<Value = WallKind> {
+    prop_oneof![
+        Just(WallKind::BounceBack),
+        Just(WallKind::Moving {
+            u: [0.04, 0.0, -0.02],
+            rho: 1.0
+        }),
+        Just(WallKind::Diffuse { u: [0.0; 3] }),
+    ]
 }
 
 proptest! {
@@ -202,6 +214,135 @@ proptest! {
         kernels::stream_collide(OptLevel::Fused, &ctx, &tables, &src, &mut parts, k, k + split);
         kernels::stream_collide(
             OptLevel::Fused, &ctx, &tables, &src, &mut parts, k + split, k + nx,
+        );
+        prop_assert_eq!(whole.max_abs_diff_owned(&parts), 0.0, "{:?}", kind);
+    }
+
+    /// The forced/walled scenario kernels — scalar cell-operator body, AVX2
+    /// split collide, scalar fused single pass, SIMD fused single pass, and
+    /// both rayon drivers — agree with the split scenario reference
+    /// (stream → boundary apply → scalar forced collide) across all four
+    /// lattices, both equilibrium orders, every wall kind and an optional
+    /// mask: bitwise for the scalar paths and serial≡rayon, within FMA
+    /// re-rounding for the vectorized ones.
+    #[test]
+    fn forced_variants_match_split_scenario_reference(
+        kind in arb_kind(),
+        order in arb_order(),
+        low in arb_wall(),
+        high in arb_wall(),
+        masked in any::<bool>(),
+        nx in 1usize..5,
+        ny_extra in 1usize..5,
+        nz in 8usize..24,
+        gx in -1e-4f64..1e-4,
+        gz in -1e-4f64..1e-4,
+        tau in 0.55f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let ctx = KernelCtx::new(kind, order, Bgk::new(tau).unwrap());
+        let k = ctx.lat.reach();
+        let ny = 2 * k + 1 + ny_extra;
+        let dims = Dim3::new(nx, ny, nz);
+        let mut bounds = BoundarySpec::periodic().with_walls(ChannelWalls { low, high, layers: k });
+        if masked {
+            // A thick solid z-slab carved out of the fluid rows.
+            bounds = bounds.with_mask(SectionMask::from_fn(ny, nz, |_y, z| z >= nz - 4));
+        }
+        let g = [gx, 0.0, gz];
+        let src = seeded_field(ctx.lat.q(), dims, k, seed);
+        let tables = StreamTables::new(ny, nz);
+
+        // Split scenario reference: rung stream, boundary transform, scalar
+        // forced collide (the Orig…LoBr scenario pipeline).
+        let mut split = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream(OptLevel::Dh, &ctx, &tables, &src, &mut split, k, k + nx);
+        bounds.apply(&ctx, &mut split, k, k + nx);
+        kernels::forced::collide_forced(&ctx, &mut split, k, k + nx, g, &bounds);
+
+        // Scalar fused scenario pass is bitwise the split pipeline.
+        let mut fused_scalar = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::fused::stream_collide_cells(
+            &ctx, &tables, &src, &mut fused_scalar, k, k + nx,
+            kernels::GuoForced { g }, &bounds,
+        );
+        prop_assert_eq!(
+            split.max_abs_diff_owned(&fused_scalar), 0.0,
+            "{:?}/{:?} scalar fused scenario", kind, order
+        );
+
+        // SIMD fused scenario differs only by FMA re-rounding.
+        let mut fused_vec = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream_collide_scenario(
+            &ctx, &tables, &src, &mut fused_vec, k, k + nx, g, &bounds,
+        );
+        let diff = split.max_abs_diff_owned(&fused_vec);
+        prop_assert!(diff < 1e-12, "{:?}/{:?} simd fused scenario: diff={}", kind, order, diff);
+
+        // SIMD split collide (the Simd rung's scenario path) likewise.
+        let mut simd_split = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream(OptLevel::Simd, &ctx, &tables, &src, &mut simd_split, k, k + nx);
+        bounds.apply(&ctx, &mut simd_split, k, k + nx);
+        kernels::collide_scenario(OptLevel::Simd, &ctx, &mut simd_split, k, k + nx, g, &bounds);
+        let diff = split.max_abs_diff_owned(&simd_split);
+        prop_assert!(diff < 1e-12, "{:?}/{:?} simd split scenario: diff={}", kind, order, diff);
+
+        // The rayon drivers are bitwise identical to their serial kernels,
+        // at both kernel classes and for the fused scenario pass.
+        let mut par_scalar = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream(OptLevel::Dh, &ctx, &tables, &src, &mut par_scalar, k, k + nx);
+        bounds.apply(&ctx, &mut par_scalar, k, k + nx);
+        kernels::forced::collide_forced_par(&ctx, &mut par_scalar, k, k + nx, g, &bounds);
+        prop_assert_eq!(
+            split.max_abs_diff_owned(&par_scalar), 0.0,
+            "{:?}/{:?} rayon scalar scenario", kind, order
+        );
+
+        let mut par_simd = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream(OptLevel::Simd, &ctx, &tables, &src, &mut par_simd, k, k + nx);
+        bounds.apply(&ctx, &mut par_simd, k, k + nx);
+        kernels::collide_scenario_par(OptLevel::Simd, &ctx, &mut par_simd, k, k + nx, g, &bounds);
+        prop_assert_eq!(
+            simd_split.max_abs_diff_owned(&par_simd), 0.0,
+            "{:?}/{:?} rayon simd scenario", kind, order
+        );
+
+        let mut par_fused = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream_collide_scenario_par(
+            &ctx, &tables, &src, &mut par_fused, k, k + nx, g, &bounds,
+        );
+        prop_assert_eq!(
+            fused_vec.max_abs_diff_owned(&par_fused), 0.0,
+            "{:?}/{:?} rayon fused scenario", kind, order
+        );
+    }
+
+    /// Scenario fused over [lo,hi) equals scenario fused over any split of
+    /// the range — the invariant the distributed border-first overlap
+    /// schedule depends on for walled/forced flows.
+    #[test]
+    fn forced_fused_is_x_split_invariant(
+        kind in arb_kind(),
+        nx in 2usize..7,
+        split in 1usize..6,
+        nz in 8usize..24,
+        seed in any::<u64>(),
+    ) {
+        let split = split.min(nx - 1);
+        let ctx = ctx_for(kind, 0.8);
+        let k = ctx.lat.reach();
+        let ny = 2 * k + 4;
+        let dims = Dim3::new(nx, ny, nz);
+        let bounds = BoundarySpec::periodic().with_walls(ChannelWalls::no_slip(k));
+        let g = [2e-5, 0.0, -1e-5];
+        let src = seeded_field(ctx.lat.q(), dims, k, seed);
+        let tables = StreamTables::new(ny, nz);
+        let mut whole = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream_collide_scenario(&ctx, &tables, &src, &mut whole, k, k + nx, g, &bounds);
+        let mut parts = DistField::new(ctx.lat.q(), dims, k).unwrap();
+        kernels::stream_collide_scenario(&ctx, &tables, &src, &mut parts, k, k + split, g, &bounds);
+        kernels::stream_collide_scenario(
+            &ctx, &tables, &src, &mut parts, k + split, k + nx, g, &bounds,
         );
         prop_assert_eq!(whole.max_abs_diff_owned(&parts), 0.0, "{:?}", kind);
     }

@@ -37,31 +37,31 @@
 //!
 //! ## Scenario path (walls / masks / forcing)
 //!
-//! A [`crate::scenario::Scenario`] with boundaries or a body force routes
-//! every sub-step through the exact split pipeline, at any requested
-//! [`OptLevel`]. The *stream* half still runs the rung's kernel (the
-//! `Fused` rung falls back to its split SIMD-class stream, since the
-//! single-pass kernel cannot interleave the post-stream boundary
-//! transform); the *collide* half is always the scalar Guo-forced
-//! fluid-row kernel of [`kernels::forced`] — a SIMD variant is an open
-//! item, so expect the Simd/Fused rungs to show their full separation only
-//! on periodic unforced scenarios. The sequence:
+//! A [`crate::scenario::Scenario`] with boundaries or a body force runs at
+//! any requested [`OptLevel`] with its rung's own kernel class, via the
+//! composable cell operators of `lbm_core::kernels::op`:
 //!
-//! 1. pull-stream `[lo, hi)` (all rows, solid included, so walls see the
-//!    arrivals),
-//! 2. the eager mid-step exchange, when that schedule is active (the
-//!    exchanged post-stream borders are pre-boundary on both sides, keeping
-//!    ghost planes consistent),
-//! 3. [`BoundarySpec::apply`] over the same `[lo, hi)` region — wall rows
-//!    and masked cells transform their arrivals; because the spec is
-//!    rank-local (the decomposition cuts x only), ghost planes evolve
-//!    identically to the neighbour's owned planes at any ghost depth,
-//! 4. Guo-forced BGK collide over the fluid cells only
-//!    ([`kernels::forced`]), with the Fig. 7 border-first split when the
-//!    overlap schedule is on.
+//! * the scalar rungs (`Orig`…`LoBr`/`NbC`/`GcC`) run the exact split
+//!   pipeline — pull-stream `[lo, hi)` (all rows, solid included, so walls
+//!   see the arrivals), the eager mid-step exchange when that schedule is
+//!   active, [`BoundarySpec::apply`] over the same region, then the shared
+//!   scalar Guo-forced fluid-row collide ([`kernels::collide_scenario`])
+//!   with the Fig. 7 border-first split when the overlap schedule is on;
+//! * the `Simd` rung runs the same split pipeline with the AVX2+FMA
+//!   boundary-aware collide (force broadcast into the vectorized moment
+//!   accumulation, `SectionMask`-aware row dispatch);
+//! * the `Fused` rung runs the boundary-aware *single pass*
+//!   ([`kernels::stream_collide_scenario`]): fluid cells are gathered,
+//!   boundary-transformed-or-collided and stored in one sweep (the scalar
+//!   pass bitwise identical to the split pipeline, the AVX2 pass within
+//!   FMA re-rounding), scheduled exactly like the plain fused rung —
+//!   owned borders fused first, sends posted, ghost + interior fused
+//!   while the messages fly.
 //!
-//! Periodic unforced scenarios (e.g. Taylor–Green) take the fast paths
-//! above unchanged, fused single pass included.
+//! Because the boundary spec is rank-local (the decomposition cuts x only),
+//! ghost planes evolve identically to the neighbour's owned planes at any
+//! ghost depth, under every class. Periodic unforced scenarios (e.g.
+//! Taylor–Green) take the fast paths above unchanged.
 
 use std::time::Instant;
 
@@ -412,30 +412,59 @@ impl RankSolver {
         let plain = self.bounds.is_periodic() && force == [0.0; 3];
 
         if !plain {
-            // Scenario path: exact split pipeline (see module docs). Stream
-            // everything (solid rows included, so walls see the arrivals)…
-            self.stream(lo, hi);
-            if self.strategy == CommStrategy::NonBlockingEager && self.sub.ranks > 1 {
-                // …exchange the pre-boundary post-stream borders (both sides
-                // pack pre-boundary state, so ghost planes stay consistent)…
-                self.midstep_exchange(comm, j);
-            }
-            // …transform wall rows and masked cells over the same region…
-            self.bounds.apply(&self.ctx, &mut self.tmp, lo, hi);
-            if overlap_now {
-                // …then the Fig. 7 overlap: collide the owned borders first
-                // (their fluid rows are final after this — solid rows were
-                // finalised by the boundary transform), post the sends, and
-                // collide the rest while the messages fly.
-                let (border_lo, border_hi) = self.overlap_borders();
-                self.collide_scenario(border_lo.0, border_lo.1, force);
-                self.collide_scenario(border_hi.0, border_hi.1, force);
-                self.post_border_sends(comm);
-                self.collide_scenario(lo, own_lo, force);
-                self.collide_scenario(border_lo.1, border_hi.0, force);
-                self.collide_scenario(own_hi, hi, force);
+            if self.level.kernel_class() == KernelClass::Fused {
+                // Scenario single-pass schedule: the boundary-aware fused
+                // kernel writes complete post-boundary/post-collision
+                // planes (wall rows transformed, masked cells bounced,
+                // fluid cells Guo-collided), so the Fig. 7 overlap applies
+                // exactly as on the plain fused path.
+                if overlap_now {
+                    let (border_lo, border_hi) = self.overlap_borders();
+                    self.fused_scenario(border_lo.0, border_lo.1, force);
+                    self.fused_scenario(border_hi.0, border_hi.1, force);
+                    self.post_border_sends(comm);
+                    self.fused_scenario(lo, own_lo, force);
+                    self.fused_scenario(border_lo.1, border_hi.0, force);
+                    self.fused_scenario(own_hi, hi, force);
+                } else {
+                    self.fused_scenario(lo, hi, force);
+                    if self.strategy == CommStrategy::NonBlockingEager && self.sub.ranks > 1 {
+                        // The eager emulation pays its mid-step stall; as on
+                        // the plain fused path the exchanged borders are
+                        // final-state, which the next cycle's boundary
+                        // exchange overwrites either way.
+                        self.midstep_exchange(comm, j);
+                    }
+                }
             } else {
-                self.collide_scenario(lo, hi, force);
+                // Scenario split pipeline (see module docs). Stream
+                // everything (solid rows included, so walls see the
+                // arrivals)…
+                self.stream(lo, hi);
+                if self.strategy == CommStrategy::NonBlockingEager && self.sub.ranks > 1 {
+                    // …exchange the pre-boundary post-stream borders (both
+                    // sides pack pre-boundary state, so ghost planes stay
+                    // consistent)…
+                    self.midstep_exchange(comm, j);
+                }
+                // …transform wall rows and masked cells over the same region…
+                self.bounds.apply(&self.ctx, &mut self.tmp, lo, hi);
+                if overlap_now {
+                    // …then the Fig. 7 overlap: collide the owned borders
+                    // first (their fluid rows are final after this — solid
+                    // rows were finalised by the boundary transform), post
+                    // the sends, and collide the rest while the messages
+                    // fly.
+                    let (border_lo, border_hi) = self.overlap_borders();
+                    self.collide_scenario(border_lo.0, border_lo.1, force);
+                    self.collide_scenario(border_hi.0, border_hi.1, force);
+                    self.post_border_sends(comm);
+                    self.collide_scenario(lo, own_lo, force);
+                    self.collide_scenario(border_lo.1, border_hi.0, force);
+                    self.collide_scenario(own_hi, hi, force);
+                } else {
+                    self.collide_scenario(lo, hi, force);
+                }
             }
         } else if self.level.kernel_class() == KernelClass::Fused {
             // Single-pass schedule: the fused kernel writes complete
@@ -541,15 +570,18 @@ impl RankSolver {
     }
 
     /// Scenario collide: BGK + Guo forcing over the fluid cells of
-    /// `x ∈ [lo, hi)` (wall rows and masked cells skipped), threaded when
-    /// the rank has a pool — bit-identical to serial either way.
+    /// `x ∈ [lo, hi)` (wall rows and masked cells skipped), running the
+    /// rung's kernel class (scalar below `Simd`, AVX2+FMA at `Simd` and
+    /// above) and threaded when the rank has a pool — bit-identical to
+    /// serial either way.
     fn collide_scenario(&mut self, lo: usize, hi: usize, g: [f64; 3]) {
         if lo >= hi {
             return;
         }
         match &self.pool {
             Some(pool) if self.level >= OptLevel::Dh => pool.install(|| {
-                kernels::forced::collide_forced_par(
+                kernels::collide_scenario_par(
+                    self.level,
                     &self.ctx,
                     &mut self.tmp,
                     lo,
@@ -558,7 +590,48 @@ impl RankSolver {
                     &self.bounds,
                 );
             }),
-            _ => kernels::forced::collide_forced(&self.ctx, &mut self.tmp, lo, hi, g, &self.bounds),
+            _ => kernels::collide_scenario(
+                self.level,
+                &self.ctx,
+                &mut self.tmp,
+                lo,
+                hi,
+                g,
+                &self.bounds,
+            ),
+        }
+    }
+
+    /// One boundary-aware fused pass `tmp ← boundary+collide(pull(f))` over
+    /// `x ∈ [lo, hi)` — the scenario form of [`Self::fused`], threaded when
+    /// the rank has a pool (bit-identical to serial).
+    fn fused_scenario(&mut self, lo: usize, hi: usize, g: [f64; 3]) {
+        if lo >= hi {
+            return;
+        }
+        match &self.pool {
+            Some(pool) => pool.install(|| {
+                kernels::stream_collide_scenario_par(
+                    &self.ctx,
+                    &self.tables,
+                    &self.f,
+                    &mut self.tmp,
+                    lo,
+                    hi,
+                    g,
+                    &self.bounds,
+                );
+            }),
+            None => kernels::stream_collide_scenario(
+                &self.ctx,
+                &self.tables,
+                &self.f,
+                &mut self.tmp,
+                lo,
+                hi,
+                g,
+                &self.bounds,
+            ),
         }
     }
 

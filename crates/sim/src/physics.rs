@@ -12,7 +12,8 @@
 //!
 //! Since the `Scenario`/`Simulation` redesign this is a thin convenience
 //! wrapper: the wall/mask transform is [`BoundarySpec::apply`] and the
-//! forced collide is [`kernels::forced`] — the same code the distributed
+//! forced collide is [`kernels::forced`] — the scalar-class instantiation
+//! of the same `CollideOp` cell-operator machinery the distributed
 //! [`crate::distributed::RankSolver`] runs, so the two stacks cannot drift.
 //! Prefer [`crate::Simulation`] with a [`crate::Scenario`] for new code;
 //! this type remains for flows that mutate the force mid-run (the pulsatile

@@ -141,6 +141,172 @@ fn scenario_results_are_rank_count_invariant() {
     }
 }
 
+/// The walled/forced scenarios of the acceptance matrix, on a common box.
+fn forced_scenarios() -> Vec<(&'static str, ScenarioHandle, Dim3)> {
+    vec![
+        (
+            "poiseuille_channel",
+            ScenarioHandle::new(PoiseuilleChannel::new(1e-5)),
+            Dim3::new(8, 11, 8),
+        ),
+        (
+            "couette_flow",
+            ScenarioHandle::new(CouetteFlow::new(0.04)),
+            Dim3::new(8, 11, 8),
+        ),
+        (
+            "knudsen_microchannel",
+            ScenarioHandle::new(KnudsenMicrochannel::new(0.2).with_layers(1)),
+            Dim3::new(8, 11, 8),
+        ),
+    ]
+}
+
+/// Acceptance matrix: Poiseuille, Couette and Knudsen run distributed
+/// (ranks ≥ 2 × threads) at *every* rung of the nine-level ladder — not
+/// just Fused — with global mass conserved to 1e-9 relative and results
+/// bitwise identical serial vs threaded at every rung.
+#[test]
+fn forced_scenarios_run_at_every_opt_level_distributed() {
+    use lbm::comm::Universe;
+    use lbm::sim::distributed::RankSolver;
+
+    for (name, scenario, global) in forced_scenarios() {
+        for level in OptLevel::ALL {
+            let base = builder_for(&scenario, global).ranks(2).level(level);
+            let run = |threads: usize| {
+                let cfg = base.clone().threads(threads).build_config().unwrap();
+                Universe::run(cfg.ranks, CostModel::free(), |comm| {
+                    let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+                    s.run(comm, 10);
+                    (s.owned_snapshot(), s.local_invariants().0)
+                })
+            };
+            let serial = run(1);
+            let threaded = run(4);
+            let mass: f64 = serial.iter().map(|(_, m)| m).sum();
+            let expected = (global.nx * global.ny * global.nz) as f64;
+            assert!(
+                (mass - expected).abs() < 1e-9 * expected,
+                "{name} at {}: mass {mass} vs {expected}",
+                level.name()
+            );
+            for ((a, _), (b, _)) in serial.iter().zip(&threaded) {
+                assert_eq!(
+                    a.max_abs_diff_owned(b),
+                    0.0,
+                    "{name} at {}: threads changed bits",
+                    level.name()
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance matrix: at a fixed decomposition, every rung computes the
+/// same walled/forced flow — the scalar classes bitwise (their scenario
+/// collide is one shared cell-operator body), the vectorized classes
+/// within accumulated FMA re-rounding.
+#[test]
+fn forced_scenarios_agree_across_all_opt_levels() {
+    use lbm::comm::Universe;
+    use lbm::sim::distributed::RankSolver;
+
+    for (name, scenario, global) in forced_scenarios() {
+        let owned = |level: OptLevel| {
+            let cfg = builder_for(&scenario, global)
+                .ranks(2)
+                .level(level)
+                .build_config()
+                .unwrap();
+            Universe::run(cfg.ranks, CostModel::free(), |comm| {
+                let mut s = RankSolver::new(&cfg, comm.rank()).unwrap();
+                s.run(comm, 8);
+                s.owned_snapshot()
+            })
+        };
+        let reference = owned(OptLevel::LoBr);
+        for level in OptLevel::ALL {
+            let snaps = owned(level);
+            let mut max = 0.0f64;
+            for (a, b) in reference.iter().zip(&snaps) {
+                max = max.max(a.max_abs_diff_owned(b));
+            }
+            assert!(
+                max < 1e-11,
+                "{name}: {} differs from LoBr by {max}",
+                level.name()
+            );
+        }
+    }
+}
+
+/// Acceptance matrix: the Poiseuille parabola (< 2% L2) and the Couette
+/// linear profile (< 5% L2) hold at every rung of the ladder, not just the
+/// rung the original validation tests ran.
+#[test]
+fn channel_profiles_validate_at_every_opt_level() {
+    for level in OptLevel::ALL {
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 11, 8))
+            .scenario(PoiseuilleChannel::new(1e-5))
+            .tau(0.9)
+            .level(level)
+            .build()
+            .unwrap();
+        sim.run_local(1500).unwrap();
+        let measured = sim.probe().unwrap().profile.unwrap();
+        let reference = sim.reference_profile().unwrap();
+        let err = l2_error(&measured, &reference);
+        assert!(
+            err < 0.02,
+            "Poiseuille at {}: relative L2 error {err:.4} ≥ 2%",
+            level.name()
+        );
+
+        // ny = 15: the ny = 11 box's *steady-state* (discretization) L2 sits
+        // right at the 5% bound; 13 fluid rows leave margin.
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 15, 8))
+            .scenario(CouetteFlow::new(0.04))
+            .tau(0.8)
+            .level(level)
+            .build()
+            .unwrap();
+        sim.run_local(2500).unwrap();
+        let measured = sim.probe().unwrap().profile.unwrap();
+        let reference = sim.reference_profile().unwrap();
+        let err = l2_error(&measured, &reference);
+        assert!(
+            err < 0.05,
+            "Couette at {}: relative L2 error {err:.4} ≥ 5%",
+            level.name()
+        );
+    }
+}
+
+/// Acceptance matrix: kinetic wall slip survives every distinct kernel
+/// class of the scenario collide (scalar, AVX2 split, fused single-pass).
+#[test]
+fn knudsen_slip_survives_every_kernel_class() {
+    for level in [OptLevel::LoBr, OptLevel::Simd, OptLevel::Fused] {
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(4, 13, 8))
+            .scenario(KnudsenMicrochannel::new(0.06).with_layers(1))
+            .level(level)
+            .build()
+            .unwrap();
+        sim.run_local(2000).unwrap();
+        let p = sim.probe().unwrap().profile.unwrap();
+        let wall = 0.5 * (p[0] + p[p.len() - 1]);
+        let centre = p[p.len() / 2];
+        assert!(centre > 0.0, "{}: no flow", level.name());
+        let slip_ratio = wall / centre;
+        assert!(
+            slip_ratio > 0.15,
+            "{}: expected kinetic slip, got ratio {slip_ratio} ({p:?})",
+            level.name()
+        );
+    }
+}
+
 /// Acceptance: distributed Poiseuille at the Fused rung converges to the
 /// analytic parabola with < 2% L2 error.
 #[test]
