@@ -3,29 +3,32 @@
 //! trajectory is regression-checkable from CI.
 //!
 //! Runs the full extended optimization ladder (`Orig` … `Fused`) through the
-//! distributed solver for each requested lattice × scenario and records
-//! MFLUPS, the per-rung bytes/cell traffic model (`4·Q·8` for the split
-//! pipeline, `2·Q·8` for the fused top rung), the implied achieved
+//! distributed solver for each requested lattice × scenario × storage mode
+//! and records MFLUPS, the per-rung bytes/cell traffic model (`4·Q·8` for
+//! the split two-grid pipeline, `2·Q·8` for the fused top rung and for
+//! every AA-mode rung), the resident population bytes, the implied achieved
 //! bandwidth, and the mass-conservation drift. The summary block carries
-//! the headline ratios per (lattice, scenario) — `fused_over_simd`, the
-//! payoff of the paper's §VII "reduce the memory accesses per lattice
-//! update" direction, and `fused_over_lobr`, the fused rung against the
-//! scalar-class baseline — computed from the rungs actually run and
-//! labelled with the scenario they were measured on.
+//! the headline ratios per (lattice, scenario) — `fused_over_simd` /
+//! `fused_over_lobr` from the two-grid ladder, and `aa_over_two_grid`
+//! (same-rung MFLUPS ratio at the topmost rung run in both modes) plus
+//! `aa_resident_over_two_grid` (the footprint halving) when both storage
+//! modes were measured.
 //!
 //! ```sh
 //! cargo run --release -p lbm-bench --bin bench_mflups -- \
 //!     [--global NX NY NZ] [--steps S] [--warmup W] [--repeats N] \
 //!     [--ranks R] [--threads T] [--lattices D3Q19,D3Q39] \
 //!     [--levels SIMD,Fused] [--scenario taylor_green,poiseuille] \
-//!     [--out BENCH_kernels.json]
+//!     [--storage two_grid,aa] [--out BENCH_kernels.json]
 //! ```
 //!
 //! Defaults: every lattice at a DRAM-resident per-lattice box, the periodic
-//! `taylor_green` scenario, single rank, single thread, best of 2 repeats,
-//! output to `BENCH_kernels.json`. `--scenario poiseuille` (walled +
-//! forced), `couette`, `cavity` and `knudsen` exercise the boundary-aware
-//! kernel variants; wall layers adapt to each lattice's reach.
+//! `taylor_green` scenario, two-grid storage, single rank, single thread,
+//! best of 2 repeats, output to `BENCH_kernels.json`. `--scenario
+//! poiseuille` (walled + forced), `couette`, `cavity` and `knudsen`
+//! exercise the boundary-aware kernel variants; wall layers adapt to each
+//! lattice's reach. `--storage two_grid,aa` measures both storage modes
+//! and emits the `aa_over_two_grid` comparison.
 
 use std::process::ExitCode;
 
@@ -33,6 +36,7 @@ use lbm_bench::json::Json;
 use lbm_bench::{f, Table};
 use lbm_comm::CostModel;
 use lbm_core::equilibrium::EqOrder;
+use lbm_core::field::StorageMode;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::{simd, KernelClass, OptLevel};
 use lbm_core::lattice::{Lattice, LatticeKind};
@@ -51,6 +55,7 @@ struct Args {
     lattices: Vec<LatticeKind>,
     levels: Vec<OptLevel>,
     scenarios: Vec<String>,
+    storages: Vec<StorageMode>,
     /// Equilibrium-order override (`None` = each lattice's natural order).
     order: Option<EqOrder>,
     out: String,
@@ -61,8 +66,10 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: bench_mflups [--global NX NY NZ] [--steps S] [--warmup W] \
          [--repeats N] [--ranks R] [--threads T] [--lattices A,B] \
-         [--levels L1,L2] [--scenario S1,S2] [--order O2|O3] [--out PATH]\n\
-         scenarios: taylor_green (default), poiseuille, couette, cavity, knudsen"
+         [--levels L1,L2] [--scenario S1,S2] [--storage two_grid,aa] \
+         [--order O2|O3] [--out PATH]\n\
+         scenarios: taylor_green (default), poiseuille, couette, cavity, knudsen\n\
+         storage modes: two_grid (default), aa"
     );
     std::process::exit(2);
 }
@@ -113,6 +120,7 @@ fn parse_args() -> Args {
         lattices: LatticeKind::ALL.to_vec(),
         levels: OptLevel::ALL.to_vec(),
         scenarios: vec!["taylor_green".to_string()],
+        storages: vec![StorageMode::TwoGrid],
         order: None,
         out: "BENCH_kernels.json".to_string(),
     };
@@ -175,6 +183,19 @@ fn parse_args() -> Args {
                     let _ = scenario_for(s, LatticeKind::D3Q19);
                 }
             }
+            "--storage" | "--storages" => {
+                i += 1;
+                let spec = argv
+                    .get(i)
+                    .unwrap_or_else(|| usage("--storage needs a list"));
+                a.storages = spec
+                    .split(',')
+                    .map(|s| {
+                        StorageMode::parse(s)
+                            .unwrap_or_else(|| usage(&format!("unknown storage mode {s:?}")))
+                    })
+                    .collect();
+            }
             "--order" => {
                 i += 1;
                 a.order = match argv.get(i).map(String::as_str) {
@@ -209,13 +230,15 @@ fn default_box(kind: LatticeKind) -> Dim3 {
     }
 }
 
-/// The per-rung traffic model in bytes per cell update: the split two-array
-/// pipeline moves `4·Q·8` (stream read+write, collide read+write); the
-/// fused single pass moves `2·Q·8` (one read, one write per velocity).
-fn model_bytes_per_cell(level: OptLevel, q: usize) -> usize {
-    match level.kernel_class() {
-        KernelClass::Fused => 2 * q * 8,
-        _ => 4 * q * 8,
+/// The per-rung traffic model in bytes per cell update. Two-grid: the
+/// split two-array pipeline moves `4·Q·8` (stream read+write, collide
+/// read+write) and the fused single pass `2·Q·8` (one read, one write per
+/// velocity). AA: every rung is a single in-place pass — `2·Q·8` at every
+/// level.
+fn model_bytes_per_cell(level: OptLevel, q: usize, storage: StorageMode) -> usize {
+    match (storage, level.kernel_class()) {
+        (StorageMode::InPlaceAa, _) | (StorageMode::TwoGrid, KernelClass::Fused) => 2 * q * 8,
+        (StorageMode::TwoGrid, _) => 4 * q * 8,
     }
 }
 
@@ -223,6 +246,7 @@ fn run_entry(
     args: &Args,
     kind: LatticeKind,
     level: OptLevel,
+    storage: StorageMode,
     scenario: &Option<ScenarioHandle>,
 ) -> (RunReport, Json, f64) {
     let global = args.global.unwrap_or_else(|| default_box(kind));
@@ -231,6 +255,7 @@ fn run_entry(
         .threads(args.threads)
         .warmup(args.warmup)
         .level(level)
+        .storage(storage)
         .cost(CostModel::free());
     if let Some(s) = scenario {
         builder = builder.scenario(s.clone());
@@ -246,7 +271,7 @@ fn run_entry(
         .max_by(|a, b| a.mflups.total_cmp(&b.mflups))
         .unwrap();
     let q = Lattice::new(kind).q();
-    let bytes = model_bytes_per_cell(level, q);
+    let bytes = model_bytes_per_cell(level, q, storage);
     let achieved_gbs = rep.mflups * 1e6 * bytes as f64 / 1e9;
     let expected_mass = (global.nx * global.ny * global.nz) as f64;
     let mass_rel_err = ((rep.mass - expected_mass) / expected_mass).abs();
@@ -255,6 +280,7 @@ fn run_entry(
         ("q", Json::Int(q as i64)),
         ("scenario", Json::str(rep.scenario.clone())),
         ("level", Json::str(level.name())),
+        ("storage", Json::str(storage.name())),
         ("eq_order", Json::str(eq_order.label())),
         ("kernel", Json::str(format!("{:?}", level.kernel_class()))),
         ("strategy", Json::str(rep.strategy.clone())),
@@ -273,6 +299,10 @@ fn run_entry(
         ("mflups", Json::Num(rep.mflups)),
         ("mflups_with_ghost", Json::Num(rep.mflups_with_ghost)),
         ("bytes_per_cell_model", Json::Int(bytes as i64)),
+        (
+            "resident_population_bytes",
+            Json::Int(rep.resident_population_bytes() as i64),
+        ),
         ("achieved_gbs_model", Json::Num(achieved_gbs)),
         ("mass_rel_err", Json::Num(mass_rel_err)),
     ]);
@@ -291,61 +321,75 @@ fn main() -> ExitCode {
         for scenario_arg in &args.scenarios {
             let (scenario_name, scenario) = scenario_for(scenario_arg, kind);
             let global = args.global.unwrap_or_else(|| default_box(kind));
-            println!(
-                "{} / {} (box {}×{}×{}, {} rank(s) × {} thread(s), {} steps, best of {}):",
-                kind.name(),
-                scenario_name,
-                global.nx,
-                global.ny,
-                global.nz,
-                args.ranks,
-                args.threads,
-                args.steps,
-                args.repeats
-            );
-            // The speedup column baselines against the first level actually
-            // run (the whole ladder by default, i.e. Orig) — label it
-            // honestly.
-            let base_name = args.levels.first().map(|l| l.name()).unwrap_or("-");
-            let mut t = Table::new(vec![
-                "rung".to_string(),
-                "kernel".to_string(),
-                "MFlup/s".to_string(),
-                "B/cell".to_string(),
-                "~GB/s".to_string(),
-                format!("vs {base_name}"),
-                "mass err".to_string(),
-            ]);
-            let mut orig: Option<f64> = None;
-            let mut per_level: Vec<(OptLevel, f64)> = Vec::new();
-            for &level in &args.levels {
-                let (rep, entry, mass_err) = run_entry(&args, kind, level, &scenario);
-                let base = *orig.get_or_insert(rep.mflups);
-                let q = Lattice::new(kind).q();
-                t.row(vec![
-                    level.name().to_string(),
-                    format!("{:?}", level.kernel_class()),
-                    f(rep.mflups, 1),
-                    format!("{}", model_bytes_per_cell(level, q)),
-                    f(
-                        rep.mflups * 1e6 * model_bytes_per_cell(level, q) as f64 / 1e9,
-                        1,
-                    ),
-                    format!("{:.2}x", rep.mflups / base),
-                    format!("{mass_err:.1e}"),
+            // (storage, level) → (mflups, resident bytes).
+            let mut measured: Vec<(StorageMode, OptLevel, f64, u64)> = Vec::new();
+            for &storage in &args.storages {
+                println!(
+                    "{} / {} / {} (box {}×{}×{}, {} rank(s) × {} thread(s), {} steps, best of {}):",
+                    kind.name(),
+                    scenario_name,
+                    storage.name(),
+                    global.nx,
+                    global.ny,
+                    global.nz,
+                    args.ranks,
+                    args.threads,
+                    args.steps,
+                    args.repeats
+                );
+                // The speedup column baselines against the first level
+                // actually run (the whole ladder by default, i.e. Orig) —
+                // label it honestly.
+                let base_name = args.levels.first().map(|l| l.name()).unwrap_or("-");
+                let mut t = Table::new(vec![
+                    "rung".to_string(),
+                    "kernel".to_string(),
+                    "MFlup/s".to_string(),
+                    "B/cell".to_string(),
+                    "~GB/s".to_string(),
+                    format!("vs {base_name}"),
+                    "resident MB".to_string(),
+                    "mass err".to_string(),
                 ]);
-                per_level.push((level, rep.mflups));
-                runs.push(entry);
+                let mut orig: Option<f64> = None;
+                for &level in &args.levels {
+                    let (rep, entry, mass_err) = run_entry(&args, kind, level, storage, &scenario);
+                    let base = *orig.get_or_insert(rep.mflups);
+                    let q = Lattice::new(kind).q();
+                    let bytes = model_bytes_per_cell(level, q, storage);
+                    let resident = rep.resident_population_bytes();
+                    t.row(vec![
+                        level.name().to_string(),
+                        format!("{:?}", level.kernel_class()),
+                        f(rep.mflups, 1),
+                        format!("{bytes}"),
+                        f(rep.mflups * 1e6 * bytes as f64 / 1e9, 1),
+                        format!("{:.2}x", rep.mflups / base),
+                        f(resident as f64 / 1e6, 1),
+                        format!("{mass_err:.1e}"),
+                    ]);
+                    measured.push((storage, level, rep.mflups, resident));
+                    runs.push(entry);
+                }
+                t.print();
             }
-            t.print();
 
             // Headline ratios from the rungs *actually run* in this
             // (lattice, scenario) sweep — never a ratio borrowed from a
-            // different scenario's ladder.
-            let find = |l: OptLevel| per_level.iter().find(|(x, _)| *x == l).map(|(_, m)| *m);
-            let simd_m = find(OptLevel::Simd);
-            let fused_m = find(OptLevel::Fused);
-            let lobr_m = find(OptLevel::LoBr);
+            // different scenario's ladder. Ladder ratios come from the
+            // two-grid sweep (the paper's ladder); the storage comparison
+            // is same-rung AA vs two-grid at the topmost common rung.
+            let find = |st: StorageMode, l: OptLevel| {
+                measured
+                    .iter()
+                    .find(|(s, x, _, _)| *s == st && *x == l)
+                    .map(|(_, _, m, b)| (*m, *b))
+            };
+            let tg = StorageMode::TwoGrid;
+            let aa = StorageMode::InPlaceAa;
+            let simd_m = find(tg, OptLevel::Simd).map(|(m, _)| m);
+            let fused_m = find(tg, OptLevel::Fused).map(|(m, _)| m);
+            let lobr_m = find(tg, OptLevel::LoBr).map(|(m, _)| m);
             let ratio = match (simd_m, fused_m) {
                 (Some(s), Some(fu)) if s > 0.0 => Some(fu / s),
                 _ => None,
@@ -365,6 +409,33 @@ fn main() -> ExitCode {
             }
             if let Some(r) = ratio_lobr {
                 println!("  Fused vs LoBr ({scenario_name}): {r:.2}x");
+            }
+            // Same-rung AA vs two-grid at the topmost rung run in both.
+            let top_common = args
+                .levels
+                .iter()
+                .rev()
+                .find(|l| find(tg, **l).is_some() && find(aa, **l).is_some())
+                .copied();
+            let mut aa_over = None;
+            let mut aa_resident_over = None;
+            let mut aa_top = None;
+            if let Some(level) = top_common {
+                let (tg_m, tg_b) = find(tg, level).unwrap();
+                let (aa_m, aa_b) = find(aa, level).unwrap();
+                if tg_m > 0.0 {
+                    aa_over = Some(aa_m / tg_m);
+                }
+                if tg_b > 0 {
+                    aa_resident_over = Some(aa_b as f64 / tg_b as f64);
+                }
+                aa_top = Some(aa_m);
+                println!(
+                    "  AA vs two-grid at {} ({scenario_name}): {:.2}x MFlup/s, {:.2}x resident",
+                    level.name(),
+                    aa_over.unwrap_or(0.0),
+                    aa_resident_over.unwrap_or(0.0)
+                );
             }
             println!();
             let key = if scenario_name == "taylor_green" {
@@ -387,13 +458,22 @@ fn main() -> ExitCode {
                         "fused_over_lobr",
                         ratio_lobr.map(Json::Num).unwrap_or(Json::Null),
                     ),
+                    ("aa_mflups", aa_top.map(Json::Num).unwrap_or(Json::Null)),
+                    (
+                        "aa_over_two_grid",
+                        aa_over.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "aa_resident_over_two_grid",
+                        aa_resident_over.map(Json::Num).unwrap_or(Json::Null),
+                    ),
                 ]),
             ));
         }
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::str("lbm-bench/kernels-mflups/v2")),
+        ("schema", Json::str("lbm-bench/kernels-mflups/v3")),
         (
             "host",
             Json::obj(vec![

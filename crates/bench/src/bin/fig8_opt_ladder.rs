@@ -43,7 +43,11 @@ fn main() {
         (LatticeKind::D3Q39, Dim3::new(64, 40, 40), 10),
     ] {
         let lat = Lattice::new(kind);
-        let traffic = KernelTraffic::lbm(lat.q(), lat.flops_per_cell());
+        let traffic = KernelTraffic::lbm(
+            lat.q(),
+            lat.flops_per_cell(),
+            lbm_core::field::StorageMode::TwoGrid,
+        );
         let bound = attainable(&host, &traffic);
         println!(
             "{}  (box {}×{}×{}, {} ranks, {} steps; host model peak {} MFlup/s):",

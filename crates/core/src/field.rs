@@ -7,12 +7,69 @@
 //! a halo of ghost planes on each side (the ghost-cell pattern of §V-A);
 //! y and z carry no halos because the decomposition is one-dimensional.
 //!
-//! Two instances form the `distr`/`distr_adv` double buffer of the paper's
-//! Fig. 2; the solver swaps them each step.
+//! How many instances a solver holds is the [`StorageMode`]'s business:
+//! [`StorageMode::TwoGrid`] keeps the `distr`/`distr_adv` double buffer of
+//! the paper's Fig. 2 (two resident populations, swapped each step), while
+//! [`StorageMode::InPlaceAa`] streams in place over a *single* resident
+//! population using the AA access pattern (even step: read-local/write-local
+//! collide; odd step: gather-swapped, collide, scatter-swapped — see
+//! [`crate::kernels::aa`]), halving resident population memory.
 
 use crate::align::AlignedBuf;
 use crate::error::{Error, Result};
 use crate::index::Dim3;
+
+/// How the particle distribution is resident in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageMode {
+    /// The paper's layout: two full population arrays (`distr`/`distr_adv`),
+    /// swapped every step. Every rung of the optimization ladder runs on it.
+    #[default]
+    TwoGrid,
+    /// AA-pattern in-place streaming: one population array, updated in place
+    /// by the alternating even/odd access pattern of
+    /// [`crate::kernels::aa`]. Half the resident population memory of
+    /// [`StorageMode::TwoGrid`] and `2·Q·8` bytes of model traffic per cell
+    /// update instead of the paper's `3·Q·8`.
+    InPlaceAa,
+}
+
+impl StorageMode {
+    /// Both modes, two-grid first.
+    pub const ALL: [StorageMode; 2] = [StorageMode::TwoGrid, StorageMode::InPlaceAa];
+
+    /// Stable label (`"two_grid"` / `"aa"`), used by benches and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StorageMode::TwoGrid => "two_grid",
+            StorageMode::InPlaceAa => "aa",
+        }
+    }
+
+    /// Parse a label (case-insensitive; accepts `two_grid`/`twogrid`/`tg`
+    /// and `aa`/`in_place_aa`).
+    pub fn parse(s: &str) -> Option<Self> {
+        let t: String = s
+            .trim()
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match t.as_str() {
+            "twogrid" | "tg" | "two" => StorageMode::TwoGrid,
+            "aa" | "inplaceaa" | "inplace" => StorageMode::InPlaceAa,
+            _ => return None,
+        })
+    }
+
+    /// Resident population arrays a solver holds in this mode.
+    pub const fn resident_grids(self) -> usize {
+        match self {
+            StorageMode::TwoGrid => 2,
+            StorageMode::InPlaceAa => 1,
+        }
+    }
+}
 
 /// Structure-of-arrays storage for the particle distribution on one rank's
 /// subdomain, halo-extended along x.
@@ -128,6 +185,12 @@ impl DistField {
     #[inline]
     pub fn as_mut_ptr(&mut self) -> *mut f64 {
         self.data.as_mut_ptr()
+    }
+
+    /// Bytes of resident population storage backing this field.
+    #[inline]
+    pub fn resident_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f64>()) as u64
     }
 
     /// Gather the Q populations of one cell into `out`.
@@ -302,6 +365,28 @@ mod tests {
         assert_eq!(f.owned_x(), 2..10);
         assert_eq!(f.slab_len(), 12 * 16);
         assert_eq!(f.as_slice().len(), 19 * 12 * 16);
+    }
+
+    #[test]
+    fn storage_mode_labels_round_trip() {
+        for m in StorageMode::ALL {
+            assert_eq!(StorageMode::parse(m.name()), Some(m), "{}", m.name());
+        }
+        assert_eq!(StorageMode::parse("TWO_GRID"), Some(StorageMode::TwoGrid));
+        assert_eq!(
+            StorageMode::parse("in-place-aa"),
+            Some(StorageMode::InPlaceAa)
+        );
+        assert_eq!(StorageMode::parse("bogus"), None);
+        assert_eq!(StorageMode::TwoGrid.resident_grids(), 2);
+        assert_eq!(StorageMode::InPlaceAa.resident_grids(), 1);
+        assert_eq!(StorageMode::default(), StorageMode::TwoGrid);
+    }
+
+    #[test]
+    fn resident_bytes_counts_the_allocation() {
+        let f = DistField::new(19, Dim3::new(8, 4, 4), 2).unwrap();
+        assert_eq!(f.resident_bytes(), (19 * 12 * 16 * 8) as u64);
     }
 
     #[test]

@@ -3,10 +3,25 @@
 //! All initialisers set the field to the local equilibrium of a prescribed
 //! macroscopic state — the standard LBM start that avoids initial
 //! transients beyond the physical ones.
+//!
+//! The `*_streamed` variants build the *arrivals* representation the
+//! AA-pattern storage mode ([`crate::field::StorageMode::InPlaceAa`]) stores
+//! at even steps: population `i` of a cell holds the equilibrium evaluated
+//! at the **upwind** site `x − c_i` (periodically wrapped), i.e. the
+//! pull-stream of the two-grid initial field. Initialising AA this way makes
+//! the in-place trajectory site-for-site the streamed image of the two-grid
+//! trajectory, which is what the `aa ≡ two_grid` parity suites compare.
 
 use crate::equilibrium::feq_i;
 use crate::field::DistField;
+use crate::index::Dim3;
 use crate::kernels::{KernelCtx, MAX_Q};
+
+/// Periodic wrap of a possibly-negative coordinate into `[0, n)`.
+#[inline]
+fn wrap_coord(i: isize, n: usize) -> usize {
+    i.rem_euclid(n as isize) as usize
+}
 
 /// Set every owned and halo cell to equilibrium at `(rho, u)`.
 pub fn uniform(ctx: &KernelCtx, f: &mut DistField, rho: f64, u: [f64; 3]) {
@@ -45,6 +60,48 @@ where
     }
 }
 
+/// AA-pattern (arrivals) initialisation: set population `i` of every
+/// allocated cell to the equilibrium of the macroscopic state at its
+/// *upwind* site — `f_i(x) = f^eq_i(state(x − c_i))`, coordinates wrapped
+/// over the **global** periodic box.
+///
+/// `state` receives wrapped global coordinates; `x_start` is this rank's
+/// first owned global x plane (allocation-local `x` maps to global
+/// `x_start + x − halo` before the upwind shift and wrap). `global.ny` /
+/// `global.nz` must equal the allocated cross-section (the decomposition
+/// cuts x only).
+pub fn from_macroscopic_streamed<F>(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    global: Dim3,
+    x_start: isize,
+    mut state: F,
+) where
+    F: FnMut(usize, usize, usize) -> (f64, [f64; 3]),
+{
+    let d = f.alloc_dims();
+    debug_assert_eq!(d.ny, global.ny, "decomposition cuts x only");
+    debug_assert_eq!(d.nz, global.nz, "decomposition cuts x only");
+    let halo = f.halo() as isize;
+    let q = ctx.lat.q();
+    let vel = ctx.lat.velocities().to_vec();
+    for x in 0..d.nx {
+        let gx = x_start + x as isize - halo;
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let lin = d.idx(x, y, z);
+                for (i, c) in vel.iter().enumerate().take(q) {
+                    let ux = wrap_coord(gx - c[0] as isize, global.nx);
+                    let uy = wrap_coord(y as isize - c[1] as isize, global.ny);
+                    let uz = wrap_coord(z as isize - c[2] as isize, global.nz);
+                    let (rho, u) = state(ux, uy, uz);
+                    f.slab_mut(i)[lin] = feq_i(&ctx.lat, ctx.order, i, rho, u);
+                }
+            }
+        }
+    }
+}
+
 /// Taylor–Green-like vortex in the x–y plane (z-invariant), the classic
 /// viscosity-validation flow:
 ///
@@ -69,6 +126,28 @@ pub fn taylor_green(
     from_macroscopic(ctx, f, |x, y, _z| {
         let gx = (x as isize - halo as isize + x_offset) as f64;
         let gy = y as f64;
+        let ux = u0 * (kx * gx).cos() * (ky * gy).sin();
+        let uy = -u0 * (kx * gx).sin() * (ky * gy).cos();
+        (rho0, [ux, uy, 0.0])
+    });
+}
+
+/// [`taylor_green`] in the AA arrivals representation (see
+/// [`from_macroscopic_streamed`]): the streamed image of the two-grid
+/// Taylor–Green start, for [`crate::field::StorageMode::InPlaceAa`] runs.
+pub fn taylor_green_streamed(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    rho0: f64,
+    u0: f64,
+    global: Dim3,
+    x_start: isize,
+) {
+    let kx = 2.0 * std::f64::consts::PI / global.nx as f64;
+    let ky = 2.0 * std::f64::consts::PI / global.ny as f64;
+    from_macroscopic_streamed(ctx, f, global, x_start, |gx, gy, _gz| {
+        let gx = gx as f64;
+        let gy = gy as f64;
         let ux = u0 * (kx * gx).cos() * (ky * gy).sin();
         let uy = -u0 * (kx * gx).sin() * (ky * gy).cos();
         (rho0, [ux, uy, 0.0])
@@ -158,6 +237,35 @@ mod tests {
         f.gather_cell(d.idx(0, 0, 0), &mut cell[..c.lat.q()]);
         let corner = Moments::of_cell(&c.lat, &cell[..c.lat.q()]).rho;
         assert!(centre > corner + 0.05, "{centre} vs {corner}");
+    }
+
+    #[test]
+    fn streamed_init_is_the_gather_of_the_plain_init() {
+        // AA arrivals init must equal the pull-stream of the two-grid init:
+        // f_i(x) = F0[wrap(x − c_i)][i], site for site, bitwise.
+        let c = ctx();
+        let g = Dim3::new(6, 7, 5);
+        let mut plain = DistField::new(c.lat.q(), g, 0).unwrap();
+        taylor_green(&c, &mut plain, 1.0, 0.03, g.nx, g.ny, 0, 0);
+        let mut streamed = DistField::new(c.lat.q(), g, 0).unwrap();
+        taylor_green_streamed(&c, &mut streamed, 1.0, 0.03, g, 0);
+        let d = plain.alloc_dims();
+        for (i, cv) in c.lat.velocities().iter().enumerate() {
+            for x in 0..g.nx {
+                for y in 0..g.ny {
+                    for z in 0..g.nz {
+                        let ux = wrap_coord(x as isize - cv[0] as isize, g.nx);
+                        let uy = wrap_coord(y as isize - cv[1] as isize, g.ny);
+                        let uz = wrap_coord(z as isize - cv[2] as isize, g.nz);
+                        assert_eq!(
+                            streamed.slab(i)[d.idx(x, y, z)],
+                            plain.slab(i)[d.idx(ux, uy, uz)],
+                            "i={i} ({x},{y},{z})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1278 @@
+//! AA-pattern in-place streaming — single-population storage
+//! ([`crate::field::StorageMode::InPlaceAa`]).
+//!
+//! The two-grid ladder moves every population through a `distr`/`distr_adv`
+//! double buffer; the AA pattern (Bailey et al.) keeps **one** resident
+//! array `A` and alternates two access patterns, each of which touches, per
+//! cell, a read set *equal to* its write set — which is what makes the
+//! update safe in place and embarrassingly parallel at any granularity:
+//!
+//! * **even step** (first of each pair) — purely local: read the Q
+//!   populations of cell `x` from their natural slots, apply the cell rule
+//!   (collide, or the wall transform on solid rows), and write result `t_i`
+//!   into the *opposite* slot `A[x][opp(i)]`. No neighbour access at all.
+//! * **odd step** (second of the pair) — gather-swapped reads
+//!   `a_i = A[x−c_i][opp(i)]`, apply the same cell rule, scatter-swapped
+//!   writes `A[x+c_i][i] = t_i`. For each direction `i` the location read
+//!   as `a_{opp(i)}` **is** the location written as `t_i` — so each cell
+//!   touches exactly its own Q slots (`(x+c_j, j)` for all `j`, a bijection
+//!   between cells and slots), reads them all before writing any, and no
+//!   two cells ever share a slot. In-place, conflict-free, and bitwise
+//!   deterministic under threading.
+//!
+//! ## Representation and two-grid correspondence
+//!
+//! At even time steps `A[x][i]` holds the *pre-collision arrivals*
+//! `f_i(t, x)` — the pull-stream of the two-grid state: `A = S(F)` with
+//! `F` the two-grid (post-collision) field and `S` the pull-stream
+//! permutation. One even step later the state is the two-grid field with
+//! slots reversed (`A[x][j] = F[x][opp(j)]`, no spatial shift). Because the
+//! per-cell arithmetic below is shared with the two-grid kernels
+//! ([`crate::kernels::op`]'s rules and constants), the scalar AA trajectory
+//! is the *bitwise* streamed image of the scalar two-grid trajectory; the
+//! AVX2+FMA drivers agree within FMA re-rounding, exactly like the
+//! `Simd`/`Fused` rungs.
+//!
+//! ## Boundaries come for free
+//!
+//! Full-way bounce-back writes `t_i = a_{opp(i)}` — in both AA phases that
+//! is a **no-op** (the value is already in the slot about to be written),
+//! so bounce-back wall rows and masked solid cells are simply *skipped*.
+//! Moving walls add the per-velocity momentum correction in place; diffuse
+//! walls re-emit the gathered mass as wall equilibrium, identical
+//! arithmetic to [`crate::boundary::BoundarySpec::apply`].
+//!
+//! ## Traffic
+//!
+//! Each step reads Q and writes Q doubles per cell in one array: `2·Q·8`
+//! bytes/cell of model traffic (vs the paper's two-grid `3·Q·8`), and half
+//! the resident population memory — see
+//! [`crate::perf::model_bytes_per_cell`].
+
+use crate::boundary::{BoundarySpec, WallKind};
+use crate::equilibrium::{feq_i, EqOrder};
+use crate::field::DistField;
+use crate::index::Dim3;
+use crate::kernels::op::{self, CollideOp, OpConsts};
+use crate::kernels::{simd, KernelCtx, StreamTables, MAX_Q};
+
+/// z-block for the AA gather tiles (Q×ZBA doubles on the stack, ≈20 KiB at
+/// D3Q39 — the same working-set budget as the fused kernel's tile).
+pub(crate) const ZBA: usize = 64;
+
+/// One AA **even** step over planes `x ∈ [x_lo, x_hi)`: in place, per cell,
+/// read-local/write-local (see module docs). The rule `op` is applied to
+/// fluid cells of `bounds`; bounce-back wall rows and masked cells are
+/// exact no-ops; moving/diffuse walls transform in place.
+///
+/// With `use_simd` the tile collide runs AVX2+FMA when the CPU has it
+/// (scalar fallback); the data movement is identical either way.
+pub fn even_cells<O: CollideOp>(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+    use_simd: bool,
+) {
+    if x_lo >= x_hi {
+        return;
+    }
+    let d = f.alloc_dims();
+    assert!(
+        x_hi <= d.nx,
+        "even x-range [{x_lo}, {x_hi}) exceeds nx {}",
+        d.nx
+    );
+    let total = f.as_slice().len();
+    let slab_len = f.slab_len();
+    let ptr = f.as_mut_ptr();
+    let oc = OpConsts::new(ctx, &op);
+    // SAFETY: exclusive &mut access to the whole field; the x-range is
+    // checked above and every offset below stays inside `total`.
+    unsafe {
+        even_cells_raw::<O>(
+            ptr, total, slab_len, ctx, &oc, bounds, d, x_lo, x_hi, use_simd,
+        )
+    }
+}
+
+/// One AA **odd** step over *writer* planes `x ∈ [x_lo, x_hi)`:
+/// gather-swapped reads, collide/transform, scatter-swapped writes (see
+/// module docs). Requires `x_lo ≥ k` and `x_hi + k ≤ nx` (the sweep reads
+/// and writes up to `k` planes outside the writer range).
+pub fn odd_cells<O: CollideOp>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+    use_simd: bool,
+) {
+    if x_lo >= x_hi {
+        return;
+    }
+    check_odd_bounds(ctx, f, x_lo, x_hi);
+    let d = f.alloc_dims();
+    let total = f.as_slice().len();
+    let slab_len = f.slab_len();
+    let ptr = f.as_mut_ptr();
+    let oc = OpConsts::new(ctx, &op);
+    // SAFETY: exclusive &mut access; the bounds check above keeps every
+    // gather/scatter plane inside the allocation.
+    unsafe {
+        odd_cells_raw::<O>(
+            ptr, total, slab_len, ctx, &oc, tables, bounds, d, x_lo, x_hi, use_simd,
+        )
+    }
+}
+
+/// Hard bounds check shared by the safe odd-step entry points: the raw
+/// kernels write through pointers up to `k` planes outside the writer
+/// range, so an out-of-range sweep must fail loudly in release builds too.
+pub(crate) fn check_odd_bounds(ctx: &KernelCtx, f: &DistField, x_lo: usize, x_hi: usize) {
+    let k = ctx.lat.reach();
+    let nx = f.alloc_dims().nx;
+    assert!(
+        x_lo >= k && x_hi + k <= nx,
+        "odd writer range [{x_lo}, {x_hi}) needs k = {k} planes of margin inside nx = {nx}"
+    );
+}
+
+/// Raw-pointer even step, shared with the rayon driver.
+///
+/// # Safety
+/// `base_ptr` must point to `total = q·slab_len` initialised doubles laid
+/// out as consecutive velocity slabs of a field with allocated dims `d`;
+/// the caller must guarantee exclusive access to the x-planes
+/// `[x_lo, x_hi)` (the even step touches no other planes).
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn even_cells_raw<O: CollideOp>(
+    base_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    ctx: &KernelCtx,
+    oc: &OpConsts,
+    bounds: &BoundarySpec,
+    d: Dim3,
+    x_lo: usize,
+    x_hi: usize,
+    use_simd: bool,
+) {
+    let q = ctx.lat.q();
+    let nz = d.nz;
+    let mask = bounds.mask();
+    let mut fq = [[0.0f64; ZBA]; MAX_Q];
+
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            let wall = bounds.wall_row_kind(d.ny, y);
+            if matches!(wall, Some(WallKind::BounceBack)) {
+                continue; // AA even bounce-back is the identity
+            }
+            let dbase = d.idx(x, y, 0);
+            if let Some(kind) = wall {
+                let mut z0 = 0usize;
+                while z0 < nz {
+                    let blk = (nz - z0).min(ZBA);
+                    for (i, line) in fq.iter_mut().enumerate().take(q) {
+                        let off = i * slab_len + dbase + z0;
+                        debug_assert!(off + blk <= total);
+                        // SAFETY: off+blk ≤ total per the layout contract.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                base_ptr.add(off) as *const f64,
+                                line.as_mut_ptr(),
+                                blk,
+                            )
+                        };
+                    }
+                    // SAFETY: same offsets as the gather above.
+                    unsafe {
+                        store_wall_even(
+                            ctx, kind, &fq, oc, q, base_ptr, total, slab_len, dbase, z0, blk,
+                        )
+                    };
+                    z0 += blk;
+                }
+                continue;
+            }
+            // Fluid row: masked solid cells are exact AA no-ops, so the
+            // sweep simply visits the fluid z-runs (identical run logic to
+            // every other boundary-aware driver).
+            let mut zs = 0usize;
+            while let Some((run_lo, run_hi)) = op::next_fluid_run(mask, y, nz, &mut zs) {
+                let mut z0 = run_lo;
+                while z0 < run_hi {
+                    let blk = (run_hi - z0).min(ZBA);
+                    for (i, line) in fq.iter_mut().enumerate().take(q) {
+                        let off = i * slab_len + dbase + z0;
+                        debug_assert!(off + blk <= total);
+                        // SAFETY: off+blk ≤ total.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                base_ptr.add(off) as *const f64,
+                                line.as_mut_ptr(),
+                                blk,
+                            )
+                        };
+                    }
+                    // SAFETY: tile fully initialised for 0..blk.
+                    unsafe { collide_tile::<O>(ctx, oc, &mut fq, blk, use_simd) };
+                    // Store t_i into the opposite slot — contiguous rows.
+                    for i in 0..q {
+                        let off = oc.opp[i] * slab_len + dbase + z0;
+                        debug_assert!(off + blk <= total);
+                        // SAFETY: off+blk ≤ total; writes stay inside this
+                        // caller's exclusive x-planes.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(fq[i].as_ptr(), base_ptr.add(off), blk)
+                        };
+                    }
+                    z0 += blk;
+                }
+            }
+        }
+    }
+}
+
+/// Raw-pointer odd step, shared with the rayon driver.
+///
+/// # Safety
+/// Layout contract as for [`even_cells_raw`]; additionally
+/// `x_lo ≥ k`, `x_hi + k ≤ d.nx`, and the caller must guarantee that no
+/// other thread concurrently touches any slot `(x + c_i, i)` for writer
+/// cells `x ∈ [x_lo, x_hi)`. Because the writer↦slot map is a bijection
+/// (cell `x` owns exactly the slots `(x + c_j, j)`), partitioning writers
+/// into disjoint x-ranges satisfies this even though the written *planes*
+/// overlap chunk boundaries.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn odd_cells_raw<O: CollideOp>(
+    base_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    ctx: &KernelCtx,
+    oc: &OpConsts,
+    tables: &StreamTables,
+    bounds: &BoundarySpec,
+    d: Dim3,
+    x_lo: usize,
+    x_hi: usize,
+    use_simd: bool,
+) {
+    let q = ctx.lat.q();
+    let nz = d.nz;
+    let mask = bounds.mask();
+    let vel = ctx.lat.velocities().to_vec();
+    let mut fq = [[0.0f64; ZBA]; MAX_Q];
+
+    for x in x_lo..x_hi {
+        for y in 0..d.ny {
+            let wall = bounds.wall_row_kind(d.ny, y);
+            if matches!(wall, Some(WallKind::BounceBack)) {
+                continue; // AA odd bounce-back is the identity
+            }
+            if let Some(kind) = wall {
+                let mut z0 = 0usize;
+                while z0 < nz {
+                    let blk = (nz - z0).min(ZBA);
+                    // SAFETY: gather planes x−c are inside the allocation
+                    // per the odd-bounds contract.
+                    unsafe {
+                        gather_swapped(
+                            base_ptr, total, slab_len, &vel, oc, tables, d, q, x, y, z0, blk,
+                            &mut fq,
+                        )
+                    };
+                    // SAFETY: scatter planes x+c inside the allocation.
+                    unsafe {
+                        store_wall_odd(
+                            ctx, kind, &fq, oc, &vel, tables, d, q, base_ptr, total, slab_len, x,
+                            y, z0, blk,
+                        )
+                    };
+                    z0 += blk;
+                }
+                continue;
+            }
+            let mut zs = 0usize;
+            while let Some((run_lo, run_hi)) = op::next_fluid_run(mask, y, nz, &mut zs) {
+                let mut z0 = run_lo;
+                while z0 < run_hi {
+                    let blk = (run_hi - z0).min(ZBA);
+                    // SAFETY: as above.
+                    unsafe {
+                        gather_swapped(
+                            base_ptr, total, slab_len, &vel, oc, tables, d, q, x, y, z0, blk,
+                            &mut fq,
+                        )
+                    };
+                    // SAFETY: tile initialised for 0..blk.
+                    unsafe { collide_tile::<O>(ctx, oc, &mut fq, blk, use_simd) };
+                    // Scatter-swapped store: t_i → A[x+c_i][i]. The slots
+                    // written are exactly the slots gathered above (the
+                    // per-cell read-set == write-set identity).
+                    for (i, c) in vel.iter().enumerate().take(q) {
+                        let xd = (x as isize + c[0] as isize) as usize;
+                        let yd = tables.y_for(-c[1]).src(y);
+                        let row = i * slab_len + d.idx(xd, yd, 0);
+                        debug_assert!(row + nz <= total);
+                        let start = (z0 as isize + c[2] as isize).rem_euclid(nz as isize) as usize;
+                        // SAFETY: row+nz ≤ total and both segments stay
+                        // inside the row.
+                        unsafe { scatter_line(fq[i].as_ptr(), base_ptr.add(row), start, blk, nz) };
+                    }
+                    z0 += blk;
+                }
+            }
+        }
+    }
+}
+
+/// Gather the swapped arrivals of one z-block into `fq`:
+/// `fq[i][j] = A[x−c_i][wrap(y−cy_i)][wrap(z0+j−cz_i)][opp(i)]`.
+///
+/// # Safety
+/// Layout contract as for [`odd_cells_raw`]; `x ± k` must be valid planes.
+#[allow(clippy::too_many_arguments)]
+unsafe fn gather_swapped(
+    base_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    vel: &[[i32; 3]],
+    oc: &OpConsts,
+    tables: &StreamTables,
+    d: Dim3,
+    q: usize,
+    x: usize,
+    y: usize,
+    z0: usize,
+    blk: usize,
+    fq: &mut [[f64; ZBA]; MAX_Q],
+) {
+    let nz = d.nz;
+    for (i, c) in vel.iter().enumerate().take(q) {
+        let xs = (x as isize - c[0] as isize) as usize;
+        let ys = tables.y_for(c[1]).src(y);
+        let row = oc.opp[i] * slab_len + d.idx(xs, ys, 0);
+        debug_assert!(row + nz <= total);
+        let start = (z0 as isize - c[2] as isize).rem_euclid(nz as isize) as usize;
+        let line = fq[i].as_mut_ptr();
+        // SAFETY: row+nz ≤ total; both rotate segments stay inside the row.
+        unsafe {
+            let src = base_ptr.add(row) as *const f64;
+            if start + blk <= nz {
+                std::ptr::copy_nonoverlapping(src.add(start), line, blk);
+            } else {
+                let first = nz - start;
+                std::ptr::copy_nonoverlapping(src.add(start), line, first);
+                std::ptr::copy_nonoverlapping(src, line.add(first), blk - first);
+            }
+        }
+    }
+}
+
+/// Rotate-copy `blk` doubles from `line` into a field row of length `nz`
+/// starting at (wrapped) `start`.
+///
+/// # Safety
+/// `row_ptr` must be valid for `nz` doubles; `blk ≤ nz`.
+unsafe fn scatter_line(line: *const f64, row_ptr: *mut f64, start: usize, blk: usize, nz: usize) {
+    // SAFETY: both segments stay inside the row per the contract.
+    unsafe {
+        if start + blk <= nz {
+            std::ptr::copy_nonoverlapping(line, row_ptr.add(start), blk);
+        } else {
+            let first = nz - start;
+            std::ptr::copy_nonoverlapping(line, row_ptr.add(start), first);
+            std::ptr::copy_nonoverlapping(line.add(first), row_ptr, blk - first);
+        }
+    }
+}
+
+/// AA even-step wall transform for one z-block of a solid row, written to
+/// the *swapped* local slots: slot `m` receives `t_{opp(m)}` (bounce-back
+/// rows never reach here — they are exact no-ops). Identical per-cell
+/// arithmetic to [`crate::boundary::BoundarySpec::apply`].
+///
+/// # Safety
+/// Layout contract as for [`even_cells_raw`]; `dbase + z0 + blk` within
+/// every slab and inside the caller's exclusive x-planes.
+#[allow(clippy::too_many_arguments)]
+unsafe fn store_wall_even(
+    ctx: &KernelCtx,
+    kind: WallKind,
+    fq: &[[f64; ZBA]; MAX_Q],
+    oc: &OpConsts,
+    q: usize,
+    base_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    dbase: usize,
+    z0: usize,
+    blk: usize,
+) {
+    let cs2 = ctx.lat.cs2();
+    match kind {
+        WallKind::BounceBack => unreachable!("bounce-back rows are skipped"),
+        WallKind::Moving { u, rho } => {
+            // Slot m ← a_m + corr_{opp(m)}: the swapped-slot image of
+            // `new[i] = old[opp(i)] + corr_i`.
+            for m in 0..q {
+                let i = oc.opp[m];
+                let c = ctx.lat.velocities()[i];
+                let cu = c[0] as f64 * u[0] + c[1] as f64 * u[1] + c[2] as f64 * u[2];
+                let corr = 2.0 * ctx.lat.weights()[i] * rho * cu / cs2;
+                let off = m * slab_len + dbase + z0;
+                debug_assert!(off + blk <= total);
+                let line = &fq[m];
+                for j in 0..blk {
+                    // SAFETY: off+blk ≤ total per the caller's contract.
+                    unsafe { *base_ptr.add(off + j) = line[j] + corr };
+                }
+            }
+        }
+        WallKind::Diffuse { u } => {
+            // Arriving mass in velocity-index order (matches the two-grid
+            // boundary apply), re-emitted as wall equilibrium.
+            let mut mass = [0.0f64; ZBA];
+            for line in fq.iter().take(q) {
+                for j in 0..blk {
+                    mass[j] += line[j];
+                }
+            }
+            for m in 0..q {
+                let i = oc.opp[m];
+                let off = m * slab_len + dbase + z0;
+                debug_assert!(off + blk <= total);
+                for (j, mj) in mass.iter().enumerate().take(blk) {
+                    // SAFETY: as above.
+                    unsafe { *base_ptr.add(off + j) = feq_i(&ctx.lat, EqOrder::Second, i, *mj, u) };
+                }
+            }
+        }
+    }
+}
+
+/// AA odd-step wall transform for one z-block of a solid row: `t_i` from
+/// the gathered swapped arrivals, scatter-stored to `A[x+c_i][i]`
+/// (bounce-back rows never reach here — exact no-ops).
+///
+/// # Safety
+/// Layout contract as for [`odd_cells_raw`]; `x ± k` valid planes.
+#[allow(clippy::too_many_arguments)]
+unsafe fn store_wall_odd(
+    ctx: &KernelCtx,
+    kind: WallKind,
+    fq: &[[f64; ZBA]; MAX_Q],
+    oc: &OpConsts,
+    vel: &[[i32; 3]],
+    tables: &StreamTables,
+    d: Dim3,
+    q: usize,
+    base_ptr: *mut f64,
+    total: usize,
+    slab_len: usize,
+    x: usize,
+    y: usize,
+    z0: usize,
+    blk: usize,
+) {
+    let cs2 = ctx.lat.cs2();
+    let nz = d.nz;
+    let mut t = [0.0f64; ZBA];
+    let mut mass = [0.0f64; ZBA];
+    if matches!(kind, WallKind::Diffuse { .. }) {
+        mass[..blk].fill(0.0);
+        for line in fq.iter().take(q) {
+            for j in 0..blk {
+                mass[j] += line[j];
+            }
+        }
+    }
+    for (i, c) in vel.iter().enumerate().take(q) {
+        match kind {
+            WallKind::BounceBack => unreachable!("bounce-back rows are skipped"),
+            WallKind::Moving { u, rho } => {
+                let cu = c[0] as f64 * u[0] + c[1] as f64 * u[1] + c[2] as f64 * u[2];
+                let corr = 2.0 * ctx.lat.weights()[i] * rho * cu / cs2;
+                let line = &fq[oc.opp[i]];
+                for j in 0..blk {
+                    t[j] = line[j] + corr;
+                }
+            }
+            WallKind::Diffuse { u } => {
+                for (j, mj) in mass.iter().enumerate().take(blk) {
+                    t[j] = feq_i(&ctx.lat, EqOrder::Second, i, *mj, u);
+                }
+            }
+        }
+        let xd = (x as isize + c[0] as isize) as usize;
+        let yd = tables.y_for(-c[1]).src(y);
+        let row = i * slab_len + d.idx(xd, yd, 0);
+        debug_assert!(row + nz <= total);
+        let start = (z0 as isize + c[2] as isize).rem_euclid(nz as isize) as usize;
+        // SAFETY: row+nz ≤ total; segments inside the row.
+        unsafe { scatter_line(t.as_ptr(), base_ptr.add(row), start, blk, nz) };
+    }
+}
+
+/// Collide one gathered tile in place: `fq[i][j]` holds the arrivals on
+/// entry and the post-rule populations `t_i` on exit. Shared by the even
+/// and odd drivers, so the AA cell arithmetic exists exactly once.
+///
+/// # Safety
+/// `fq[0..q][0..blk]` must be initialised; `blk ≤ ZBA`.
+unsafe fn collide_tile<O: CollideOp>(
+    ctx: &KernelCtx,
+    oc: &OpConsts,
+    fq: &mut [[f64; ZBA]; MAX_Q],
+    blk: usize,
+    use_simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if use_simd && simd::simd_available() {
+            // SAFETY: feature presence checked; contract forwarded.
+            unsafe {
+                if ctx.third_order() {
+                    collide_tile_avx2::<true, O>(ctx, oc, fq, blk);
+                } else {
+                    collide_tile_avx2::<false, O>(ctx, oc, fq, blk);
+                }
+            }
+            return;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_simd;
+    if ctx.third_order() {
+        collide_tile_scalar::<true, O>(ctx, oc, fq, blk);
+    } else {
+        collide_tile_scalar::<false, O>(ctx, oc, fq, blk);
+    }
+}
+
+/// Scalar tile collide — the identical accumulation order and expressions
+/// as the shared two-grid scalar body ([`op::collide_cells`]), so scalar AA
+/// runs are bitwise the streamed image of scalar two-grid runs.
+fn collide_tile_scalar<const THIRD: bool, O: CollideOp>(
+    ctx: &KernelCtx,
+    oc: &OpConsts,
+    fq: &mut [[f64; ZBA]; MAX_Q],
+    blk: usize,
+) {
+    let q = ctx.lat.q();
+    let k = &ctx.consts;
+    let omega = ctx.omega;
+    let hg = oc.half_g;
+    let g = oc.g;
+
+    let mut rho = [0.0f64; ZBA];
+    let mut mx = [0.0f64; ZBA];
+    let mut my = [0.0f64; ZBA];
+    let mut mz = [0.0f64; ZBA];
+    let mut ux = [0.0f64; ZBA];
+    let mut uy = [0.0f64; ZBA];
+    let mut uz = [0.0f64; ZBA];
+    let mut u2 = [0.0f64; ZBA];
+    let mut ug = [0.0f64; ZBA];
+
+    rho[..blk].fill(0.0);
+    mx[..blk].fill(0.0);
+    my[..blk].fill(0.0);
+    mz[..blk].fill(0.0);
+    for i in 0..q {
+        let c = oc.cw[i];
+        let line = &fq[i];
+        for j in 0..blk {
+            let fv = line[j];
+            rho[j] += fv;
+            mx[j] += fv * c[0];
+            my[j] += fv * c[1];
+            mz[j] += fv * c[2];
+        }
+    }
+    for j in 0..blk {
+        let inv = 1.0 / rho[j];
+        if O::FORCED {
+            ux[j] = (mx[j] + hg[0]) * inv;
+            uy[j] = (my[j] + hg[1]) * inv;
+            uz[j] = (mz[j] + hg[2]) * inv;
+            ug[j] = ux[j] * g[0] + uy[j] * g[1] + uz[j] * g[2];
+        } else {
+            ux[j] = mx[j] * inv;
+            uy[j] = my[j] * inv;
+            uz[j] = mz[j] * inv;
+        }
+        u2[j] = ux[j] * ux[j] + uy[j] * uy[j] + uz[j] * uz[j];
+    }
+    for i in 0..q {
+        let c = oc.cw[i];
+        let w = c[3];
+        let line = &mut fq[i];
+        for j in 0..blk {
+            let xi = c[0] * ux[j] + c[1] * uy[j] + c[2] * uz[j];
+            let mut poly = 1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - u2[j] * k.inv_2cs2;
+            if THIRD {
+                poly += xi * (xi * xi - 3.0 * k.cs2 * u2[j]) * k.inv_6cs6;
+            }
+            let feq = w * rho[j] * poly;
+            let fv = line[j];
+            let mut next = fv + omega * (feq - fv);
+            if O::FORCED {
+                next += oc.sa[i] - oc.sb[i] * ug[j] + oc.sc[i] * xi;
+            }
+            line[j] = next;
+        }
+    }
+}
+
+/// AVX2+FMA tile collide: four z-cells per lane group, the same vector
+/// recipe as the `Simd` rung's collide (moment fmadds, one vector
+/// reciprocal via division, equilibrium polynomial, two extra fmas for the
+/// Guo source), with a scalar tail in reciprocal form.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available; `fq[0..q][0..blk]`
+/// initialised, `blk ≤ ZBA`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn collide_tile_avx2<const THIRD: bool, O: CollideOp>(
+    ctx: &KernelCtx,
+    oc: &OpConsts,
+    fq: &mut [[f64; ZBA]; MAX_Q],
+    blk: usize,
+) {
+    use std::arch::x86_64::*;
+
+    const LANES: usize = 4;
+    let q = ctx.lat.q();
+    let k = &ctx.consts;
+    let omega = ctx.omega;
+    let hg = oc.half_g;
+    let g = oc.g;
+
+    let mut rho = [0.0f64; ZBA];
+    let mut vux = [0.0f64; ZBA];
+    let mut vuy = [0.0f64; ZBA];
+    let mut vuz = [0.0f64; ZBA];
+    let mut vu2 = [0.0f64; ZBA];
+    let mut vug = [0.0f64; ZBA];
+
+    // SAFETY: every load/store below is within the first `blk ≤ ZBA`
+    // doubles of a tile row or moment array.
+    unsafe {
+        let v_one = _mm256_set1_pd(1.0);
+        let v_omega = _mm256_set1_pd(omega);
+        let v_inv_cs2 = _mm256_set1_pd(k.inv_cs2);
+        let v_inv_2cs4 = _mm256_set1_pd(k.inv_2cs4);
+        let v_inv_2cs2 = _mm256_set1_pd(k.inv_2cs2);
+        let v_inv_6cs6 = _mm256_set1_pd(k.inv_6cs6);
+        let v_3cs2 = _mm256_set1_pd(3.0 * k.cs2);
+
+        let vec_end = blk - blk % LANES;
+        let mut z = 0usize;
+        while z < vec_end {
+            let mut vrho = _mm256_setzero_pd();
+            let mut vmx = _mm256_setzero_pd();
+            let mut vmy = _mm256_setzero_pd();
+            let mut vmz = _mm256_setzero_pd();
+            for i in 0..q {
+                let c = oc.cw[i];
+                let fv = _mm256_loadu_pd(fq[i].as_ptr().add(z));
+                vrho = _mm256_add_pd(vrho, fv);
+                if c[0] != 0.0 {
+                    vmx = _mm256_fmadd_pd(fv, _mm256_set1_pd(c[0]), vmx);
+                }
+                if c[1] != 0.0 {
+                    vmy = _mm256_fmadd_pd(fv, _mm256_set1_pd(c[1]), vmy);
+                }
+                if c[2] != 0.0 {
+                    vmz = _mm256_fmadd_pd(fv, _mm256_set1_pd(c[2]), vmz);
+                }
+            }
+            let vinv = _mm256_div_pd(v_one, vrho);
+            if O::FORCED {
+                vmx = _mm256_add_pd(vmx, _mm256_set1_pd(hg[0]));
+                vmy = _mm256_add_pd(vmy, _mm256_set1_pd(hg[1]));
+                vmz = _mm256_add_pd(vmz, _mm256_set1_pd(hg[2]));
+            }
+            let ux = _mm256_mul_pd(vmx, vinv);
+            let uy = _mm256_mul_pd(vmy, vinv);
+            let uz = _mm256_mul_pd(vmz, vinv);
+            let u2 = _mm256_fmadd_pd(ux, ux, _mm256_fmadd_pd(uy, uy, _mm256_mul_pd(uz, uz)));
+            let ugv = if O::FORCED {
+                _mm256_fmadd_pd(
+                    ux,
+                    _mm256_set1_pd(g[0]),
+                    _mm256_fmadd_pd(
+                        uy,
+                        _mm256_set1_pd(g[1]),
+                        _mm256_mul_pd(uz, _mm256_set1_pd(g[2])),
+                    ),
+                )
+            } else {
+                _mm256_setzero_pd()
+            };
+            _mm256_storeu_pd(rho.as_mut_ptr().add(z), vrho);
+            _mm256_storeu_pd(vux.as_mut_ptr().add(z), ux);
+            _mm256_storeu_pd(vuy.as_mut_ptr().add(z), uy);
+            _mm256_storeu_pd(vuz.as_mut_ptr().add(z), uz);
+            _mm256_storeu_pd(vu2.as_mut_ptr().add(z), u2);
+            _mm256_storeu_pd(vug.as_mut_ptr().add(z), ugv);
+            z += LANES;
+        }
+        // Scalar tail for the moment pass (reciprocal form, as in `simd`).
+        while z < blk {
+            let mut r = 0.0;
+            let mut m = [0.0f64; 3];
+            for i in 0..q {
+                let c = oc.cw[i];
+                let fv = fq[i][z];
+                r += fv;
+                m[0] += fv * c[0];
+                m[1] += fv * c[1];
+                m[2] += fv * c[2];
+            }
+            let inv = 1.0 / r;
+            let u = if O::FORCED {
+                [
+                    (m[0] + hg[0]) * inv,
+                    (m[1] + hg[1]) * inv,
+                    (m[2] + hg[2]) * inv,
+                ]
+            } else {
+                [m[0] * inv, m[1] * inv, m[2] * inv]
+            };
+            rho[z] = r;
+            vux[z] = u[0];
+            vuy[z] = u[1];
+            vuz[z] = u[2];
+            vu2[z] = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+            vug[z] = u[0] * g[0] + u[1] * g[1] + u[2] * g[2];
+            z += 1;
+        }
+
+        // Relax pass: vector main + scalar tail, writing back into the tile.
+        for i in 0..q {
+            let c = oc.cw[i];
+            let line = fq[i].as_mut_ptr();
+            let mut z = 0usize;
+            while z < vec_end {
+                let ux = _mm256_loadu_pd(vux.as_ptr().add(z));
+                let uy = _mm256_loadu_pd(vuy.as_ptr().add(z));
+                let uz = _mm256_loadu_pd(vuz.as_ptr().add(z));
+                let u2 = _mm256_loadu_pd(vu2.as_ptr().add(z));
+                let vrho = _mm256_loadu_pd(rho.as_ptr().add(z));
+                let mut vxi = _mm256_setzero_pd();
+                if c[0] != 0.0 {
+                    vxi = _mm256_fmadd_pd(_mm256_set1_pd(c[0]), ux, vxi);
+                }
+                if c[1] != 0.0 {
+                    vxi = _mm256_fmadd_pd(_mm256_set1_pd(c[1]), uy, vxi);
+                }
+                if c[2] != 0.0 {
+                    vxi = _mm256_fmadd_pd(_mm256_set1_pd(c[2]), uz, vxi);
+                }
+                let mut vpoly = _mm256_fmadd_pd(vxi, v_inv_cs2, v_one);
+                vpoly = _mm256_fmadd_pd(_mm256_mul_pd(vxi, vxi), v_inv_2cs4, vpoly);
+                vpoly = _mm256_fnmadd_pd(u2, v_inv_2cs2, vpoly);
+                if THIRD {
+                    let t = _mm256_fnmadd_pd(v_3cs2, u2, _mm256_mul_pd(vxi, vxi));
+                    vpoly = _mm256_fmadd_pd(_mm256_mul_pd(vxi, t), v_inv_6cs6, vpoly);
+                }
+                let vfeq = _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(c[3]), vrho), vpoly);
+                let fv = _mm256_loadu_pd(line.add(z));
+                let mut out = _mm256_fmadd_pd(v_omega, _mm256_sub_pd(vfeq, fv), fv);
+                if O::FORCED {
+                    let ugv = _mm256_loadu_pd(vug.as_ptr().add(z));
+                    let vs = _mm256_fmadd_pd(
+                        _mm256_set1_pd(oc.sc[i]),
+                        vxi,
+                        _mm256_fnmadd_pd(_mm256_set1_pd(oc.sb[i]), ugv, _mm256_set1_pd(oc.sa[i])),
+                    );
+                    out = _mm256_add_pd(out, vs);
+                }
+                _mm256_storeu_pd(line.add(z), out);
+                z += LANES;
+            }
+            while z < blk {
+                let xi = c[0] * vux[z] + c[1] * vuy[z] + c[2] * vuz[z];
+                let mut poly = 1.0 + xi * k.inv_cs2 + xi * xi * k.inv_2cs4 - vu2[z] * k.inv_2cs2;
+                if THIRD {
+                    poly += xi * (xi * xi - 3.0 * k.cs2 * vu2[z]) * k.inv_6cs6;
+                }
+                let feq = c[3] * rho[z] * poly;
+                let fv = *line.add(z);
+                let mut next = fv + omega * (feq - fv);
+                if O::FORCED {
+                    next += oc.sa[i] - oc.sb[i] * vug[z] + oc.sc[i] * xi;
+                }
+                *line.add(z) = next;
+                z += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::ChannelWalls;
+    use crate::collision::Bgk;
+    use crate::equilibrium::EqOrder;
+    use crate::kernels::op::{GuoForced, PlainBgk};
+    use crate::kernels::{dh, fused, OptLevel};
+    use crate::lattice::LatticeKind;
+
+    fn ctx(kind: LatticeKind) -> KernelCtx {
+        let order = if kind == LatticeKind::D3Q39 {
+            EqOrder::Third
+        } else {
+            EqOrder::Second
+        };
+        KernelCtx::new(kind, order, Bgk::new(0.8).unwrap())
+    }
+
+    fn random_field(q: usize, dims: Dim3, halo: usize, seed: u64) -> DistField {
+        let mut f = DistField::new(q, dims, halo).unwrap();
+        let mut s = seed | 1;
+        for v in f.as_mut_slice() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = 0.03 + (s % 709) as f64 / 1000.0;
+        }
+        f
+    }
+
+    /// Swap every cell's slots by the bounce-back permutation:
+    /// `out[x][i] = in[x][opp(i)]`.
+    fn unswap(ctx: &KernelCtx, f: &DistField) -> DistField {
+        let mut out = f.clone();
+        for i in 0..ctx.lat.q() {
+            let o = ctx.lat.opposite(i);
+            out.slab_mut(i).copy_from_slice(f.slab(o));
+        }
+        out
+    }
+
+    #[test]
+    fn even_step_is_the_swapped_collide() {
+        // even(A)[x][opp(i)] must equal collide(A)[x][i] bitwise (scalar).
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let dims = Dim3::new(4, 5, 70); // straddles a z-block boundary
+            let a0 = random_field(c.lat.q(), dims, 0, 11);
+
+            let mut collided = a0.clone();
+            op::collide_cells(
+                &c,
+                &mut collided,
+                0,
+                dims.nx,
+                PlainBgk,
+                &BoundarySpec::periodic(),
+            );
+
+            let mut aa = a0.clone();
+            even_cells(
+                &c,
+                &mut aa,
+                0,
+                dims.nx,
+                PlainBgk,
+                &BoundarySpec::periodic(),
+                false,
+            );
+
+            let expect = unswap(&c, &collided);
+            assert_eq!(aa.max_abs_diff_owned(&expect), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn even_step_forced_matches_forced_collide() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(3, 9, 12);
+        let bounds = BoundarySpec::periodic()
+            .with_walls(ChannelWalls::no_slip(1))
+            .with_mask(crate::boundary::SectionMask::from_fn(9, 12, |_y, z| z == 7));
+        let g = [2e-5, -1e-5, 3e-5];
+        let a0 = random_field(c.lat.q(), dims, 0, 17);
+
+        let mut collided = a0.clone();
+        op::collide_cells(&c, &mut collided, 0, dims.nx, GuoForced { g }, &bounds);
+        // Fluid cells of `collided` hold the forced collide; wall rows and
+        // masked cells are untouched there. In AA-even, wall rows
+        // (bounce-back) and masked cells are *no-ops* so they keep A's
+        // natural values — the swapped comparison must account for both.
+        let mut aa = a0.clone();
+        even_cells(&c, &mut aa, 0, dims.nx, GuoForced { g }, &bounds, false);
+
+        let d = aa.alloc_dims();
+        for i in 0..c.lat.q() {
+            let o = c.lat.opposite(i);
+            for x in 0..dims.nx {
+                for y in 0..dims.ny {
+                    for z in 0..dims.nz {
+                        let lin = d.idx(x, y, z);
+                        let solid = y == 0 || y == dims.ny - 1 || z == 7;
+                        let want = if solid {
+                            a0.slab(i)[lin] // no-op at solid cells
+                        } else {
+                            collided.slab(o)[lin] // swapped collide
+                        };
+                        assert_eq!(aa.slab(i)[lin], want, "i={i} ({x},{y},{z})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_step_is_the_streamed_fused_pass() {
+        // With B the swapped post-collision state and N = unswap(B),
+        // odd(B)[x][i] must equal fused(N)[x − c_i][i] (pull-stream of the
+        // fused output) — bitwise in scalar.
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            let dims = Dim3::new(8, 7, 9);
+            let b = random_field(c.lat.q(), dims, 2 * k, 23);
+            let n = unswap(&c, &b);
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let alloc_nx = b.alloc_dims().nx;
+
+            // Two-grid pipeline: fused pass, then a pure pull-stream.
+            let mut fused_out = DistField::new(c.lat.q(), dims, 2 * k).unwrap();
+            fused::stream_collide(&c, &tables, &n, &mut fused_out, k, alloc_nx - k);
+            let mut expect = DistField::new(c.lat.q(), dims, 2 * k).unwrap();
+            dh::stream(
+                &c,
+                &tables,
+                &fused_out,
+                &mut expect,
+                2 * k,
+                alloc_nx - 2 * k,
+            );
+
+            // AA odd pass in place over the same writer range.
+            let mut aa = b.clone();
+            odd_cells(
+                &c,
+                &tables,
+                &mut aa,
+                k,
+                alloc_nx - k,
+                PlainBgk,
+                &BoundarySpec::periodic(),
+                false,
+            );
+
+            // Planes [2k, alloc−2k) of `aa` are complete (all writers
+            // swept); compare those against the streamed fused output.
+            let d = aa.alloc_dims();
+            let mut max: f64 = 0.0;
+            for i in 0..c.lat.q() {
+                for x in 2 * k..alloc_nx - 2 * k {
+                    let base = d.idx(x, 0, 0);
+                    for p in 0..d.plane() {
+                        max = max.max((aa.slab(i)[base + p] - expect.slab(i)[base + p]).abs());
+                    }
+                }
+            }
+            assert_eq!(max, 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn bounce_back_rows_and_masked_cells_are_exact_noops() {
+        let c = ctx(LatticeKind::D3Q19);
+        let k = c.lat.reach();
+        let dims = Dim3::new(6, 8, 9);
+        let bounds = BoundarySpec::periodic()
+            .with_walls(ChannelWalls::no_slip(k))
+            .with_mask(crate::boundary::SectionMask::from_fn(8, 9, |_y, z| z >= 7));
+        let tables = StreamTables::new(dims.ny, dims.nz);
+        let mut f = random_field(c.lat.q(), dims, 2 * k, 31);
+        let before = f.clone();
+        even_cells(&c, &mut f, 2 * k, 2 * k + dims.nx, PlainBgk, &bounds, false);
+        let d = f.alloc_dims();
+        for i in 0..c.lat.q() {
+            for x in 2 * k..2 * k + dims.nx {
+                for z in 0..dims.nz {
+                    for y in [0usize, dims.ny - 1] {
+                        let lin = d.idx(x, y, z);
+                        assert_eq!(f.slab(i)[lin], before.slab(i)[lin], "wall row");
+                    }
+                    if z >= 7 {
+                        let lin = d.idx(x, 3, z);
+                        assert_eq!(f.slab(i)[lin], before.slab(i)[lin], "masked");
+                    }
+                }
+            }
+        }
+        // Odd step: wall/masked slots keep their (post-even) values too.
+        let before_odd = f.clone();
+        let alloc_nx = f.alloc_dims().nx;
+        odd_cells(
+            &c,
+            &tables,
+            &mut f,
+            k,
+            alloc_nx - k,
+            PlainBgk,
+            &bounds,
+            false,
+        );
+        // In the odd step, a slot `(y, i)` is written by writer cell
+        // `y − c_i`; slots whose writer is itself a bounce-back wall cell
+        // must be untouched (slots with fluid writers legitimately receive
+        // the fluid populations streaming into the wall).
+        for (i, cv) in c.lat.velocities().iter().enumerate() {
+            for x in 2 * k + k..2 * k + dims.nx - k {
+                for z in 0..dims.nz {
+                    for y in [0usize, dims.ny - 1] {
+                        let wy =
+                            (y as isize - cv[1] as isize).rem_euclid(dims.ny as isize) as usize;
+                        let writer_is_wall = wy < k || wy >= dims.ny - k;
+                        if !writer_is_wall {
+                            continue;
+                        }
+                        let lin = d.idx(x, y, z);
+                        assert_eq!(
+                            f.slab(i)[lin],
+                            before_odd.slab(i)[lin],
+                            "wall-writer slot i={i} ({x},{y},{z})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moving_and_diffuse_walls_match_the_two_grid_transform() {
+        use crate::boundary::WallKind;
+        // even(A) at a moving/diffuse wall row must equal the swapped
+        // BoundarySpec::apply of A, bitwise.
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(3, 8, 9);
+        let bounds = BoundarySpec::periodic().with_walls(ChannelWalls {
+            low: WallKind::Diffuse { u: [0.0; 3] },
+            high: WallKind::Moving {
+                u: [0.03, 0.0, 0.01],
+                rho: 1.0,
+            },
+            layers: 1,
+        });
+        let a0 = random_field(c.lat.q(), dims, 0, 41);
+
+        let mut two_grid = a0.clone();
+        bounds.apply(&c, &mut two_grid, 0, dims.nx);
+
+        let mut aa = a0.clone();
+        even_cells(&c, &mut aa, 0, dims.nx, PlainBgk, &bounds, false);
+
+        let d = aa.alloc_dims();
+        for i in 0..c.lat.q() {
+            let o = c.lat.opposite(i);
+            for x in 0..dims.nx {
+                for y in [0usize, dims.ny - 1] {
+                    for z in 0..dims.nz {
+                        let lin = d.idx(x, y, z);
+                        assert_eq!(
+                            aa.slab(i)[lin],
+                            two_grid.slab(o)[lin],
+                            "i={i} ({x},{y},{z})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_tile_matches_scalar_within_fma_tolerance() {
+        if !simd::simd_available() {
+            return;
+        }
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            let dims = Dim3::new(6, 7, 11); // scalar tail
+            let bounds = BoundarySpec::periodic();
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let g = [3e-5, 0.0, -1e-5];
+
+            let a0 = random_field(c.lat.q(), dims, 2 * k, 53);
+            let mut s = a0.clone();
+            let mut v = a0.clone();
+            even_cells(
+                &c,
+                &mut s,
+                2 * k,
+                2 * k + dims.nx,
+                GuoForced { g },
+                &bounds,
+                false,
+            );
+            even_cells(
+                &c,
+                &mut v,
+                2 * k,
+                2 * k + dims.nx,
+                GuoForced { g },
+                &bounds,
+                true,
+            );
+            let diff = s.max_abs_diff_owned(&v);
+            assert!(diff < 1e-13, "{kind:?} even: {diff}");
+
+            let alloc_nx = s.alloc_dims().nx;
+            odd_cells(
+                &c,
+                &tables,
+                &mut s,
+                k,
+                alloc_nx - k,
+                GuoForced { g },
+                &bounds,
+                false,
+            );
+            odd_cells(
+                &c,
+                &tables,
+                &mut v,
+                k,
+                alloc_nx - k,
+                GuoForced { g },
+                &bounds,
+                true,
+            );
+            let diff = s.max_abs_diff_owned(&v);
+            assert!(diff < 1e-12, "{kind:?} odd: {diff}");
+        }
+    }
+
+    #[test]
+    fn pair_conserves_mass_on_fully_wrapped_field() {
+        // A halo-free single-plane-decomposition stand-in: run the pair on
+        // a field whose halo planes mirror the periodic wrap, then check
+        // the owned mass drift.
+        let c = ctx(LatticeKind::D3Q27);
+        let k = c.lat.reach();
+        let dims = Dim3::new(8, 6, 6);
+        let mut f = random_field(c.lat.q(), dims, 2 * k, 3);
+        let d = f.alloc_dims();
+        let (own_lo, own_hi) = (2 * k, 2 * k + dims.nx);
+        let tables = StreamTables::new(dims.ny, dims.nz);
+        let bounds = BoundarySpec::periodic();
+
+        even_cells(&c, &mut f, own_lo, own_hi, PlainBgk, &bounds, false);
+        // Refresh halos from the owned wrap (what the solver's exchange
+        // does), then run the odd writers.
+        for i in 0..c.lat.q() {
+            for p in 0..2 * k {
+                let left_halo = d.idx(p, 0, 0);
+                let right_src = d.idx(own_hi - 2 * k + p, 0, 0);
+                let row: Vec<f64> = f.slab(i)[right_src..right_src + d.plane()].to_vec();
+                f.slab_mut(i)[left_halo..left_halo + d.plane()].copy_from_slice(&row);
+                let right_halo = d.idx(own_hi + p, 0, 0);
+                let left_src = d.idx(own_lo + p, 0, 0);
+                let row: Vec<f64> = f.slab(i)[left_src..left_src + d.plane()].to_vec();
+                f.slab_mut(i)[right_halo..right_halo + d.plane()].copy_from_slice(&row);
+            }
+        }
+        let mass_mid = f.owned_mass();
+        odd_cells(&c, &tables, &mut f, k, d.nx - k, PlainBgk, &bounds, false);
+        let mass_after = f.owned_mass();
+        // The even step conserves mass cell-locally; the odd step moves
+        // mass between cells but the wrapped halo bookkeeping keeps the
+        // owned total fixed.
+        assert!(
+            (mass_mid - mass_after).abs() < 1e-9 * mass_mid,
+            "{mass_mid} vs {mass_after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "planes of margin")]
+    fn odd_step_rejects_out_of_range_sweeps() {
+        let c = ctx(LatticeKind::D3Q19);
+        let dims = Dim3::new(4, 7, 8);
+        let tables = StreamTables::new(dims.ny, dims.nz);
+        let mut f = random_field(c.lat.q(), dims, 1, 5);
+        let nx = f.alloc_dims().nx;
+        odd_cells(
+            &c,
+            &tables,
+            &mut f,
+            0, // must be ≥ k
+            nx,
+            PlainBgk,
+            &BoundarySpec::periodic(),
+            false,
+        );
+    }
+
+    #[test]
+    fn level_dispatch_covers_both_parities() {
+        // The mod-level dispatchers run scalar below Simd and the AVX2 tile
+        // at Simd/Fused; both must agree within FMA tolerance.
+        let c = ctx(LatticeKind::D3Q19);
+        let k = c.lat.reach();
+        let dims = Dim3::new(6, 7, 9);
+        let tables = StreamTables::new(dims.ny, dims.nz);
+        let bounds = BoundarySpec::periodic();
+        let a0 = random_field(c.lat.q(), dims, 2 * k, 7);
+        let mut lo = a0.clone();
+        let mut hi = a0.clone();
+        crate::kernels::aa_even_scenario(
+            OptLevel::LoBr,
+            &c,
+            &mut lo,
+            2 * k,
+            2 * k + dims.nx,
+            [0.0; 3],
+            &bounds,
+        );
+        crate::kernels::aa_even_scenario(
+            OptLevel::Fused,
+            &c,
+            &mut hi,
+            2 * k,
+            2 * k + dims.nx,
+            [0.0; 3],
+            &bounds,
+        );
+        assert!(lo.max_abs_diff_owned(&hi) < 1e-13);
+        let nx = lo.alloc_dims().nx;
+        crate::kernels::aa_odd_scenario(
+            OptLevel::LoBr,
+            &c,
+            &tables,
+            &mut lo,
+            k,
+            nx - k,
+            [0.0; 3],
+            &bounds,
+        );
+        crate::kernels::aa_odd_scenario(
+            OptLevel::Fused,
+            &c,
+            &tables,
+            &mut hi,
+            k,
+            nx - k,
+            [0.0; 3],
+            &bounds,
+        );
+        assert!(lo.max_abs_diff_owned(&hi) < 1e-12);
+    }
+}

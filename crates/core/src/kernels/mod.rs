@@ -27,7 +27,17 @@
 //! All variants compute the *same* stream and BGK update; the naive pair is
 //! the semantic oracle (property-tested against [`reference`]); the optimized
 //! pairs must agree within floating-point reassociation tolerance.
+//!
+//! Orthogonal to the ladder, the **storage dimension**
+//! ([`crate::field::StorageMode`]) selects how the populations are
+//! resident: the two-grid double buffer every rung above runs on, or the
+//! AA-pattern single array of [`aa`] (in-place even/odd steps, half the
+//! resident memory, `2·Q·8` model traffic). The AA dispatchers below
+//! ([`aa_even_scenario`], [`aa_odd_scenario`] and their `_par` forms) map
+//! the rung's kernel class onto the AA drivers: scalar classes run the
+//! shared scalar tile body, `Simd`/`Fused` the AVX2+FMA tile.
 
+pub mod aa;
 pub mod cf;
 pub mod dh;
 pub mod forced;
@@ -371,6 +381,111 @@ pub fn stream_collide_scenario_par(
 ) {
     op::with_op!(g, |rule| par::stream_collide_cells_par(
         ctx, tables, src, dst, x_lo, x_hi, rule, bounds
+    ));
+}
+
+/// Whether `level`'s kernel class runs the vectorized AA tile (the same
+/// class split as the two-grid ladder: AVX2+FMA at `Simd` and above).
+const fn aa_use_simd(level: OptLevel) -> bool {
+    matches!(level.kernel_class(), KernelClass::Simd | KernelClass::Fused)
+}
+
+/// AA-pattern **even** step at `level`'s kernel class: in-place
+/// read-local/write-local collide (rule `g` on fluid cells, wall/mask
+/// transforms in place) over planes `x ∈ [x_lo, x_hi)`. See
+/// [`aa::even_cells`].
+pub fn aa_even_scenario(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    op::with_op!(g, |rule| aa::even_cells(
+        ctx,
+        f,
+        x_lo,
+        x_hi,
+        rule,
+        bounds,
+        aa_use_simd(level)
+    ));
+}
+
+/// Rayon-parallel [`aa_even_scenario`] (disjoint x-plane chunks,
+/// bit-identical to serial).
+pub fn aa_even_scenario_par(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    op::with_op!(g, |rule| par::aa_even_cells_par(
+        ctx,
+        f,
+        x_lo,
+        x_hi,
+        rule,
+        bounds,
+        aa_use_simd(level)
+    ));
+}
+
+/// AA-pattern **odd** step at `level`'s kernel class: gather-swapped,
+/// collide/transform, scatter-swapped, over writer planes
+/// `x ∈ [x_lo, x_hi)` (requires `k` planes of margin). See
+/// [`aa::odd_cells`].
+#[allow(clippy::too_many_arguments)]
+pub fn aa_odd_scenario(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    op::with_op!(g, |rule| aa::odd_cells(
+        ctx,
+        tables,
+        f,
+        x_lo,
+        x_hi,
+        rule,
+        bounds,
+        aa_use_simd(level)
+    ));
+}
+
+/// Rayon-parallel [`aa_odd_scenario`]: writer cells are chunked by x-plane;
+/// each writer owns exactly its own Q slots (the AA bijection), so chunked
+/// execution is conflict-free and bit-identical to serial.
+#[allow(clippy::too_many_arguments)]
+pub fn aa_odd_scenario_par(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    op::with_op!(g, |rule| par::aa_odd_cells_par(
+        ctx,
+        tables,
+        f,
+        x_lo,
+        x_hi,
+        rule,
+        bounds,
+        aa_use_simd(level)
     ));
 }
 

@@ -26,7 +26,7 @@ use rayon::prelude::*;
 use crate::boundary::BoundarySpec;
 use crate::field::DistField;
 use crate::kernels::op::{self, CollideOp, OpConsts, PlainBgk};
-use crate::kernels::{dh, fused_simd, simd, KernelCtx, StreamTables};
+use crate::kernels::{aa, dh, fused_simd, simd, KernelCtx, StreamTables};
 
 /// Parallel pull-stream over `x ∈ [x_lo, x_hi)` (one velocity per task),
 /// using the DH rotate-copy row routine.
@@ -224,6 +224,98 @@ pub fn stream_collide_cells_par<O: CollideOp>(
     });
 }
 
+/// Rayon-parallel AA-pattern **even** step over `x ∈ [x_lo, x_hi)`: the
+/// step is purely cell-local, so disjoint x-plane chunks partition the
+/// writes exactly as in [`collide_cells_par`] — bit-identical to serial.
+pub fn aa_even_cells_par<O: CollideOp>(
+    ctx: &KernelCtx,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+    use_simd: bool,
+) {
+    let d = f.alloc_dims();
+    assert!(
+        x_hi <= d.nx,
+        "even x-range [{x_lo}, {x_hi}) exceeds nx {}",
+        d.nx
+    );
+    if x_lo >= x_hi {
+        return;
+    }
+    let slab_len = f.slab_len();
+    let total = f.as_slice().len();
+    let base = SendPtr(f.as_mut_ptr());
+    let oc = OpConsts::new(ctx, &op);
+    let planes = x_hi - x_lo;
+    let chunks = chunk_count(planes);
+    (0..chunks).into_par_iter().for_each(|c| {
+        let (lo, hi) = chunk_bounds(x_lo, planes, chunks, c);
+        if lo >= hi {
+            return;
+        }
+        let p = base;
+        // SAFETY: [lo, hi) ranges partition [x_lo, x_hi); the even step
+        // reads and writes only planes in its own range.
+        unsafe {
+            aa::even_cells_raw::<O>(p.0, total, slab_len, ctx, &oc, bounds, d, lo, hi, use_simd);
+        }
+    });
+}
+
+/// Rayon-parallel AA-pattern **odd** step over writer planes
+/// `x ∈ [x_lo, x_hi)`.
+///
+/// Unlike every other parallel driver here, the written *planes* of two
+/// adjacent chunks overlap (a writer at a chunk edge scatters up to `k`
+/// planes outward). The partition is still conflict-free at element
+/// granularity: slot `(x + c_j, j)` belongs to writer cell `x` and to no
+/// other (the AA bijection — see [`crate::kernels::aa`]), each writer reads
+/// all of its slots before writing any, and writers are partitioned by
+/// x-plane. Hence no slot is touched by two tasks and the result is
+/// bit-identical to serial.
+#[allow(clippy::too_many_arguments)]
+pub fn aa_odd_cells_par<O: CollideOp>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+    use_simd: bool,
+) {
+    if x_lo >= x_hi {
+        return;
+    }
+    aa::check_odd_bounds(ctx, f, x_lo, x_hi);
+    let d = f.alloc_dims();
+    let slab_len = f.slab_len();
+    let total = f.as_slice().len();
+    let base = SendPtr(f.as_mut_ptr());
+    let oc = OpConsts::new(ctx, &op);
+    let planes = x_hi - x_lo;
+    let chunks = chunk_count(planes);
+    (0..chunks).into_par_iter().for_each(|c| {
+        let (lo, hi) = chunk_bounds(x_lo, planes, chunks, c);
+        if lo >= hi {
+            return;
+        }
+        let p = base;
+        // SAFETY: writer ranges partition [x_lo, x_hi); the writer↦slot
+        // bijection makes the touched slots of different tasks disjoint
+        // (see the driver docs above); all offsets are bounded by the
+        // odd-bounds check.
+        unsafe {
+            aa::odd_cells_raw::<O>(
+                p.0, total, slab_len, ctx, &oc, tables, bounds, d, lo, hi, use_simd,
+            );
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +485,40 @@ mod tests {
                     "x={x}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_aa_steps_are_bitwise_identical_to_serial() {
+        use crate::boundary::ChannelWalls;
+        for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
+            let c = ctx(kind);
+            let k = c.lat.reach();
+            let dims = Dim3::new(9, 9, 11);
+            let bounds =
+                crate::boundary::BoundarySpec::periodic().with_walls(ChannelWalls::no_slip(k));
+            let tables = StreamTables::new(dims.ny, dims.nz);
+            let a0 = random_field(c.lat.q(), dims, 2 * k, 61);
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(5)
+                .build()
+                .unwrap();
+
+            let mut serial = a0.clone();
+            let mut par = a0.clone();
+            let op = crate::kernels::op::GuoForced {
+                g: [2e-5, 0.0, 0.0],
+            };
+            aa::even_cells(&c, &mut serial, 2 * k, 2 * k + dims.nx, op, &bounds, false);
+            pool.install(|| {
+                aa_even_cells_par(&c, &mut par, 2 * k, 2 * k + dims.nx, op, &bounds, false)
+            });
+            assert_eq!(serial.max_abs_diff_owned(&par), 0.0, "{kind:?} even");
+
+            let nx = serial.alloc_dims().nx;
+            aa::odd_cells(&c, &tables, &mut serial, k, nx - k, op, &bounds, false);
+            pool.install(|| aa_odd_cells_par(&c, &tables, &mut par, k, nx - k, op, &bounds, false));
+            assert_eq!(serial.max_abs_diff_owned(&par), 0.0, "{kind:?} odd");
         }
     }
 

@@ -58,7 +58,7 @@ pub use collision::Bgk;
 pub use domain::{Decomp1d, Subdomain};
 pub use equilibrium::EqOrder;
 pub use error::{Error, Result};
-pub use field::{DistField, ScalarField, VectorField};
+pub use field::{DistField, ScalarField, StorageMode, VectorField};
 pub use index::Dim3;
 pub use kernels::{KernelCtx, OptLevel};
 pub use lattice::{Lattice, LatticeKind};
@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::collision::Bgk;
     pub use crate::domain::{Decomp1d, Subdomain};
     pub use crate::equilibrium::EqOrder;
-    pub use crate::field::{DistField, ScalarField, VectorField};
+    pub use crate::field::{DistField, ScalarField, StorageMode, VectorField};
     pub use crate::index::Dim3;
     pub use crate::kernels::{KernelCtx, OptLevel};
     pub use crate::lattice::{Lattice, LatticeKind};

@@ -3,10 +3,28 @@
 //! The paper argues flop/s is the wrong metric for LBM and uses **MFlup/s** —
 //! million fluid lattice-point updates per second (its Eq. 4):
 //! `P = s · N_fl / (T(s) · 10⁶)`. [`PerfCounters`] implements exactly that,
-//! plus derived bandwidth/flop figures using the paper's per-cell accounting
-//! (B = 3·Q·8 bytes, F = 178/190 flops).
+//! plus derived bandwidth/flop figures from a per-cell traffic accounting.
+//!
+//! The bytes-per-cell constant depends on the [`StorageMode`]: the paper's
+//! `B = 3·Q·8` (two loads + one store per velocity) assumes the two-grid
+//! `distr`/`distr_adv` double buffer; AA-pattern in-place streaming touches
+//! each population once for read and once for write in the *same* array,
+//! `B = 2·Q·8` — see [`model_bytes_per_cell`].
 
+use crate::field::StorageMode;
 use std::time::{Duration, Instant};
+
+/// The model bytes moved to/from main memory per lattice-point update for a
+/// `q`-velocity BGK step under the given storage mode (paper Eq. 5's `B`,
+/// storage-parameterized): `3·Q·8` for [`StorageMode::TwoGrid`] (load src,
+/// load+store dst with write-allocate), `2·Q·8` for
+/// [`StorageMode::InPlaceAa`] (one read + one in-place write per velocity).
+pub const fn model_bytes_per_cell(storage: StorageMode, q: usize) -> usize {
+    match storage {
+        StorageMode::TwoGrid => 3 * q * 8,
+        StorageMode::InPlaceAa => 2 * q * 8,
+    }
+}
 
 /// Accumulates lattice updates and wall time; reports MFlup/s.
 #[derive(Debug, Clone, Default)]
@@ -64,8 +82,8 @@ impl PerfCounters {
         self.ghost_updates as f64 / total as f64
     }
 
-    /// Effective memory traffic in GB/s under the paper's B = 3·Q·8 bytes per
-    /// update accounting.
+    /// Effective memory traffic in GB/s under a per-update bytes accounting
+    /// (use [`model_bytes_per_cell`] for the storage-mode-correct constant).
     pub fn effective_bandwidth_gbs(&self, bytes_per_cell: usize) -> f64 {
         self.mflups_including_ghost() * 1e6 * bytes_per_cell as f64 / 1e9
     }
@@ -115,6 +133,15 @@ impl Drop for FlupTimer<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traffic_model_is_storage_parameterized() {
+        // Two-grid keeps the paper's constants; AA cuts them by a third.
+        assert_eq!(model_bytes_per_cell(StorageMode::TwoGrid, 19), 456);
+        assert_eq!(model_bytes_per_cell(StorageMode::TwoGrid, 39), 936);
+        assert_eq!(model_bytes_per_cell(StorageMode::InPlaceAa, 19), 304);
+        assert_eq!(model_bytes_per_cell(StorageMode::InPlaceAa, 39), 624);
+    }
 
     #[test]
     fn mflups_matches_eq4() {

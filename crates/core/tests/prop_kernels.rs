@@ -408,3 +408,169 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// AA-pattern storage: the in-place even/odd pair must be the exact
+// (slot-swapped / streamed) image of the two-grid pipeline for arbitrary
+// fields, lattices, wall kinds, masks and forces — the kernel-level half of
+// the `aa ≡ two_grid` parity contract (the multi-step distributed half
+// lives in `tests/aa_storage.rs`).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The AA even step is the slot-swapped image of the two-grid cell rule
+    /// (fluid collide + boundary transform): bitwise for the scalar tile,
+    /// within FMA re-rounding for the AVX2 tile, and the rayon driver is
+    /// bitwise its serial kernel.
+    #[test]
+    fn aa_even_step_is_the_swapped_two_grid_cell_rule(
+        kind in arb_kind(),
+        order in arb_order(),
+        low in arb_wall(),
+        high in arb_wall(),
+        masked in any::<bool>(),
+        nx in 1usize..5,
+        ny_extra in 1usize..5,
+        nz in 8usize..24,
+        gx in -1e-4f64..1e-4,
+        gz in -1e-4f64..1e-4,
+        tau in 0.55f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let ctx = KernelCtx::new(kind, order, Bgk::new(tau).unwrap());
+        let k = ctx.lat.reach();
+        let ny = 2 * k + 1 + ny_extra;
+        let dims = Dim3::new(nx, ny, nz);
+        let mut bounds = BoundarySpec::periodic().with_walls(ChannelWalls { low, high, layers: k });
+        if masked {
+            bounds = bounds.with_mask(SectionMask::from_fn(ny, nz, |_y, z| z >= nz - 4));
+        }
+        let g = [gx, 0.0, gz];
+        let a0 = seeded_field(ctx.lat.q(), dims, 0, seed);
+
+        // Two-grid cell rule on the same arrivals: collide the fluid cells,
+        // then boundary-transform the solid ones (disjoint regions).
+        let mut reference = a0.clone();
+        kernels::collide_scenario(OptLevel::LoBr, &ctx, &mut reference, 0, nx, g, &bounds);
+        bounds.apply(&ctx, &mut reference, 0, nx);
+
+        // Scalar even step: expected value of slot m is reference[opp(m)].
+        let mut aa_scalar = a0.clone();
+        kernels::aa_even_scenario(OptLevel::LoBr, &ctx, &mut aa_scalar, 0, nx, g, &bounds);
+        let da = aa_scalar.alloc_dims();
+        for m in 0..ctx.lat.q() {
+            let o = ctx.lat.opposite(m);
+            for lin in 0..da.len() {
+                prop_assert_eq!(
+                    aa_scalar.slab(m)[lin], reference.slab(o)[lin],
+                    "{:?}/{:?} slot {} lin {}", kind, order, m, lin
+                );
+            }
+        }
+
+        // AVX2 even step within FMA re-rounding of the scalar one.
+        let mut aa_vec = a0.clone();
+        kernels::aa_even_scenario(OptLevel::Fused, &ctx, &mut aa_vec, 0, nx, g, &bounds);
+        let diff = aa_scalar.max_abs_diff_owned(&aa_vec);
+        prop_assert!(diff < 1e-12, "{:?}/{:?} avx2 even: {}", kind, order, diff);
+
+        // Rayon drivers bitwise-identical to serial, both classes.
+        let mut aa_par = a0.clone();
+        kernels::aa_even_scenario_par(OptLevel::LoBr, &ctx, &mut aa_par, 0, nx, g, &bounds);
+        prop_assert_eq!(aa_scalar.max_abs_diff_owned(&aa_par), 0.0);
+        let mut aa_par_vec = a0.clone();
+        kernels::aa_even_scenario_par(OptLevel::Fused, &ctx, &mut aa_par_vec, 0, nx, g, &bounds);
+        prop_assert_eq!(aa_vec.max_abs_diff_owned(&aa_par_vec), 0.0);
+    }
+
+    /// The AA odd step is the pull-stream of the boundary-aware fused pass
+    /// applied to the unswapped field: bitwise for the scalar tile, within
+    /// FMA re-rounding for the AVX2 tile, rayon bitwise serial.
+    #[test]
+    fn aa_odd_step_is_the_streamed_two_grid_pass(
+        kind in arb_kind(),
+        order in arb_order(),
+        low in arb_wall(),
+        high in arb_wall(),
+        masked in any::<bool>(),
+        nx in 1usize..5,
+        ny_extra in 1usize..5,
+        nz in 8usize..24,
+        gx in -1e-4f64..1e-4,
+        gz in -1e-4f64..1e-4,
+        tau in 0.55f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let ctx = KernelCtx::new(kind, order, Bgk::new(tau).unwrap());
+        let k = ctx.lat.reach();
+        let ny = 2 * k + 1 + ny_extra;
+        let dims = Dim3::new(nx, ny, nz);
+        let mut bounds = BoundarySpec::periodic().with_walls(ChannelWalls { low, high, layers: k });
+        if masked {
+            bounds = bounds.with_mask(SectionMask::from_fn(ny, nz, |_y, z| z >= nz - 4));
+        }
+        let g = [gx, 0.0, gz];
+        let tables = StreamTables::new(ny, nz);
+        // Post-even AA state: swapped storage with 2k halo planes so the
+        // odd writers [k, alloc−k) have gather margin.
+        let b = seeded_field(ctx.lat.q(), dims, 2 * k, seed);
+        let alloc_nx = b.alloc_dims().nx;
+
+        // Unswap to the natural two-grid representation.
+        let mut n = b.clone();
+        for i in 0..ctx.lat.q() {
+            let o = ctx.lat.opposite(i);
+            n.slab_mut(i).copy_from_slice(b.slab(o));
+        }
+
+        // Two-grid: fused scenario pass, then a pure pull-stream.
+        let mut fused_out = DistField::new(ctx.lat.q(), dims, 2 * k).unwrap();
+        kernels::fused::stream_collide_cells(
+            &ctx, &tables, &n, &mut fused_out, k, alloc_nx - k,
+            kernels::GuoForced { g }, &bounds,
+        );
+        let mut expect = DistField::new(ctx.lat.q(), dims, 2 * k).unwrap();
+        kernels::stream(OptLevel::Dh, &ctx, &tables, &fused_out, &mut expect, 2 * k, alloc_nx - 2 * k);
+
+        // AA odd step in place.
+        let mut aa_scalar = b.clone();
+        kernels::aa_odd_scenario(
+            OptLevel::LoBr, &ctx, &tables, &mut aa_scalar, k, alloc_nx - k, g, &bounds,
+        );
+        // Central planes [2k, alloc−2k) are complete — compare those.
+        let d = aa_scalar.alloc_dims();
+        for i in 0..ctx.lat.q() {
+            for x in 2 * k..alloc_nx - 2 * k {
+                let base = d.idx(x, 0, 0);
+                for p in 0..d.plane() {
+                    prop_assert_eq!(
+                        aa_scalar.slab(i)[base + p], expect.slab(i)[base + p],
+                        "{:?}/{:?} slab {} x {} p {}", kind, order, i, x, p
+                    );
+                }
+            }
+        }
+
+        // AVX2 odd step within FMA re-rounding.
+        let mut aa_vec = b.clone();
+        kernels::aa_odd_scenario(
+            OptLevel::Fused, &ctx, &tables, &mut aa_vec, k, alloc_nx - k, g, &bounds,
+        );
+        let diff = aa_scalar.max_abs_diff_owned(&aa_vec);
+        prop_assert!(diff < 1e-12, "{:?}/{:?} avx2 odd: {}", kind, order, diff);
+
+        // Rayon drivers bitwise-identical to serial.
+        let mut aa_par = b.clone();
+        kernels::aa_odd_scenario_par(
+            OptLevel::LoBr, &ctx, &tables, &mut aa_par, k, alloc_nx - k, g, &bounds,
+        );
+        prop_assert_eq!(aa_scalar.max_abs_diff_owned(&aa_par), 0.0);
+        let mut aa_par_vec = b.clone();
+        kernels::aa_odd_scenario_par(
+            OptLevel::Fused, &ctx, &tables, &mut aa_par_vec, k, alloc_nx - k, g, &bounds,
+        );
+        prop_assert_eq!(aa_vec.max_abs_diff_owned(&aa_par_vec), 0.0);
+    }
+}

@@ -2,15 +2,22 @@
 //!
 //! * **Eq. 4** — the metric: `P[MFlup/s] = s · N_fl / (T(s) · 10⁶)`.
 //! * **Eq. 5** — the attainable bound: `P = min(B_m / B ∥ P_peak / F)` where
-//!   `B` is bytes moved per cell update (two loads + one store per velocity:
-//!   456 B for D3Q19, 936 B for D3Q39) and `F` flops per cell update (178 /
-//!   190 in the paper's implementation).
+//!   `B` is bytes moved per cell update and `F` flops per cell update (178 /
+//!   190 in the paper's implementation). `B` depends on the storage mode
+//!   ([`StorageMode`]): the paper's two-grid double buffer moves `3·Q·8`
+//!   (two loads + one store per velocity: 456 B for D3Q19, 936 B for
+//!   D3Q39); AA-pattern in-place streaming moves `2·Q·8` (304 B / 624 B),
+//!   which raises the bandwidth-attainable bound by 1.5× on the same
+//!   machine — the enabling lever for the beyond-Navier-Stokes lattices,
+//!   where bandwidth pressure is worst.
 //!
 //! The functions here regenerate the paper's Table II, the §III-C torus
 //! lower bounds, and the hardware-efficiency ceilings (38% / 20% on BG/P)
 //! that frame the Fig. 8 results.
 
 use crate::spec::MachineSpec;
+use lbm_core::field::StorageMode;
+use lbm_core::perf::model_bytes_per_cell;
 use serde::{Deserialize, Serialize};
 
 /// Per-cell traffic of one kernel implementation.
@@ -23,23 +30,26 @@ pub struct KernelTraffic {
 }
 
 impl KernelTraffic {
-    /// The paper's accounting for a Q-velocity BGK step: `B = 3·Q·8` bytes
-    /// and the given flop count.
-    pub fn lbm(q: usize, flops: usize) -> Self {
+    /// The per-cell accounting for a Q-velocity BGK step under the given
+    /// storage mode: `B = 3·Q·8` bytes for [`StorageMode::TwoGrid`] (the
+    /// paper's double-buffer assumption), `B = 2·Q·8` for
+    /// [`StorageMode::InPlaceAa`], and the given flop count either way (the
+    /// storage mode changes data movement, not arithmetic).
+    pub fn lbm(q: usize, flops: usize, storage: StorageMode) -> Self {
         Self {
-            bytes_per_cell: (3 * q * 8) as f64,
+            bytes_per_cell: model_bytes_per_cell(storage, q) as f64,
             flops_per_cell: flops as f64,
         }
     }
 
-    /// D3Q19 with the paper's 178 flops.
+    /// D3Q19 with the paper's 178 flops (two-grid, as in Table II).
     pub fn d3q19() -> Self {
-        Self::lbm(19, 178)
+        Self::lbm(19, 178, StorageMode::TwoGrid)
     }
 
-    /// D3Q39 with the paper's 190 flops.
+    /// D3Q39 with the paper's 190 flops (two-grid, as in Table II).
     pub fn d3q39() -> Self {
-        Self::lbm(39, 190)
+        Self::lbm(39, 190, StorageMode::TwoGrid)
     }
 
     /// Arithmetic intensity in flops/byte.
@@ -174,6 +184,24 @@ mod tests {
         assert_eq!(KernelTraffic::d3q39().bytes_per_cell, 936.0);
         assert_eq!(KernelTraffic::d3q19().flops_per_cell, 178.0);
         assert_eq!(KernelTraffic::d3q39().flops_per_cell, 190.0);
+    }
+
+    #[test]
+    fn aa_storage_cuts_traffic_and_raises_the_bandwidth_bound() {
+        // AA moves 2·Q·8 instead of 3·Q·8 — same flops, 1.5× the
+        // bandwidth-attainable MFlup/s on any bandwidth-limited machine.
+        let aa19 = KernelTraffic::lbm(19, 178, StorageMode::InPlaceAa);
+        let aa39 = KernelTraffic::lbm(39, 190, StorageMode::InPlaceAa);
+        assert_eq!(aa19.bytes_per_cell, 304.0);
+        assert_eq!(aa39.bytes_per_cell, 624.0);
+        for m in [MachineSpec::bgp(), MachineSpec::bgq()] {
+            let tg = attainable(&m, &KernelTraffic::d3q39());
+            let aa = attainable(&m, &aa39);
+            assert!(close(aa.p_bandwidth / tg.p_bandwidth, 1.5, 1e-9));
+            assert_eq!(aa.p_flops, tg.p_flops, "{}", m.name);
+            // Still bandwidth-limited even with the AA cut.
+            assert_eq!(aa.limiter, Limiter::Bandwidth, "{}", m.name);
+        }
     }
 
     #[test]

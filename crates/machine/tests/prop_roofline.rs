@@ -15,7 +15,15 @@ fn arb_spec() -> impl Strategy<Value = MachineSpec> {
 }
 
 fn arb_traffic() -> impl Strategy<Value = KernelTraffic> {
-    (7usize..64, 50usize..400).prop_map(|(q, f)| KernelTraffic::lbm(q, f))
+    use lbm_core::field::StorageMode;
+    (7usize..64, 50usize..400, any::<bool>()).prop_map(|(q, f, aa)| {
+        let storage = if aa {
+            StorageMode::InPlaceAa
+        } else {
+            StorageMode::TwoGrid
+        };
+        KernelTraffic::lbm(q, f, storage)
+    })
 }
 
 proptest! {

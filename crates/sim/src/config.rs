@@ -3,12 +3,12 @@
 use lbm_comm::CostModel;
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::error::{Error, Result};
+use lbm_core::field::StorageMode;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
 
 use crate::scenario::ScenarioHandle;
-use crate::simulation::SimulationBuilder;
 
 /// Communication schedule (paper §V-E/F, Fig. 9 series).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,10 @@ pub struct SimConfig {
     pub ghost_depth: usize,
     /// Kernel optimization rung.
     pub level: OptLevel,
+    /// Population storage mode: the two-grid double buffer (every rung of
+    /// the paper's ladder) or AA-pattern in-place streaming (one resident
+    /// population, one halo exchange per two steps).
+    pub storage: StorageMode,
     /// Communication schedule (None = the rung's paper default).
     pub strategy: Option<CommStrategy>,
     /// Injected link-cost model.
@@ -112,6 +116,7 @@ impl SimConfig {
             threads_per_rank: 1,
             ghost_depth: 1,
             level: OptLevel::Simd,
+            storage: StorageMode::TwoGrid,
             strategy: None,
             cost: CostModel::free(),
             compute_jitter: 0.0,
@@ -140,9 +145,16 @@ impl SimConfig {
         self.strategy.unwrap_or(CommStrategy::for_level(self.level))
     }
 
-    /// Halo width in lattice planes: `d · k`.
+    /// Halo width in lattice planes. Two-grid: `d · k` (the deep-halo
+    /// trade of §V-A). AA: always `2·k` — the odd step's ghost writers
+    /// need `2k` planes of post-even state, and the exchange cadence is
+    /// fixed at one per two steps regardless of `ghost_depth`.
     pub fn halo_width(&self) -> usize {
-        self.ghost_depth * Lattice::new(self.lattice).reach()
+        let k = Lattice::new(self.lattice).reach();
+        match self.storage {
+            StorageMode::TwoGrid => self.ghost_depth * k,
+            StorageMode::InPlaceAa => 2 * k,
+        }
     }
 
     /// Validate decomposition, halo and shape constraints; returns the
@@ -187,111 +199,9 @@ impl SimConfig {
         }
         Ok(min_nx)
     }
-
-    // -- deprecated builder-style helpers --
-    //
-    // The fluent API moved to `Simulation::builder`; these setters forward
-    // through `SimulationBuilder` so there is a single implementation of
-    // every knob. They will be removed once external callers have migrated.
-
-    /// Set relaxation time.
-    #[deprecated(note = "use Simulation::builder(…).tau(…) instead")]
-    #[must_use]
-    pub fn with_tau(self, tau: f64) -> Self {
-        SimulationBuilder::from_config(self).tau(tau).into_config()
-    }
-
-    /// Set step count.
-    #[deprecated(note = "use Simulation::builder(…) and run(steps) instead")]
-    #[must_use]
-    pub fn with_steps(self, steps: usize) -> Self {
-        SimulationBuilder::from_config(self)
-            .steps(steps)
-            .into_config()
-    }
-
-    /// Set rank count.
-    #[deprecated(note = "use Simulation::builder(…).ranks(…) instead")]
-    #[must_use]
-    pub fn with_ranks(self, ranks: usize) -> Self {
-        SimulationBuilder::from_config(self)
-            .ranks(ranks)
-            .into_config()
-    }
-
-    /// Set threads per rank.
-    #[deprecated(note = "use Simulation::builder(…).threads(…) instead")]
-    #[must_use]
-    pub fn with_threads(self, threads: usize) -> Self {
-        SimulationBuilder::from_config(self)
-            .threads(threads)
-            .into_config()
-    }
-
-    /// Set ghost depth (multiples of k).
-    #[deprecated(note = "use Simulation::builder(…).ghost_depth(…) instead")]
-    #[must_use]
-    pub fn with_ghost_depth(self, d: usize) -> Self {
-        SimulationBuilder::from_config(self)
-            .ghost_depth(d)
-            .into_config()
-    }
-
-    /// Set the kernel rung.
-    #[deprecated(note = "use Simulation::builder(…).level(…) instead")]
-    #[must_use]
-    pub fn with_level(self, level: OptLevel) -> Self {
-        SimulationBuilder::from_config(self)
-            .level(level)
-            .into_config()
-    }
-
-    /// Override the communication schedule.
-    #[deprecated(note = "use Simulation::builder(…).strategy(…) instead")]
-    #[must_use]
-    pub fn with_strategy(self, s: CommStrategy) -> Self {
-        SimulationBuilder::from_config(self)
-            .strategy(s)
-            .into_config()
-    }
-
-    /// Set the link-cost model.
-    #[deprecated(note = "use Simulation::builder(…).cost(…) instead")]
-    #[must_use]
-    pub fn with_cost(self, cost: CostModel) -> Self {
-        SimulationBuilder::from_config(self)
-            .cost(cost)
-            .into_config()
-    }
-
-    /// Set compute jitter.
-    #[deprecated(note = "use Simulation::builder(…).jitter(…) instead")]
-    #[must_use]
-    pub fn with_jitter(self, j: f64) -> Self {
-        SimulationBuilder::from_config(self).jitter(j).into_config()
-    }
-
-    /// Set the per-rank compute slowdown ramp.
-    #[deprecated(note = "use Simulation::builder(…).compute_skew(…) instead")]
-    #[must_use]
-    pub fn with_compute_skew(self, s: f64) -> Self {
-        SimulationBuilder::from_config(self)
-            .compute_skew(s)
-            .into_config()
-    }
-
-    /// Set warmup steps.
-    #[deprecated(note = "use Simulation::builder(…).warmup(…) instead")]
-    #[must_use]
-    pub fn with_warmup(self, w: usize) -> Self {
-        SimulationBuilder::from_config(self).warmup(w).into_config()
-    }
 }
 
 #[cfg(test)]
-// The deprecated with_* forwards are exercised on purpose: they must keep
-// behaving exactly like the builder they route through.
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -301,13 +211,43 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.eq_order(), EqOrder::Second);
         assert_eq!(c.comm_strategy(), CommStrategy::OverlapGhostCollide);
+        assert_eq!(c.storage, StorageMode::TwoGrid);
     }
 
     #[test]
     fn q39_defaults_to_third_order_and_k3_halo() {
-        let c = SimConfig::new(LatticeKind::D3Q39, Dim3::cube(16)).with_ghost_depth(2);
+        let mut c = SimConfig::new(LatticeKind::D3Q39, Dim3::cube(16));
+        c.ghost_depth = 2;
         assert_eq!(c.eq_order(), EqOrder::Third);
         assert_eq!(c.halo_width(), 6);
+    }
+
+    #[test]
+    fn aa_halo_width_is_twice_the_reach_at_any_ghost_depth() {
+        for depth in [1usize, 2, 3] {
+            let mut c = SimConfig::new(LatticeKind::D3Q39, Dim3::cube(16));
+            c.storage = StorageMode::InPlaceAa;
+            c.ghost_depth = depth;
+            assert_eq!(c.halo_width(), 6, "AA halo is 2k regardless of depth");
+            let mut c19 = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(16));
+            c19.storage = StorageMode::InPlaceAa;
+            c19.ghost_depth = depth;
+            assert_eq!(c19.halo_width(), 2);
+        }
+    }
+
+    #[test]
+    fn aa_requires_two_reach_planes_per_rank() {
+        // 16 planes over 8 ranks = 2 planes each: fine for D3Q19 (2k = 2),
+        // impossible for D3Q39 (2k = 6).
+        let mut ok = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8));
+        ok.storage = StorageMode::InPlaceAa;
+        ok.ranks = 8;
+        assert!(ok.validate().is_ok());
+        let mut bad = SimConfig::new(LatticeKind::D3Q39, Dim3::new(16, 8, 8));
+        bad.storage = StorageMode::InPlaceAa;
+        bad.ranks = 8;
+        assert!(bad.validate().is_err());
     }
 
     #[test]
@@ -344,9 +284,9 @@ mod tests {
     #[test]
     fn oversized_halo_is_rejected_like_the_paper_oom() {
         // 16 planes over 8 ranks = 2 planes/rank; depth 3 (k=1) needs 3.
-        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
-            .with_ranks(8)
-            .with_ghost_depth(3);
+        let mut c = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 8, 8));
+        c.ranks = 8;
+        c.ghost_depth = 3;
         assert!(c.validate().is_err());
     }
 
@@ -358,15 +298,18 @@ mod tests {
 
     #[test]
     fn bad_tau_and_zero_threads_rejected() {
-        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(8)).with_tau(0.5);
+        let mut c = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(8));
+        c.tau = 0.5;
         assert!(c.validate().is_err());
-        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(8)).with_threads(0);
+        let mut c = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(8));
+        c.threads_per_rank = 0;
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validate_returns_min_planes() {
-        let c = SimConfig::new(LatticeKind::D3Q19, Dim3::new(10, 8, 8)).with_ranks(3);
+        let mut c = SimConfig::new(LatticeKind::D3Q19, Dim3::new(10, 8, 8));
+        c.ranks = 3;
         assert_eq!(c.validate().unwrap(), 3); // 4+3+3
     }
 }

@@ -19,8 +19,11 @@
 //!   forcing/observables) plus the shipped scenarios: [`TaylorGreen`],
 //!   [`PoiseuilleChannel`], [`CouetteFlow`], [`LidDrivenCavity`],
 //!   [`KnudsenMicrochannel`].
-//! * [`simulation`] — the [`Simulation::builder`] fluent API: one handle for
-//!   batch distributed runs and incremental step/probe use.
+//! * [`simulation`] — the [`Simulation::builder`] fluent API (the single
+//!   construction path): one handle for batch distributed runs and
+//!   incremental step/probe use, with the population storage mode
+//!   (`two-grid` double buffer vs AA-pattern in-place streaming) selected
+//!   via [`SimulationBuilder::storage`].
 //! * [`physics`] — a single-rank convenience wrapper with walls, masks and
 //!   Guo forcing (now a thin layer over the same core boundary/forcing
 //!   machinery the distributed solver uses).
@@ -44,8 +47,6 @@ pub mod simulation;
 
 pub use config::{CommStrategy, SimConfig};
 pub use report::{RankReport, RunReport};
-#[allow(deprecated)]
-pub use runner::run_distributed;
 pub use scenario::{
     CouetteFlow, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Scenario,
     ScenarioHandle, TaylorGreen,

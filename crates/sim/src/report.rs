@@ -13,6 +13,9 @@ pub struct RankReport {
     pub updates: u64,
     /// Ghost-cell updates performed (deep-halo overhead).
     pub ghost_updates: u64,
+    /// Resident population bytes held by this rank (both buffers in
+    /// two-grid mode, one in AA mode).
+    pub resident_bytes: u64,
     /// Compute seconds (including injected jitter).
     pub compute_secs: f64,
     /// Seconds blocked in point-to-point waits.
@@ -45,6 +48,8 @@ pub struct RunReport {
     pub scenario: String,
     /// Optimization rung label.
     pub level: String,
+    /// Population storage-mode label (`"two_grid"` / `"aa"`).
+    pub storage: String,
     /// Communication schedule label.
     pub strategy: String,
     /// Rank count.
@@ -82,6 +87,7 @@ impl RunReport {
         lattice: String,
         scenario: String,
         level: String,
+        storage: String,
         strategy: String,
         threads_per_rank: usize,
         ghost_depth: usize,
@@ -112,6 +118,7 @@ impl RunReport {
             lattice,
             scenario,
             level,
+            storage,
             strategy,
             ranks,
             threads_per_rank,
@@ -127,6 +134,12 @@ impl RunReport {
             mass,
             per_rank,
         }
+    }
+
+    /// Total resident population bytes across all ranks (the footprint the
+    /// AA storage mode halves).
+    pub fn resident_population_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.resident_bytes).sum()
     }
 
     /// Ghost overhead fraction of all updates.
@@ -151,6 +164,7 @@ mod tests {
             owned_cells: 1000,
             updates: 10_000,
             ghost_updates: 500,
+            resident_bytes: 4096,
             compute_secs: wall - wait,
             wait_secs: wait,
             barrier_secs: 0.0,
@@ -167,6 +181,7 @@ mod tests {
             "D3Q19".into(),
             "taylor_green".into(),
             "SIMD".into(),
+            "two_grid".into(),
             "GC-C".into(),
             1,
             2,
@@ -176,6 +191,8 @@ mod tests {
             vec![rr(0, 1.0, 0.1), rr(1, 2.0, 0.4)],
         );
         assert_eq!(rep.ranks, 2);
+        assert_eq!(rep.storage, "two_grid");
+        assert_eq!(rep.resident_population_bytes(), 8192);
         assert_eq!(rep.wall_secs, 2.0);
         // 20k updates in 2 s = 0.01 MFlup/s.
         assert!((rep.mflups - 0.01).abs() < 1e-12);

@@ -10,18 +10,7 @@ use crate::config::SimConfig;
 use crate::distributed::RankSolver;
 use crate::report::{RankReport, RunReport};
 
-/// Run `cfg` on its own universe of ranks and report aggregate performance.
-///
-/// Deprecated shim over the [`crate::Simulation`] API: build with
-/// [`crate::Simulation::builder`] and call
-/// [`run(steps)`](crate::Simulation::run) instead.
-#[deprecated(note = "use Simulation::builder(…).build()?.run(steps) instead")]
-pub fn run_distributed(cfg: &SimConfig) -> Result<RunReport> {
-    run_config(cfg)
-}
-
-/// Shared batch-run implementation behind [`crate::Simulation::run`] and the
-/// deprecated [`run_distributed`] shim.
+/// Shared batch-run implementation behind [`crate::Simulation::run`].
 pub(crate) fn run_config(cfg: &SimConfig) -> Result<RunReport> {
     cfg.validate()?;
     let results = Universe::run(cfg.ranks, cfg.cost.clone(), |comm| {
@@ -46,6 +35,7 @@ pub(crate) fn run_config(cfg: &SimConfig) -> Result<RunReport> {
                 owned_cells,
                 updates: solver.counters.updates,
                 ghost_updates: solver.counters.ghost_updates,
+                resident_bytes: solver.resident_population_bytes(),
                 compute_secs: solver.counters.elapsed.as_secs_f64(),
                 wait_secs: timers.wait.as_secs_f64(),
                 barrier_secs: timers.barrier.as_secs_f64(),
@@ -63,6 +53,7 @@ pub(crate) fn run_config(cfg: &SimConfig) -> Result<RunReport> {
         cfg.lattice.name().to_string(),
         cfg.scenario_name().to_string(),
         cfg.level.name().to_string(),
+        cfg.storage.name().to_string(),
         cfg.comm_strategy().label().to_string(),
         cfg.threads_per_rank,
         cfg.ghost_depth,
@@ -75,7 +66,6 @@ pub(crate) fn run_config(cfg: &SimConfig) -> Result<RunReport> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::simulation::Simulation;
     use lbm_core::index::Dim3;
     use lbm_core::kernels::OptLevel;
@@ -112,27 +102,32 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_matches_the_builder_path() {
-        // run_distributed stays as a thin shim: identical physics and
-        // bookkeeping to Simulation::run.
-        #[allow(deprecated)]
-        let old = {
-            let cfg = SimConfig::new(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-                .with_ranks(2)
-                .with_steps(5)
-                .with_level(OptLevel::Simd);
-            run_distributed(&cfg).unwrap()
+    fn report_carries_storage_and_resident_bytes() {
+        use lbm_core::field::StorageMode;
+        let mk = |storage: StorageMode| {
+            Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+                .ranks(2)
+                .level(OptLevel::Simd)
+                .storage(storage)
+                .build()
+                .unwrap()
+                .run(4)
+                .unwrap()
         };
-        let new = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
-            .ranks(2)
-            .level(OptLevel::Simd)
-            .build()
-            .unwrap()
-            .run(5)
-            .unwrap();
-        assert_eq!(old.mass, new.mass, "shim must compute the identical flow");
-        assert_eq!(old.steps, new.steps);
-        assert_eq!(old.strategy, new.strategy);
+        let tg = mk(StorageMode::TwoGrid);
+        let aa = mk(StorageMode::InPlaceAa);
+        assert_eq!(tg.storage, "two_grid");
+        assert_eq!(aa.storage, "aa");
+        let tg_bytes = tg.resident_population_bytes();
+        let aa_bytes = aa.resident_population_bytes();
+        assert!(tg_bytes > 0 && aa_bytes > 0);
+        // Two-grid holds two buffers with d·k halos, AA one buffer with 2k
+        // halos: the footprint must land well under two-thirds of two-grid
+        // on this box (~½ + halo differences).
+        assert!(
+            (aa_bytes as f64) < 0.67 * tg_bytes as f64,
+            "AA resident {aa_bytes} vs two-grid {tg_bytes}"
+        );
     }
 
     #[test]

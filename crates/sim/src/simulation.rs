@@ -29,6 +29,7 @@
 use lbm_comm::{Comm, CostModel, Universe};
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::error::{Error, Result};
+use lbm_core::field::StorageMode;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
@@ -56,21 +57,6 @@ impl SimulationBuilder {
             cfg: SimConfig::new(lattice, global),
             tau_explicit: false,
         }
-    }
-
-    /// Wrap an existing config (the routing target of the deprecated
-    /// `SimConfig::with_*` setters).
-    pub(crate) fn from_config(cfg: SimConfig) -> Self {
-        Self {
-            cfg,
-            tau_explicit: true,
-        }
-    }
-
-    /// The configured state without validation (deprecated-shim escape
-    /// hatch; prefer [`Self::build`]).
-    pub(crate) fn into_config(self) -> SimConfig {
-        self.cfg
     }
 
     /// Plug in the scenario (initial state, boundaries, forcing,
@@ -127,6 +113,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Population storage mode (default [`StorageMode::TwoGrid`]).
+    /// [`StorageMode::InPlaceAa`] streams in place over a single resident
+    /// population (half the memory footprint, one halo exchange per two
+    /// steps), orthogonal to [`Self::level`].
+    #[must_use]
+    pub fn storage(mut self, storage: StorageMode) -> Self {
+        self.cfg.storage = storage;
+        self
+    }
+
     /// Explicit communication schedule, overriding the rung's paper default
     /// — the only way to reach [`CommStrategy::NonBlockingEager`], which
     /// [`CommStrategy::for_level`] never selects.
@@ -162,14 +158,6 @@ impl SimulationBuilder {
     #[must_use]
     pub fn warmup(mut self, w: usize) -> Self {
         self.cfg.warmup = w;
-        self
-    }
-
-    /// Default step count used by the deprecated [`crate::run_distributed`]
-    /// shim ([`Simulation::run`] takes the count explicitly).
-    #[must_use]
-    pub fn steps(mut self, steps: usize) -> Self {
-        self.cfg.steps = steps;
         self
     }
 
@@ -299,13 +287,21 @@ impl Simulation {
                 // The solver resolved the boundary spec once at
                 // construction; the fluid-aware profile skips wall rows and
                 // masked cells, matching max_speed_fluid.
-                profile = Some(observables::u_profile_fluid(
+                let mut p = observables::u_profile_fluid(
                     &solver.ctx,
                     solver.field(),
                     solver.bounds(),
                     axis,
                     z_slice,
-                ));
+                );
+                if solver.parity_swapped() {
+                    // Mid-pair AA storage is slot-swapped: directed
+                    // observables flip sign (speeds are unaffected).
+                    for v in &mut p {
+                        *v = -*v;
+                    }
+                }
+                profile = Some(p);
                 break;
             }
         }

@@ -42,7 +42,11 @@ fn main() {
             .expect("config");
         let report = sim.run(steps).expect("run");
 
-        let traffic = lbm::machine::KernelTraffic::lbm(lat.q(), lat.flops_per_cell());
+        let traffic = lbm::machine::KernelTraffic::lbm(
+            lat.q(),
+            lat.flops_per_cell(),
+            lbm::core::field::StorageMode::TwoGrid,
+        );
         let bound = lbm::machine::attainable(&host, &traffic);
         let pct = 100.0 * report.mflups / bound.mflups();
         println!(

@@ -55,8 +55,26 @@
 //!
 //! Shipped scenarios: `TaylorGreen`, `PoiseuilleChannel`, `CouetteFlow`,
 //! `LidDrivenCavity`, `KnudsenMicrochannel` — see [`sim::scenario`]. The
-//! pre-redesign entry point `lbm::sim::run_distributed(&SimConfig)` remains
-//! as a deprecated shim over the same machinery.
+//! builder is the single construction path (the pre-redesign
+//! `run_distributed`/`SimConfig::with_*` shims have been removed).
+//!
+//! Orthogonal to the kernel ladder, the **population storage mode** picks
+//! between the paper's two-grid double buffer and AA-pattern in-place
+//! streaming (half the resident memory, one halo exchange per two steps):
+//!
+//! ```
+//! use lbm::prelude::*;
+//!
+//! let report = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+//!     .storage(StorageMode::InPlaceAa)
+//!     .level(OptLevel::Simd)
+//!     .ranks(2)
+//!     .build()
+//!     .unwrap()
+//!     .run(4)
+//!     .unwrap();
+//! assert_eq!(report.storage, "aa");
+//! ```
 
 pub use lbm_comm as comm;
 pub use lbm_core as core;

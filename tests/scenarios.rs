@@ -477,18 +477,21 @@ fn explicit_eager_strategy_is_reachable_and_equivalent() {
     }
 }
 
-/// The deprecated `run_distributed` shim still works for scenario configs.
+/// The builder is the single construction path (the deprecated
+/// `run_distributed` / `SimConfig::with_*` shims are gone); scenario
+/// configs run through `Simulation::run` and report their name.
 #[test]
-fn deprecated_run_distributed_shim_carries_scenarios() {
-    let cfg = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 11, 8))
+fn builder_is_the_single_construction_path_for_scenarios() {
+    let rep = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 11, 8))
         .scenario(CouetteFlow::new(0.03))
         .ranks(2)
         .level(OptLevel::Fused)
-        .build_config()
+        .build()
+        .unwrap()
+        .run(10)
         .unwrap();
-    #[allow(deprecated)]
-    let rep = lbm::sim::run_distributed(&cfg).unwrap();
     assert_eq!(rep.scenario, "couette_flow");
+    assert_eq!(rep.storage, "two_grid");
     let cells = (8 * 11 * 8) as f64;
     assert!((rep.mass - cells).abs() < 1e-9 * cells);
 }
