@@ -263,7 +263,7 @@ fn run_entry(
     if let Some(order) = args.order {
         builder = builder.order(order);
     }
-    let sim = builder.build().expect("config");
+    let mut sim = builder.build().expect("config");
     let eq_order = sim.config().eq_order();
     // Best-of-N (standard perf-measurement practice: minimum wall time).
     let rep = (0..args.repeats)

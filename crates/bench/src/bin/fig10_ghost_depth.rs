@@ -56,7 +56,8 @@ fn sweep(kind: LatticeKind, ranks: usize, steps: usize, rs: &[usize], cost: &Cos
                 .cost(cost.clone())
                 .jitter(0.05)
                 .build()
-                .and_then(|sim| sim.run(steps));
+                .map_err(lbm_core::Error::from)
+                .and_then(|mut sim| sim.run(steps));
             match result {
                 Ok(rep) => {
                     let b = *base.get_or_insert(rep.wall_secs);

@@ -35,7 +35,7 @@ fn best_over_depths(
     let cost = CostModel::torus_ramp(Duration::from_micros(200), 1.5e9, hc.ranks, 2.0);
     let mut best: Option<(f64, usize)> = None;
     for depth in 1..=3usize {
-        let sim = Simulation::builder(kind, global)
+        let mut sim = Simulation::builder(kind, global)
             .ranks(hc.ranks)
             .threads(hc.threads)
             .warmup(3)
@@ -47,11 +47,10 @@ fn best_over_depths(
             .build();
         // Best of two runs per point (perf-measurement practice).
         for _ in 0..2 {
-            if let Ok(rep) = sim
-                .as_ref()
-                .map_err(|e| e.clone())
-                .and_then(|s| s.run(steps))
-            {
+            if let Ok(rep) = sim.as_mut().ok().map_or_else(
+                || Err(lbm_core::Error::BadParameter("build failed".into())),
+                |s| s.run(steps),
+            ) {
                 let cand = (rep.wall_secs, depth);
                 best = Some(match best {
                     Some(b) if b.0 <= cand.0 => b,

@@ -70,7 +70,7 @@ fn main() {
         let mut orig = None;
         let mut last = 0.0;
         for level in OptLevel::ALL {
-            let sim = Simulation::builder(kind, global)
+            let mut sim = Simulation::builder(kind, global)
                 .ranks(ranks)
                 .warmup(2)
                 .level(level)

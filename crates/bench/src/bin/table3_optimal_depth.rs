@@ -41,8 +41,9 @@ fn best_depth(
             .cost(cost.clone())
             .jitter(0.05)
             .build()
-            .and_then(|sim| sim.run(steps));
-        times.push(result.ok().map(|rep| rep.wall_secs));
+            .ok()
+            .and_then(|mut sim| sim.run(steps).ok());
+        times.push(result.map(|rep| rep.wall_secs));
     }
     let best = times
         .iter()

@@ -19,6 +19,19 @@ impl Universe {
         Comm::new(Fabric::new(1, cost), 0)
     }
 
+    /// Persistent endpoints for all ranks of one universe, in rank order,
+    /// for callers that drive the ranks with their own threads and keep
+    /// per-rank state alive *between* calls (e.g. an incremental multi-rank
+    /// simulation engine that steps, checkpoints and resumes). The fabric is
+    /// shared by the returned endpoints and lives as long as any of them.
+    pub fn endpoints(ranks: usize, cost: CostModel) -> Vec<Comm> {
+        assert!(ranks > 0, "need at least one rank");
+        let fabric = Fabric::new(ranks, cost);
+        (0..ranks)
+            .map(|rank| Comm::new(fabric.clone(), rank))
+            .collect()
+    }
+
     /// Run `f` on `ranks` ranks over a fabric with the given cost model and
     /// return the per-rank results in rank order.
     ///
@@ -72,6 +85,27 @@ mod tests {
         comm.barrier();
         comm.send(0, 7, vec![1.0, 2.0]).unwrap();
         assert_eq!(comm.recv(0, 7).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn endpoints_share_one_fabric_and_exchange() {
+        let mut comms = Universe::endpoints(2, CostModel::free());
+        assert_eq!(comms.len(), 2);
+        // Drive both endpoints from scoped threads, like a persistent engine.
+        let out: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .iter_mut()
+                .map(|comm| {
+                    scope.spawn(move || {
+                        let peer = 1 - comm.rank();
+                        comm.send(peer, 9, vec![comm.rank() as f64]).unwrap();
+                        comm.recv(peer, 9).unwrap()[0]
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(out, vec![1.0, 0.0]);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub enum Error {
     BadParameter(String),
     /// Mismatched operands (field shapes, lattice sizes, …).
     Mismatch(String),
+    /// A serialized artifact (checkpoint, snapshot) failed to decode.
+    Corrupt(String),
+    /// An underlying I/O operation failed (message carries the OS error).
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -28,6 +32,8 @@ impl fmt::Display for Error {
             Error::BadHalo(m) => write!(f, "bad halo: {m}"),
             Error::BadParameter(m) => write!(f, "bad parameter: {m}"),
             Error::Mismatch(m) => write!(f, "mismatch: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }

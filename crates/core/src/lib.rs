@@ -52,6 +52,7 @@ pub mod knudsen;
 pub mod lattice;
 pub mod moments;
 pub mod perf;
+pub mod snapshot;
 pub mod validate;
 
 pub use collision::Bgk;

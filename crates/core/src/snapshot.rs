@@ -1,0 +1,214 @@
+//! Binary codec for [`DistField`] snapshots — the payload layer of the
+//! checkpoint/restart format.
+//!
+//! A snapshot must restore a trajectory *bitwise*, so the populations are
+//! written as raw little-endian `f64` bits (no text round trip) behind a
+//! fixed-layout header, and guarded by an FNV-1a checksum so a truncated or
+//! bit-rotted file is rejected instead of silently resuming garbage:
+//!
+//! ```text
+//! u32  codec version        (FIELD_CODEC_VERSION)
+//! u32  q                    (velocity count)
+//! u64  nx, ny, nz           (owned dims)
+//! u64  halo                 (ghost planes per x side)
+//! u64  n                    (f64 count = q · alloc_len)
+//! n×f64 payload             (slab-major, the field's memory order)
+//! u64  FNV-1a over the payload bytes
+//! ```
+//!
+//! The container format (file magic, config header, per-rank framing) lives
+//! with the simulation layer; this module only moves fields to and from
+//! bytes.
+
+use crate::error::{Error, Result};
+use crate::field::DistField;
+use crate::index::Dim3;
+
+/// Version of the field byte layout (bump on any layout change).
+pub const FIELD_CODEC_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over a byte slice (the snapshot integrity check).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take<const N: usize>(buf: &[u8], pos: &mut usize, what: &str) -> Result<[u8; N]> {
+    let end = pos
+        .checked_add(N)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| Error::Corrupt(format!("snapshot truncated reading {what}")))?;
+    let mut a = [0u8; N];
+    a.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(a)
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize, what: &str) -> Result<u32> {
+    Ok(u32::from_le_bytes(take::<4>(buf, pos, what)?))
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64> {
+    Ok(u64::from_le_bytes(take::<8>(buf, pos, what)?))
+}
+
+/// Append the binary encoding of `f` (header + raw payload + checksum).
+pub fn encode_field(f: &DistField, out: &mut Vec<u8>) {
+    let owned = f.owned_dims();
+    put_u32(out, FIELD_CODEC_VERSION);
+    put_u32(out, f.q() as u32);
+    put_u64(out, owned.nx as u64);
+    put_u64(out, owned.ny as u64);
+    put_u64(out, owned.nz as u64);
+    put_u64(out, f.halo() as u64);
+    let data = f.as_slice();
+    put_u64(out, data.len() as u64);
+    let start = out.len();
+    out.reserve(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let sum = fnv1a(&out[start..]);
+    put_u64(out, sum);
+}
+
+/// Decode one field starting at `*pos`, advancing `*pos` past it. The
+/// payload is restored bit-for-bit; version, shape and checksum mismatches
+/// are rejected as [`Error::Corrupt`].
+pub fn decode_field(buf: &[u8], pos: &mut usize) -> Result<DistField> {
+    let version = take_u32(buf, pos, "codec version")?;
+    if version != FIELD_CODEC_VERSION {
+        return Err(Error::Corrupt(format!(
+            "field codec version {version} (supported: {FIELD_CODEC_VERSION})"
+        )));
+    }
+    let q = take_u32(buf, pos, "q")? as usize;
+    let nx = take_u64(buf, pos, "nx")? as usize;
+    let ny = take_u64(buf, pos, "ny")? as usize;
+    let nz = take_u64(buf, pos, "nz")? as usize;
+    let halo = take_u64(buf, pos, "halo")? as usize;
+    let n = take_u64(buf, pos, "payload length")? as usize;
+    let mut f = DistField::new(q, Dim3::new(nx, ny, nz), halo)?;
+    if n != f.as_slice().len() {
+        return Err(Error::Corrupt(format!(
+            "payload length {n} does not match {q}×({nx}+2·{halo})×{ny}×{nz}"
+        )));
+    }
+    let bytes = n
+        .checked_mul(8)
+        .filter(|&b| *pos + b + 8 <= buf.len())
+        .ok_or_else(|| Error::Corrupt("snapshot truncated reading payload".into()))?;
+    let payload = &buf[*pos..*pos + bytes];
+    let want = fnv1a(payload);
+    let dst = f.as_mut_slice();
+    for (i, chunk) in payload.chunks_exact(8).enumerate() {
+        dst[i] = f64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+    }
+    *pos += bytes;
+    let got = take_u64(buf, pos, "checksum")?;
+    if got != want {
+        return Err(Error::Corrupt(format!(
+            "payload checksum mismatch: stored {got:#018x}, computed {want:#018x}"
+        )));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistField {
+        let mut f = DistField::new(3, Dim3::new(4, 2, 2), 1).unwrap();
+        for (i, v) in f.as_mut_slice().iter_mut().enumerate() {
+            // Awkward bit patterns: subnormals, negatives, non-dyadic.
+            *v = (i as f64 + 0.1) * if i % 2 == 0 { 1.0 } else { -1e-310 };
+        }
+        f
+    }
+
+    #[test]
+    fn round_trip_is_bitwise() {
+        let f = sample();
+        let mut buf = Vec::new();
+        encode_field(&f, &mut buf);
+        let mut pos = 0;
+        let g = decode_field(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(g.q(), f.q());
+        assert_eq!(g.owned_dims(), f.owned_dims());
+        assert_eq!(g.halo(), f.halo());
+        for (a, b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn multiple_fields_concatenate() {
+        let f = sample();
+        let mut buf = Vec::new();
+        encode_field(&f, &mut buf);
+        encode_field(&f, &mut buf);
+        let mut pos = 0;
+        let a = decode_field(&buf, &mut pos).unwrap();
+        let b = decode_field(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(a.max_abs_diff_owned(&b), 0.0);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let f = sample();
+        let mut buf = Vec::new();
+        encode_field(&f, &mut buf);
+        // Flip one payload bit.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 1;
+        let mut pos = 0;
+        assert!(matches!(
+            decode_field(&buf, &mut pos),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let f = sample();
+        let mut buf = Vec::new();
+        encode_field(&f, &mut buf);
+        buf.truncate(buf.len() - 9);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_field(&buf, &mut pos),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let f = sample();
+        let mut buf = Vec::new();
+        encode_field(&f, &mut buf);
+        buf[0] = 99;
+        let mut pos = 0;
+        assert!(matches!(
+            decode_field(&buf, &mut pos),
+            Err(Error::Corrupt(_))
+        ));
+    }
+}

@@ -201,9 +201,78 @@ impl SimConfig {
     }
 }
 
+/// Typed rejection from [`Simulation::builder`](crate::Simulation::builder)'s
+/// `build()`: a runtime scheduling many externally-supplied job specs needs
+/// to refuse a bad one without killing the worker, so validation failures are
+/// values, not panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The resolved configuration failed [`SimConfig::validate`] (bad tau,
+    /// decomposition, halo, dimensions, …).
+    Invalid(Error),
+    /// A textual label (lattice, level, storage, scenario, …) did not parse.
+    UnknownLabel {
+        /// Which field the label was for.
+        field: &'static str,
+        /// The rejected input.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Invalid(e) => write!(f, "invalid config: {e}"),
+            ConfigError::UnknownLabel { field, value } => {
+                write!(f, "unknown {field} label: `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Invalid(e) => Some(e),
+            ConfigError::UnknownLabel { .. } => None,
+        }
+    }
+}
+
+impl From<Error> for ConfigError {
+    fn from(e: Error) -> Self {
+        ConfigError::Invalid(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        match e {
+            ConfigError::Invalid(inner) => inner,
+            ConfigError::UnknownLabel { field, value } => {
+                Error::BadParameter(format!("unknown {field} label: `{value}`"))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_error_display_and_conversions() {
+        let e = ConfigError::from(Error::BadParameter("tau".into()));
+        assert!(e.to_string().contains("invalid config"));
+        let back: Error = e.into();
+        assert_eq!(back, Error::BadParameter("tau".into()));
+        let u = ConfigError::UnknownLabel {
+            field: "lattice",
+            value: "d3q99".into(),
+        };
+        assert!(u.to_string().contains("d3q99"));
+        assert!(matches!(Error::from(u), Error::BadParameter(_)));
+    }
 
     #[test]
     fn defaults_are_valid() {

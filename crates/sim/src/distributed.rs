@@ -99,7 +99,7 @@ use lbm_core::kernels::{self, KernelClass, KernelCtx, OptLevel, StreamTables, MA
 use lbm_core::moments::Moments;
 use lbm_core::perf::PerfCounters;
 use lbm_core::prelude::Bgk;
-use lbm_core::Result;
+use lbm_core::{Error, Result};
 
 use crate::config::{CommStrategy, SimConfig};
 use crate::halo::{self, Side};
@@ -616,8 +616,28 @@ impl RankSolver {
                 halo::unpack_halo(&mut self.f, Side::Right, self.h, &msgs[1]);
             }
             CommStrategy::NonBlockingGhost | CommStrategy::OverlapGhostCollide => {
-                // Sends were posted at the end of the previous cycle.
-                let reqs = std::mem::take(&mut self.pending);
+                // Sends were posted at the end of the previous cycle —
+                // except on the first cycle after a checkpoint restore,
+                // where nothing is in flight (restores never strand posted
+                // requests). Fall back to a just-in-time exchange of the
+                // current borders: `f` has not changed since the previous
+                // cycle's sends would have packed it, so the payload is
+                // bitwise the one the pre-posted schedule carries.
+                let mut reqs = std::mem::take(&mut self.pending);
+                if reqs.is_empty() {
+                    halo::pack_border(&self.f, Side::Left, self.h, &mut self.send_buf);
+                    let _ = comm
+                        .isend(left, to_left, self.send_buf.clone())
+                        .expect("isend");
+                    halo::pack_border(&self.f, Side::Right, self.h, &mut self.send_buf);
+                    let _ = comm
+                        .isend(right, to_right, self.send_buf.clone())
+                        .expect("isend");
+                    reqs = vec![
+                        comm.irecv(left, to_right).expect("irecv"),
+                        comm.irecv(right, to_left).expect("irecv"),
+                    ];
+                }
                 debug_assert_eq!(reqs.len(), 2, "ghost schedule must have posted receives");
                 let msgs = comm.waitall(reqs).expect("waitall");
                 halo::unpack_halo(&mut self.f, Side::Left, self.h, &msgs[0]);
@@ -1009,6 +1029,48 @@ impl RankSolver {
             }
         }
         out
+    }
+
+    /// Restore this rank from a checkpointed owned snapshot: overwrite the
+    /// owned planes with `snap` (halo-free, bitwise) and fast-forward the
+    /// step/cycle counters. Pending receives are cleared — the first cycle
+    /// (or odd AA step) after a restore re-exchanges halos just in time,
+    /// which the deep-halo invariant makes bitwise-equivalent to the
+    /// uninterrupted schedule.
+    pub fn restore_owned(&mut self, snap: &DistField, step_no: u64, cycle: u64) -> Result<()> {
+        let owned = self.sub.owned();
+        if snap.q() != self.ctx.lat.q() || snap.owned_dims() != owned || snap.halo() != 0 {
+            return Err(Error::Mismatch(format!(
+                "snapshot shape {}×{:?} (halo {}) does not fit rank {}: want {}×{:?} halo 0",
+                snap.q(),
+                snap.owned_dims(),
+                snap.halo(),
+                self.sub.rank,
+                self.ctx.lat.q(),
+                owned,
+            )));
+        }
+        let ds = self.f.alloc_dims();
+        let dd = snap.alloc_dims();
+        for i in 0..self.ctx.lat.q() {
+            for x in 0..owned.nx {
+                let t = ds.idx(x + self.h, 0, 0);
+                let s = dd.idx(x, 0, 0);
+                let row = snap.slab(i)[s..s + dd.plane()].to_vec();
+                self.f.slab_mut(i)[t..t + ds.plane()].copy_from_slice(&row);
+            }
+        }
+        self.step_no = step_no;
+        self.cycle = cycle;
+        self.pending.clear();
+        self.reset_counters();
+        Ok(())
+    }
+
+    /// Completed exchange cycles (checkpointed alongside
+    /// [`Self::steps_done`] so a restore resumes the tag sequence).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
     }
 
     /// Reset the performance counters (after warmup).

@@ -27,6 +27,10 @@
 //! * [`physics`] — a single-rank convenience wrapper with walls, masks and
 //!   Guo forcing (now a thin layer over the same core boundary/forcing
 //!   machinery the distributed solver uses).
+//! * [`runtime`] — the job-oriented ensemble runtime: [`JobSpec`]
+//!   submissions, the rank×thread-aware [`EnsembleRunner`] scheduler with
+//!   JSONL progress streaming and per-job cancel, and versioned
+//!   checkpoint/restart with bitwise-identical resumed trajectories.
 //! * [`observables`], [`output`], [`report`], [`runner`] — measurement,
 //!   file output and the experiment entry points used by `lbm-bench`.
 
@@ -37,18 +41,21 @@ pub mod config;
 pub mod distributed;
 pub mod halo;
 pub mod hybrid;
+pub mod json;
 pub mod observables;
 pub mod output;
 pub mod physics;
 pub mod report;
 pub mod runner;
+pub mod runtime;
 pub mod scenario;
 pub mod simulation;
 
-pub use config::{CommStrategy, SimConfig};
-pub use report::{RankReport, RunReport};
+pub use config::{CommStrategy, ConfigError, SimConfig};
+pub use report::{RankReport, RunReport, REPORT_SCHEMA_VERSION};
+pub use runtime::{EnsembleRunner, JobEvent, JobId, JobOutcome, JobSpec};
 pub use scenario::{
     CouetteFlow, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Scenario,
-    ScenarioHandle, TaylorGreen,
+    ScenarioHandle, ScenarioSpec, TaylorGreen,
 };
 pub use simulation::{Probe, Simulation, SimulationBuilder};

@@ -31,6 +31,7 @@ pub(crate) fn run_config(cfg: &SimConfig) -> Result<RunReport> {
         let owned_cells = solver.sub.owned().len() as u64;
         (
             RankReport {
+                schema: crate::report::REPORT_SCHEMA_VERSION,
                 rank: comm.rank(),
                 owned_cells,
                 updates: solver.counters.updates,

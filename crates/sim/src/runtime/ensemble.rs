@@ -1,0 +1,607 @@
+//! The ensemble scheduler: many jobs over one bounded worker pool.
+//!
+//! The paper's performance model is about driving the hardware at
+//! saturation; a single blocking run leaves cores idle whenever a
+//! scenario's grid is small. [`EnsembleRunner`] keeps a bounded pool of
+//! *slot capacity* (by default the machine's available parallelism) and
+//! packs submitted [`JobSpec`]s into it — rank × thread aware, with small
+//! grids deliberately over-packed several-per-slot (they are memory-light
+//! and leave cache headroom), while large grids get their full slot count.
+//! Per-job lifecycle and progress stream through a channel as
+//! [`RunReport`]-schema JSON lines; jobs can be cancelled between progress
+//! chunks, and jobs with a checkpoint cadence write resumable state as they
+//! go.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::config::ConfigError;
+use crate::json::Json;
+use crate::report::RunReport;
+
+use super::JobSpec;
+
+/// Handle to a submitted job (submission order, starting at 0).
+pub type JobId = u64;
+
+/// Milli-slots per scheduler slot: the unit the packing heuristic works in,
+/// so fractional shares (several small jobs per slot) stay integer math.
+const MILLI: usize = 1000;
+
+/// Lifecycle and progress notifications streamed by the runner, one JSON
+/// line each (see [`JobEvent::to_json_line`]).
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The job left the queue and its engine is being built.
+    Started {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+    },
+    /// A progress chunk completed; `report` covers just that chunk
+    /// (RunReport schema — the same shape `lbm-bench` artifacts use).
+    Progress {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Trajectory steps completed so far.
+        steps_done: u64,
+        /// Timed report for the chunk that just ran.
+        report: RunReport,
+    },
+    /// A checkpoint was written at the job's cadence.
+    Checkpointed {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Trajectory steps covered by the checkpoint.
+        steps_done: u64,
+        /// Where the checkpoint landed.
+        path: PathBuf,
+    },
+    /// The job ran to completion; `report` covers the whole run.
+    Finished {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Merged report over every chunk.
+        report: RunReport,
+    },
+    /// The job died (panic or error); the worker survives.
+    Failed {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// What went wrong.
+        error: String,
+    },
+    /// The job observed its cancel flag and stopped between chunks.
+    Cancelled {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Steps completed before stopping.
+        steps_done: u64,
+    },
+}
+
+impl JobEvent {
+    /// The event kind as a lowercase tag (the JSON `event` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobEvent::Started { .. } => "started",
+            JobEvent::Progress { .. } => "progress",
+            JobEvent::Checkpointed { .. } => "checkpointed",
+            JobEvent::Finished { .. } => "finished",
+            JobEvent::Failed { .. } => "failed",
+            JobEvent::Cancelled { .. } => "cancelled",
+        }
+    }
+
+    /// The job this event belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            JobEvent::Started { job, .. }
+            | JobEvent::Progress { job, .. }
+            | JobEvent::Checkpointed { job, .. }
+            | JobEvent::Finished { job, .. }
+            | JobEvent::Failed { job, .. }
+            | JobEvent::Cancelled { job, .. } => *job,
+        }
+    }
+
+    /// JSON form; `Progress`/`Finished` embed the full
+    /// [`RunReport`] under `report`.
+    pub fn to_json(&self) -> Json {
+        let (name, mut extra): (&str, Vec<(String, Json)>) = match self {
+            JobEvent::Started { name, .. } => (name, vec![]),
+            JobEvent::Progress {
+                name,
+                steps_done,
+                report,
+                ..
+            } => (
+                name,
+                vec![
+                    ("steps_done".into(), Json::Int(*steps_done as i64)),
+                    ("report".into(), report.to_json()),
+                ],
+            ),
+            JobEvent::Checkpointed {
+                name,
+                steps_done,
+                path,
+                ..
+            } => (
+                name,
+                vec![
+                    ("steps_done".into(), Json::Int(*steps_done as i64)),
+                    ("path".into(), Json::Str(path.display().to_string())),
+                ],
+            ),
+            JobEvent::Finished { name, report, .. } => {
+                (name, vec![("report".into(), report.to_json())])
+            }
+            JobEvent::Failed { name, error, .. } => {
+                (name, vec![("error".into(), Json::Str(error.clone()))])
+            }
+            JobEvent::Cancelled {
+                name, steps_done, ..
+            } => (
+                name,
+                vec![("steps_done".into(), Json::Int(*steps_done as i64))],
+            ),
+        };
+        let mut members = vec![
+            ("event".into(), Json::Str(self.kind().into())),
+            ("job".into(), Json::Int(self.job() as i64)),
+            ("name".into(), Json::Str(name.into())),
+        ];
+        members.append(&mut extra);
+        Json::Obj(members)
+    }
+
+    /// One newline-free JSON line (the JSONL stream format).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// How a job ended (see [`EnsembleRunner::join`]).
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Finished(Box<RunReport>),
+    /// Died with an error or panic.
+    Failed(String),
+    /// Stopped at a cancel request.
+    Cancelled {
+        /// Steps completed before stopping.
+        steps_done: u64,
+    },
+}
+
+struct State {
+    pending: VecDeque<(JobId, JobSpec)>,
+    cancel_flags: HashMap<JobId, Arc<AtomicBool>>,
+    outcomes: Vec<(JobId, JobOutcome)>,
+    used_millislots: usize,
+    in_flight: usize,
+    next_id: JobId,
+    events: Sender<JobEvent>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    idle: Condvar,
+    capacity_millislots: usize,
+    small_grid_cells: usize,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+/// Schedules submitted jobs over a bounded worker pool and streams their
+/// lifecycle as [`JobEvent`]s. See the module docs for the packing policy.
+pub struct EnsembleRunner {
+    inner: Arc<Inner>,
+    events: Option<Receiver<JobEvent>>,
+}
+
+impl EnsembleRunner {
+    /// A runner sized to the machine (slot capacity = available
+    /// parallelism).
+    pub fn new() -> Self {
+        let slots = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_slots(slots)
+    }
+
+    /// A runner with an explicit slot capacity (≥ 1). One slot ≈ one core:
+    /// a job occupies `ranks × threads` slots, small grids a quarter slot
+    /// per rank-thread.
+    pub fn with_slots(slots: usize) -> Self {
+        let (tx, rx) = channel();
+        Self {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    pending: VecDeque::new(),
+                    cancel_flags: HashMap::new(),
+                    outcomes: Vec::new(),
+                    used_millislots: 0,
+                    in_flight: 0,
+                    next_id: 0,
+                    events: tx,
+                }),
+                idle: Condvar::new(),
+                capacity_millislots: slots.max(1) * MILLI,
+                small_grid_cells: 16 * 1024,
+                checkpoint_dir: None,
+            }),
+            events: Some(rx),
+        }
+    }
+
+    /// Direct checkpoint-writing jobs (`checkpoint_every > 0`) into `dir`
+    /// as `<job name>.ckpt`. Without a directory such jobs are rejected at
+    /// submit.
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("configure before submitting")
+            .checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Tune the cell count under which a grid is packed as "small"
+    /// (default 16 Ki cells).
+    #[must_use]
+    pub fn with_small_grid_cells(mut self, cells: usize) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("configure before submitting")
+            .small_grid_cells = cells;
+        self
+    }
+
+    /// The event stream (progress/lifecycle JSON lines come from
+    /// [`JobEvent::to_json_line`]). Can be taken once; the runner keeps
+    /// running if the receiver is dropped.
+    pub fn events(&mut self) -> Receiver<JobEvent> {
+        self.events.take().expect("events() may only be taken once")
+    }
+
+    /// Validate and enqueue a job. Returns its [`JobId`] or a typed
+    /// [`ConfigError`] — a rejected spec never reaches a worker. Jobs start
+    /// as capacity frees, in submission order except when a later small job
+    /// fits a gap a large head-of-queue job cannot (bounded first-fit).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, ConfigError> {
+        spec.validate()?;
+        if spec.checkpoint_every > 0 && self.inner.checkpoint_dir.is_none() {
+            return Err(ConfigError::Invalid(lbm_core::Error::BadParameter(
+                format!(
+                    "job `{}` wants checkpoints every {} steps but the runner \
+                     has no checkpoint dir",
+                    spec.name, spec.checkpoint_every
+                ),
+            )));
+        }
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let id = st.next_id;
+        st.next_id += 1;
+        st.cancel_flags.insert(id, Arc::new(AtomicBool::new(false)));
+        st.pending.push_back((id, spec));
+        Inner::schedule(&self.inner, &mut st);
+        Ok(id)
+    }
+
+    /// Ask a job to stop. Queued jobs are dropped before starting; running
+    /// jobs stop at their next progress-chunk boundary (`Cancelled` event
+    /// either way). Unknown ids are ignored.
+    pub fn cancel(&self, id: JobId) {
+        let st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(flag) = st.cancel_flags.get(&id) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Block until every submitted job has finished, failed or been
+    /// cancelled; returns the outcomes in submission order.
+    pub fn join(self) -> Vec<(JobId, JobOutcome)> {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.pending.is_empty() || st.in_flight > 0 {
+            st = self.inner.idle.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let mut outcomes = std::mem::take(&mut st.outcomes);
+        outcomes.sort_by_key(|(id, _)| *id);
+        outcomes
+    }
+}
+
+impl Default for EnsembleRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Inner {
+    /// Milli-slots a job occupies: `ranks × threads` slots, quartered for
+    /// small grids (they are cache-light — packing four per core is how the
+    /// sweep saturates the machine), always clamped into `[1, capacity]` so
+    /// an oversized job still runs (alone).
+    fn job_cost(&self, spec: &JobSpec) -> usize {
+        let unit = if spec.cells() <= self.small_grid_cells {
+            MILLI / 4
+        } else {
+            MILLI
+        };
+        (spec.slots() * unit).clamp(1, self.capacity_millislots)
+    }
+
+    /// Launch every queued job that fits the free capacity (first fit over
+    /// the queue; holds the lock).
+    fn schedule(inner: &Arc<Inner>, st: &mut State) {
+        let mut i = 0;
+        while i < st.pending.len() {
+            let id = st.pending[i].0;
+            // A cancel that lands while the job is still queued drops it
+            // here, without ever building an engine.
+            if st
+                .cancel_flags
+                .get(&id)
+                .is_some_and(|f| f.load(Ordering::SeqCst))
+            {
+                let (id, spec) = st.pending.remove(i).expect("index in range");
+                let _ = st.events.send(JobEvent::Cancelled {
+                    job: id,
+                    name: spec.name.clone(),
+                    steps_done: 0,
+                });
+                st.outcomes
+                    .push((id, JobOutcome::Cancelled { steps_done: 0 }));
+                continue;
+            }
+            let cost = inner.job_cost(&st.pending[i].1);
+            if st.used_millislots + cost > inner.capacity_millislots {
+                i += 1;
+                continue;
+            }
+            let (id, spec) = st.pending.remove(i).expect("index in range");
+            st.used_millislots += cost;
+            st.in_flight += 1;
+            let cancel = st.cancel_flags.get(&id).expect("registered").clone();
+            let events = st.events.clone();
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name(format!("job-{id}"))
+                .spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        Inner::run_job(&inner, id, &spec, &cancel, &events)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "job panicked".into());
+                        let _ = events.send(JobEvent::Failed {
+                            job: id,
+                            name: spec.name.clone(),
+                            error: msg.clone(),
+                        });
+                        JobOutcome::Failed(msg)
+                    });
+                    let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+                    st.used_millislots -= cost;
+                    st.in_flight -= 1;
+                    st.cancel_flags.remove(&id);
+                    st.outcomes.push((id, outcome));
+                    Inner::schedule(&inner, &mut st);
+                    inner.idle.notify_all();
+                })
+                .expect("spawn job worker");
+        }
+    }
+
+    /// Run one job to completion, cancel or error on the current (worker)
+    /// thread, streaming events as it goes.
+    fn run_job(
+        inner: &Inner,
+        id: JobId,
+        spec: &JobSpec,
+        cancel: &AtomicBool,
+        events: &Sender<JobEvent>,
+    ) -> JobOutcome {
+        let _ = events.send(JobEvent::Started {
+            job: id,
+            name: spec.name.clone(),
+        });
+        let mut sim = match spec.to_builder().build() {
+            Ok(sim) => sim,
+            Err(e) => {
+                let msg = e.to_string();
+                let _ = events.send(JobEvent::Failed {
+                    job: id,
+                    name: spec.name.clone(),
+                    error: msg.clone(),
+                });
+                return JobOutcome::Failed(msg);
+            }
+        };
+        let chunk_len = if spec.progress_every > 0 {
+            spec.progress_every
+        } else {
+            spec.steps
+        };
+        let mut merged: Option<RunReport> = None;
+        let mut next_checkpoint = spec.checkpoint_every;
+        let mut done = 0usize;
+        while done < spec.steps {
+            if cancel.load(Ordering::SeqCst) {
+                let _ = events.send(JobEvent::Cancelled {
+                    job: id,
+                    name: spec.name.clone(),
+                    steps_done: done as u64,
+                });
+                return JobOutcome::Cancelled {
+                    steps_done: done as u64,
+                };
+            }
+            let n = chunk_len.max(1).min(spec.steps - done);
+            let report = match sim.run(n) {
+                Ok(r) => r,
+                Err(e) => {
+                    let msg = e.to_string();
+                    let _ = events.send(JobEvent::Failed {
+                        job: id,
+                        name: spec.name.clone(),
+                        error: msg.clone(),
+                    });
+                    return JobOutcome::Failed(msg);
+                }
+            };
+            done += n;
+            let _ = events.send(JobEvent::Progress {
+                job: id,
+                name: spec.name.clone(),
+                steps_done: done as u64,
+                report: report.clone(),
+            });
+            match &mut merged {
+                None => merged = Some(report),
+                Some(m) => m.accumulate(&report),
+            }
+            if spec.checkpoint_every > 0 && done >= next_checkpoint && done < spec.steps {
+                next_checkpoint += spec.checkpoint_every;
+                let dir = inner.checkpoint_dir.as_ref().expect("checked at submit");
+                let path = dir.join(format!("{}.ckpt", spec.name));
+                match sim.checkpoint_to(&path) {
+                    Ok(()) => {
+                        let _ = events.send(JobEvent::Checkpointed {
+                            job: id,
+                            name: spec.name.clone(),
+                            steps_done: done as u64,
+                            path,
+                        });
+                    }
+                    Err(e) => {
+                        let msg = format!("checkpoint failed: {e}");
+                        let _ = events.send(JobEvent::Failed {
+                            job: id,
+                            name: spec.name.clone(),
+                            error: msg.clone(),
+                        });
+                        return JobOutcome::Failed(msg);
+                    }
+                }
+            }
+        }
+        let report = merged.expect("at least one chunk ran");
+        let _ = events.send(JobEvent::Finished {
+            job: id,
+            name: spec.name.clone(),
+            report: report.clone(),
+        });
+        JobOutcome::Finished(Box::new(report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSpec;
+    use lbm_core::index::Dim3;
+    use lbm_core::lattice::LatticeKind;
+
+    fn tg_job(name: &str, steps: usize) -> JobSpec {
+        let mut spec = JobSpec::new(name, LatticeKind::D3Q19, Dim3::new(8, 8, 8), steps);
+        spec.scenario = Some(ScenarioSpec::TaylorGreen {
+            rho0: 1.0,
+            u0: 0.02,
+        });
+        spec
+    }
+
+    #[test]
+    fn jobs_finish_and_events_stream_in_json() {
+        let mut runner = EnsembleRunner::with_slots(2);
+        let events = runner.events();
+        let a = runner.submit(tg_job("a", 4)).unwrap();
+        let b = runner.submit(tg_job("b", 4)).unwrap();
+        let outcomes = runner.join();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].0, a);
+        assert_eq!(outcomes[1].0, b);
+        for (_, outcome) in &outcomes {
+            match outcome {
+                JobOutcome::Finished(rep) => assert_eq!(rep.steps, 4),
+                other => panic!("expected Finished, got {other:?}"),
+            }
+        }
+        let lines: Vec<JobEvent> = events.try_iter().collect();
+        // 2 × (Started + Progress + Finished).
+        assert_eq!(lines.len(), 6);
+        for ev in &lines {
+            let line = ev.to_json_line();
+            assert!(!line.contains('\n'));
+            let v = Json::parse(&line).unwrap();
+            assert_eq!(v.get("event").unwrap().as_str(), Some(ev.kind()));
+        }
+    }
+
+    #[test]
+    fn bad_jobs_are_rejected_at_submit_not_in_workers() {
+        let runner = EnsembleRunner::with_slots(1);
+        let mut bad = tg_job("bad", 4);
+        bad.ranks = 64; // 8 planes over 64 ranks: impossible
+        assert!(runner.submit(bad).is_err());
+        let mut wants_ckpt = tg_job("ckpt", 4);
+        wants_ckpt.checkpoint_every = 2; // no checkpoint dir configured
+        assert!(runner.submit(wants_ckpt).is_err());
+        assert!(runner.join().is_empty());
+    }
+
+    #[test]
+    fn queued_jobs_can_be_cancelled_before_starting() {
+        // Capacity 1 slot and a long job at the head: the second job stays
+        // queued until cancel drops it.
+        let mut big = tg_job("big", 40);
+        big.progress_every = 1;
+        let mut runner = EnsembleRunner::with_slots(1);
+        // Big job saturates the slot (not small-grid quartered) so "late"
+        // must queue.
+        big.global = Dim3::new(32, 32, 32);
+        let events = runner.events();
+        let _ = runner.submit(big).unwrap();
+        let late = runner.submit(tg_job("late", 4)).unwrap();
+        runner.cancel(late);
+        let outcomes = runner.join();
+        let late_outcome = &outcomes.iter().find(|(id, _)| *id == late).unwrap().1;
+        assert!(
+            matches!(late_outcome, JobOutcome::Cancelled { steps_done: 0 }),
+            "{late_outcome:?}"
+        );
+        assert!(events
+            .try_iter()
+            .any(|e| matches!(e, JobEvent::Cancelled { .. })));
+    }
+
+    #[test]
+    fn small_grids_pack_several_per_slot() {
+        let runner = EnsembleRunner::with_slots(2);
+        let small = tg_job("s", 1);
+        assert_eq!(runner.inner.job_cost(&small), MILLI / 4);
+        let mut big = tg_job("b", 1);
+        big.global = Dim3::new(64, 32, 32);
+        assert_eq!(runner.inner.job_cost(&big), MILLI);
+        let mut wide = big.clone();
+        wide.ranks = 8; // 8 slots > capacity 2: clamped, runs alone
+        assert_eq!(runner.inner.job_cost(&wide), 2 * MILLI);
+    }
+}

@@ -1,0 +1,280 @@
+//! Job specifications: the value-level submission format of the ensemble
+//! runtime.
+//!
+//! A [`JobSpec`] is everything [`EnsembleRunner`](super::EnsembleRunner)
+//! needs to run one scenario to completion — a plain-data mirror of the
+//! [`SimulationBuilder`](crate::SimulationBuilder) fluent API that can
+//! travel as JSON (sweep manifests, queue submissions) and be validated
+//! without constructing anything.
+
+use lbm_core::field::StorageMode;
+use lbm_core::index::Dim3;
+use lbm_core::kernels::OptLevel;
+use lbm_core::lattice::LatticeKind;
+
+use crate::config::{ConfigError, SimConfig};
+use crate::json::Json;
+use crate::scenario::ScenarioSpec;
+use crate::simulation::{Simulation, SimulationBuilder};
+
+/// One ensemble job: a scenario configuration plus run length and
+/// progress/checkpoint cadences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable job name (also the checkpoint file stem).
+    pub name: String,
+    /// Discrete velocity model.
+    pub lattice: LatticeKind,
+    /// Global periodic box.
+    pub global: Dim3,
+    /// Scenario parameters (`None` = the legacy Taylor–Green flow).
+    pub scenario: Option<ScenarioSpec>,
+    /// Explicit BGK relaxation time (`None` = the scenario's suggestion,
+    /// falling back to the config default).
+    pub tau: Option<f64>,
+    /// Kernel optimization rung.
+    pub level: OptLevel,
+    /// Population storage mode.
+    pub storage: StorageMode,
+    /// Ranks (1-D decomposition along x).
+    pub ranks: usize,
+    /// Rayon threads per rank.
+    pub threads_per_rank: usize,
+    /// Ghost-cell depth d.
+    pub ghost_depth: usize,
+    /// Total time steps to run.
+    pub steps: usize,
+    /// Stream a progress report every this many steps (0 = only the final
+    /// report).
+    pub progress_every: usize,
+    /// Write a checkpoint every this many steps (0 = never; requires the
+    /// runner to have a checkpoint directory).
+    pub checkpoint_every: usize,
+}
+
+impl JobSpec {
+    /// A job with the workspace's default solver settings: `Simd` rung,
+    /// two-grid storage, 1 rank × 1 thread, ghost depth 1, final report
+    /// only.
+    pub fn new(name: impl Into<String>, lattice: LatticeKind, global: Dim3, steps: usize) -> Self {
+        Self {
+            name: name.into(),
+            lattice,
+            global,
+            scenario: None,
+            tau: None,
+            level: OptLevel::Simd,
+            storage: StorageMode::TwoGrid,
+            ranks: 1,
+            threads_per_rank: 1,
+            ghost_depth: 1,
+            steps,
+            progress_every: 0,
+            checkpoint_every: 0,
+        }
+    }
+
+    /// Lattice cells in the global box (the packing heuristic's size
+    /// signal).
+    pub fn cells(&self) -> usize {
+        self.global.nx * self.global.ny * self.global.nz
+    }
+
+    /// Worker slots this job occupies while running.
+    pub fn slots(&self) -> usize {
+        self.ranks * self.threads_per_rank
+    }
+
+    /// The equivalent fluent builder (shared with interactive use — the
+    /// runtime drives exactly the API users drive).
+    pub fn to_builder(&self) -> SimulationBuilder {
+        let mut b = Simulation::builder(self.lattice, self.global)
+            .ranks(self.ranks)
+            .threads(self.threads_per_rank)
+            .ghost_depth(self.ghost_depth)
+            .level(self.level)
+            .storage(self.storage);
+        if let Some(tau) = self.tau {
+            b = b.tau(tau);
+        }
+        if let Some(spec) = &self.scenario {
+            b = b.scenario(spec.to_handle());
+        }
+        b
+    }
+
+    /// Validate without building an engine (what
+    /// [`EnsembleRunner::submit`](super::EnsembleRunner::submit) calls
+    /// before accepting a job).
+    pub fn validate(&self) -> Result<SimConfig, ConfigError> {
+        self.to_builder().build_config()
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("lattice".into(), Json::Str(self.lattice.name().into())),
+            (
+                "global".into(),
+                Json::Arr(vec![
+                    Json::Int(self.global.nx as i64),
+                    Json::Int(self.global.ny as i64),
+                    Json::Int(self.global.nz as i64),
+                ]),
+            ),
+            (
+                "scenario".into(),
+                self.scenario
+                    .as_ref()
+                    .map_or(Json::Null, ScenarioSpec::to_json),
+            ),
+            ("tau".into(), self.tau.map_or(Json::Null, Json::Num)),
+            ("level".into(), Json::Str(self.level.name().into())),
+            ("storage".into(), Json::Str(self.storage.name().into())),
+            ("ranks".into(), Json::Int(self.ranks as i64)),
+            (
+                "threads_per_rank".into(),
+                Json::Int(self.threads_per_rank as i64),
+            ),
+            ("ghost_depth".into(), Json::Int(self.ghost_depth as i64)),
+            ("steps".into(), Json::Int(self.steps as i64)),
+            (
+                "progress_every".into(),
+                Json::Int(self.progress_every as i64),
+            ),
+            (
+                "checkpoint_every".into(),
+                Json::Int(self.checkpoint_every as i64),
+            ),
+        ])
+    }
+
+    /// Inverse of [`JobSpec::to_json`], with typed label errors.
+    pub fn from_json(v: &Json) -> Result<Self, ConfigError> {
+        let bad = |field: &'static str, value: &Json| ConfigError::UnknownLabel {
+            field,
+            value: value.to_string(),
+        };
+        let int = |key: &'static str| -> Result<usize, ConfigError> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .map(|x| x as usize)
+                .ok_or(ConfigError::UnknownLabel {
+                    field: key,
+                    value: "<missing>".into(),
+                })
+        };
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(ConfigError::UnknownLabel {
+                field: "name",
+                value: "<missing>".into(),
+            })?
+            .to_owned();
+        let lattice_v = v.get("lattice").cloned().unwrap_or(Json::Null);
+        let lattice = lattice_v
+            .as_str()
+            .and_then(LatticeKind::parse)
+            .ok_or_else(|| bad("lattice", &lattice_v))?;
+        let global = v
+            .get("global")
+            .and_then(Json::as_arr)
+            .filter(|a| a.len() == 3)
+            .ok_or(ConfigError::UnknownLabel {
+                field: "global",
+                value: "<missing>".into(),
+            })?;
+        let dim = |i: usize| {
+            global[i]
+                .as_u64()
+                .map(|x| x as usize)
+                .ok_or_else(|| bad("global", &global[i]))
+        };
+        let global = Dim3::new(dim(0)?, dim(1)?, dim(2)?);
+        let scenario = match v.get("scenario") {
+            None | Some(Json::Null) => None,
+            Some(spec) => Some(ScenarioSpec::from_json(spec).map_err(|_| bad("scenario", spec))?),
+        };
+        let tau = match v.get("tau") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(t.as_f64().ok_or_else(|| bad("tau", t))?),
+        };
+        let level_v = v.get("level").cloned().unwrap_or(Json::Null);
+        let level = level_v
+            .as_str()
+            .and_then(OptLevel::parse)
+            .ok_or_else(|| bad("level", &level_v))?;
+        let storage_v = v.get("storage").cloned().unwrap_or(Json::Null);
+        let storage = storage_v
+            .as_str()
+            .and_then(StorageMode::parse)
+            .ok_or_else(|| bad("storage", &storage_v))?;
+        Ok(Self {
+            name,
+            lattice,
+            global,
+            scenario,
+            tau,
+            level,
+            storage,
+            ranks: int("ranks")?,
+            threads_per_rank: int("threads_per_rank")?,
+            ghost_depth: int("ghost_depth")?,
+            steps: int("steps")?,
+            progress_every: int("progress_every")?,
+            checkpoint_every: int("checkpoint_every")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_round_trips_through_json() {
+        let mut spec = JobSpec::new("sweep-03", LatticeKind::D3Q39, Dim3::new(16, 8, 8), 200);
+        spec.scenario = Some(ScenarioSpec::KnudsenMicrochannel {
+            kn: 0.05,
+            g: 5e-6,
+            layers: 3,
+        });
+        spec.level = OptLevel::Fused;
+        spec.storage = StorageMode::InPlaceAa;
+        spec.ranks = 2;
+        spec.progress_every = 50;
+        spec.checkpoint_every = 100;
+        let text = spec.to_json().to_string();
+        let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.slots(), 2);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_labels_are_typed_errors() {
+        let spec = JobSpec::new("x", LatticeKind::D3Q19, Dim3::cube(8), 10);
+        let text = spec.to_json().to_string().replace("D3Q19", "D3Q99");
+        let err = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConfigError::UnknownLabel {
+                    field: "lattice",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_impossible_decompositions() {
+        let mut spec = JobSpec::new("x", LatticeKind::D3Q39, Dim3::new(8, 8, 8), 10);
+        spec.ranks = 4;
+        spec.ghost_depth = 2;
+        assert!(spec.validate().is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Job-oriented ensemble runtime: submit scenarios as [`JobSpec`]s, run
+//! them across a bounded worker pool, stream progress as JSON lines, and
+//! checkpoint/restart trajectories bitwise-exactly.
+//!
+//! The runtime is a thin orchestration layer over the same
+//! [`Simulation`](crate::Simulation) API interactive callers use:
+//!
+//! - [`job`] — [`JobSpec`], the value-level (JSON-able) submission format;
+//! - [`ensemble`] — [`EnsembleRunner`], the rank×thread-aware scheduler
+//!   with per-job cancel and lifecycle events;
+//! - [`checkpoint`] — the versioned on-disk format behind
+//!   [`Simulation::checkpoint`](crate::Simulation::checkpoint) and
+//!   [`Simulation::resume`](crate::Simulation::resume).
+
+pub mod checkpoint;
+pub mod ensemble;
+pub mod job;
+
+pub use checkpoint::{CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use ensemble::{EnsembleRunner, JobEvent, JobId, JobOutcome};
+pub use job::JobSpec;

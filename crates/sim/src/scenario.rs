@@ -33,6 +33,8 @@ use lbm_core::index::Dim3;
 use lbm_core::knudsen;
 use lbm_core::lattice::Lattice;
 
+use crate::json::Json;
+
 /// A named observable a scenario recommends recording (see
 /// [`crate::simulation::Simulation::probe`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +115,15 @@ pub trait Scenario: Send + Sync {
     fn validate(&self, lat: &Lattice, global: Dim3) -> Result<()> {
         self.boundaries(global).validate(lat, global)
     }
+
+    /// Serializable description of this scenario's parameters, used by job
+    /// specs and checkpoint headers to reconstruct the scenario on another
+    /// process. `None` (the default) marks a scenario that cannot travel —
+    /// such configs can still run but not checkpoint or be submitted as
+    /// jobs. All shipped scenarios return `Some`.
+    fn spec(&self) -> Option<ScenarioSpec> {
+        None
+    }
 }
 
 /// A shared, cloneable handle to a [`Scenario`] (what [`crate::SimConfig`]
@@ -176,6 +187,167 @@ impl Scenario for ScenarioHandle {
     fn validate(&self, lat: &Lattice, global: Dim3) -> Result<()> {
         self.0.validate(lat, global)
     }
+
+    fn spec(&self) -> Option<ScenarioSpec> {
+        self.0.spec()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serializable scenario specs
+// ---------------------------------------------------------------------------
+
+/// Value-level description of a shipped scenario: everything needed to
+/// rebuild the trait object from text. This is the form scenarios take in
+/// [`JobSpec`](crate::runtime::JobSpec)s and checkpoint headers — the
+/// scenarios themselves are RNG-free, so the parameters *are* the state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSpec {
+    /// [`TaylorGreen`]
+    TaylorGreen {
+        /// Background density.
+        rho0: f64,
+        /// Velocity amplitude.
+        u0: f64,
+    },
+    /// [`PoiseuilleChannel`]
+    PoiseuilleChannel {
+        /// Driving force density along x.
+        g: f64,
+        /// Wall layers per side.
+        layers: usize,
+    },
+    /// [`CouetteFlow`]
+    CouetteFlow {
+        /// Upper-wall sliding velocity.
+        u_wall: f64,
+        /// Wall layers per side.
+        layers: usize,
+    },
+    /// [`LidDrivenCavity`]
+    LidDrivenCavity {
+        /// Reynolds number.
+        re: f64,
+        /// Lid speed.
+        u_lid: f64,
+        /// Wall layers per side.
+        layers: usize,
+    },
+    /// [`KnudsenMicrochannel`]
+    KnudsenMicrochannel {
+        /// Target Knudsen number.
+        kn: f64,
+        /// Driving force density along x.
+        g: f64,
+        /// Wall layers per side.
+        layers: usize,
+    },
+}
+
+impl ScenarioSpec {
+    /// The scenario's machine-readable name (matches [`Scenario::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioSpec::TaylorGreen { .. } => "taylor_green",
+            ScenarioSpec::PoiseuilleChannel { .. } => "poiseuille_channel",
+            ScenarioSpec::CouetteFlow { .. } => "couette_flow",
+            ScenarioSpec::LidDrivenCavity { .. } => "lid_driven_cavity",
+            ScenarioSpec::KnudsenMicrochannel { .. } => "knudsen_microchannel",
+        }
+    }
+
+    /// Instantiate the scenario this spec describes.
+    pub fn to_handle(&self) -> ScenarioHandle {
+        match *self {
+            ScenarioSpec::TaylorGreen { rho0, u0 } => ScenarioHandle::new(TaylorGreen { rho0, u0 }),
+            ScenarioSpec::PoiseuilleChannel { g, layers } => {
+                ScenarioHandle::new(PoiseuilleChannel { g, layers })
+            }
+            ScenarioSpec::CouetteFlow { u_wall, layers } => {
+                ScenarioHandle::new(CouetteFlow { u_wall, layers })
+            }
+            ScenarioSpec::LidDrivenCavity { re, u_lid, layers } => {
+                ScenarioHandle::new(LidDrivenCavity { re, u_lid, layers })
+            }
+            ScenarioSpec::KnudsenMicrochannel { kn, g, layers } => {
+                ScenarioHandle::new(KnudsenMicrochannel { kn, g, layers })
+            }
+        }
+    }
+
+    /// JSON form: `{"name": ..., <parameters>}`.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("name".into(), Json::Str(self.name().into()))];
+        match *self {
+            ScenarioSpec::TaylorGreen { rho0, u0 } => {
+                members.push(("rho0".into(), Json::Num(rho0)));
+                members.push(("u0".into(), Json::Num(u0)));
+            }
+            ScenarioSpec::PoiseuilleChannel { g, layers } => {
+                members.push(("g".into(), Json::Num(g)));
+                members.push(("layers".into(), Json::Int(layers as i64)));
+            }
+            ScenarioSpec::CouetteFlow { u_wall, layers } => {
+                members.push(("u_wall".into(), Json::Num(u_wall)));
+                members.push(("layers".into(), Json::Int(layers as i64)));
+            }
+            ScenarioSpec::LidDrivenCavity { re, u_lid, layers } => {
+                members.push(("re".into(), Json::Num(re)));
+                members.push(("u_lid".into(), Json::Num(u_lid)));
+                members.push(("layers".into(), Json::Int(layers as i64)));
+            }
+            ScenarioSpec::KnudsenMicrochannel { kn, g, layers } => {
+                members.push(("kn".into(), Json::Num(kn)));
+                members.push(("g".into(), Json::Num(g)));
+                members.push(("layers".into(), Json::Int(layers as i64)));
+            }
+        }
+        Json::Obj(members)
+    }
+
+    /// Inverse of [`ScenarioSpec::to_json`].
+    pub fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("scenario spec missing `name`")?;
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scenario spec missing `{key}`"))
+        };
+        let layers = || {
+            v.get("layers")
+                .and_then(Json::as_u64)
+                .map(|x| x as usize)
+                .ok_or("scenario spec missing `layers`".to_string())
+        };
+        match name {
+            "taylor_green" => Ok(ScenarioSpec::TaylorGreen {
+                rho0: num("rho0")?,
+                u0: num("u0")?,
+            }),
+            "poiseuille_channel" => Ok(ScenarioSpec::PoiseuilleChannel {
+                g: num("g")?,
+                layers: layers()?,
+            }),
+            "couette_flow" => Ok(ScenarioSpec::CouetteFlow {
+                u_wall: num("u_wall")?,
+                layers: layers()?,
+            }),
+            "lid_driven_cavity" => Ok(ScenarioSpec::LidDrivenCavity {
+                re: num("re")?,
+                u_lid: num("u_lid")?,
+                layers: layers()?,
+            }),
+            "knudsen_microchannel" => Ok(ScenarioSpec::KnudsenMicrochannel {
+                kn: num("kn")?,
+                g: num("g")?,
+                layers: layers()?,
+            }),
+            other => Err(format!("unknown scenario `{other}`")),
+        }
+    }
 }
 
 /// Fluid-row count for a channel bounded by `layers` solid rows per side.
@@ -222,6 +394,13 @@ impl Scenario for TaylorGreen {
         let ux = self.u0 * (kx * gx).cos() * (ky * gy).sin();
         let uy = -self.u0 * (kx * gx).sin() * (ky * gy).cos();
         (self.rho0, [ux, uy, 0.0])
+    }
+
+    fn spec(&self) -> Option<ScenarioSpec> {
+        Some(ScenarioSpec::TaylorGreen {
+            rho0: self.rho0,
+            u0: self.u0,
+        })
     }
 }
 
@@ -287,6 +466,13 @@ impl Scenario for PoiseuilleChannel {
                 .collect(),
         )
     }
+
+    fn spec(&self) -> Option<ScenarioSpec> {
+        Some(ScenarioSpec::PoiseuilleChannel {
+            g: self.g,
+            layers: self.layers,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +537,13 @@ impl Scenario for CouetteFlow {
                 .map(|j| analytic::couette(self.u_wall, h, j as f64 + 1.0))
                 .collect(),
         )
+    }
+
+    fn spec(&self) -> Option<ScenarioSpec> {
+        Some(ScenarioSpec::CouetteFlow {
+            u_wall: self.u_wall,
+            layers: self.layers,
+        })
     }
 }
 
@@ -457,6 +650,14 @@ impl Scenario for LidDrivenCavity {
         }
         self.boundaries(global).validate(lat, global)
     }
+
+    fn spec(&self) -> Option<ScenarioSpec> {
+        Some(ScenarioSpec::LidDrivenCavity {
+            re: self.re,
+            u_lid: self.u_lid,
+            layers: self.layers,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -544,6 +745,14 @@ impl Scenario for KnudsenMicrochannel {
                 .collect(),
         )
     }
+
+    fn spec(&self) -> Option<ScenarioSpec> {
+        Some(ScenarioSpec::KnudsenMicrochannel {
+            kn: self.kn,
+            g: self.g,
+            layers: self.layers,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -568,6 +777,33 @@ mod tests {
         let mut from_scenario = DistField::new(ctx.lat.q(), g, 0).unwrap();
         lbm_core::init::from_macroscopic(&ctx, &mut from_scenario, |x, y, z| sc.init(g, x, y, z));
         assert_eq!(legacy.max_abs_diff_owned(&from_scenario), 0.0);
+    }
+
+    #[test]
+    fn every_shipped_scenario_spec_round_trips_through_json() {
+        let specs = [
+            TaylorGreen::new(0.03).spec().unwrap(),
+            PoiseuilleChannel::new(1e-5).with_layers(3).spec().unwrap(),
+            CouetteFlow::new(0.04).spec().unwrap(),
+            LidDrivenCavity::new(100.0)
+                .with_lid_speed(0.07)
+                .spec()
+                .unwrap(),
+            KnudsenMicrochannel::new(0.1)
+                .with_force(7e-6)
+                .spec()
+                .unwrap(),
+        ];
+        for spec in specs {
+            let text = spec.to_json().to_string();
+            let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec, "{text}");
+            // The rebuilt handle reports the same name and spec.
+            let handle = back.to_handle();
+            assert_eq!(handle.name(), spec.name());
+            assert_eq!(handle.spec(), Some(spec));
+        }
+        assert!(ScenarioSpec::from_json(&Json::parse("{\"name\":\"nope\"}").unwrap()).is_err());
     }
 
     #[test]

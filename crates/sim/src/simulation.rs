@@ -7,7 +7,7 @@
 //! use lbm_core::kernels::OptLevel;
 //! use lbm_core::lattice::LatticeKind;
 //!
-//! let sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+//! let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
 //!     .scenario(TaylorGreen::default())
 //!     .ranks(2)
 //!     .level(OptLevel::Fused)
@@ -17,34 +17,41 @@
 //! assert!(report.mflups > 0.0);
 //! ```
 //!
-//! Two execution modes share one handle:
+//! One handle, one engine: the first call to [`Simulation::run`],
+//! [`Simulation::step`] or [`Simulation::probe`] materialises a persistent
+//! universe of ranks (any rank × thread shape, every [`OptLevel`] and
+//! [`CommStrategy`] schedule) initialised from the scenario, and every later
+//! call *continues* that same trajectory. `run` returns a timed
+//! [`RunReport`] for the span it advanced; `step`/`probe` interleave freely
+//! with it. [`Simulation::checkpoint`] serializes the live state so
+//! [`Simulation::resume`] can continue the trajectory bitwise in another
+//! process (the substrate of the [`crate::runtime`] job layer).
 //!
-//! * [`Simulation::run`] — a batch run on its own universe of ranks (any
-//!   rank × thread shape, every [`OptLevel`] and [`CommStrategy`] schedule),
-//!   returning a [`RunReport`]. Each call starts from the scenario's initial
-//!   state.
-//! * [`Simulation::step`] / [`Simulation::probe`] — incremental in-process
-//!   stepping for observing a flow evolve (single-rank; threads still apply).
+//! The pre-0.6 batch semantics (every call restarts from the initial state)
+//! survive for one release as the deprecated [`Simulation::run_fresh`].
+
+use std::time::Instant;
 
 use lbm_comm::{Comm, CostModel, Universe};
 use lbm_core::equilibrium::EqOrder;
-use lbm_core::error::{Error, Result};
+use lbm_core::error::Result;
 use lbm_core::field::StorageMode;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
 
-use crate::config::{CommStrategy, SimConfig};
+use crate::config::{CommStrategy, ConfigError, SimConfig};
 use crate::distributed::RankSolver;
 use crate::observables;
-use crate::report::RunReport;
+use crate::report::{RankReport, RunReport, REPORT_SCHEMA_VERSION};
 use crate::scenario::{ObservableSpec, Scenario, ScenarioHandle};
 
 /// Fluent configuration for a [`Simulation`] (see [`Simulation::builder`]).
 ///
 /// Every setter is chainable; [`SimulationBuilder::build`] validates the
 /// whole configuration (decomposition, halo, τ, scenario-vs-lattice fit) in
-/// one place.
+/// one place and reports failures as a typed [`ConfigError`] — never a
+/// panic, so a job runtime can reject a bad spec without losing the worker.
 #[derive(Debug, Clone)]
 pub struct SimulationBuilder {
     cfg: SimConfig,
@@ -154,7 +161,8 @@ impl SimulationBuilder {
         self
     }
 
-    /// Untimed warmup steps before a [`Simulation::run`] measurement.
+    /// Untimed warmup steps before the first [`Simulation::run`]
+    /// measurement.
     #[must_use]
     pub fn warmup(mut self, w: usize) -> Self {
         self.cfg.warmup = w;
@@ -171,7 +179,7 @@ impl SimulationBuilder {
 
     /// Resolve and validate the configuration without constructing the
     /// handle — for call sites that drive [`RankSolver`] directly.
-    pub fn build_config(mut self) -> Result<SimConfig> {
+    pub fn build_config(mut self) -> std::result::Result<SimConfig, ConfigError> {
         if !self.tau_explicit {
             if let Some(s) = &self.cfg.scenario {
                 let lat = Lattice::new(self.cfg.lattice);
@@ -185,28 +193,125 @@ impl SimulationBuilder {
     }
 
     /// Validate everything and return the typed simulation handle.
-    pub fn build(self) -> Result<Simulation> {
+    pub fn build(self) -> std::result::Result<Simulation, ConfigError> {
         Ok(Simulation {
             cfg: self.build_config()?,
-            local: None,
+            engine: None,
         })
     }
 }
 
-/// A configured simulation: batch-run it distributed, or step it
-/// incrementally and probe observables.
+/// A configured simulation over one persistent universe of ranks: run it in
+/// timed spans, step it incrementally, probe observables, checkpoint it.
 pub struct Simulation {
     cfg: SimConfig,
-    /// Lazily-created in-process rank for incremental stepping.
-    local: Option<LocalRank>,
+    /// Lazily-created persistent rank engine; `None` until first advanced.
+    engine: Option<Engine>,
 }
 
-struct LocalRank {
-    solver: RankSolver,
-    comm: Comm,
+/// The persistent multi-rank engine: every rank's solver and communicator
+/// held alive between calls, driven by short-lived scoped threads per
+/// advance (rank 0 inline when there is only one).
+pub(crate) struct Engine {
+    pub(crate) ranks: Vec<RankState>,
 }
 
-/// A point-in-time measurement of an incrementally-stepped simulation
+/// One rank of the persistent engine.
+pub(crate) struct RankState {
+    pub(crate) solver: RankSolver,
+    pub(crate) comm: Comm,
+}
+
+impl Engine {
+    fn new(cfg: &SimConfig) -> Result<Self> {
+        let comms = Universe::endpoints(cfg.ranks, cfg.cost.clone());
+        let ranks = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                Ok(RankState {
+                    solver: RankSolver::new(cfg, rank)?,
+                    comm,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { ranks })
+    }
+
+    /// Advance every rank by `steps` (untimed). Multi-rank advances drive
+    /// each rank on its own scoped thread — the exchanges need all ranks
+    /// in flight concurrently.
+    fn advance(&mut self, steps: usize) {
+        self.for_each_rank(|rs| rs.solver.run(&mut rs.comm, steps));
+    }
+
+    /// Advance every rank by `steps` with per-rank timing, preceded by an
+    /// aligning barrier (and the one-time warmup on a fresh engine).
+    /// Returns `(report, global mass)` per rank, in rank order.
+    fn run_timed(&mut self, warmup: usize, steps: usize) -> Vec<(RankReport, f64)> {
+        self.for_each_rank(|rs| {
+            if warmup > 0 && rs.solver.steps_done() == 0 {
+                rs.solver.run(&mut rs.comm, warmup);
+            }
+            rs.solver.reset_counters();
+            // Align ranks so per-rank walls measure the same phase, then
+            // drop the barrier wait from the timers.
+            rs.comm.barrier();
+            let _ = rs.comm.take_timers();
+            let t0 = Instant::now();
+            rs.solver.run(&mut rs.comm, steps);
+            let wall = t0.elapsed();
+            let timers = rs.comm.take_timers();
+            let (mass, _mom) = rs.solver.global_invariants(&mut rs.comm);
+            let report = RankReport {
+                schema: REPORT_SCHEMA_VERSION,
+                rank: rs.comm.rank(),
+                owned_cells: rs.solver.sub.owned().len() as u64,
+                updates: rs.solver.counters.updates,
+                ghost_updates: rs.solver.counters.ghost_updates,
+                resident_bytes: rs.solver.resident_population_bytes(),
+                compute_secs: rs.solver.counters.elapsed.as_secs_f64(),
+                wait_secs: timers.wait.as_secs_f64(),
+                barrier_secs: timers.barrier.as_secs_f64(),
+                collective_secs: timers.collective.as_secs_f64(),
+                messages: timers.messages_sent,
+                bytes: timers.bytes_sent(),
+                wall_secs: wall.as_secs_f64(),
+            };
+            (report, mass)
+        })
+    }
+
+    /// Run `work` once per rank and collect the results in rank order:
+    /// inline for a solo rank, on a scoped thread per rank otherwise.
+    fn for_each_rank<T, F>(&mut self, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankState) -> T + Sync,
+    {
+        if self.ranks.len() == 1 {
+            vec![work(&mut self.ranks[0])]
+        } else {
+            std::thread::scope(|scope| {
+                let work = &work;
+                let handles: Vec<_> = self
+                    .ranks
+                    .iter_mut()
+                    .map(|rs| scope.spawn(move || work(rs)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(v) => v,
+                        Err(e) => std::panic::resume_unwind(e),
+                    })
+                    .collect()
+            })
+        }
+    }
+}
+
+/// A point-in-time measurement of a simulation's trajectory
 /// (see [`Simulation::probe`]).
 #[derive(Debug, Clone)]
 pub struct Probe {
@@ -221,7 +326,8 @@ pub struct Probe {
     /// excluded — their transform state is not a flow velocity).
     pub max_speed: f64,
     /// The scenario's profile observable (mean `u_axis(y)` over the fluid
-    /// rows), when the scenario declares one.
+    /// rows), when the scenario declares one. Multi-rank probes average the
+    /// per-rank profiles weighted by owned x extent.
     pub profile: Option<Vec<f64>>,
 }
 
@@ -241,72 +347,146 @@ impl Simulation {
         self.cfg.scenario_name()
     }
 
-    /// Run `steps` timed steps (plus the configured warmup) on this
-    /// simulation's own universe of ranks and report aggregate performance.
-    /// Starts from the scenario's initial state; independent of any
-    /// incremental stepping done through [`Self::step`].
-    pub fn run(&self, steps: usize) -> Result<RunReport> {
+    /// Time steps this simulation's trajectory has completed (0 before the
+    /// engine first advances; includes warmup steps).
+    pub fn steps_done(&self) -> u64 {
+        self.engine
+            .as_ref()
+            .map_or(0, |e| e.ranks[0].solver.steps_done())
+    }
+
+    /// Advance the trajectory by `steps` timed steps and report aggregate
+    /// performance for that span. The first call on a fresh engine runs the
+    /// configured warmup (untimed) beforehand; later calls continue exactly
+    /// where the previous [`Self::run`]/[`Self::step`] left off — the same
+    /// incremental path the [`crate::runtime`] job layer drives, so `run(a)`
+    /// then `run(b)` is bitwise `run(a + b)`.
+    pub fn run(&mut self, steps: usize) -> Result<RunReport> {
+        let cfg = self.cfg.clone();
+        let engine = self.engine_mut()?;
+        let results = engine.run_timed(cfg.warmup, steps);
+        let mass = results[0].1;
+        let per_rank: Vec<RankReport> = results.into_iter().map(|(r, _)| r).collect();
+        Ok(RunReport::assemble(
+            cfg.lattice.name().to_string(),
+            cfg.scenario_name().to_string(),
+            cfg.level.name().to_string(),
+            cfg.storage.name().to_string(),
+            cfg.comm_strategy().label().to_string(),
+            cfg.threads_per_rank,
+            cfg.ghost_depth,
+            (cfg.global.nx, cfg.global.ny, cfg.global.nz),
+            steps,
+            mass,
+            per_rank,
+        ))
+    }
+
+    /// The pre-0.6 batch entry point: a throwaway universe started from the
+    /// scenario's initial state on *every* call, independent of this
+    /// handle's engine.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `run(&mut self, steps)`, which continues one persistent \
+                trajectory; rebuild the Simulation to restart from the \
+                initial state"
+    )]
+    pub fn run_fresh(&self, steps: usize) -> Result<RunReport> {
         let mut cfg = self.cfg.clone();
         cfg.steps = steps;
         crate::runner::run_config(&cfg)
     }
 
-    /// Advance the in-process simulation by one time step (single-rank;
-    /// rank-local threads still apply). Created lazily from the scenario's
-    /// initial state on first call.
+    /// Advance the trajectory by one time step (untimed; any rank count).
+    /// The engine is created lazily from the scenario's initial state on
+    /// first call.
     pub fn step(&mut self) -> Result<()> {
-        let local = self.local_mut()?;
-        local.solver.run(&mut local.comm, 1);
+        self.engine_mut()?.advance(1);
         Ok(())
     }
 
-    /// Advance the in-process simulation by `n` steps.
+    /// Advance the trajectory by `n` steps (untimed; any rank count).
     pub fn run_local(&mut self, n: usize) -> Result<()> {
-        let local = self.local_mut()?;
-        local.solver.run(&mut local.comm, n);
+        self.engine_mut()?.advance(n);
         Ok(())
     }
 
-    /// Measure the scenario's observables on the in-process simulation
-    /// (step 0 state if [`Self::step`] has not been called yet).
+    /// Measure the scenario's observables on the current state (step 0
+    /// state if the simulation has not advanced yet). Multi-rank states are
+    /// reduced here: invariants summed, peak speed maxed, profiles averaged
+    /// with owned-extent weights.
     pub fn probe(&mut self) -> Result<Probe> {
         let scenario = self.cfg.scenario.clone();
         let global = self.cfg.global;
-        let local = self.local_mut()?;
-        let solver = &local.solver;
-        let (mass, momentum) = solver.local_invariants();
-        let max_speed = observables::max_speed_fluid(&solver.ctx, solver.field(), solver.bounds());
-        let mut profile = None;
-        if let Some(s) = &scenario {
-            for obs in s.observables() {
-                let (axis, z_slice) = match *obs {
-                    ObservableSpec::Profile { axis } => (axis, None),
-                    ObservableSpec::CentreLineProfile { axis } => (axis, Some(global.nz / 2)),
-                    _ => continue,
-                };
-                // The solver resolved the boundary spec once at
-                // construction; the fluid-aware profile skips wall rows and
-                // masked cells, matching max_speed_fluid.
-                let mut p = observables::u_profile_fluid(
-                    &solver.ctx,
-                    solver.field(),
-                    solver.bounds(),
-                    axis,
-                    z_slice,
-                );
-                if solver.parity_swapped() {
-                    // Mid-pair AA storage is slot-swapped: directed
-                    // observables flip sign (speeds are unaffected).
-                    for v in &mut p {
-                        *v = -*v;
+        let engine = self.engine_mut()?;
+        let step = engine.ranks[0].solver.steps_done();
+        let mut mass = 0.0;
+        let mut momentum = [0.0f64; 3];
+        let mut max_speed = 0.0f64;
+        let mut profiles: Vec<(usize, Vec<f64>)> = Vec::new();
+        for rs in &engine.ranks {
+            let solver = &rs.solver;
+            let (m, mom) = solver.local_invariants();
+            mass += m;
+            for a in 0..3 {
+                momentum[a] += mom[a];
+            }
+            max_speed = max_speed.max(observables::max_speed_fluid(
+                &solver.ctx,
+                solver.field(),
+                solver.bounds(),
+            ));
+            if let Some(s) = &scenario {
+                for obs in s.observables() {
+                    let (axis, z_slice) = match *obs {
+                        ObservableSpec::Profile { axis } => (axis, None),
+                        ObservableSpec::CentreLineProfile { axis } => (axis, Some(global.nz / 2)),
+                        _ => continue,
+                    };
+                    // The solver resolved the boundary spec once at
+                    // construction; the fluid-aware profile skips wall rows
+                    // and masked cells, matching max_speed_fluid.
+                    let mut p = observables::u_profile_fluid(
+                        &solver.ctx,
+                        solver.field(),
+                        solver.bounds(),
+                        axis,
+                        z_slice,
+                    );
+                    if solver.parity_swapped() {
+                        // Mid-pair AA storage is slot-swapped: directed
+                        // observables flip sign (speeds are unaffected).
+                        for v in &mut p {
+                            *v = -*v;
+                        }
                     }
+                    profiles.push((solver.sub.owned().nx, p));
+                    break;
                 }
-                profile = Some(p);
-                break;
             }
         }
+        let profile = match profiles.len() {
+            0 => None,
+            // Solo rank: hand back the exact per-rank values (no weighted
+            // round trip through multiply/divide).
+            1 => Some(profiles.pop().expect("len checked").1),
+            _ => {
+                let total: f64 = profiles.iter().map(|(nx, _)| *nx as f64).sum();
+                let rows = profiles[0].1.len();
+                let mut avg = vec![0.0f64; rows];
+                for (nx, p) in &profiles {
+                    for (a, v) in avg.iter_mut().zip(p) {
+                        *a += *nx as f64 * v;
+                    }
+                }
+                for a in &mut avg {
+                    *a /= total;
+                }
+                Some(avg)
+            }
+        };
         Ok(Probe {
-            step: solver.steps_done(),
+            step,
             mass,
             momentum,
             max_speed,
@@ -325,21 +505,41 @@ impl Simulation {
         )
     }
 
-    fn local_mut(&mut self) -> Result<&mut LocalRank> {
-        if self.cfg.ranks != 1 {
-            return Err(Error::BadDecomposition(format!(
-                "incremental stepping is single-rank; this simulation has {} ranks \
-                 (use run(steps) for distributed execution)",
-                self.cfg.ranks
-            )));
+    /// Serialize the live trajectory — every rank's owned planes plus the
+    /// step/cycle counters and the full (RNG-free) configuration — to the
+    /// versioned checkpoint format ([`crate::runtime::checkpoint`]).
+    /// [`Self::resume_bytes`] on the result continues the trajectory
+    /// bitwise at every `OptLevel` × `StorageMode`, including mid-AA-pair.
+    /// Materialises the engine if the simulation has not advanced yet.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>> {
+        crate::runtime::checkpoint::encode(self)
+    }
+
+    /// [`Self::checkpoint`] straight to a file.
+    pub fn checkpoint_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let bytes = self.checkpoint()?;
+        std::fs::write(path, bytes).map_err(|e| lbm_core::Error::Io(e.to_string()))
+    }
+
+    /// Rebuild a simulation from checkpoint bytes; the trajectory continues
+    /// bitwise from the checkpointed step. The link-cost model is not part
+    /// of the format (it shapes timings, never state) and resumes as
+    /// [`CostModel::free`].
+    pub fn resume_bytes(bytes: &[u8]) -> Result<Simulation> {
+        crate::runtime::checkpoint::decode(bytes)
+    }
+
+    /// [`Self::resume_bytes`] from a file written by [`Self::checkpoint_to`].
+    pub fn resume(path: impl AsRef<std::path::Path>) -> Result<Simulation> {
+        let bytes = std::fs::read(path).map_err(|e| lbm_core::Error::Io(e.to_string()))?;
+        Self::resume_bytes(&bytes)
+    }
+
+    pub(crate) fn engine_mut(&mut self) -> Result<&mut Engine> {
+        if self.engine.is_none() {
+            self.engine = Some(Engine::new(&self.cfg)?);
         }
-        if self.local.is_none() {
-            self.local = Some(LocalRank {
-                solver: RankSolver::new(&self.cfg, 0)?,
-                comm: Universe::solo(self.cfg.cost.clone()),
-            });
-        }
-        Ok(self.local.as_mut().expect("just created"))
+        Ok(self.engine.as_mut().expect("just created"))
     }
 }
 
@@ -364,11 +564,15 @@ mod tests {
     }
 
     #[test]
-    fn builder_rejects_invalid_configs() {
-        assert!(Simulation::builder(LatticeKind::D3Q19, Dim3::cube(8))
+    fn builder_rejects_invalid_configs_with_typed_errors() {
+        let err = match Simulation::builder(LatticeKind::D3Q19, Dim3::cube(8))
             .tau(0.5)
             .build()
-            .is_err());
+        {
+            Err(e) => e,
+            Ok(_) => panic!("tau = 0.5 must be rejected"),
+        };
+        assert!(matches!(err, ConfigError::Invalid(_)), "{err}");
         assert!(Simulation::builder(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
             .ranks(8)
             .ghost_depth(2)
@@ -424,18 +628,59 @@ mod tests {
     }
 
     #[test]
-    fn incremental_stepping_requires_single_rank() {
-        let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 8, 8))
-            .ranks(2)
-            .build()
-            .unwrap();
-        assert!(sim.step().is_err());
-        assert!(sim.run(2).is_ok(), "batch runs still work");
+    fn incremental_stepping_works_multi_rank() {
+        // Step a 2-rank decomposition and compare against a solo run of the
+        // same flow: the persistent engine must agree bitwise.
+        let build = |ranks: usize| {
+            Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 11, 8))
+                .scenario(PoiseuilleChannel::new(1e-5))
+                .tau(0.9)
+                .ranks(ranks)
+                .build()
+                .unwrap()
+        };
+        let mut dist = build(2);
+        dist.step().unwrap();
+        dist.run_local(9).unwrap();
+        let pd = dist.probe().unwrap();
+        let mut solo = build(1);
+        solo.run_local(10).unwrap();
+        let ps = solo.probe().unwrap();
+        assert_eq!(pd.step, 10);
+        assert_eq!(pd.mass.to_bits(), ps.mass.to_bits(), "mass must match solo");
+        assert_eq!(pd.max_speed, ps.max_speed);
+    }
+
+    #[test]
+    fn run_continues_the_trajectory_instead_of_restarting() {
+        let build = || {
+            Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 8, 8))
+                .scenario(TaylorGreen::default())
+                .ranks(2)
+                .build()
+                .unwrap()
+        };
+        let mut split = build();
+        split.run(3).unwrap();
+        let rep = split.run(4).unwrap();
+        assert_eq!(rep.steps, 4, "report covers the span it advanced");
+        assert_eq!(split.steps_done(), 7);
+        let mut whole = build();
+        let rep_whole = whole.run(7).unwrap();
+        assert_eq!(
+            rep.mass.to_bits(),
+            rep_whole.mass.to_bits(),
+            "run(3); run(4) must land on the run(7) state bitwise"
+        );
+        // The deprecated batch path still restarts from the initial state.
+        #[allow(deprecated)]
+        let fresh = split.run_fresh(7).unwrap();
+        assert_eq!(fresh.mass.to_bits(), rep_whole.mass.to_bits());
     }
 
     #[test]
     fn batch_run_reports_scenario_name() {
-        let sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 8, 8))
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 8, 8))
             .scenario(TaylorGreen::default())
             .ranks(2)
             .build()

@@ -1,0 +1,105 @@
+//! The job runtime as a service loop: submit a parameter sweep as
+//! [`JobSpec`]s, watch the JSONL event stream live, cancel one job
+//! mid-flight, and resume it from its checkpoint — the full
+//! submit/observe/cancel/resume lifecycle in one sitting.
+//!
+//! ```sh
+//! cargo run --release --example ensemble_service
+//! LBM_EXAMPLE_SMALL=1 cargo run --release --example ensemble_service   # CI smoke
+//! ```
+
+use lbm::prelude::*;
+
+fn main() {
+    let small = std::env::var_os("LBM_EXAMPLE_SMALL").is_some();
+    let (n, steps) = if small { (8usize, 12usize) } else { (16, 60) };
+    let ckpt_dir = std::env::temp_dir().join(format!("lbm-ensemble-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).expect("mkdir");
+
+    println!("== ensemble service: sweep + cancel + resume ==");
+    println!(
+        "   {n}\u{b3} boxes, {steps} steps/job, checkpoints in {}\n",
+        ckpt_dir.display()
+    );
+
+    // A τ sweep over the Taylor–Green flow, each job reporting progress
+    // quarterly and writing a resumable checkpoint at the same cadence.
+    let jobs: Vec<JobSpec> = (0..4)
+        .map(|i| {
+            let mut j = JobSpec::new(
+                format!("tau-{:.2}", 0.6 + 0.1 * i as f64),
+                LatticeKind::D3Q19,
+                Dim3::cube(n),
+                steps,
+            );
+            j.scenario = Some(ScenarioSpec::TaylorGreen {
+                rho0: 1.0,
+                u0: 0.02,
+            });
+            j.tau = Some(0.6 + 0.1 * i as f64);
+            j.progress_every = steps / 4;
+            j.checkpoint_every = steps / 4;
+            j
+        })
+        .collect();
+
+    let mut runner = EnsembleRunner::new().with_checkpoint_dir(&ckpt_dir);
+    let events = runner.events();
+    let victim = runner.submit(jobs[0].clone()).expect("submit");
+    for j in &jobs[1..] {
+        runner.submit(j.clone()).expect("submit");
+    }
+
+    // Watch the stream; cancel the first job at its first checkpoint.
+    let mut victim_ckpt = None;
+    let mut terminal = 0;
+    while terminal < jobs.len() {
+        let ev = events.recv().expect("event stream");
+        println!("   {}", ev.to_json_line());
+        match &ev {
+            JobEvent::Checkpointed { job, path, .. }
+                if *job == victim && victim_ckpt.is_none() =>
+            {
+                victim_ckpt = Some(path.clone());
+                println!("   -- cancelling job {victim} at its checkpoint --");
+                runner.cancel(victim);
+            }
+            JobEvent::Finished { .. } | JobEvent::Failed { .. } | JobEvent::Cancelled { .. } => {
+                terminal += 1;
+            }
+            _ => {}
+        }
+    }
+    let outcomes = runner.join();
+    let finished = outcomes
+        .iter()
+        .filter(|(_, o)| matches!(o, JobOutcome::Finished(_)))
+        .count();
+    println!(
+        "\n   {} of {} jobs finished; one cancelled on purpose",
+        finished,
+        jobs.len()
+    );
+
+    // Resume the cancelled job from its checkpoint and run it to the end.
+    let path = victim_ckpt.expect("victim wrote a checkpoint before cancel");
+    let mut sim = Simulation::resume(&path).expect("resume");
+    let from = sim.steps_done() as usize;
+    let report = sim.run(steps - from).expect("resumed run");
+    println!(
+        "   resumed `{}` from step {from}: ran to step {} ({:.1} MFLUPS, mass drift {:.1e})",
+        jobs[0].name,
+        sim.steps_done(),
+        report.mflups,
+        ((report.mass - jobs[0].cells() as f64) / jobs[0].cells() as f64).abs()
+    );
+
+    assert_eq!(finished, jobs.len() - 1, "exactly one job was cancelled");
+    assert_eq!(
+        sim.steps_done(),
+        steps as u64,
+        "resume completed the horizon"
+    );
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    println!("\n   ok");
+}

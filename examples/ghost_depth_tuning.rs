@@ -49,7 +49,8 @@ fn main() {
             .strategy(CommStrategy::NonBlockingGhost)
             .cost(cost.clone())
             .build()
-            .and_then(|sim| sim.run(steps));
+            .map_err(lbm::core::Error::from)
+            .and_then(|mut sim| sim.run(steps));
         match result {
             Ok(rep) => {
                 let ms = rep.wall_secs * 1e3;

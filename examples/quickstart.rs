@@ -33,7 +33,7 @@ fn main() {
 
     for kind in [LatticeKind::D3Q19, LatticeKind::D3Q39] {
         let lat = Lattice::new(kind);
-        let sim = Simulation::builder(kind, global)
+        let mut sim = Simulation::builder(kind, global)
             .scenario(TaylorGreen::default())
             .threads(threads)
             .warmup(warmup)

@@ -24,7 +24,7 @@
 //! use lbm::prelude::*;
 //!
 //! // Beyond-Navier-Stokes lattice, 2 ranks, the fused top kernel rung.
-//! let sim = Simulation::builder(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
+//! let mut sim = Simulation::builder(LatticeKind::D3Q39, Dim3::new(16, 8, 8))
 //!     .scenario(TaylorGreen::default())
 //!     .ranks(2)
 //!     .ghost_depth(2)
@@ -87,8 +87,8 @@ pub mod prelude {
     pub use lbm_core::prelude::*;
     pub use lbm_machine::{attainable, KernelTraffic, MachineSpec};
     pub use lbm_sim::{
-        CommStrategy, CouetteFlow, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec,
-        PoiseuilleChannel, Probe, RunReport, Scenario, SimConfig, Simulation, SimulationBuilder,
-        TaylorGreen,
+        CommStrategy, ConfigError, CouetteFlow, EnsembleRunner, JobEvent, JobId, JobOutcome,
+        JobSpec, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Probe,
+        RunReport, Scenario, ScenarioSpec, SimConfig, Simulation, SimulationBuilder, TaylorGreen,
     };
 }

@@ -1,0 +1,168 @@
+//! Ensemble-runtime acceptance: running N jobs through the scheduler must
+//! produce exactly the results of N serial runs — same masses (bitwise),
+//! same step counts, same config labels — regardless of how the pool packs
+//! or interleaves them, and the event stream must tell a coherent story.
+
+use lbm::core::field::StorageMode;
+use lbm::core::kernels::OptLevel;
+use lbm::prelude::*;
+
+/// A small mixed workload: different lattices, storage modes, rungs and
+/// scenarios so packing order can't hide config mixups.
+fn workload() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    let mut tg = JobSpec::new("tg-q19", LatticeKind::D3Q19, Dim3::new(8, 8, 8), 8);
+    tg.scenario = Some(ScenarioSpec::TaylorGreen {
+        rho0: 1.0,
+        u0: 0.02,
+    });
+    jobs.push(tg);
+
+    let mut aa = JobSpec::new("tg-q39-aa", LatticeKind::D3Q39, Dim3::new(16, 8, 8), 8);
+    aa.scenario = Some(ScenarioSpec::TaylorGreen {
+        rho0: 1.0,
+        u0: 0.01,
+    });
+    aa.storage = StorageMode::InPlaceAa;
+    aa.level = OptLevel::Fused;
+    jobs.push(aa);
+
+    let mut pois = JobSpec::new("poiseuille", LatticeKind::D3Q19, Dim3::new(4, 11, 8), 8);
+    pois.scenario = Some(ScenarioSpec::PoiseuilleChannel { g: 1e-5, layers: 1 });
+    jobs.push(pois);
+
+    let mut dist = JobSpec::new("tg-2rank", LatticeKind::D3Q19, Dim3::new(16, 8, 8), 8);
+    dist.scenario = Some(ScenarioSpec::TaylorGreen {
+        rho0: 1.0,
+        u0: 0.02,
+    });
+    dist.ranks = 2;
+    dist.progress_every = 3; // stream in uneven chunks: 3 + 3 + 2
+    jobs.push(dist);
+
+    jobs
+}
+
+#[test]
+fn ensemble_results_match_serial_runs_bitwise() {
+    let jobs = workload();
+
+    // Reference: each job run serially through the plain Simulation API.
+    let serial: Vec<RunReport> = jobs
+        .iter()
+        .map(|j| {
+            let mut sim = j.to_builder().build().expect("config");
+            sim.run(j.steps).expect("serial run")
+        })
+        .collect();
+
+    // Same jobs through the scheduler, packed into a 2-slot pool.
+    let mut runner = EnsembleRunner::with_slots(2);
+    let events = runner.events();
+    let ids: Vec<JobId> = jobs
+        .iter()
+        .map(|j| runner.submit(j.clone()).expect("submit"))
+        .collect();
+    let outcomes = runner.join();
+
+    assert_eq!(outcomes.len(), jobs.len());
+    for (((id, outcome), job), reference) in outcomes.iter().zip(&jobs).zip(&serial) {
+        assert_eq!(*id, ids[usize::try_from(*id).unwrap()]);
+        let report = match outcome {
+            JobOutcome::Finished(r) => r,
+            other => panic!("{}: expected Finished, got {other:?}", job.name),
+        };
+        assert_eq!(report.steps, job.steps, "{}", job.name);
+        assert_eq!(report.steps, reference.steps, "{}", job.name);
+        // Mass is a deterministic observable: scheduling must not perturb
+        // the trajectory at all.
+        assert_eq!(
+            report.mass.to_bits(),
+            reference.mass.to_bits(),
+            "{}: ensemble mass diverged from serial",
+            job.name
+        );
+        assert_eq!(report.lattice, reference.lattice, "{}", job.name);
+        assert_eq!(report.level, reference.level, "{}", job.name);
+        assert_eq!(report.storage, reference.storage, "{}", job.name);
+        assert_eq!(report.scenario, reference.scenario, "{}", job.name);
+        assert_eq!(report.ranks, reference.ranks, "{}", job.name);
+        assert_eq!(report.schema, lbm::sim::REPORT_SCHEMA_VERSION);
+    }
+
+    // Event-stream sanity: every job Started then Finished, progress step
+    // counts monotone per job, all lines parse as JSON with the right tag.
+    let all: Vec<JobEvent> = events.try_iter().collect();
+    for (i, job) in jobs.iter().enumerate() {
+        let id = i as JobId;
+        let mine: Vec<&JobEvent> = all.iter().filter(|e| e.job() == id).collect();
+        assert!(
+            matches!(mine.first(), Some(JobEvent::Started { .. })),
+            "{}: first event must be Started",
+            job.name
+        );
+        assert!(
+            matches!(mine.last(), Some(JobEvent::Finished { .. })),
+            "{}: last event must be Finished",
+            job.name
+        );
+        let progress: Vec<u64> = mine
+            .iter()
+            .filter_map(|e| match e {
+                JobEvent::Progress { steps_done, .. } => Some(*steps_done),
+                _ => None,
+            })
+            .collect();
+        let chunks = if job.progress_every > 0 {
+            job.steps.div_ceil(job.progress_every)
+        } else {
+            1
+        };
+        assert_eq!(progress.len(), chunks, "{}", job.name);
+        assert!(progress.windows(2).all(|w| w[0] < w[1]), "{}", job.name);
+        assert_eq!(*progress.last().unwrap(), job.steps as u64, "{}", job.name);
+    }
+    for ev in &all {
+        let line = ev.to_json_line();
+        let v = lbm::sim::json::Json::parse(&line).expect("event line is JSON");
+        assert_eq!(v.get("event").unwrap().as_str(), Some(ev.kind()));
+    }
+}
+
+#[test]
+fn checkpointing_jobs_resume_into_identical_trajectories() {
+    // A job that checkpoints mid-flight through the runner, then a second
+    // sim resumed from that checkpoint and run to the same horizon, must
+    // land on the identical state as the job's own uninterrupted finish.
+    let dir = std::env::temp_dir().join(format!("lbm-ens-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let mut job = JobSpec::new("ckpt-job", LatticeKind::D3Q19, Dim3::new(8, 8, 8), 10);
+    job.scenario = Some(ScenarioSpec::TaylorGreen {
+        rho0: 1.0,
+        u0: 0.02,
+    });
+    job.progress_every = 5;
+    job.checkpoint_every = 5;
+
+    let runner = EnsembleRunner::with_slots(1).with_checkpoint_dir(&dir);
+    runner.submit(job.clone()).expect("submit");
+    let outcomes = runner.join();
+    let finished = match &outcomes[0].1 {
+        JobOutcome::Finished(r) => r.clone(),
+        other => panic!("expected Finished, got {other:?}"),
+    };
+    assert_eq!(finished.steps, 10);
+
+    let path = dir.join("ckpt-job.ckpt");
+    let mut resumed = Simulation::resume(&path).expect("resume from runner checkpoint");
+    assert_eq!(resumed.steps_done(), 5);
+    let tail = resumed.run(5).expect("resumed tail");
+    assert_eq!(
+        finished.mass.to_bits(),
+        tail.mass.to_bits(),
+        "resumed trajectory diverged from the runner's own finish"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

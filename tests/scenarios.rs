@@ -51,7 +51,7 @@ fn builder_for(s: &ScenarioHandle, global: Dim3) -> SimulationBuilder {
 fn all_scenarios_run_distributed_at_fused_with_mass_conserved() {
     for (name, scenario, global) in all_scenarios() {
         for ranks in [2usize, 3] {
-            let sim = builder_for(&scenario, global)
+            let mut sim = builder_for(&scenario, global)
                 .ranks(ranks)
                 .level(OptLevel::Fused)
                 .build()
@@ -450,7 +450,7 @@ fn explicit_eager_strategy_is_reachable_and_equivalent() {
         .tau(0.9)
         .ranks(3)
         .level(OptLevel::Fused);
-    let eager = base
+    let mut eager = base
         .clone()
         .strategy(CommStrategy::NonBlockingEager)
         .build()
