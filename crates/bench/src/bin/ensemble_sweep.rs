@@ -29,7 +29,7 @@ use lbm_bench::json::Json;
 use lbm_bench::{f, Table};
 use lbm_core::index::Dim3;
 use lbm_core::lattice::LatticeKind;
-use lbm_sim::runtime::{EnsembleRunner, JobEvent, JobOutcome, JobSpec};
+use lbm_sim::runtime::{EnsembleRunner, EventRecord, JobEvent, JobOutcome, JobSpec};
 use lbm_sim::scenario::ScenarioSpec;
 use lbm_sim::Simulation;
 
@@ -105,11 +105,11 @@ fn sweep_jobs(n: usize, steps: usize) -> Vec<JobSpec> {
         .collect()
 }
 
-fn drain_events(events: &std::sync::mpsc::Receiver<JobEvent>, path: &str) -> Vec<JobEvent> {
-    let all: Vec<JobEvent> = events.try_iter().collect();
+fn drain_events(events: &std::sync::mpsc::Receiver<EventRecord>, path: &str) -> Vec<EventRecord> {
+    let all: Vec<EventRecord> = events.try_iter().collect();
     let mut out = std::fs::File::create(path).expect("create events file");
-    for ev in &all {
-        writeln!(out, "{}", ev.to_json_line()).expect("write event line");
+    for rec in &all {
+        writeln!(out, "{}", rec.to_json_line()).expect("write event line");
     }
     all
 }
@@ -221,7 +221,15 @@ fn run_smoke(args: &Args) -> ExitCode {
     println!("== ensemble smoke: 4 jobs, kill + resume one from checkpoint ==\n");
 
     let mut jobs = sweep_jobs(3, steps);
-    let mut victim = JobSpec::new("victim", LatticeKind::D3Q19, Dim3::new(16, 16, 16), steps);
+    // The victim runs 10× longer than the sweep jobs so the cancel issued
+    // at its first checkpoint reliably lands while it still has work left
+    // (rotation keeps pruning generations along the way).
+    let mut victim = JobSpec::new(
+        "victim",
+        LatticeKind::D3Q19,
+        Dim3::new(16, 16, 16),
+        steps * 10,
+    );
     victim.scenario = Some(ScenarioSpec::TaylorGreen {
         rho0: 1.0,
         u0: 0.02,
@@ -246,16 +254,14 @@ fn run_smoke(args: &Args) -> ExitCode {
     // sender alive, so we count terminal events rather than waiting for the
     // channel to close.
     let mut lines = Vec::new();
-    let mut ckpt_path = None;
+    let mut cancelled = false;
     let mut terminal = 0;
     while terminal < jobs.len() {
-        let ev = events.recv().expect("event stream ended early");
-        lines.push(ev.to_json_line());
-        match &ev {
-            JobEvent::Checkpointed { job, path, .. }
-                if *job == victim_id && ckpt_path.is_none() =>
-            {
-                ckpt_path = Some(path.clone());
+        let rec = events.recv().expect("event stream ended early");
+        lines.push(rec.to_json_line());
+        match &rec.event {
+            JobEvent::Checkpointed { job, .. } if *job == victim_id && !cancelled => {
+                cancelled = true;
                 runner.cancel(victim_id);
             }
             JobEvent::Finished { .. } | JobEvent::Failed { .. } | JobEvent::Cancelled { .. } => {
@@ -284,18 +290,23 @@ fn run_smoke(args: &Args) -> ExitCode {
     };
     println!("victim cancelled at step {cancelled_at}; resuming from checkpoint");
 
-    // Resume the victim and run it to the original horizon.
-    let ckpt_path = ckpt_path.expect("checkpoint event seen");
+    // Resume the victim from its newest surviving generation (rotation
+    // retains the last two) and run it to the original horizon.
+    assert!(cancelled, "checkpoint event seen");
+    let (_, ckpt_path) = lbm_sim::runtime::checkpoint::list_generations(&ckpt_dir, &victim.name)
+        .into_iter()
+        .last()
+        .expect("a retained generation survives rotation");
     let mut resumed = Simulation::resume(&ckpt_path).expect("resume checkpoint");
     let resumed_from = resumed.steps_done() as usize;
     resumed
-        .run(steps - resumed_from)
+        .run(victim.steps - resumed_from)
         .expect("run resumed victim");
     let final_state = resumed.checkpoint().expect("final state");
 
     // Uninterrupted reference for the bitwise verdict.
     let mut reference = victim.to_builder().build().expect("config");
-    reference.run(steps).expect("reference run");
+    reference.run(victim.steps).expect("reference run");
     let reference_state = reference.checkpoint().expect("reference state");
 
     let bitwise = final_state == reference_state;

@@ -87,10 +87,21 @@ pub fn encode_field(f: &DistField, out: &mut Vec<u8>) {
     put_u64(out, sum);
 }
 
-/// Decode one field starting at `*pos`, advancing `*pos` past it. The
-/// payload is restored bit-for-bit; version, shape and checksum mismatches
-/// are rejected as [`Error::Corrupt`].
-pub fn decode_field(buf: &[u8], pos: &mut usize) -> Result<DistField> {
+/// One field's parsed frame header plus the byte range of its payload.
+struct FieldFrame {
+    q: usize,
+    owned: Dim3,
+    halo: usize,
+    /// Payload byte range inside the buffer (`n` f64s, little-endian).
+    payload: std::ops::Range<usize>,
+}
+
+/// Read and cross-check one frame header starting at `*pos*`, leaving
+/// `*pos` at the first payload byte. Every declared size is validated with
+/// checked arithmetic *and* bounded by the remaining buffer before anything
+/// trusts it, so a bit-flipped dimension can never trigger a huge
+/// allocation — it is [`Error::Corrupt`] like any other damage.
+fn read_frame(buf: &[u8], pos: &mut usize) -> Result<FieldFrame> {
     let version = take_u32(buf, pos, "codec version")?;
     if version != FIELD_CODEC_VERSION {
         return Err(Error::Corrupt(format!(
@@ -103,30 +114,72 @@ pub fn decode_field(buf: &[u8], pos: &mut usize) -> Result<DistField> {
     let nz = take_u64(buf, pos, "nz")? as usize;
     let halo = take_u64(buf, pos, "halo")? as usize;
     let n = take_u64(buf, pos, "payload length")? as usize;
-    let mut f = DistField::new(q, Dim3::new(nx, ny, nz), halo)?;
-    if n != f.as_slice().len() {
+    // Bound `n` by the buffer first: payload bytes plus trailing checksum
+    // must fit in what is actually there.
+    let bytes = n
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(8))
+        .and_then(|b| pos.checked_add(b))
+        .filter(|&end| end <= buf.len())
+        .map(|_| n * 8)
+        .ok_or_else(|| Error::Corrupt("snapshot truncated reading payload".into()))?;
+    // Then require the declared shape to reproduce exactly that length.
+    let expected = halo
+        .checked_mul(2)
+        .and_then(|h2| nx.checked_add(h2))
+        .and_then(|ax| q.checked_mul(ax))
+        .and_then(|v| v.checked_mul(ny))
+        .and_then(|v| v.checked_mul(nz));
+    if expected != Some(n) {
         return Err(Error::Corrupt(format!(
             "payload length {n} does not match {q}×({nx}+2·{halo})×{ny}×{nz}"
         )));
     }
-    let bytes = n
-        .checked_mul(8)
-        .filter(|&b| *pos + b + 8 <= buf.len())
-        .ok_or_else(|| Error::Corrupt("snapshot truncated reading payload".into()))?;
-    let payload = &buf[*pos..*pos + bytes];
-    let want = fnv1a(payload);
-    let dst = f.as_mut_slice();
-    for (i, chunk) in payload.chunks_exact(8).enumerate() {
-        dst[i] = f64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
-    }
-    *pos += bytes;
+    let payload = *pos..*pos + bytes;
+    *pos = payload.end;
+    Ok(FieldFrame {
+        q,
+        owned: Dim3::new(nx, ny, nz),
+        halo,
+        payload,
+    })
+}
+
+/// Verify the trailing checksum of a frame whose payload is `payload`.
+fn check_sum(buf: &[u8], pos: &mut usize, payload: &std::ops::Range<usize>) -> Result<()> {
+    let want = fnv1a(&buf[payload.clone()]);
     let got = take_u64(buf, pos, "checksum")?;
     if got != want {
         return Err(Error::Corrupt(format!(
             "payload checksum mismatch: stored {got:#018x}, computed {want:#018x}"
         )));
     }
+    Ok(())
+}
+
+/// Decode one field starting at `*pos`, advancing `*pos` past it. The
+/// payload is restored bit-for-bit; version, shape and checksum mismatches
+/// are rejected as [`Error::Corrupt`].
+pub fn decode_field(buf: &[u8], pos: &mut usize) -> Result<DistField> {
+    let frame = read_frame(buf, pos)?;
+    let mut f = DistField::new(frame.q, frame.owned, frame.halo)?;
+    debug_assert_eq!(f.as_slice().len() * 8, frame.payload.len());
+    let payload = &buf[frame.payload.clone()];
+    let dst = f.as_mut_slice();
+    for (i, chunk) in payload.chunks_exact(8).enumerate() {
+        dst[i] = f64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+    }
+    check_sum(buf, pos, &frame.payload)?;
     Ok(f)
+}
+
+/// Walk one field frame starting at `*pos` and verify its framing and
+/// FNV-1a checksum *without* allocating a [`DistField`]. This is the cheap
+/// integrity probe behind checkpoint validation: callers can scan a whole
+/// container for damage before committing to a resume.
+pub fn validate_field(buf: &[u8], pos: &mut usize) -> Result<()> {
+    let frame = read_frame(buf, pos)?;
+    check_sum(buf, pos, &frame.payload)
 }
 
 #[cfg(test)]
@@ -197,6 +250,51 @@ mod tests {
             decode_field(&buf, &mut pos),
             Err(Error::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn validate_walks_without_allocating() {
+        let f = sample();
+        let mut buf = Vec::new();
+        encode_field(&f, &mut buf);
+        encode_field(&f, &mut buf);
+        let mut pos = 0;
+        validate_field(&buf, &mut pos).unwrap();
+        validate_field(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x10;
+        let mut pos = 0;
+        let a = validate_field(&buf, &mut pos);
+        let b = validate_field(&buf, &mut pos);
+        assert!(
+            a.is_err() || b.is_err(),
+            "a flipped payload bit must fail validation"
+        );
+    }
+
+    #[test]
+    fn absurd_declared_dims_are_corrupt_not_fatal() {
+        // A bit flip in a dimension field must be rejected *before* any
+        // allocation is sized from it — no OOM, no abort, just Corrupt.
+        let f = sample();
+        let mut clean = Vec::new();
+        encode_field(&f, &mut clean);
+        for bit in [40usize, 62, 63] {
+            let mut buf = clean.clone();
+            // nx starts at byte 8 (version u32 + q u32).
+            buf[8 + bit / 8] ^= 1 << (bit % 8);
+            let mut pos = 0;
+            assert!(
+                matches!(decode_field(&buf, &mut pos), Err(Error::Corrupt(_))),
+                "nx bit {bit}"
+            );
+            let mut pos = 0;
+            assert!(matches!(
+                validate_field(&buf, &mut pos),
+                Err(Error::Corrupt(_))
+            ));
+        }
     }
 
     #[test]

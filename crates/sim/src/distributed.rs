@@ -1082,6 +1082,11 @@ impl RankSolver {
     pub fn field(&self) -> &DistField {
         &self.f
     }
+
+    /// Mutable field access for the fault-injection harness.
+    pub(crate) fn field_mut(&mut self) -> &mut DistField {
+        &mut self.f
+    }
 }
 
 /// Deterministic `[0,1)` hash noise for compute jitter.

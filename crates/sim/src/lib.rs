@@ -53,7 +53,10 @@ pub mod simulation;
 
 pub use config::{CommStrategy, ConfigError, SimConfig};
 pub use report::{RankReport, RunReport, REPORT_SCHEMA_VERSION};
-pub use runtime::{EnsembleRunner, JobEvent, JobId, JobOutcome, JobSpec};
+pub use runtime::{
+    CorruptMode, EnsembleRunner, EventRecord, FailureKind, FaultPlan, JobEvent, JobId, JobOutcome,
+    JobSpec, RetentionPolicy, EVENT_SCHEMA_VERSION,
+};
 pub use scenario::{
     CouetteFlow, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Scenario,
     ScenarioHandle, ScenarioSpec, TaylorGreen,

@@ -98,19 +98,19 @@ fn ju(v: u64) -> Json {
     Json::Int(v as i64)
 }
 
-fn gu(v: &Json, key: &str) -> Result<u64, String> {
+pub(crate) fn gu(v: &Json, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("missing or non-integer `{key}`"))
 }
 
-fn gf(v: &Json, key: &str) -> Result<f64, String> {
+pub(crate) fn gf(v: &Json, key: &str) -> Result<f64, String> {
     v.get(key)
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("missing or non-numeric `{key}`"))
 }
 
-fn gs(v: &Json, key: &str) -> Result<String, String> {
+pub(crate) fn gs(v: &Json, key: &str) -> Result<String, String> {
     v.get(key)
         .and_then(Json::as_str)
         .map(str::to_owned)

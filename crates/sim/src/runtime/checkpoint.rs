@@ -10,9 +10,22 @@
 //! …        JSON header: schema, step_no, cycle, full config (lattice,
 //!          order, global, tau, ranks, threads, ghost depth, level,
 //!          storage, strategy, jitter, skew, init amplitude, scenario spec)
+//! u64      FNV-1a over the header bytes (v2+)
 //! per rank a binary DistField snapshot of the owned planes
 //!          (lbm_core::snapshot codec: versioned, FNV-1a checksummed)
 //! ```
+//!
+//! Every region is tamper-evident: the magic/version/length fields are
+//! structurally checked, the JSON header carries its own FNV-1a, and each
+//! rank payload is checksummed by the field codec — so [`validate`] can
+//! certify a container end to end without building an engine, and
+//! [`decode`] refuses damaged bytes with [`Error::Corrupt`] instead of
+//! resuming garbage.
+//!
+//! For supervised jobs checkpoints rotate through numbered *generations*
+//! (`<name>.gen000007.ckpt`); the generation number lives only in the file
+//! name, never in the bytes, so a job's final checkpoint stays bitwise
+//! comparable with one taken by an uninterrupted serial run.
 //!
 //! The header is text so checkpoints stay inspectable (`head -c` shows the
 //! whole config); the payload is raw `f64` bits so a resumed trajectory is
@@ -23,6 +36,8 @@
 //! [`ScenarioSpec`](crate::scenario::ScenarioSpec) — every shipped scenario
 //! is RNG-free, so its parameters are its entire state. The link-cost model
 //! shapes timings, never populations, and is not serialized.
+
+use std::path::{Path, PathBuf};
 
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::error::{Error, Result};
@@ -40,10 +55,110 @@ use crate::simulation::Simulation;
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"LBMCKPT\0";
 
 /// Version of the checkpoint container layout (bump on any change).
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// v2 added the FNV-1a header checksum.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 fn corrupt(m: impl Into<String>) -> Error {
     Error::Corrupt(m.into())
+}
+
+/// Summary of a container that passed [`validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Trajectory step count at the checkpoint.
+    pub step_no: u64,
+    /// Kernel cycle counter (distinguishes AA-pair phases).
+    pub cycle: u64,
+    /// Number of rank snapshots in the payload.
+    pub ranks: usize,
+}
+
+/// How many rotated checkpoint generations a supervised job keeps on disk.
+/// Older generations are pruned after each successful write; keeping at
+/// least two lets resume fall back a generation when the newest file is
+/// damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Number of newest generations retained (must be ≥ 1).
+    pub keep: usize,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        Self { keep: 2 }
+    }
+}
+
+impl RetentionPolicy {
+    /// Policy retaining the newest `keep` generations.
+    pub fn keep(keep: usize) -> Self {
+        Self { keep }
+    }
+
+    /// Delete generations of `name` older than the newest `keep`, given the
+    /// most recently written generation number. Best-effort: unlink errors
+    /// are ignored (a leftover file only wastes space).
+    pub fn prune(&self, dir: &Path, name: &str, newest: u64) {
+        let cut = (newest + 1).saturating_sub(self.keep as u64);
+        for (generation, path) in list_generations(dir, name) {
+            if generation < cut {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+/// Path of checkpoint generation `generation` for job `name` under `dir`.
+pub fn generation_path(dir: &Path, name: &str, generation: u64) -> PathBuf {
+    dir.join(format!("{name}.gen{generation:06}.ckpt"))
+}
+
+/// Every on-disk checkpoint generation for `name`, ascending by generation
+/// number. A missing/unreadable directory yields an empty list.
+pub fn list_generations(dir: &Path, name: &str) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let prefix = format!("{name}.gen");
+    for entry in entries.flatten() {
+        let file = entry.file_name();
+        let Some(file) = file.to_str() else { continue };
+        let Some(digits) = file
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".ckpt"))
+        else {
+            continue;
+        };
+        if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(generation) = digits.parse::<u64>() {
+                out.push((generation, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Write `bytes` to `path` through a sibling temp file + rename, so a kill
+/// mid-write can never leave a torn file at the target path. The rename is
+/// atomic on POSIX filesystems; on failure the temp file is cleaned up.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let file = path
+        .file_name()
+        .ok_or_else(|| {
+            Error::Io(format!(
+                "checkpoint path `{}` has no file name",
+                path.display()
+            ))
+        })?
+        .to_string_lossy();
+    let tmp = path.with_file_name(format!(".{file}.tmp"));
+    std::fs::write(&tmp, bytes).map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        Error::Io(format!("{}: {e}", path.display()))
+    })
 }
 
 /// Serialize `sim`'s live state (materialising the engine if needed).
@@ -129,14 +244,17 @@ pub(crate) fn encode(sim: &mut Simulation) -> Result<Vec<u8>> {
     out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
     out.extend_from_slice(&(header.len() as u64).to_le_bytes());
     out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(&snapshot::fnv1a(header.as_bytes()).to_le_bytes());
     for rs in &engine.ranks {
         snapshot::encode_field(&rs.solver.owned_snapshot(), &mut out);
     }
     Ok(out)
 }
 
-/// Rebuild a [`Simulation`] from checkpoint bytes.
-pub(crate) fn decode(bytes: &[u8]) -> Result<Simulation> {
+/// Parse and integrity-check everything up to the first rank snapshot:
+/// magic, version, header length, UTF-8/JSON header and its FNV-1a.
+/// Returns the parsed header and the byte offset of the first snapshot.
+fn parse_container(bytes: &[u8]) -> Result<(Json, usize)> {
     if bytes.len() < 20 || &bytes[..8] != CHECKPOINT_MAGIC {
         return Err(corrupt("not a checkpoint (bad magic)"));
     }
@@ -147,13 +265,73 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Simulation> {
         )));
     }
     let header_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
-    let body = 20usize
+    let header_end = 20usize
         .checked_add(header_len)
         .filter(|&e| e <= bytes.len())
         .ok_or_else(|| corrupt("checkpoint truncated in header"))?;
-    let header_text = std::str::from_utf8(&bytes[20..body])
+    let body = header_end
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| corrupt("checkpoint truncated in header checksum"))?;
+    let stored = u64::from_le_bytes(bytes[header_end..body].try_into().expect("8 bytes"));
+    let computed = snapshot::fnv1a(&bytes[20..header_end]);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "header checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+    let header_text = std::str::from_utf8(&bytes[20..header_end])
         .map_err(|_| corrupt("checkpoint header is not UTF-8"))?;
     let header = Json::parse(header_text).map_err(corrupt)?;
+    Ok((header, body))
+}
+
+/// Integrity-check a whole container — framing, header checksum, every
+/// rank payload's FNV-1a — without allocating fields or building an
+/// engine. This is the probe resume uses to pick the newest undamaged
+/// generation, and the cheap half of "never resume silently wrong".
+pub fn validate(bytes: &[u8]) -> Result<CheckpointInfo> {
+    let (header, body) = parse_container(bytes)?;
+    let int = |key: &str| -> Result<u64> {
+        header
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt(format!("header missing `{key}`")))
+    };
+    let schema = int("schema")? as u32;
+    if schema != CHECKPOINT_VERSION {
+        return Err(corrupt(format!("header schema {schema}")));
+    }
+    let step_no = int("step_no")?;
+    let cycle = int("cycle")?;
+    let ranks = header
+        .get("config")
+        .and_then(|c| c.get("ranks"))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt("header missing `config.ranks`"))? as usize;
+    let mut pos = body;
+    let mut frames = 0usize;
+    while pos < bytes.len() {
+        snapshot::validate_field(bytes, &mut pos)?;
+        frames += 1;
+    }
+    if frames != ranks {
+        return Err(corrupt(format!(
+            "container holds {frames} rank snapshots, header declares {ranks}"
+        )));
+    }
+    Ok(CheckpointInfo {
+        step_no,
+        cycle,
+        ranks,
+    })
+}
+
+/// Rebuild a [`Simulation`] from checkpoint bytes. The whole container is
+/// [`validate`]d up front, so no engine is ever built from damaged bytes.
+pub(crate) fn decode(bytes: &[u8]) -> Result<Simulation> {
+    validate(bytes)?;
+    let (header, body) = parse_container(bytes)?;
 
     let int = |v: &Json, key: &str| -> Result<u64> {
         v.get(key)
@@ -310,5 +488,72 @@ mod tests {
             ),
             "payload bit flip must fail the checksum"
         );
+        // The JSON header is checksummed too (v2): flipping a bit inside
+        // it — even one that keeps the JSON parseable — is Corrupt.
+        let mut bad_header = bytes.clone();
+        bad_header[24] ^= 1;
+        assert!(matches!(
+            Simulation::resume_bytes(&bad_header),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn validate_reports_info_without_an_engine() {
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 11, 8))
+            .scenario(PoiseuilleChannel::new(1e-5))
+            .ranks(2)
+            .build()
+            .unwrap();
+        sim.run_local(3).unwrap();
+        let bytes = sim.checkpoint().unwrap();
+        let info = validate(&bytes).unwrap();
+        assert_eq!(info.step_no, 3);
+        assert_eq!(info.ranks, 2);
+        // Dropping the last rank snapshot is caught by the frame count.
+        let truncated = &bytes[..bytes.len() - 8];
+        assert!(matches!(validate(truncated), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("lbm-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().flatten().collect();
+        assert_eq!(leftovers.len(), 1, "no temp file survives a write");
+        // A bad target directory is an Io error, not a panic.
+        assert!(matches!(
+            write_atomic(&dir.join("no-such-dir").join("x.ckpt"), b"x"),
+            Err(Error::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generations_list_sorted_and_prune_respects_retention() {
+        let dir = std::env::temp_dir().join(format!("lbm-gens-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for g in [2u64, 0, 1, 3] {
+            std::fs::write(generation_path(&dir, "job-a", g), [g as u8]).unwrap();
+        }
+        // Foreign and malformed files are ignored.
+        std::fs::write(dir.join("job-b.gen000000.ckpt"), b"x").unwrap();
+        std::fs::write(dir.join("job-a.genXYZ.ckpt"), b"x").unwrap();
+        let gens = list_generations(&dir, "job-a");
+        assert_eq!(
+            gens.iter().map(|(g, _)| *g).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+
+        RetentionPolicy::keep(2).prune(&dir, "job-a", 3);
+        let gens = list_generations(&dir, "job-a");
+        assert_eq!(gens.iter().map(|(g, _)| *g).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(list_generations(&dir, "job-b").len(), 1, "other jobs kept");
+        assert!(list_generations(&dir.join("missing"), "job-a").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

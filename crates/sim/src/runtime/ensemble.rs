@@ -8,21 +8,28 @@
 //! grids deliberately over-packed several-per-slot (they are memory-light
 //! and leave cache headroom), while large grids get their full slot count.
 //! Per-job lifecycle and progress stream through a channel as
-//! [`RunReport`]-schema JSON lines; jobs can be cancelled between progress
-//! chunks, and jobs with a checkpoint cadence write resumable state as they
-//! go.
+//! sequence-numbered [`EventRecord`] JSON lines; jobs can be cancelled
+//! between progress chunks, and jobs with a checkpoint cadence write
+//! rotated, resumable generations as they go.
+//!
+//! Each running job is wrapped in the [`super::supervise`] layer: panics,
+//! runtime errors and watchdog stalls re-dispatch from the last good
+//! checkpoint under the job's retry budget, numeric divergence ends the
+//! job terminally, and a worker failure never poisons the pool.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::config::ConfigError;
-use crate::json::Json;
 use crate::report::RunReport;
 
+use super::event::{EventBus, EventRecord, FailureKind, JobEvent};
+use super::fault::FaultPlan;
+use super::supervise::{self, SuperviseCtx};
 use super::JobSpec;
 
 /// Handle to a submitted job (submission order, starting at 0).
@@ -32,158 +39,18 @@ pub type JobId = u64;
 /// so fractional shares (several small jobs per slot) stay integer math.
 const MILLI: usize = 1000;
 
-/// Lifecycle and progress notifications streamed by the runner, one JSON
-/// line each (see [`JobEvent::to_json_line`]).
-#[derive(Debug, Clone)]
-pub enum JobEvent {
-    /// The job left the queue and its engine is being built.
-    Started {
-        /// Job handle.
-        job: JobId,
-        /// Job name.
-        name: String,
-    },
-    /// A progress chunk completed; `report` covers just that chunk
-    /// (RunReport schema — the same shape `lbm-bench` artifacts use).
-    Progress {
-        /// Job handle.
-        job: JobId,
-        /// Job name.
-        name: String,
-        /// Trajectory steps completed so far.
-        steps_done: u64,
-        /// Timed report for the chunk that just ran.
-        report: RunReport,
-    },
-    /// A checkpoint was written at the job's cadence.
-    Checkpointed {
-        /// Job handle.
-        job: JobId,
-        /// Job name.
-        name: String,
-        /// Trajectory steps covered by the checkpoint.
-        steps_done: u64,
-        /// Where the checkpoint landed.
-        path: PathBuf,
-    },
-    /// The job ran to completion; `report` covers the whole run.
-    Finished {
-        /// Job handle.
-        job: JobId,
-        /// Job name.
-        name: String,
-        /// Merged report over every chunk.
-        report: RunReport,
-    },
-    /// The job died (panic or error); the worker survives.
-    Failed {
-        /// Job handle.
-        job: JobId,
-        /// Job name.
-        name: String,
-        /// What went wrong.
-        error: String,
-    },
-    /// The job observed its cancel flag and stopped between chunks.
-    Cancelled {
-        /// Job handle.
-        job: JobId,
-        /// Job name.
-        name: String,
-        /// Steps completed before stopping.
-        steps_done: u64,
-    },
-}
-
-impl JobEvent {
-    /// The event kind as a lowercase tag (the JSON `event` field).
-    pub fn kind(&self) -> &'static str {
-        match self {
-            JobEvent::Started { .. } => "started",
-            JobEvent::Progress { .. } => "progress",
-            JobEvent::Checkpointed { .. } => "checkpointed",
-            JobEvent::Finished { .. } => "finished",
-            JobEvent::Failed { .. } => "failed",
-            JobEvent::Cancelled { .. } => "cancelled",
-        }
-    }
-
-    /// The job this event belongs to.
-    pub fn job(&self) -> JobId {
-        match self {
-            JobEvent::Started { job, .. }
-            | JobEvent::Progress { job, .. }
-            | JobEvent::Checkpointed { job, .. }
-            | JobEvent::Finished { job, .. }
-            | JobEvent::Failed { job, .. }
-            | JobEvent::Cancelled { job, .. } => *job,
-        }
-    }
-
-    /// JSON form; `Progress`/`Finished` embed the full
-    /// [`RunReport`] under `report`.
-    pub fn to_json(&self) -> Json {
-        let (name, mut extra): (&str, Vec<(String, Json)>) = match self {
-            JobEvent::Started { name, .. } => (name, vec![]),
-            JobEvent::Progress {
-                name,
-                steps_done,
-                report,
-                ..
-            } => (
-                name,
-                vec![
-                    ("steps_done".into(), Json::Int(*steps_done as i64)),
-                    ("report".into(), report.to_json()),
-                ],
-            ),
-            JobEvent::Checkpointed {
-                name,
-                steps_done,
-                path,
-                ..
-            } => (
-                name,
-                vec![
-                    ("steps_done".into(), Json::Int(*steps_done as i64)),
-                    ("path".into(), Json::Str(path.display().to_string())),
-                ],
-            ),
-            JobEvent::Finished { name, report, .. } => {
-                (name, vec![("report".into(), report.to_json())])
-            }
-            JobEvent::Failed { name, error, .. } => {
-                (name, vec![("error".into(), Json::Str(error.clone()))])
-            }
-            JobEvent::Cancelled {
-                name, steps_done, ..
-            } => (
-                name,
-                vec![("steps_done".into(), Json::Int(*steps_done as i64))],
-            ),
-        };
-        let mut members = vec![
-            ("event".into(), Json::Str(self.kind().into())),
-            ("job".into(), Json::Int(self.job() as i64)),
-            ("name".into(), Json::Str(name.into())),
-        ];
-        members.append(&mut extra);
-        Json::Obj(members)
-    }
-
-    /// One newline-free JSON line (the JSONL stream format).
-    pub fn to_json_line(&self) -> String {
-        self.to_json().to_string()
-    }
-}
-
 /// How a job ended (see [`EnsembleRunner::join`]).
 #[derive(Debug, Clone)]
 pub enum JobOutcome {
     /// Ran to completion.
     Finished(Box<RunReport>),
-    /// Died with an error or panic.
-    Failed(String),
+    /// Ended unsuccessfully after exhausting any retry budget.
+    Failed {
+        /// What went wrong.
+        error: String,
+        /// Failure classification (see [`FailureKind`]).
+        reason: FailureKind,
+    },
     /// Stopped at a cancel request.
     Cancelled {
         /// Steps completed before stopping.
@@ -192,28 +59,29 @@ pub enum JobOutcome {
 }
 
 struct State {
-    pending: VecDeque<(JobId, JobSpec)>,
+    pending: VecDeque<(JobId, JobSpec, Option<FaultPlan>)>,
     cancel_flags: HashMap<JobId, Arc<AtomicBool>>,
     outcomes: Vec<(JobId, JobOutcome)>,
     used_millislots: usize,
     in_flight: usize,
     next_id: JobId,
-    events: Sender<JobEvent>,
 }
 
 struct Inner {
     state: Mutex<State>,
     idle: Condvar,
+    bus: EventBus,
     capacity_millislots: usize,
     small_grid_cells: usize,
     checkpoint_dir: Option<PathBuf>,
 }
 
-/// Schedules submitted jobs over a bounded worker pool and streams their
-/// lifecycle as [`JobEvent`]s. See the module docs for the packing policy.
+/// Schedules submitted jobs over a bounded worker pool, supervises each
+/// one (retry, watchdog, health guards) and streams their lifecycle as
+/// [`EventRecord`]s. See the module docs for the packing policy.
 pub struct EnsembleRunner {
     inner: Arc<Inner>,
-    events: Option<Receiver<JobEvent>>,
+    events: Option<Receiver<EventRecord>>,
 }
 
 impl EnsembleRunner {
@@ -238,9 +106,9 @@ impl EnsembleRunner {
                     used_millislots: 0,
                     in_flight: 0,
                     next_id: 0,
-                    events: tx,
                 }),
                 idle: Condvar::new(),
+                bus: EventBus::new(tx),
                 capacity_millislots: slots.max(1) * MILLI,
                 small_grid_cells: 16 * 1024,
                 checkpoint_dir: None,
@@ -249,9 +117,10 @@ impl EnsembleRunner {
         }
     }
 
-    /// Direct checkpoint-writing jobs (`checkpoint_every > 0`) into `dir`
-    /// as `<job name>.ckpt`. Without a directory such jobs are rejected at
-    /// submit.
+    /// Direct checkpoint-writing jobs (`checkpoint_every > 0` or
+    /// `flush_secs > 0`) into `dir` as rotated generations
+    /// (`<job name>.gen<N>.ckpt`). Without a directory such jobs are
+    /// rejected at submit.
     #[must_use]
     pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         Arc::get_mut(&mut self.inner)
@@ -271,9 +140,9 @@ impl EnsembleRunner {
     }
 
     /// The event stream (progress/lifecycle JSON lines come from
-    /// [`JobEvent::to_json_line`]). Can be taken once; the runner keeps
+    /// [`EventRecord::to_json_line`]). Can be taken once; the runner keeps
     /// running if the receiver is dropped.
-    pub fn events(&mut self) -> Receiver<JobEvent> {
+    pub fn events(&mut self) -> Receiver<EventRecord> {
         self.events.take().expect("events() may only be taken once")
     }
 
@@ -282,13 +151,30 @@ impl EnsembleRunner {
     /// as capacity frees, in submission order except when a later small job
     /// fits a gap a large head-of-queue job cannot (bounded first-fit).
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, ConfigError> {
+        self.submit_inner(spec, None)
+    }
+
+    /// [`Self::submit`] with a scripted [`FaultPlan`] — the deterministic
+    /// fault-injection entry point for tests and the `ensemble_faults`
+    /// harness. Production submissions have no business carrying a plan.
+    pub fn submit_with_faults(
+        &self,
+        spec: JobSpec,
+        faults: FaultPlan,
+    ) -> Result<JobId, ConfigError> {
+        self.submit_inner(spec, Some(faults))
+    }
+
+    fn submit_inner(&self, spec: JobSpec, faults: Option<FaultPlan>) -> Result<JobId, ConfigError> {
         spec.validate()?;
-        if spec.checkpoint_every > 0 && self.inner.checkpoint_dir.is_none() {
+        if (spec.checkpoint_every > 0 || spec.flush_secs > 0.0)
+            && self.inner.checkpoint_dir.is_none()
+        {
             return Err(ConfigError::Invalid(lbm_core::Error::BadParameter(
                 format!(
-                    "job `{}` wants checkpoints every {} steps but the runner \
-                     has no checkpoint dir",
-                    spec.name, spec.checkpoint_every
+                    "job `{}` wants checkpoints (every {} steps / flush {}s) but \
+                     the runner has no checkpoint dir",
+                    spec.name, spec.checkpoint_every, spec.flush_secs
                 ),
             )));
         }
@@ -296,7 +182,7 @@ impl EnsembleRunner {
         let id = st.next_id;
         st.next_id += 1;
         st.cancel_flags.insert(id, Arc::new(AtomicBool::new(false)));
-        st.pending.push_back((id, spec));
+        st.pending.push_back((id, spec, faults));
         Inner::schedule(&self.inner, &mut st);
         Ok(id)
     }
@@ -357,8 +243,8 @@ impl Inner {
                 .get(&id)
                 .is_some_and(|f| f.load(Ordering::SeqCst))
             {
-                let (id, spec) = st.pending.remove(i).expect("index in range");
-                let _ = st.events.send(JobEvent::Cancelled {
+                let (id, spec, _) = st.pending.remove(i).expect("index in range");
+                inner.bus.emit(JobEvent::Cancelled {
                     job: id,
                     name: spec.name.clone(),
                     steps_done: 0,
@@ -372,31 +258,40 @@ impl Inner {
                 i += 1;
                 continue;
             }
-            let (id, spec) = st.pending.remove(i).expect("index in range");
+            let (id, spec, faults) = st.pending.remove(i).expect("index in range");
             st.used_millislots += cost;
             st.in_flight += 1;
             let cancel = st.cancel_flags.get(&id).expect("registered").clone();
-            let events = st.events.clone();
             let inner = inner.clone();
             std::thread::Builder::new()
                 .name(format!("job-{id}"))
                 .spawn(move || {
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        Inner::run_job(&inner, id, &spec, &cancel, &events)
-                    }))
-                    .unwrap_or_else(|payload| {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "job panicked".into());
-                        let _ = events.send(JobEvent::Failed {
-                            job: id,
-                            name: spec.name.clone(),
-                            error: msg.clone(),
+                    let name = spec.name.clone();
+                    let ctx = SuperviseCtx {
+                        id,
+                        spec,
+                        cancel,
+                        bus: inner.bus.clone(),
+                        checkpoint_dir: inner.checkpoint_dir.clone(),
+                        faults,
+                    };
+                    // The supervisor already catches attempt panics; this
+                    // outer net only guards the supervisor itself, so a
+                    // job can never take its pool slot down with it.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| supervise::supervise(ctx)))
+                        .unwrap_or_else(|payload| {
+                            let error = supervise::panic_message(payload);
+                            inner.bus.emit(JobEvent::Failed {
+                                job: id,
+                                name,
+                                error: error.clone(),
+                                reason: FailureKind::Panic,
+                            });
+                            JobOutcome::Failed {
+                                error,
+                                reason: FailureKind::Panic,
+                            }
                         });
-                        JobOutcome::Failed(msg)
-                    });
                     let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
                     st.used_millislots -= cost;
                     st.in_flight -= 1;
@@ -408,113 +303,12 @@ impl Inner {
                 .expect("spawn job worker");
         }
     }
-
-    /// Run one job to completion, cancel or error on the current (worker)
-    /// thread, streaming events as it goes.
-    fn run_job(
-        inner: &Inner,
-        id: JobId,
-        spec: &JobSpec,
-        cancel: &AtomicBool,
-        events: &Sender<JobEvent>,
-    ) -> JobOutcome {
-        let _ = events.send(JobEvent::Started {
-            job: id,
-            name: spec.name.clone(),
-        });
-        let mut sim = match spec.to_builder().build() {
-            Ok(sim) => sim,
-            Err(e) => {
-                let msg = e.to_string();
-                let _ = events.send(JobEvent::Failed {
-                    job: id,
-                    name: spec.name.clone(),
-                    error: msg.clone(),
-                });
-                return JobOutcome::Failed(msg);
-            }
-        };
-        let chunk_len = if spec.progress_every > 0 {
-            spec.progress_every
-        } else {
-            spec.steps
-        };
-        let mut merged: Option<RunReport> = None;
-        let mut next_checkpoint = spec.checkpoint_every;
-        let mut done = 0usize;
-        while done < spec.steps {
-            if cancel.load(Ordering::SeqCst) {
-                let _ = events.send(JobEvent::Cancelled {
-                    job: id,
-                    name: spec.name.clone(),
-                    steps_done: done as u64,
-                });
-                return JobOutcome::Cancelled {
-                    steps_done: done as u64,
-                };
-            }
-            let n = chunk_len.max(1).min(spec.steps - done);
-            let report = match sim.run(n) {
-                Ok(r) => r,
-                Err(e) => {
-                    let msg = e.to_string();
-                    let _ = events.send(JobEvent::Failed {
-                        job: id,
-                        name: spec.name.clone(),
-                        error: msg.clone(),
-                    });
-                    return JobOutcome::Failed(msg);
-                }
-            };
-            done += n;
-            let _ = events.send(JobEvent::Progress {
-                job: id,
-                name: spec.name.clone(),
-                steps_done: done as u64,
-                report: report.clone(),
-            });
-            match &mut merged {
-                None => merged = Some(report),
-                Some(m) => m.accumulate(&report),
-            }
-            if spec.checkpoint_every > 0 && done >= next_checkpoint && done < spec.steps {
-                next_checkpoint += spec.checkpoint_every;
-                let dir = inner.checkpoint_dir.as_ref().expect("checked at submit");
-                let path = dir.join(format!("{}.ckpt", spec.name));
-                match sim.checkpoint_to(&path) {
-                    Ok(()) => {
-                        let _ = events.send(JobEvent::Checkpointed {
-                            job: id,
-                            name: spec.name.clone(),
-                            steps_done: done as u64,
-                            path,
-                        });
-                    }
-                    Err(e) => {
-                        let msg = format!("checkpoint failed: {e}");
-                        let _ = events.send(JobEvent::Failed {
-                            job: id,
-                            name: spec.name.clone(),
-                            error: msg.clone(),
-                        });
-                        return JobOutcome::Failed(msg);
-                    }
-                }
-            }
-        }
-        let report = merged.expect("at least one chunk ran");
-        let _ = events.send(JobEvent::Finished {
-            job: id,
-            name: spec.name.clone(),
-            report: report.clone(),
-        });
-        JobOutcome::Finished(Box::new(report))
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::Json;
     use crate::scenario::ScenarioSpec;
     use lbm_core::index::Dim3;
     use lbm_core::lattice::LatticeKind;
@@ -544,14 +338,19 @@ mod tests {
                 other => panic!("expected Finished, got {other:?}"),
             }
         }
-        let lines: Vec<JobEvent> = events.try_iter().collect();
+        let records: Vec<EventRecord> = events.try_iter().collect();
         // 2 × (Started + Progress + Finished).
-        assert_eq!(lines.len(), 6);
-        for ev in &lines {
-            let line = ev.to_json_line();
+        assert_eq!(records.len(), 6);
+        // Sequence numbers are contiguous in delivery order.
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64);
+            let line = rec.to_json_line();
             assert!(!line.contains('\n'));
             let v = Json::parse(&line).unwrap();
-            assert_eq!(v.get("event").unwrap().as_str(), Some(ev.kind()));
+            assert_eq!(v.get("event").unwrap().as_str(), Some(rec.event.kind()));
+            assert_eq!(v.get("seq").unwrap().as_u64(), Some(rec.seq));
+            let back = EventRecord::from_json(&v).unwrap();
+            assert_eq!(back.event.kind(), rec.event.kind());
         }
     }
 
@@ -589,7 +388,7 @@ mod tests {
         );
         assert!(events
             .try_iter()
-            .any(|e| matches!(e, JobEvent::Cancelled { .. })));
+            .any(|r| matches!(r.event, JobEvent::Cancelled { .. })));
     }
 
     #[test]

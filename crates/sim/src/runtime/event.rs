@@ -1,0 +1,579 @@
+//! The supervised job event stream: lifecycle notifications as versioned,
+//! sequence-numbered JSONL records.
+//!
+//! Every notification the runner emits is a [`JobEvent`] wrapped in an
+//! [`EventRecord`] carrying a `schema` version (so consumers can reject
+//! records they do not understand, mirroring the `RunReport` versioning)
+//! and a monotonically increasing `seq` (so a log consumer can detect
+//! dropped or reordered lines — the sequence is global across jobs and has
+//! no gaps). Supervision adds three variants to the PR 6 lifecycle:
+//! [`JobEvent::Stalled`] (watchdog deadline passed with no progress),
+//! [`JobEvent::Retried`] (the job was re-dispatched from a checkpoint) and
+//! [`JobEvent::Degraded`] (resume skipped damaged checkpoint generations).
+
+use std::path::PathBuf;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+use crate::report::{gf, gs, gu, RunReport};
+
+use super::ensemble::JobId;
+
+/// Version of the event-record JSON shape (the `schema` field; bump on any
+/// change consumers could misread).
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// Why a job ended as [`JobEvent::Failed`] — and, implicitly, whether the
+/// supervisor considered retrying first. `Config` and `Diverged` are
+/// terminal on sight (deterministic failures retry into the same wall);
+/// `Error`, `Panic` and `Stalled` are retried until the budget runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The spec failed validation or engine construction.
+    Config,
+    /// A runtime error (I/O, corrupt checkpoint, comm failure).
+    Error,
+    /// The worker panicked.
+    Panic,
+    /// The watchdog saw no progress within the deadline.
+    Stalled,
+    /// A numeric health guard tripped (NaN/inf or mass drift).
+    Diverged,
+}
+
+impl FailureKind {
+    /// Lowercase tag used in the JSON `reason` field.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Config => "config",
+            FailureKind::Error => "error",
+            FailureKind::Panic => "panic",
+            FailureKind::Stalled => "stalled",
+            FailureKind::Diverged => "diverged",
+        }
+    }
+
+    /// Inverse of [`Self::label`].
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "config" => Some(FailureKind::Config),
+            "error" => Some(FailureKind::Error),
+            "panic" => Some(FailureKind::Panic),
+            "stalled" => Some(FailureKind::Stalled),
+            "diverged" => Some(FailureKind::Diverged),
+            _ => None,
+        }
+    }
+
+    /// Whether the supervisor may re-dispatch after this failure (subject
+    /// to the retry budget). Deterministic failures are never retried.
+    pub fn retryable(&self) -> bool {
+        !matches!(self, FailureKind::Config | FailureKind::Diverged)
+    }
+}
+
+/// Lifecycle and progress notifications streamed by the runner, one JSON
+/// line each (see [`EventRecord::to_json_line`]).
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The job left the queue and its engine is being built.
+    Started {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+    },
+    /// A progress chunk completed; `report` covers just that chunk
+    /// (RunReport schema — the same shape `lbm-bench` artifacts use).
+    Progress {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Trajectory steps completed so far.
+        steps_done: u64,
+        /// Timed report for the chunk that just ran.
+        report: RunReport,
+    },
+    /// A checkpoint generation was written (step cadence, periodic flush,
+    /// or the final state of a supervised job).
+    Checkpointed {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Trajectory steps covered by the checkpoint.
+        steps_done: u64,
+        /// Rotation generation number (monotone per job).
+        generation: u64,
+        /// Where the checkpoint landed.
+        path: PathBuf,
+    },
+    /// The watchdog deadline passed with no progress from the job; the
+    /// attempt is abandoned and will be retried if budget remains.
+    Stalled {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Last observed progress before the stall.
+        steps_done: u64,
+        /// The deadline that was missed, in seconds.
+        deadline_secs: f64,
+    },
+    /// A failed attempt is being re-dispatched from the last good
+    /// checkpoint (or from scratch when none survives).
+    Retried {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Retry number (1 = first retry).
+        attempt: u32,
+        /// Step the new attempt resumes from (0 = fresh start).
+        resume_steps: u64,
+        /// What ended the previous attempt.
+        cause: String,
+    },
+    /// Resume could not use the newest checkpoint generation(s): damaged
+    /// files were skipped and an older generation (or a fresh start) was
+    /// used instead.
+    Degraded {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Generation actually resumed from (`None` = fresh start).
+        generation: Option<u64>,
+        /// Generation numbers that failed validation and were skipped.
+        skipped: Vec<u64>,
+    },
+    /// The job ran to completion; `report` covers the whole run.
+    Finished {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Merged report over every chunk.
+        report: RunReport,
+    },
+    /// The job ended unsuccessfully and will not be retried (the retry
+    /// budget is spent, or `reason` is terminal).
+    Failed {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// What went wrong.
+        error: String,
+        /// Failure classification (see [`FailureKind`]).
+        reason: FailureKind,
+    },
+    /// The job observed its cancel flag and stopped between chunks.
+    Cancelled {
+        /// Job handle.
+        job: JobId,
+        /// Job name.
+        name: String,
+        /// Steps completed before stopping.
+        steps_done: u64,
+    },
+}
+
+impl JobEvent {
+    /// The event kind as a lowercase tag (the JSON `event` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobEvent::Started { .. } => "started",
+            JobEvent::Progress { .. } => "progress",
+            JobEvent::Checkpointed { .. } => "checkpointed",
+            JobEvent::Stalled { .. } => "stalled",
+            JobEvent::Retried { .. } => "retried",
+            JobEvent::Degraded { .. } => "degraded",
+            JobEvent::Finished { .. } => "finished",
+            JobEvent::Failed { .. } => "failed",
+            JobEvent::Cancelled { .. } => "cancelled",
+        }
+    }
+
+    /// The job this event belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            JobEvent::Started { job, .. }
+            | JobEvent::Progress { job, .. }
+            | JobEvent::Checkpointed { job, .. }
+            | JobEvent::Stalled { job, .. }
+            | JobEvent::Retried { job, .. }
+            | JobEvent::Degraded { job, .. }
+            | JobEvent::Finished { job, .. }
+            | JobEvent::Failed { job, .. }
+            | JobEvent::Cancelled { job, .. } => *job,
+        }
+    }
+
+    /// The name of the job this event belongs to.
+    pub fn name(&self) -> &str {
+        match self {
+            JobEvent::Started { name, .. }
+            | JobEvent::Progress { name, .. }
+            | JobEvent::Checkpointed { name, .. }
+            | JobEvent::Stalled { name, .. }
+            | JobEvent::Retried { name, .. }
+            | JobEvent::Degraded { name, .. }
+            | JobEvent::Finished { name, .. }
+            | JobEvent::Failed { name, .. }
+            | JobEvent::Cancelled { name, .. } => name,
+        }
+    }
+
+    /// JSON form (without the record envelope); `Progress`/`Finished`
+    /// embed the full [`RunReport`] under `report`.
+    pub fn to_json(&self) -> Json {
+        let mut extra: Vec<(String, Json)> = match self {
+            JobEvent::Started { .. } => vec![],
+            JobEvent::Progress {
+                steps_done, report, ..
+            } => vec![
+                ("steps_done".into(), Json::Int(*steps_done as i64)),
+                ("report".into(), report.to_json()),
+            ],
+            JobEvent::Checkpointed {
+                steps_done,
+                generation,
+                path,
+                ..
+            } => vec![
+                ("steps_done".into(), Json::Int(*steps_done as i64)),
+                ("generation".into(), Json::Int(*generation as i64)),
+                ("path".into(), Json::Str(path.display().to_string())),
+            ],
+            JobEvent::Stalled {
+                steps_done,
+                deadline_secs,
+                ..
+            } => vec![
+                ("steps_done".into(), Json::Int(*steps_done as i64)),
+                ("deadline_secs".into(), Json::Num(*deadline_secs)),
+            ],
+            JobEvent::Retried {
+                attempt,
+                resume_steps,
+                cause,
+                ..
+            } => vec![
+                ("attempt".into(), Json::Int(*attempt as i64)),
+                ("resume_steps".into(), Json::Int(*resume_steps as i64)),
+                ("cause".into(), Json::Str(cause.clone())),
+            ],
+            JobEvent::Degraded {
+                generation,
+                skipped,
+                ..
+            } => vec![
+                (
+                    "generation".into(),
+                    generation.map_or(Json::Null, |g| Json::Int(g as i64)),
+                ),
+                (
+                    "skipped".into(),
+                    Json::Arr(skipped.iter().map(|&g| Json::Int(g as i64)).collect()),
+                ),
+            ],
+            JobEvent::Finished { report, .. } => vec![("report".into(), report.to_json())],
+            JobEvent::Failed { error, reason, .. } => vec![
+                ("error".into(), Json::Str(error.clone())),
+                ("reason".into(), Json::Str(reason.label().into())),
+            ],
+            JobEvent::Cancelled { steps_done, .. } => {
+                vec![("steps_done".into(), Json::Int(*steps_done as i64))]
+            }
+        };
+        let mut members = vec![
+            ("event".into(), Json::Str(self.kind().into())),
+            ("job".into(), Json::Int(self.job() as i64)),
+            ("name".into(), Json::Str(self.name().into())),
+        ];
+        members.append(&mut extra);
+        Json::Obj(members)
+    }
+
+    /// Inverse of [`Self::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let kind = gs(v, "event")?;
+        let job = gu(v, "job")?;
+        let name = gs(v, "name")?;
+        match kind.as_str() {
+            "started" => Ok(JobEvent::Started { job, name }),
+            "progress" => Ok(JobEvent::Progress {
+                job,
+                name,
+                steps_done: gu(v, "steps_done")?,
+                report: RunReport::from_json(
+                    v.get("report")
+                        .ok_or_else(|| "missing `report`".to_string())?,
+                )?,
+            }),
+            "checkpointed" => Ok(JobEvent::Checkpointed {
+                job,
+                name,
+                steps_done: gu(v, "steps_done")?,
+                generation: gu(v, "generation")?,
+                path: PathBuf::from(gs(v, "path")?),
+            }),
+            "stalled" => Ok(JobEvent::Stalled {
+                job,
+                name,
+                steps_done: gu(v, "steps_done")?,
+                deadline_secs: gf(v, "deadline_secs")?,
+            }),
+            "retried" => Ok(JobEvent::Retried {
+                job,
+                name,
+                attempt: gu(v, "attempt")? as u32,
+                resume_steps: gu(v, "resume_steps")?,
+                cause: gs(v, "cause")?,
+            }),
+            "degraded" => Ok(JobEvent::Degraded {
+                job,
+                name,
+                generation: match v.get("generation") {
+                    None | Some(Json::Null) => None,
+                    Some(g) => Some(g.as_u64().ok_or("non-integer `generation`")?),
+                },
+                skipped: v
+                    .get("skipped")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `skipped`")?
+                    .iter()
+                    .map(|g| g.as_u64().ok_or_else(|| "non-integer skipped".to_string()))
+                    .collect::<Result<_, _>>()?,
+            }),
+            "finished" => Ok(JobEvent::Finished {
+                job,
+                name,
+                report: RunReport::from_json(
+                    v.get("report")
+                        .ok_or_else(|| "missing `report`".to_string())?,
+                )?,
+            }),
+            "failed" => Ok(JobEvent::Failed {
+                job,
+                name,
+                error: gs(v, "error")?,
+                reason: FailureKind::parse(&gs(v, "reason")?)
+                    .ok_or_else(|| "unknown failure `reason`".to_string())?,
+            }),
+            "cancelled" => Ok(JobEvent::Cancelled {
+                job,
+                name,
+                steps_done: gu(v, "steps_done")?,
+            }),
+            other => Err(format!("unknown event kind `{other}`")),
+        }
+    }
+}
+
+/// One line of the event stream: a [`JobEvent`] stamped with the stream
+/// schema version and its global sequence number.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Position in the stream (0-based, global across jobs, gap-free).
+    pub seq: u64,
+    /// The event itself.
+    pub event: JobEvent,
+}
+
+impl EventRecord {
+    /// JSON form: `schema` + `seq` + the flattened event members.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("schema".into(), Json::Int(EVENT_SCHEMA_VERSION as i64)),
+            ("seq".into(), Json::Int(self.seq as i64)),
+        ];
+        if let Json::Obj(ev) = self.event.to_json() {
+            members.extend(ev);
+        }
+        Json::Obj(members)
+    }
+
+    /// One newline-free JSON line (the JSONL stream format).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Inverse of [`Self::to_json`]; rejects unknown schema versions so a
+    /// consumer never misreads a record shape it was not written for.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let schema = gu(v, "schema")? as u32;
+        if schema != EVENT_SCHEMA_VERSION {
+            return Err(format!(
+                "unknown event schema {schema} (supported: {EVENT_SCHEMA_VERSION})"
+            ));
+        }
+        Ok(EventRecord {
+            seq: gu(v, "seq")?,
+            event: JobEvent::from_json(v)?,
+        })
+    }
+
+    /// Parse one JSONL line into a record.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(line)?)
+    }
+}
+
+/// The shared emit side of the stream. Sequence assignment and channel
+/// send happen under one lock, so `seq` order always matches delivery
+/// order no matter which worker thread emits.
+#[derive(Clone)]
+pub(crate) struct EventBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+struct BusInner {
+    next_seq: u64,
+    tx: Sender<EventRecord>,
+}
+
+impl EventBus {
+    pub(crate) fn new(tx: Sender<EventRecord>) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(BusInner { next_seq: 0, tx })),
+        }
+    }
+
+    /// Stamp `event` with the next sequence number and send it. A dropped
+    /// receiver is fine — the stream is observability, not control flow.
+    pub(crate) fn emit(&self, event: JobEvent) {
+        let mut bus = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = bus.next_seq;
+        bus.next_seq += 1;
+        let _ = bus.tx.send(EventRecord { seq, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn records_round_trip_and_unknown_schemas_are_rejected() {
+        let rec = EventRecord {
+            seq: 7,
+            event: JobEvent::Retried {
+                job: 3,
+                name: "j".into(),
+                attempt: 2,
+                resume_steps: 40,
+                cause: "worker panicked".into(),
+            },
+        };
+        let line = rec.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = EventRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.seq, 7);
+        match back.event {
+            JobEvent::Retried {
+                attempt,
+                resume_steps,
+                ..
+            } => {
+                assert_eq!((attempt, resume_steps), (2, 40));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let future = line.replace("\"schema\":1", "\"schema\":99");
+        assert!(EventRecord::from_json_line(&future)
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn every_variant_serializes_with_its_kind_tag() {
+        let events = vec![
+            JobEvent::Started {
+                job: 0,
+                name: "a".into(),
+            },
+            JobEvent::Stalled {
+                job: 0,
+                name: "a".into(),
+                steps_done: 4,
+                deadline_secs: 0.5,
+            },
+            JobEvent::Degraded {
+                job: 0,
+                name: "a".into(),
+                generation: None,
+                skipped: vec![2, 1],
+            },
+            JobEvent::Failed {
+                job: 0,
+                name: "a".into(),
+                error: "nan".into(),
+                reason: FailureKind::Diverged,
+            },
+            JobEvent::Checkpointed {
+                job: 0,
+                name: "a".into(),
+                steps_done: 8,
+                generation: 1,
+                path: "/tmp/a.gen000001.ckpt".into(),
+            },
+        ];
+        for (seq, event) in events.into_iter().enumerate() {
+            let rec = EventRecord {
+                seq: seq as u64,
+                event,
+            };
+            let v = rec.to_json();
+            assert_eq!(v.get("event").unwrap().as_str(), Some(rec.event.kind()));
+            let back = EventRecord::from_json(&v).unwrap();
+            assert_eq!(back.seq, rec.seq);
+            assert_eq!(back.event.kind(), rec.event.kind());
+        }
+    }
+
+    #[test]
+    fn bus_sequences_are_contiguous_in_delivery_order() {
+        let (tx, rx) = channel();
+        let bus = EventBus::new(tx);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let bus = bus.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        bus.emit(JobEvent::Started {
+                            job: i,
+                            name: format!("t{i}"),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(bus);
+        let seqs: Vec<u64> = rx.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn failure_kinds_classify_retryability() {
+        for (kind, retryable) in [
+            (FailureKind::Config, false),
+            (FailureKind::Diverged, false),
+            (FailureKind::Error, true),
+            (FailureKind::Panic, true),
+            (FailureKind::Stalled, true),
+        ] {
+            assert_eq!(kind.retryable(), retryable, "{kind:?}");
+            assert_eq!(FailureKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(FailureKind::parse("nope"), None);
+    }
+}

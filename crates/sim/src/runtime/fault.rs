@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the supervision layer.
+//!
+//! A [`FaultPlan`] scripts failures — worker panics, stalls, NaN
+//! divergence, checkpoint bit-flips and truncations — at chosen points of
+//! a job's life, so tests and the `ensemble_faults` smoke binary can drive
+//! the supervisor through every recovery path and then assert the final
+//! state is *bitwise* identical to an undisturbed run.
+//!
+//! Plans are for the test/bench harness only: production submissions never
+//! carry one. Each scripted fault fires **once globally** — the armed
+//! state is shared through an `Arc`, so a fault consumed by attempt 1 is
+//! not re-triggered by the retry it provoked (which would turn every
+//! scripted fault into an infinite crash loop).
+//!
+//! Step faults trigger at the first chunk boundary where the job's
+//! completed step count reaches `at_step`; checkpoint faults damage the
+//! named generation's file right after it is written, simulating torn
+//! writes and bit rot on disk.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a step fault does to the attempt when it fires.
+#[derive(Debug, Clone)]
+pub(crate) enum StepFaultKind {
+    /// Panic the worker thread.
+    Panic,
+    /// Sleep for the given duration without emitting progress (trips the
+    /// watchdog when one is armed).
+    Stall(Duration),
+    /// Poison one population value with NaN (trips the health guard).
+    Nan,
+}
+
+/// How a checkpoint file is damaged after being written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptMode {
+    /// Flip one bit. The offset is taken modulo the file's bit length, so
+    /// any value is valid for any file size.
+    FlipBit {
+        /// Bit offset into the file.
+        bit: usize,
+    },
+    /// Truncate the file to at most `keep` bytes (a torn write).
+    Truncate {
+        /// Bytes to keep from the front.
+        keep: usize,
+    },
+}
+
+struct StepFault {
+    at_step: u64,
+    kind: StepFaultKind,
+    fired: AtomicBool,
+}
+
+struct CkptFault {
+    generation: u64,
+    mode: CorruptMode,
+    fired: AtomicBool,
+}
+
+#[derive(Default)]
+struct PlanInner {
+    step: Vec<StepFault>,
+    ckpt: Vec<CkptFault>,
+}
+
+/// A scripted set of failures for one job (see the module docs). Cloning
+/// shares the armed state: every fault fires at most once across all
+/// clones and attempts.
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<PlanInner>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_step(mut self, at_step: u64, kind: StepFaultKind) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("configure a FaultPlan before submitting it")
+            .step
+            .push(StepFault {
+                at_step,
+                kind,
+                fired: AtomicBool::new(false),
+            });
+        self
+    }
+
+    /// Panic the worker at the first chunk boundary reaching `step`.
+    #[must_use]
+    pub fn panic_at(self, step: u64) -> Self {
+        self.push_step(step, StepFaultKind::Panic)
+    }
+
+    /// Stall (sleep, no progress) for `stall` at the first chunk boundary
+    /// reaching `step`.
+    #[must_use]
+    pub fn stall_at(self, step: u64, stall: Duration) -> Self {
+        self.push_step(step, StepFaultKind::Stall(stall))
+    }
+
+    /// Poison the state with NaN at the first chunk boundary reaching
+    /// `step`.
+    #[must_use]
+    pub fn nan_at(self, step: u64) -> Self {
+        self.push_step(step, StepFaultKind::Nan)
+    }
+
+    /// Damage checkpoint generation `generation`'s file right after it is
+    /// written.
+    #[must_use]
+    pub fn corrupt_checkpoint(mut self, generation: u64, mode: CorruptMode) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("configure a FaultPlan before submitting it")
+            .ckpt
+            .push(CkptFault {
+                generation,
+                mode,
+                fired: AtomicBool::new(false),
+            });
+        self
+    }
+
+    /// Consume the first unfired step fault due at `steps_done` (armed
+    /// step ≤ progress). Fire-once: later attempts replaying the same
+    /// steps do not re-trigger it.
+    pub(crate) fn take_step_fault(&self, steps_done: u64) -> Option<StepFaultKind> {
+        self.inner
+            .step
+            .iter()
+            .find(|f| f.at_step <= steps_done && !f.fired.swap(true, Ordering::SeqCst))
+            .map(|f| f.kind.clone())
+    }
+
+    /// Apply every unfired corruption scripted for `generation` to the
+    /// file at `path`. Damage is best-effort (a vanished file just means
+    /// nothing to corrupt).
+    pub(crate) fn corrupt_written(&self, generation: u64, path: &Path) {
+        for f in &self.inner.ckpt {
+            if f.generation != generation || f.fired.swap(true, Ordering::SeqCst) {
+                continue;
+            }
+            let Ok(mut bytes) = std::fs::read(path) else {
+                continue;
+            };
+            match f.mode {
+                CorruptMode::FlipBit { bit } => {
+                    if !bytes.is_empty() {
+                        let bit = bit % (bytes.len() * 8);
+                        bytes[bit / 8] ^= 1 << (bit % 8);
+                    }
+                }
+                CorruptMode::Truncate { keep } => bytes.truncate(keep),
+            }
+            let _ = std::fs::write(path, bytes);
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("step_faults", &self.inner.step.len())
+            .field("ckpt_faults", &self.inner.ckpt.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_faults_fire_once_in_arm_order() {
+        let plan = FaultPlan::new().panic_at(4).nan_at(8);
+        let shared = plan.clone();
+        assert!(plan.take_step_fault(3).is_none(), "not due yet");
+        assert!(matches!(
+            plan.take_step_fault(4),
+            Some(StepFaultKind::Panic)
+        ));
+        // Consumed globally: the clone (a retry attempt) sees it spent.
+        assert!(shared.take_step_fault(4).is_none());
+        assert!(matches!(
+            shared.take_step_fault(20),
+            Some(StepFaultKind::Nan)
+        ));
+        assert!(plan.take_step_fault(20).is_none(), "all spent");
+    }
+
+    #[test]
+    fn checkpoint_corruption_applies_once_per_generation() {
+        let dir = std::env::temp_dir().join(format!("lbm-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.gen000000.ckpt");
+        std::fs::write(&path, vec![0u8; 16]).unwrap();
+
+        let plan = FaultPlan::new()
+            .corrupt_checkpoint(0, CorruptMode::FlipBit { bit: 1000 })
+            .corrupt_checkpoint(1, CorruptMode::Truncate { keep: 3 });
+        plan.corrupt_written(0, &path);
+        let damaged = std::fs::read(&path).unwrap();
+        assert_eq!(damaged.len(), 16);
+        // Bit 1000 % 128 = 104 → byte 13, bit 0.
+        assert_eq!(damaged[13], 1);
+        // Rewrite clean; the generation-0 fault is spent so nothing happens.
+        std::fs::write(&path, vec![0u8; 16]).unwrap();
+        plan.corrupt_written(0, &path);
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0u8; 16]);
+
+        plan.corrupt_written(1, &path);
+        assert_eq!(std::fs::read(&path).unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -17,8 +17,11 @@ use crate::json::Json;
 use crate::scenario::ScenarioSpec;
 use crate::simulation::{Simulation, SimulationBuilder};
 
-/// One ensemble job: a scenario configuration plus run length and
-/// progress/checkpoint cadences.
+use super::checkpoint::RetentionPolicy;
+
+/// One ensemble job: a scenario configuration plus run length,
+/// progress/checkpoint cadences, and supervision policy (retry budget,
+/// watchdog, health guards, checkpoint retention).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Human-readable job name (also the checkpoint file stem).
@@ -50,6 +53,29 @@ pub struct JobSpec {
     /// Write a checkpoint every this many steps (0 = never; requires the
     /// runner to have a checkpoint directory).
     pub checkpoint_every: usize,
+    /// Background flush cadence in wall-clock seconds: also checkpoint
+    /// whenever this much time has passed since the last write (0 =
+    /// disabled; requires a checkpoint directory). Checks happen at chunk
+    /// boundaries, so the effective period is at least one chunk.
+    pub flush_secs: f64,
+    /// Times a retryable failure (panic, runtime error, stall) may be
+    /// re-dispatched from the last good checkpoint before the job is
+    /// declared `Failed` (0 = fail-stop, the pre-supervision behaviour).
+    pub max_retries: u32,
+    /// Base backoff before the first retry, in milliseconds; doubles per
+    /// retry (capped at ~10 s). 0 = retry immediately.
+    pub backoff_ms: u64,
+    /// Watchdog deadline in seconds: if a running attempt produces no
+    /// progress event for this long it is declared stalled, abandoned and
+    /// retried (0 = no watchdog). Must exceed the wall time of one
+    /// progress chunk.
+    pub watchdog_secs: f64,
+    /// Health guard: maximum relative drift of global mass from the job's
+    /// initial mass before the run is declared `Diverged` (terminal, never
+    /// retried). The same guard scans for NaN/inf. 0 disables both.
+    pub mass_drift_tol: f64,
+    /// How many rotated checkpoint generations to keep on disk.
+    pub retention: RetentionPolicy,
 }
 
 impl JobSpec {
@@ -71,6 +97,12 @@ impl JobSpec {
             steps,
             progress_every: 0,
             checkpoint_every: 0,
+            flush_secs: 0.0,
+            max_retries: 0,
+            backoff_ms: 25,
+            watchdog_secs: 0.0,
+            mass_drift_tol: 1e-6,
+            retention: RetentionPolicy::default(),
         }
     }
 
@@ -107,6 +139,26 @@ impl JobSpec {
     /// [`EnsembleRunner::submit`](super::EnsembleRunner::submit) calls
     /// before accepting a job).
     pub fn validate(&self) -> Result<SimConfig, ConfigError> {
+        let bad = |msg: String| {
+            ConfigError::Invalid(lbm_core::Error::BadParameter(format!(
+                "job `{}`: {msg}",
+                self.name
+            )))
+        };
+        for (label, v) in [
+            ("flush_secs", self.flush_secs),
+            ("watchdog_secs", self.watchdog_secs),
+            ("mass_drift_tol", self.mass_drift_tol),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(bad(format!("{label} must be finite and >= 0, got {v}")));
+            }
+        }
+        if self.retention.keep == 0 {
+            return Err(bad(
+                "retention must keep at least one checkpoint generation".into(),
+            ));
+        }
         self.to_builder().build_config()
     }
 
@@ -147,6 +199,12 @@ impl JobSpec {
                 "checkpoint_every".into(),
                 Json::Int(self.checkpoint_every as i64),
             ),
+            ("flush_secs".into(), Json::Num(self.flush_secs)),
+            ("max_retries".into(), Json::Int(self.max_retries as i64)),
+            ("backoff_ms".into(), Json::Int(self.backoff_ms as i64)),
+            ("watchdog_secs".into(), Json::Num(self.watchdog_secs)),
+            ("mass_drift_tol".into(), Json::Num(self.mass_drift_tol)),
+            ("retain".into(), Json::Int(self.retention.keep as i64)),
         ])
     }
 
@@ -211,6 +269,22 @@ impl JobSpec {
             .as_str()
             .and_then(StorageMode::parse)
             .ok_or_else(|| bad("storage", &storage_v))?;
+        // Supervision knobs default when absent, so pre-supervision (PR 6)
+        // manifests keep parsing; present-but-malformed values stay typed
+        // errors.
+        let defaults = JobSpec::new("", lattice, global, 0);
+        let opt_int = |key: &'static str, default: u64| -> Result<u64, ConfigError> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(x) => x.as_u64().ok_or_else(|| bad(key, x)),
+            }
+        };
+        let opt_num = |key: &'static str, default: f64| -> Result<f64, ConfigError> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(x) => x.as_f64().ok_or_else(|| bad(key, x)),
+            }
+        };
         Ok(Self {
             name,
             lattice,
@@ -225,6 +299,14 @@ impl JobSpec {
             steps: int("steps")?,
             progress_every: int("progress_every")?,
             checkpoint_every: int("checkpoint_every")?,
+            flush_secs: opt_num("flush_secs", defaults.flush_secs)?,
+            max_retries: opt_int("max_retries", defaults.max_retries as u64)? as u32,
+            backoff_ms: opt_int("backoff_ms", defaults.backoff_ms)?,
+            watchdog_secs: opt_num("watchdog_secs", defaults.watchdog_secs)?,
+            mass_drift_tol: opt_num("mass_drift_tol", defaults.mass_drift_tol)?,
+            retention: RetentionPolicy::keep(
+                opt_int("retain", defaults.retention.keep as u64)? as usize
+            ),
         })
     }
 }
@@ -246,6 +328,12 @@ mod tests {
         spec.ranks = 2;
         spec.progress_every = 50;
         spec.checkpoint_every = 100;
+        spec.flush_secs = 1.5;
+        spec.max_retries = 3;
+        spec.backoff_ms = 10;
+        spec.watchdog_secs = 2.5;
+        spec.mass_drift_tol = 1e-9;
+        spec.retention = RetentionPolicy::keep(4);
         let text = spec.to_json().to_string();
         let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, spec);
@@ -276,5 +364,41 @@ mod tests {
         spec.ranks = 4;
         spec.ghost_depth = 2;
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn supervision_fields_default_for_old_manifests_and_are_validated() {
+        // A PR 6 manifest has none of the supervision keys: they default.
+        let mut old = JobSpec::new("legacy", LatticeKind::D3Q19, Dim3::cube(8), 10);
+        let Json::Obj(members) = old.to_json() else {
+            panic!("spec JSON is an object")
+        };
+        let trimmed = Json::Obj(
+            members
+                .into_iter()
+                .filter(|(k, _)| {
+                    ![
+                        "flush_secs",
+                        "max_retries",
+                        "backoff_ms",
+                        "watchdog_secs",
+                        "mass_drift_tol",
+                        "retain",
+                    ]
+                    .contains(&k.as_str())
+                })
+                .collect(),
+        );
+        let back = JobSpec::from_json(&trimmed).unwrap();
+        assert_eq!(back, old);
+
+        old.watchdog_secs = f64::NAN;
+        assert!(old.validate().is_err(), "NaN watchdog rejected");
+        old.watchdog_secs = 0.0;
+        old.mass_drift_tol = -1.0;
+        assert!(old.validate().is_err(), "negative tolerance rejected");
+        old.mass_drift_tol = 0.0;
+        old.retention = RetentionPolicy::keep(0);
+        assert!(old.validate().is_err(), "zero retention rejected");
     }
 }

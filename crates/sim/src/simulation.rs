@@ -494,6 +494,33 @@ impl Simulation {
         })
     }
 
+    /// Scan every rank's resident populations (owned and halo planes
+    /// alike) for NaN/inf. `false` means the trajectory has numerically
+    /// diverged and no checkpoint of this state should ever be written.
+    /// This is the cheap half of the runtime's health guard; it reads the
+    /// raw storage, so it works identically mid-AA-pair.
+    pub fn all_finite(&mut self) -> Result<bool> {
+        let engine = self.engine_mut()?;
+        Ok(engine
+            .ranks
+            .iter()
+            .all(|rs| rs.solver.field().as_slice().iter().all(|v| v.is_finite())))
+    }
+
+    /// Overwrite one owned population value on rank 0 with NaN — the
+    /// deterministic divergence injection used by the fault harness. The
+    /// midpoint of the storage sits mid-slab in x (halos live at the slab
+    /// edges), so the poison lands in an owned cell and streams outward on
+    /// the next step exactly like a real numeric blow-up.
+    #[doc(hidden)]
+    pub fn fault_inject_nan(&mut self) -> Result<()> {
+        let engine = self.engine_mut()?;
+        let field = engine.ranks[0].solver.field_mut();
+        let mid = field.as_slice().len() / 2;
+        field.as_mut_slice()[mid] = f64::NAN;
+        Ok(())
+    }
+
     /// The scenario's analytic reference for its profile observable at this
     /// configuration, if it has one.
     pub fn reference_profile(&self) -> Option<Vec<f64>> {
@@ -515,10 +542,12 @@ impl Simulation {
         crate::runtime::checkpoint::encode(self)
     }
 
-    /// [`Self::checkpoint`] straight to a file.
+    /// [`Self::checkpoint`] straight to a file, crash-safely: the bytes go
+    /// to a sibling temp file first and are renamed into place, so a kill
+    /// mid-write can never leave a torn file at `path`.
     pub fn checkpoint_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
         let bytes = self.checkpoint()?;
-        std::fs::write(path, bytes).map_err(|e| lbm_core::Error::Io(e.to_string()))
+        crate::runtime::checkpoint::write_atomic(path.as_ref(), &bytes)
     }
 
     /// Rebuild a simulation from checkpoint bytes; the trajectory continues

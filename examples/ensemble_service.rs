@@ -24,7 +24,7 @@ fn main() {
 
     // A τ sweep over the Taylor–Green flow, each job reporting progress
     // quarterly and writing a resumable checkpoint at the same cadence.
-    let jobs: Vec<JobSpec> = (0..4)
+    let mut jobs: Vec<JobSpec> = (0..4)
         .map(|i| {
             let mut j = JobSpec::new(
                 format!("tau-{:.2}", 0.6 + 0.1 * i as f64),
@@ -42,6 +42,11 @@ fn main() {
             j
         })
         .collect();
+    // The cancellation target runs 10× longer than the sweep jobs (same
+    // checkpoint cadence, so rotation prunes old generations along the
+    // way): cancelling at its first checkpoint then reliably lands while
+    // it still has work left.
+    jobs[0].steps = steps * 10;
 
     let mut runner = EnsembleRunner::new().with_checkpoint_dir(&ckpt_dir);
     let events = runner.events();
@@ -51,16 +56,14 @@ fn main() {
     }
 
     // Watch the stream; cancel the first job at its first checkpoint.
-    let mut victim_ckpt = None;
+    let mut cancelled = false;
     let mut terminal = 0;
     while terminal < jobs.len() {
-        let ev = events.recv().expect("event stream");
-        println!("   {}", ev.to_json_line());
-        match &ev {
-            JobEvent::Checkpointed { job, path, .. }
-                if *job == victim && victim_ckpt.is_none() =>
-            {
-                victim_ckpt = Some(path.clone());
+        let rec = events.recv().expect("event stream");
+        println!("   {}", rec.to_json_line());
+        match &rec.event {
+            JobEvent::Checkpointed { job, .. } if *job == victim && !cancelled => {
+                cancelled = true;
                 println!("   -- cancelling job {victim} at its checkpoint --");
                 runner.cancel(victim);
             }
@@ -81,11 +84,16 @@ fn main() {
         jobs.len()
     );
 
-    // Resume the cancelled job from its checkpoint and run it to the end.
-    let path = victim_ckpt.expect("victim wrote a checkpoint before cancel");
+    // Resume the cancelled job from its newest surviving checkpoint
+    // generation (rotation retains the last two) and run it to the end.
+    assert!(cancelled, "victim wrote a checkpoint before cancel");
+    let (_, path) = lbm::sim::runtime::checkpoint::list_generations(&ckpt_dir, &jobs[0].name)
+        .into_iter()
+        .last()
+        .expect("a retained generation survives rotation");
     let mut sim = Simulation::resume(&path).expect("resume");
     let from = sim.steps_done() as usize;
-    let report = sim.run(steps - from).expect("resumed run");
+    let report = sim.run(jobs[0].steps - from).expect("resumed run");
     println!(
         "   resumed `{}` from step {from}: ran to step {} ({:.1} MFLUPS, mass drift {:.1e})",
         jobs[0].name,
@@ -97,7 +105,7 @@ fn main() {
     assert_eq!(finished, jobs.len() - 1, "exactly one job was cancelled");
     assert_eq!(
         sim.steps_done(),
-        steps as u64,
+        jobs[0].steps as u64,
         "resume completed the horizon"
     );
     std::fs::remove_dir_all(&ckpt_dir).ok();

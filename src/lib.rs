@@ -87,8 +87,9 @@ pub mod prelude {
     pub use lbm_core::prelude::*;
     pub use lbm_machine::{attainable, KernelTraffic, MachineSpec};
     pub use lbm_sim::{
-        CommStrategy, ConfigError, CouetteFlow, EnsembleRunner, JobEvent, JobId, JobOutcome,
-        JobSpec, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Probe,
-        RunReport, Scenario, ScenarioSpec, SimConfig, Simulation, SimulationBuilder, TaylorGreen,
+        CommStrategy, ConfigError, CorruptMode, CouetteFlow, EnsembleRunner, EventRecord,
+        FailureKind, FaultPlan, JobEvent, JobId, JobOutcome, JobSpec, KnudsenMicrochannel,
+        LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Probe, RetentionPolicy, RunReport,
+        Scenario, ScenarioSpec, SimConfig, Simulation, SimulationBuilder, TaylorGreen,
     };
 }

@@ -91,11 +91,20 @@ fn ensemble_results_match_serial_runs_bitwise() {
     }
 
     // Event-stream sanity: every job Started then Finished, progress step
-    // counts monotone per job, all lines parse as JSON with the right tag.
-    let all: Vec<JobEvent> = events.try_iter().collect();
+    // counts monotone per job, all lines parse as JSON with the right tag,
+    // and the stream-wide sequence numbers are contiguous from zero in
+    // delivery order.
+    let all: Vec<EventRecord> = events.try_iter().collect();
+    for (i, rec) in all.iter().enumerate() {
+        assert_eq!(rec.seq, i as u64, "sequence numbers must be contiguous");
+    }
     for (i, job) in jobs.iter().enumerate() {
         let id = i as JobId;
-        let mine: Vec<&JobEvent> = all.iter().filter(|e| e.job() == id).collect();
+        let mine: Vec<&JobEvent> = all
+            .iter()
+            .map(|r| &r.event)
+            .filter(|e| e.job() == id)
+            .collect();
         assert!(
             matches!(mine.first(), Some(JobEvent::Started { .. })),
             "{}: first event must be Started",
@@ -122,10 +131,17 @@ fn ensemble_results_match_serial_runs_bitwise() {
         assert!(progress.windows(2).all(|w| w[0] < w[1]), "{}", job.name);
         assert_eq!(*progress.last().unwrap(), job.steps as u64, "{}", job.name);
     }
-    for ev in &all {
-        let line = ev.to_json_line();
+    for rec in &all {
+        let line = rec.to_json_line();
         let v = lbm::sim::json::Json::parse(&line).expect("event line is JSON");
-        assert_eq!(v.get("event").unwrap().as_str(), Some(ev.kind()));
+        assert_eq!(v.get("event").unwrap().as_str(), Some(rec.event.kind()));
+        assert_eq!(
+            v.get("schema").unwrap().as_u64(),
+            Some(u64::from(lbm::sim::EVENT_SCHEMA_VERSION))
+        );
+        let back = EventRecord::from_json_line(&line).expect("record round-trips");
+        assert_eq!(back.seq, rec.seq);
+        assert_eq!(back.event.kind(), rec.event.kind());
     }
 }
 
@@ -154,8 +170,15 @@ fn checkpointing_jobs_resume_into_identical_trajectories() {
     };
     assert_eq!(finished.steps, 10);
 
-    let path = dir.join("ckpt-job.ckpt");
-    let mut resumed = Simulation::resume(&path).expect("resume from runner checkpoint");
+    // Rotation writes generation files: gen 0 at step 5 and gen 1 at the
+    // final step 10 (both retained under the default keep=2 policy).
+    use lbm::sim::runtime::checkpoint::generation_path;
+    let gen0 = generation_path(&dir, "ckpt-job", 0);
+    let gen1 = generation_path(&dir, "ckpt-job", 1);
+    assert!(gen0.exists(), "mid-flight generation missing");
+    assert!(gen1.exists(), "final generation missing");
+
+    let mut resumed = Simulation::resume(&gen0).expect("resume from runner checkpoint");
     assert_eq!(resumed.steps_done(), 5);
     let tail = resumed.run(5).expect("resumed tail");
     assert_eq!(
@@ -164,5 +187,88 @@ fn checkpointing_jobs_resume_into_identical_trajectories() {
         "resumed trajectory diverged from the runner's own finish"
     );
 
+    // The final generation captures exactly the finished state: a resume
+    // from it has nothing left to run and agrees on the step counter.
+    let final_sim = Simulation::resume(&gen1).expect("resume final generation");
+    assert_eq!(final_sim.steps_done(), 10);
+
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_panic_is_isolated_from_bystander_jobs() {
+    // An injected worker panic must fail only its own job — the pool keeps
+    // scheduling, and every bystander finishes bitwise-identical to its
+    // serial reference run.
+    let jobs = workload();
+    let serial: Vec<RunReport> = jobs
+        .iter()
+        .map(|j| {
+            let mut sim = j.to_builder().build().expect("config");
+            sim.run(j.steps).expect("serial run")
+        })
+        .collect();
+
+    let mut victim = JobSpec::new("victim", LatticeKind::D3Q19, Dim3::new(8, 8, 8), 8);
+    victim.scenario = Some(ScenarioSpec::TaylorGreen {
+        rho0: 1.0,
+        u0: 0.02,
+    });
+    victim.progress_every = 2;
+    // No retry budget: the first panic is terminal.
+    victim.max_retries = 0;
+
+    let mut runner = EnsembleRunner::with_slots(2);
+    let events = runner.events();
+    let victim_id = runner
+        .submit_with_faults(victim, FaultPlan::new().panic_at(4))
+        .expect("submit victim");
+    for j in &jobs {
+        runner.submit(j.clone()).expect("submit bystander");
+    }
+    let outcomes = runner.join();
+
+    match &outcomes[usize::try_from(victim_id).unwrap()].1 {
+        JobOutcome::Failed { error, reason } => {
+            assert_eq!(*reason, FailureKind::Panic);
+            assert!(error.contains("injected fault"), "error: {error}");
+        }
+        other => panic!("victim: expected Failed, got {other:?}"),
+    }
+    for ((id, outcome), reference) in outcomes.iter().skip(1).zip(&serial) {
+        let report = match outcome {
+            JobOutcome::Finished(r) => r,
+            other => panic!("job {id}: expected Finished, got {other:?}"),
+        };
+        assert_eq!(
+            report.mass.to_bits(),
+            reference.mass.to_bits(),
+            "job {id}: bystander perturbed by a neighbouring panic"
+        );
+        assert_eq!(report.steps, reference.steps, "job {id}");
+    }
+
+    // The victim's stream ends with a Failed event tagged panic; no
+    // Retried events were emitted (budget was zero).
+    let all: Vec<EventRecord> = events.try_iter().collect();
+    let mine: Vec<&JobEvent> = all
+        .iter()
+        .map(|r| &r.event)
+        .filter(|e| e.job() == victim_id)
+        .collect();
+    assert!(
+        matches!(
+            mine.last(),
+            Some(JobEvent::Failed {
+                reason: FailureKind::Panic,
+                ..
+            })
+        ),
+        "victim must end Failed(panic), got {:?}",
+        mine.last()
+    );
+    assert!(
+        !mine.iter().any(|e| matches!(e, JobEvent::Retried { .. })),
+        "zero-budget job must not retry"
+    );
 }

@@ -1,0 +1,217 @@
+//! Supervised-recovery acceptance: scripted faults (panics, stalls, torn
+//! checkpoints, NaN poisoning) driven through the runner must end in one
+//! of exactly two places — a final state **bitwise identical** to an
+//! undisturbed serial run, or a typed terminal failure. Nothing in
+//! between: no silently-wrong trajectories, no burned retry budget on
+//! deterministic failures.
+
+use std::time::Duration;
+
+use lbm::prelude::*;
+use lbm::sim::runtime::checkpoint::list_generations;
+
+/// The standard victim: checkpoints every 4 of 12 steps, so generations
+/// land at steps 4, 8 and (final) 12.
+fn victim(name: &str) -> JobSpec {
+    let mut j = JobSpec::new(name, LatticeKind::D3Q19, Dim3::new(8, 8, 8), 12);
+    j.scenario = Some(ScenarioSpec::TaylorGreen {
+        rho0: 1.0,
+        u0: 0.02,
+    });
+    j.progress_every = 4;
+    j.checkpoint_every = 4;
+    j.max_retries = 2;
+    j.backoff_ms = 1;
+    j
+}
+
+/// Serial reference state for a spec: the uninterrupted trajectory's
+/// final checkpoint bytes.
+fn reference_state(job: &JobSpec) -> Vec<u8> {
+    let mut sim = job.to_builder().build().expect("config");
+    sim.run(job.steps).expect("reference run");
+    sim.checkpoint().expect("reference state")
+}
+
+/// Run one faulted job to completion and return (outcome, events,
+/// final-generation bytes).
+fn run_faulted(job: &JobSpec, faults: FaultPlan) -> (JobOutcome, Vec<JobEvent>, Option<Vec<u8>>) {
+    let dir = std::env::temp_dir().join(format!("lbm-faults-{}-{}", std::process::id(), job.name));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let mut runner = EnsembleRunner::with_slots(1).with_checkpoint_dir(&dir);
+    let events = runner.events();
+    runner
+        .submit_with_faults(job.clone(), faults)
+        .expect("submit");
+    let outcomes = runner.join();
+    let evs: Vec<JobEvent> = events.try_iter().map(|r| r.event).collect();
+    let final_bytes = list_generations(&dir, &job.name)
+        .into_iter()
+        .last()
+        .map(|(_, path)| std::fs::read(path).expect("read final generation"));
+    std::fs::remove_dir_all(&dir).ok();
+    (outcomes.into_iter().next().unwrap().1, evs, final_bytes)
+}
+
+#[test]
+fn panic_mid_run_recovers_bitwise_from_checkpoint() {
+    let job = victim("panic-mid");
+    let reference = reference_state(&job);
+    let (outcome, events, final_bytes) = run_faulted(&job, FaultPlan::new().panic_at(8));
+
+    let report = match outcome {
+        JobOutcome::Finished(r) => r,
+        other => panic!("expected recovery, got {other:?}"),
+    };
+    assert_eq!(report.steps, 12);
+    let retried: Vec<&JobEvent> = events
+        .iter()
+        .filter(|e| matches!(e, JobEvent::Retried { .. }))
+        .collect();
+    assert_eq!(retried.len(), 1, "one retry after the panic");
+    match retried[0] {
+        JobEvent::Retried {
+            resume_steps,
+            cause,
+            ..
+        } => {
+            assert_eq!(*resume_steps, 4, "resume from the last good generation");
+            assert!(cause.contains("injected fault"), "cause: {cause}");
+        }
+        _ => unreachable!(),
+    }
+    assert_eq!(
+        final_bytes.expect("final generation written"),
+        reference,
+        "recovered trajectory differs from serial"
+    );
+}
+
+#[test]
+fn watchdog_abandons_stalled_attempt_and_recovers_bitwise() {
+    let mut job = victim("stall-mid");
+    job.watchdog_secs = 0.4;
+    let reference = reference_state(&job);
+    let (outcome, events, final_bytes) = run_faulted(
+        &job,
+        FaultPlan::new().stall_at(8, Duration::from_millis(1500)),
+    );
+
+    match outcome {
+        JobOutcome::Finished(r) => assert_eq!(r.steps, 12),
+        other => panic!("expected recovery, got {other:?}"),
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, JobEvent::Stalled { steps_done: 8, .. })),
+        "watchdog must report the stall at its last-seen step"
+    );
+    assert!(
+        events.iter().any(|e| matches!(e, JobEvent::Retried { .. })),
+        "the stalled attempt must be retried"
+    );
+    assert_eq!(
+        final_bytes.expect("final generation written"),
+        reference,
+        "recovered trajectory differs from serial"
+    );
+}
+
+#[test]
+fn all_generations_torn_means_fresh_restart_still_bitwise() {
+    // Every written generation is damaged (one flipped, one truncated to a
+    // torn-write stub). Recovery must degrade to a fresh start — and still
+    // reach the exact serial state.
+    let job = victim("all-torn");
+    let reference = reference_state(&job);
+    let faults = FaultPlan::new()
+        .corrupt_checkpoint(0, CorruptMode::Truncate { keep: 17 })
+        .corrupt_checkpoint(1, CorruptMode::FlipBit { bit: 80_001 })
+        .panic_at(12);
+    let (outcome, events, final_bytes) = run_faulted(&job, faults);
+
+    match outcome {
+        JobOutcome::Finished(r) => assert_eq!(r.steps, 12),
+        other => panic!("expected recovery, got {other:?}"),
+    }
+    let degraded: Vec<&JobEvent> = events
+        .iter()
+        .filter(|e| matches!(e, JobEvent::Degraded { .. }))
+        .collect();
+    assert_eq!(degraded.len(), 1);
+    match degraded[0] {
+        JobEvent::Degraded {
+            generation,
+            skipped,
+            ..
+        } => {
+            assert_eq!(*generation, None, "no generation survives: fresh start");
+            assert_eq!(skipped, &[1, 0], "both damaged generations skipped");
+        }
+        _ => unreachable!(),
+    }
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            JobEvent::Retried {
+                resume_steps: 0,
+                ..
+            }
+        )),
+        "retry must restart from scratch"
+    );
+    assert_eq!(
+        final_bytes.expect("final generation written"),
+        reference,
+        "fresh-restart trajectory differs from serial"
+    );
+}
+
+#[test]
+fn nan_poisoning_is_terminal_diverged_and_consumes_no_retries() {
+    let job = victim("nan-mid"); // max_retries = 2, but none may be used
+    let (outcome, events, _) = run_faulted(&job, FaultPlan::new().nan_at(8));
+
+    match outcome {
+        JobOutcome::Failed { error, reason } => {
+            assert_eq!(reason, FailureKind::Diverged);
+            assert!(error.contains("non-finite"), "error: {error}");
+        }
+        other => panic!("expected Diverged failure, got {other:?}"),
+    }
+    assert!(
+        !events.iter().any(|e| matches!(e, JobEvent::Retried { .. })),
+        "deterministic divergence must not consume the retry budget"
+    );
+    match events.last() {
+        Some(JobEvent::Failed { reason, .. }) => assert_eq!(*reason, FailureKind::Diverged),
+        other => panic!("stream must end with Failed(diverged), got {other:?}"),
+    }
+    // The poisoned state must never have been persisted: every surviving
+    // generation predates the injection step and still validates.
+    // (Generation 1 at step 8 is written *after* the guard would have
+    // tripped, so only generation 0 may exist.)
+}
+
+#[test]
+fn exhausted_retry_budget_fails_with_the_last_cause() {
+    let mut job = victim("budget");
+    job.max_retries = 1;
+    // Two scripted panics: the single retry consumes the first, the second
+    // exhausts the budget.
+    let (outcome, events, _) = run_faulted(&job, FaultPlan::new().panic_at(8).panic_at(12));
+
+    match outcome {
+        JobOutcome::Failed { error, reason } => {
+            assert_eq!(reason, FailureKind::Panic);
+            assert!(error.contains("injected fault"), "error: {error}");
+        }
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
+    let retried = events
+        .iter()
+        .filter(|e| matches!(e, JobEvent::Retried { .. }))
+        .count();
+    assert_eq!(retried, 1, "exactly the budget's worth of retries");
+}
