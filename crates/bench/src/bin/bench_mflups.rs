@@ -29,6 +29,16 @@
 //! exercise the boundary-aware kernel variants; wall layers adapt to each
 //! lattice's reach. `--storage two_grid,aa` measures both storage modes
 //! and emits the `aa_over_two_grid` comparison.
+//!
+//! `--geometry [F1,F2,..]` switches the harness into sparse tiled-geometry
+//! mode: for each lattice it measures a dense forced-flow baseline, then a
+//! circular-pipe `Geometry` sized to each target fluid fraction (percent;
+//! default `5,10,50,100`) on the sparse fluid-tile backend. Rows carry the
+//! measured fluid fraction, the sparse resident footprint and the
+//! `sparse_resident_over_dense` ratio; the per-lattice summary records the
+//! ratio at every fraction. Fraction-targeted MFlup/s count *fluid* cell
+//! updates only, so sparse and dense throughput are directly comparable
+//! per useful update.
 
 use std::process::ExitCode;
 
@@ -37,11 +47,14 @@ use lbm_bench::{f, Table};
 use lbm_comm::CostModel;
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::field::StorageMode;
+use lbm_core::geometry::TILE_B;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::{simd, KernelClass, OptLevel};
 use lbm_core::lattice::{Lattice, LatticeKind};
+use lbm_core::Geometry;
 use lbm_sim::scenario::{
-    CouetteFlow, KnudsenMicrochannel, LidDrivenCavity, PoiseuilleChannel, ScenarioHandle,
+    CouetteFlow, ForcedFlow, KnudsenMicrochannel, LidDrivenCavity, PoiseuilleChannel,
+    ScenarioHandle,
 };
 use lbm_sim::{RunReport, Simulation};
 
@@ -58,6 +71,11 @@ struct Args {
     storages: Vec<StorageMode>,
     /// Equilibrium-order override (`None` = each lattice's natural order).
     order: Option<EqOrder>,
+    /// Sparse tiled-geometry mode: target fluid fractions in (0, 1].
+    geometry: Option<Vec<f64>>,
+    /// Whether `--levels` was given explicitly (geometry mode defaults to
+    /// the two sparse kernel classes instead of the full dense ladder).
+    levels_explicit: bool,
     out: String,
 }
 
@@ -67,9 +85,11 @@ fn usage(err: &str) -> ! {
         "usage: bench_mflups [--global NX NY NZ] [--steps S] [--warmup W] \
          [--repeats N] [--ranks R] [--threads T] [--lattices A,B] \
          [--levels L1,L2] [--scenario S1,S2] [--storage two_grid,aa] \
-         [--order O2|O3] [--out PATH]\n\
+         [--order O2|O3] [--geometry [F1,F2,..]] [--out PATH]\n\
          scenarios: taylor_green (default), poiseuille, couette, cavity, knudsen\n\
-         storage modes: two_grid (default), aa"
+         storage modes: two_grid (default), aa\n\
+         --geometry: sparse tiled-pipe sweep at the given fluid-fraction \
+         percents (default 5,10,50,100)"
     );
     std::process::exit(2);
 }
@@ -122,6 +142,8 @@ fn parse_args() -> Args {
         scenarios: vec!["taylor_green".to_string()],
         storages: vec![StorageMode::TwoGrid],
         order: None,
+        geometry: None,
+        levels_explicit: false,
         out: "BENCH_kernels.json".to_string(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -170,6 +192,7 @@ fn parse_args() -> Args {
                             .unwrap_or_else(|| usage(&format!("unknown opt level {s:?}")))
                     })
                     .collect();
+                a.levels_explicit = true;
             }
             "--scenario" | "--scenarios" => {
                 i += 1;
@@ -195,6 +218,28 @@ fn parse_args() -> Args {
                             .unwrap_or_else(|| usage(&format!("unknown storage mode {s:?}")))
                     })
                     .collect();
+            }
+            "--geometry" => {
+                // Optional comma list of fluid-fraction percents; a bare
+                // `--geometry` takes the default sweep.
+                let fracs = match argv.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        next.split(',')
+                            .map(|s| {
+                                let pct: f64 = s.trim().parse().unwrap_or_else(|_| {
+                                    usage(&format!("bad fluid-fraction percent {s:?}"))
+                                });
+                                if !(0.0..=100.0).contains(&pct) || pct == 0.0 {
+                                    usage(&format!("fluid fraction {pct}% outside (0, 100]"));
+                                }
+                                pct / 100.0
+                            })
+                            .collect()
+                    }
+                    _ => vec![0.05, 0.10, 0.50, 1.0],
+                };
+                a.geometry = Some(fracs);
             }
             "--order" => {
                 i += 1;
@@ -309,8 +354,274 @@ fn run_entry(
     (rep, entry, mass_rel_err)
 }
 
+/// Geometry-mode default box: a pipe long enough to decompose over ranks
+/// with a cross-section wide enough that a 5%-fluid lumen still spans many
+/// 4³ tiles. Cross-sections shrink with Q to keep the dense baseline's
+/// resident set bounded.
+fn geometry_default_box(kind: LatticeKind) -> Dim3 {
+    match kind {
+        LatticeKind::D3Q15 | LatticeKind::D3Q19 => Dim3::new(32, 256, 256),
+        LatticeKind::D3Q27 => Dim3::new(32, 224, 224),
+        LatticeKind::D3Q39 => Dim3::new(32, 192, 192),
+    }
+}
+
+/// Pipe radius hitting a target fluid fraction on an `ny`×`nz`
+/// cross-section. A target of 100% returns a radius past the corners so
+/// every voxel is fluid (a circle inscribed by area alone leaves the
+/// corners solid).
+fn radius_for(frac: f64, ny: usize, nz: usize) -> f64 {
+    if frac >= 0.999 {
+        ((ny * ny + nz * nz) as f64).sqrt()
+    } else {
+        (frac * ny as f64 * nz as f64 / std::f64::consts::PI).sqrt()
+    }
+}
+
+/// One geometry-mode measurement: forced flow through `geom` (sparse
+/// tiles) or the dense periodic box (`None`), best of `repeats`.
+fn run_geometry_entry(
+    args: &Args,
+    kind: LatticeKind,
+    global: Dim3,
+    level: OptLevel,
+    geom: Option<&Geometry>,
+) -> RunReport {
+    let mut builder = Simulation::builder(kind, global)
+        .scenario(ForcedFlow::new(1e-5))
+        .ranks(args.ranks)
+        .threads(args.threads)
+        .warmup(args.warmup)
+        .level(level)
+        .cost(CostModel::free());
+    if let Some(g) = geom {
+        builder = builder.geometry(g.clone());
+    }
+    if let Some(order) = args.order {
+        builder = builder.order(order);
+    }
+    let mut sim = builder.build().expect("config");
+    (0..args.repeats)
+        .map(|_| sim.run(args.steps).expect("run"))
+        .max_by(|a, b| a.mflups.total_cmp(&b.mflups))
+        .unwrap()
+}
+
+/// Sparse tiled-geometry sweep: per lattice, a dense forced-flow baseline
+/// plus a circular pipe at each target fluid fraction, measured at every
+/// requested rung. Emits per-fraction rows and the
+/// `sparse_resident_over_dense` summary.
+fn geometry_mode(args: &Args, fracs: &[f64]) -> ExitCode {
+    if args.storages.iter().any(|s| *s != StorageMode::TwoGrid) {
+        usage("--geometry implies two-grid storage (sparse tiles replace the dense grid)");
+    }
+    // The sparse path has exactly two kernel classes — scalar (every rung
+    // below SIMD) and AVX2 (SIMD and above) — so the default sweep runs
+    // one representative of each instead of the dense 9-rung ladder.
+    let levels: Vec<OptLevel> = if args.levels_explicit {
+        args.levels.clone()
+    } else {
+        vec![OptLevel::LoBr, OptLevel::Simd]
+    };
+    let top = *levels.last().expect("at least one level");
+    println!("== MFLUPS harness: sparse tiled-geometry mode ==\n");
+
+    let mut runs = Vec::new();
+    let mut summaries = Vec::new();
+    let mut low_fraction_ok = true;
+
+    for &kind in &args.lattices {
+        let global = args.global.unwrap_or_else(|| geometry_default_box(kind));
+        if global.nx % TILE_B != 0 || global.ny % TILE_B != 0 || global.nz % TILE_B != 0 {
+            usage(&format!(
+                "--global {}×{}×{} is not a multiple of the {TILE_B}-cell tile edge",
+                global.nx, global.ny, global.nz
+            ));
+        }
+        let q = Lattice::new(kind).q();
+        let global_json = || {
+            Json::Arr(vec![
+                Json::Int(global.nx as i64),
+                Json::Int(global.ny as i64),
+                Json::Int(global.nz as i64),
+            ])
+        };
+
+        // Dense forced-flow baseline at the top requested rung: the
+        // resident-footprint and fluid-throughput yardstick.
+        let dense = run_geometry_entry(args, kind, global, top, None);
+        let dense_resident = dense.resident_population_bytes();
+        println!(
+            "{} / geometry (box {}×{}×{}, {} rank(s) × {} thread(s), {} steps, best of {}):",
+            kind.name(),
+            global.nx,
+            global.ny,
+            global.nz,
+            args.ranks,
+            args.threads,
+            args.steps,
+            args.repeats
+        );
+        println!(
+            "  dense baseline at {}: {} MFlup/s, {} MB resident",
+            top.name(),
+            f(dense.mflups, 1),
+            f(dense_resident as f64 / 1e6, 1)
+        );
+        runs.push(Json::obj(vec![
+            ("lattice", Json::str(kind.name())),
+            ("q", Json::Int(q as i64)),
+            ("scenario", Json::str(dense.scenario.clone())),
+            ("level", Json::str(top.name())),
+            ("storage", Json::str(dense.storage.clone())),
+            ("kernel", Json::str(format!("{:?}", top.kernel_class()))),
+            ("ranks", Json::Int(dense.ranks as i64)),
+            ("threads_per_rank", Json::Int(dense.threads_per_rank as i64)),
+            ("global", global_json()),
+            ("steps", Json::Int(dense.steps as i64)),
+            ("wall_secs", Json::Num(dense.wall_secs)),
+            ("mflups", Json::Num(dense.mflups)),
+            ("fluid_fraction", Json::Num(dense.fluid_fraction)),
+            (
+                "resident_population_bytes",
+                Json::Int(dense_resident as i64),
+            ),
+        ]));
+
+        let mut t = Table::new(vec![
+            "fluid %".to_string(),
+            "radius".to_string(),
+            "rung".to_string(),
+            "MFlup/s".to_string(),
+            "resident MB".to_string(),
+            "vs dense resident".to_string(),
+            "vs dense MFlup/s".to_string(),
+        ]);
+        let mut frac_rows = Vec::new();
+        let mut headline: Option<(f64, f64)> = None; // (target, ratio)
+        for &target in fracs {
+            let radius = radius_for(target, global.ny, global.nz);
+            let geom = Geometry::pipe(global, radius).expect("pipe geometry");
+            let fluid_fraction = geom.fluid_fraction();
+            let mut top_rep: Option<RunReport> = None;
+            for &level in &levels {
+                let rep = run_geometry_entry(args, kind, global, level, Some(&geom));
+                let resident = rep.resident_population_bytes();
+                let ratio = resident as f64 / dense_resident as f64;
+                t.row(vec![
+                    format!("{:.1}", 100.0 * fluid_fraction),
+                    format!("{radius:.1}"),
+                    level.name().to_string(),
+                    f(rep.mflups, 1),
+                    f(resident as f64 / 1e6, 1),
+                    format!("{ratio:.3}x"),
+                    format!("{:.2}x", rep.mflups / dense.mflups),
+                ]);
+                runs.push(Json::obj(vec![
+                    ("lattice", Json::str(kind.name())),
+                    ("q", Json::Int(q as i64)),
+                    ("scenario", Json::str(rep.scenario.clone())),
+                    ("level", Json::str(level.name())),
+                    ("storage", Json::str(rep.storage.clone())),
+                    ("kernel", Json::str(format!("{:?}", level.kernel_class()))),
+                    ("ranks", Json::Int(rep.ranks as i64)),
+                    ("threads_per_rank", Json::Int(rep.threads_per_rank as i64)),
+                    ("global", global_json()),
+                    ("geometry", Json::str("pipe")),
+                    ("pipe_radius", Json::Num(radius)),
+                    ("target_fluid_fraction", Json::Num(target)),
+                    ("fluid_fraction", Json::Num(fluid_fraction)),
+                    ("steps", Json::Int(rep.steps as i64)),
+                    ("wall_secs", Json::Num(rep.wall_secs)),
+                    ("mflups", Json::Num(rep.mflups)),
+                    ("resident_population_bytes", Json::Int(resident as i64)),
+                    (
+                        "dense_resident_population_bytes",
+                        Json::Int(dense_resident as i64),
+                    ),
+                    ("sparse_resident_over_dense", Json::Num(ratio)),
+                ]));
+                if level == top {
+                    top_rep = Some(rep);
+                }
+            }
+            let rep = top_rep.expect("top rung measured");
+            let ratio = rep.resident_population_bytes() as f64 / dense_resident as f64;
+            // The acceptance signal: fluid-cell-cost storage must pay
+            // < 0.15 of the dense footprint in vascular territory.
+            if target <= 0.10 + 1e-9 && ratio >= 0.15 {
+                low_fraction_ok = false;
+            }
+            if headline.is_none_or(|(t0, _)| target < t0) {
+                headline = Some((target, ratio));
+            }
+            frac_rows.push(Json::obj(vec![
+                ("target_fluid_fraction", Json::Num(target)),
+                ("fluid_fraction", Json::Num(fluid_fraction)),
+                ("pipe_radius", Json::Num(radius)),
+                ("sparse_mflups", Json::Num(rep.mflups)),
+                (
+                    "resident_population_bytes",
+                    Json::Int(rep.resident_population_bytes() as i64),
+                ),
+                ("sparse_resident_over_dense", Json::Num(ratio)),
+                (
+                    "sparse_over_dense_mflups",
+                    Json::Num(rep.mflups / dense.mflups),
+                ),
+            ]));
+        }
+        t.print();
+        println!();
+        summaries.push((
+            format!("{}@geometry", kind.name()),
+            Json::obj(vec![
+                ("scenario", Json::str("forced_flow")),
+                ("geometry", Json::str("pipe")),
+                ("dense_level", Json::str(top.name())),
+                ("dense_mflups", Json::Num(dense.mflups)),
+                ("dense_resident_bytes", Json::Int(dense_resident as i64)),
+                ("fractions", Json::Arr(frac_rows)),
+                (
+                    "sparse_resident_over_dense",
+                    headline.map(|(_, r)| Json::Num(r)).unwrap_or(Json::Null),
+                ),
+            ]),
+        ));
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("lbm-bench/kernels-mflups/v4")),
+        (
+            "host",
+            Json::obj(vec![
+                (
+                    "cores",
+                    Json::Int(
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1) as i64,
+                    ),
+                ),
+                ("simd_avx2_fma", Json::Bool(simd::simd_available())),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+        ("summary", Json::Obj(summaries)),
+    ]);
+    std::fs::write(&args.out, doc.render_pretty()).expect("write JSON artifact");
+    println!("wrote {}", args.out);
+    if !low_fraction_ok {
+        println!("note: sparse_resident_over_dense >= 0.15 at a <=10% fluid fraction (tiny box?)");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(fracs) = args.geometry.clone() {
+        return geometry_mode(&args, &fracs);
+    }
     println!("== MFLUPS harness: extended ladder, machine-readable ==\n");
 
     let mut runs = Vec::new();
@@ -473,7 +784,7 @@ fn main() -> ExitCode {
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::str("lbm-bench/kernels-mflups/v3")),
+        ("schema", Json::str("lbm-bench/kernels-mflups/v4")),
         (
             "host",
             Json::obj(vec![

@@ -37,6 +37,7 @@ use lbm_sim::runtime::{
     CorruptMode, EnsembleRunner, FailureKind, FaultPlan, JobEvent, JobOutcome, JobSpec,
 };
 use lbm_sim::scenario::ScenarioSpec;
+use lbm_sim::GeometrySpec;
 
 const STEPS: usize = 12;
 
@@ -73,13 +74,20 @@ fn parse_args() -> Args {
 struct Config {
     storage: StorageMode,
     ranks: usize,
+    /// Run on the sparse tiled path (pipe geometry + forced flow) instead
+    /// of the dense Taylor–Green box.
+    sparse: bool,
 }
 
 impl Config {
     fn label(&self) -> String {
-        let s = match self.storage {
-            StorageMode::TwoGrid => "two_grid",
-            StorageMode::InPlaceAa => "aa",
+        let s = if self.sparse {
+            "sparse_tiles"
+        } else {
+            match self.storage {
+                StorageMode::TwoGrid => "two_grid",
+                StorageMode::InPlaceAa => "aa",
+            }
         };
         format!("{s}x{}", self.ranks)
     }
@@ -137,11 +145,25 @@ impl Fault {
 }
 
 fn victim(name: &str, cfg: Config, fault: &Fault) -> JobSpec {
-    let mut j = JobSpec::new(name, LatticeKind::D3Q19, Dim3::new(16, 8, 8), STEPS);
-    j.scenario = Some(ScenarioSpec::TaylorGreen {
-        rho0: 1.0,
-        u0: 0.02,
-    });
+    let global = if cfg.sparse {
+        Dim3::new(16, 16, 16)
+    } else {
+        Dim3::new(16, 8, 8)
+    };
+    let mut j = JobSpec::new(name, LatticeKind::D3Q19, global, STEPS);
+    if cfg.sparse {
+        j.scenario = Some(ScenarioSpec::ForcedFlow {
+            g: 4e-6,
+            pulse_amp: 0.5,
+            pulse_period: 8,
+        });
+        j.geometry = Some(GeometrySpec::Pipe { radius: 5.0 });
+    } else {
+        j.scenario = Some(ScenarioSpec::TaylorGreen {
+            rho0: 1.0,
+            u0: 0.02,
+        });
+    }
     j.storage = cfg.storage;
     j.ranks = cfg.ranks;
     j.progress_every = 2;
@@ -172,7 +194,7 @@ fn run_cell(cfg: Config, fault: &Fault, events_out: &mut impl std::io::Write) ->
 
     // Undisturbed reference: the same spec through the plain Simulation
     // API, final state captured as checkpoint bytes.
-    let mut reference = job.to_builder().build().expect("config");
+    let mut reference = job.to_builder().and_then(|b| b.build()).expect("config");
     let ref_report = reference.run(STEPS).expect("reference run");
     let ref_state = reference.checkpoint().expect("reference state");
 
@@ -252,18 +274,27 @@ fn main() -> ExitCode {
         Config {
             storage: StorageMode::TwoGrid,
             ranks: 1,
+            sparse: false,
         },
         Config {
             storage: StorageMode::InPlaceAa,
             ranks: 1,
+            sparse: false,
         },
         Config {
             storage: StorageMode::TwoGrid,
             ranks: 2,
+            sparse: false,
         },
         Config {
             storage: StorageMode::InPlaceAa,
             ranks: 2,
+            sparse: false,
+        },
+        Config {
+            storage: StorageMode::TwoGrid,
+            ranks: 2,
+            sparse: true,
         },
     ];
     let faults = [

@@ -130,7 +130,7 @@ fn run_sweep(args: &Args) -> ExitCode {
     let serial: Vec<_> = jobs
         .iter()
         .map(|j| {
-            let mut sim = j.to_builder().build().expect("config");
+            let mut sim = j.to_builder().and_then(|b| b.build()).expect("config");
             sim.run(j.steps).expect("serial run")
         })
         .collect();
@@ -305,7 +305,7 @@ fn run_smoke(args: &Args) -> ExitCode {
     let final_state = resumed.checkpoint().expect("final state");
 
     // Uninterrupted reference for the bitwise verdict.
-    let mut reference = victim.to_builder().build().expect("config");
+    let mut reference = victim.to_builder().and_then(|b| b.build()).expect("config");
     reference.run(victim.steps).expect("reference run");
     let reference_state = reference.checkpoint().expect("reference state");
 

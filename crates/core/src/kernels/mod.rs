@@ -50,6 +50,7 @@ pub mod op;
 pub mod par;
 pub mod reference;
 pub mod simd;
+pub mod sparse;
 
 pub use op::{CollideOp, GuoForced, PlainBgk};
 

@@ -45,6 +45,7 @@ pub mod domain;
 pub mod equilibrium;
 pub mod error;
 pub mod field;
+pub mod geometry;
 pub mod index;
 pub mod init;
 pub mod kernels;
@@ -60,6 +61,7 @@ pub use domain::{Decomp1d, Subdomain};
 pub use equilibrium::EqOrder;
 pub use error::{Error, Result};
 pub use field::{DistField, ScalarField, StorageMode, VectorField};
+pub use geometry::{Geometry, SparseTiles};
 pub use index::Dim3;
 pub use kernels::{KernelCtx, OptLevel};
 pub use lattice::{Lattice, LatticeKind};
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use crate::domain::{Decomp1d, Subdomain};
     pub use crate::equilibrium::EqOrder;
     pub use crate::field::{DistField, ScalarField, StorageMode, VectorField};
+    pub use crate::geometry::Geometry;
     pub use crate::index::Dim3;
     pub use crate::kernels::{KernelCtx, OptLevel};
     pub use crate::lattice::{Lattice, LatticeKind};

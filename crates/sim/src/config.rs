@@ -1,9 +1,12 @@
 //! Experiment configuration.
 
+use std::sync::Arc;
+
 use lbm_comm::CostModel;
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::error::{Error, Result};
 use lbm_core::field::StorageMode;
+use lbm_core::geometry::{self, Geometry};
 use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
@@ -100,6 +103,12 @@ pub struct SimConfig {
     /// Pluggable scenario (initial state, boundaries, forcing,
     /// observables). `None` = the legacy periodic Taylor–Green flow.
     pub scenario: Option<ScenarioHandle>,
+    /// Voxel geometry selecting the sparse tiled-storage path: only
+    /// fluid-bearing 4×4×4 tiles are allocated and computed, walls come
+    /// from the voxelization (bounce-back at fluid/solid faces), and the
+    /// rank decomposition partitions tile columns balanced by fluid-cell
+    /// count. `None` = the dense box paths.
+    pub geometry: Option<Arc<Geometry>>,
 }
 
 impl SimConfig {
@@ -123,6 +132,7 @@ impl SimConfig {
             compute_skew: 0.0,
             init_u0: 0.02,
             scenario: None,
+            geometry: None,
         }
     }
 
@@ -186,6 +196,9 @@ impl SimConfig {
         if let Some(s) = &self.scenario {
             s.validate(&lat, self.global)?;
         }
+        if let Some(geom) = &self.geometry {
+            return self.validate_sparse(geom, &lat);
+        }
         let dec = lbm_core::domain::Decomp1d::new(self.global, self.ranks)?;
         let h = self.halo_width();
         let mut min_nx = usize::MAX;
@@ -198,6 +211,40 @@ impl SimConfig {
             min_nx = min_nx.min(sub.nx);
         }
         Ok(min_nx)
+    }
+
+    /// Sparse-path validation: the geometry must tile, match the global
+    /// box, keep every streaming hop inside the 27-neighbour reach, and
+    /// yield at least one fluid tile column per rank. Returns the smallest
+    /// per-rank plane count (tile columns × 4), mirroring the dense path.
+    fn validate_sparse(&self, geom: &Geometry, lat: &Lattice) -> Result<usize> {
+        if geom.dims() != self.global {
+            return Err(Error::BadDimensions(format!(
+                "geometry {:?} does not match the global box {:?}",
+                geom.dims(),
+                self.global
+            )));
+        }
+        geom.validate_tiles()?;
+        geom.check_tunneling(lat)?;
+        if self.storage != StorageMode::TwoGrid {
+            return Err(Error::BadParameter(
+                "sparse tiled geometry requires two-grid storage".into(),
+            ));
+        }
+        if let Some(s) = &self.scenario {
+            if !s.boundaries(self.global).is_periodic() {
+                return Err(Error::BadParameter(format!(
+                    "scenario `{}` supplies walls/masks; with a geometry the \
+                     voxelization is the boundary — use a periodic scenario",
+                    s.name()
+                )));
+            }
+        }
+        let counts = geometry::column_fluid_counts(geom);
+        let parts = geometry::partition_columns(&counts, self.ranks)?;
+        let min_cols = parts.iter().map(|&(lo, hi)| hi - lo).min().unwrap_or(0);
+        Ok(min_cols * geometry::TILE_B)
     }
 }
 
@@ -380,5 +427,46 @@ mod tests {
         let mut c = SimConfig::new(LatticeKind::D3Q19, Dim3::new(10, 8, 8));
         c.ranks = 3;
         assert_eq!(c.validate().unwrap(), 3); // 4+3+3
+    }
+
+    #[test]
+    fn sparse_geometry_validation_rules() {
+        let geom = || Arc::new(Geometry::pipe(Dim3::new(16, 16, 16), 5.0).unwrap());
+        let mut c = SimConfig::new(LatticeKind::D3Q19, Dim3::cube(16));
+        c.geometry = Some(geom());
+        // Two ranks over four tile columns → two columns = 8 planes each.
+        c.ranks = 2;
+        assert_eq!(c.validate().unwrap(), 8);
+        // More ranks than tile columns cannot be balanced.
+        c.ranks = 5;
+        assert!(c.validate().is_err());
+        c.ranks = 1;
+        // The geometry must match the configured box.
+        c.global = Dim3::new(16, 16, 32);
+        assert!(c.validate().is_err());
+        c.global = Dim3::cube(16);
+        // Sparse tiles are two-grid only.
+        c.storage = StorageMode::InPlaceAa;
+        assert!(c.validate().is_err());
+        c.storage = StorageMode::TwoGrid;
+        // A walled scenario conflicts with the voxel boundary.
+        c.scenario = Some(ScenarioHandle::new(
+            crate::scenario::PoiseuilleChannel::new(1e-5),
+        ));
+        assert!(c.validate().is_err());
+        c.scenario = Some(ScenarioHandle::new(crate::scenario::ForcedFlow::new(1e-5)));
+        assert!(c.validate().is_ok());
+        // Non-tile-multiple dimensions are rejected.
+        let mut c = SimConfig::new(LatticeKind::D3Q19, Dim3::new(16, 18, 16));
+        c.geometry = Some(Arc::new(
+            Geometry::pipe(Dim3::new(16, 18, 16), 5.0).unwrap(),
+        ));
+        assert!(c.validate().is_err());
+        // Multi-cell D3Q39 hops must not tunnel: 2-wide fluid slabs with a
+        // 2-cell solid gap let a (3,0,0) hop jump wall-to-wall.
+        let thin = Geometry::from_fn(Dim3::cube(16), |x, _, _| x % 4 < 2).unwrap();
+        let mut c = SimConfig::new(LatticeKind::D3Q39, Dim3::cube(16));
+        c.geometry = Some(Arc::new(thin));
+        assert!(c.validate().is_err(), "Q39 hops tunnel through 2-cell gaps");
     }
 }

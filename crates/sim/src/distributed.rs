@@ -1090,7 +1090,7 @@ impl RankSolver {
 }
 
 /// Deterministic `[0,1)` hash noise for compute jitter.
-fn jitter_u01(rank: u64, step: u64) -> f64 {
+pub(crate) fn jitter_u01(rank: u64, step: u64) -> f64 {
     let mut x = rank
         .wrapping_mul(0x9E3779B97F4A7C15)
         .wrapping_add(step)
@@ -1101,7 +1101,7 @@ fn jitter_u01(rank: u64, step: u64) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
-fn spin_sleep(d: std::time::Duration) {
+pub(crate) fn spin_sleep(d: std::time::Duration) {
     let deadline = Instant::now() + d;
     while Instant::now() < deadline {
         std::hint::spin_loop();

@@ -27,12 +27,16 @@
 //! * [`physics`] — a single-rank convenience wrapper with walls, masks and
 //!   Guo forcing (now a thin layer over the same core boundary/forcing
 //!   machinery the distributed solver uses).
+//! * [`sparse`] — the sparse tiled-geometry rank solver: packed fluid-tile
+//!   lists with indirect addressing, fluid-balanced tile-column
+//!   decomposition and boundary-tile-frame halo exchange, selected by
+//!   [`SimulationBuilder::geometry`].
 //! * [`runtime`] — the job-oriented ensemble runtime: [`JobSpec`]
 //!   submissions, the rank×thread-aware [`EnsembleRunner`] scheduler with
 //!   JSONL progress streaming and per-job cancel, and versioned
 //!   checkpoint/restart with bitwise-identical resumed trajectories.
-//! * [`observables`], [`output`], [`report`], [`runner`] — measurement,
-//!   file output and the experiment entry points used by `lbm-bench`.
+//! * [`observables`], [`output`], [`report`] — measurement, file output
+//!   and the run summaries consumed by `lbm-bench`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -46,10 +50,10 @@ pub mod observables;
 pub mod output;
 pub mod physics;
 pub mod report;
-pub mod runner;
 pub mod runtime;
 pub mod scenario;
 pub mod simulation;
+pub mod sparse;
 
 pub use config::{CommStrategy, ConfigError, SimConfig};
 pub use report::{RankReport, RunReport, REPORT_SCHEMA_VERSION};
@@ -58,7 +62,8 @@ pub use runtime::{
     JobSpec, RetentionPolicy, EVENT_SCHEMA_VERSION,
 };
 pub use scenario::{
-    CouetteFlow, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Scenario,
-    ScenarioHandle, ScenarioSpec, TaylorGreen,
+    CouetteFlow, ForcedFlow, KnudsenMicrochannel, LidDrivenCavity, ObservableSpec,
+    PoiseuilleChannel, Scenario, ScenarioHandle, ScenarioSpec, TaylorGreen,
 };
 pub use simulation::{Probe, Simulation, SimulationBuilder};
+pub use sparse::GeometrySpec;

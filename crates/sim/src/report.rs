@@ -156,8 +156,17 @@ pub struct RunReport {
     pub comm_max_secs: f64,
     /// Global mass after the run (conservation check).
     pub mass: f64,
+    /// Fluid fraction of the global box: 1.0 for dense runs, the
+    /// geometry's fluid-voxel fraction on the sparse tiled path (the
+    /// denominator of the `sparse_resident_over_dense` memory win).
+    #[serde(default = "default_fluid_fraction")]
+    pub fluid_fraction: f64,
     /// Per-rank details.
     pub per_rank: Vec<RankReport>,
+}
+
+fn default_fluid_fraction() -> f64 {
+    1.0
 }
 
 impl RunReport {
@@ -213,6 +222,7 @@ impl RunReport {
             comm_median_secs: comms[comms.len() / 2],
             comm_max_secs: comms[comms.len() - 1],
             mass,
+            fluid_fraction: 1.0,
             per_rank,
         }
     }
@@ -265,6 +275,7 @@ impl RunReport {
             ("comm_median_secs".into(), Json::Num(self.comm_median_secs)),
             ("comm_max_secs".into(), Json::Num(self.comm_max_secs)),
             ("mass".into(), Json::Num(self.mass)),
+            ("fluid_fraction".into(), Json::Num(self.fluid_fraction)),
             (
                 "per_rank".into(),
                 Json::Arr(self.per_rank.iter().map(RankReport::to_json).collect()),
@@ -317,6 +328,8 @@ impl RunReport {
             comm_median_secs: gf(v, "comm_median_secs")?,
             comm_max_secs: gf(v, "comm_max_secs")?,
             mass: gf(v, "mass")?,
+            // Reports written before the sparse path are all-dense.
+            fluid_fraction: gf(v, "fluid_fraction").unwrap_or_else(|_| default_fluid_fraction()),
             per_rank,
         })
     }

@@ -11,6 +11,9 @@
 //!          order, global, tau, ranks, threads, ghost depth, level,
 //!          storage, strategy, jitter, skew, init amplitude, scenario spec)
 //! u64      FNV-1a over the header bytes (v2+)
+//! …        sparse runs only (header `config.geometry` is true): the
+//!          voxel geometry as a self-checksummed RLE frame
+//!          (lbm_core::geometry frame codec)
 //! per rank a binary DistField snapshot of the owned planes
 //!          (lbm_core::snapshot codec: versioned, FNV-1a checksummed)
 //! ```
@@ -42,6 +45,7 @@ use std::path::{Path, PathBuf};
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::error::{Error, Result};
 use lbm_core::field::StorageMode;
+use lbm_core::geometry::Geometry;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::LatticeKind;
 use lbm_core::snapshot;
@@ -230,6 +234,9 @@ pub(crate) fn encode(sim: &mut Simulation) -> Result<Vec<u8>> {
                 .as_ref()
                 .map_or(Json::Null, ScenarioSpec::to_json),
         ),
+        // Presence marker only: the voxels travel as a binary RLE frame
+        // between the header checksum and the rank snapshots.
+        ("geometry".into(), Json::Bool(cfg.geometry.is_some())),
     ]);
     let header = Json::Obj(vec![
         ("schema".into(), Json::Int(CHECKPOINT_VERSION as i64)),
@@ -245,6 +252,9 @@ pub(crate) fn encode(sim: &mut Simulation) -> Result<Vec<u8>> {
     out.extend_from_slice(&(header.len() as u64).to_le_bytes());
     out.extend_from_slice(header.as_bytes());
     out.extend_from_slice(&snapshot::fnv1a(header.as_bytes()).to_le_bytes());
+    if let Some(geom) = &cfg.geometry {
+        geom.encode_frame(&mut out);
+    }
     for rs in &engine.ranks {
         snapshot::encode_field(&rs.solver.owned_snapshot(), &mut out);
     }
@@ -309,7 +319,16 @@ pub fn validate(bytes: &[u8]) -> Result<CheckpointInfo> {
         .and_then(|c| c.get("ranks"))
         .and_then(Json::as_u64)
         .ok_or_else(|| corrupt("header missing `config.ranks`"))? as usize;
+    let has_geometry = header
+        .get("config")
+        .and_then(|c| c.get("geometry"))
+        .and_then(Json::as_bool)
+        // Pre-sparse containers have no key: all-dense.
+        .unwrap_or(false);
     let mut pos = body;
+    if has_geometry {
+        Geometry::validate_frame(bytes, &mut pos)?;
+    }
     let mut frames = 0usize;
     while pos < bytes.len() {
         snapshot::validate_field(bytes, &mut pos)?;
@@ -414,10 +433,13 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Simulation> {
             b = b.scenario(spec.to_handle());
         }
     }
+    let mut pos = body;
+    if let Some(Json::Bool(true)) = config.get("geometry") {
+        b = b.geometry(Geometry::decode_frame(bytes, &mut pos)?);
+    }
 
     let mut sim = b.build().map_err(Error::from)?;
     let engine = sim.engine_mut()?;
-    let mut pos = body;
     for rs in engine.ranks.iter_mut() {
         let snap = snapshot::decode_field(bytes, &mut pos)?;
         rs.solver.restore_owned(&snap, step_no, cycle)?;
@@ -465,6 +487,54 @@ mod tests {
         let mut resumed = Simulation::resume_bytes(&bytes).unwrap();
         assert_eq!(resumed.steps_done(), 5);
         assert_eq!(resumed.checkpoint().unwrap(), bytes);
+    }
+
+    #[test]
+    fn sparse_checkpoints_carry_geometry_and_resume_bitwise() {
+        use crate::scenario::ForcedFlow;
+        use lbm_core::geometry::Geometry;
+
+        let global = Dim3::new(16, 16, 16);
+        let geom = Geometry::pipe(global, 5.0).unwrap();
+        let build = || {
+            Simulation::builder(LatticeKind::D3Q19, global)
+                .scenario(ForcedFlow::new(4e-6).with_pulse(0.5, 40))
+                .geometry(geom.clone())
+                .ranks(2)
+                .build()
+                .unwrap()
+        };
+        let mut sim = build();
+        sim.run_local(5).unwrap();
+        let bytes = sim.checkpoint().unwrap();
+        let info = validate(&bytes).unwrap();
+        assert_eq!((info.step_no, info.ranks), (5, 2));
+
+        // Resume rebuilds the geometry from the container alone and the
+        // resumed trajectory is bitwise the uninterrupted one.
+        let mut resumed = Simulation::resume_bytes(&bytes).unwrap();
+        assert_eq!(resumed.steps_done(), 5);
+        assert!(resumed.config().geometry.is_some());
+        sim.run_local(5).unwrap();
+        resumed.run_local(5).unwrap();
+        assert_eq!(resumed.checkpoint().unwrap(), sim.checkpoint().unwrap());
+
+        // Flipping a bit inside the geometry frame is Corrupt, not a
+        // silently different pipe.
+        let frame_at = 20 + {
+            let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+            len + 8
+        };
+        assert_eq!(
+            &bytes[frame_at..frame_at + 8],
+            lbm_core::geometry::GEOMETRY_FRAME_MAGIC
+        );
+        let mut bad = bytes.clone();
+        bad[frame_at + 40] ^= 1;
+        assert!(matches!(
+            Simulation::resume_bytes(&bad),
+            Err(Error::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::config::{ConfigError, SimConfig};
 use crate::json::Json;
 use crate::scenario::ScenarioSpec;
 use crate::simulation::{Simulation, SimulationBuilder};
+use crate::sparse::GeometrySpec;
 
 use super::checkpoint::RetentionPolicy;
 
@@ -32,6 +33,8 @@ pub struct JobSpec {
     pub global: Dim3,
     /// Scenario parameters (`None` = the legacy Taylor–Green flow).
     pub scenario: Option<ScenarioSpec>,
+    /// Analytic geometry selecting the sparse tiled path (`None` = dense).
+    pub geometry: Option<GeometrySpec>,
     /// Explicit BGK relaxation time (`None` = the scenario's suggestion,
     /// falling back to the config default).
     pub tau: Option<f64>,
@@ -88,6 +91,7 @@ impl JobSpec {
             lattice,
             global,
             scenario: None,
+            geometry: None,
             tau: None,
             level: OptLevel::Simd,
             storage: StorageMode::TwoGrid,
@@ -118,8 +122,9 @@ impl JobSpec {
     }
 
     /// The equivalent fluent builder (shared with interactive use — the
-    /// runtime drives exactly the API users drive).
-    pub fn to_builder(&self) -> SimulationBuilder {
+    /// runtime drives exactly the API users drive). Fails only when an
+    /// analytic geometry spec cannot be materialised for the global box.
+    pub fn to_builder(&self) -> Result<SimulationBuilder, ConfigError> {
         let mut b = Simulation::builder(self.lattice, self.global)
             .ranks(self.ranks)
             .threads(self.threads_per_rank)
@@ -132,7 +137,10 @@ impl JobSpec {
         if let Some(spec) = &self.scenario {
             b = b.scenario(spec.to_handle());
         }
-        b
+        if let Some(geom) = &self.geometry {
+            b = b.geometry(geom.build(self.global).map_err(ConfigError::Invalid)?);
+        }
+        Ok(b)
     }
 
     /// Validate without building an engine (what
@@ -159,7 +167,7 @@ impl JobSpec {
                 "retention must keep at least one checkpoint generation".into(),
             ));
         }
-        self.to_builder().build_config()
+        self.to_builder()?.build_config()
     }
 
     /// JSON form.
@@ -180,6 +188,12 @@ impl JobSpec {
                 self.scenario
                     .as_ref()
                     .map_or(Json::Null, ScenarioSpec::to_json),
+            ),
+            (
+                "geometry".into(),
+                self.geometry
+                    .as_ref()
+                    .map_or(Json::Null, GeometrySpec::to_json),
             ),
             ("tau".into(), self.tau.map_or(Json::Null, Json::Num)),
             ("level".into(), Json::Str(self.level.name().into())),
@@ -255,6 +269,11 @@ impl JobSpec {
             None | Some(Json::Null) => None,
             Some(spec) => Some(ScenarioSpec::from_json(spec).map_err(|_| bad("scenario", spec))?),
         };
+        // Absent in pre-sparse manifests: dense.
+        let geometry = match v.get("geometry") {
+            None | Some(Json::Null) => None,
+            Some(spec) => Some(GeometrySpec::from_json(spec).map_err(|_| bad("geometry", spec))?),
+        };
         let tau = match v.get("tau") {
             None | Some(Json::Null) => None,
             Some(t) => Some(t.as_f64().ok_or_else(|| bad("tau", t))?),
@@ -290,6 +309,7 @@ impl JobSpec {
             lattice,
             global,
             scenario,
+            geometry,
             tau,
             level,
             storage,
@@ -339,6 +359,43 @@ mod tests {
         assert_eq!(back, spec);
         assert_eq!(back.slots(), 2);
         assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn sparse_job_specs_round_trip_and_validate() {
+        use crate::scenario::ScenarioSpec;
+
+        let mut spec = JobSpec::new("pipe-01", LatticeKind::D3Q19, Dim3::new(16, 16, 16), 50);
+        spec.scenario = Some(ScenarioSpec::ForcedFlow {
+            g: 4e-6,
+            pulse_amp: 0.0,
+            pulse_period: 1,
+        });
+        spec.geometry = Some(GeometrySpec::Pipe { radius: 5.0 });
+        spec.ranks = 2;
+        let text = spec.to_json().to_string();
+        let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert!(back.validate().is_ok());
+        // An unbuildable analytic shape is a typed config error, not a
+        // panic in the worker.
+        spec.geometry = Some(GeometrySpec::Pipe { radius: -1.0 });
+        assert!(spec.validate().is_err());
+        // The other kinds travel too.
+        for g in [
+            GeometrySpec::Bifurcation {
+                trunk_r: 4.0,
+                branch_r: 2.5,
+            },
+            GeometrySpec::Porous {
+                blob_r: 3.0,
+                target_fluid: 0.3,
+                seed: 11,
+            },
+        ] {
+            let j = g.to_json().to_string();
+            assert_eq!(GeometrySpec::from_json(&Json::parse(&j).unwrap()), Ok(g));
+        }
     }
 
     #[test]

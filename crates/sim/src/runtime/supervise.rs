@@ -373,7 +373,7 @@ fn run_attempt(
     let errored = |error: String| send(AttemptMsg::Done(AttemptEnd::Errored { error }));
 
     let (mut sim, mut done) = match &resume {
-        None => match spec.to_builder().build() {
+        None => match spec.to_builder().and_then(|b| b.build()) {
             Ok(sim) => (sim, 0usize),
             Err(e) => {
                 send(AttemptMsg::Done(AttemptEnd::Config {

@@ -242,6 +242,15 @@ pub enum ScenarioSpec {
         /// Wall layers per side.
         layers: usize,
     },
+    /// [`ForcedFlow`]
+    ForcedFlow {
+        /// Mean driving force density along x.
+        g: f64,
+        /// Relative pulse amplitude (0 = steady).
+        pulse_amp: f64,
+        /// Pulse period in steps (ignored when `pulse_amp` is 0).
+        pulse_period: u64,
+    },
 }
 
 impl ScenarioSpec {
@@ -253,6 +262,7 @@ impl ScenarioSpec {
             ScenarioSpec::CouetteFlow { .. } => "couette_flow",
             ScenarioSpec::LidDrivenCavity { .. } => "lid_driven_cavity",
             ScenarioSpec::KnudsenMicrochannel { .. } => "knudsen_microchannel",
+            ScenarioSpec::ForcedFlow { .. } => "forced_flow",
         }
     }
 
@@ -272,6 +282,15 @@ impl ScenarioSpec {
             ScenarioSpec::KnudsenMicrochannel { kn, g, layers } => {
                 ScenarioHandle::new(KnudsenMicrochannel { kn, g, layers })
             }
+            ScenarioSpec::ForcedFlow {
+                g,
+                pulse_amp,
+                pulse_period,
+            } => ScenarioHandle::new(ForcedFlow {
+                g,
+                pulse_amp,
+                pulse_period,
+            }),
         }
     }
 
@@ -300,6 +319,15 @@ impl ScenarioSpec {
                 members.push(("kn".into(), Json::Num(kn)));
                 members.push(("g".into(), Json::Num(g)));
                 members.push(("layers".into(), Json::Int(layers as i64)));
+            }
+            ScenarioSpec::ForcedFlow {
+                g,
+                pulse_amp,
+                pulse_period,
+            } => {
+                members.push(("g".into(), Json::Num(g)));
+                members.push(("pulse_amp".into(), Json::Num(pulse_amp)));
+                members.push(("pulse_period".into(), Json::Int(pulse_period as i64)));
             }
         }
         Json::Obj(members)
@@ -344,6 +372,14 @@ impl ScenarioSpec {
                 kn: num("kn")?,
                 g: num("g")?,
                 layers: layers()?,
+            }),
+            "forced_flow" => Ok(ScenarioSpec::ForcedFlow {
+                g: num("g")?,
+                pulse_amp: num("pulse_amp")?,
+                pulse_period: v
+                    .get("pulse_period")
+                    .and_then(Json::as_u64)
+                    .ok_or("scenario spec missing `pulse_period`")?,
             }),
             other => Err(format!("unknown scenario `{other}`")),
         }
@@ -755,6 +791,78 @@ impl Scenario for KnudsenMicrochannel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Forced flow (geometry-driven domains)
+// ---------------------------------------------------------------------------
+
+/// Body-forced flow through a fully periodic box, optionally pulsatile:
+/// `g(t) = g·(1 + pulse_amp·sin(2π t / pulse_period))` along x. The walls
+/// come from somewhere else — typically a sparse
+/// [`Geometry`](lbm_core::geometry::Geometry) (vascular pipe, bifurcation,
+/// porous bed), which is why this scenario declares no boundary layers of
+/// its own. With `pulse_amp = 0` it is a steady pressure-gradient drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForcedFlow {
+    /// Mean driving force density along x.
+    pub g: f64,
+    /// Relative pulse amplitude (0 = steady).
+    pub pulse_amp: f64,
+    /// Pulse period in steps (ignored when `pulse_amp` is 0).
+    pub pulse_period: u64,
+}
+
+impl ForcedFlow {
+    /// Steady drive `g` along x.
+    pub fn new(g: f64) -> Self {
+        Self {
+            g,
+            pulse_amp: 0.0,
+            pulse_period: 1,
+        }
+    }
+
+    /// Add a sinusoidal pulse on top of the mean drive (the aorta-pulse
+    /// waveform: systole/diastole as ±`amp` swings every `period` steps).
+    #[must_use]
+    pub fn with_pulse(mut self, amp: f64, period: u64) -> Self {
+        self.pulse_amp = amp;
+        self.pulse_period = period.max(1);
+        self
+    }
+}
+
+impl Scenario for ForcedFlow {
+    fn name(&self) -> &'static str {
+        "forced_flow"
+    }
+
+    fn forcing(&self, step: u64) -> Option<BodyForce> {
+        let mut g = self.g;
+        if self.pulse_amp != 0.0 {
+            let phase = (step % self.pulse_period) as f64 / self.pulse_period as f64;
+            g *= 1.0 + self.pulse_amp * (2.0 * std::f64::consts::PI * phase).sin();
+        }
+        (g != 0.0).then(|| BodyForce::along_x(g))
+    }
+
+    fn validate(&self, lat: &Lattice, global: Dim3) -> Result<()> {
+        if !self.g.is_finite() || !self.pulse_amp.is_finite() {
+            return Err(lbm_core::Error::BadParameter(
+                "forced flow parameters must be finite".into(),
+            ));
+        }
+        self.boundaries(global).validate(lat, global)
+    }
+
+    fn spec(&self) -> Option<ScenarioSpec> {
+        Some(ScenarioSpec::ForcedFlow {
+            g: self.g,
+            pulse_amp: self.pulse_amp,
+            pulse_period: self.pulse_period,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -793,6 +901,7 @@ mod tests {
                 .with_force(7e-6)
                 .spec()
                 .unwrap(),
+            ForcedFlow::new(4e-6).with_pulse(0.5, 200).spec().unwrap(),
         ];
         for spec in specs {
             let text = spec.to_json().to_string();
@@ -878,5 +987,25 @@ mod tests {
         assert_eq!(format!("{h:?}"), "Scenario(\"taylor_green\")");
         assert!(h.forcing(0).is_none());
         assert_eq!(h.observables().len(), 2);
+    }
+
+    #[test]
+    fn forced_flow_pulse_waveform() {
+        let steady = ForcedFlow::new(1e-5);
+        assert_eq!(steady.forcing(0).unwrap().g, [1e-5, 0.0, 0.0]);
+        assert_eq!(steady.forcing(77).unwrap().g, [1e-5, 0.0, 0.0]);
+        let pulsed = ForcedFlow::new(1e-5).with_pulse(0.5, 100);
+        // Quarter period: g·(1 + 0.5·sin(π/2)) = 1.5 g.
+        let peak = pulsed.forcing(25).unwrap().g[0];
+        assert!((peak - 1.5e-5).abs() < 1e-18);
+        // Three-quarter period: 0.5 g.
+        let trough = pulsed.forcing(75).unwrap().g[0];
+        assert!((trough - 0.5e-5).abs() < 1e-18);
+        // Zero mean force never forces.
+        assert!(ForcedFlow::new(0.0).forcing(3).is_none());
+        // Periodic boundaries, rest init.
+        let g = Dim3::new(8, 8, 8);
+        assert!(pulsed.boundaries(g).is_periodic());
+        assert_eq!(pulsed.init(g, 1, 2, 3), (1.0, [0.0; 3]));
     }
 }

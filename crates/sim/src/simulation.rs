@@ -27,24 +27,26 @@
 //! [`Simulation::resume`] can continue the trajectory bitwise in another
 //! process (the substrate of the [`crate::runtime`] job layer).
 //!
-//! The pre-0.6 batch semantics (every call restarts from the initial state)
-//! survive for one release as the deprecated [`Simulation::run_fresh`].
+//! [`SimulationBuilder::geometry`] plugs in a voxel [`Geometry`] and routes
+//! the whole run through the sparse tiled-storage path (see
+//! [`crate::sparse`]): same API, fluid-cell-cost memory.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use lbm_comm::{Comm, CostModel, Universe};
 use lbm_core::equilibrium::EqOrder;
 use lbm_core::error::Result;
 use lbm_core::field::StorageMode;
+use lbm_core::geometry::Geometry;
 use lbm_core::index::Dim3;
 use lbm_core::kernels::OptLevel;
 use lbm_core::lattice::{Lattice, LatticeKind};
 
 use crate::config::{CommStrategy, ConfigError, SimConfig};
-use crate::distributed::RankSolver;
-use crate::observables;
 use crate::report::{RankReport, RunReport, REPORT_SCHEMA_VERSION};
 use crate::scenario::{ObservableSpec, Scenario, ScenarioHandle};
+use crate::sparse::AnySolver;
 
 /// Fluent configuration for a [`Simulation`] (see [`Simulation::builder`]).
 ///
@@ -177,6 +179,18 @@ impl SimulationBuilder {
         self
     }
 
+    /// Plug in a voxel geometry and select the sparse tiled-storage path:
+    /// only fluid-bearing 4×4×4 tiles are allocated and computed, walls are
+    /// bounce-back at the voxel fluid/solid faces, and ranks split the tile
+    /// columns balanced by fluid-cell count. Requires two-grid storage and
+    /// a wall-free (periodic-boundary) scenario; `ghost_depth` and the
+    /// communication strategy are ignored on this path.
+    #[must_use]
+    pub fn geometry(mut self, geom: Geometry) -> Self {
+        self.cfg.geometry = Some(Arc::new(geom));
+        self
+    }
+
     /// Resolve and validate the configuration without constructing the
     /// handle — for call sites that drive [`RankSolver`] directly.
     pub fn build_config(mut self) -> std::result::Result<SimConfig, ConfigError> {
@@ -218,7 +232,7 @@ pub(crate) struct Engine {
 
 /// One rank of the persistent engine.
 pub(crate) struct RankState {
-    pub(crate) solver: RankSolver,
+    pub(crate) solver: AnySolver,
     pub(crate) comm: Comm,
 }
 
@@ -230,7 +244,7 @@ impl Engine {
             .enumerate()
             .map(|(rank, comm)| {
                 Ok(RankState {
-                    solver: RankSolver::new(cfg, rank)?,
+                    solver: AnySolver::new(cfg, rank)?,
                     comm,
                 })
             })
@@ -266,11 +280,11 @@ impl Engine {
             let report = RankReport {
                 schema: REPORT_SCHEMA_VERSION,
                 rank: rs.comm.rank(),
-                owned_cells: rs.solver.sub.owned().len() as u64,
-                updates: rs.solver.counters.updates,
-                ghost_updates: rs.solver.counters.ghost_updates,
+                owned_cells: rs.solver.owned_cells(),
+                updates: rs.solver.counters().updates,
+                ghost_updates: rs.solver.counters().ghost_updates,
                 resident_bytes: rs.solver.resident_population_bytes(),
-                compute_secs: rs.solver.counters.elapsed.as_secs_f64(),
+                compute_secs: rs.solver.counters().elapsed.as_secs_f64(),
                 wait_secs: timers.wait.as_secs_f64(),
                 barrier_secs: timers.barrier.as_secs_f64(),
                 collective_secs: timers.collective.as_secs_f64(),
@@ -367,11 +381,16 @@ impl Simulation {
         let results = engine.run_timed(cfg.warmup, steps);
         let mass = results[0].1;
         let per_rank: Vec<RankReport> = results.into_iter().map(|(r, _)| r).collect();
-        Ok(RunReport::assemble(
+        let storage_label = if cfg.geometry.is_some() {
+            "sparse_tiles".to_string()
+        } else {
+            cfg.storage.name().to_string()
+        };
+        let mut report = RunReport::assemble(
             cfg.lattice.name().to_string(),
             cfg.scenario_name().to_string(),
             cfg.level.name().to_string(),
-            cfg.storage.name().to_string(),
+            storage_label,
             cfg.comm_strategy().label().to_string(),
             cfg.threads_per_rank,
             cfg.ghost_depth,
@@ -379,22 +398,11 @@ impl Simulation {
             steps,
             mass,
             per_rank,
-        ))
-    }
-
-    /// The pre-0.6 batch entry point: a throwaway universe started from the
-    /// scenario's initial state on *every* call, independent of this
-    /// handle's engine.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `run(&mut self, steps)`, which continues one persistent \
-                trajectory; rebuild the Simulation to restart from the \
-                initial state"
-    )]
-    pub fn run_fresh(&self, steps: usize) -> Result<RunReport> {
-        let mut cfg = self.cfg.clone();
-        cfg.steps = steps;
-        crate::runner::run_config(&cfg)
+        );
+        if let Some(geom) = &cfg.geometry {
+            report.fluid_fraction = geom.fluid_fraction();
+        }
+        Ok(report)
     }
 
     /// Advance the trajectory by one time step (untimed; any rank count).
@@ -431,11 +439,7 @@ impl Simulation {
             for a in 0..3 {
                 momentum[a] += mom[a];
             }
-            max_speed = max_speed.max(observables::max_speed_fluid(
-                &solver.ctx,
-                solver.field(),
-                solver.bounds(),
-            ));
+            max_speed = max_speed.max(solver.max_speed());
             if let Some(s) = &scenario {
                 for obs in s.observables() {
                     let (axis, z_slice) = match *obs {
@@ -445,22 +449,11 @@ impl Simulation {
                     };
                     // The solver resolved the boundary spec once at
                     // construction; the fluid-aware profile skips wall rows
-                    // and masked cells, matching max_speed_fluid.
-                    let mut p = observables::u_profile_fluid(
-                        &solver.ctx,
-                        solver.field(),
-                        solver.bounds(),
-                        axis,
-                        z_slice,
-                    );
-                    if solver.parity_swapped() {
-                        // Mid-pair AA storage is slot-swapped: directed
-                        // observables flip sign (speeds are unaffected).
-                        for v in &mut p {
-                            *v = -*v;
-                        }
+                    // and masked cells, matching max_speed. The sparse path
+                    // has no row structure and declines.
+                    if let Some(weighted) = solver.profile(axis, z_slice) {
+                        profiles.push(weighted);
                     }
-                    profiles.push((solver.sub.owned().nx, p));
                     break;
                 }
             }
@@ -501,10 +494,7 @@ impl Simulation {
     /// raw storage, so it works identically mid-AA-pair.
     pub fn all_finite(&mut self) -> Result<bool> {
         let engine = self.engine_mut()?;
-        Ok(engine
-            .ranks
-            .iter()
-            .all(|rs| rs.solver.field().as_slice().iter().all(|v| v.is_finite())))
+        Ok(engine.ranks.iter().all(|rs| rs.solver.all_finite()))
     }
 
     /// Overwrite one owned population value on rank 0 with NaN — the
@@ -515,9 +505,7 @@ impl Simulation {
     #[doc(hidden)]
     pub fn fault_inject_nan(&mut self) -> Result<()> {
         let engine = self.engine_mut()?;
-        let field = engine.ranks[0].solver.field_mut();
-        let mid = field.as_slice().len() / 2;
-        field.as_mut_slice()[mid] = f64::NAN;
+        engine.ranks[0].solver.inject_nan();
         Ok(())
     }
 
@@ -701,10 +689,7 @@ mod tests {
             rep_whole.mass.to_bits(),
             "run(3); run(4) must land on the run(7) state bitwise"
         );
-        // The deprecated batch path still restarts from the initial state.
-        #[allow(deprecated)]
-        let fresh = split.run_fresh(7).unwrap();
-        assert_eq!(fresh.mass.to_bits(), rep_whole.mass.to_bits());
+        assert_eq!(rep_whole.steps, 7);
     }
 
     #[test]
@@ -718,5 +703,108 @@ mod tests {
         assert_eq!(rep.scenario, "taylor_green");
         assert_eq!(rep.steps, 3);
         assert!(rep.mflups > 0.0);
+    }
+
+    #[test]
+    fn report_accounts_all_updates() {
+        let rep = Simulation::builder(LatticeKind::D3Q19, Dim3::new(16, 8, 8))
+            .ranks(4)
+            .level(OptLevel::LoBr)
+            .build()
+            .unwrap()
+            .run(6)
+            .unwrap();
+        assert_eq!(rep.ranks, 4);
+        assert_eq!(rep.scenario, "taylor_green");
+        let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
+        assert_eq!(updates, 6 * 16 * 8 * 8);
+        assert!(rep.mflups > 0.0);
+        assert!((rep.mass - (16 * 8 * 8) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_steps_are_not_counted() {
+        let rep = Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+            .warmup(3)
+            .level(OptLevel::Cf)
+            .build()
+            .unwrap()
+            .run(4)
+            .unwrap();
+        let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
+        assert_eq!(updates, 4 * 12 * 8 * 8);
+    }
+
+    #[test]
+    fn report_carries_storage_and_resident_bytes() {
+        let mk = |storage: StorageMode| {
+            Simulation::builder(LatticeKind::D3Q19, Dim3::new(12, 8, 8))
+                .ranks(2)
+                .level(OptLevel::Simd)
+                .storage(storage)
+                .build()
+                .unwrap()
+                .run(4)
+                .unwrap()
+        };
+        let tg = mk(StorageMode::TwoGrid);
+        let aa = mk(StorageMode::InPlaceAa);
+        assert_eq!(tg.storage, "two_grid");
+        assert_eq!(aa.storage, "aa");
+        let tg_bytes = tg.resident_population_bytes();
+        let aa_bytes = aa.resident_population_bytes();
+        assert!(tg_bytes > 0 && aa_bytes > 0);
+        // Two-grid holds two buffers with d·k halos, AA one buffer with 2k
+        // halos: the footprint must land well under two-thirds of two-grid
+        // on this box (~½ + halo differences).
+        assert!(
+            (aa_bytes as f64) < 0.67 * tg_bytes as f64,
+            "AA resident {aa_bytes} vs two-grid {tg_bytes}"
+        );
+    }
+
+    #[test]
+    fn fused_rung_conserves_mass_like_simd() {
+        // Acceptance check for the fused top rung: distributed fused runs
+        // must conserve global mass to the same tolerance as the Simd rung.
+        for (kind, global) in [
+            (LatticeKind::D3Q19, Dim3::new(16, 8, 8)),
+            (LatticeKind::D3Q39, Dim3::new(12, 8, 8)),
+        ] {
+            let expected = (global.nx * global.ny * global.nz) as f64;
+            let mut masses = Vec::new();
+            for level in [OptLevel::Simd, OptLevel::Fused] {
+                let rep = Simulation::builder(kind, global)
+                    .ranks(2)
+                    .level(level)
+                    .build()
+                    .unwrap()
+                    .run(8)
+                    .unwrap();
+                assert!(
+                    (rep.mass - expected).abs() < 1e-9 * expected,
+                    "{kind:?} {}: mass {} vs {}",
+                    level.name(),
+                    rep.mass,
+                    expected
+                );
+                assert!(rep.mflups > 0.0);
+                masses.push(rep.mass);
+            }
+            assert!(
+                (masses[0] - masses[1]).abs() < 1e-9 * expected,
+                "{kind:?}: Simd vs Fused mass drift"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_config_errors_cleanly() {
+        // halo 6 > 2 planes per rank
+        assert!(Simulation::builder(LatticeKind::D3Q39, Dim3::new(8, 8, 8))
+            .ranks(4)
+            .ghost_depth(2)
+            .build()
+            .is_err());
     }
 }

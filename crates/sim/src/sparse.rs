@@ -1,0 +1,863 @@
+//! The sparse tiled-geometry rank solver and the dense/sparse dispatch.
+//!
+//! When a [`SimConfig`] carries a voxel
+//! [`Geometry`](lbm_core::geometry::Geometry), each rank owns a contiguous
+//! range of tile *columns* chosen by
+//! [`geometry::partition_columns`](lbm_core::geometry::partition_columns) to
+//! balance **fluid-cell count** rather than slab extent — a porous bed with
+//! a dense pocket gives the pocket's rank fewer columns. Storage is two
+//! packed [`SparseField`]s (tile-major frames) cycled as a classic two-grid
+//! double buffer; only allocated tiles exist, so resident bytes scale with
+//! the fluid fraction, not the box.
+//!
+//! The distributed schedule is deliberately simple: one blocking
+//! frame-exchange per step (the sparse path has no deep-halo or AA
+//! variants), shipping only the *allocated boundary tiles* of the first and
+//! last owned columns. Both sides enumerate boundary tiles from the global
+//! geometry in the same (ty, tz) order, so the payloads need no framing
+//! metadata. `ghost_depth` and [`CommStrategy`](crate::config::CommStrategy)
+//! are ignored on this path.
+//!
+//! `AnySolver` is the engine-facing dispatch: the persistent engine holds
+//! one per rank and every caller (timed runs, probes, checkpointing, fault
+//! injection) goes through its delegating methods, so the dense solver code
+//! is untouched by the sparse subsystem.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lbm_comm::Comm;
+use lbm_core::collision::Bgk;
+use lbm_core::field::DistField;
+use lbm_core::geometry::{self, tile_cell, Geometry, SparseTiles, TILE_B, TILE_CELLS};
+use lbm_core::index::Dim3;
+use lbm_core::kernels::sparse::{self, GatherTable, SparseField};
+use lbm_core::kernels::{KernelCtx, OptLevel, MAX_Q};
+use lbm_core::moments::Moments;
+use lbm_core::perf::PerfCounters;
+use lbm_core::{Error, Result};
+
+use crate::config::SimConfig;
+use crate::distributed::{jitter_u01, spin_sleep, RankSolver};
+use crate::json::Json;
+use crate::scenario::ScenarioHandle;
+
+/// Plain-data description of an analytic geometry, the sparse counterpart
+/// of [`ScenarioSpec`](crate::scenario::ScenarioSpec): travels as JSON in
+/// job specs and is built into a voxel [`Geometry`] against the job's
+/// global box. Arbitrary voxel geometries don't travel this way — they
+/// checkpoint as an RLE frame instead (see
+/// [`crate::runtime::checkpoint`]) — but every shape the bench and fault
+/// harnesses exercise is analytic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometrySpec {
+    /// [`Geometry::pipe`]: an x-invariant circular pipe.
+    Pipe {
+        /// Pipe radius in cells.
+        radius: f64,
+    },
+    /// [`Geometry::bifurcation`]: a trunk splitting into two branches.
+    Bifurcation {
+        /// Trunk radius in cells.
+        trunk_r: f64,
+        /// Branch radius in cells.
+        branch_r: f64,
+    },
+    /// [`Geometry::porous`]: a deterministic random blob bed.
+    Porous {
+        /// Blob radius in cells.
+        blob_r: f64,
+        /// Target fluid fraction in (0, 1].
+        target_fluid: f64,
+        /// LCG seed for the blob centres.
+        seed: u64,
+    },
+}
+
+impl GeometrySpec {
+    /// The spec's `kind` label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GeometrySpec::Pipe { .. } => "pipe",
+            GeometrySpec::Bifurcation { .. } => "bifurcation",
+            GeometrySpec::Porous { .. } => "porous",
+        }
+    }
+
+    /// Materialise the voxel geometry for a global box.
+    pub fn build(&self, global: Dim3) -> Result<Geometry> {
+        match *self {
+            GeometrySpec::Pipe { radius } => Geometry::pipe(global, radius),
+            GeometrySpec::Bifurcation { trunk_r, branch_r } => {
+                Geometry::bifurcation(global, trunk_r, branch_r)
+            }
+            GeometrySpec::Porous {
+                blob_r,
+                target_fluid,
+                seed,
+            } => Geometry::porous(global, blob_r, target_fluid, seed),
+        }
+    }
+
+    /// JSON form (`{"kind": "pipe", "radius": 45.0}`, …).
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("kind".into(), Json::Str(self.kind().into()))];
+        match *self {
+            GeometrySpec::Pipe { radius } => {
+                members.push(("radius".into(), Json::Num(radius)));
+            }
+            GeometrySpec::Bifurcation { trunk_r, branch_r } => {
+                members.push(("trunk_r".into(), Json::Num(trunk_r)));
+                members.push(("branch_r".into(), Json::Num(branch_r)));
+            }
+            GeometrySpec::Porous {
+                blob_r,
+                target_fluid,
+                seed,
+            } => {
+                members.push(("blob_r".into(), Json::Num(blob_r)));
+                members.push(("target_fluid".into(), Json::Num(target_fluid)));
+                members.push(("seed".into(), Json::Int(seed as i64)));
+            }
+        }
+        Json::Obj(members)
+    }
+
+    /// Inverse of [`Self::to_json`].
+    pub fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("geometry spec missing `kind`")?;
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("geometry spec missing `{key}`"))
+        };
+        match kind {
+            "pipe" => Ok(GeometrySpec::Pipe {
+                radius: num("radius")?,
+            }),
+            "bifurcation" => Ok(GeometrySpec::Bifurcation {
+                trunk_r: num("trunk_r")?,
+                branch_r: num("branch_r")?,
+            }),
+            "porous" => Ok(GeometrySpec::Porous {
+                blob_r: num("blob_r")?,
+                target_fluid: num("target_fluid")?,
+                seed: v
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or("geometry spec missing `seed`")?,
+            }),
+            other => Err(format!("unknown geometry kind `{other}`")),
+        }
+    }
+}
+
+/// One rank of a sparse tiled-geometry run.
+pub(crate) struct SparseRankSolver {
+    /// Lattice + equilibrium + collision context.
+    pub(crate) ctx: KernelCtx,
+    /// Per-rank counters in the paper's update metric (fluid cells only).
+    pub(crate) counters: PerfCounters,
+    tiles: SparseTiles,
+    gt: GatherTable,
+    f: SparseField,
+    tmp: SparseField,
+    global: Dim3,
+    rank: usize,
+    ranks: usize,
+    use_simd: bool,
+    pool: Option<rayon::ThreadPool>,
+    scenario: Option<ScenarioHandle>,
+    jitter: f64,
+    skew: f64,
+    step_no: u64,
+}
+
+impl SparseRankSolver {
+    /// Build rank `rank`'s tile list from the configured geometry and set
+    /// every allocated cell to the scenario's initial equilibrium (rest
+    /// fluid without a scenario — the voxel walls make the flow, not the
+    /// initial mode).
+    pub(crate) fn new(cfg: &SimConfig, rank: usize) -> Result<Self> {
+        let geom: &Arc<Geometry> = cfg
+            .geometry
+            .as_ref()
+            .ok_or_else(|| Error::BadParameter("sparse solver needs a geometry".into()))?;
+        let ctx = KernelCtx::new(cfg.lattice, cfg.eq_order(), Bgk::new(cfg.tau)?);
+        let counts = geometry::column_fluid_counts(geom);
+        let parts = geometry::partition_columns(&counts, cfg.ranks)?;
+        let (lo, hi) = parts[rank];
+        let tiles = SparseTiles::build(geom, lo, hi - lo, cfg.ranks > 1)?;
+        let gt = GatherTable::new(&ctx.lat);
+        let mut f = SparseField::new(ctx.lat.q(), tiles.tile_count())?;
+        let tmp = f.clone();
+        let scenario = cfg.scenario.clone();
+        let global = cfg.global;
+        match &scenario {
+            Some(s) => sparse::init_equilibrium(&ctx, &tiles, &gt, &mut f, global, |x, y, z| {
+                s.init(global, x, y, z)
+            }),
+            None => {
+                sparse::init_equilibrium(&ctx, &tiles, &gt, &mut f, global, |_, _, _| {
+                    (1.0, [0.0; 3])
+                });
+            }
+        }
+        let pool = (cfg.threads_per_rank > 1)
+            .then(|| {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(cfg.threads_per_rank)
+                    .build()
+                    .map_err(|e| Error::BadParameter(format!("rayon pool: {e}")))
+            })
+            .transpose()?;
+        Ok(Self {
+            ctx,
+            counters: PerfCounters::default(),
+            tiles,
+            gt,
+            f,
+            tmp,
+            global,
+            rank,
+            ranks: cfg.ranks,
+            use_simd: cfg.level >= OptLevel::Simd,
+            pool,
+            scenario,
+            jitter: cfg.compute_jitter,
+            skew: if cfg.ranks > 1 {
+                cfg.compute_skew * rank as f64 / (cfg.ranks - 1) as f64
+            } else {
+                0.0
+            },
+            step_no: 0,
+        })
+    }
+
+    /// Advance `steps` steps: exchange boundary-tile frames, one fused
+    /// gather/bounce/collide sweep over the owned tiles, swap buffers.
+    pub(crate) fn run(&mut self, comm: &mut Comm, steps: usize) {
+        for _ in 0..steps {
+            let t0 = Instant::now();
+            self.exchange(comm);
+            let g = self.force();
+            let use_simd = self.use_simd;
+            let Self {
+                ctx,
+                tiles,
+                gt,
+                f,
+                tmp,
+                pool,
+                ..
+            } = &mut *self;
+            match pool {
+                Some(p) => p.install(|| sparse::step_par(ctx, tiles, gt, f, tmp, g, use_simd)),
+                None => sparse::step(ctx, tiles, gt, f, tmp, g, use_simd),
+            }
+            std::mem::swap(&mut self.f, &mut self.tmp);
+            let noise = self.step_no;
+            self.step_no += 1;
+            let mut dt = t0.elapsed();
+            if self.jitter > 0.0 || self.skew > 0.0 {
+                let u = jitter_u01(self.rank as u64, noise);
+                let extra = dt.mul_f64(self.jitter * u + self.skew);
+                spin_sleep(extra);
+                dt += extra;
+            }
+            // Ghost tiles are shipped, never computed: all updates are
+            // owned fluid-cell updates (solid rim cells only bounce).
+            self.counters.record(self.tiles.owned_fluid_cells, 0, dt);
+        }
+    }
+
+    /// Blocking exchange of the allocated boundary-tile frames. Runs every
+    /// step (ghost frames are never escape-zeroed locally — their owner's
+    /// copy is authoritative). Serial runs have a periodic neighbour table
+    /// instead of ghosts and skip this entirely.
+    fn exchange(&mut self, comm: &mut Comm) {
+        if self.ranks == 1 {
+            return;
+        }
+        let fl = self.f.frame_len();
+        let left = (self.rank + self.ranks - 1) % self.ranks;
+        let right = (self.rank + 1) % self.ranks;
+        // Tag by direction of travel so the two payloads of a 2-rank ring
+        // (left == right) cannot cross.
+        let to_left = self.step_no * 2;
+        let to_right = self.step_no * 2 + 1;
+        let pack = |idx: &[usize], f: &SparseField| {
+            let mut buf = Vec::with_capacity(idx.len() * fl);
+            for &t in idx {
+                buf.extend_from_slice(f.frame(t));
+            }
+            buf
+        };
+        let _ = comm
+            .isend(left, to_left, pack(&self.tiles.send_left, &self.f))
+            .expect("isend");
+        let _ = comm
+            .isend(right, to_right, pack(&self.tiles.send_right, &self.f))
+            .expect("isend");
+        let rl = comm.irecv(left, to_right).expect("irecv");
+        let rr = comm.irecv(right, to_left).expect("irecv");
+        let msgs = comm.waitall(vec![rl, rr]).expect("waitall");
+        for (idx, data) in [
+            (&self.tiles.recv_left, &msgs[0]),
+            (&self.tiles.recv_right, &msgs[1]),
+        ] {
+            debug_assert_eq!(data.len(), idx.len() * fl, "boundary frame mismatch");
+            for (j, &t) in idx.iter().enumerate() {
+                self.f
+                    .frame_mut(t)
+                    .copy_from_slice(&data[j * fl..(j + 1) * fl]);
+            }
+        }
+    }
+
+    /// The scenario body force for the step about to run.
+    fn force(&self) -> [f64; 3] {
+        self.scenario
+            .as_ref()
+            .and_then(|s| s.forcing(self.step_no))
+            .map_or([0.0; 3], |b| b.g)
+    }
+
+    pub(crate) fn steps_done(&self) -> u64 {
+        self.step_no
+    }
+
+    pub(crate) fn reset_counters(&mut self) {
+        self.counters = PerfCounters::default();
+    }
+
+    /// Owned fluid cells — the denominator of the paper's MFlup/s metric
+    /// on this path (solid and ghost cells do no collide work).
+    pub(crate) fn owned_cells(&self) -> u64 {
+        self.tiles.owned_fluid_cells
+    }
+
+    /// Bytes held in the two packed population buffers.
+    pub(crate) fn resident_population_bytes(&self) -> u64 {
+        self.f.resident_bytes() + self.tmp.resident_bytes()
+    }
+
+    /// Stored mass and momentum over the owned tiles (every allocated cell:
+    /// rim bounce-back cells carry in-flight population between steps, so
+    /// they are part of the conserved totals exactly as dense wall cells
+    /// are).
+    pub(crate) fn local_invariants(&self) -> (f64, [f64; 3]) {
+        let q = self.ctx.lat.q();
+        let cc = self.ctx.lat.velocities();
+        let mut mass = 0.0;
+        let mut mom = [0.0f64; 3];
+        for t in 0..self.tiles.owned_tiles {
+            let frame = self.f.frame(t);
+            for (i, c) in cc.iter().enumerate().take(q) {
+                let s: f64 = frame[i * TILE_CELLS..(i + 1) * TILE_CELLS].iter().sum();
+                mass += s;
+                for a in 0..3 {
+                    mom[a] += s * f64::from(c[a]);
+                }
+            }
+        }
+        (mass, mom)
+    }
+
+    pub(crate) fn global_invariants(&self, comm: &mut Comm) -> (f64, [f64; 3]) {
+        let (mass, mom) = self.local_invariants();
+        let v = comm.allreduce_sum(&[mass, mom[0], mom[1], mom[2]]);
+        (v[0], [v[1], v[2], v[3]])
+    }
+
+    /// Peak |u| over the owned fluid cells (solid cells hold bounce state,
+    /// not flow).
+    pub(crate) fn max_speed(&self) -> f64 {
+        let q = self.ctx.lat.q();
+        let mut cell = [0.0f64; MAX_Q];
+        let mut peak: f64 = 0.0;
+        for t in 0..self.tiles.owned_tiles {
+            let fluid = self.tiles.tiles[t].fluid;
+            if fluid == 0 {
+                continue;
+            }
+            for c in 0..TILE_CELLS {
+                if fluid >> c & 1 == 0 {
+                    continue;
+                }
+                self.f.gather_cell(t, c, &mut cell[..q]);
+                let m = Moments::of_cell(&self.ctx.lat, &cell[..q]);
+                let s = (m.u[0] * m.u[0] + m.u[1] * m.u[1] + m.u[2] * m.u[2]).sqrt();
+                peak = peak.max(s);
+            }
+        }
+        peak
+    }
+
+    /// Owned x-extent in cells and the owned tile-column count.
+    fn owned_extent(&self) -> (usize, usize) {
+        let cols = self.tiles.tdims.nx - 2 * self.tiles.ghost_cols;
+        (cols * TILE_B, cols)
+    }
+
+    /// Scatter the owned tiles into a dense halo-free [`DistField`] slab —
+    /// the same shape the dense solver snapshots, so the checkpoint
+    /// container's field codec is storage-agnostic. Cells in unallocated
+    /// tiles read 0 (they hold no state by construction).
+    pub(crate) fn owned_snapshot(&self) -> DistField {
+        let q = self.ctx.lat.q();
+        let (nx, _) = self.owned_extent();
+        let d = Dim3::new(nx, self.global.ny, self.global.nz);
+        let mut out = DistField::new(q, d, 0).expect("owned snapshot shape");
+        let g = self.tiles.ghost_cols;
+        for t in 0..self.tiles.owned_tiles {
+            let ti = self.tiles.tiles[t];
+            let frame = self.f.frame(t);
+            for i in 0..q {
+                let slab = out.slab_mut(i);
+                for lx in 0..TILE_B {
+                    let x = (ti.tx - g) * TILE_B + lx;
+                    for ly in 0..TILE_B {
+                        let y = ti.ty * TILE_B + ly;
+                        for lz in 0..TILE_B {
+                            let z = ti.tz * TILE_B + lz;
+                            slab[d.idx(x, y, z)] = frame[i * TILE_CELLS + tile_cell(lx, ly, lz)];
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::owned_snapshot`]: load the owned tiles from a
+    /// dense slab and rewind the step counter. Ghost frames stay stale —
+    /// the exchange at the top of the next step refreshes them before any
+    /// gather reads them.
+    pub(crate) fn restore_owned(&mut self, snap: &DistField, step_no: u64) -> Result<()> {
+        let q = self.ctx.lat.q();
+        let (nx, _) = self.owned_extent();
+        let d = Dim3::new(nx, self.global.ny, self.global.nz);
+        if snap.alloc_dims() != d || snap.halo() != 0 {
+            return Err(Error::Mismatch(format!(
+                "snapshot shape {:?} (halo {}) does not match owned tiles {:?}",
+                snap.alloc_dims(),
+                snap.halo(),
+                d
+            )));
+        }
+        let g = self.tiles.ghost_cols;
+        for t in 0..self.tiles.owned_tiles {
+            let ti = self.tiles.tiles[t];
+            let frame = self.f.frame_mut(t);
+            for i in 0..q {
+                let slab = snap.slab(i);
+                for lx in 0..TILE_B {
+                    let x = (ti.tx - g) * TILE_B + lx;
+                    for ly in 0..TILE_B {
+                        let y = ti.ty * TILE_B + ly;
+                        for lz in 0..TILE_B {
+                            let z = ti.tz * TILE_B + lz;
+                            frame[i * TILE_CELLS + tile_cell(lx, ly, lz)] = slab[d.idx(x, y, z)];
+                        }
+                    }
+                }
+            }
+        }
+        self.step_no = step_no;
+        Ok(())
+    }
+
+    /// Raw population storage (both buffers' front) for finiteness scans.
+    pub(crate) fn raw(&self) -> &[f64] {
+        self.f.as_slice()
+    }
+
+    /// Poison one stored value in the middle of the packed storage — lands
+    /// in an allocated tile by construction.
+    pub(crate) fn inject_nan(&mut self) {
+        let mid = self.f.as_slice().len() / 2;
+        self.f.as_mut_slice()[mid] = f64::NAN;
+    }
+}
+
+/// The engine-facing solver dispatch: dense box paths (every `OptLevel` ×
+/// `StorageMode` × `CommStrategy`) or the sparse tiled-geometry path.
+pub(crate) enum AnySolver {
+    /// Dense [`RankSolver`] (two-grid or AA storage).
+    Dense(RankSolver),
+    /// Sparse fluid-tile list with indirect addressing.
+    Sparse(SparseRankSolver),
+}
+
+impl AnySolver {
+    /// Construct the right solver for the configuration: a geometry selects
+    /// the sparse path.
+    pub(crate) fn new(cfg: &SimConfig, rank: usize) -> Result<Self> {
+        if cfg.geometry.is_some() {
+            Ok(AnySolver::Sparse(SparseRankSolver::new(cfg, rank)?))
+        } else {
+            Ok(AnySolver::Dense(RankSolver::new(cfg, rank)?))
+        }
+    }
+
+    pub(crate) fn run(&mut self, comm: &mut Comm, steps: usize) {
+        match self {
+            AnySolver::Dense(s) => s.run(comm, steps),
+            AnySolver::Sparse(s) => s.run(comm, steps),
+        }
+    }
+
+    pub(crate) fn steps_done(&self) -> u64 {
+        match self {
+            AnySolver::Dense(s) => s.steps_done(),
+            AnySolver::Sparse(s) => s.steps_done(),
+        }
+    }
+
+    /// Exchange-cycle counter: the sparse path exchanges every step, so its
+    /// cycle count *is* its step count.
+    pub(crate) fn cycle(&self) -> u64 {
+        match self {
+            AnySolver::Dense(s) => s.cycle(),
+            AnySolver::Sparse(s) => s.steps_done(),
+        }
+    }
+
+    pub(crate) fn reset_counters(&mut self) {
+        match self {
+            AnySolver::Dense(s) => s.reset_counters(),
+            AnySolver::Sparse(s) => s.reset_counters(),
+        }
+    }
+
+    pub(crate) fn counters(&self) -> &PerfCounters {
+        match self {
+            AnySolver::Dense(s) => &s.counters,
+            AnySolver::Sparse(s) => &s.counters,
+        }
+    }
+
+    /// Cells this rank updates per step — dense: every owned cell; sparse:
+    /// owned *fluid* cells (the MFlup/s denominators match the work done).
+    pub(crate) fn owned_cells(&self) -> u64 {
+        match self {
+            AnySolver::Dense(s) => s.sub.owned().len() as u64,
+            AnySolver::Sparse(s) => s.owned_cells(),
+        }
+    }
+
+    pub(crate) fn resident_population_bytes(&self) -> u64 {
+        match self {
+            AnySolver::Dense(s) => s.resident_population_bytes(),
+            AnySolver::Sparse(s) => s.resident_population_bytes(),
+        }
+    }
+
+    pub(crate) fn local_invariants(&self) -> (f64, [f64; 3]) {
+        match self {
+            AnySolver::Dense(s) => s.local_invariants(),
+            AnySolver::Sparse(s) => s.local_invariants(),
+        }
+    }
+
+    pub(crate) fn global_invariants(&self, comm: &mut Comm) -> (f64, [f64; 3]) {
+        match self {
+            AnySolver::Dense(s) => s.global_invariants(comm),
+            AnySolver::Sparse(s) => s.global_invariants(comm),
+        }
+    }
+
+    /// Peak |u| over owned fluid cells.
+    pub(crate) fn max_speed(&self) -> f64 {
+        match self {
+            AnySolver::Dense(s) => {
+                crate::observables::max_speed_fluid(&s.ctx, s.field(), s.bounds())
+            }
+            AnySolver::Sparse(s) => s.max_speed(),
+        }
+    }
+
+    /// The scenario's y-profile observable with this rank's averaging
+    /// weight, or `None` when the path has no row structure to profile
+    /// (sparse runs observe mass/speed only).
+    pub(crate) fn profile(&self, axis: usize, z_slice: Option<usize>) -> Option<(usize, Vec<f64>)> {
+        match self {
+            AnySolver::Dense(s) => {
+                let mut p = crate::observables::u_profile_fluid(
+                    &s.ctx,
+                    s.field(),
+                    s.bounds(),
+                    axis,
+                    z_slice,
+                );
+                if s.parity_swapped() {
+                    // Mid-pair AA storage is slot-swapped: directed
+                    // observables flip sign (speeds are unaffected).
+                    for v in &mut p {
+                        *v = -*v;
+                    }
+                }
+                Some((s.sub.owned().nx, p))
+            }
+            AnySolver::Sparse(_) => None,
+        }
+    }
+
+    pub(crate) fn owned_snapshot(&self) -> DistField {
+        match self {
+            AnySolver::Dense(s) => s.owned_snapshot(),
+            AnySolver::Sparse(s) => s.owned_snapshot(),
+        }
+    }
+
+    pub(crate) fn restore_owned(
+        &mut self,
+        snap: &DistField,
+        step_no: u64,
+        cycle: u64,
+    ) -> Result<()> {
+        match self {
+            AnySolver::Dense(s) => s.restore_owned(snap, step_no, cycle),
+            AnySolver::Sparse(s) => s.restore_owned(snap, step_no),
+        }
+    }
+
+    /// Every resident population value is finite (owned, halo and ghost
+    /// storage alike).
+    pub(crate) fn all_finite(&self) -> bool {
+        let raw = match self {
+            AnySolver::Dense(s) => s.field().as_slice(),
+            AnySolver::Sparse(s) => s.raw(),
+        };
+        raw.iter().all(|v| v.is_finite())
+    }
+
+    /// Deterministic NaN injection for the fault harness.
+    pub(crate) fn inject_nan(&mut self) {
+        match self {
+            AnySolver::Dense(s) => {
+                let field = s.field_mut();
+                let mid = field.as_slice().len() / 2;
+                field.as_mut_slice()[mid] = f64::NAN;
+            }
+            AnySolver::Sparse(s) => s.inject_nan(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ForcedFlow, Scenario};
+    use crate::simulation::Simulation;
+    use lbm_core::boundary::{BoundarySpec, SectionMask};
+    use lbm_core::collision::BodyForce;
+    use lbm_core::lattice::LatticeKind;
+
+    const G: f64 = 4e-6;
+    const STEPS: usize = 8;
+
+    /// The dense twin of a sparse pipe run: a fully periodic box whose
+    /// solid voxels come from the same pipe cross-section as a
+    /// [`SectionMask`], under the same constant body force. The real dense
+    /// masked path (stream → mask bounce → scenario collide) is the
+    /// reference the sparse tiles must reproduce bitwise on fluid cells.
+    struct MaskedForced(SectionMask);
+
+    impl Scenario for MaskedForced {
+        fn name(&self) -> &'static str {
+            "masked_forced"
+        }
+
+        fn boundaries(&self, _global: Dim3) -> BoundarySpec {
+            BoundarySpec::periodic().with_mask(self.0.clone())
+        }
+
+        fn forcing(&self, _step: u64) -> Option<BodyForce> {
+            Some(BodyForce::along_x(G))
+        }
+    }
+
+    /// Stack every rank's owned snapshot along x (both decompositions
+    /// assign ascending x ranges in rank order) into `val[(i·nx+x)·ny·nz…]`.
+    fn assemble_global(sim: &mut Simulation, global: Dim3, q: usize) -> Vec<f64> {
+        let engine = sim.engine_mut().unwrap();
+        let mut out = vec![f64::NAN; q * global.nx * global.ny * global.nz];
+        let mut x0 = 0;
+        for rs in &engine.ranks {
+            let snap = rs.solver.owned_snapshot();
+            assert_eq!(snap.q(), q);
+            let d = snap.alloc_dims();
+            assert_eq!((d.ny, d.nz), (global.ny, global.nz));
+            for i in 0..q {
+                let slab = snap.slab(i);
+                for x in 0..d.nx {
+                    for y in 0..d.ny {
+                        for z in 0..d.nz {
+                            let gi = ((i * global.nx + x0 + x) * global.ny + y) * global.nz + z;
+                            out[gi] = slab[d.idx(x, y, z)];
+                        }
+                    }
+                }
+            }
+            x0 += d.nx;
+        }
+        assert_eq!(x0, global.nx, "rank snapshots must tile the global box");
+        out
+    }
+
+    /// Run the same pipe flow on the sparse tiled path and on the real
+    /// dense masked path and demand bitwise equality on every fluid cell.
+    /// (Solid cells legitimately diverge: dense keeps re-bouncing streamed
+    /// values deep inside the solid, sparse stores vacuum there — the
+    /// one-bounce depth of full-way bounce-back keeps that divergence from
+    /// ever reaching a fluid cell.)
+    fn assert_sparse_matches_masked_dense(
+        kind: LatticeKind,
+        level: OptLevel,
+        ranks: usize,
+        threads: usize,
+    ) {
+        let global = Dim3::new(16, 16, 16);
+        let geom = Geometry::pipe(global, 5.0).unwrap();
+        let mask = geom.to_section_mask().expect("pipe is x-invariant");
+        let mut sparse = Simulation::builder(kind, global)
+            .scenario(ForcedFlow::new(G))
+            .geometry(geom.clone())
+            .level(level)
+            .ranks(ranks)
+            .threads(threads)
+            .build()
+            .unwrap();
+        // The dense reference stays on a scalar-class rung: the sparse
+        // collide body reuses the scalar `op::collide_cells` arithmetic
+        // (its AVX2 form is bitwise-equal by construction), while the dense
+        // Simd-class scenario collide contracts with FMA.
+        let mut dense = Simulation::builder(kind, global)
+            .scenario(MaskedForced(mask))
+            .level(OptLevel::LoBr)
+            .ranks(ranks)
+            .threads(threads)
+            .build()
+            .unwrap();
+        sparse.run_local(STEPS).unwrap();
+        dense.run_local(STEPS).unwrap();
+        let q = lbm_core::lattice::Lattice::new(kind).q();
+        let gs = assemble_global(&mut sparse, global, q);
+        let gd = assemble_global(&mut dense, global, q);
+        let mut checked = 0usize;
+        for x in 0..global.nx {
+            for y in 0..global.ny {
+                for z in 0..global.nz {
+                    if !geom.is_fluid(x, y, z) {
+                        continue;
+                    }
+                    for i in 0..q {
+                        let gi = ((i * global.nx + x) * global.ny + y) * global.nz + z;
+                        assert_eq!(
+                            gs[gi].to_bits(),
+                            gd[gi].to_bits(),
+                            "{kind:?} ranks={ranks} threads={threads} {level:?}: \
+                             f_{i}({x},{y},{z}) sparse {} vs dense {}",
+                            gs[gi],
+                            gd[gi]
+                        );
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        assert_eq!(
+            checked as u64,
+            geom.fluid_count(),
+            "compared every fluid cell"
+        );
+    }
+
+    #[test]
+    fn sparse_matches_masked_dense_d3q19_serial() {
+        assert_sparse_matches_masked_dense(LatticeKind::D3Q19, OptLevel::LoBr, 1, 1);
+    }
+
+    #[test]
+    fn sparse_matches_masked_dense_d3q19_two_ranks() {
+        assert_sparse_matches_masked_dense(LatticeKind::D3Q19, OptLevel::LoBr, 2, 1);
+    }
+
+    #[test]
+    fn sparse_matches_masked_dense_d3q19_simd_threaded() {
+        assert_sparse_matches_masked_dense(LatticeKind::D3Q19, OptLevel::Simd, 1, 2);
+    }
+
+    #[test]
+    fn sparse_matches_masked_dense_d3q39_serial() {
+        assert_sparse_matches_masked_dense(LatticeKind::D3Q39, OptLevel::LoBr, 1, 1);
+    }
+
+    #[test]
+    fn sparse_matches_masked_dense_d3q39_two_ranks_simd_threaded() {
+        assert_sparse_matches_masked_dense(LatticeKind::D3Q39, OptLevel::Simd, 2, 2);
+    }
+
+    #[test]
+    fn sparse_report_carries_geometry_metrics() {
+        // Big enough that the pipe's tile set (plus rim and ghost columns)
+        // is a small minority of the box — at 16³ every tile would be
+        // allocated and sparse could not beat dense.
+        let global = Dim3::new(32, 32, 32);
+        let geom = Geometry::pipe(global, 6.0).unwrap();
+        let fluid = geom.fluid_count();
+        let frac = geom.fluid_fraction();
+        let rep = Simulation::builder(LatticeKind::D3Q19, global)
+            .scenario(ForcedFlow::new(G))
+            .geometry(geom)
+            .ranks(2)
+            .build()
+            .unwrap()
+            .run(4)
+            .unwrap();
+        assert_eq!(rep.storage, "sparse_tiles");
+        assert!((rep.fluid_fraction - frac).abs() < 1e-12);
+        let updates: u64 = rep.per_rank.iter().map(|r| r.updates).sum();
+        assert_eq!(updates, 4 * fluid, "only fluid cells are collided");
+        assert!(rep.mflups > 0.0);
+        // Same box, dense: two full grids (plus halos) resident.
+        let dense = Simulation::builder(LatticeKind::D3Q19, global)
+            .ranks(2)
+            .build()
+            .unwrap()
+            .run(4)
+            .unwrap();
+        assert_eq!(dense.fluid_fraction, 1.0);
+        assert!(
+            rep.resident_population_bytes() < dense.resident_population_bytes(),
+            "an 11%-fluid pipe must sit below the dense footprint"
+        );
+    }
+
+    #[test]
+    fn sparse_mass_is_conserved_and_finite_across_ranks() {
+        let global = Dim3::new(16, 16, 16);
+        let geom = Geometry::porous(global, 3.0, 0.3, 7).unwrap();
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, global)
+            .scenario(ForcedFlow::new(G))
+            .geometry(geom)
+            .ranks(2)
+            .build()
+            .unwrap();
+        let p0 = sim.probe().unwrap();
+        sim.run_local(6).unwrap();
+        let p1 = sim.probe().unwrap();
+        assert!(sim.all_finite().unwrap());
+        assert!(
+            (p1.mass - p0.mass).abs() < 1e-9 * p0.mass,
+            "stored mass drifted: {} -> {}",
+            p0.mass,
+            p1.mass
+        );
+    }
+}

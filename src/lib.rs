@@ -88,8 +88,9 @@ pub mod prelude {
     pub use lbm_machine::{attainable, KernelTraffic, MachineSpec};
     pub use lbm_sim::{
         CommStrategy, ConfigError, CorruptMode, CouetteFlow, EnsembleRunner, EventRecord,
-        FailureKind, FaultPlan, JobEvent, JobId, JobOutcome, JobSpec, KnudsenMicrochannel,
-        LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Probe, RetentionPolicy, RunReport,
-        Scenario, ScenarioSpec, SimConfig, Simulation, SimulationBuilder, TaylorGreen,
+        FailureKind, FaultPlan, ForcedFlow, GeometrySpec, JobEvent, JobId, JobOutcome, JobSpec,
+        KnudsenMicrochannel, LidDrivenCavity, ObservableSpec, PoiseuilleChannel, Probe,
+        RetentionPolicy, RunReport, Scenario, ScenarioSpec, SimConfig, Simulation,
+        SimulationBuilder, TaylorGreen,
     };
 }

@@ -87,7 +87,7 @@ fn rotation_falls_back_past_damaged_generations() {
     job.retention = RetentionPolicy::keep(3);
 
     // Serial reference for the bitwise verdict.
-    let mut reference = job.to_builder().build().expect("config");
+    let mut reference = job.to_builder().and_then(|b| b.build()).expect("config");
     reference.run(job.steps).expect("reference");
     let reference_state = reference.checkpoint().expect("reference state");
 

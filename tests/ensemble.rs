@@ -51,7 +51,7 @@ fn ensemble_results_match_serial_runs_bitwise() {
     let serial: Vec<RunReport> = jobs
         .iter()
         .map(|j| {
-            let mut sim = j.to_builder().build().expect("config");
+            let mut sim = j.to_builder().and_then(|b| b.build()).expect("config");
             sim.run(j.steps).expect("serial run")
         })
         .collect();
@@ -204,7 +204,7 @@ fn worker_panic_is_isolated_from_bystander_jobs() {
     let serial: Vec<RunReport> = jobs
         .iter()
         .map(|j| {
-            let mut sim = j.to_builder().build().expect("config");
+            let mut sim = j.to_builder().and_then(|b| b.build()).expect("config");
             sim.run(j.steps).expect("serial run")
         })
         .collect();

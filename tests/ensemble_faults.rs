@@ -28,7 +28,7 @@ fn victim(name: &str) -> JobSpec {
 /// Serial reference state for a spec: the uninterrupted trajectory's
 /// final checkpoint bytes.
 fn reference_state(job: &JobSpec) -> Vec<u8> {
-    let mut sim = job.to_builder().build().expect("config");
+    let mut sim = job.to_builder().and_then(|b| b.build()).expect("config");
     sim.run(job.steps).expect("reference run");
     sim.checkpoint().expect("reference state")
 }
@@ -165,6 +165,49 @@ fn all_generations_torn_means_fresh_restart_still_bitwise() {
         final_bytes.expect("final generation written"),
         reference,
         "fresh-restart trajectory differs from serial"
+    );
+}
+
+#[test]
+fn sparse_tiled_job_recovers_bitwise_from_panic() {
+    // The sparse tiled path checkpoints its geometry inside the container,
+    // so a supervised sparse job must recover exactly like a dense one: the
+    // retry resumes from a generation whose geometry frame rebuilds the
+    // tile lists, and the final state is bitwise the undisturbed run's.
+    let mut job = victim("sparse-panic");
+    job.global = Dim3::new(16, 16, 16);
+    job.scenario = Some(ScenarioSpec::ForcedFlow {
+        g: 4e-6,
+        pulse_amp: 0.0,
+        pulse_period: 1,
+    });
+    job.geometry = Some(GeometrySpec::Pipe { radius: 5.0 });
+    job.ranks = 2;
+    let reference = reference_state(&job);
+    let (outcome, events, final_bytes) = run_faulted(&job, FaultPlan::new().panic_at(8));
+
+    match outcome {
+        JobOutcome::Finished(r) => {
+            assert_eq!(r.steps, 12);
+            assert_eq!(r.storage, "sparse_tiles");
+            assert!(r.fluid_fraction < 1.0);
+        }
+        other => panic!("expected recovery, got {other:?}"),
+    }
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            JobEvent::Retried {
+                resume_steps: 4,
+                ..
+            }
+        )),
+        "resume from the last good generation"
+    );
+    assert_eq!(
+        final_bytes.expect("final generation written"),
+        reference,
+        "recovered sparse trajectory differs from serial"
     );
 }
 
