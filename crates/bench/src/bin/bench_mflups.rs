@@ -63,6 +63,11 @@ struct Args {
     steps: usize,
     warmup: usize,
     repeats: usize,
+    /// Minimum measured wall time per entry in seconds (0 disables): after
+    /// the first timed run, the repeat count is raised until the projected
+    /// total measurement span reaches this floor, so short-running entries
+    /// aren't decided by a single noisy sample.
+    min_secs: f64,
     ranks: usize,
     threads: usize,
     lattices: Vec<LatticeKind>,
@@ -83,11 +88,14 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: bench_mflups [--global NX NY NZ] [--steps S] [--warmup W] \
-         [--repeats N] [--ranks R] [--threads T] [--lattices A,B] \
-         [--levels L1,L2] [--scenario S1,S2] [--storage two_grid,aa] \
-         [--order O2|O3] [--geometry [F1,F2,..]] [--out PATH]\n\
+         [--repeats N] [--min-secs SECS] [--ranks R] [--threads T] \
+         [--lattices A,B] [--levels L1,L2] [--scenario S1,S2] \
+         [--storage two_grid,aa] [--order O2|O3] [--geometry [F1,F2,..]] \
+         [--out PATH]\n\
          scenarios: taylor_green (default), poiseuille, couette, cavity, knudsen\n\
          storage modes: two_grid (default), aa\n\
+         --min-secs: raise the repeat count per entry until the measured \
+         span reaches this many seconds (0 = fixed --repeats)\n\
          --geometry: sparse tiled-pipe sweep at the given fluid-fraction \
          percents (default 5,10,50,100)"
     );
@@ -135,6 +143,7 @@ fn parse_args() -> Args {
         steps: 6,
         warmup: 1,
         repeats: 2,
+        min_secs: 0.0,
         ranks: 1,
         threads: 1,
         lattices: LatticeKind::ALL.to_vec(),
@@ -165,6 +174,14 @@ fn parse_args() -> Args {
             "--steps" => a.steps = num(&argv, &mut i, "--steps"),
             "--warmup" => a.warmup = num(&argv, &mut i, "--warmup"),
             "--repeats" => a.repeats = num(&argv, &mut i, "--repeats").max(1),
+            "--min-secs" => {
+                i += 1;
+                a.min_secs = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| usage("--min-secs needs a non-negative number of seconds"));
+            }
             "--ranks" => a.ranks = num(&argv, &mut i, "--ranks"),
             "--threads" => a.threads = num(&argv, &mut i, "--threads"),
             "--lattices" => {
@@ -287,6 +304,56 @@ fn model_bytes_per_cell(level: OptLevel, q: usize, storage: StorageMode) -> usiz
     }
 }
 
+/// Repeat count actually used for one entry: at least `--repeats`, and —
+/// when `--min-secs` is set — enough repeats of a run the length of the
+/// first timed sample for the total measured span to reach that floor.
+/// Calibrating off the first sample keeps the warm-up cost at one run; a
+/// degenerate zero-length first sample falls back to the fixed count.
+fn calibrated_repeats(args: &Args, first_wall_secs: f64) -> usize {
+    if args.min_secs <= 0.0 || first_wall_secs <= 0.0 {
+        return args.repeats;
+    }
+    let needed = (args.min_secs / first_wall_secs).ceil() as usize;
+    args.repeats.max(needed)
+}
+
+/// Best-of-N over `calibrated_repeats` timed runs (standard practice:
+/// minimum wall time, i.e. maximum MFlup/s). Returns the best report and
+/// the repeat count actually used so the artifact can record it.
+fn best_of_calibrated(args: &Args, sim: &mut Simulation, steps: usize) -> (RunReport, usize) {
+    let first = sim.run(steps).expect("run");
+    let repeats = calibrated_repeats(args, first.wall_secs);
+    let best = std::iter::once(first)
+        .chain((1..repeats).map(|_| sim.run(steps).expect("run")))
+        .max_by(|a, b| a.mflups.total_cmp(&b.mflups))
+        .unwrap();
+    (best, repeats)
+}
+
+/// Host description for the artifact header: the machine's detected logical
+/// core count *and* the parallelism this invocation actually used — without
+/// both, a stored artifact can't distinguish "slow machine" from "ran on
+/// one of many cores" when two JSON files are compared.
+fn host_block(args: &Args) -> Json {
+    Json::obj(vec![
+        (
+            "logical_cores",
+            Json::Int(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as i64,
+            ),
+        ),
+        ("ranks", Json::Int(args.ranks as i64)),
+        ("threads_per_rank", Json::Int(args.threads as i64)),
+        (
+            "threads_used",
+            Json::Int((args.ranks * args.threads) as i64),
+        ),
+        ("simd_avx2_fma", Json::Bool(simd::simd_available())),
+    ])
+}
+
 fn run_entry(
     args: &Args,
     kind: LatticeKind,
@@ -310,11 +377,7 @@ fn run_entry(
     }
     let mut sim = builder.build().expect("config");
     let eq_order = sim.config().eq_order();
-    // Best-of-N (standard perf-measurement practice: minimum wall time).
-    let rep = (0..args.repeats)
-        .map(|_| sim.run(args.steps).expect("run"))
-        .max_by(|a, b| a.mflups.total_cmp(&b.mflups))
-        .unwrap();
+    let (rep, repeats) = best_of_calibrated(args, &mut sim, args.steps);
     let q = Lattice::new(kind).q();
     let bytes = model_bytes_per_cell(level, q, storage);
     let achieved_gbs = rep.mflups * 1e6 * bytes as f64 / 1e9;
@@ -340,6 +403,7 @@ fn run_entry(
             ]),
         ),
         ("steps", Json::Int(rep.steps as i64)),
+        ("repeats", Json::Int(repeats as i64)),
         ("wall_secs", Json::Num(rep.wall_secs)),
         ("mflups", Json::Num(rep.mflups)),
         ("mflups_with_ghost", Json::Num(rep.mflups_with_ghost)),
@@ -401,10 +465,7 @@ fn run_geometry_entry(
         builder = builder.order(order);
     }
     let mut sim = builder.build().expect("config");
-    (0..args.repeats)
-        .map(|_| sim.run(args.steps).expect("run"))
-        .max_by(|a, b| a.mflups.total_cmp(&b.mflups))
-        .unwrap()
+    best_of_calibrated(args, &mut sim, args.steps).0
 }
 
 /// Sparse tiled-geometry sweep: per lattice, a dense forced-flow baseline
@@ -591,21 +652,8 @@ fn geometry_mode(args: &Args, fracs: &[f64]) -> ExitCode {
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::str("lbm-bench/kernels-mflups/v4")),
-        (
-            "host",
-            Json::obj(vec![
-                (
-                    "cores",
-                    Json::Int(
-                        std::thread::available_parallelism()
-                            .map(|n| n.get())
-                            .unwrap_or(1) as i64,
-                    ),
-                ),
-                ("simd_avx2_fma", Json::Bool(simd::simd_available())),
-            ]),
-        ),
+        ("schema", Json::str("lbm-bench/kernels-mflups/v5")),
+        ("host", host_block(args)),
         ("runs", Json::Arr(runs)),
         ("summary", Json::Obj(summaries)),
     ]);
@@ -784,21 +832,8 @@ fn main() -> ExitCode {
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::str("lbm-bench/kernels-mflups/v4")),
-        (
-            "host",
-            Json::obj(vec![
-                (
-                    "cores",
-                    Json::Int(
-                        std::thread::available_parallelism()
-                            .map(|n| n.get())
-                            .unwrap_or(1) as i64,
-                    ),
-                ),
-                ("simd_avx2_fma", Json::Bool(simd::simd_available())),
-            ]),
-        ),
+        ("schema", Json::str("lbm-bench/kernels-mflups/v5")),
+        ("host", host_block(&args)),
         ("runs", Json::Arr(runs)),
         ("summary", Json::Obj(summaries)),
     ]);

@@ -1,9 +1,11 @@
-//! Minimal JSON emitter for the machine-readable benchmark artifacts.
+//! Minimal JSON emitter and parser for the machine-readable benchmark
+//! artifacts.
 //!
-//! The workspace is offline (no `serde_json`); the harness needs only to
-//! *write* JSON, so this module provides a tiny value tree with a renderer.
-//! Numbers are emitted via Rust's shortest-roundtrip float formatting;
-//! non-finite floats become `null` (JSON has no NaN/Inf).
+//! The workspace is offline (no `serde_json`); this module provides a tiny
+//! value tree with a renderer, plus the recursive-descent parser the
+//! perf-regression gate needs to *read* committed artifacts back. Numbers
+//! are emitted via Rust's shortest-roundtrip float formatting; non-finite
+//! floats become `null` (JSON has no NaN/Inf).
 
 use std::fmt::Write as _;
 
@@ -50,6 +52,45 @@ impl Json {
         self.write(&mut out, Some(2), 0);
         out.push('\n');
         out
+    }
+
+    /// Parse a JSON document. Integers without fraction/exponent parse as
+    /// [`Json::Int`], everything else numeric as [`Json::Num`]. Returns a
+    /// byte offset + message on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64 (`Int` widened), else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// String value, else `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -109,6 +150,161 @@ fn write_seq(
         }
     }
     out.push(close);
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                pairs.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        // Artifacts never contain surrogate pairs; map
+                        // unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (multi-byte sequences intact).
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    if *pos == start {
+        return Err(format!("expected value at byte {start}"));
+    }
+    if !fractional {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
 }
 
 fn write_escaped(out: &mut String, s: &str) {
@@ -174,5 +370,69 @@ mod tests {
     fn empty_containers_stay_compact() {
         assert_eq!(Json::Arr(vec![]).render_pretty(), "[]\n");
         assert_eq!(Json::Obj(vec![]).render(), "{}");
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_artifacts() {
+        let doc = Json::obj(vec![
+            ("schema", Json::str("lbm-bench/kernels-mflups/v5")),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("n", Json::Int(-42)),
+            ("x", Json::Num(0.7118)),
+            (
+                "summary",
+                Json::obj(vec![(
+                    "D3Q19",
+                    Json::obj(vec![("aa_over_two_grid", Json::Num(0.86))]),
+                )]),
+            ),
+            ("arr", Json::Arr(vec![Json::Int(1), Json::Num(2.5)])),
+        ]);
+        for rendered in [doc.render(), doc.render_pretty()] {
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back.render(), doc.render());
+        }
+    }
+
+    #[test]
+    fn parse_accessors_walk_nested_objects() {
+        let v =
+            Json::parse(r#"{"summary":{"D3Q19":{"aa_over_two_grid":0.86,"name":"aa"}}}"#).unwrap();
+        let entry = v.get("summary").and_then(|s| s.get("D3Q19")).unwrap();
+        assert_eq!(
+            entry.get("aa_over_two_grid").and_then(Json::as_f64),
+            Some(0.86)
+        );
+        assert_eq!(entry.get("name").and_then(Json::as_str), Some("aa"));
+        assert_eq!(v.get("missing").map(|_| ()), None);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_rejects_garbage() {
+        let v = Json::parse(r#"["a\"b\\c\nd", "A"]"#).unwrap();
+        match v {
+            Json::Arr(items) => {
+                assert_eq!(items[0].as_str(), Some("a\"b\\c\nd"));
+                assert_eq!(items[1].as_str(), Some("A"));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(Json::parse("{\"k\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("true false").is_err());
+    }
+
+    #[test]
+    fn parse_distinguishes_ints_from_floats() {
+        assert!(matches!(Json::parse("7").unwrap(), Json::Int(7)));
+        assert!(matches!(Json::parse("-7").unwrap(), Json::Int(-7)));
+        assert!(matches!(Json::parse("7.0").unwrap(), Json::Num(_)));
+        assert!(matches!(Json::parse("1e3").unwrap(), Json::Num(_)));
+        // i64-overflowing integers degrade to floats instead of failing.
+        assert!(matches!(
+            Json::parse("99999999999999999999").unwrap(),
+            Json::Num(_)
+        ));
     }
 }

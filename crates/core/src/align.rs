@@ -1,16 +1,59 @@
-//! 64-byte aligned `f64` buffers.
+//! 64-byte aligned `f64` buffers with huge-page backing for large fields.
 //!
 //! The paper's SIMD rung (double-hummer on BG/P, QPX on BG/Q) requires 16- and
 //! 32-byte aligned loads; AVX2 prefers 32 and a cache line is 64, so the slabs
 //! backing [`crate::field::DistField`] are allocated on 64-byte boundaries.
 //! Alignment also keeps every velocity slab starting on a fresh cache line,
 //! which matters for the stream kernel's slab-at-a-time copies.
+//!
+//! Buffers of at least [`HUGE_BYTES`] are additionally aligned to a 2 MiB
+//! boundary and advised towards transparent huge pages before first touch.
+//! With 4 KiB pages only the low 12 address bits survive virtual→physical
+//! translation, so which L2 sets two slabs collide in is decided by page
+//! allocation luck and varies run to run; 2 MiB pages extend the identity
+//! mapping to bit 20, making the cache-set geometry of a field deterministic
+//! and letting the anti-aliasing slab pad (see [`crate::field`]) govern L2 as
+//! well as L1. The advice is best-effort: on kernels without transparent huge
+//! pages the syscall fails silently and plain pages are used.
 
-use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::ops::{Deref, DerefMut};
 
 /// Cache-line alignment used for all numeric slabs (bytes).
 pub const ALIGN: usize = 64;
+
+/// Buffers of at least this many bytes are 2 MiB-aligned and madvised to
+/// transparent huge pages (the x86-64 huge page size).
+pub const HUGE_BYTES: usize = 2 * 1024 * 1024;
+
+/// Best-effort `madvise(MADV_HUGEPAGE)` on `[ptr, ptr+bytes)`.
+///
+/// Issued as a raw syscall so the core crate stays dependency-free; advisory
+/// only, so a failing or unsupported call changes nothing but performance.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn advise_huge(ptr: *mut u8, bytes: usize) {
+    const SYS_MADVISE: usize = 28;
+    const MADV_HUGEPAGE: usize = 14;
+    let ret: isize;
+    // SAFETY: madvise on an owned, mapped range; advisory semantics mean the
+    // kernel either applies the hint or returns an error we ignore.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MADVISE => ret,
+            in("rdi") ptr,
+            in("rsi") bytes,
+            in("rdx") MADV_HUGEPAGE,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+    }
+    let _ = ret;
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn advise_huge(_ptr: *mut u8, _bytes: usize) {}
 
 /// A fixed-length, zero-initialised, 64-byte aligned `f64` buffer.
 ///
@@ -52,10 +95,18 @@ impl AlignedBuf {
         }
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size (len > 0) and valid alignment.
-        let raw = unsafe { alloc_zeroed(layout) };
+        let raw = unsafe { alloc(layout) };
         if raw.is_null() {
             handle_alloc_error(layout);
         }
+        // Advise huge pages *before* first touch: the zeroing pass below then
+        // faults the pages in under the hint, which is when the kernel decides
+        // the page size.
+        if layout.size() >= HUGE_BYTES {
+            advise_huge(raw, layout.size());
+        }
+        // SAFETY: `raw` is a live allocation of `layout.size()` bytes.
+        unsafe { std::ptr::write_bytes(raw, 0, layout.size()) };
         Self {
             ptr: raw.cast::<f64>(),
             len,
@@ -63,8 +114,13 @@ impl AlignedBuf {
     }
 
     fn layout(len: usize) -> Layout {
-        Layout::from_size_align(len * std::mem::size_of::<f64>(), ALIGN)
-            .expect("aligned layout overflow")
+        let bytes = len * std::mem::size_of::<f64>();
+        let align = if bytes >= HUGE_BYTES {
+            HUGE_BYTES
+        } else {
+            ALIGN
+        };
+        Layout::from_size_align(bytes, align).expect("aligned layout overflow")
     }
 
     /// Number of doubles in the buffer.
@@ -155,6 +211,15 @@ mod tests {
             assert_eq!(b.len(), len);
             assert!(b.iter().all(|&x| x == 0.0));
         }
+    }
+
+    #[test]
+    fn huge_allocations_are_two_mebibyte_aligned_and_zeroed() {
+        // One double past the threshold so layout().size() >= HUGE_BYTES.
+        let len = HUGE_BYTES / std::mem::size_of::<f64>();
+        let b = AlignedBuf::new(len);
+        assert_eq!(b.as_ptr() as usize % HUGE_BYTES, 0);
+        assert!(b.iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -81,7 +81,23 @@ pub struct DistField {
     owned_nx: usize,
     halo: usize,
     slab_len: usize,
+    slab_stride: usize,
     data: AlignedBuf,
+}
+
+/// Distance in points between consecutive velocity slabs: `len` rounded up
+/// to a 64-byte boundary, then padded so the byte stride is an *odd*
+/// multiple of the cache-line size. Grid boxes with power-of-two planes
+/// otherwise make every slab's row `(x, y)` land on the same L1/L2 set
+/// (the stride is a multiple of 4 KiB), so the Q-row working set of the
+/// structure-of-arrays kernels thrashes a single associativity set; an odd
+/// line offset walks successive slabs across all 64 line slots of a page.
+fn pad_stride(len: usize) -> usize {
+    let mut stride = len.next_multiple_of(8);
+    if (stride / 8) % 2 == 0 {
+        stride += 8;
+    }
+    stride
 }
 
 impl DistField {
@@ -98,13 +114,15 @@ impl DistField {
         }
         let alloc = Dim3::new(owned.nx + 2 * halo, owned.ny, owned.nz);
         let slab_len = alloc.len();
-        let data = AlignedBuf::new(q * slab_len);
+        let slab_stride = pad_stride(slab_len);
+        let data = AlignedBuf::new(q * slab_stride);
         Ok(Self {
             q,
             alloc,
             owned_nx: owned.nx,
             halo,
             slab_len,
+            slab_stride,
             data,
         })
     }
@@ -139,10 +157,19 @@ impl DistField {
         self.halo..self.halo + self.owned_nx
     }
 
-    /// Points per slab (allocated).
+    /// Points per slab (allocated lattice points, pad excluded).
     #[inline]
     pub fn slab_len(&self) -> usize {
         self.slab_len
+    }
+
+    /// Distance in points between consecutive slab starts in the backing
+    /// storage — `slab_len` plus the anti-aliasing pad (see [`pad_stride`]).
+    /// Raw-pointer kernels must use this, not [`Self::slab_len`], when
+    /// computing `i · stride + idx` offsets.
+    #[inline]
+    pub fn slab_stride(&self) -> usize {
+        self.slab_stride
     }
 
     /// Linear index inside a slab for allocation-local coordinates.
@@ -154,18 +181,21 @@ impl DistField {
     /// Velocity slab `i` (read).
     #[inline]
     pub fn slab(&self, i: usize) -> &[f64] {
-        &self.data[i * self.slab_len..(i + 1) * self.slab_len]
+        &self.data[i * self.slab_stride..i * self.slab_stride + self.slab_len]
     }
 
     /// Velocity slab `i` (write).
     #[inline]
     pub fn slab_mut(&mut self, i: usize) -> &mut [f64] {
-        &mut self.data[i * self.slab_len..(i + 1) * self.slab_len]
+        &mut self.data[i * self.slab_stride..i * self.slab_stride + self.slab_len]
     }
 
     /// All slabs as disjoint mutable slices (for per-velocity parallelism).
     pub fn slabs_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
-        self.data.chunks_exact_mut(self.slab_len)
+        let len = self.slab_len;
+        self.data
+            .chunks_exact_mut(self.slab_stride)
+            .map(move |c| &mut c[..len])
     }
 
     /// The whole backing storage (read).
@@ -198,7 +228,7 @@ impl DistField {
     pub fn gather_cell(&self, lin: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.q);
         for (i, o) in out.iter_mut().enumerate() {
-            *o = self.data[i * self.slab_len + lin];
+            *o = self.data[i * self.slab_stride + lin];
         }
     }
 
@@ -207,7 +237,7 @@ impl DistField {
     pub fn scatter_cell(&mut self, lin: usize, vals: &[f64]) {
         debug_assert_eq!(vals.len(), self.q);
         for (i, v) in vals.iter().enumerate() {
-            self.data[i * self.slab_len + lin] = *v;
+            self.data[i * self.slab_stride + lin] = *v;
         }
     }
 
@@ -364,7 +394,26 @@ mod tests {
         assert_eq!(f.owned_dims(), Dim3::new(8, 4, 4));
         assert_eq!(f.owned_x(), 2..10);
         assert_eq!(f.slab_len(), 12 * 16);
-        assert_eq!(f.as_slice().len(), 19 * 12 * 16);
+        // 192 points is an even number of cache lines, so the stride pads
+        // to the next odd line count (192 + 8 = 25 lines of 8 doubles).
+        assert_eq!(f.slab_stride(), 12 * 16 + 8);
+        assert_eq!(f.as_slice().len(), 19 * (12 * 16 + 8));
+    }
+
+    #[test]
+    fn slab_stride_is_an_odd_number_of_cache_lines() {
+        for (nx, ny, nz, halo) in [(8, 4, 4, 2), (64, 48, 48, 0), (5, 3, 7, 1), (1, 1, 1, 0)] {
+            let f = DistField::new(19, Dim3::new(nx, ny, nz), halo).unwrap();
+            let stride = f.slab_stride();
+            assert!(stride >= f.slab_len());
+            assert_eq!(stride % 8, 0, "slab starts stay 64-byte aligned");
+            assert_eq!(
+                (stride / 8) % 2,
+                1,
+                "byte stride must be an odd multiple of 64 to break set aliasing"
+            );
+            assert!(stride - f.slab_len() < 16, "pad stays below two lines");
+        }
     }
 
     #[test]
@@ -386,7 +435,7 @@ mod tests {
     #[test]
     fn resident_bytes_counts_the_allocation() {
         let f = DistField::new(19, Dim3::new(8, 4, 4), 2).unwrap();
-        assert_eq!(f.resident_bytes(), (19 * 12 * 16 * 8) as u64);
+        assert_eq!(f.resident_bytes(), (19 * (12 * 16 + 8) * 8) as u64);
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn collide_impl<const THIRD: bool>(ctx: &KernelCtx, f: &mut DistField, x_lo: usi
     let q = ctx.lat.q();
     let k = &ctx.consts;
     let omega = ctx.omega;
-    let slab_len = f.slab_len();
+    let slab_len = f.slab_stride();
     let data = f.as_mut_slice();
 
     let mut rho = [0.0f64; ZB];

@@ -270,7 +270,7 @@ unsafe fn fused_impl<const THIRD: bool, O: CollideOp>(
     let k = &ctx.consts;
     let omega = ctx.omega;
     let nz = d.nz;
-    let slab_len = src.slab_len();
+    let slab_len = src.slab_stride();
     let vel = ctx.lat.velocities();
     let mask = bounds.mask();
 

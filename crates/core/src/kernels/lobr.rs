@@ -144,7 +144,7 @@ fn collide_impl<const THIRD: bool>(ctx: &KernelCtx, f: &mut DistField, x_lo: usi
     let q = ctx.lat.q();
     let k = &ctx.consts;
     let omega = ctx.omega;
-    let slab_len = f.slab_len();
+    let slab_len = f.slab_stride();
     let data = f.as_mut_slice();
     let base_ptr = data.as_mut_ptr();
     let total = data.len();

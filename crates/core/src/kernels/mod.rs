@@ -385,8 +385,10 @@ pub fn stream_collide_scenario_par(
     ));
 }
 
-/// Whether `level`'s kernel class runs the vectorized AA tile (the same
-/// class split as the two-grid ladder: AVX2+FMA at `Simd` and above).
+/// Whether `level`'s kernel class runs the vectorized AA arithmetic (the
+/// same class split as the two-grid ladder: AVX2+FMA at `Simd` and above).
+/// The vector classes also get the NT-store path — see
+/// [`aa::AaTune::for_class`].
 const fn aa_use_simd(level: OptLevel) -> bool {
     matches!(level.kernel_class(), KernelClass::Simd | KernelClass::Fused)
 }
@@ -411,7 +413,7 @@ pub fn aa_even_scenario(
         x_hi,
         rule,
         bounds,
-        aa_use_simd(level)
+        aa::AaTune::for_class(aa_use_simd(level))
     ));
 }
 
@@ -433,7 +435,7 @@ pub fn aa_even_scenario_par(
         x_hi,
         rule,
         bounds,
-        aa_use_simd(level)
+        aa::AaTune::for_class(aa_use_simd(level))
     ));
 }
 
@@ -460,7 +462,34 @@ pub fn aa_odd_scenario(
         x_hi,
         rule,
         bounds,
-        aa_use_simd(level)
+        aa::AaTune::for_class(aa_use_simd(level))
+    ));
+}
+
+/// AA-pattern **odd** step at `level`'s kernel class with the x-shift
+/// wrapped inside `[x_lo, x_hi)` — the single-rank periodic sweep, which
+/// needs no halo fill and no ghost writer planes. See
+/// [`aa::odd_cells_periodic`].
+#[allow(clippy::too_many_arguments)]
+pub fn aa_odd_scenario_periodic(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    op::with_op!(g, |rule| aa::odd_cells_periodic(
+        ctx,
+        tables,
+        f,
+        x_lo,
+        x_hi,
+        rule,
+        bounds,
+        aa::AaTune::for_class(aa_use_simd(level))
     ));
 }
 
@@ -486,7 +515,32 @@ pub fn aa_odd_scenario_par(
         x_hi,
         rule,
         bounds,
-        aa_use_simd(level)
+        aa::AaTune::for_class(aa_use_simd(level))
+    ));
+}
+
+/// Rayon-parallel [`aa_odd_scenario_periodic`] (see
+/// [`par::aa_odd_cells_periodic_par`]; bit-identical to serial).
+#[allow(clippy::too_many_arguments)]
+pub fn aa_odd_scenario_periodic_par(
+    level: OptLevel,
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    g: [f64; 3],
+    bounds: &BoundarySpec,
+) {
+    op::with_op!(g, |rule| par::aa_odd_cells_periodic_par(
+        ctx,
+        tables,
+        f,
+        x_lo,
+        x_hi,
+        rule,
+        bounds,
+        aa::AaTune::for_class(aa_use_simd(level))
     ));
 }
 

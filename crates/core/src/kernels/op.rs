@@ -221,7 +221,7 @@ pub fn collide_cells<O: CollideOp>(
     let d = f.alloc_dims();
     debug_assert!(x_hi <= d.nx);
     let total = f.as_slice().len();
-    let slab_len = f.slab_len();
+    let slab_len = f.slab_stride();
     let ptr = f.as_mut_ptr();
     // SAFETY: exclusive &mut access to the whole field; offsets bounded by
     // the layout contract checked in collide_cells_raw.

@@ -113,7 +113,7 @@ pub fn collide_cells_par<O: CollideOp>(
     if x_lo >= x_hi {
         return;
     }
-    let slab_len = f.slab_len();
+    let slab_len = f.slab_stride();
     let total = f.as_slice().len();
     let base = SendPtr(f.as_mut_ptr());
     let oc = OpConsts::new(ctx, &op);
@@ -234,7 +234,7 @@ pub fn aa_even_cells_par<O: CollideOp>(
     x_hi: usize,
     op: O,
     bounds: &BoundarySpec,
-    use_simd: bool,
+    tune: aa::AaTune,
 ) {
     let d = f.alloc_dims();
     assert!(
@@ -245,7 +245,7 @@ pub fn aa_even_cells_par<O: CollideOp>(
     if x_lo >= x_hi {
         return;
     }
-    let slab_len = f.slab_len();
+    let slab_len = f.slab_stride();
     let total = f.as_slice().len();
     let base = SendPtr(f.as_mut_ptr());
     let oc = OpConsts::new(ctx, &op);
@@ -260,7 +260,7 @@ pub fn aa_even_cells_par<O: CollideOp>(
         // SAFETY: [lo, hi) ranges partition [x_lo, x_hi); the even step
         // reads and writes only planes in its own range.
         unsafe {
-            aa::even_cells_raw::<O>(p.0, total, slab_len, ctx, &oc, bounds, d, lo, hi, use_simd);
+            aa::even_cells_raw::<O>(p.0, total, slab_len, ctx, &oc, bounds, d, lo, hi, tune);
         }
     });
 }
@@ -285,14 +285,69 @@ pub fn aa_odd_cells_par<O: CollideOp>(
     x_hi: usize,
     op: O,
     bounds: &BoundarySpec,
-    use_simd: bool,
+    tune: aa::AaTune,
 ) {
     if x_lo >= x_hi {
         return;
     }
     aa::check_odd_bounds(ctx, f, x_lo, x_hi);
+    aa_odd_chunked(
+        ctx,
+        tables,
+        f,
+        x_lo,
+        x_hi,
+        aa::XShift::Margin,
+        op,
+        bounds,
+        tune,
+    );
+}
+
+/// Rayon-parallel [`aa::odd_cells_periodic`]: the single-rank periodic odd
+/// sweep, chunked by writer plane. The writer↦slot bijection holds on the
+/// torus exactly as on the open interval (each slot has one writer), so the
+/// chunked sweep is conflict-free and bit-identical to serial.
+#[allow(clippy::too_many_arguments)]
+pub fn aa_odd_cells_periodic_par<O: CollideOp>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    op: O,
+    bounds: &BoundarySpec,
+    tune: aa::AaTune,
+) {
+    if x_lo >= x_hi {
+        return;
+    }
     let d = f.alloc_dims();
-    let slab_len = f.slab_len();
+    assert!(
+        x_hi <= d.nx,
+        "odd writer range [{x_lo}, {x_hi}) exceeds nx {}",
+        d.nx
+    );
+    let xw = aa::XShift::Wrap { lo: x_lo, hi: x_hi };
+    aa_odd_chunked(ctx, tables, f, x_lo, x_hi, xw, op, bounds, tune);
+}
+
+/// Shared chunked odd sweep behind the margin and periodic drivers (bounds
+/// already validated by the caller).
+#[allow(clippy::too_many_arguments)]
+fn aa_odd_chunked<O: CollideOp>(
+    ctx: &KernelCtx,
+    tables: &StreamTables,
+    f: &mut DistField,
+    x_lo: usize,
+    x_hi: usize,
+    xw: aa::XShift,
+    op: O,
+    bounds: &BoundarySpec,
+    tune: aa::AaTune,
+) {
+    let d = f.alloc_dims();
+    let slab_len = f.slab_stride();
     let total = f.as_slice().len();
     let base = SendPtr(f.as_mut_ptr());
     let oc = OpConsts::new(ctx, &op);
@@ -307,10 +362,10 @@ pub fn aa_odd_cells_par<O: CollideOp>(
         // SAFETY: writer ranges partition [x_lo, x_hi); the writer↦slot
         // bijection makes the touched slots of different tasks disjoint
         // (see the driver docs above); all offsets are bounded by the
-        // odd-bounds check.
+        // caller's bounds check (margin or wrap).
         unsafe {
             aa::odd_cells_raw::<O>(
-                p.0, total, slab_len, ctx, &oc, tables, bounds, d, lo, hi, use_simd,
+                p.0, total, slab_len, ctx, &oc, tables, bounds, d, lo, hi, xw, tune,
             );
         }
     });
@@ -509,15 +564,51 @@ mod tests {
             let op = crate::kernels::op::GuoForced {
                 g: [2e-5, 0.0, 0.0],
             };
-            aa::even_cells(&c, &mut serial, 2 * k, 2 * k + dims.nx, op, &bounds, false);
+            aa::even_cells(
+                &c,
+                &mut serial,
+                2 * k,
+                2 * k + dims.nx,
+                op,
+                &bounds,
+                aa::AaTune::SCALAR,
+            );
             pool.install(|| {
-                aa_even_cells_par(&c, &mut par, 2 * k, 2 * k + dims.nx, op, &bounds, false)
+                aa_even_cells_par(
+                    &c,
+                    &mut par,
+                    2 * k,
+                    2 * k + dims.nx,
+                    op,
+                    &bounds,
+                    aa::AaTune::SCALAR,
+                )
             });
             assert_eq!(serial.max_abs_diff_owned(&par), 0.0, "{kind:?} even");
 
             let nx = serial.alloc_dims().nx;
-            aa::odd_cells(&c, &tables, &mut serial, k, nx - k, op, &bounds, false);
-            pool.install(|| aa_odd_cells_par(&c, &tables, &mut par, k, nx - k, op, &bounds, false));
+            aa::odd_cells(
+                &c,
+                &tables,
+                &mut serial,
+                k,
+                nx - k,
+                op,
+                &bounds,
+                aa::AaTune::SCALAR,
+            );
+            pool.install(|| {
+                aa_odd_cells_par(
+                    &c,
+                    &tables,
+                    &mut par,
+                    k,
+                    nx - k,
+                    op,
+                    &bounds,
+                    aa::AaTune::SCALAR,
+                )
+            });
             assert_eq!(serial.max_abs_diff_owned(&par), 0.0, "{kind:?} odd");
         }
     }

@@ -260,6 +260,15 @@ fn step_impl<const THIRD: bool, O: CollideOp>(
         let mut buf = [0.0f64; MAX_Q * TILE_CELLS];
         for t in t_lo..t_hi {
             let nbrs = &tiles.neighbors[t];
+            if t + 1 < t_hi {
+                // The indirect gather defeats the hardware stride
+                // prefetcher (the stream restarts at an arbitrary frame on
+                // every tile), so touch the next tile's source frame — the
+                // dominant gather source: every interior cell pulls from it
+                // — and its neighbour row while this tile computes; the AA
+                // and fused kernels' next-row pattern, adapted to tiles.
+                prefetch_next_tile(src_data, tiles, t + 1, frame);
+            }
             gather_tile(q, gt, nbrs, src_data, &mut buf);
             debug_assert!((t + 1) * frame <= total);
             // SAFETY: owned-tile chunks partition [0, n); each task writes
@@ -288,6 +297,33 @@ fn step_impl<const THIRD: bool, O: CollideOp>(
     } else {
         run(0, n);
     }
+}
+
+/// Software-prefetch the gather sources of tile `t_next`: its own source
+/// frame (`q·TILE_CELLS` doubles — the self slot every interior cell pulls
+/// through) and its neighbour-table row. Boundary cells also pull single
+/// lines from adjacent frames; those are left to demand misses — touching
+/// up to `TILE_NEIGHBORS` extra frames would evict more than it hides.
+#[inline]
+fn prefetch_next_tile(src: &[f64], tiles: &SparseTiles, t_next: usize, frame: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let nbr_ptr = std::ptr::from_ref(&tiles.neighbors[t_next]).cast::<i8>();
+        // SAFETY: PREFETCHT0 is a hint and cannot fault; the offsets below
+        // are clamped to the slice.
+        unsafe { _mm_prefetch::<_MM_HINT_T0>(nbr_ptr) };
+        let lo = t_next * frame;
+        let hi = (lo + frame).min(src.len());
+        let mut p = lo;
+        while p < hi {
+            // SAFETY: p < src.len() — in-bounds pointer, hint-only.
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(src.as_ptr().add(p).cast::<i8>()) };
+            p += 8;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (src, tiles, t_next, frame);
 }
 
 /// Pull-stream one tile through the neighbour table into `buf[i·64 + c]`;

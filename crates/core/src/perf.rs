@@ -26,6 +26,31 @@ pub const fn model_bytes_per_cell(storage: StorageMode, q: usize) -> usize {
     }
 }
 
+/// Parity of an AA-pattern step — the two alternating access patterns of
+/// [`StorageMode::InPlaceAa`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AaParity {
+    /// First step of a pair: read-local/write-local velocity-pair update.
+    Even,
+    /// Second step: gather-swapped / scatter-swapped double-shifted sweep.
+    Odd,
+}
+
+/// The model bytes per lattice-point update of **one AA step of the given
+/// parity**. With the tile-free even step and the in-place pair-swap odd
+/// step, *both* parities read each population exactly once from main memory
+/// and write it exactly once in the same array — a uniform `2·Q·8` with no
+/// gather-tile round trip on either side. (Each step's second pass over a
+/// z-block's rows — the pair-relax after the moment pass — re-reads from
+/// L1, which the main-store model deliberately excludes.) The per-pair
+/// average therefore equals the aggregate
+/// [`model_bytes_per_cell`]`(InPlaceAa, q)`.
+pub const fn model_bytes_per_cell_aa(parity: AaParity, q: usize) -> usize {
+    match parity {
+        AaParity::Even | AaParity::Odd => 2 * q * 8,
+    }
+}
+
 /// Accumulates lattice updates and wall time; reports MFlup/s.
 #[derive(Debug, Clone, Default)]
 pub struct PerfCounters {
@@ -141,6 +166,22 @@ mod tests {
         assert_eq!(model_bytes_per_cell(StorageMode::TwoGrid, 39), 936);
         assert_eq!(model_bytes_per_cell(StorageMode::InPlaceAa, 19), 304);
         assert_eq!(model_bytes_per_cell(StorageMode::InPlaceAa, 39), 624);
+    }
+
+    #[test]
+    fn aa_parity_model_is_uniform_and_consistent_with_the_aggregate() {
+        // Both parities are pure 2·Q·8 (tile-free even, in-place pair-swap
+        // odd), so the per-pair mean reproduces the aggregate AA constant.
+        for q in [15usize, 19, 27, 39] {
+            let even = model_bytes_per_cell_aa(AaParity::Even, q);
+            let odd = model_bytes_per_cell_aa(AaParity::Odd, q);
+            assert_eq!(even, 2 * q * 8);
+            assert_eq!(odd, even);
+            assert_eq!(
+                (even + odd) / 2,
+                model_bytes_per_cell(StorageMode::InPlaceAa, q)
+            );
+        }
     }
 
     #[test]

@@ -76,12 +76,17 @@ pub fn encode_field(f: &DistField, out: &mut Vec<u8>) {
     put_u64(out, owned.ny as u64);
     put_u64(out, owned.nz as u64);
     put_u64(out, f.halo() as u64);
-    let data = f.as_slice();
-    put_u64(out, data.len() as u64);
+    // Slab by slab: the in-memory anti-aliasing pad between slabs is a
+    // layout detail, not state, so the payload stays `q · alloc_len`
+    // points regardless of the stride the allocator chose.
+    let n = f.q() * f.slab_len();
+    put_u64(out, n as u64);
     let start = out.len();
-    out.reserve(data.len() * 8);
-    for v in data {
-        out.extend_from_slice(&v.to_le_bytes());
+    out.reserve(n * 8);
+    for i in 0..f.q() {
+        for v in f.slab(i) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
     let sum = fnv1a(&out[start..]);
     put_u64(out, sum);
@@ -163,11 +168,14 @@ fn check_sum(buf: &[u8], pos: &mut usize, payload: &std::ops::Range<usize>) -> R
 pub fn decode_field(buf: &[u8], pos: &mut usize) -> Result<DistField> {
     let frame = read_frame(buf, pos)?;
     let mut f = DistField::new(frame.q, frame.owned, frame.halo)?;
-    debug_assert_eq!(f.as_slice().len() * 8, frame.payload.len());
+    debug_assert_eq!(f.q() * f.slab_len() * 8, frame.payload.len());
     let payload = &buf[frame.payload.clone()];
-    let dst = f.as_mut_slice();
-    for (i, chunk) in payload.chunks_exact(8).enumerate() {
-        dst[i] = f64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+    let mut chunks = payload.chunks_exact(8);
+    for i in 0..frame.q {
+        for v in f.slab_mut(i) {
+            let chunk = chunks.next().expect("payload length checked by frame");
+            *v = f64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+        }
     }
     check_sum(buf, pos, &frame.payload)?;
     Ok(f)
@@ -206,8 +214,10 @@ mod tests {
         assert_eq!(g.q(), f.q());
         assert_eq!(g.owned_dims(), f.owned_dims());
         assert_eq!(g.halo(), f.halo());
-        for (a, b) in f.as_slice().iter().zip(g.as_slice()) {
-            assert_eq!(a.to_bits(), b.to_bits());
+        for i in 0..f.q() {
+            for (a, b) in f.slab(i).iter().zip(g.slab(i)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

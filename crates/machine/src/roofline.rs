@@ -17,7 +17,7 @@
 
 use crate::spec::MachineSpec;
 use lbm_core::field::StorageMode;
-use lbm_core::perf::model_bytes_per_cell;
+use lbm_core::perf::{model_bytes_per_cell, model_bytes_per_cell_aa, AaParity};
 use serde::{Deserialize, Serialize};
 
 /// Per-cell traffic of one kernel implementation.
@@ -38,6 +38,19 @@ impl KernelTraffic {
     pub fn lbm(q: usize, flops: usize, storage: StorageMode) -> Self {
         Self {
             bytes_per_cell: model_bytes_per_cell(storage, q) as f64,
+            flops_per_cell: flops as f64,
+        }
+    }
+
+    /// The per-cell accounting for **one AA step of the given parity**:
+    /// the tile-free even step and the in-place pair-swap odd step each
+    /// move exactly `2·Q·8` bytes (see
+    /// [`lbm_core::perf::model_bytes_per_cell_aa`]), so the roofline bound
+    /// of a single parity equals the bound of the whole AA pair — there is
+    /// no cheap step subsidising an expensive one.
+    pub fn lbm_aa_step(q: usize, flops: usize, parity: AaParity) -> Self {
+        Self {
+            bytes_per_cell: model_bytes_per_cell_aa(parity, q) as f64,
             flops_per_cell: flops as f64,
         }
     }
@@ -184,6 +197,22 @@ mod tests {
         assert_eq!(KernelTraffic::d3q39().bytes_per_cell, 936.0);
         assert_eq!(KernelTraffic::d3q19().flops_per_cell, 178.0);
         assert_eq!(KernelTraffic::d3q39().flops_per_cell, 190.0);
+    }
+
+    #[test]
+    fn aa_parity_bounds_match_the_pair_bound() {
+        // Neither AA parity carries a tile term: each step's roofline is
+        // the pair's roofline on every machine in the table.
+        let pair19 = KernelTraffic::lbm(19, 178, StorageMode::InPlaceAa);
+        for parity in [AaParity::Even, AaParity::Odd] {
+            let step = KernelTraffic::lbm_aa_step(19, 178, parity);
+            assert_eq!(step.bytes_per_cell, pair19.bytes_per_cell);
+            for m in [MachineSpec::bgp(), MachineSpec::bgq()] {
+                let a = attainable(&m, &step);
+                let b = attainable(&m, &pair19);
+                assert_eq!(a.mflups(), b.mflups(), "{}", m.name);
+            }
+        }
     }
 
     #[test]

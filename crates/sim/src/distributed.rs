@@ -366,8 +366,7 @@ impl RankSolver {
                 self.aa_even_step(comm, s + 1 < steps);
                 0
             } else {
-                self.aa_odd_step(comm);
-                2 * self.k
+                self.aa_odd_step(comm)
             };
             let noise = self.step_no;
             self.step_no += 1;
@@ -412,17 +411,24 @@ impl RankSolver {
         }
     }
 
-    /// AA odd step: complete the pair's halo exchange (post-even swapped
-    /// borders, `2k` planes per side), then gather/collide/scatter over
-    /// the writer planes `[own_lo − k, own_hi + k)` — the `2k` ghost
-    /// writer planes are the (counted) duplicate compute that buys the
-    /// once-per-pair exchange cadence.
-    fn aa_odd_step(&mut self, comm: &mut Comm) {
+    /// AA odd step. Decomposed ranks complete the pair's halo exchange
+    /// (post-even swapped borders, `2k` planes per side), then
+    /// gather/collide/scatter over the writer planes
+    /// `[own_lo − k, own_hi + k)` — the `2k` ghost writer planes are the
+    /// (counted) duplicate compute that buys the once-per-pair exchange
+    /// cadence. A single rank owns the whole periodic axis, so it wraps the
+    /// sweep's x-shift instead: no halo fill, no ghost writer planes, and
+    /// bitwise-identical owned state (see [`lbm_core::kernels::aa::XShift`]).
+    /// Returns the ghost writer planes computed (the duplicate-work count
+    /// fed to the throughput counters).
+    fn aa_odd_step(&mut self, comm: &mut Comm) -> usize {
         let (own_lo, own_hi) = self.owned();
         let g = self.aa_force();
         if self.sub.ranks == 1 {
-            halo::fill_periodic_self(&mut self.f, self.h);
-        } else {
+            self.aa_odd_periodic(own_lo, own_hi, g);
+            return 0;
+        }
+        {
             let (to_left, to_right) = Self::tags(self.step_no / 2);
             let left = self.sub.left();
             let right = self.sub.right();
@@ -476,6 +482,7 @@ impl RankSolver {
             }
         }
         self.aa_odd(own_lo - self.k, own_hi + self.k, g);
+        2 * self.k
     }
 
     /// Pack the post-even borders of the single AA field, post the
@@ -560,6 +567,40 @@ impl RankSolver {
                 );
             }),
             _ => kernels::aa_odd_scenario(
+                self.level,
+                &self.ctx,
+                &self.tables,
+                &mut self.f,
+                lo,
+                hi,
+                g,
+                &self.bounds,
+            ),
+        }
+    }
+
+    /// Single-rank periodic AA odd sweep over the owned planes
+    /// `x ∈ [lo, hi)` — the x-shift wraps inside the range, so no ghost
+    /// plane is read or written (same threading gate as [`Self::aa_odd`];
+    /// bit-identical to serial).
+    fn aa_odd_periodic(&mut self, lo: usize, hi: usize, g: [f64; 3]) {
+        if lo >= hi {
+            return;
+        }
+        match &self.pool {
+            Some(pool) if self.level >= OptLevel::Dh => pool.install(|| {
+                kernels::aa_odd_scenario_periodic_par(
+                    self.level,
+                    &self.ctx,
+                    &self.tables,
+                    &mut self.f,
+                    lo,
+                    hi,
+                    g,
+                    &self.bounds,
+                );
+            }),
+            _ => kernels::aa_odd_scenario_periodic(
                 self.level,
                 &self.ctx,
                 &self.tables,
