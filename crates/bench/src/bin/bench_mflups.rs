@@ -31,14 +31,22 @@
 //! and emits the `aa_over_two_grid` comparison.
 //!
 //! `--geometry [F1,F2,..]` switches the harness into sparse tiled-geometry
-//! mode: for each lattice it measures a dense forced-flow baseline, then a
-//! circular-pipe `Geometry` sized to each target fluid fraction (percent;
-//! default `5,10,50,100`) on the sparse fluid-tile backend. Rows carry the
-//! measured fluid fraction, the sparse resident footprint and the
-//! `sparse_resident_over_dense` ratio; the per-lattice summary records the
-//! ratio at every fraction. Fraction-targeted MFlup/s count *fluid* cell
-//! updates only, so sparse and dense throughput are directly comparable
-//! per useful update.
+//! mode: for each lattice × storage mode it measures a dense forced-flow
+//! baseline, then a circular-pipe `Geometry` sized to each target fluid
+//! fraction (percent; default `5,10,50,100`) on the sparse fluid-tile
+//! backend. Rows carry the measured fluid fraction, the sparse resident
+//! footprint and the `sparse_resident_over_dense` ratio; the per-lattice
+//! summary records the ratio at every fraction plus the headline
+//! `sparse_over_dense_per_fluid_cell` (same-storage MFlup/s ratio at the
+//! densest fraction — MFlup/s counts *fluid* updates only, so this IS the
+//! per-fluid-cell cost ratio). `--storage two_grid,aa` sweeps both modes
+//! and records `sparse_aa_resident_over_two_grid` (one tile frame instead
+//! of two).
+//!
+//! `--append` merges the new runs and summary entries into an existing
+//! `--out` artifact instead of overwriting it, so the committed
+//! `BENCH_kernels.json` can carry the dense ladder *and* the geometry
+//! sweep from two invocations.
 
 use std::process::ExitCode;
 
@@ -81,6 +89,8 @@ struct Args {
     /// Whether `--levels` was given explicitly (geometry mode defaults to
     /// the two sparse kernel classes instead of the full dense ladder).
     levels_explicit: bool,
+    /// Merge into an existing `--out` artifact instead of overwriting.
+    append: bool,
     out: String,
 }
 
@@ -91,13 +101,14 @@ fn usage(err: &str) -> ! {
          [--repeats N] [--min-secs SECS] [--ranks R] [--threads T] \
          [--lattices A,B] [--levels L1,L2] [--scenario S1,S2] \
          [--storage two_grid,aa] [--order O2|O3] [--geometry [F1,F2,..]] \
-         [--out PATH]\n\
+         [--append] [--out PATH]\n\
          scenarios: taylor_green (default), poiseuille, couette, cavity, knudsen\n\
          storage modes: two_grid (default), aa\n\
          --min-secs: raise the repeat count per entry until the measured \
          span reaches this many seconds (0 = fixed --repeats)\n\
          --geometry: sparse tiled-pipe sweep at the given fluid-fraction \
-         percents (default 5,10,50,100)"
+         percents (default 5,10,50,100)\n\
+         --append: merge runs/summary into an existing --out artifact"
     );
     std::process::exit(2);
 }
@@ -153,6 +164,7 @@ fn parse_args() -> Args {
         order: None,
         geometry: None,
         levels_explicit: false,
+        append: false,
         out: "BENCH_kernels.json".to_string(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -266,6 +278,7 @@ fn parse_args() -> Args {
                     _ => usage("--order needs O2 or O3"),
                 };
             }
+            "--append" => a.append = true,
             "--out" => {
                 i += 1;
                 a.out = argv
@@ -352,6 +365,50 @@ fn host_block(args: &Args) -> Json {
         ),
         ("simd_avx2_fma", Json::Bool(simd::simd_available())),
     ])
+}
+
+/// Write the artifact, honouring `--append`: new runs extend the existing
+/// file's run list and new summary entries replace same-key ones, so a
+/// ladder invocation and a geometry invocation can share one committed
+/// JSON (the host block is taken from the *latest* invocation).
+fn write_artifact(args: &Args, runs: Vec<Json>, summaries: Vec<(String, Json)>) {
+    let (mut all_runs, mut all_summaries) = if args.append {
+        let doc = std::fs::read_to_string(&args.out)
+            .ok()
+            .and_then(|t| Json::parse(&t).ok());
+        match doc {
+            Some(doc) => {
+                let runs = match doc.get("runs") {
+                    Some(Json::Arr(r)) => r.clone(),
+                    _ => Vec::new(),
+                };
+                let sums = match doc.get("summary") {
+                    Some(Json::Obj(s)) => s.clone(),
+                    _ => Vec::new(),
+                };
+                (runs, sums)
+            }
+            None => (Vec::new(), Vec::new()),
+        }
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    all_runs.extend(runs);
+    for (key, val) in summaries {
+        if let Some(slot) = all_summaries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = val;
+        } else {
+            all_summaries.push((key, val));
+        }
+    }
+    let doc = Json::obj(vec![
+        ("schema", Json::str("lbm-bench/kernels-mflups/v5")),
+        ("host", host_block(args)),
+        ("runs", Json::Arr(all_runs)),
+        ("summary", Json::Obj(all_summaries)),
+    ]);
+    std::fs::write(&args.out, doc.render_pretty()).expect("write JSON artifact");
+    println!("wrote {}", args.out);
 }
 
 fn run_entry(
@@ -449,6 +506,7 @@ fn run_geometry_entry(
     kind: LatticeKind,
     global: Dim3,
     level: OptLevel,
+    storage: StorageMode,
     geom: Option<&Geometry>,
 ) -> RunReport {
     let mut builder = Simulation::builder(kind, global)
@@ -457,6 +515,7 @@ fn run_geometry_entry(
         .threads(args.threads)
         .warmup(args.warmup)
         .level(level)
+        .storage(storage)
         .cost(CostModel::free());
     if let Some(g) = geom {
         builder = builder.geometry(g.clone());
@@ -473,9 +532,6 @@ fn run_geometry_entry(
 /// requested rung. Emits per-fraction rows and the
 /// `sparse_resident_over_dense` summary.
 fn geometry_mode(args: &Args, fracs: &[f64]) -> ExitCode {
-    if args.storages.iter().any(|s| *s != StorageMode::TwoGrid) {
-        usage("--geometry implies two-grid storage (sparse tiles replace the dense grid)");
-    }
     // The sparse path has exactly two kernel classes — scalar (every rung
     // below SIMD) and AVX2 (SIMD and above) — so the default sweep runs
     // one representative of each instead of the dense 9-rung ladder.
@@ -485,6 +541,13 @@ fn geometry_mode(args: &Args, fracs: &[f64]) -> ExitCode {
         vec![OptLevel::LoBr, OptLevel::Simd]
     };
     let top = *levels.last().expect("at least one level");
+    // Deterministic storage order (two-grid before AA) so the AA summary
+    // can reference the two-grid sweep from the same invocation.
+    let storages: Vec<StorageMode> = StorageMode::ALL
+        .iter()
+        .copied()
+        .filter(|s| args.storages.contains(s))
+        .collect();
     println!("== MFLUPS harness: sparse tiled-geometry mode ==\n");
 
     let mut runs = Vec::new();
@@ -508,157 +571,210 @@ fn geometry_mode(args: &Args, fracs: &[f64]) -> ExitCode {
             ])
         };
 
-        // Dense forced-flow baseline at the top requested rung: the
-        // resident-footprint and fluid-throughput yardstick.
-        let dense = run_geometry_entry(args, kind, global, top, None);
-        let dense_resident = dense.resident_population_bytes();
-        println!(
-            "{} / geometry (box {}×{}×{}, {} rank(s) × {} thread(s), {} steps, best of {}):",
-            kind.name(),
-            global.nx,
-            global.ny,
-            global.nz,
-            args.ranks,
-            args.threads,
-            args.steps,
-            args.repeats
-        );
-        println!(
-            "  dense baseline at {}: {} MFlup/s, {} MB resident",
-            top.name(),
-            f(dense.mflups, 1),
-            f(dense_resident as f64 / 1e6, 1)
-        );
-        runs.push(Json::obj(vec![
-            ("lattice", Json::str(kind.name())),
-            ("q", Json::Int(q as i64)),
-            ("scenario", Json::str(dense.scenario.clone())),
-            ("level", Json::str(top.name())),
-            ("storage", Json::str(dense.storage.clone())),
-            ("kernel", Json::str(format!("{:?}", top.kernel_class()))),
-            ("ranks", Json::Int(dense.ranks as i64)),
-            ("threads_per_rank", Json::Int(dense.threads_per_rank as i64)),
-            ("global", global_json()),
-            ("steps", Json::Int(dense.steps as i64)),
-            ("wall_secs", Json::Num(dense.wall_secs)),
-            ("mflups", Json::Num(dense.mflups)),
-            ("fluid_fraction", Json::Num(dense.fluid_fraction)),
-            (
-                "resident_population_bytes",
-                Json::Int(dense_resident as i64),
-            ),
-        ]));
+        // Top-rung sparse resident bytes per target fraction from the
+        // two-grid sweep, for the AA summary's footprint-halving ratio.
+        let mut two_grid_resident: Vec<(f64, u64)> = Vec::new();
 
-        let mut t = Table::new(vec![
-            "fluid %".to_string(),
-            "radius".to_string(),
-            "rung".to_string(),
-            "MFlup/s".to_string(),
-            "resident MB".to_string(),
-            "vs dense resident".to_string(),
-            "vs dense MFlup/s".to_string(),
-        ]);
-        let mut frac_rows = Vec::new();
-        let mut headline: Option<(f64, f64)> = None; // (target, ratio)
-        for &target in fracs {
-            let radius = radius_for(target, global.ny, global.nz);
-            let geom = Geometry::pipe(global, radius).expect("pipe geometry");
-            let fluid_fraction = geom.fluid_fraction();
-            let mut top_rep: Option<RunReport> = None;
-            for &level in &levels {
-                let rep = run_geometry_entry(args, kind, global, level, Some(&geom));
-                let resident = rep.resident_population_bytes();
-                let ratio = resident as f64 / dense_resident as f64;
-                t.row(vec![
-                    format!("{:.1}", 100.0 * fluid_fraction),
-                    format!("{radius:.1}"),
-                    level.name().to_string(),
-                    f(rep.mflups, 1),
-                    f(resident as f64 / 1e6, 1),
-                    format!("{ratio:.3}x"),
-                    format!("{:.2}x", rep.mflups / dense.mflups),
-                ]);
-                runs.push(Json::obj(vec![
-                    ("lattice", Json::str(kind.name())),
-                    ("q", Json::Int(q as i64)),
-                    ("scenario", Json::str(rep.scenario.clone())),
-                    ("level", Json::str(level.name())),
-                    ("storage", Json::str(rep.storage.clone())),
-                    ("kernel", Json::str(format!("{:?}", level.kernel_class()))),
-                    ("ranks", Json::Int(rep.ranks as i64)),
-                    ("threads_per_rank", Json::Int(rep.threads_per_rank as i64)),
-                    ("global", global_json()),
-                    ("geometry", Json::str("pipe")),
-                    ("pipe_radius", Json::Num(radius)),
-                    ("target_fluid_fraction", Json::Num(target)),
-                    ("fluid_fraction", Json::Num(fluid_fraction)),
-                    ("steps", Json::Int(rep.steps as i64)),
-                    ("wall_secs", Json::Num(rep.wall_secs)),
-                    ("mflups", Json::Num(rep.mflups)),
-                    ("resident_population_bytes", Json::Int(resident as i64)),
-                    (
-                        "dense_resident_population_bytes",
-                        Json::Int(dense_resident as i64),
-                    ),
-                    ("sparse_resident_over_dense", Json::Num(ratio)),
-                ]));
-                if level == top {
-                    top_rep = Some(rep);
-                }
-            }
-            let rep = top_rep.expect("top rung measured");
-            let ratio = rep.resident_population_bytes() as f64 / dense_resident as f64;
-            // The acceptance signal: fluid-cell-cost storage must pay
-            // < 0.15 of the dense footprint in vascular territory.
-            if target <= 0.10 + 1e-9 && ratio >= 0.15 {
-                low_fraction_ok = false;
-            }
-            if headline.is_none_or(|(t0, _)| target < t0) {
-                headline = Some((target, ratio));
-            }
-            frac_rows.push(Json::obj(vec![
-                ("target_fluid_fraction", Json::Num(target)),
-                ("fluid_fraction", Json::Num(fluid_fraction)),
-                ("pipe_radius", Json::Num(radius)),
-                ("sparse_mflups", Json::Num(rep.mflups)),
+        for &storage in &storages {
+            // Dense forced-flow baseline at the top requested rung under
+            // the *same* storage mode: the resident-footprint and
+            // fluid-throughput yardstick.
+            let dense = run_geometry_entry(args, kind, global, top, storage, None);
+            let dense_resident = dense.resident_population_bytes();
+            println!(
+                "{} / geometry / {} (box {}×{}×{}, {} rank(s) × {} thread(s), {} steps, best of {}):",
+                kind.name(),
+                storage.name(),
+                global.nx,
+                global.ny,
+                global.nz,
+                args.ranks,
+                args.threads,
+                args.steps,
+                args.repeats
+            );
+            println!(
+                "  dense baseline at {}: {} MFlup/s, {} MB resident",
+                top.name(),
+                f(dense.mflups, 1),
+                f(dense_resident as f64 / 1e6, 1)
+            );
+            runs.push(Json::obj(vec![
+                ("lattice", Json::str(kind.name())),
+                ("q", Json::Int(q as i64)),
+                ("scenario", Json::str(dense.scenario.clone())),
+                ("level", Json::str(top.name())),
+                ("storage", Json::str(dense.storage.clone())),
+                ("kernel", Json::str(format!("{:?}", top.kernel_class()))),
+                ("ranks", Json::Int(dense.ranks as i64)),
+                ("threads_per_rank", Json::Int(dense.threads_per_rank as i64)),
+                ("global", global_json()),
+                ("steps", Json::Int(dense.steps as i64)),
+                ("wall_secs", Json::Num(dense.wall_secs)),
+                ("mflups", Json::Num(dense.mflups)),
+                ("fluid_fraction", Json::Num(dense.fluid_fraction)),
                 (
                     "resident_population_bytes",
-                    Json::Int(rep.resident_population_bytes() as i64),
-                ),
-                ("sparse_resident_over_dense", Json::Num(ratio)),
-                (
-                    "sparse_over_dense_mflups",
-                    Json::Num(rep.mflups / dense.mflups),
+                    Json::Int(dense_resident as i64),
                 ),
             ]));
+
+            let mut t = Table::new(vec![
+                "fluid %".to_string(),
+                "radius".to_string(),
+                "rung".to_string(),
+                "MFlup/s".to_string(),
+                "resident MB".to_string(),
+                "vs dense resident".to_string(),
+                "vs dense MFlup/s".to_string(),
+            ]);
+            let mut frac_rows = Vec::new();
+            let mut headline: Option<(f64, f64)> = None; // (target, ratio)
+            let mut densest: Option<(f64, RunReport)> = None; // (target, top-rung rep)
+            for &target in fracs {
+                let radius = radius_for(target, global.ny, global.nz);
+                let geom = Geometry::pipe(global, radius).expect("pipe geometry");
+                let fluid_fraction = geom.fluid_fraction();
+                let mut top_rep: Option<RunReport> = None;
+                for &level in &levels {
+                    let rep = run_geometry_entry(args, kind, global, level, storage, Some(&geom));
+                    let resident = rep.resident_population_bytes();
+                    let ratio = resident as f64 / dense_resident as f64;
+                    t.row(vec![
+                        format!("{:.1}", 100.0 * fluid_fraction),
+                        format!("{radius:.1}"),
+                        level.name().to_string(),
+                        f(rep.mflups, 1),
+                        f(resident as f64 / 1e6, 1),
+                        format!("{ratio:.3}x"),
+                        format!("{:.2}x", rep.mflups / dense.mflups),
+                    ]);
+                    runs.push(Json::obj(vec![
+                        ("lattice", Json::str(kind.name())),
+                        ("q", Json::Int(q as i64)),
+                        ("scenario", Json::str(rep.scenario.clone())),
+                        ("level", Json::str(level.name())),
+                        ("storage", Json::str(rep.storage.clone())),
+                        ("kernel", Json::str(format!("{:?}", level.kernel_class()))),
+                        ("ranks", Json::Int(rep.ranks as i64)),
+                        ("threads_per_rank", Json::Int(rep.threads_per_rank as i64)),
+                        ("global", global_json()),
+                        ("geometry", Json::str("pipe")),
+                        ("pipe_radius", Json::Num(radius)),
+                        ("target_fluid_fraction", Json::Num(target)),
+                        ("fluid_fraction", Json::Num(fluid_fraction)),
+                        ("steps", Json::Int(rep.steps as i64)),
+                        ("wall_secs", Json::Num(rep.wall_secs)),
+                        ("mflups", Json::Num(rep.mflups)),
+                        ("resident_population_bytes", Json::Int(resident as i64)),
+                        (
+                            "dense_resident_population_bytes",
+                            Json::Int(dense_resident as i64),
+                        ),
+                        ("sparse_resident_over_dense", Json::Num(ratio)),
+                        (
+                            "sparse_over_dense_mflups",
+                            Json::Num(rep.mflups / dense.mflups),
+                        ),
+                    ]));
+                    if level == top {
+                        top_rep = Some(rep);
+                    }
+                }
+                let rep = top_rep.expect("top rung measured");
+                let resident = rep.resident_population_bytes();
+                let ratio = resident as f64 / dense_resident as f64;
+                // The acceptance signal: fluid-cell-cost storage must pay
+                // < 0.15 of the dense footprint in vascular territory.
+                if target <= 0.10 + 1e-9 && ratio >= 0.15 {
+                    low_fraction_ok = false;
+                }
+                if headline.is_none_or(|(t0, _)| target < t0) {
+                    headline = Some((target, ratio));
+                }
+                if storage == StorageMode::TwoGrid {
+                    two_grid_resident.push((target, resident));
+                }
+                frac_rows.push(Json::obj(vec![
+                    ("target_fluid_fraction", Json::Num(target)),
+                    ("fluid_fraction", Json::Num(fluid_fraction)),
+                    ("pipe_radius", Json::Num(radius)),
+                    ("sparse_mflups", Json::Num(rep.mflups)),
+                    ("resident_population_bytes", Json::Int(resident as i64)),
+                    ("sparse_resident_over_dense", Json::Num(ratio)),
+                    (
+                        "sparse_over_dense_mflups",
+                        Json::Num(rep.mflups / dense.mflups),
+                    ),
+                ]));
+                if densest.as_ref().is_none_or(|(t0, _)| target > *t0) {
+                    densest = Some((target, rep));
+                }
+            }
+            t.print();
+
+            // The headline per-fluid-cell ratio, taken at the densest
+            // fraction swept: MFlup/s counts fluid updates only, so the
+            // same-storage MFLUPS ratio *is* the per-fluid-cell cost
+            // ratio, and the densest row is where the full-tile fast path
+            // must close the gap on the direct-addressed dense kernel.
+            let per_fluid = densest
+                .as_ref()
+                .filter(|_| dense.mflups > 0.0)
+                .map(|(_, rep)| rep.mflups / dense.mflups);
+            // AA footprint vs the two-grid sweep at the same (densest)
+            // fraction — one tile frame instead of src/dst pairs.
+            let aa_resident_over = match (storage, &densest) {
+                (StorageMode::InPlaceAa, Some((target, rep))) => two_grid_resident
+                    .iter()
+                    .find(|(t0, _)| t0 == target)
+                    .filter(|(_, tg)| *tg > 0)
+                    .map(|(_, tg)| rep.resident_population_bytes() as f64 / *tg as f64),
+                _ => None,
+            };
+            if let Some(r) = per_fluid {
+                println!(
+                    "  sparse vs dense per fluid cell at {} ({}): {r:.2}x",
+                    top.name(),
+                    storage.name()
+                );
+            }
+            if let Some(r) = aa_resident_over {
+                println!("  sparse AA resident vs sparse two-grid: {r:.2}x");
+            }
+            println!();
+            let key = match storage {
+                StorageMode::TwoGrid => format!("{}@geometry", kind.name()),
+                StorageMode::InPlaceAa => format!("{}@geometry_aa", kind.name()),
+            };
+            summaries.push((
+                key,
+                Json::obj(vec![
+                    ("scenario", Json::str("forced_flow")),
+                    ("geometry", Json::str("pipe")),
+                    ("storage", Json::str(storage.name())),
+                    ("dense_level", Json::str(top.name())),
+                    ("dense_mflups", Json::Num(dense.mflups)),
+                    ("dense_resident_bytes", Json::Int(dense_resident as i64)),
+                    ("fractions", Json::Arr(frac_rows)),
+                    (
+                        "sparse_resident_over_dense",
+                        headline.map(|(_, r)| Json::Num(r)).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "sparse_over_dense_per_fluid_cell",
+                        per_fluid.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "sparse_aa_resident_over_two_grid",
+                        aa_resident_over.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                ]),
+            ));
         }
-        t.print();
-        println!();
-        summaries.push((
-            format!("{}@geometry", kind.name()),
-            Json::obj(vec![
-                ("scenario", Json::str("forced_flow")),
-                ("geometry", Json::str("pipe")),
-                ("dense_level", Json::str(top.name())),
-                ("dense_mflups", Json::Num(dense.mflups)),
-                ("dense_resident_bytes", Json::Int(dense_resident as i64)),
-                ("fractions", Json::Arr(frac_rows)),
-                (
-                    "sparse_resident_over_dense",
-                    headline.map(|(_, r)| Json::Num(r)).unwrap_or(Json::Null),
-                ),
-            ]),
-        ));
     }
 
-    let doc = Json::obj(vec![
-        ("schema", Json::str("lbm-bench/kernels-mflups/v5")),
-        ("host", host_block(args)),
-        ("runs", Json::Arr(runs)),
-        ("summary", Json::Obj(summaries)),
-    ]);
-    std::fs::write(&args.out, doc.render_pretty()).expect("write JSON artifact");
-    println!("wrote {}", args.out);
+    write_artifact(args, runs, summaries);
     if !low_fraction_ok {
         println!("note: sparse_resident_over_dense >= 0.15 at a <=10% fluid fraction (tiny box?)");
     }
@@ -831,14 +947,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let doc = Json::obj(vec![
-        ("schema", Json::str("lbm-bench/kernels-mflups/v5")),
-        ("host", host_block(&args)),
-        ("runs", Json::Arr(runs)),
-        ("summary", Json::Obj(summaries)),
-    ]);
-    std::fs::write(&args.out, doc.render_pretty()).expect("write JSON artifact");
-    println!("wrote {}", args.out);
+    write_artifact(&args, runs, summaries);
     if !fused_meets_target {
         println!("note: Fused < 1.2x SIMD on at least one lattice (cache-resident box?)");
     }

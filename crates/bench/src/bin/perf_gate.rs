@@ -4,9 +4,10 @@
 //! artifact against a committed baseline and fails (exit 1) when any
 //! shared summary entry regresses beyond the tolerance band. Absolute
 //! MFlup/s are not compared — they track the host, not the code — but the
-//! summary ratios (`aa_over_two_grid`, `fused_over_simd`) divide out the
-//! machine and are comparable across hosts to within measurement noise,
-//! which the tolerance band absorbs.
+//! summary ratios (`aa_over_two_grid`, `fused_over_simd`,
+//! `sparse_over_dense_per_fluid_cell`) divide out the machine and are
+//! comparable across hosts to within measurement noise, which the
+//! tolerance band absorbs.
 //!
 //! ```text
 //! perf_gate --baseline BENCH_kernels.json --measured fresh.json \
@@ -45,6 +46,7 @@ fn parse_args() -> Args {
         metrics: vec![
             "aa_over_two_grid".to_string(),
             "fused_over_simd".to_string(),
+            "sparse_over_dense_per_fluid_cell".to_string(),
         ],
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -351,6 +351,34 @@ impl Geometry {
         Ok(Self { dims, fluid })
     }
 
+    /// Write this geometry as a standalone `.lbmgeo` voxel file: exactly one
+    /// [`Self::encode_frame`] — magic, dims, RLE runs, FNV-1a checksum —
+    /// and nothing else, so the on-disk format *is* the checkpoint
+    /// container's geometry frame (same codec, same validator).
+    pub fn to_file(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let mut buf = Vec::new();
+        self.encode_frame(&mut buf);
+        std::fs::write(path.as_ref(), &buf)
+            .map_err(|e| Error::Io(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Load a `.lbmgeo` file written by [`Self::to_file`]. Trailing bytes
+    /// after the frame are rejected, so a concatenation or a partially
+    /// overwritten file cannot be silently mistaken for a valid geometry.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let buf = std::fs::read(path.as_ref())
+            .map_err(|e| Error::Io(format!("read {}: {e}", path.as_ref().display())))?;
+        let mut pos = 0usize;
+        let g = Self::decode_frame(&buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(Error::Corrupt(format!(
+                "geometry file: {} trailing bytes after frame",
+                buf.len() - pos
+            )));
+        }
+        Ok(g)
+    }
+
     /// Walk and checksum a frame without materialising the voxels.
     pub fn validate_frame(buf: &[u8], pos: &mut usize) -> Result<()> {
         let (_, _, _, end) = Self::parse_frame(buf, *pos)?;
@@ -477,16 +505,42 @@ pub struct SparseTiles {
     pub owned_fluid_cells: u64,
     /// Global tile column of the first *owned* local column.
     pub col_lo: usize,
-    /// Ghost columns per side (0 serial, 1 distributed).
+    /// Ghost columns per side (0 serial; ≥ 1 distributed — two-grid needs
+    /// 1, in-place AA needs `ceil(2·reach / TILE_B)`).
     pub ghost_cols: usize,
-    /// Packed indices of owned boundary tiles shipped left (ascending).
+    /// Packed indices of owned boundary tiles shipped left: the outermost
+    /// `ghost_cols` owned columns, ascending column then (ty, tz).
     pub send_left: Vec<usize>,
     /// Packed indices of owned boundary tiles shipped right.
     pub send_right: Vec<usize>,
-    /// Packed indices of the left ghost-column tiles (ascending).
+    /// Packed indices of the left ghost tiles, in the matching order
+    /// (ascending global column then (ty, tz)).
     pub recv_left: Vec<usize>,
-    /// Packed indices of the right ghost-column tiles.
+    /// Packed indices of the right ghost tiles.
     pub recv_right: Vec<usize>,
+    /// Per-packed-tile fast-path class: `true` iff the fluid bitmap is
+    /// all-ones **and** all 27 neighbour entries are allocated, so a step
+    /// can run the direct-addressed full-tile body with no per-cell mask
+    /// or vacuum test.
+    pub fast: Vec<bool>,
+    /// Owned fast-class tiles, packed (z-local) order.
+    pub fast_owned: Vec<usize>,
+    /// Owned slow-class tiles (partial/rim), packed order. Together with
+    /// [`Self::fast_owned`] this partitions `0..owned_tiles`.
+    pub slow_owned: Vec<usize>,
+    /// AA even-pass work lists: owned tiles containing fluid (rim tiles
+    /// are strict no-ops in the in-place pattern), split by class.
+    pub aa_even_fast: Vec<usize>,
+    /// Slow-class half of the AA even-pass list.
+    pub aa_even_slow: Vec<usize>,
+    /// AA odd-pass work lists: the even-pass tiles plus the "ghost writer"
+    /// tiles in the ghost columns adjacent to the owned span (local
+    /// `tx == ghost_cols − 1` or `tx == ghost_cols + n_cols`), whose
+    /// shallow cells deterministically duplicate the neighbour rank's
+    /// scatter into our boundary slots.
+    pub aa_odd_fast: Vec<usize>,
+    /// Slow-class half of the AA odd-pass list.
+    pub aa_odd_slow: Vec<usize>,
 }
 
 impl SparseTiles {
@@ -494,16 +548,16 @@ impl SparseTiles {
     /// ghosts, neighbour table periodic on all axes.
     pub fn build_serial(geom: &Geometry) -> Result<Self> {
         let gcols = geom.dims().nx / TILE_B;
-        Self::build(geom, 0, gcols, false)
+        Self::build(geom, 0, gcols, 0)
     }
 
     /// Build the tile list for one rank owning global tile columns
-    /// `[col_lo, col_lo + n_cols)`. With `ghosts`, one ghost column is
-    /// appended on each side (periodically wrapped) and the exchange index
-    /// lists are populated; tile allocation is always decided from the
-    /// *global* geometry so every rank agrees on which boundary tiles
-    /// exist.
-    pub fn build(geom: &Geometry, col_lo: usize, n_cols: usize, ghosts: bool) -> Result<Self> {
+    /// `[col_lo, col_lo + n_cols)`. With `ghost_cols > 0`, that many ghost
+    /// columns are appended on each side (periodically wrapped) and the
+    /// exchange index lists are populated; tile allocation is always
+    /// decided from the *global* geometry so every rank agrees on which
+    /// boundary tiles exist.
+    pub fn build(geom: &Geometry, col_lo: usize, n_cols: usize, ghost_cols: usize) -> Result<Self> {
         geom.validate_tiles()?;
         let d = geom.dims();
         let gt = Dim3 {
@@ -516,6 +570,12 @@ impl SparseTiles {
                 "tile columns [{col_lo}, {}) outside 0..{}",
                 col_lo + n_cols,
                 gt.nx
+            )));
+        }
+        if ghost_cols > 0 && n_cols < ghost_cols {
+            return Err(Error::BadDecomposition(format!(
+                "rank owns {n_cols} tile column(s) but the halo protocol \
+                 ships {ghost_cols} — widen the rank's span"
             )));
         }
         // Per-global-tile fluid bitmaps, then the rim-allocation decision.
@@ -539,7 +599,7 @@ impl SparseTiles {
             }
             false
         };
-        let g = usize::from(ghosts);
+        let g = ghost_cols;
         let tdims = Dim3 {
             nx: n_cols + 2 * g,
             ny: gt.ny,
@@ -596,7 +656,7 @@ impl SparseTiles {
         for (p, t) in tiles.iter().enumerate() {
             for dx in -1isize..=1 {
                 let ltx = t.tx as isize + dx;
-                let ltx = if ghosts {
+                let ltx = if g > 0 {
                     if ltx < 0 || ltx >= tdims.nx as isize {
                         continue;
                     }
@@ -618,16 +678,49 @@ impl SparseTiles {
             v.sort_unstable_by_key(|&p| (tiles[p].ty, tiles[p].tz));
             v
         };
-        let (send_left, send_right, recv_left, recv_right) = if ghosts {
+        // Multi-column exchange sets concatenate ascending columns so that
+        // this rank's send_left enumerates the same global (column, ty, tz)
+        // sequence as the left neighbour's recv_right, tile for tile.
+        let columns =
+            |lo: usize, n: usize| -> Vec<usize> { (lo..lo + n).flat_map(column).collect() };
+        let (send_left, send_right, recv_left, recv_right) = if g > 0 {
             (
-                column(g),
-                column(g + n_cols - 1),
-                column(0),
-                column(g + n_cols),
+                columns(g, g),
+                columns(n_cols, g),
+                columns(0, g),
+                columns(g + n_cols, g),
             )
         } else {
             (Vec::new(), Vec::new(), Vec::new(), Vec::new())
         };
+        // Build-time tile classification: a full-fluid tile with every
+        // neighbour allocated runs the direct-addressed fast body; anything
+        // touching a rim or vacuum keeps the per-cell gather walk.
+        let fast: Vec<bool> = (0..tiles.len())
+            .map(|p| tiles[p].fluid == u64::MAX && neighbors[p].iter().all(|&n| n >= 0))
+            .collect();
+        let split =
+            |list: &[usize]| -> (Vec<usize>, Vec<usize>) { list.iter().partition(|&&p| fast[p]) };
+        let owned_list: Vec<usize> = (0..owned_tiles).collect();
+        let (fast_owned, slow_owned) = split(&owned_list);
+        let aa_even_list: Vec<usize> = owned_list
+            .iter()
+            .copied()
+            .filter(|&p| tiles[p].fluid != 0)
+            .collect();
+        let (aa_even_fast, aa_even_slow) = split(&aa_even_list);
+        // Ghost writers: the ghost columns touching the owned span. Lattice
+        // reach ≤ 3 < TILE_B, so only these columns hold cells whose odd
+        // scatter reaches owned slots.
+        let aa_odd_list: Vec<usize> = aa_even_list
+            .iter()
+            .copied()
+            .chain((owned_tiles..tiles.len()).filter(|&p| {
+                let tx = tiles[p].tx;
+                tiles[p].fluid != 0 && (tx + 1 == g || tx == g + n_cols)
+            }))
+            .collect();
+        let (aa_odd_fast, aa_odd_slow) = split(&aa_odd_list);
         Ok(Self {
             tdims,
             tiles,
@@ -641,6 +734,13 @@ impl SparseTiles {
             send_right,
             recv_left,
             recv_right,
+            fast,
+            fast_owned,
+            slow_owned,
+            aa_even_fast,
+            aa_even_slow,
+            aa_odd_fast,
+            aa_odd_slow,
         })
     }
 
@@ -797,6 +897,31 @@ mod tests {
     }
 
     #[test]
+    fn lbmgeo_file_round_trips_and_rejects_damage() {
+        let g = Geometry::bifurcation(dims(32, 32, 16), 6.0, 4.0).unwrap();
+        let path = std::env::temp_dir().join(format!("lbmgeo-rt-{}.lbmgeo", std::process::id()));
+        g.to_file(&path).unwrap();
+        let back = Geometry::from_file(&path).unwrap();
+        assert_eq!(g, back);
+
+        // Corruption anywhere in the file fails the checksum walk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Geometry::from_file(&path).is_err());
+
+        // A valid frame with trailing garbage is not a valid file.
+        bytes[mid] ^= 0x01;
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Geometry::from_file(&path).is_err());
+
+        std::fs::remove_file(&path).unwrap();
+        assert!(Geometry::from_file(&path).is_err(), "missing file is Err");
+    }
+
+    #[test]
     fn tiles_allocate_fluid_plus_rim_only() {
         // One fluid cell in the middle of a 16³ box: its tile plus the 26
         // surrounding rim tiles are allocated, the rest are not.
@@ -847,7 +972,7 @@ mod tests {
         let parts = partition_columns(&counts, 2).unwrap();
         let mut owned_sum = 0;
         for &(lo, hi) in &parts {
-            let t = SparseTiles::build(&g, lo, hi - lo, true).unwrap();
+            let t = SparseTiles::build(&g, lo, hi - lo, 1).unwrap();
             owned_sum += t.owned_fluid_cells;
             assert_eq!(t.tdims.nx, hi - lo + 2);
             // Boundary send sets match the ghost recv sets of the
@@ -894,9 +1019,82 @@ mod tests {
     #[test]
     fn global_cell_x_maps_ghosts_periodically() {
         let g = Geometry::pipe(dims(32, 16, 16), 6.0).unwrap();
-        let t = SparseTiles::build(&g, 0, 4, true).unwrap();
+        let t = SparseTiles::build(&g, 0, 4, 1).unwrap();
         assert_eq!(t.global_cell_x(4, 32), 0); // first owned cell
         assert_eq!(t.global_cell_x(0, 32), 28); // left ghost wraps
         assert_eq!(t.global_cell_x(4 + 16, 32), 16); // right ghost
+    }
+
+    #[test]
+    fn fast_classification_partitions_owned_tiles() {
+        // A wide pipe has all-fluid interior tiles (fast) and rim/partial
+        // boundary tiles (slow); the two lists partition the owned prefix.
+        let g = Geometry::pipe(dims(16, 24, 24), 10.0).unwrap();
+        let t = SparseTiles::build_serial(&g).unwrap();
+        assert!(!t.fast_owned.is_empty(), "wide pipe has interior tiles");
+        assert!(!t.slow_owned.is_empty(), "pipe wall makes slow tiles");
+        let mut all: Vec<usize> = t.fast_owned.iter().chain(&t.slow_owned).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..t.owned_tiles).collect::<Vec<_>>());
+        for &p in &t.fast_owned {
+            assert_eq!(t.tiles[p].fluid, u64::MAX);
+            assert!(t.neighbors[p].iter().all(|&n| n >= 0));
+            assert!(t.fast[p]);
+        }
+        for &p in &t.slow_owned {
+            assert!(!t.fast[p]);
+        }
+        // AA even lists: owned fluid tiles only; rim tiles excluded.
+        let fluid_tiles = (0..t.owned_tiles)
+            .filter(|&p| t.tiles[p].fluid != 0)
+            .count();
+        assert_eq!(t.aa_even_fast.len() + t.aa_even_slow.len(), fluid_tiles);
+        // Serial build: no ghost writers, odd list == even list.
+        assert_eq!(t.aa_odd_fast, t.aa_even_fast);
+        assert_eq!(t.aa_odd_slow, t.aa_even_slow);
+    }
+
+    #[test]
+    fn multi_ghost_column_exchange_sets_correspond() {
+        // All-fluid 32³ box split in two: with 2 ghost columns each rank
+        // ships its outermost 2 owned columns, and rank 0's send_left must
+        // enumerate the same global tiles as rank 1's recv_right.
+        let g = Geometry::from_fn(dims(32, 16, 16), |_, _, _| true).unwrap();
+        let a = SparseTiles::build(&g, 0, 4, 2).unwrap();
+        let b = SparseTiles::build(&g, 4, 4, 2).unwrap();
+        assert_eq!(a.tdims.nx, 8);
+        for t in [&a, &b] {
+            for list in [&t.send_left, &t.send_right, &t.recv_left, &t.recv_right] {
+                assert_eq!(list.len(), 2 * 4 * 4);
+            }
+        }
+        let globals = |t: &SparseTiles, list: &[usize]| -> Vec<(usize, usize, usize)> {
+            list.iter()
+                .map(|&p| {
+                    let ti = t.tiles[p];
+                    let gx = t.global_cell_x(ti.tx * TILE_B, 32) / TILE_B;
+                    (gx, ti.ty, ti.tz)
+                })
+                .collect()
+        };
+        // a's left boundary wraps to b's right ghosts and vice versa.
+        assert_eq!(globals(&a, &a.send_left), globals(&b, &b.recv_right));
+        assert_eq!(globals(&a, &a.send_right), globals(&b, &b.recv_left));
+        assert_eq!(globals(&b, &b.send_left), globals(&a, &a.recv_right));
+        // Ghost writers: only the adjacent ghost columns join the odd list.
+        let odd: Vec<usize> = a
+            .aa_odd_fast
+            .iter()
+            .chain(&a.aa_odd_slow)
+            .copied()
+            .collect();
+        let even_len = a.aa_even_fast.len() + a.aa_even_slow.len();
+        assert!(odd.len() > even_len);
+        for &p in &odd {
+            let tx = a.tiles[p].tx;
+            assert!((2..6).contains(&tx) || tx == 1 || tx == 6, "tx {tx}");
+        }
+        // A rank narrower than the halo is rejected.
+        assert!(SparseTiles::build(&g, 0, 1, 2).is_err());
     }
 }

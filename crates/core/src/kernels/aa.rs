@@ -1716,14 +1716,17 @@ unsafe fn odd_block_avx2<const THIRD: bool, O: CollideOp>(
 
         // Relax pass in velocity pairs, cross-storing through the rotation
         // (identical per-lane operation sequence to [`even_block_avx2`]).
-        macro_rules! relax_vec {
-            ($c:expr, $i:expr, $fv:expr, $z:expr) => {{
+        // `relax_vec_m!` takes the lane group's moment vectors as operands
+        // so the z-outer interior loop can load them once per group.
+        macro_rules! relax_vec_m {
+            ($c:expr, $i:expr, $fv:expr, $ux:expr, $uy:expr, $uz:expr, $u2:expr, $vrho:expr,
+             $ug:expr) => {{
                 let c = $c;
-                let ux = _mm256_loadu_pd(vux.as_ptr().add($z));
-                let uy = _mm256_loadu_pd(vuy.as_ptr().add($z));
-                let uz = _mm256_loadu_pd(vuz.as_ptr().add($z));
-                let u2 = _mm256_loadu_pd(vu2.as_ptr().add($z));
-                let vrho = _mm256_loadu_pd(rho.as_ptr().add($z));
+                let ux = $ux;
+                let uy = $uy;
+                let uz = $uz;
+                let u2 = $u2;
+                let vrho = $vrho;
                 let mut vxi = _mm256_setzero_pd();
                 if c[0] != 0.0 {
                     vxi = _mm256_fmadd_pd(_mm256_set1_pd(c[0]), ux, vxi);
@@ -1745,7 +1748,7 @@ unsafe fn odd_block_avx2<const THIRD: bool, O: CollideOp>(
                 let fv = $fv;
                 let mut out = _mm256_fmadd_pd(v_omega, _mm256_sub_pd(vfeq, fv), fv);
                 if O::FORCED {
-                    let ugv = _mm256_loadu_pd(vug.as_ptr().add($z));
+                    let ugv = $ug;
                     let vs = _mm256_fmadd_pd(
                         _mm256_set1_pd(oc.sc[$i]),
                         vxi,
@@ -1756,6 +1759,65 @@ unsafe fn odd_block_avx2<const THIRD: bool, O: CollideOp>(
                 out
             }};
         }
+        macro_rules! relax_vec {
+            ($c:expr, $i:expr, $fv:expr, $z:expr) => {{
+                let mux = _mm256_loadu_pd(vux.as_ptr().add($z));
+                let muy = _mm256_loadu_pd(vuy.as_ptr().add($z));
+                let muz = _mm256_loadu_pd(vuz.as_ptr().add($z));
+                let mu2 = _mm256_loadu_pd(vu2.as_ptr().add($z));
+                let mrho = _mm256_loadu_pd(rho.as_ptr().add($z));
+                let mug = if O::FORCED {
+                    _mm256_loadu_pd(vug.as_ptr().add($z))
+                } else {
+                    _mm256_setzero_pd()
+                };
+                relax_vec_m!($c, $i, $fv, mux, muy, muz, mu2, mrho, mug)
+            }};
+        }
+
+        // Interior fast range: z-outer / pair-inner. One load of the six
+        // moment vectors feeds every velocity pair of the lane group while
+        // they are hot in registers, and the group's Q row touches cluster
+        // in time instead of being strided across Q separate row sweeps.
+        // Bitwise-neutral: each (velocity, z) slot is read and written by
+        // exactly one pair, so the loop interchange permutes independent
+        // lane-group updates without reassociating any arithmetic.
+        let mut z = mid_lo;
+        while z < mid_hi {
+            let mux = _mm256_loadu_pd(vux.as_ptr().add(z));
+            let muy = _mm256_loadu_pd(vuy.as_ptr().add(z));
+            let muz = _mm256_loadu_pd(vuz.as_ptr().add(z));
+            let mu2 = _mm256_loadu_pd(vu2.as_ptr().add(z));
+            let mrho = _mm256_loadu_pd(rho.as_ptr().add(z));
+            let mug = if O::FORCED {
+                _mm256_loadu_pd(vug.as_ptr().add(z))
+            } else {
+                _mm256_setzero_pd()
+            };
+            // Regular (write-back) stores on purpose: this order touches one
+            // 32-byte group in each of ~Q distinct rows per iteration, so
+            // `_mm256_stream_pd` would spread partial lines across more
+            // write-combining buffers than the core has and flush them
+            // half-full — measured as a double-digit MFlup/s loss at Q=19.
+            for i in 0..q {
+                let o = oc.opp[i];
+                if o < i {
+                    continue; // pair already done
+                }
+                let fv_i = _mm256_loadu_pd(fp[i].add(z));
+                if o == i {
+                    let out = relax_vec_m!(oc.cw[i], i, fv_i, mux, muy, muz, mu2, mrho, mug);
+                    _mm256_storeu_pd((fp[i] as *mut f64).add(z), out);
+                } else {
+                    let fv_o = _mm256_loadu_pd(fp[o].add(z));
+                    let out_i = relax_vec_m!(oc.cw[i], i, fv_i, mux, muy, muz, mu2, mrho, mug);
+                    let out_o = relax_vec_m!(oc.cw[o], o, fv_o, mux, muy, muz, mu2, mrho, mug);
+                    _mm256_storeu_pd((fp[o] as *mut f64).add(z), out_i);
+                    _mm256_storeu_pd((fp[i] as *mut f64).add(z), out_o);
+                }
+            }
+            z += LANES;
+        }
 
         for i in 0..q {
             let o = oc.opp[i];
@@ -1765,25 +1827,16 @@ unsafe fn odd_block_avx2<const THIRD: bool, O: CollideOp>(
             let pi = base_ptr.add(rows[i]);
             let si = starts[i];
             let ci = oc.cw[i];
-            let fpi = fp[i] as *mut f64;
             if o == i {
-                // Self-opposite (rest velocity): unshifted, in place.
+                // Self-opposite (rest velocity): unshifted, in place. The
+                // interior groups were done by the z-outer pass above.
                 let mut z = 0usize;
                 while z < mid_lo {
                     let out = relax_vec!(ci, i, load4_rot!(pi as *const f64, si, z), z);
                     store4_rot!(pi, si, z, out, nt);
                     z += LANES;
                 }
-                while z < mid_hi {
-                    let out = relax_vec!(ci, i, _mm256_loadu_pd(fp[i].add(z)), z);
-                    let dst = fpi.add(z);
-                    if nt && (dst as usize) & 31 == 0 {
-                        _mm256_stream_pd(dst, out);
-                    } else {
-                        _mm256_storeu_pd(dst, out);
-                    }
-                    z += LANES;
-                }
+                z = mid_hi;
                 while z < vec_end {
                     let out = relax_vec!(ci, i, load4_rot!(pi as *const f64, si, z), z);
                     store4_rot!(pi, si, z, out, nt);
@@ -1804,7 +1857,6 @@ unsafe fn odd_block_avx2<const THIRD: bool, O: CollideOp>(
                 let po = base_ptr.add(rows[o]);
                 let so = starts[o];
                 let co = oc.cw[o];
-                let fpo = fp[o] as *mut f64;
                 let mut z = 0usize;
                 while z < mid_lo {
                     let out_i = relax_vec!(ci, i, load4_rot!(pi as *const f64, si, z), z);
@@ -1813,23 +1865,8 @@ unsafe fn odd_block_avx2<const THIRD: bool, O: CollideOp>(
                     store4_rot!(pi, si, z, out_o, nt);
                     z += LANES;
                 }
-                while z < mid_hi {
-                    let out_i = relax_vec!(ci, i, _mm256_loadu_pd(fp[i].add(z)), z);
-                    let out_o = relax_vec!(co, o, _mm256_loadu_pd(fp[o].add(z)), z);
-                    let dst_o = fpo.add(z);
-                    if nt && (dst_o as usize) & 31 == 0 {
-                        _mm256_stream_pd(dst_o, out_i);
-                    } else {
-                        _mm256_storeu_pd(dst_o, out_i);
-                    }
-                    let dst_i = fpi.add(z);
-                    if nt && (dst_i as usize) & 31 == 0 {
-                        _mm256_stream_pd(dst_i, out_o);
-                    } else {
-                        _mm256_storeu_pd(dst_i, out_o);
-                    }
-                    z += LANES;
-                }
+                // Interior groups were done by the z-outer pass above.
+                z = mid_hi;
                 while z < vec_end {
                     let out_i = relax_vec!(ci, i, load4_rot!(pi as *const f64, si, z), z);
                     let out_o = relax_vec!(co, o, load4_rot!(po as *const f64, so, z), z);

@@ -113,15 +113,39 @@ impl SparseField {
     }
 }
 
+/// One merged unit-stride run of a gather row: `len` consecutive
+/// destination cells starting at `dst` all pull from the same neighbour
+/// `slot` at consecutive source cells starting at `src`. Because cells are
+/// packed z-fastest and every velocity shift is a constant offset, a row's
+/// 64 entries collapse into a handful of such segments — the full-tile fast
+/// path replaces the per-cell table walk with one `copy_from_slice` per
+/// segment.
+#[derive(Clone, Copy, Debug)]
+struct Seg {
+    dst: u8,
+    src: u8,
+    slot: u8,
+    len: u8,
+}
+
 /// Geometry-independent streaming table for one lattice: for every
 /// `(velocity, destination cell)` pair, which neighbour-table slot the pull
 /// source lives in and its cell index there. Valid because every velocity
 /// component is ≤ 3 < [`TILE_B`], so the source is at most one tile away.
+///
+/// Alongside the per-cell entries it carries the merged segment plan
+/// ([`Seg`]) driving the full-tile direct-addressed fast path; both views
+/// describe the identical source addresses, so the fast path is bitwise
+/// equal to the walk by construction.
 #[derive(Clone, Debug)]
 pub struct GatherTable {
     q: usize,
     /// `[i · 64 + c] = (neighbour slot, source cell)`.
     entries: Vec<(u8, u8)>,
+    /// Merged segments, all velocities concatenated.
+    segs: Vec<Seg>,
+    /// `segs` range of velocity `i`: `seg_off[i]..seg_off[i + 1]`.
+    seg_off: Vec<u32>,
 }
 
 impl GatherTable {
@@ -153,13 +177,52 @@ impl GatherTable {
                 }
             }
         }
-        Self { q, entries }
+        // Merge each row into unit-stride segments: extend while the next
+        // destination cell pulls from the same slot at the next source cell.
+        let mut segs = Vec::new();
+        let mut seg_off = Vec::with_capacity(q + 1);
+        seg_off.push(0u32);
+        for i in 0..q {
+            let row = &entries[i * TILE_CELLS..(i + 1) * TILE_CELLS];
+            let mut c = 0usize;
+            while c < TILE_CELLS {
+                let (slot, src) = row[c];
+                let mut len = 1usize;
+                while c + len < TILE_CELLS {
+                    let (s2, c2) = row[c + len];
+                    if s2 != slot || c2 as usize != src as usize + len {
+                        break;
+                    }
+                    len += 1;
+                }
+                segs.push(Seg {
+                    dst: c as u8,
+                    src,
+                    slot,
+                    len: len as u8,
+                });
+                c += len;
+            }
+            seg_off.push(segs.len() as u32);
+        }
+        Self {
+            q,
+            entries,
+            segs,
+            seg_off,
+        }
     }
 
     /// The 64 `(slot, source cell)` entries of velocity `i`.
     #[inline]
     fn row(&self, i: usize) -> &[(u8, u8)] {
         &self.entries[i * TILE_CELLS..(i + 1) * TILE_CELLS]
+    }
+
+    /// The merged segments of velocity `i`'s row.
+    #[inline]
+    fn seg_row(&self, i: usize) -> &[Seg] {
+        &self.segs[self.seg_off[i] as usize..self.seg_off[i + 1] as usize]
     }
 }
 
@@ -250,29 +313,37 @@ fn step_impl<const THIRD: bool, O: CollideOp>(
 ) {
     let q = ctx.lat.q();
     let frame = dst.frame_len();
-    let n = tiles.owned_tiles;
     let total = dst.as_slice().len();
     let base = SendPtr(dst.as_mut_slice().as_mut_ptr());
     let src_data = src.as_slice();
 
-    let run = move |t_lo: usize, t_hi: usize| {
+    // Fast-class tiles (all-fluid, all neighbours allocated) replace the
+    // per-cell table walk with the merged segment copies; the gathered
+    // buffer is identical, so the collide output is bitwise equal. Both
+    // lists are in packed (z-local) order.
+    let run = move |list: &[usize], fast: bool| {
         let base = base; // capture the whole SendPtr, not its raw-ptr field
         let mut buf = [0.0f64; MAX_Q * TILE_CELLS];
-        for t in t_lo..t_hi {
+        for (idx, &t) in list.iter().enumerate() {
             let nbrs = &tiles.neighbors[t];
-            if t + 1 < t_hi {
+            if let Some(&t_next) = list.get(idx + 1) {
                 // The indirect gather defeats the hardware stride
                 // prefetcher (the stream restarts at an arbitrary frame on
                 // every tile), so touch the next tile's source frame — the
                 // dominant gather source: every interior cell pulls from it
                 // — and its neighbour row while this tile computes; the AA
                 // and fused kernels' next-row pattern, adapted to tiles.
-                prefetch_next_tile(src_data, tiles, t + 1, frame);
+                prefetch_next_tile(src_data, tiles, t_next, frame);
             }
-            gather_tile(q, gt, nbrs, src_data, &mut buf);
+            if fast {
+                gather_tile_fast(q, gt, nbrs, src_data, &mut buf);
+            } else {
+                gather_tile(q, gt, nbrs, src_data, &mut buf);
+            }
             debug_assert!((t + 1) * frame <= total);
-            // SAFETY: owned-tile chunks partition [0, n); each task writes
-            // only its own tiles' frames, which are disjoint slices of dst.
+            // SAFETY: the fast/slow lists partition the owned tiles and
+            // chunks partition each list; each task writes only its own
+            // tiles' frames, which are disjoint slices of dst.
             let dstf = unsafe { std::slice::from_raw_parts_mut(base.0.add(t * frame), frame) };
             let fluid = tiles.tiles[t].fluid;
             #[cfg(target_arch = "x86_64")]
@@ -286,17 +357,45 @@ fn step_impl<const THIRD: bool, O: CollideOp>(
         }
     };
 
-    if parallel && n > 1 {
-        let chunks = (rayon::current_num_threads().max(1) * 4).min(n).max(1);
-        (0..chunks).into_par_iter().for_each(|c| {
-            let (lo, hi) = chunk_bounds(0, n, chunks, c);
-            if lo < hi {
-                run(lo, hi);
-            }
-        });
-    } else {
-        run(0, n);
+    drive_tile_lists(&tiles.fast_owned, &tiles.slow_owned, parallel, run);
+}
+
+/// Run `work(sublist, is_fast)` over the fast and slow tile lists, either
+/// serially or rayon-parallel. Chunks never straddle the class boundary, so
+/// the branch-free fast body is not serialized behind rim tiles sharing its
+/// chunk.
+fn drive_tile_lists(
+    fast: &[usize],
+    slow: &[usize],
+    parallel: bool,
+    work: impl Fn(&[usize], bool) + Sync,
+) {
+    let n = fast.len() + slow.len();
+    if !parallel || n <= 1 {
+        work(fast, true);
+        work(slow, false);
+        return;
     }
+    let chunks_of = |len: usize| -> usize {
+        if len == 0 {
+            0
+        } else {
+            (rayon::current_num_threads().max(1) * 4).min(len)
+        }
+    };
+    let cf = chunks_of(fast.len());
+    let cs = chunks_of(slow.len());
+    (0..cf + cs).into_par_iter().for_each(|c| {
+        let (list, chunks, c, is_fast) = if c < cf {
+            (fast, cf, c, true)
+        } else {
+            (slow, cs, c - cf, false)
+        };
+        let (lo, hi) = chunk_bounds(0, list.len(), chunks, c);
+        if lo < hi {
+            work(&list[lo..hi], is_fast);
+        }
+    });
 }
 
 /// Software-prefetch the gather sources of tile `t_next`: its own source
@@ -349,6 +448,45 @@ fn gather_tile(
             };
         }
     }
+}
+
+/// Direct-addressed pull-stream for a fast-class tile: every neighbour is
+/// allocated, so each merged segment is one unit-stride block copy at a
+/// constant intra-tile offset — no per-cell slot decode, no vacuum branch.
+/// Produces the identical `buf` as [`gather_tile`] on such tiles.
+#[inline]
+fn gather_tile_fast(
+    q: usize,
+    gt: &GatherTable,
+    nbrs: &[i32; TILE_NEIGHBORS],
+    src: &[f64],
+    buf: &mut [f64],
+) {
+    for i in 0..q {
+        let out = &mut buf[i * TILE_CELLS..(i + 1) * TILE_CELLS];
+        for s in gt.seg_row(i) {
+            let t = nbrs[s.slot as usize] as usize;
+            let (d, so, len) = (s.dst as usize, s.src as usize, s.len as usize);
+            let lo = (t * q + i) * TILE_CELLS + so;
+            out[d..d + len].copy_from_slice(&src[lo..lo + len]);
+        }
+    }
+}
+
+/// The streamed (pull) image of packed tile `t`: `buf[i·64 + c]` receives
+/// exactly what the fused two-grid step would gather before bouncing and
+/// colliding, vacuum zeros included. Sparse AA storage holds this image
+/// directly at even-parity boundaries, so cross-storage equivalence checks
+/// compare an AA frame against `streamed_tile` of the two-grid state.
+pub fn streamed_tile(
+    q: usize,
+    gt: &GatherTable,
+    tiles: &SparseTiles,
+    f: &SparseField,
+    t: usize,
+    buf: &mut [f64],
+) {
+    gather_tile(q, gt, &tiles.neighbors[t], f.as_slice(), buf);
 }
 
 /// Scalar tile body: per-cell BGK/Guo collide on fluid cells (the exact
@@ -559,6 +697,404 @@ unsafe fn tile_cells_avx2<const THIRD: bool, O: CollideOp>(
                     _mm256_blendv_pd(b, vnext, blend_mask)
                 };
                 _mm256_storeu_pd(dp.add(i * TILE_CELLS + off), out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-place AA-pattern storage: one frame per tile, no src/dst pair.
+//
+// Slot convention (the sparse transcription of `kernels::aa`): at *even*
+// parity, slot `(P, i)` holds the post-stream population `f_i(P)` — the
+// streamed image of the two-grid state. The even step collides each cell
+// locally and stores the result velocity-swapped (`slot (P, opp(i)) ←
+// f*_i(P)`); the odd step is the in-place stream+collide+stream: writer `x`
+// gathers slot `(x − c_j, opp(j))` (= the streamed `f_j(x)`), collides, and
+// scatters slot `(x + c_i, i) ← f**_i(x)`, restoring even parity.
+//
+// Correctness hinges on slot ownership: slot `(P, i)` is gathered by exactly
+// the writer `x = P − c_i` and scattered by exactly the same `x`, so a
+// writer's read set equals its write set and distinct writers touch disjoint
+// slots — gather-before-scatter per tile makes the whole pass race-free
+// across tiles, threads and ranks with no special wall handling. Solid
+// cells are strict no-ops both phases (the even bounce + swapped store is
+// the identity on their slots); a fluid writer's scatter into a solid
+// neighbour's slot is the in-flight bounce-back storage that the same
+// writer re-gathers next odd step — full-way bounce-back with the two-grid
+// delay, bitwise.
+// ---------------------------------------------------------------------------
+
+/// Even (in-place, local) AA step over the owned fluid tiles: collide every
+/// cell and store the result velocity-swapped into the same frame. Rim
+/// tiles are untouched (the swapped bounce store is the identity there).
+pub fn aa_even_step(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    f: &mut SparseField,
+    g: [f64; 3],
+    use_simd: bool,
+) {
+    with_op!(g, |op| aa_even_with(ctx, tiles, f, op, use_simd, false));
+}
+
+/// Rayon-parallel [`aa_even_step`]: bitwise equal — every tile touches only
+/// its own frame. Call from inside the desired thread pool.
+pub fn aa_even_step_par(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    f: &mut SparseField,
+    g: [f64; 3],
+    use_simd: bool,
+) {
+    with_op!(g, |op| aa_even_with(ctx, tiles, f, op, use_simd, true));
+}
+
+/// Odd (in-place, streaming) AA step: gather through the neighbour table at
+/// the opposite velocity, collide, scatter velocity-forward. Computes the
+/// owned fluid tiles plus the adjacent ghost-writer tiles (distributed
+/// builds), whose shallow cells duplicate the neighbour rank's scatter into
+/// our boundary slots.
+pub fn aa_odd_step(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    gt: &GatherTable,
+    f: &mut SparseField,
+    g: [f64; 3],
+    use_simd: bool,
+) {
+    with_op!(g, |op| aa_odd_with(ctx, tiles, gt, f, op, use_simd, false));
+}
+
+/// Rayon-parallel [`aa_odd_step`]: bitwise equal by the slot-ownership
+/// argument in the section docs. Call from inside the desired thread pool.
+pub fn aa_odd_step_par(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    gt: &GatherTable,
+    f: &mut SparseField,
+    g: [f64; 3],
+    use_simd: bool,
+) {
+    with_op!(g, |op| aa_odd_with(ctx, tiles, gt, f, op, use_simd, true));
+}
+
+fn aa_even_with<O: CollideOp>(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    f: &mut SparseField,
+    op: O,
+    use_simd: bool,
+    parallel: bool,
+) {
+    let q = ctx.lat.q();
+    assert_eq!(f.q(), q, "field q mismatch");
+    assert_eq!(f.tile_count(), tiles.tile_count(), "field tile mismatch");
+    let oc = OpConsts::new(ctx, &op);
+    let simd = use_simd && sparse_simd_available();
+    if ctx.third_order() {
+        aa_even_impl::<true, O>(ctx, tiles, f, &oc, simd, parallel);
+    } else {
+        aa_even_impl::<false, O>(ctx, tiles, f, &oc, simd, parallel);
+    }
+}
+
+fn aa_even_impl<const THIRD: bool, O: CollideOp>(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    f: &mut SparseField,
+    oc: &OpConsts,
+    simd: bool,
+    parallel: bool,
+) {
+    let q = ctx.lat.q();
+    let frame = f.frame_len();
+    let total = f.as_slice().len();
+    let base = SendPtr(f.as_mut_slice().as_mut_ptr());
+
+    let run = move |list: &[usize], _fast: bool| {
+        let base = base;
+        let mut out = [0.0f64; MAX_Q * TILE_CELLS];
+        for &t in list {
+            debug_assert!((t + 1) * frame <= total);
+            let fluid = tiles.tiles[t].fluid;
+            // SAFETY: the even step touches only the tile's own frame and
+            // the work lists partition distinct tiles across tasks.
+            let fr = unsafe { std::slice::from_raw_parts_mut(base.0.add(t * frame), frame) };
+            let outf = &mut out[..frame];
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd` implies AVX2 was detected at runtime.
+                unsafe { tile_cells_avx2::<THIRD, O>(ctx, oc, fluid, fr, outf) };
+                store_swapped(q, &oc.opp, outf, fr);
+                continue;
+            }
+            let _ = simd;
+            tile_cells_scalar::<THIRD, O>(ctx, oc, fluid, fr, outf);
+            store_swapped(q, &oc.opp, outf, fr);
+        }
+    };
+    drive_tile_lists(&tiles.aa_even_fast, &tiles.aa_even_slow, parallel, run);
+}
+
+/// `frame[opp(i)·64 ..] ← out[i·64 ..]` for all velocities — the AA
+/// cross-store. On solid cells `out` holds the bounce copy
+/// `frame[opp(i)·64 + c]`, so the swapped store is the identity there.
+#[inline]
+fn store_swapped(q: usize, opp: &[usize; MAX_Q], out: &[f64], frame: &mut [f64]) {
+    for i in 0..q {
+        let o = opp[i] * TILE_CELLS;
+        frame[o..o + TILE_CELLS].copy_from_slice(&out[i * TILE_CELLS..(i + 1) * TILE_CELLS]);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn aa_odd_with<O: CollideOp>(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    gt: &GatherTable,
+    f: &mut SparseField,
+    op: O,
+    use_simd: bool,
+    parallel: bool,
+) {
+    let q = ctx.lat.q();
+    assert_eq!(f.q(), q, "field q mismatch");
+    assert_eq!(f.tile_count(), tiles.tile_count(), "field tile mismatch");
+    assert_eq!(gt.q, q, "gather table lattice mismatch");
+    let oc = OpConsts::new(ctx, &op);
+    let simd = use_simd && sparse_simd_available();
+    if ctx.third_order() {
+        aa_odd_impl::<true, O>(ctx, tiles, gt, f, &oc, simd, parallel);
+    } else {
+        aa_odd_impl::<false, O>(ctx, tiles, gt, f, &oc, simd, parallel);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn aa_odd_impl<const THIRD: bool, O: CollideOp>(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    gt: &GatherTable,
+    f: &mut SparseField,
+    oc: &OpConsts,
+    simd: bool,
+    parallel: bool,
+) {
+    let q = ctx.lat.q();
+    let frame = f.frame_len();
+    let total = f.as_slice().len();
+    let base = SendPtr(f.as_mut_slice().as_mut_ptr());
+
+    let run = move |list: &[usize], fast: bool| {
+        let base = base;
+        let mut buf = [0.0f64; MAX_Q * TILE_CELLS];
+        let mut out = [0.0f64; MAX_Q * TILE_CELLS];
+        for (idx, &t) in list.iter().enumerate() {
+            let nbrs = &tiles.neighbors[t];
+            // SAFETY: slot `(P, i)` is read only by writer `P − c_i` and
+            // written only by the same writer (section docs); the work
+            // lists assign each writer cell to exactly one task and every
+            // tile gathers all of its slots before scattering any, so no
+            // location is concurrently read and written by different tasks.
+            let src = unsafe { std::slice::from_raw_parts(base.0.cast_const(), total) };
+            if let Some(&t_next) = list.get(idx + 1) {
+                prefetch_next_tile(src, tiles, t_next, frame);
+            }
+            if fast {
+                gather_tile_aa_fast(q, &oc.opp, gt, nbrs, src, &mut buf);
+            } else {
+                gather_tile_aa(q, &oc.opp, gt, nbrs, src, &mut buf);
+            }
+            let fluid = tiles.tiles[t].fluid;
+            let outf = &mut out[..frame];
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd` implies AVX2 was detected at runtime.
+                unsafe { tile_cells_avx2::<THIRD, O>(ctx, oc, fluid, &buf, outf) };
+            } else {
+                tile_cells_scalar::<THIRD, O>(ctx, oc, fluid, &buf, outf);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                let _ = simd;
+                tile_cells_scalar::<THIRD, O>(ctx, oc, fluid, &buf, outf);
+            }
+            // SAFETY: scatter targets are the writer-owned slots above.
+            unsafe {
+                if fast {
+                    scatter_tile_aa::<true>(q, &oc.opp, gt, nbrs, fluid, outf, base.0);
+                } else {
+                    scatter_tile_aa::<false>(q, &oc.opp, gt, nbrs, fluid, outf, base.0);
+                }
+            }
+        }
+    };
+    drive_tile_lists(&tiles.aa_odd_fast, &tiles.aa_odd_slow, parallel, run);
+}
+
+/// Odd-step pull: `buf[j·64 + c] ← field[(x − c_j, opp(j))]` through the
+/// neighbour table (vacuum for unallocated sources, which only ever feeds
+/// discarded solid/deep-ghost outputs).
+#[inline]
+fn gather_tile_aa(
+    q: usize,
+    opp: &[usize; MAX_Q],
+    gt: &GatherTable,
+    nbrs: &[i32; TILE_NEIGHBORS],
+    src: &[f64],
+    buf: &mut [f64],
+) {
+    for i in 0..q {
+        let row = gt.row(i);
+        let oi = opp[i];
+        let out = &mut buf[i * TILE_CELLS..(i + 1) * TILE_CELLS];
+        for (c, o) in out.iter_mut().enumerate() {
+            let (slot, sc) = row[c];
+            let t = nbrs[slot as usize];
+            *o = if t < 0 {
+                0.0
+            } else {
+                src[(t as usize * q + oi) * TILE_CELLS + sc as usize]
+            };
+        }
+    }
+}
+
+/// Segment-copy variant of [`gather_tile_aa`] for fast-class tiles.
+#[inline]
+fn gather_tile_aa_fast(
+    q: usize,
+    opp: &[usize; MAX_Q],
+    gt: &GatherTable,
+    nbrs: &[i32; TILE_NEIGHBORS],
+    src: &[f64],
+    buf: &mut [f64],
+) {
+    for i in 0..q {
+        let oi = opp[i];
+        let out = &mut buf[i * TILE_CELLS..(i + 1) * TILE_CELLS];
+        for s in gt.seg_row(i) {
+            let t = nbrs[s.slot as usize] as usize;
+            let (d, so, len) = (s.dst as usize, s.src as usize, s.len as usize);
+            let lo = (t * q + oi) * TILE_CELLS + so;
+            out[d..d + len].copy_from_slice(&src[lo..lo + len]);
+        }
+    }
+}
+
+/// Odd-step push: `field[(x + c_i, i)] ← out[i·64 + c]` for the writer
+/// cells. `FAST` scatters the whole tile by segment copies (all cells
+/// fluid, all neighbours allocated); otherwise only fluid writers scatter,
+/// and a `-1` target (deep ghost writer past the halo) is discarded — the
+/// owning rank computes that slot itself.
+///
+/// # Safety
+/// Caller must uphold the slot-ownership partition documented on the
+/// section: the written slots belong exclusively to this tile's writers.
+#[inline]
+unsafe fn scatter_tile_aa<const FAST: bool>(
+    q: usize,
+    opp: &[usize; MAX_Q],
+    gt: &GatherTable,
+    nbrs: &[i32; TILE_NEIGHBORS],
+    fluid: u64,
+    out: &[f64],
+    base: *mut f64,
+) {
+    for i in 0..q {
+        let oi = opp[i];
+        if FAST {
+            for s in gt.seg_row(oi) {
+                let t = nbrs[s.slot as usize] as usize;
+                let (d, so, len) = (s.dst as usize, s.src as usize, s.len as usize);
+                let lo = (t * q + i) * TILE_CELLS + so;
+                // SAFETY: in-bounds by the frame layout; exclusivity per
+                // the function contract.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        out.as_ptr().add(i * TILE_CELLS + d),
+                        base.add(lo),
+                        len,
+                    );
+                }
+            }
+        } else {
+            let row = gt.row(oi);
+            let mut bits = fluid;
+            while bits != 0 {
+                let c = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (slot, sc) = row[c];
+                let t = nbrs[slot as usize];
+                if t >= 0 {
+                    // SAFETY: as above.
+                    unsafe {
+                        *base.add((t as usize * q + i) * TILE_CELLS + sc as usize) =
+                            out[i * TILE_CELLS + c];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Initialise a field to *even-parity AA state* — the streamed image of the
+/// two-grid equilibrium init: slot `(P, i) ← feq_i(state(P − c_i))` when
+/// the source cell's tile is allocated, else `0.0`. Matching
+/// [`init_equilibrium`] + one pull-stream bitwise, so an AA run and a
+/// two-grid run started from the same `state` stay comparable step for
+/// step. Ghost frames get the same rule where the source is locally
+/// addressable (they are overwritten by the halo exchange before first
+/// use).
+pub fn init_equilibrium_aa(
+    ctx: &KernelCtx,
+    tiles: &SparseTiles,
+    f: &mut SparseField,
+    gdims: Dim3,
+    state: impl Fn(usize, usize, usize) -> (f64, [f64; 3]),
+) {
+    assert_eq!(f.tile_count(), tiles.tile_count());
+    let td = tiles.tdims;
+    let (lnx, lny, lnz) = (td.nx * TILE_B, td.ny * TILE_B, td.nz * TILE_B);
+    let vels = ctx.lat.velocities().to_vec();
+    for t in 0..tiles.tile_count() {
+        let ti = tiles.tiles[t];
+        let frame = f.frame_mut(t);
+        for lx in 0..TILE_B {
+            let x = ti.tx * TILE_B + lx;
+            for ly in 0..TILE_B {
+                let y = ti.ty * TILE_B + ly;
+                for lz in 0..TILE_B {
+                    let z = ti.tz * TILE_B + lz;
+                    let c = tile_cell(lx, ly, lz);
+                    for (i, cv) in vels.iter().enumerate() {
+                        let sxi = x as isize - cv[0] as isize;
+                        let sx = if tiles.ghost_cols == 0 {
+                            Some(sxi.rem_euclid(lnx as isize) as usize)
+                        } else if (0..lnx as isize).contains(&sxi) {
+                            Some(sxi as usize)
+                        } else {
+                            None
+                        };
+                        let sy = (y as isize - cv[1] as isize).rem_euclid(lny as isize) as usize;
+                        let sz = (z as isize - cv[2] as isize).rem_euclid(lnz as isize) as usize;
+                        frame[i * TILE_CELLS + c] = match sx {
+                            None => 0.0,
+                            Some(sx) => {
+                                let tt =
+                                    tiles.tile_of[td.idx(sx / TILE_B, sy / TILE_B, sz / TILE_B)];
+                                if tt < 0 {
+                                    0.0
+                                } else {
+                                    let gx = tiles.global_cell_x(sx, gdims.nx);
+                                    let (rho, u) = state(gx, sy, sz);
+                                    feq_i(&ctx.lat, ctx.order, i, rho, u)
+                                }
+                            }
+                        };
+                    }
+                }
             }
         }
     }
@@ -1031,6 +1567,302 @@ mod tests {
         f.gather_cell(t, tile_cell(0, 0, 0), &mut cell);
         let rho: f64 = cell.iter().sum();
         assert!((rho - 1.0).abs() < 0.05, "rho {rho}");
+    }
+
+    /// Clone with the fast path disabled: every tile classified slow, so
+    /// the step runs the per-cell gather walk everywhere.
+    fn force_slow(tiles: &SparseTiles) -> SparseTiles {
+        let mut t = tiles.clone();
+        let demote = |fast: &mut Vec<usize>, slow: &mut Vec<usize>| {
+            let mut all: Vec<usize> = fast.drain(..).chain(slow.drain(..)).collect();
+            all.sort_unstable();
+            *slow = all;
+        };
+        let (ef, es) = (&mut t.aa_even_fast, &mut t.aa_even_slow);
+        demote(ef, es);
+        let (of, os) = (&mut t.aa_odd_fast, &mut t.aa_odd_slow);
+        demote(of, os);
+        let (ff, fs) = (&mut t.fast_owned, &mut t.slow_owned);
+        demote(ff, fs);
+        t
+    }
+
+    #[test]
+    fn segments_reproduce_gather_rows() {
+        for kind in [
+            LatticeKind::D3Q15,
+            LatticeKind::D3Q19,
+            LatticeKind::D3Q27,
+            LatticeKind::D3Q39,
+        ] {
+            let gt = GatherTable::new(&Lattice::new(kind));
+            for i in 0..gt.q {
+                let row = gt.row(i);
+                let mut covered = 0usize;
+                for s in gt.seg_row(i) {
+                    for k in 0..s.len as usize {
+                        let (slot, sc) = row[s.dst as usize + k];
+                        assert_eq!(slot, s.slot);
+                        assert_eq!(sc as usize, s.src as usize + k);
+                        covered += 1;
+                    }
+                }
+                assert_eq!(covered, TILE_CELLS, "{kind:?} i={i} segments leak");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_is_bitwise_equal_to_gather_path() {
+        // Wide pipe: plenty of interior (fast) tiles plus wall (slow) ones.
+        let d = Dim3 {
+            nx: 8,
+            ny: 24,
+            nz: 24,
+        };
+        for (kind, g) in [
+            (LatticeKind::D3Q15, [1e-5, 0.0, 0.0]),
+            (LatticeKind::D3Q19, [0.0; 3]),
+            (LatticeKind::D3Q27, [0.0, 2e-6, 0.0]),
+            (LatticeKind::D3Q39, [1e-5, 0.0, 3e-6]),
+        ] {
+            let ctx = ctx_for(kind);
+            let geom = Geometry::pipe(d, 10.0).unwrap();
+            let (tiles, gt, f, _) = sparse_setup(&ctx, &geom);
+            assert!(!tiles.fast_owned.is_empty(), "{kind:?} no fast tiles");
+            let slow_tiles = force_slow(&tiles);
+            let q = ctx.lat.q();
+            let n = tiles.tile_count();
+            let mut a = SparseField::new(q, n).unwrap();
+            let mut b = SparseField::new(q, n).unwrap();
+            for simd in [false, true] {
+                step(&ctx, &tiles, &gt, &f, &mut a, g, simd);
+                step(&ctx, &slow_tiles, &gt, &f, &mut b, g, simd);
+                assert_eq!(a.as_slice(), b.as_slice(), "{kind:?} simd={simd}");
+                step_par(&ctx, &tiles, &gt, &f, &mut b, g, simd);
+                assert_eq!(a.as_slice(), b.as_slice(), "{kind:?} par simd={simd}");
+            }
+        }
+    }
+
+    /// Run `pairs` AA even/odd pairs in place.
+    #[allow(clippy::too_many_arguments)]
+    fn run_aa_pairs(
+        ctx: &KernelCtx,
+        tiles: &SparseTiles,
+        gt: &GatherTable,
+        f: &mut SparseField,
+        g: [f64; 3],
+        pairs: usize,
+        simd: bool,
+        par: bool,
+    ) {
+        for _ in 0..pairs {
+            if par {
+                aa_even_step_par(ctx, tiles, f, g, simd);
+                aa_odd_step_par(ctx, tiles, gt, f, g, simd);
+            } else {
+                aa_even_step(ctx, tiles, f, g, simd);
+                aa_odd_step(ctx, tiles, gt, f, g, simd);
+            }
+        }
+    }
+
+    #[test]
+    fn aa_pairs_match_two_grid_streamed_image() {
+        for (kind, geom, g) in [
+            (
+                LatticeKind::D3Q19,
+                Geometry::pipe(
+                    Dim3 {
+                        nx: 8,
+                        ny: 16,
+                        nz: 16,
+                    },
+                    5.0,
+                )
+                .unwrap(),
+                [1e-5, 0.0, 0.0],
+            ),
+            (
+                LatticeKind::D3Q39,
+                Geometry::pipe(
+                    Dim3 {
+                        nx: 8,
+                        ny: 16,
+                        nz: 16,
+                    },
+                    5.0,
+                )
+                .unwrap(),
+                [0.0; 3],
+            ),
+            (
+                LatticeKind::D3Q27,
+                Geometry::porous(
+                    Dim3 {
+                        nx: 16,
+                        ny: 16,
+                        nz: 16,
+                    },
+                    2.5,
+                    0.15,
+                    11,
+                )
+                .unwrap(),
+                [0.0, 1e-5, 0.0],
+            ),
+            (
+                LatticeKind::D3Q15,
+                Geometry::bifurcation(
+                    Dim3 {
+                        nx: 24,
+                        ny: 24,
+                        nz: 16,
+                    },
+                    6.0,
+                    3.5,
+                )
+                .unwrap(),
+                [1e-5, 0.0, 0.0],
+            ),
+        ] {
+            let ctx = ctx_for(kind);
+            let (tiles, gt, mut f, mut tmp) = sparse_setup(&ctx, &geom);
+            let q = ctx.lat.q();
+            let mut aa = SparseField::new(q, tiles.tile_count()).unwrap();
+            init_equilibrium_aa(
+                &ctx,
+                &tiles,
+                &mut aa,
+                geom.dims(),
+                smooth_state(geom.dims()),
+            );
+            let pairs = 3;
+            for _ in 0..2 * pairs {
+                step(&ctx, &tiles, &gt, &f, &mut tmp, g, false);
+                std::mem::swap(&mut f, &mut tmp);
+            }
+            run_aa_pairs(&ctx, &tiles, &gt, &mut aa, g, pairs, false, false);
+            // The AA field at even parity must equal the streamed image of
+            // the two-grid field on every fluid cell's slots.
+            let mut buf = [0.0f64; MAX_Q * TILE_CELLS];
+            for t in 0..tiles.owned_tiles {
+                let fluid = tiles.tiles[t].fluid;
+                if fluid == 0 {
+                    continue;
+                }
+                gather_tile(q, &gt, &tiles.neighbors[t], f.as_slice(), &mut buf);
+                let frame = aa.frame(t);
+                for c in 0..TILE_CELLS {
+                    if fluid & (1 << c) == 0 {
+                        continue;
+                    }
+                    for i in 0..q {
+                        let (want, got) = (buf[i * TILE_CELLS + c], frame[i * TILE_CELLS + c]);
+                        assert!(
+                            (want - got).abs() <= 1e-11 * want.abs().max(1.0),
+                            "{kind:?} tile {t} cell {c} i={i}: aa {got} vs streamed {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aa_fast_simd_and_par_are_bitwise_equal() {
+        for (kind, g) in [
+            (LatticeKind::D3Q19, [1e-5, 0.0, 0.0]),
+            (LatticeKind::D3Q39, [0.0; 3]),
+        ] {
+            let ctx = ctx_for(kind);
+            let geom = Geometry::pipe(
+                Dim3 {
+                    nx: 8,
+                    ny: 24,
+                    nz: 24,
+                },
+                10.0,
+            )
+            .unwrap();
+            let tiles = SparseTiles::build_serial(&geom).unwrap();
+            assert!(!tiles.aa_even_fast.is_empty(), "{kind:?} no fast AA tiles");
+            let slow_tiles = force_slow(&tiles);
+            let gt = GatherTable::new(&ctx.lat);
+            let q = ctx.lat.q();
+            let mut reference = SparseField::new(q, tiles.tile_count()).unwrap();
+            init_equilibrium_aa(
+                &ctx,
+                &tiles,
+                &mut reference,
+                geom.dims(),
+                smooth_state(geom.dims()),
+            );
+            let variants: [(&SparseTiles, bool, bool); 4] = [
+                (&tiles, false, false),    // fast path, scalar, serial
+                (&tiles, true, false),     // fast path, simd
+                (&tiles, false, true),     // fast path, threaded
+                (&slow_tiles, true, true), // slow walk, simd, threaded
+            ];
+            let mut outputs = Vec::new();
+            for (t, simd, par) in variants {
+                let mut f = reference.clone();
+                run_aa_pairs(&ctx, t, &gt, &mut f, g, 2, simd, par);
+                outputs.push(f);
+            }
+            let head = outputs[0].as_slice();
+            assert!(head.iter().all(|v| v.is_finite()));
+            for (v, o) in outputs.iter().enumerate().skip(1) {
+                for (a, b) in head.iter().zip(o.as_slice()) {
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "{kind:?} variant {v}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aa_stored_mass_is_conserved_exactly() {
+        let ctx = ctx_for(LatticeKind::D3Q19);
+        let geom = Geometry::porous(
+            Dim3 {
+                nx: 16,
+                ny: 16,
+                nz: 16,
+            },
+            2.0,
+            0.1,
+            5,
+        )
+        .unwrap();
+        let tiles = SparseTiles::build_serial(&geom).unwrap();
+        let gt = GatherTable::new(&ctx.lat);
+        let mut f = SparseField::new(ctx.lat.q(), tiles.tile_count()).unwrap();
+        init_equilibrium_aa(&ctx, &tiles, &mut f, geom.dims(), smooth_state(geom.dims()));
+        let mass = |f: &SparseField| -> f64 {
+            (0..tiles.owned_tiles)
+                .map(|t| f.frame(t).iter().sum::<f64>())
+                .sum()
+        };
+        let m0 = mass(&f);
+        run_aa_pairs(
+            &ctx,
+            &tiles,
+            &gt,
+            &mut f,
+            [1e-5, 0.0, 0.0],
+            10,
+            false,
+            false,
+        );
+        let m1 = mass(&f);
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-12,
+            "AA stored mass drifted: {m0} -> {m1}"
+        );
     }
 
     #[test]

@@ -227,11 +227,6 @@ impl SimConfig {
         }
         geom.validate_tiles()?;
         geom.check_tunneling(lat)?;
-        if self.storage != StorageMode::TwoGrid {
-            return Err(Error::BadParameter(
-                "sparse tiled geometry requires two-grid storage".into(),
-            ));
-        }
         if let Some(s) = &self.scenario {
             if !s.boundaries(self.global).is_periodic() {
                 return Err(Error::BadParameter(format!(
@@ -244,7 +239,30 @@ impl SimConfig {
         let counts = geometry::column_fluid_counts(geom);
         let parts = geometry::partition_columns(&counts, self.ranks)?;
         let min_cols = parts.iter().map(|&(lo, hi)| hi - lo).min().unwrap_or(0);
+        let gc = self.sparse_ghost_cols();
+        if gc > 0 && min_cols < gc {
+            return Err(Error::BadDecomposition(format!(
+                "a rank owns {min_cols} tile column(s) but the sparse {} halo \
+                 ships {gc} — fewer ranks or a longer box",
+                self.storage.name()
+            )));
+        }
         Ok(min_cols * geometry::TILE_B)
+    }
+
+    /// Ghost tile columns per side of the sparse backend: none serially;
+    /// one column for two-grid (reach ≤ 3 < tile edge); `ceil(2k / 4)` for
+    /// in-place AA, whose ghost-writer protocol reads `2k` cells of
+    /// post-even neighbour state before each odd step.
+    pub fn sparse_ghost_cols(&self) -> usize {
+        if self.ranks == 1 {
+            return 0;
+        }
+        let k = Lattice::new(self.lattice).reach();
+        match self.storage {
+            StorageMode::TwoGrid => 1,
+            StorageMode::InPlaceAa => (2 * k).div_ceil(geometry::TILE_B),
+        }
     }
 }
 
@@ -445,9 +463,19 @@ mod tests {
         c.global = Dim3::new(16, 16, 32);
         assert!(c.validate().is_err());
         c.global = Dim3::cube(16);
-        // Sparse tiles are two-grid only.
+        // Sparse tiles accept AA storage (one frame per tile).
         c.storage = StorageMode::InPlaceAa;
-        assert!(c.validate().is_err());
+        assert!(c.validate().is_ok());
+        // …but the AA halo needs 2k cells: D3Q39 over 2 ranks of a 16-box
+        // leaves 2 columns each, below the ceil(6/4) = 2-column halo — ok;
+        // 4 ranks (1 column each) is rejected.
+        let mut aa39 = SimConfig::new(LatticeKind::D3Q39, Dim3::cube(16));
+        aa39.geometry = Some(geom());
+        aa39.storage = StorageMode::InPlaceAa;
+        aa39.ranks = 2;
+        assert!(aa39.validate().is_ok());
+        aa39.ranks = 4;
+        assert!(aa39.validate().is_err(), "AA Q39 halo needs 2 columns");
         c.storage = StorageMode::TwoGrid;
         // A walled scenario conflicts with the voxel boundary.
         c.scenario = Some(ScenarioHandle::new(

@@ -538,6 +538,32 @@ mod tests {
     }
 
     #[test]
+    fn sparse_aa_checkpoints_resume_bitwise_mid_pair() {
+        use crate::scenario::ForcedFlow;
+        use lbm_core::geometry::Geometry;
+
+        let global = Dim3::new(16, 16, 16);
+        let geom = Geometry::pipe(global, 5.0).unwrap();
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, global)
+            .scenario(ForcedFlow::new(4e-6))
+            .geometry(geom)
+            .storage(StorageMode::InPlaceAa)
+            .ranks(2)
+            .build()
+            .unwrap();
+        // 5 steps: an odd, slot-swapped mid-pair state — the checkpoint
+        // stores the raw frames and the parity comes back from `step_no`.
+        sim.run_local(5).unwrap();
+        let bytes = sim.checkpoint().unwrap();
+        let mut resumed = Simulation::resume_bytes(&bytes).unwrap();
+        assert_eq!(resumed.steps_done(), 5);
+        assert_eq!(resumed.config().storage, StorageMode::InPlaceAa);
+        sim.run_local(5).unwrap();
+        resumed.run_local(5).unwrap();
+        assert_eq!(resumed.checkpoint().unwrap(), sim.checkpoint().unwrap());
+    }
+
+    #[test]
     fn tampered_checkpoints_are_rejected() {
         let mut sim = Simulation::builder(LatticeKind::D3Q19, Dim3::new(8, 8, 8))
             .build()

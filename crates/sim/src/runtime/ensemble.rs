@@ -392,6 +392,68 @@ mod tests {
     }
 
     #[test]
+    fn sparse_aa_jobs_recover_from_faults_bitwise() {
+        use crate::runtime::checkpoint::list_generations;
+        use crate::runtime::fault::FaultPlan;
+        use crate::sparse::GeometrySpec;
+        use lbm_core::field::StorageMode;
+
+        // One sparse-AA pipe job, supervised with checkpoints: a worker
+        // panic mid-run must retry from the latest generation and land on
+        // the same final checkpoint bytes as an undisturbed twin.
+        let job = |steps: usize| {
+            let mut spec =
+                JobSpec::new("aa-pipe", LatticeKind::D3Q19, Dim3::new(16, 16, 16), steps);
+            spec.scenario = Some(ScenarioSpec::ForcedFlow {
+                g: 4e-6,
+                pulse_amp: 0.0,
+                pulse_period: 0,
+            });
+            spec.geometry = Some(GeometrySpec::Pipe { radius: 5.0 });
+            spec.storage = StorageMode::InPlaceAa;
+            spec.ranks = 2;
+            spec.progress_every = 2;
+            spec.checkpoint_every = 2;
+            spec.max_retries = 2;
+            spec.backoff_ms = 1;
+            spec
+        };
+        let run = |dir: &std::path::Path, faults: Option<FaultPlan>| {
+            let _ = std::fs::remove_dir_all(dir);
+            std::fs::create_dir_all(dir).unwrap();
+            let mut runner = EnsembleRunner::with_slots(1).with_checkpoint_dir(dir);
+            let events = runner.events();
+            let id = match faults {
+                Some(p) => runner.submit_with_faults(job(8), p).unwrap(),
+                None => runner.submit(job(8)).unwrap(),
+            };
+            let outcomes = runner.join();
+            let outcome = &outcomes.iter().find(|(i, _)| *i == id).unwrap().1;
+            assert!(
+                matches!(outcome, JobOutcome::Finished(_)),
+                "expected Finished, got {outcome:?}"
+            );
+            let retried = events
+                .try_iter()
+                .filter(|r| matches!(r.event, crate::runtime::JobEvent::Retried { .. }))
+                .count();
+            let (gen, path) = list_generations(dir, "aa-pipe").into_iter().max().unwrap();
+            (retried, gen, std::fs::read(path).unwrap())
+        };
+        let base = std::env::temp_dir().join(format!("lbm-aa-recover-{}", std::process::id()));
+        let (r0, _, clean) = run(&base.join("clean"), None);
+        assert_eq!(r0, 0);
+        let (r1, gen, recovered) = run(&base.join("faulty"), Some(FaultPlan::new().panic_at(4)));
+        assert_eq!(r1, 1, "the scripted panic must cost exactly one retry");
+        assert!(gen >= 1, "recovery resumes into a later generation");
+        assert_eq!(
+            recovered, clean,
+            "recovered AA trajectory must reach the clean final checkpoint bitwise"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
     fn small_grids_pack_several_per_slot() {
         let runner = EnsembleRunner::with_slots(2);
         let small = tg_job("s", 1);

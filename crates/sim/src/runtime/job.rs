@@ -392,6 +392,9 @@ mod tests {
                 target_fluid: 0.3,
                 seed: 11,
             },
+            GeometrySpec::File {
+                path: "assets/vessel_24x20x20.lbmgeo".into(),
+            },
         ] {
             let j = g.to_json().to_string();
             assert_eq!(GeometrySpec::from_json(&Json::parse(&j).unwrap()), Ok(g));

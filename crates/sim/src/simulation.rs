@@ -182,9 +182,11 @@ impl SimulationBuilder {
     /// Plug in a voxel geometry and select the sparse tiled-storage path:
     /// only fluid-bearing 4×4×4 tiles are allocated and computed, walls are
     /// bounce-back at the voxel fluid/solid faces, and ranks split the tile
-    /// columns balanced by fluid-cell count. Requires two-grid storage and
-    /// a wall-free (periodic-boundary) scenario; `ghost_depth` and the
-    /// communication strategy are ignored on this path.
+    /// columns balanced by fluid-cell count. Composes with both storage
+    /// modes — [`StorageMode::InPlaceAa`] keeps one frame per tile and
+    /// exchanges halos only before odd steps — but requires a wall-free
+    /// (periodic-boundary) scenario; `ghost_depth` and the communication
+    /// strategy are ignored on this path.
     #[must_use]
     pub fn geometry(mut self, geom: Geometry) -> Self {
         self.cfg.geometry = Some(Arc::new(geom));
@@ -382,7 +384,10 @@ impl Simulation {
         let mass = results[0].1;
         let per_rank: Vec<RankReport> = results.into_iter().map(|(r, _)| r).collect();
         let storage_label = if cfg.geometry.is_some() {
-            "sparse_tiles".to_string()
+            match cfg.storage {
+                StorageMode::TwoGrid => "sparse_tiles".to_string(),
+                StorageMode::InPlaceAa => "sparse_tiles_aa".to_string(),
+            }
         } else {
             cfg.storage.name().to_string()
         };

@@ -10,13 +10,19 @@
 //! double buffer; only allocated tiles exist, so resident bytes scale with
 //! the fluid fraction, not the box.
 //!
+//! [`StorageMode::InPlaceAa`] drops the second buffer: one frame per tile,
+//! stepped as even/odd pairs by the AA kernels in
+//! [`lbm_core::kernels::sparse`] — the even step is purely local, so the
+//! halo exchange runs only before odd steps, shipping
+//! `SimConfig::sparse_ghost_cols` boundary columns each way (one for reach
+//! ≤ 2, two for D3Q39).
+//!
 //! The distributed schedule is deliberately simple: one blocking
-//! frame-exchange per step (the sparse path has no deep-halo or AA
-//! variants), shipping only the *allocated boundary tiles* of the first and
-//! last owned columns. Both sides enumerate boundary tiles from the global
-//! geometry in the same (ty, tz) order, so the payloads need no framing
-//! metadata. `ghost_depth` and [`CommStrategy`](crate::config::CommStrategy)
-//! are ignored on this path.
+//! frame-exchange per step (two-grid) or per pair (AA), shipping only the
+//! *allocated boundary tiles* of the first/last owned columns. Both sides
+//! enumerate boundary tiles from the global geometry in the same (ty, tz)
+//! order, so the payloads need no framing metadata. `ghost_depth` and
+//! [`CommStrategy`](crate::config::CommStrategy) are ignored on this path.
 //!
 //! `AnySolver` is the engine-facing dispatch: the persistent engine holds
 //! one per rank and every caller (timed runs, probes, checkpointing, fault
@@ -28,7 +34,7 @@ use std::time::Instant;
 
 use lbm_comm::Comm;
 use lbm_core::collision::Bgk;
-use lbm_core::field::DistField;
+use lbm_core::field::{DistField, StorageMode};
 use lbm_core::geometry::{self, tile_cell, Geometry, SparseTiles, TILE_B, TILE_CELLS};
 use lbm_core::index::Dim3;
 use lbm_core::kernels::sparse::{self, GatherTable, SparseField};
@@ -45,10 +51,10 @@ use crate::scenario::ScenarioHandle;
 /// Plain-data description of an analytic geometry, the sparse counterpart
 /// of [`ScenarioSpec`](crate::scenario::ScenarioSpec): travels as JSON in
 /// job specs and is built into a voxel [`Geometry`] against the job's
-/// global box. Arbitrary voxel geometries don't travel this way — they
-/// checkpoint as an RLE frame instead (see
-/// [`crate::runtime::checkpoint`]) — but every shape the bench and fault
-/// harnesses exercise is analytic.
+/// global box. Arbitrary voxel geometries travel by reference: the
+/// [`GeometrySpec::File`] variant names an `.lbmgeo` file (the checkpoint
+/// container's RLE geometry frame, standalone — see
+/// [`Geometry::from_file`]) whose dimensions must match the job's box.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GeometrySpec {
     /// [`Geometry::pipe`]: an x-invariant circular pipe.
@@ -72,6 +78,13 @@ pub enum GeometrySpec {
         /// LCG seed for the blob centres.
         seed: u64,
     },
+    /// [`Geometry::from_file`]: a voxel map loaded from an `.lbmgeo` file
+    /// (e.g. a segmented CT volume). The file's dimensions must equal the
+    /// job's global box.
+    File {
+        /// Path to the `.lbmgeo` file, resolved at build time.
+        path: String,
+    },
 }
 
 impl GeometrySpec {
@@ -81,6 +94,7 @@ impl GeometrySpec {
             GeometrySpec::Pipe { .. } => "pipe",
             GeometrySpec::Bifurcation { .. } => "bifurcation",
             GeometrySpec::Porous { .. } => "porous",
+            GeometrySpec::File { .. } => "file",
         }
     }
 
@@ -96,6 +110,21 @@ impl GeometrySpec {
                 target_fluid,
                 seed,
             } => Geometry::porous(global, blob_r, target_fluid, seed),
+            GeometrySpec::File { ref path } => {
+                let g = Geometry::from_file(path)?;
+                if g.dims() != global {
+                    return Err(Error::BadDimensions(format!(
+                        "geometry file {path} is {}x{}x{} but the job box is {}x{}x{}",
+                        g.dims().nx,
+                        g.dims().ny,
+                        g.dims().nz,
+                        global.nx,
+                        global.ny,
+                        global.nz
+                    )));
+                }
+                Ok(g)
+            }
         }
     }
 
@@ -118,6 +147,9 @@ impl GeometrySpec {
                 members.push(("blob_r".into(), Json::Num(blob_r)));
                 members.push(("target_fluid".into(), Json::Num(target_fluid)));
                 members.push(("seed".into(), Json::Int(seed as i64)));
+            }
+            GeometrySpec::File { ref path } => {
+                members.push(("path".into(), Json::Str(path.clone())));
             }
         }
         Json::Obj(members)
@@ -150,6 +182,13 @@ impl GeometrySpec {
                     .and_then(Json::as_u64)
                     .ok_or("geometry spec missing `seed`")?,
             }),
+            "file" => Ok(GeometrySpec::File {
+                path: v
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or("geometry spec missing `path`")?
+                    .to_string(),
+            }),
             other => Err(format!("unknown geometry kind `{other}`")),
         }
     }
@@ -164,7 +203,10 @@ pub(crate) struct SparseRankSolver {
     tiles: SparseTiles,
     gt: GatherTable,
     f: SparseField,
-    tmp: SparseField,
+    /// Two-grid destination buffer; `None` under AA storage — that absence
+    /// *is* the resident-bytes halving.
+    tmp: Option<SparseField>,
+    storage: StorageMode,
     global: Dim3,
     rank: usize,
     ranks: usize,
@@ -190,20 +232,27 @@ impl SparseRankSolver {
         let counts = geometry::column_fluid_counts(geom);
         let parts = geometry::partition_columns(&counts, cfg.ranks)?;
         let (lo, hi) = parts[rank];
-        let tiles = SparseTiles::build(geom, lo, hi - lo, cfg.ranks > 1)?;
+        let tiles = SparseTiles::build(geom, lo, hi - lo, cfg.sparse_ghost_cols())?;
         let gt = GatherTable::new(&ctx.lat);
         let mut f = SparseField::new(ctx.lat.q(), tiles.tile_count())?;
-        let tmp = f.clone();
+        let storage = cfg.storage;
+        let tmp = (storage == StorageMode::TwoGrid).then(|| f.clone());
         let scenario = cfg.scenario.clone();
         let global = cfg.global;
-        match &scenario {
-            Some(s) => sparse::init_equilibrium(&ctx, &tiles, &gt, &mut f, global, |x, y, z| {
-                s.init(global, x, y, z)
-            }),
-            None => {
-                sparse::init_equilibrium(&ctx, &tiles, &gt, &mut f, global, |_, _, _| {
-                    (1.0, [0.0; 3])
-                });
+        let state = |x: usize, y: usize, z: usize| match &scenario {
+            Some(s) => s.init(global, x, y, z),
+            None => (1.0, [0.0; 3]),
+        };
+        match storage {
+            StorageMode::TwoGrid => {
+                sparse::init_equilibrium(&ctx, &tiles, &gt, &mut f, global, state);
+            }
+            // AA frames hold the *streamed* image at even parity, so the
+            // initial slots carry the pull-streamed equilibrium — a two-grid
+            // twin started from the same state stays comparable pair for
+            // pair.
+            StorageMode::InPlaceAa => {
+                sparse::init_equilibrium_aa(&ctx, &tiles, &mut f, global, state);
             }
         }
         let pool = (cfg.threads_per_rank > 1)
@@ -221,6 +270,7 @@ impl SparseRankSolver {
             gt,
             f,
             tmp,
+            storage,
             global,
             rank,
             ranks: cfg.ranks,
@@ -237,14 +287,21 @@ impl SparseRankSolver {
         })
     }
 
-    /// Advance `steps` steps: exchange boundary-tile frames, one fused
-    /// gather/bounce/collide sweep over the owned tiles, swap buffers.
+    /// Advance `steps` steps. Two-grid: exchange boundary-tile frames, one
+    /// fused gather/bounce/collide sweep over the owned tiles, swap buffers.
+    /// AA: even steps are purely local collide-and-swap (no exchange, no
+    /// second buffer); odd steps exchange first, then gather/collide/scatter
+    /// in place through the neighbour table.
     pub(crate) fn run(&mut self, comm: &mut Comm, steps: usize) {
         for _ in 0..steps {
             let t0 = Instant::now();
-            self.exchange(comm);
+            let aa_odd = self.storage == StorageMode::InPlaceAa && self.step_no % 2 == 1;
+            if self.storage == StorageMode::TwoGrid || aa_odd {
+                self.exchange(comm);
+            }
             let g = self.force();
             let use_simd = self.use_simd;
+            let storage = self.storage;
             let Self {
                 ctx,
                 tiles,
@@ -254,11 +311,28 @@ impl SparseRankSolver {
                 pool,
                 ..
             } = &mut *self;
-            match pool {
-                Some(p) => p.install(|| sparse::step_par(ctx, tiles, gt, f, tmp, g, use_simd)),
-                None => sparse::step(ctx, tiles, gt, f, tmp, g, use_simd),
+            match storage {
+                StorageMode::TwoGrid => {
+                    let tmp = tmp.as_mut().expect("two-grid keeps a destination buffer");
+                    match pool {
+                        Some(p) => {
+                            p.install(|| sparse::step_par(ctx, tiles, gt, f, tmp, g, use_simd));
+                        }
+                        None => sparse::step(ctx, tiles, gt, f, tmp, g, use_simd),
+                    }
+                    std::mem::swap(f, tmp);
+                }
+                StorageMode::InPlaceAa if aa_odd => match pool {
+                    Some(p) => {
+                        p.install(|| sparse::aa_odd_step_par(ctx, tiles, gt, f, g, use_simd))
+                    }
+                    None => sparse::aa_odd_step(ctx, tiles, gt, f, g, use_simd),
+                },
+                StorageMode::InPlaceAa => match pool {
+                    Some(p) => p.install(|| sparse::aa_even_step_par(ctx, tiles, f, g, use_simd)),
+                    None => sparse::aa_even_step(ctx, tiles, f, g, use_simd),
+                },
             }
-            std::mem::swap(&mut self.f, &mut self.tmp);
             let noise = self.step_no;
             self.step_no += 1;
             let mut dt = t0.elapsed();
@@ -275,9 +349,11 @@ impl SparseRankSolver {
     }
 
     /// Blocking exchange of the allocated boundary-tile frames. Runs every
-    /// step (ghost frames are never escape-zeroed locally — their owner's
-    /// copy is authoritative). Serial runs have a periodic neighbour table
-    /// instead of ghosts and skip this entirely.
+    /// step under two-grid storage and before every odd step under AA (the
+    /// even half-step is purely local, so ghost frames are only read by the
+    /// odd gather/scatter). Ghost frames are never escape-zeroed locally —
+    /// their owner's copy is authoritative. Serial runs have a periodic
+    /// neighbour table instead of ghosts and skip this entirely.
     fn exchange(&mut self, comm: &mut Comm) {
         if self.ranks == 1 {
             return;
@@ -340,15 +416,18 @@ impl SparseRankSolver {
         self.tiles.owned_fluid_cells
     }
 
-    /// Bytes held in the two packed population buffers.
+    /// Bytes held in the packed population buffers — two under two-grid,
+    /// one under AA.
     pub(crate) fn resident_population_bytes(&self) -> u64 {
-        self.f.resident_bytes() + self.tmp.resident_bytes()
+        self.f.resident_bytes() + self.tmp.as_ref().map_or(0, SparseField::resident_bytes)
     }
 
     /// Stored mass and momentum over the owned tiles (every allocated cell:
     /// rim bounce-back cells carry in-flight population between steps, so
     /// they are part of the conserved totals exactly as dense wall cells
-    /// are).
+    /// are). Mid-pair AA storage is slot-swapped — slot `i` holds the
+    /// opposite velocity's population — so the raw directed sum flips sign
+    /// and is negated back, mirroring the dense `parity_swapped` handling.
     pub(crate) fn local_invariants(&self) -> (f64, [f64; 3]) {
         let q = self.ctx.lat.q();
         let cc = self.ctx.lat.velocities();
@@ -364,7 +443,18 @@ impl SparseRankSolver {
                 }
             }
         }
+        if self.parity_swapped() {
+            for m in &mut mom {
+                *m = -*m;
+            }
+        }
         (mass, mom)
+    }
+
+    /// True when AA storage sits mid-pair (after the even half-step), where
+    /// every slot holds the opposite velocity's population.
+    pub(crate) fn parity_swapped(&self) -> bool {
+        self.storage == StorageMode::InPlaceAa && self.step_no % 2 == 1
     }
 
     pub(crate) fn global_invariants(&self, comm: &mut Comm) -> (f64, [f64; 3]) {
@@ -481,6 +571,21 @@ impl SparseRankSolver {
     pub(crate) fn inject_nan(&mut self) {
         let mid = self.f.as_slice().len() / 2;
         self.f.as_mut_slice()[mid] = f64::NAN;
+    }
+
+    /// Test hook: demote every fast-class tile to the per-cell gather walk
+    /// so a forced-slow twin can be compared bitwise against the fast path.
+    #[cfg(test)]
+    pub(crate) fn force_slow_path(&mut self) {
+        let t = &mut self.tiles;
+        for (fast, slow) in [
+            (&mut t.fast_owned, &mut t.slow_owned),
+            (&mut t.aa_even_fast, &mut t.aa_even_slow),
+            (&mut t.aa_odd_fast, &mut t.aa_odd_slow),
+        ] {
+            slow.append(fast);
+            slow.sort_unstable();
+        }
     }
 }
 
@@ -839,25 +944,300 @@ mod tests {
         );
     }
 
+    /// A pipe wide enough that its core contains fast-class tiles (fully
+    /// fluid, all 27 neighbours allocated) on every rank of a 1–2 rank
+    /// split.
+    fn fast_pipe_sim(
+        kind: LatticeKind,
+        storage: StorageMode,
+        level: OptLevel,
+        ranks: usize,
+        threads: usize,
+    ) -> Simulation {
+        let global = Dim3::new(16, 24, 24);
+        Simulation::builder(kind, global)
+            .scenario(ForcedFlow::new(G))
+            .geometry(Geometry::pipe(global, 10.0).unwrap())
+            .storage(storage)
+            .level(level)
+            .ranks(ranks)
+            .threads(threads)
+            .build()
+            .unwrap()
+    }
+
+    /// Property: demoting every fast-class tile to the per-cell gather walk
+    /// leaves the trajectory bitwise unchanged — the direct-addressed fast
+    /// path is an addressing optimization, not a different discretization.
+    fn assert_fast_matches_forced_slow(
+        kind: LatticeKind,
+        storage: StorageMode,
+        ranks: usize,
+        threads: usize,
+    ) {
+        let global = Dim3::new(16, 24, 24);
+        let mut fast = fast_pipe_sim(kind, storage, OptLevel::Simd, ranks, threads);
+        let mut slow = fast_pipe_sim(kind, storage, OptLevel::Simd, ranks, threads);
+        let engine = slow.engine_mut().unwrap();
+        let mut had_fast = false;
+        for rs in &mut engine.ranks {
+            let AnySolver::Sparse(s) = &mut rs.solver else {
+                panic!("geometry runs must take the sparse path")
+            };
+            had_fast |= !s.tiles.fast_owned.is_empty()
+                && !s.tiles.aa_even_fast.is_empty()
+                && !s.tiles.aa_odd_fast.is_empty();
+            s.force_slow_path();
+            assert!(s.tiles.fast_owned.is_empty() && s.tiles.aa_odd_fast.is_empty());
+        }
+        assert!(
+            had_fast,
+            "a radius-10 pipe must hold fast-class interior tiles on every rank"
+        );
+        fast.run_local(STEPS).unwrap();
+        slow.run_local(STEPS).unwrap();
+        let q = lbm_core::lattice::Lattice::new(kind).q();
+        let a = assemble_global(&mut fast, global, q);
+        let b = assemble_global(&mut slow, global, q);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{kind:?} {storage:?} ranks={ranks} threads={threads}: \
+                 flat {i}: fast {x} vs forced-slow {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_fast_path_matches_forced_slow_d3q15_two_grid_serial() {
+        assert_fast_matches_forced_slow(LatticeKind::D3Q15, StorageMode::TwoGrid, 1, 1);
+    }
+
+    #[test]
+    fn sparse_fast_path_matches_forced_slow_d3q19_aa_threaded() {
+        assert_fast_matches_forced_slow(LatticeKind::D3Q19, StorageMode::InPlaceAa, 1, 2);
+    }
+
+    #[test]
+    fn sparse_fast_path_matches_forced_slow_d3q27_two_grid_two_ranks_threaded() {
+        assert_fast_matches_forced_slow(LatticeKind::D3Q27, StorageMode::TwoGrid, 2, 2);
+    }
+
+    #[test]
+    fn sparse_fast_path_matches_forced_slow_d3q39_aa_two_ranks() {
+        assert_fast_matches_forced_slow(LatticeKind::D3Q39, StorageMode::InPlaceAa, 2, 1);
+    }
+
+    /// Property: after N even/odd pairs the AA frames hold exactly the
+    /// streamed image of the two-grid state — the storage modes differ by a
+    /// half-step phase, nothing else (≤1e-11 relative: the even/odd split
+    /// reassociates the collide arithmetic).
+    fn assert_aa_matches_two_grid_streamed(kind: LatticeKind, level: OptLevel, threads: usize) {
+        let mut aa = fast_pipe_sim(kind, StorageMode::InPlaceAa, level, 1, threads);
+        let mut tg = fast_pipe_sim(kind, StorageMode::TwoGrid, level, 1, threads);
+        aa.run_local(STEPS).unwrap();
+        tg.run_local(STEPS).unwrap();
+        let q = lbm_core::lattice::Lattice::new(kind).q();
+        let tg_engine = tg.engine_mut().unwrap();
+        let AnySolver::Sparse(ts) = &tg_engine.ranks[0].solver else {
+            panic!("sparse path expected")
+        };
+        let aa_engine = aa.engine_mut().unwrap();
+        let AnySolver::Sparse(sa) = &aa_engine.ranks[0].solver else {
+            panic!("sparse path expected")
+        };
+        assert_eq!(ts.tiles.tile_count(), sa.tiles.tile_count());
+        let mut want = vec![0.0f64; q * TILE_CELLS];
+        let mut checked = 0u64;
+        for t in 0..ts.tiles.owned_tiles {
+            sparse::streamed_tile(q, &ts.gt, &ts.tiles, &ts.f, t, &mut want);
+            let got = sa.f.frame(t);
+            let fluid = ts.tiles.tiles[t].fluid;
+            for c in 0..TILE_CELLS {
+                if fluid >> c & 1 == 0 {
+                    continue;
+                }
+                for i in 0..q {
+                    let w = want[i * TILE_CELLS + c];
+                    let g = got[i * TILE_CELLS + c];
+                    assert!(
+                        (w - g).abs() <= 1e-11 * w.abs().max(1.0),
+                        "{kind:?} tile {t} cell {c} vel {i}: streamed two-grid {w} vs AA {g}"
+                    );
+                }
+                checked += 1;
+            }
+        }
+        assert_eq!(
+            checked, ts.tiles.owned_fluid_cells,
+            "compared every fluid cell"
+        );
+    }
+
+    #[test]
+    fn sparse_aa_matches_two_grid_streamed_d3q15() {
+        assert_aa_matches_two_grid_streamed(LatticeKind::D3Q15, OptLevel::Simd, 1);
+    }
+
+    #[test]
+    fn sparse_aa_matches_two_grid_streamed_d3q19_threaded() {
+        assert_aa_matches_two_grid_streamed(LatticeKind::D3Q19, OptLevel::Simd, 2);
+    }
+
+    #[test]
+    fn sparse_aa_matches_two_grid_streamed_d3q27() {
+        assert_aa_matches_two_grid_streamed(LatticeKind::D3Q27, OptLevel::LoBr, 1);
+    }
+
+    #[test]
+    fn sparse_aa_matches_two_grid_streamed_d3q39() {
+        assert_aa_matches_two_grid_streamed(LatticeKind::D3Q39, OptLevel::Simd, 1);
+    }
+
+    /// The distributed AA schedule (ghost columns + exchange before odd
+    /// steps) reproduces the serial periodic run bitwise — ghost writers
+    /// duplicate the owner's scatter exactly.
+    fn assert_aa_multirank_matches_serial(kind: LatticeKind, threads: usize) {
+        let global = Dim3::new(16, 24, 24);
+        let mut serial = fast_pipe_sim(kind, StorageMode::InPlaceAa, OptLevel::Simd, 1, 1);
+        let mut multi = fast_pipe_sim(kind, StorageMode::InPlaceAa, OptLevel::Simd, 2, threads);
+        serial.run_local(STEPS).unwrap();
+        multi.run_local(STEPS).unwrap();
+        let q = lbm_core::lattice::Lattice::new(kind).q();
+        let a = assemble_global(&mut serial, global, q);
+        let b = assemble_global(&mut multi, global, q);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{kind:?} threads={threads}: flat {i}: serial {x} vs 2-rank {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_aa_two_ranks_match_serial_d3q19() {
+        assert_aa_multirank_matches_serial(LatticeKind::D3Q19, 2);
+    }
+
+    #[test]
+    fn sparse_aa_two_ranks_match_serial_d3q39_deep_halo() {
+        // D3Q39 reach 3 needs two ghost tile-columns per side.
+        assert_aa_multirank_matches_serial(LatticeKind::D3Q39, 1);
+    }
+
+    #[test]
+    fn sparse_aa_report_label_and_resident_bytes() {
+        let global = Dim3::new(32, 32, 32);
+        let geom = Geometry::pipe(global, 6.0).unwrap();
+        let mk = |storage: StorageMode| {
+            Simulation::builder(LatticeKind::D3Q19, global)
+                .scenario(ForcedFlow::new(G))
+                .geometry(geom.clone())
+                .storage(storage)
+                .ranks(2)
+                .build()
+                .unwrap()
+                .run(4)
+                .unwrap()
+        };
+        let tg = mk(StorageMode::TwoGrid);
+        let aa = mk(StorageMode::InPlaceAa);
+        assert_eq!(tg.storage, "sparse_tiles");
+        assert_eq!(aa.storage, "sparse_tiles_aa");
+        assert!(aa.mflups > 0.0);
+        let (t, a) = (
+            tg.resident_population_bytes(),
+            aa.resident_population_bytes(),
+        );
+        // One frame set instead of two; same D3Q19 ghost-column count, so
+        // the ratio is exactly ½ here and ≤0.55 with any halo slack.
+        assert!(
+            a * 100 <= t * 55,
+            "sparse AA resident {a} vs sparse two-grid {t}"
+        );
+    }
+
+    #[test]
+    fn sparse_aa_momentum_sign_is_corrected_mid_pair() {
+        // +x body force: the *reported* x-momentum must be positive and
+        // growing at both parities. Mid-pair the raw slot sum is negated
+        // (slot i holds the opposite velocity), so a missing parity fix
+        // would surface as a sign flip at odd steps.
+        let mut sim = fast_pipe_sim(
+            LatticeKind::D3Q19,
+            StorageMode::InPlaceAa,
+            OptLevel::Simd,
+            2,
+            1,
+        );
+        sim.run_local(3).unwrap();
+        let p1 = sim.probe().unwrap();
+        sim.run_local(1).unwrap();
+        let p2 = sim.probe().unwrap();
+        assert!(
+            p1.momentum[0] > 0.0,
+            "mid-pair x-momentum {}",
+            p1.momentum[0]
+        );
+        assert!(
+            p2.momentum[0] > p1.momentum[0],
+            "forced momentum must grow: {} -> {}",
+            p1.momentum[0],
+            p2.momentum[0]
+        );
+    }
+
+    #[test]
+    fn geometry_file_spec_runs_the_committed_vessel_sample() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../assets/vessel_24x20x20.lbmgeo"
+        );
+        let spec = GeometrySpec::File { path: path.into() };
+        assert_eq!(spec.kind(), "file");
+        let global = Dim3::new(24, 20, 20);
+        let geom = spec.build(global).unwrap();
+        // The sample is the deterministic bifurcation the regen example
+        // writes (see examples/make_vessel_geometry.rs).
+        assert_eq!(geom, Geometry::bifurcation(global, 5.0, 3.0).unwrap());
+        // Box mismatch is a typed config error, not a silent reshape.
+        assert!(spec.build(Dim3::new(16, 16, 16)).is_err());
+
+        let mut sim = Simulation::builder(LatticeKind::D3Q19, global)
+            .scenario(ForcedFlow::new(G))
+            .geometry(geom)
+            .storage(StorageMode::InPlaceAa)
+            .ranks(2)
+            .build()
+            .unwrap();
+        sim.run_local(4).unwrap();
+        assert!(sim.all_finite().unwrap());
+    }
+
     #[test]
     fn sparse_mass_is_conserved_and_finite_across_ranks() {
         let global = Dim3::new(16, 16, 16);
         let geom = Geometry::porous(global, 3.0, 0.3, 7).unwrap();
-        let mut sim = Simulation::builder(LatticeKind::D3Q19, global)
-            .scenario(ForcedFlow::new(G))
-            .geometry(geom)
-            .ranks(2)
-            .build()
-            .unwrap();
-        let p0 = sim.probe().unwrap();
-        sim.run_local(6).unwrap();
-        let p1 = sim.probe().unwrap();
-        assert!(sim.all_finite().unwrap());
-        assert!(
-            (p1.mass - p0.mass).abs() < 1e-9 * p0.mass,
-            "stored mass drifted: {} -> {}",
-            p0.mass,
-            p1.mass
-        );
+        for storage in StorageMode::ALL {
+            let mut sim = Simulation::builder(LatticeKind::D3Q19, global)
+                .scenario(ForcedFlow::new(G))
+                .geometry(geom.clone())
+                .storage(storage)
+                .ranks(2)
+                .build()
+                .unwrap();
+            let p0 = sim.probe().unwrap();
+            sim.run_local(6).unwrap();
+            let p1 = sim.probe().unwrap();
+            assert!(sim.all_finite().unwrap());
+            assert!(
+                (p1.mass - p0.mass).abs() < 1e-9 * p0.mass,
+                "{storage:?}: stored mass drifted: {} -> {}",
+                p0.mass,
+                p1.mass
+            );
+        }
     }
 }

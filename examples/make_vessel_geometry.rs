@@ -1,0 +1,30 @@
+//! Regenerate the committed sample voxel geometry `assets/vessel_24x20x20.lbmgeo`.
+//!
+//! The sample is a CT-like vascular shape — a trunk bifurcating into two
+//! branches — voxelized at 24×20×20 and written through the standalone
+//! `.lbmgeo` codec (the checkpoint container's RLE geometry frame). It is
+//! fully deterministic, so rerunning this example must reproduce the
+//! committed bytes:
+//!
+//! ```sh
+//! cargo run --example make_vessel_geometry
+//! git diff --exit-code assets/vessel_24x20x20.lbmgeo
+//! ```
+
+use lbm::core::geometry::Geometry;
+use lbm::core::index::Dim3;
+
+fn main() {
+    let dims = Dim3::new(24, 20, 20);
+    let g = Geometry::bifurcation(dims, 5.0, 3.0).expect("analytic shape");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/assets/vessel_24x20x20.lbmgeo");
+    g.to_file(path).expect("write sample");
+    println!(
+        "wrote {path}: {}x{}x{}, {} fluid voxels ({:.1}% fluid)",
+        dims.nx,
+        dims.ny,
+        dims.nz,
+        g.fluid_count(),
+        100.0 * g.fluid_fraction()
+    );
+}
